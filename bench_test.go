@@ -1,0 +1,208 @@
+package inspire
+
+// Benchmarks regenerating the paper's evaluation, one benchmark family per
+// table/figure. Each iteration runs the full pipeline on a reduced synthetic
+// corpus under the calibrated 2007-cluster machine model; the modeled
+// quantities the paper plots are attached as custom metrics:
+//
+//	virt-min    modeled wall-clock minutes on the 2007 cluster
+//	speedup     modeled speedup normalized to the smallest configuration
+//	pct         component share of total time (percent)
+//	imbalance   max/mean per-process component time
+//
+// ns/op additionally reports the real host cost of the reduced run. The
+// bench-scale corpora are DefaultScale*16 smaller than the paper's datasets
+// so the whole suite completes in minutes; run cmd/benchfig for the
+// full-resolution tables recorded in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"inspire/internal/bench"
+	"inspire/internal/core"
+	"inspire/internal/invert"
+)
+
+// benchScale trades resolution for speed in the benchmark suite.
+const benchScale = bench.DefaultScale * 16
+
+// runPoint executes one (dataset, P) pipeline point b.N times.
+func runPoint(b *testing.B, spec bench.DatasetSpec, p int, cfg core.Config) *core.Summary {
+	b.Helper()
+	sources := spec.Generate()
+	var sum *core.Summary
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err = core.RunStandalone(p, spec.Model(), sources, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	return sum
+}
+
+// overallFamily benchmarks Figure 5 style overall timings for one family.
+func overallFamily(b *testing.B, specs []bench.DatasetSpec) {
+	for _, spec := range specs {
+		for _, p := range bench.PaperPs {
+			b.Run(fmt.Sprintf("size=%s/P=%d", spec.Name, p), func(b *testing.B) {
+				sum := runPoint(b, spec, p, core.Config{})
+				b.ReportMetric(sum.VirtualMinutes(), "virt-min")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5_PubMedOverall regenerates Figure 5 (left): PubMed overall
+// wall clock across processor counts and problem sizes.
+func BenchmarkFig5_PubMedOverall(b *testing.B) {
+	overallFamily(b, bench.PubMedSpecs(benchScale))
+}
+
+// BenchmarkFig5_TRECOverall regenerates Figure 5 (right): TREC overall wall
+// clock across processor counts and problem sizes.
+func BenchmarkFig5_TRECOverall(b *testing.B) {
+	overallFamily(b, bench.TRECSpecs(benchScale))
+}
+
+// speedupFamily benchmarks Figures 6a/7a: overall speedup vs the smallest
+// configuration.
+func speedupFamily(b *testing.B, specs []bench.DatasetSpec) {
+	for _, spec := range specs {
+		b.Run("size="+spec.Name, func(b *testing.B) {
+			var sw *bench.Sweep
+			var err error
+			sources := spec.Generate()
+			_ = sources
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw, err = bench.RunSweep(spec, bench.PaperPs, core.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for _, p := range bench.PaperPs {
+				b.ReportMetric(sw.Speedup(p), fmt.Sprintf("speedup-P%d", p))
+			}
+		})
+	}
+}
+
+// BenchmarkFig6a_PubMedSpeedup regenerates Figure 6a.
+func BenchmarkFig6a_PubMedSpeedup(b *testing.B) {
+	speedupFamily(b, bench.PubMedSpecs(benchScale))
+}
+
+// BenchmarkFig7a_TRECSpeedup regenerates Figure 7a.
+func BenchmarkFig7a_TRECSpeedup(b *testing.B) {
+	speedupFamily(b, bench.TRECSpecs(benchScale))
+}
+
+// componentFamily benchmarks Figures 6b/7b: percent time per component.
+func componentFamily(b *testing.B, spec bench.DatasetSpec) {
+	for _, p := range bench.ComponentPs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			sum := runPoint(b, spec, p, core.Config{})
+			pct := sum.Breakdown.Percentages()
+			for _, comp := range core.Components {
+				b.ReportMetric(pct[comp], "pct-"+comp)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6b_PubMedComponents regenerates Figure 6b (PubMed smallest
+// size, component shares).
+func BenchmarkFig6b_PubMedComponents(b *testing.B) {
+	componentFamily(b, bench.PubMedSpecs(benchScale)[0])
+}
+
+// BenchmarkFig7b_TRECComponents regenerates Figure 7b (TREC 1 GB).
+func BenchmarkFig7b_TRECComponents(b *testing.B) {
+	componentFamily(b, bench.TRECSpecs(benchScale)[0])
+}
+
+// BenchmarkFig8_ComponentSpeedups regenerates the eight panels of Figure 8:
+// per-component speedup for both dataset families and all sizes.
+func BenchmarkFig8_ComponentSpeedups(b *testing.B) {
+	families := map[string][]bench.DatasetSpec{
+		"Pubmed": bench.PubMedSpecs(benchScale),
+		"TREC":   bench.TRECSpecs(benchScale),
+	}
+	for famName, specs := range families {
+		for _, spec := range specs {
+			b.Run(fmt.Sprintf("family=%s/size=%s", famName, spec.Name), func(b *testing.B) {
+				var sw *bench.Sweep
+				var err error
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sw, err = bench.RunSweep(spec, bench.PaperPs, core.Config{})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				last := bench.PaperPs[len(bench.PaperPs)-1]
+				b.ReportMetric(sw.ComponentSpeedup(last, core.CompScan), "scan-speedup-P32")
+				b.ReportMetric(sw.ComponentSpeedup(last, core.CompIndex), "index-speedup-P32")
+				b.ReportMetric(sw.SignatureGenSpeedup(last), "siggen-speedup-P32")
+				b.ReportMetric(sw.ComponentSpeedup(last, core.CompClusProj), "clusproj-speedup-P32")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9_LoadBalancing regenerates Figure 9: indexing under the GA
+// atomic task queue vs static partitioning.
+func BenchmarkFig9_LoadBalancing(b *testing.B) {
+	spec := bench.TRECSpecs(benchScale)[1]
+	spec.Sources = 24
+	for _, strat := range []invert.Strategy{invert.DynamicGA, invert.Static} {
+		for _, p := range bench.ComponentPs {
+			b.Run(fmt.Sprintf("strategy=%s/P=%d", strat, p), func(b *testing.B) {
+				sum := runPoint(b, spec, p, core.Config{Strategy: strat})
+				b.ReportMetric(sum.ComponentSeconds(core.CompIndex)/60, "index-virt-min")
+				b.ReportMetric(sum.Breakdown.Imbalance(core.CompIndex), "imbalance")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation_TaskQueue regenerates ablation A1 (§3.3): GA atomic task
+// queue vs master-worker dispatcher under fine-grained loads.
+func BenchmarkAblation_TaskQueue(b *testing.B) {
+	spec := bench.PubMedSpecs(benchScale)[0]
+	for _, strat := range []invert.Strategy{invert.DynamicGA, invert.MasterWorker} {
+		for _, p := range bench.PaperPs {
+			b.Run(fmt.Sprintf("strategy=%s/P=%d", strat, p), func(b *testing.B) {
+				sum := runPoint(b, spec, p, core.Config{Strategy: strat, ChunkTokens: 512})
+				b.ReportMetric(sum.ComponentSeconds(core.CompIndex)/60, "index-virt-min")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation_AdaptiveDim regenerates ablation A2 (§4.2): static vs
+// adaptive signature dimensionality.
+func BenchmarkAblation_AdaptiveDim(b *testing.B) {
+	spec := bench.PubMedSpecs(benchScale)[0]
+	cfgs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"static", core.Config{TopN: 32}},
+		{"adaptive", core.Config{TopN: 32, AdaptiveDim: true, NullThreshold: 0.01}},
+	}
+	for _, c := range cfgs {
+		b.Run("dim="+c.name, func(b *testing.B) {
+			sum := runPoint(b, spec, 8, c.cfg)
+			b.ReportMetric(100*sum.Result.NullRate, "null-rate-pct")
+			b.ReportMetric(float64(sum.Result.TopM), "signature-dim")
+			b.ReportMetric(float64(sum.Result.KMeansIters), "kmeans-iters")
+		})
+	}
+}

@@ -1,0 +1,20 @@
+// Package inspire is a from-scratch Go reproduction of the parallel text
+// processing engine of
+//
+//	M. Krishnan, S. Bohn, W. Cowley, V. Crow, J. Nieplocha,
+//	"Scalable Visual Analytics of Massive Textual Datasets", IPDPS 2007.
+//
+// The engine turns raw document collections into the 2-D "ThemeView"
+// coordinates used by visual-analytics tools: scanning and forward indexing
+// with a global distributed vocabulary hashmap, parallel inverted file
+// indexing (FAST-INV) with dynamic load balancing over a Global Arrays
+// atomic task queue, Bookstein serial-clustering topicality, an association
+// matrix of conditional term probabilities, L1-normalized knowledge
+// signatures, distributed k-means, and PCA projection.
+//
+// The library lives under internal/; the executables under cmd/ (inspire,
+// corpusgen, benchfig) and the runnable scenarios under examples/ are the
+// public surface. bench_test.go in this directory regenerates every figure
+// of the paper's evaluation as Go benchmarks; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package inspire

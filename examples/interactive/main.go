@@ -1,0 +1,99 @@
+// Interactive-analysis scenario — the paper's stated next frontier ("the
+// interactions associated with massive datasets within a visual analytics
+// environment"). After the pipeline runs, an analyst session executes over
+// the distributed products:
+//
+//   - term and boolean queries against the parallel inverted index,
+//   - similarity search in knowledge-signature space,
+//   - drill-down into a ThemeView region,
+//   - an alternative hierarchical clustering (§3.5) with an adaptive cut,
+//
+// with each interaction's modeled latency on the 2007 cluster reported.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/hcluster"
+	"inspire/internal/query"
+)
+
+func main() {
+	sources := corpus.Generate(corpus.GenSpec{
+		Format:      corpus.FormatPubMed,
+		TargetBytes: 1 << 20,
+		Sources:     12,
+		Seed:        5,
+		Topics:      6,
+		VocabSize:   6000,
+	})
+
+	const p = 4
+	w, err := cluster.NewWorld(p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = w.Run(func(c *cluster.Comm) error {
+		res, err := core.Run(c, sources, core.Config{})
+		if err != nil {
+			return err
+		}
+		q := query.New(c, res)
+		c.Barrier()
+		pipelineDone := c.Clock().Now()
+
+		// Pick the strongest associated topic pair straight from the
+		// association matrix, so the conjunctive query has hits.
+		i0 := res.Topics.MajorIdx[res.Topics.Topics[0]]
+		bestJ := 1
+		for j := 1; j < res.AM.M; j++ {
+			if res.AM.A[i0*res.AM.M+j] > res.AM.A[i0*res.AM.M+bestJ] {
+				bestJ = j
+			}
+		}
+		t0 := res.Vocab.Term(res.Topics.Topics[0])
+		t1 := res.Vocab.Term(res.Topics.Topics[bestJ])
+
+		both := q.And(t0, t1)
+		either := q.Or(t0, t1)
+		sims, err := q.Similar(0, 5)
+		if err != nil {
+			return err
+		}
+		region := q.Near(0, 0, 0.15)
+
+		// Alternative clustering: complete-link hierarchy, adaptive cut.
+		dendro, err := hcluster.Build(c, res.Signatures.Vecs, res.Forward.GlobalDocIDs,
+			hcluster.Config{Linkage: hcluster.CompleteLink, MaxSample: 256})
+		if err != nil {
+			return err
+		}
+		cut := dendro.CutAdaptive(2, 24)
+		c.Barrier()
+		sessionTime := c.Clock().Now() - pipelineDone
+
+		if c.Rank() == 0 {
+			fmt.Printf("corpus: %d documents, %d terms; pipeline on modeled cluster: %.2f min (P=%d)\n\n",
+				res.TotalDocs, res.VocabSize, pipelineDone/60, p)
+			fmt.Printf("query %q AND %q      -> %4d documents\n", t0, t1, len(both))
+			fmt.Printf("query %q OR  %q      -> %4d documents\n", t0, t1, len(either))
+			fmt.Printf("most similar to document 0     ->")
+			for _, h := range sims {
+				fmt.Printf(" doc%d(%.2f)", h.Doc, h.Score)
+			}
+			fmt.Println()
+			fmt.Printf("ThemeView region r=0.15 at origin -> %4d documents\n", len(region))
+			fmt.Printf("hierarchical (complete link, adaptive cut) -> %d themes over a %d-doc sample at height %.3f\n",
+				cut.K, len(dendro.SampleDocs), cut.Height)
+			fmt.Printf("\nwhole interactive session: %.0f ms of modeled cluster time\n", sessionTime*1000)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

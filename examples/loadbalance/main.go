@@ -1,0 +1,61 @@
+// Load-balancing demonstration (the paper's Figure 9 and §3.3): inverted
+// file indexing under three load-distribution strategies —
+//
+//   - static partitioning (each process inverts only its own loads),
+//   - the paper's GA atomic-fetch-and-increment task queue with
+//     own-loads-first stealing, and
+//   - a master-worker dispatcher (one RPC per load to rank 0).
+//
+// A deliberately skewed corpus (TREC-like heavy-tailed documents) makes the
+// static scheme imbalanced; the task queue restores balance with a few lines
+// of fetch-and-increment, while the master-worker variant pays dispatcher
+// serialization as P grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/invert"
+	"inspire/internal/simtime"
+)
+
+func main() {
+	sources := corpus.Generate(corpus.GenSpec{
+		Format:      corpus.FormatTREC, // heavy-tailed record sizes
+		TargetBytes: 2 << 20,
+		Sources:     12,
+		Seed:        99,
+		Topics:      8,
+		VocabSize:   9000,
+	})
+	model := simtime.PNNLCluster2007()
+	model.DataScale = 512 // model a ~1 GB corpus
+
+	fmt.Println("indexing component under three load-distribution strategies")
+	fmt.Println("(virtual minutes on the modeled 2007 cluster; imbalance = max/mean rank time)")
+	fmt.Println()
+	fmt.Printf("%-14s %16s %16s %16s\n", "P", "static", "dynamic-ga", "master-worker")
+	for _, p := range []int{4, 8, 16, 32} {
+		row := fmt.Sprintf("%-14d", p)
+		for _, strat := range []invert.Strategy{invert.Static, invert.DynamicGA, invert.MasterWorker} {
+			sum, err := core.RunStandalone(p, model, sources, core.Config{Strategy: strat})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %7.2fm (x%.2f)",
+				sum.ComponentSeconds(core.CompIndex)/60,
+				sum.Breakdown.Imbalance(core.CompIndex))
+		}
+		fmt.Println(row)
+	}
+	fmt.Println()
+	fmt.Println("expected shape: static grows imbalanced (ratio >> 1) and stops scaling once")
+	fmt.Println("some ranks own more bytes than others; dynamic-ga stays near 1.0 and keeps")
+	fmt.Println("scaling. master-worker matches dynamic-ga on time at this granularity — the")
+	fmt.Println("paper's §3.3 point is that the GA atomic queue achieves this with a few lines")
+	fmt.Println("of fetch-and-increment while the dispatcher adds per-load RPCs, a serial")
+	fmt.Println("master, and implementation complexity.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: run the complete IN-SPIRE-style text engine on a handful of
+// inline documents with 2 simulated processes, and print the discovered
+// themes and document coordinates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/kmeans"
+)
+
+func main() {
+	// Short "abstracts" with the within-document term repetition real prose
+	// has: the serial-clustering topicality measure detects terms whose
+	// occurrences clump into few documents.
+	docs := []string{
+		"protein folding and protein misfolding in cardiac cells: misfolded protein aggregates impair cardiac muscle, and protein clearance restores cardiac function",
+		"cardiac arrhythmia responds to beta blockers; arrhythmia recurrence fell when cardiac patients stayed on beta blockers, and arrhythmia episodes shortened",
+		"protein structure prediction by energy minimization: protein conformations are sampled and each protein is scored by minimization of free energy",
+		"tumor expression profiling finds oncogene activation; tumor samples with high oncogene expression show faster tumor growth and expression drift",
+		"oncogene mutation and tumor suppressor loss: mutation of one oncogene with suppressor mutation doubles tumor incidence in expression data",
+		"immune response to viral infection: antibody production rises as viral load peaks, and immune memory retains antibody templates after viral clearance",
+		"antibody engineering for viral neutralization: engineered antibody variants neutralize viral particles and boost immune recognition",
+		"energy minimization algorithms for molecular structure: minimization converges when molecular energy gradients vanish across the structure",
+		"beta blocker dosage for arrhythmia: higher blocker dosage reduced arrhythmia recurrence in cardiac cohorts on beta therapy",
+		"oncogene driven tumor growth in expression studies: oncogene amplification tracks tumor stage and expression burden",
+	}
+	source := corpus.FromTexts("quickstart", docs)
+
+	summary, err := core.RunStandalone(2, nil, []*corpus.Source{source}, core.Config{
+		TopN:   40,
+		KMeans: kmeans.Config{K: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := summary.Result
+
+	fmt.Printf("documents: %d   vocabulary: %d terms   topics: %d\n\n",
+		r.TotalDocs, r.VocabSize, r.TopM)
+	fmt.Println("themes:")
+	for _, th := range r.Themes {
+		if th.Size == 0 {
+			continue
+		}
+		fmt.Printf("  %d docs: %v\n", th.Size, th.Terms)
+	}
+	fmt.Println("\ndocument coordinates:")
+	for _, pt := range r.Coords {
+		fmt.Printf("  doc %2d -> (%+.3f, %+.3f)\n", pt.Doc, pt.X, pt.Y)
+	}
+}

@@ -1,0 +1,90 @@
+// Package armci provides the remote-procedure-call layer the paper deploys
+// for its scalable distributed hashmaps: the Aggregate Remote Memory Copy
+// Interface (ARMCI) global-procedure-call facility. A rank registers named
+// handlers over its local state; any rank may invoke a handler "at" a target
+// rank. Handler executions at one target are mutually exclusive, matching
+// ARMCI's serialized active-message semantics, and each call charges the
+// origin's virtual clock one RPC round trip.
+package armci
+
+import (
+	"fmt"
+	"sync"
+
+	"inspire/internal/cluster"
+)
+
+// Handler is a procedure executed against the registering rank's state. The
+// argument and result are arbitrary; the reply's approximate size is supplied
+// by the caller for cost accounting.
+type Handler func(arg any) any
+
+// shared is the process-wide handler table.
+type shared struct {
+	handlers []map[string]Handler // indexed by target rank
+	locks    []sync.Mutex         // per-target execution serialization
+	regMu    sync.Mutex
+}
+
+// Registry is one rank's endpoint to the RPC layer.
+type Registry struct {
+	c *cluster.Comm
+	s *shared
+}
+
+// New collectively creates an RPC registry. Every rank must call New; the
+// returned registries share one handler table.
+func New(c *cluster.Comm) *Registry {
+	var s *shared
+	if c.Rank() == 0 {
+		s = &shared{
+			handlers: make([]map[string]Handler, c.Size()),
+			locks:    make([]sync.Mutex, c.Size()),
+		}
+		for r := range s.handlers {
+			s.handlers[r] = make(map[string]Handler)
+		}
+	}
+	got := c.Bcast(0, s, 64)
+	return &Registry{c: c, s: got.(*shared)}
+}
+
+// Register installs a handler under the given name at the calling rank.
+// Registration must complete on every rank (e.g. followed by a Barrier)
+// before any rank calls the handler.
+func (r *Registry) Register(name string, h Handler) {
+	r.s.regMu.Lock()
+	defer r.s.regMu.Unlock()
+	if _, dup := r.s.handlers[r.c.Rank()][name]; dup {
+		panic(fmt.Sprintf("armci: handler %q already registered at rank %d", name, r.c.Rank()))
+	}
+	r.s.handlers[r.c.Rank()][name] = h
+}
+
+// Call invokes the named handler at the target rank with arg and returns its
+// reply. argBytes and replyBytes are payload-size estimates for the virtual
+// cost model. Calls to the same target serialize; calls to distinct targets
+// proceed concurrently.
+func (r *Registry) Call(target int, name string, arg any, argBytes, replyBytes float64) any {
+	if target < 0 || target >= r.c.Size() {
+		panic(fmt.Sprintf("armci: call to invalid rank %d (size %d)", target, r.c.Size()))
+	}
+	h, ok := r.s.handlers[target][name]
+	if !ok {
+		panic(fmt.Sprintf("armci: no handler %q at rank %d", name, target))
+	}
+	r.s.locks[target].Lock()
+	reply := h(arg)
+	r.s.locks[target].Unlock()
+	m := r.c.Model()
+	if target == r.c.Rank() {
+		// Local invocation: software overhead only.
+		r.c.Clock().Advance(m.RPCCost)
+	} else {
+		r.c.Clock().Advance(m.RPCRoundTrip(argBytes, replyBytes))
+	}
+	return reply
+}
+
+// Comm returns the communicator the registry is bound to.
+func (r *Registry) Comm() *cluster.Comm { return r.c }

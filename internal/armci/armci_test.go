@@ -1,0 +1,137 @@
+package armci
+
+import (
+	"fmt"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+func TestCallExecutesAtTarget(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			rpc := New(c)
+			myRank := c.Rank()
+			rpc.Register("whoami", func(arg any) any { return myRank })
+			c.Barrier()
+			for target := 0; target < p; target++ {
+				got := rpc.Call(target, "whoami", nil, 0, 8).(int)
+				if got != target {
+					return fmt.Errorf("call to %d answered %d", target, got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestCallsSerializeAtTarget(t *testing.T) {
+	// All ranks hammer a counter owned by rank 0; mutual exclusion must
+	// make the total exact.
+	const perRank = 500
+	for _, p := range []int{2, 4, 8} {
+		var w *cluster.World
+		var err error
+		w, err = cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			rpc := New(c)
+			counter := 0
+			rpc.Register("inc", func(arg any) any {
+				counter += arg.(int)
+				return counter
+			})
+			c.Barrier()
+			for i := 0; i < perRank; i++ {
+				rpc.Call(0, "inc", 1, 8, 8)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				if counter != perRank*p {
+					return fmt.Errorf("counter=%d want %d", counter, perRank*p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		_ = w
+	}
+}
+
+func TestRemoteCallCostsMoreThanLocal(t *testing.T) {
+	deltas := make([]float64, 2)
+	_, err := cluster.Run(2, nil, func(c *cluster.Comm) error {
+		rpc := New(c)
+		rpc.Register("noop", func(arg any) any { return nil })
+		c.Barrier()
+		// Rank 0 calls itself (local); rank 1 calls rank 0 (remote).
+		before := c.Clock().Now()
+		rpc.Call(0, "noop", nil, 64, 64)
+		deltas[c.Rank()] = c.Clock().Now() - before
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[1] <= deltas[0] {
+		t.Errorf("remote rpc should cost more: local=%g remote=%g", deltas[0], deltas[1])
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	_, err := cluster.Run(1, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := New(c)
+		rpc.Register("h", func(any) any { return nil })
+		rpc.Register("h", func(any) any { return nil })
+		return nil
+	})
+	if err == nil {
+		t.Fatal("duplicate registration should panic")
+	}
+}
+
+func TestUnknownHandlerPanics(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := New(c)
+		c.Barrier()
+		if c.Rank() == 1 {
+			rpc.Call(0, "missing", nil, 0, 0)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("unknown handler should panic")
+	}
+}
+
+func TestInvalidTargetPanics(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := New(c)
+		rpc.Register("h", func(any) any { return nil })
+		c.Barrier()
+		if c.Rank() == 0 {
+			rpc.Call(9, "h", nil, 0, 0)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("invalid target should panic")
+	}
+}
+
+func TestCommAccessor(t *testing.T) {
+	_, err := cluster.Run(1, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := New(c)
+		if rpc.Comm() != c {
+			return fmt.Errorf("Comm accessor mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

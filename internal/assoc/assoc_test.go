@@ -1,0 +1,184 @@
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/corpus"
+	"inspire/internal/dhash"
+	"inspire/internal/invert"
+	"inspire/internal/scan"
+	"inspire/internal/simtime"
+	"inspire/internal/stats"
+	"inspire/internal/topic"
+)
+
+// pipelineTo runs the pipeline through association-matrix construction.
+func pipelineTo(t *testing.T, p int, sources []*corpus.Source, topN, topM int,
+	body func(c *cluster.Comm, fwd *scan.Forward, top *topic.Result, st *stats.TermStats, am *Matrix, vocab *dhash.Map) error) {
+	t.Helper()
+	_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		parts := corpus.Partition(sources, p)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := invert.PublishForward(c, fwd)
+		ix := invert.Invert(c, gf, n, vocab.DenseRange, invert.Options{})
+		st := stats.Build(c, ix, fwd.TotalDocs, int64(len(fwd.Tokens)))
+		top := topic.Select(c, st, topN, topM, vocab.Term)
+		am := Build(c, fwd, top, st)
+		return body(c, fwd, top, st, am, vocab)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assocSources() []*corpus.Source {
+	return corpus.Generate(corpus.GenSpec{
+		Format: corpus.FormatPubMed, TargetBytes: 50_000, Sources: 4, Seed: 17, VocabSize: 1000, Topics: 4,
+	})
+}
+
+func TestMatrixShapeAndBounds(t *testing.T) {
+	pipelineTo(t, 2, assocSources(), 80, 8, func(c *cluster.Comm, fwd *scan.Forward, top *topic.Result, st *stats.TermStats, am *Matrix, vocab *dhash.Map) error {
+		if am.N != top.N() || am.M != top.M() {
+			return fmt.Errorf("shape %dx%d vs %dx%d", am.N, am.M, top.N(), top.M())
+		}
+		if len(am.A) != am.N*am.M {
+			return fmt.Errorf("storage %d", len(am.A))
+		}
+		for i := 0; i < am.N; i++ {
+			for j, v := range am.Row(i) {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return fmt.Errorf("A[%d][%d]=%g out of [0,1]", i, j, v)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestMatrixIdenticalAcrossRanks(t *testing.T) {
+	pipelineTo(t, 4, assocSources(), 60, 6, func(c *cluster.Comm, fwd *scan.Forward, top *topic.Result, st *stats.TermStats, am *Matrix, vocab *dhash.Map) error {
+		mine := append([]float64(nil), am.A...)
+		sum := c.AllreduceSumFloat64(append([]float64(nil), mine...))
+		for i := range sum {
+			if math.Abs(sum[i]-4*mine[i]) > 1e-9 {
+				return fmt.Errorf("ranks disagree at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestMatrixValuesInvariantAcrossP(t *testing.T) {
+	sources := assocSources()
+	// Key matrix entries by (major term, topic term) strings so the
+	// comparison is independent of the P-dependent dense numbering.
+	collect := func(p int) map[string]float64 {
+		out := make(map[string]float64)
+		pipelineTo(t, p, sources, 40, 5, func(c *cluster.Comm, fwd *scan.Forward, top *topic.Result, st *stats.TermStats, am *Matrix, vocab *dhash.Map) error {
+			if c.Rank() != 0 {
+				return nil
+			}
+			for i := 0; i < am.N; i++ {
+				mi := vocab.Term(top.Majors[i])
+				for j := 0; j < am.M; j++ {
+					tj := vocab.Term(top.Topics[j])
+					out[mi+"|"+tj] = am.A[i*am.M+j]
+				}
+			}
+			return nil
+		})
+		return out
+	}
+	base := collect(1)
+	got := collect(3)
+	if len(base) != len(got) {
+		t.Fatalf("entry count differs: %d vs %d", len(base), len(got))
+	}
+	for k, v := range base {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Fatalf("entry %s: %g vs %g", k, got[k], v)
+		}
+	}
+}
+
+func TestTopicSelfAssociationStrong(t *testing.T) {
+	// A topic term's association with itself should be high:
+	// P(t|t)=1 modified by P(t), i.e. 1-P(t), the row max for that term.
+	pipelineTo(t, 2, assocSources(), 50, 5, func(c *cluster.Comm, fwd *scan.Forward, top *topic.Result, st *stats.TermStats, am *Matrix, vocab *dhash.Map) error {
+		d := float64(st.TotalDocs)
+		for j, tid := range top.Topics {
+			i := top.MajorIdx[tid]
+			want := 1 - float64(am.DFMajor[i])/d
+			if math.Abs(am.A[i*am.M+j]-want) > 1e-9 {
+				return fmt.Errorf("self assoc topic %d: %g want %g", j, am.A[i*am.M+j], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCoOccurrenceAgainstBruteForce(t *testing.T) {
+	// Tiny hand corpus: verify a specific conditional probability. Terms
+	// repeat within documents so their serial-clustering scores are
+	// positive and all of them qualify as majors.
+	docs := []string{
+		"alpha alpha beta beta gamma gamma",
+		"alpha beta beta",
+		"alpha alpha delta delta",
+		"epsilon epsilon zeta zeta eta eta",
+	}
+	src := corpus.FromTexts("mini", docs)
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		parts := corpus.Partition([]*corpus.Source{src}, 2)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := invert.PublishForward(c, fwd)
+		ix := invert.Invert(c, gf, n, vocab.DenseRange, invert.Options{})
+		st := stats.Build(c, ix, fwd.TotalDocs, int64(len(fwd.Tokens)))
+		// Force every term to be a major and a topic by selecting all.
+		top := topic.Select(c, st, int(n), int(n), vocab.Term)
+		am := Build(c, fwd, top, st)
+		alphaID, ok1 := vocab.DenseLookup("alpha")
+		betaID, ok2 := vocab.DenseLookup("beta")
+		if !ok1 || !ok2 {
+			return fmt.Errorf("terms missing")
+		}
+		ai, aok := top.MajorIdx[alphaID]
+		bj, bok := top.TopicIdx[betaID]
+		if !aok || !bok {
+			// Rare terms may score 0 topicality and be excluded; the
+			// mini corpus is bursty enough that alpha/beta qualify.
+			return fmt.Errorf("alpha/beta not selected (N=%d)", top.N())
+		}
+		// P(alpha|beta) = df(alpha&beta)/df(beta) = 2/2 = 1.
+		// P(alpha) = 3/4. A = 1 - 0.75 = 0.25.
+		got := am.A[ai*am.M+bj]
+		if math.Abs(got-0.25) > 1e-9 {
+			return fmt.Errorf("A[alpha|beta]=%g want 0.25", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"inspire/internal/core"
+)
+
+// testScale shrinks datasets far below the default so harness tests run in
+// seconds; figures lose resolution but every code path executes.
+const testScale = DefaultScale * 64
+
+func TestDatasetSpecs(t *testing.T) {
+	pm := PubMedSpecs(0)
+	tr := TRECSpecs(0)
+	if len(pm) != 3 || len(tr) != 3 {
+		t.Fatalf("want 3 sizes per family, got %d and %d", len(pm), len(tr))
+	}
+	if pm[0].String() != "Pubmed 2.75 GB" || tr[2].String() != "TREC 8.21 GB" {
+		t.Fatalf("names: %q %q", pm[0].String(), tr[2].String())
+	}
+	// Paper sizes in bytes.
+	if pm[2].PaperBytes != 16.44*GB {
+		t.Fatalf("pubmed largest: %g", pm[2].PaperBytes)
+	}
+	// Synthetic sizes shrink by the scale factor and the model re-inflates.
+	spec := pm[0]
+	if spec.SynthBytes() <= 0 || float64(spec.SynthBytes()) > spec.PaperBytes {
+		t.Fatalf("synth bytes %d", spec.SynthBytes())
+	}
+	if spec.Model().DataScale != spec.Scale {
+		t.Fatal("model DataScale mismatch")
+	}
+}
+
+func TestGenerateRespectsSourceOverride(t *testing.T) {
+	spec := TRECSpecs(testScale)[0]
+	spec.Sources = 5
+	if got := len(spec.Generate()); got != 5 {
+		t.Fatalf("got %d sources", got)
+	}
+	spec.Sources = 0
+	if got := len(spec.Generate()); got != 64 {
+		t.Fatalf("default sources: %d", got)
+	}
+}
+
+func TestRunPointAndSweep(t *testing.T) {
+	spec := PubMedSpecs(testScale)[0]
+	sum, err := RunPoint(spec, 2, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Result.TotalDocs == 0 {
+		t.Fatal("empty run")
+	}
+	sw, err := RunSweep(spec, []int{2, 4}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.TotalMinutes(2) <= sw.TotalMinutes(4) {
+		t.Errorf("no scaling: %g vs %g", sw.TotalMinutes(2), sw.TotalMinutes(4))
+	}
+	// Normalized speedup: first point is exactly P0.
+	if got := sw.Speedup(2); got != 2 {
+		t.Errorf("base speedup: %g", got)
+	}
+	if s := sw.Speedup(4); s <= 2 || s > 4.5 {
+		t.Errorf("speedup at 4: %g", s)
+	}
+	for _, comp := range core.Components {
+		if s := sw.ComponentSpeedup(2, comp); s != 2 && s != 0 {
+			t.Errorf("%s base speedup %g", comp, s)
+		}
+	}
+	if s := sw.SignatureGenSpeedup(4); s <= 0 {
+		t.Errorf("siggen speedup %g", s)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		ID: "Fig T", Title: "test", XLabel: "x", YLabel: "y",
+		X: []string{"a", "b"},
+	}
+	fig.AddSeries("s1", []float64{1, 2})
+	fig.AddSeries("short", []float64{3}) // missing second value renders "-"
+	fig.Notes = append(fig.Notes, "a note")
+	out := fig.Render()
+	for _, want := range []string{"Fig T", "s1", "short", "1.00", "3.00", "-", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	for _, e := range Experiments {
+		got, ok := FindExperiment(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Fatalf("FindExperiment(%q) failed", e.ID)
+		}
+	}
+	if _, ok := FindExperiment("nope"); ok {
+		t.Fatal("found nonexistent experiment")
+	}
+}
+
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	for _, e := range Experiments {
+		figs, err := e.Run(testScale)
+		if err != nil {
+			t.Fatalf("experiment %s: %v", e.ID, err)
+		}
+		if len(figs) == 0 {
+			t.Fatalf("experiment %s produced no figures", e.ID)
+		}
+		for _, f := range figs {
+			if len(f.Series) == 0 || len(f.X) == 0 {
+				t.Fatalf("experiment %s: empty figure %s", e.ID, f.ID)
+			}
+			for _, srs := range f.Series {
+				for i, y := range srs.Y {
+					if y < 0 {
+						t.Fatalf("experiment %s figure %s series %s[%d] negative: %g",
+							e.ID, f.ID, srs.Name, i, y)
+					}
+				}
+			}
+			if f.Render() == "" {
+				t.Fatalf("experiment %s: empty render", e.ID)
+			}
+		}
+	}
+}
+
+func TestSpeedupShapeHolds(t *testing.T) {
+	// The reproduction's headline claim: near-linear overall speedup for
+	// an in-memory-sized dataset.
+	spec := PubMedSpecs(DefaultScale * 16)[0]
+	sw, err := RunSweep(spec, PaperPs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range PaperPs {
+		s := sw.Speedup(p)
+		if s < 0.55*float64(p) || s > 1.45*float64(p) {
+			t.Errorf("speedup at P=%d is %.1f, outside the near-linear band", p, s)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one curve of a figure: a name and y-values over the shared
+// x-values of the figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is one regenerated paper figure as a text table.
+type Figure struct {
+	ID     string // e.g. "Fig 6a"
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string // row labels (usually processor counts)
+	Series []Series
+	Notes  []string
+}
+
+// AddSeries appends a curve.
+func (f *Figure) AddSeries(name string, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+}
+
+// Render produces an aligned text table: one row per x value, one column per
+// series — the same data layout the paper's plots encode.
+func (f *Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "  y: %s\n", f.YLabel)
+	// Header.
+	fmt.Fprintf(&sb, "  %-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %14s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&sb, "  %-14s", x)
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, " %14.2f", s.Y[i])
+			} else {
+				fmt.Fprintf(&sb, " %14s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// psLabels renders processor counts as row labels.
+func psLabels(ps []int) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = fmt.Sprintf("P=%d", p)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package cluster provides the SPMD runtime the text engine runs on: P
+// "ranks" executing the same program body, a point-to-point message
+// transport, and MPI-style collectives implemented with logarithmic
+// algorithms (binomial broadcast/reduce, dissemination barrier).
+//
+// The paper's implementation runs on MPI plus the Global Arrays toolkit over
+// a physical cluster. This package substitutes goroutine ranks within one
+// process: the program structure, message pattern and communication volume
+// are identical, and every transfer is charged to the per-rank virtual clock
+// using the simtime machine model, so the scaling behaviour of the original
+// is preserved while remaining runnable on any host.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"inspire/internal/simtime"
+)
+
+// packet is one point-to-point message.
+type packet struct {
+	tag     int
+	payload any
+	arrival float64 // virtual arrival time at the receiver
+}
+
+// World holds the shared state of one SPMD execution: the mailboxes, the
+// per-rank clocks and timelines, and the machine model.
+type World struct {
+	size      int
+	model     *simtime.Model
+	mail      [][]chan packet // mail[to][from]
+	clocks    []*simtime.Clock
+	timelines []*simtime.Timeline
+
+	// aborted closes when any rank exits with an error or panic, waking
+	// ranks blocked in collectives so the whole run fails fast instead of
+	// deadlocking on the missing peer.
+	aborted   chan struct{}
+	abortOnce sync.Once
+}
+
+// DefaultChanCap is the per-edge mailbox capacity. Collectives never have
+// more than a few messages in flight per edge; corpus-level data always moves
+// through global arrays, not the transport.
+const DefaultChanCap = 64
+
+// NewWorld creates an SPMD world of p ranks using the given machine model
+// (nil selects the PNNLCluster2007 profile).
+func NewWorld(p int, model *simtime.Model) (*World, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("cluster: world size must be positive, got %d", p)
+	}
+	if model == nil {
+		model = simtime.PNNLCluster2007()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		size:      p,
+		model:     model,
+		mail:      make([][]chan packet, p),
+		clocks:    make([]*simtime.Clock, p),
+		timelines: make([]*simtime.Timeline, p),
+		aborted:   make(chan struct{}),
+	}
+	for to := 0; to < p; to++ {
+		w.mail[to] = make([]chan packet, p)
+		for from := 0; from < p; from++ {
+			w.mail[to][from] = make(chan packet, DefaultChanCap)
+		}
+		w.clocks[to] = simtime.NewClock()
+		w.timelines[to] = simtime.NewTimeline()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Model returns the machine model.
+func (w *World) Model() *simtime.Model { return w.model }
+
+// Clocks returns the per-rank virtual clocks (for post-run inspection).
+func (w *World) Clocks() []*simtime.Clock { return w.clocks }
+
+// Timelines returns the per-rank component timelines.
+func (w *World) Timelines() []*simtime.Timeline { return w.timelines }
+
+// Run executes body once per rank, concurrently, and blocks until every rank
+// finishes. A panic in any rank is recovered and reported as that rank's
+// error; errors from all ranks are joined.
+func (w *World) Run(body func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("cluster: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
+				}
+				if errs[rank] != nil {
+					// A failed rank will never reach its remaining
+					// collectives; wake any peers blocked on it.
+					w.abortOnce.Do(func() { close(w.aborted) })
+				}
+			}()
+			errs[rank] = body(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Run is the convenience form: create a world, run the body, return the
+// world for inspection alongside any error.
+func Run(p int, model *simtime.Model, body func(c *Comm) error) (*World, error) {
+	w, err := NewWorld(p, model)
+	if err != nil {
+		return nil, err
+	}
+	return w, w.Run(body)
+}
+
+// Comm is one rank's endpoint into the world: its identity, transport and
+// virtual clock.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this process's rank in 0..Size-1.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.size }
+
+// Model returns the machine model.
+func (c *Comm) Model() *simtime.Model { return c.world.model }
+
+// Clock returns this rank's virtual clock.
+func (c *Comm) Clock() *simtime.Clock { return c.world.clocks[c.rank] }
+
+// Timeline returns this rank's component timeline.
+func (c *Comm) Timeline() *simtime.Timeline { return c.world.timelines[c.rank] }
+
+// World returns the enclosing world (used by substrates that need access to
+// peer state, such as global arrays).
+func (c *Comm) World() *World { return c.world }
+
+// Send transmits payload to rank `to` with the given tag, charging the
+// virtual cost of a message of approximately `bytes` payload bytes. Send is
+// asynchronous up to the mailbox capacity.
+func (c *Comm) Send(to, tag int, payload any, bytes float64) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("cluster: send to invalid rank %d (size %d)", to, c.world.size))
+	}
+	m := c.world.model
+	now := c.Clock().Now()
+	// The sender pays the software send overhead; the wire time determines
+	// when the message becomes visible at the receiver.
+	c.Clock().Advance(m.Latency / 2)
+	c.world.mail[to][c.rank] <- packet{tag: tag, payload: payload, arrival: now + m.SendCost(bytes)}
+}
+
+// Recv blocks for the next message from rank `from`, checks its tag, merges
+// the arrival time into the local clock, and returns the payload. Messages
+// from one sender arrive in order. If a peer rank aborts (error or panic),
+// Recv panics instead of blocking forever; the panic surfaces as this rank's
+// error through Run's recovery.
+func (c *Comm) Recv(from, tag int) any {
+	if from < 0 || from >= c.world.size {
+		panic(fmt.Sprintf("cluster: recv from invalid rank %d (size %d)", from, c.world.size))
+	}
+	var p packet
+	select {
+	case p = <-c.world.mail[c.rank][from]:
+	default:
+		select {
+		case p = <-c.world.mail[c.rank][from]:
+		case <-c.world.aborted:
+			// Drain a message that may have raced with the abort.
+			select {
+			case p = <-c.world.mail[c.rank][from]:
+			default:
+				panic(fmt.Sprintf("cluster: rank %d: collective aborted, peer rank failed", c.rank))
+			}
+		}
+	}
+	if p.tag != tag {
+		panic(fmt.Sprintf("cluster: rank %d expected tag %d from %d, got %d", c.rank, tag, from, p.tag))
+	}
+	c.Clock().Merge(p.arrival)
+	return p.payload
+}

@@ -1,0 +1,506 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"inspire/internal/simtime"
+)
+
+// sizes exercised by most collective tests, including non-powers of two.
+var testSizes = []int{1, 2, 3, 4, 5, 7, 8, 16}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, nil); err == nil {
+		t.Fatal("size 0 should fail")
+	}
+	if _, err := NewWorld(-3, nil); err == nil {
+		t.Fatal("negative size should fail")
+	}
+	bad := simtime.PNNLCluster2007()
+	bad.Flops = -1
+	if _, err := NewWorld(2, bad); err == nil {
+		t.Fatal("invalid model should fail")
+	}
+	w, err := NewWorld(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 4 || w.Model() == nil {
+		t.Fatal("world misconfigured")
+	}
+	if len(w.Clocks()) != 4 || len(w.Timelines()) != 4 {
+		t.Fatal("per-rank state missing")
+	}
+}
+
+func TestRunAllRanksExecute(t *testing.T) {
+	for _, p := range testSizes {
+		var count int64
+		_, err := Run(p, simtime.Zero(), func(c *Comm) error {
+			if c.Rank() < 0 || c.Rank() >= c.Size() || c.Size() != p {
+				return fmt.Errorf("bad identity rank=%d size=%d", c.Rank(), c.Size())
+			}
+			atomic.AddInt64(&count, 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if count != int64(p) {
+			t.Fatalf("p=%d: %d ranks ran", p, count)
+		}
+	}
+}
+
+func TestRunPropagatesErrorsAndPanics(t *testing.T) {
+	_, err := Run(4, simtime.Zero(), func(c *Comm) error {
+		if c.Rank() == 2 {
+			return errors.New("rank 2 failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from rank 2")
+	}
+	_, err = Run(2, simtime.Zero(), func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestSendRecvOrderAndClock(t *testing.T) {
+	_, err := Run(2, nil, func(c *Comm) error {
+		const tag = 42
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, tag, i, 8)
+			}
+		} else {
+			start := c.Clock().Now()
+			for i := 0; i < 10; i++ {
+				got := c.Recv(0, tag).(int)
+				if got != i {
+					return fmt.Errorf("out of order: got %d want %d", got, i)
+				}
+			}
+			if c.Clock().Now() <= start {
+				return errors.New("receiver clock did not advance")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	for _, p := range testSizes {
+		w, err := Run(p, nil, func(c *Comm) error {
+			// Skew clocks: rank r works r seconds, then barrier.
+			c.Clock().Advance(float64(c.Rank()))
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		// After a barrier every clock is >= the max pre-barrier time.
+		want := float64(p - 1)
+		for r, clk := range w.Clocks() {
+			if clk.Now() < want {
+				t.Fatalf("p=%d rank %d clock %g < %g after barrier", p, r, clk.Now(), want)
+			}
+		}
+	}
+}
+
+func TestBcastAllValuesAllRoots(t *testing.T) {
+	for _, p := range testSizes {
+		for root := 0; root < p; root++ {
+			_, err := Run(p, simtime.Zero(), func(c *Comm) error {
+				var payload any
+				if c.Rank() == root {
+					payload = []int64{int64(root), 17}
+				}
+				got := c.Bcast(root, payload, 16).([]int64)
+				if got[0] != int64(root) || got[1] != 17 {
+					return fmt.Errorf("rank %d got %v", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestBcastLogDepthCost(t *testing.T) {
+	// The binomial broadcast's virtual completion time must grow like
+	// ceil(log2 P), not P.
+	cost := func(p int) float64 {
+		w, err := Run(p, nil, func(c *Comm) error {
+			c.Bcast(0, "x", 1024)
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var max float64
+		for _, clk := range w.Clocks() {
+			if clk.Now() > max {
+				max = clk.Now()
+			}
+		}
+		return max
+	}
+	c8, c32 := cost(8), cost(32)
+	// log2(32)/log2(8) = 5/3; allow up to 2.6x before flagging linear growth.
+	if c32 > c8*2.6 {
+		t.Errorf("bcast cost not logarithmic: p=8 %g, p=32 %g", c8, c32)
+	}
+}
+
+func TestReduceAndAllreduceSum(t *testing.T) {
+	for _, p := range testSizes {
+		w, err := Run(p, simtime.Zero(), func(c *Comm) error {
+			vals := []float64{float64(c.Rank()), 1}
+			got := c.AllreduceSumFloat64(vals)
+			wantFirst := float64(p*(p-1)) / 2
+			if got[0] != wantFirst || got[1] != float64(p) {
+				return fmt.Errorf("rank %d: got %v, want [%g %g]", c.Rank(), got, wantFirst, float64(p))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		_ = w
+	}
+}
+
+func TestAllreduceMinMaxInt(t *testing.T) {
+	for _, p := range testSizes {
+		_, err := Run(p, simtime.Zero(), func(c *Comm) error {
+			mx := c.AllreduceMaxFloat64([]float64{float64(c.Rank())})
+			if mx[0] != float64(p-1) {
+				return fmt.Errorf("max: got %v", mx)
+			}
+			mn := c.AllreduceMinFloat64([]float64{float64(c.Rank())})
+			if mn[0] != 0 {
+				return fmt.Errorf("min: got %v", mn)
+			}
+			s := c.AllreduceSumInt64([]int64{1, int64(c.Rank())})
+			if s[0] != int64(p) {
+				return fmt.Errorf("int sum: got %v", s)
+			}
+			if got := c.AllreduceSum(2.5); got != 2.5*float64(p) {
+				return fmt.Errorf("scalar sum: got %g", got)
+			}
+			if got := c.AllreduceSumInt(3); got != 3*int64(p) {
+				return fmt.Errorf("scalar int sum: got %d", got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceMatchesSerialReduce(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		n := 16
+		// Deterministic pseudo-random per-rank vectors.
+		gen := func(rank, i int) float64 {
+			x := seed + int64(rank*1000+i)
+			x ^= x << 13
+			x ^= x >> 7
+			return float64(x%1000) / 10
+		}
+		want := make([]float64, n)
+		for r := 0; r < p; r++ {
+			for i := 0; i < n; i++ {
+				want[i] += gen(r, i)
+			}
+		}
+		ok := true
+		_, err := Run(p, simtime.Zero(), func(c *Comm) error {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = gen(c.Rank(), i)
+			}
+			got := c.AllreduceSumFloat64(vals)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	for _, p := range testSizes {
+		_, err := Run(p, simtime.Zero(), func(c *Comm) error {
+			root := p - 1
+			parts := c.GatherFloat64s(root, []float64{float64(c.Rank()), 7})
+			if c.Rank() == root {
+				if len(parts) != p {
+					return fmt.Errorf("gather: %d parts", len(parts))
+				}
+				for r, part := range parts {
+					if part[0] != float64(r) || part[1] != 7 {
+						return fmt.Errorf("gather part %d: %v", r, part)
+					}
+				}
+			} else if parts != nil {
+				return errors.New("non-root gather should be nil")
+			}
+
+			var payloads []any
+			if c.Rank() == 0 {
+				payloads = make([]any, p)
+				for r := 0; r < p; r++ {
+					payloads[r] = int64(r * 10)
+				}
+			}
+			got := c.Scatter(0, payloads, 8).(int64)
+			if got != int64(c.Rank()*10) {
+				return fmt.Errorf("scatter: rank %d got %d", c.Rank(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllgatherAndExScan(t *testing.T) {
+	for _, p := range testSizes {
+		_, err := Run(p, simtime.Zero(), func(c *Comm) error {
+			all := c.AllgatherInt64(int64(c.Rank() + 1))
+			if len(all) != p {
+				return fmt.Errorf("allgather length %d", len(all))
+			}
+			for r, v := range all {
+				if v != int64(r+1) {
+					return fmt.Errorf("allgather[%d]=%d", r, v)
+				}
+			}
+			prefix, total := c.ExScanInt64(int64(c.Rank() + 1))
+			wantPrefix := int64(c.Rank() * (c.Rank() + 1) / 2)
+			wantTotal := int64(p * (p + 1) / 2)
+			if prefix != wantPrefix || total != wantTotal {
+				return fmt.Errorf("exscan: got (%d,%d), want (%d,%d)", prefix, total, wantPrefix, wantTotal)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestGatherInt64s(t *testing.T) {
+	_, err := Run(3, simtime.Zero(), func(c *Comm) error {
+		mine := make([]int64, c.Rank()) // variable length
+		for i := range mine {
+			mine[i] = int64(c.Rank()*100 + i)
+		}
+		parts := c.GatherInt64s(0, mine)
+		if c.Rank() == 0 {
+			if len(parts) != 3 || len(parts[2]) != 2 || parts[2][1] != 201 {
+				return fmt.Errorf("bad gather: %v", parts)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	for _, p := range testSizes {
+		for _, k := range []int{1, 3, 10, 100} {
+			_, err := Run(p, simtime.Zero(), func(c *Comm) error {
+				// Rank r contributes items r, r+p, r+2p, ... with score = id.
+				var local []Scored
+				for i := 0; i < 20; i++ {
+					id := int64(c.Rank() + i*p)
+					local = append(local, Scored{ID: id, Score: float64(id)})
+				}
+				sort.Slice(local, func(a, b int) bool { return scoredLess(local[a], local[b]) })
+				got := c.MergeTopK(local, k)
+				total := 20 * p
+				wantLen := k
+				if total < wantLen {
+					wantLen = total
+				}
+				if len(got) != wantLen {
+					return fmt.Errorf("len=%d want %d", len(got), wantLen)
+				}
+				for i, s := range got {
+					wantID := int64(total - 1 - i)
+					if s.ID != wantID {
+						return fmt.Errorf("pos %d: got id %d, want %d", i, s.ID, wantID)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d k=%d: %v", p, k, err)
+			}
+		}
+	}
+}
+
+func TestMergeTopKTieBreaksByID(t *testing.T) {
+	_, err := Run(4, simtime.Zero(), func(c *Comm) error {
+		local := []Scored{{ID: int64(c.Rank()), Score: 1.0}}
+		got := c.MergeTopK(local, 2)
+		if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+			return fmt.Errorf("tie-break failed: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTopKZeroK(t *testing.T) {
+	_, err := Run(2, simtime.Zero(), func(c *Comm) error {
+		got := c.MergeTopK([]Scored{{ID: 1, Score: 1}}, 0)
+		if len(got) != 0 {
+			return fmt.Errorf("k=0 returned %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeDeterminism(t *testing.T) {
+	// Two identical runs must produce identical virtual clocks: the cost
+	// model must not observe goroutine scheduling.
+	run := func() []float64 {
+		w, err := Run(8, nil, func(c *Comm) error {
+			c.Clock().Advance(float64(c.Rank()) * 0.001)
+			c.Barrier()
+			c.AllreduceSumFloat64([]float64{1, 2, 3})
+			c.Bcast(0, "payload", 4096)
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 8)
+		for i, clk := range w.Clocks() {
+			out[i] = clk.Now()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: %g != %g across identical runs", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	_, err := Run(2, simtime.Zero(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(5, 1, nil, 0)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic -> error for invalid destination")
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	_, err := Run(2, simtime.Zero(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, nil, 0)
+		} else {
+			c.Recv(0, 8)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected tag mismatch to fail")
+	}
+}
+
+func TestAbortWakesBlockedCollectives(t *testing.T) {
+	// One rank fails before entering the barrier; the others must not
+	// deadlock waiting for it.
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(4, simtime.Zero(), func(c *Comm) error {
+			if c.Rank() == 2 {
+				return errors.New("rank 2 gave up")
+			}
+			c.Barrier() // would block forever without abort handling
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error from aborted run")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("aborted run deadlocked")
+	}
+}
+
+func TestAbortOnPanicWakesPeers(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(3, simtime.Zero(), func(c *Comm) error {
+			if c.Rank() == 0 {
+				panic("rank 0 exploded")
+			}
+			c.AllreduceSumFloat64([]float64{1})
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("panicked run deadlocked")
+	}
+}

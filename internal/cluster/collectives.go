@@ -1,0 +1,335 @@
+package cluster
+
+import "sort"
+
+// Collective message tags. Each collective uses a distinct tag so that a
+// mismatched program (a rank skipping a collective) fails fast instead of
+// silently mispairing messages.
+const (
+	tagBarrier = iota + 1000
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagMergeTopK
+)
+
+// Barrier synchronizes all ranks with a dissemination barrier: ceil(log2 P)
+// rounds in which rank r signals (r+2^k) mod P and waits for (r-2^k) mod P.
+// On return every rank's virtual clock is at least the maximum entry time.
+func (c *Comm) Barrier() {
+	p := c.Size()
+	for k := 1; k < p; k <<= 1 {
+		to := (c.rank + k) % p
+		from := (c.rank - k%p + p) % p
+		c.Send(to, tagBarrier, nil, 0)
+		c.Recv(from, tagBarrier)
+	}
+}
+
+// Bcast distributes root's payload to every rank over a binomial tree and
+// returns it. bytes is the payload size estimate used for cost accounting.
+func (c *Comm) Bcast(root int, payload any, bytes float64) any {
+	p := c.Size()
+	if p == 1 {
+		return payload
+	}
+	vr := (c.rank - root + p) % p
+	// Receive phase: a non-root rank waits for the subtree parent.
+	if vr != 0 {
+		mask := 1
+		for mask < p {
+			if vr&mask != 0 {
+				src := (vr - mask + root) % p
+				payload = c.Recv(src, tagBcast)
+				break
+			}
+			mask <<= 1
+		}
+	}
+	// Send phase: forward down the binomial tree.
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < p {
+			dst := (vr + mask + root) % p
+			c.Send(dst, tagBcast, payload, bytes)
+		}
+	}
+	return payload
+}
+
+// Reduce combines every rank's value with the associative combine function
+// over a binomial tree; the fully combined value is returned at root, nil
+// elsewhere. combine may mutate and return its first argument.
+func (c *Comm) Reduce(root int, val any, bytes float64, combine func(a, b any) any) any {
+	p := c.Size()
+	if p == 1 {
+		return val
+	}
+	vr := (c.rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			dst := (vr - mask + root) % p
+			c.Send(dst, tagReduce, val, bytes)
+			return nil
+		}
+		src := vr | mask
+		if src < p {
+			other := c.Recv((src+root)%p, tagReduce)
+			val = combine(val, other)
+		}
+	}
+	return val
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast; every rank returns the
+// combined value.
+func (c *Comm) Allreduce(val any, bytes float64, combine func(a, b any) any) any {
+	v := c.Reduce(0, val, bytes, combine)
+	return c.Bcast(0, v, bytes)
+}
+
+// Gather collects each rank's payload at root. At root the result is a slice
+// indexed by rank; elsewhere nil. bytes is the per-rank payload size.
+func (c *Comm) Gather(root int, payload any, bytes float64) []any {
+	p := c.Size()
+	if c.rank != root {
+		c.Send(root, tagGather, payload, bytes)
+		return nil
+	}
+	out := make([]any, p)
+	out[root] = payload
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.Recv(r, tagGather)
+	}
+	return out
+}
+
+// Allgather collects every rank's payload everywhere: Gather at 0 then Bcast.
+func (c *Comm) Allgather(payload any, bytes float64) []any {
+	g := c.Gather(0, payload, bytes)
+	res := c.Bcast(0, g, bytes*float64(c.Size()))
+	return res.([]any)
+}
+
+// Scatter distributes payloads[r] from root to rank r and returns the local
+// element. payloads may be nil on non-root ranks.
+func (c *Comm) Scatter(root int, payloads []any, bytes float64) any {
+	p := c.Size()
+	if c.rank == root {
+		if len(payloads) != p {
+			panic("cluster: Scatter needs one payload per rank")
+		}
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			c.Send(r, tagScatter, payloads[r], bytes)
+		}
+		return payloads[root]
+	}
+	return c.Recv(root, tagScatter)
+}
+
+// --- Typed helpers -------------------------------------------------------
+
+// number covers the element types the engine reduces over.
+type number interface{ ~int64 | ~float64 }
+
+func reduceSliceOp[T number](op func(a, b T) T) func(a, b any) any {
+	return func(a, b any) any {
+		av := a.([]T)
+		bv := b.([]T)
+		if len(av) != len(bv) {
+			panic("cluster: reduce slice length mismatch")
+		}
+		for i := range av {
+			av[i] = op(av[i], bv[i])
+		}
+		return av
+	}
+}
+
+// allreduceSlice element-wise allreduces vals in place and returns it.
+func allreduceSlice[T number](c *Comm, vals []T, op func(a, b T) T) []T {
+	local := make([]T, len(vals))
+	copy(local, vals)
+	res := c.Allreduce(local, float64(8*len(vals)), reduceSliceOp(op))
+	out := res.([]T)
+	copy(vals, out)
+	return vals
+}
+
+// AllreduceSumFloat64 sums vals element-wise across ranks, in place.
+func (c *Comm) AllreduceSumFloat64(vals []float64) []float64 {
+	return allreduceSlice(c, vals, func(a, b float64) float64 { return a + b })
+}
+
+// AllreduceSumInt64 sums vals element-wise across ranks, in place.
+func (c *Comm) AllreduceSumInt64(vals []int64) []int64 {
+	return allreduceSlice(c, vals, func(a, b int64) int64 { return a + b })
+}
+
+// AllreduceMaxFloat64 takes the element-wise maximum across ranks, in place.
+func (c *Comm) AllreduceMaxFloat64(vals []float64) []float64 {
+	return allreduceSlice(c, vals, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllreduceMinFloat64 takes the element-wise minimum across ranks, in place.
+func (c *Comm) AllreduceMinFloat64(vals []float64) []float64 {
+	return allreduceSlice(c, vals, func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllreduceSum is the scalar convenience form.
+func (c *Comm) AllreduceSum(v float64) float64 {
+	out := c.AllreduceSumFloat64([]float64{v})
+	return out[0]
+}
+
+// AllreduceSumInt is the scalar convenience form for int64.
+func (c *Comm) AllreduceSumInt(v int64) int64 {
+	out := c.AllreduceSumInt64([]int64{v})
+	return out[0]
+}
+
+// AllgatherInt64 collects one int64 from each rank, indexed by rank.
+func (c *Comm) AllgatherInt64(v int64) []int64 {
+	parts := c.Allgather(v, 8)
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		out[i] = p.(int64)
+	}
+	return out
+}
+
+// ExScanInt64 returns the exclusive prefix sum of v across ranks (rank 0
+// gets 0) together with the global total. Implemented with an allgather of
+// the per-rank values, which is both cheap for scalars and deterministic.
+func (c *Comm) ExScanInt64(v int64) (prefix, total int64) {
+	all := c.AllgatherInt64(v)
+	for r, x := range all {
+		if r < c.rank {
+			prefix += x
+		}
+		total += x
+	}
+	return prefix, total
+}
+
+// GatherFloat64s gathers variable-length float64 slices at root; result is
+// indexed by rank at root, nil elsewhere.
+func (c *Comm) GatherFloat64s(root int, vals []float64) [][]float64 {
+	parts := c.Gather(root, vals, float64(8*len(vals)))
+	if parts == nil {
+		return nil
+	}
+	out := make([][]float64, len(parts))
+	for i, p := range parts {
+		out[i] = p.([]float64)
+	}
+	return out
+}
+
+// GatherInt64s gathers variable-length int64 slices at root.
+func (c *Comm) GatherInt64s(root int, vals []int64) [][]int64 {
+	parts := c.Gather(root, vals, float64(8*len(vals)))
+	if parts == nil {
+		return nil
+	}
+	out := make([][]int64, len(parts))
+	for i, p := range parts {
+		out[i] = p.([]int64)
+	}
+	return out
+}
+
+// --- Top-K merge ---------------------------------------------------------
+
+// Scored is one candidate in a global top-K selection: an item identifier,
+// its score, and an optional stable key. Ordering is by descending score,
+// then ascending Key, then ascending ID. Supplying a partition-invariant Key
+// (e.g. the term string) makes the selected set independent of how IDs were
+// numbered across ranks.
+type Scored struct {
+	ID    int64
+	Score float64
+	Key   string
+}
+
+// scoredLess orders by descending score, ascending key, ascending ID.
+func scoredLess(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.ID < b.ID
+}
+
+// MergeTopK performs the paper's "global merge-sort" for topic selection:
+// each rank contributes a locally sorted candidate list; the lists are merged
+// pairwise up a binomial tree keeping only the best k, and the final top-k is
+// broadcast to all ranks. local must be sorted by descending score (ascending
+// ID on ties); the result is sorted the same way.
+func (c *Comm) MergeTopK(local []Scored, k int) []Scored {
+	if k < 0 {
+		k = 0
+	}
+	trim := func(s []Scored) []Scored {
+		if len(s) > k {
+			return s[:k]
+		}
+		return s
+	}
+	combine := func(a, b any) any {
+		av := a.([]Scored)
+		bv := b.([]Scored)
+		merged := make([]Scored, 0, min(len(av)+len(bv), k))
+		i, j := 0, 0
+		for len(merged) < k && (i < len(av) || j < len(bv)) {
+			switch {
+			case i >= len(av):
+				merged = append(merged, bv[j])
+				j++
+			case j >= len(bv):
+				merged = append(merged, av[i])
+				i++
+			case scoredLess(av[i], bv[j]):
+				merged = append(merged, av[i])
+				i++
+			default:
+				merged = append(merged, bv[j])
+				j++
+			}
+		}
+		return merged
+	}
+	mine := trim(append([]Scored(nil), local...))
+	bytes := float64(32 * k)
+	res := c.Reduce(0, mine, bytes, combine)
+	out := c.Bcast(0, res, bytes)
+	final := out.([]Scored)
+	// Defensive: guarantee ordering for downstream consumers.
+	sort.Slice(final, func(i, j int) bool { return scoredLess(final[i], final[j]) })
+	return final
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"inspire/internal/corpus"
+	"inspire/internal/invert"
+	"inspire/internal/signature"
+	"inspire/internal/simtime"
+)
+
+// smallCorpus returns a deterministic PubMed-like corpus sized for tests.
+func smallCorpus(bytes int64, seed int64) []*corpus.Source {
+	return corpus.Generate(corpus.GenSpec{
+		Format:      corpus.FormatPubMed,
+		TargetBytes: bytes,
+		Sources:     8,
+		Seed:        seed,
+		Topics:      6,
+		VocabSize:   3000,
+	})
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	sources := smallCorpus(120_000, 42)
+	for _, p := range []int{1, 2, 4} {
+		sum, err := RunStandalone(p, nil, sources, Config{})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		r := sum.Result
+		if r.TotalDocs < 50 {
+			t.Fatalf("p=%d: only %d docs", p, r.TotalDocs)
+		}
+		if r.VocabSize < 100 {
+			t.Fatalf("p=%d: vocab %d", p, r.VocabSize)
+		}
+		if len(r.Coords) != int(r.TotalDocs) {
+			t.Fatalf("p=%d: %d coords for %d docs", p, len(r.Coords), r.TotalDocs)
+		}
+		if r.Terrain == nil || len(r.Themes) == 0 {
+			t.Fatalf("p=%d: missing terrain/themes", p)
+		}
+		if sum.TotalVirtual <= 0 {
+			t.Fatalf("p=%d: no virtual time", p)
+		}
+		for _, comp := range Components {
+			if sum.ComponentSeconds(comp) <= 0 {
+				t.Fatalf("p=%d: component %s has no time", p, comp)
+			}
+		}
+	}
+}
+
+func TestPipelineIntegerProductsInvariantAcrossP(t *testing.T) {
+	sources := smallCorpus(100_000, 7)
+	type fingerprint struct {
+		docs, vocab, tokens int64
+		topN                int
+	}
+	var prints []fingerprint
+	var coordSets [][]float64
+	for _, p := range []int{1, 3, 4} {
+		sum, err := RunStandalone(p, simtime.Zero(), sources, Config{})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		r := sum.Result
+		prints = append(prints, fingerprint{r.TotalDocs, r.VocabSize, r.TotalTokens, r.TopN})
+		xs := make([]float64, len(r.Coords))
+		for i, pt := range r.Coords {
+			xs[i] = pt.X
+		}
+		coordSets = append(coordSets, xs)
+	}
+	for i := 1; i < len(prints); i++ {
+		if prints[i] != prints[0] {
+			t.Fatalf("integer products differ across P: %+v vs %+v", prints[i], prints[0])
+		}
+	}
+	// Coordinates agree across P within floating tolerance (reduction
+	// order differs).
+	for i := 1; i < len(coordSets); i++ {
+		if len(coordSets[i]) != len(coordSets[0]) {
+			t.Fatalf("coord count differs across P")
+		}
+		var maxDiff float64
+		for j := range coordSets[i] {
+			d := math.Abs(coordSets[i][j] - coordSets[0][j])
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-6 {
+			t.Errorf("coords drift across P: max |dx| = %g", maxDiff)
+		}
+	}
+}
+
+func TestPipelineStrategiesAgree(t *testing.T) {
+	sources := smallCorpus(60_000, 9)
+	var vocab []int64
+	for _, strat := range []invert.Strategy{invert.DynamicGA, invert.Static, invert.MasterWorker} {
+		sum, err := RunStandalone(3, simtime.Zero(), sources, Config{Strategy: strat})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		vocab = append(vocab, sum.Result.VocabSize)
+		if sum.Result.NullRate > 0.9 {
+			t.Fatalf("%v: null rate %.2f", strat, sum.Result.NullRate)
+		}
+	}
+	if vocab[0] != vocab[1] || vocab[1] != vocab[2] {
+		t.Fatalf("strategies disagree on vocabulary: %v", vocab)
+	}
+}
+
+func TestPipelineTRECCorpus(t *testing.T) {
+	sources := corpus.Generate(corpus.GenSpec{
+		Format:      corpus.FormatTREC,
+		TargetBytes: 150_000,
+		Sources:     6,
+		Seed:        3,
+		Topics:      5,
+		VocabSize:   2500,
+	})
+	sum, err := RunStandalone(4, nil, sources, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Result.TotalDocs < 20 {
+		t.Fatalf("only %d docs", sum.Result.TotalDocs)
+	}
+	if len(sum.Result.Coords) != int(sum.Result.TotalDocs) {
+		t.Fatalf("coords/docs mismatch")
+	}
+}
+
+func TestAdaptiveDimensionalityReducesNulls(t *testing.T) {
+	// A tiny topic budget forces null signatures; adaptive dimensionality
+	// must reduce the null rate.
+	sources := smallCorpus(80_000, 13)
+	base, err := RunStandalone(2, simtime.Zero(), sources, Config{TopN: 200, TopicFrac: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := RunStandalone(2, simtime.Zero(), sources, Config{
+		TopN: 200, TopicFrac: 0.01, AdaptiveDim: true, NullThreshold: 0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Result.NullRate > 0.005 {
+		if adaptive.Result.DimRetries == 0 {
+			t.Fatalf("expected adaptive retries (base null rate %.3f)", base.Result.NullRate)
+		}
+		if adaptive.Result.NullRate > base.Result.NullRate {
+			t.Errorf("adaptive dim did not reduce nulls: %.3f -> %.3f",
+				base.Result.NullRate, adaptive.Result.NullRate)
+		}
+		if adaptive.Result.TopM <= base.Result.TopM {
+			t.Errorf("adaptive dim did not grow M: %d -> %d", base.Result.TopM, adaptive.Result.TopM)
+		}
+	}
+}
+
+func TestVirtualTimeScalesDown(t *testing.T) {
+	// More processors -> less virtual wall time, in the modeled regime
+	// where the synthetic corpus stands in for a paper-scale dataset
+	// (DataScale inflates compute and traffic volume; fixed latencies
+	// stay fixed). Without DataScale a 200 KB corpus is latency-bound and
+	// cannot speed up — which the model correctly reports.
+	sources := smallCorpus(200_000, 5)
+	model := simtime.PNNLCluster2007()
+	model.DataScale = 256
+	var prev float64
+	for i, p := range []int{1, 2, 4, 8} {
+		sum, err := RunStandalone(p, model, sources, Config{})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		total := sum.TotalVirtual
+		if i > 0 && total >= prev {
+			t.Errorf("p=%d virtual time %.3fs not below p=%d time %.3fs",
+				p, total, p/2, prev)
+		}
+		prev = total
+	}
+}
+
+func TestRunStandaloneBadWorld(t *testing.T) {
+	if _, err := RunStandalone(0, nil, nil, Config{}); err == nil {
+		t.Fatal("p=0 should fail")
+	}
+}
+
+func TestThemesNameTopicTerms(t *testing.T) {
+	sources := smallCorpus(150_000, 21)
+	sum, err := RunStandalone(2, simtime.Zero(), sources, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Result.Themes) == 0 {
+		t.Fatal("no themes")
+	}
+	for _, th := range sum.Result.Themes {
+		if th.Size > 0 && len(th.Terms) == 0 {
+			t.Errorf("cluster %d (size %d) has no label terms", th.Cluster, th.Size)
+		}
+		for _, term := range th.Terms {
+			if term == "" {
+				t.Errorf("cluster %d has empty label", th.Cluster)
+			}
+		}
+	}
+}
+
+func TestSummaryHelpers(t *testing.T) {
+	sources := smallCorpus(60_000, 2)
+	sum, err := RunStandalone(2, nil, sources, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.VirtualMinutes() != sum.TotalVirtual/60 {
+		t.Fatal("VirtualMinutes inconsistent")
+	}
+	sg := sum.SignatureGenSeconds()
+	want := sum.ComponentSeconds(CompTopic) + sum.ComponentSeconds(CompAM) + sum.ComponentSeconds(CompDocVec)
+	if math.Abs(sg-want) > 1e-12 {
+		t.Fatal("SignatureGenSeconds inconsistent")
+	}
+	if sum.WallSeconds <= 0 {
+		t.Fatal("wall time missing")
+	}
+}
+
+func BenchmarkPipelineSmall(b *testing.B) {
+	sources := smallCorpus(100_000, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunStandalone(2, nil, sources, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleRunStandalone() {
+	sources := corpus.Generate(corpus.GenSpec{
+		Format:      corpus.FormatPubMed,
+		TargetBytes: 50_000,
+		Sources:     4,
+		Seed:        1,
+		Topics:      4,
+		VocabSize:   2000,
+	})
+	sum, err := RunStandalone(2, nil, sources, Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(sum.Result.Coords) == int(sum.Result.TotalDocs))
+	// Output: true
+}
+
+func TestCollectSignaturesRoundTrip(t *testing.T) {
+	sources := smallCorpus(60_000, 17)
+	sum, err := RunStandalone(3, simtime.Zero(), sources, Config{CollectSignatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Result
+	if int64(len(r.SigDocIDs)) != r.TotalDocs {
+		t.Fatalf("collected %d signatures for %d docs", len(r.SigDocIDs), r.TotalDocs)
+	}
+	for i := 1; i < len(r.SigDocIDs); i++ {
+		if r.SigDocIDs[i] <= r.SigDocIDs[i-1] {
+			t.Fatal("signature doc ids unsorted")
+		}
+	}
+	// Persist and reload (pipeline step 7).
+	var buf bytes.Buffer
+	if err := signature.Save(&buf, r.TopM, r.SigDocIDs, r.SigVecs); err != nil {
+		t.Fatal(err)
+	}
+	m, ids, vecs, err := signature.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != r.TopM || len(ids) != len(r.SigDocIDs) {
+		t.Fatalf("reload mismatch: m=%d ids=%d", m, len(ids))
+	}
+	for i := range vecs {
+		if (vecs[i] == nil) != (r.SigVecs[i] == nil) {
+			t.Fatalf("null flag mismatch at %d", i)
+		}
+	}
+	// Without the flag, nothing is gathered.
+	sum2, err := RunStandalone(2, simtime.Zero(), sources, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Result.SigDocIDs != nil {
+		t.Fatal("signatures gathered without CollectSignatures")
+	}
+}
+
+func TestIOModelSlowsScanAtScale(t *testing.T) {
+	sources := smallCorpus(150_000, 19)
+	base := simtime.PNNLCluster2007()
+	base.DataScale = 1024
+	nfs := simtime.PNNLCluster2007()
+	nfs.DataScale = 1024
+	nfs.IO = simtime.NFS2007()
+	lustre := simtime.PNNLCluster2007()
+	lustre.DataScale = 1024
+	lustre.IO = simtime.Lustre2007()
+
+	scanTime := func(model *simtime.Model, p int) float64 {
+		sum, err := RunStandalone(p, model, sources, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.ComponentSeconds(CompScan)
+	}
+	// At high P the shared filer dominates scanning; Lustre stays close to
+	// the compute-bound ideal.
+	const p = 32
+	ideal := scanTime(base, p)
+	overNFS := scanTime(nfs, p)
+	overLustre := scanTime(lustre, p)
+	if overNFS < 1.5*ideal {
+		t.Errorf("NFS at P=%d should be I/O bound: ideal %.1fs, nfs %.1fs", p, ideal, overNFS)
+	}
+	if overLustre > 1.2*ideal {
+		t.Errorf("Lustre should stay near compute bound: ideal %.1fs, lustre %.1fs", ideal, overLustre)
+	}
+}

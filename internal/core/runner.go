@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"inspire/internal/cluster"
+	"inspire/internal/corpus"
+	"inspire/internal/simtime"
+)
+
+// Summary is the outcome of a standalone engine run: the rank-0 result plus
+// the cross-rank timing breakdown in virtual seconds and the real host
+// elapsed time.
+type Summary struct {
+	P            int
+	Model        *simtime.Model
+	Breakdown    *simtime.Breakdown
+	TotalVirtual float64
+	WallSeconds  float64
+	Result       *Result
+}
+
+// RunStandalone creates a world of p ranks, runs the pipeline over sources,
+// and returns the summary. model nil selects the PNNL 2007 profile.
+func RunStandalone(p int, model *simtime.Model, sources []*corpus.Source, cfg Config) (*Summary, error) {
+	w, err := cluster.NewWorld(p, model)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, p)
+	start := time.Now()
+	err = w.Run(func(c *cluster.Comm) error {
+		r, err := Run(c, sources, cfg)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = r
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: run p=%d: %w", p, err)
+	}
+	b := simtime.Collect(w.Timelines())
+	return &Summary{
+		P:            p,
+		Model:        w.Model(),
+		Breakdown:    b,
+		TotalVirtual: b.Total(),
+		WallSeconds:  time.Since(start).Seconds(),
+		Result:       results[0],
+	}, nil
+}
+
+// ComponentSeconds returns the virtual duration of one component (max over
+// ranks).
+func (s *Summary) ComponentSeconds(name string) float64 {
+	return s.Breakdown.Max(name)
+}
+
+// SignatureGenSeconds returns the combined topic + association matrix +
+// DocVec time — the "Signature Generation" component of the paper's
+// Figure 8.
+func (s *Summary) SignatureGenSeconds() float64 {
+	return s.Breakdown.Max(CompTopic) + s.Breakdown.Max(CompAM) + s.Breakdown.Max(CompDocVec)
+}
+
+// VirtualMinutes returns the total pipeline virtual time in minutes, the
+// unit of the paper's Figure 5.
+func (s *Summary) VirtualMinutes() float64 { return s.TotalVirtual / 60 }

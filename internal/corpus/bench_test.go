@@ -1,0 +1,43 @@
+package corpus
+
+import "testing"
+
+func BenchmarkGeneratePubMed(b *testing.B) {
+	spec := GenSpec{Format: FormatPubMed, TargetBytes: 1 << 20, Sources: 8, Seed: 1}
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(spec)
+	}
+}
+
+func BenchmarkGenerateTREC(b *testing.B) {
+	spec := GenSpec{Format: FormatTREC, TargetBytes: 1 << 20, Sources: 8, Seed: 1}
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(spec)
+	}
+}
+
+func BenchmarkParsePubMed(b *testing.B) {
+	src := Generate(GenSpec{Format: FormatPubMed, TargetBytes: 1 << 20, Sources: 1, Seed: 2})[0]
+	b.SetBytes(src.Size())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePubMed(src.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTREC(b *testing.B) {
+	src := Generate(GenSpec{Format: FormatTREC, TargetBytes: 1 << 20, Sources: 1, Seed: 2})[0]
+	b.SetBytes(src.Size())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTREC(src.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

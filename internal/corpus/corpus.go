@@ -1,0 +1,150 @@
+// Package corpus defines the document model of the text engine — sources,
+// records, fields, terms (paper §2.1) — together with parsers and writers
+// for two on-disk formats (MEDLINE-style tagged records as used by PubMed,
+// and TREC-style SGML documents as used by the GOV2 collection), synthetic
+// corpus generators that stand in for those two proprietary-scale datasets,
+// and the byte-balanced static source partitioner of paper §3.2.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Field is one named span of text within a record ("each record is a set of
+// fields, and each field is a collection of terms").
+type Field struct {
+	Name string
+	Text string
+}
+
+// Record is one document: an external identifier plus its fields.
+type Record struct {
+	ID     string
+	Fields []Field
+}
+
+// Text returns the record's fields concatenated with single spaces, in field
+// order. Useful for whole-document tokenization.
+func (r *Record) Text() string {
+	switch len(r.Fields) {
+	case 0:
+		return ""
+	case 1:
+		return r.Fields[0].Text
+	}
+	n := 0
+	for _, f := range r.Fields {
+		n += len(f.Text) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, f := range r.Fields {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, f.Text...)
+	}
+	return string(buf)
+}
+
+// Format identifies the record encoding of a source.
+type Format int
+
+const (
+	// FormatPubMed is the MEDLINE-style tagged format: "TAG - text"
+	// continuation lines, records separated by blank lines.
+	FormatPubMed Format = iota
+	// FormatTREC is the GOV2-style SGML format: <DOC>…</DOC> with
+	// <DOCNO>, <TITLE> and <TEXT> elements.
+	FormatTREC
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatPubMed:
+		return "pubmed"
+	case FormatTREC:
+		return "trec"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// Source is one "file" of a dataset: a named byte blob holding records in a
+// given format.
+type Source struct {
+	Name   string
+	Format Format
+	Data   []byte
+}
+
+// Size returns the source size in bytes.
+func (s *Source) Size() int64 { return int64(len(s.Data)) }
+
+// Parse decodes every record in the source.
+func Parse(src *Source) ([]Record, error) {
+	switch src.Format {
+	case FormatPubMed:
+		return ParsePubMed(src.Data)
+	case FormatTREC:
+		return ParseTREC(src.Data)
+	default:
+		return nil, fmt.Errorf("corpus: source %q has unknown format %d", src.Name, int(src.Format))
+	}
+}
+
+// TotalBytes sums the sizes of the sources.
+func TotalBytes(sources []*Source) int64 {
+	var n int64
+	for _, s := range sources {
+		n += s.Size()
+	}
+	return n
+}
+
+// Partition statically assigns sources to p ranks balanced by byte size
+// (paper §3.2: "static partitioning of sources is based on the size of
+// individual documents/records (bytes) and ensures load balance"). The
+// assignment is deterministic: sources are considered in decreasing size
+// (ties broken by name) and each goes to the currently least-loaded rank
+// (ties broken by lowest rank).
+func Partition(sources []*Source, p int) [][]*Source {
+	if p <= 0 {
+		return nil
+	}
+	order := make([]*Source, len(sources))
+	copy(order, sources)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Size() != order[j].Size() {
+			return order[i].Size() > order[j].Size()
+		}
+		return order[i].Name < order[j].Name
+	})
+	parts := make([][]*Source, p)
+	loads := make([]int64, p)
+	for _, s := range order {
+		best := 0
+		for r := 1; r < p; r++ {
+			if loads[r] < loads[best] {
+				best = r
+			}
+		}
+		parts[best] = append(parts[best], s)
+		loads[best] += s.Size()
+	}
+	return parts
+}
+
+// FromTexts wraps plain strings as a single-source corpus (one record per
+// string, a single "text" field), for examples and tests.
+func FromTexts(name string, docs []string) *Source {
+	recs := make([]Record, len(docs))
+	for i, d := range docs {
+		recs[i] = Record{
+			ID:     fmt.Sprintf("%s-%06d", name, i+1),
+			Fields: []Field{{Name: "text", Text: d}},
+		}
+	}
+	return &Source{Name: name, Format: FormatPubMed, Data: EncodePubMed(recs)}
+}

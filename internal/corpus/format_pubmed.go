@@ -1,0 +1,127 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// The MEDLINE-style tagged format used for PubMed-like sources:
+//
+//	PMID- 17532812
+//	TI  - Parallel text processing at scale.
+//	AB  - We describe a scalable implementation of a text
+//	      processing engine used in visual analytics tools.
+//
+// Each record starts with a PMID line; every other line is "TAG - text"
+// with a four-character, space-padded tag; lines starting with six spaces
+// continue the previous field; a blank line terminates the record.
+
+const pubmedContinuation = "      " // six spaces
+
+// pubmedTag renders a field name as a four-character tag.
+func pubmedTag(name string) string {
+	tag := strings.ToUpper(name)
+	if len(tag) > 4 {
+		tag = tag[:4]
+	}
+	for len(tag) < 4 {
+		tag += " "
+	}
+	return tag
+}
+
+// EncodePubMed renders records in the MEDLINE-style tagged format. Long
+// field texts are wrapped at approximately 72 columns using continuation
+// lines, as MEDLINE exports do.
+func EncodePubMed(records []Record) []byte {
+	var b bytes.Buffer
+	for _, r := range records {
+		fmt.Fprintf(&b, "PMID- %s\n", r.ID)
+		for _, f := range r.Fields {
+			writeWrapped(&b, pubmedTag(f.Name)+"- ", f.Text)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// writeWrapped writes prefix+text with soft wrapping at word boundaries near
+// 72 columns; continuation lines are indented with six spaces.
+func writeWrapped(b *bytes.Buffer, prefix, text string) {
+	const width = 72
+	b.WriteString(prefix)
+	col := len(prefix)
+	first := true
+	for _, word := range strings.Fields(text) {
+		if !first && col+1+len(word) > width {
+			b.WriteByte('\n')
+			b.WriteString(pubmedContinuation)
+			col = len(pubmedContinuation)
+		} else if !first {
+			b.WriteByte(' ')
+			col++
+		}
+		b.WriteString(word)
+		col += len(word)
+		first = false
+	}
+	b.WriteByte('\n')
+}
+
+// ParsePubMed decodes MEDLINE-style tagged records.
+func ParsePubMed(data []byte) ([]Record, error) {
+	var records []Record
+	var cur *Record
+	var curField *Field
+	flushField := func() {
+		if cur != nil && curField != nil {
+			cur.Fields = append(cur.Fields, *curField)
+			curField = nil
+		}
+	}
+	flushRecord := func() {
+		flushField()
+		if cur != nil {
+			records = append(records, *cur)
+			cur = nil
+		}
+	}
+	lineNo := 0
+	for len(data) > 0 {
+		lineNo++
+		nl := bytes.IndexByte(data, '\n')
+		var line []byte
+		if nl < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:nl], data[nl+1:]
+		}
+		switch {
+		case len(bytes.TrimSpace(line)) == 0:
+			flushRecord()
+		case bytes.HasPrefix(line, []byte(pubmedContinuation)):
+			if curField == nil {
+				return nil, fmt.Errorf("corpus: pubmed line %d: continuation without field", lineNo)
+			}
+			curField.Text += " " + string(bytes.TrimSpace(line))
+		case len(line) >= 6 && line[4] == '-' && line[5] == ' ':
+			tag := strings.TrimSpace(string(line[:4]))
+			text := string(line[6:])
+			if tag == "PMID" {
+				flushRecord()
+				cur = &Record{ID: text}
+				continue
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("corpus: pubmed line %d: field %q before PMID", lineNo, tag)
+			}
+			flushField()
+			curField = &Field{Name: strings.ToLower(tag), Text: text}
+		default:
+			return nil, fmt.Errorf("corpus: pubmed line %d: malformed line %q", lineNo, string(line))
+		}
+	}
+	flushRecord()
+	return records, nil
+}

@@ -1,0 +1,99 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// The TREC GOV2-style SGML format:
+//
+//	<DOC>
+//	<DOCNO>GX000-00-0000000</DOCNO>
+//	<TITLE>Department budget report</TITLE>
+//	<TEXT>
+//	... page text, possibly containing residual HTML markup ...
+//	</TEXT>
+//	</DOC>
+//
+// GOV2 holds crawled .gov pages plus text extracted from PDF/Word/Postscript,
+// so TEXT bodies are free-form and may contain markup the tokenizer must
+// treat as delimiters.
+
+// EncodeTREC renders records as TREC SGML documents. The record ID becomes
+// DOCNO; a field named "title" becomes TITLE; all other fields are emitted in
+// order inside a single TEXT element separated by blank lines.
+func EncodeTREC(records []Record) []byte {
+	var b bytes.Buffer
+	for _, r := range records {
+		b.WriteString("<DOC>\n")
+		fmt.Fprintf(&b, "<DOCNO>%s</DOCNO>\n", r.ID)
+		var body []string
+		for _, f := range r.Fields {
+			if strings.EqualFold(f.Name, "title") {
+				fmt.Fprintf(&b, "<TITLE>%s</TITLE>\n", f.Text)
+			} else {
+				body = append(body, f.Text)
+			}
+		}
+		b.WriteString("<TEXT>\n")
+		b.WriteString(strings.Join(body, "\n\n"))
+		b.WriteString("\n</TEXT>\n</DOC>\n")
+	}
+	return b.Bytes()
+}
+
+// ParseTREC decodes TREC SGML documents. Titles parse into a "title" field
+// and TEXT bodies into a "text" field, so EncodeTREC followed by ParseTREC
+// preserves title/body structure (multiple body fields merge into one).
+func ParseTREC(data []byte) ([]Record, error) {
+	var records []Record
+	rest := data
+	docNo := 0
+	for {
+		start := bytes.Index(rest, []byte("<DOC>"))
+		if start < 0 {
+			if len(bytes.TrimSpace(rest)) != 0 {
+				return nil, fmt.Errorf("corpus: trec: trailing garbage after document %d", docNo)
+			}
+			return records, nil
+		}
+		rest = rest[start+len("<DOC>"):]
+		end := bytes.Index(rest, []byte("</DOC>"))
+		if end < 0 {
+			return nil, fmt.Errorf("corpus: trec: document %d missing </DOC>", docNo+1)
+		}
+		doc := rest[:end]
+		rest = rest[end+len("</DOC>"):]
+		docNo++
+
+		rec := Record{}
+		if id, ok := sgmlElement(doc, "DOCNO"); ok {
+			rec.ID = strings.TrimSpace(id)
+		} else {
+			return nil, fmt.Errorf("corpus: trec: document %d missing DOCNO", docNo)
+		}
+		if title, ok := sgmlElement(doc, "TITLE"); ok {
+			rec.Fields = append(rec.Fields, Field{Name: "title", Text: strings.TrimSpace(title)})
+		}
+		if text, ok := sgmlElement(doc, "TEXT"); ok {
+			rec.Fields = append(rec.Fields, Field{Name: "text", Text: strings.TrimSpace(text)})
+		}
+		records = append(records, rec)
+	}
+}
+
+// sgmlElement extracts the inner text of the first <tag>…</tag> element.
+func sgmlElement(doc []byte, tag string) (string, bool) {
+	open := []byte("<" + tag + ">")
+	close := []byte("</" + tag + ">")
+	i := bytes.Index(doc, open)
+	if i < 0 {
+		return "", false
+	}
+	j := bytes.Index(doc[i+len(open):], close)
+	if j < 0 {
+		return "", false
+	}
+	return string(doc[i+len(open) : i+len(open)+j]), true
+}

@@ -1,0 +1,70 @@
+package corpus
+
+import "strings"
+
+// Synthetic vocabulary construction. Words are built deterministically from
+// a syllable alphabet, optionally prefixed with domain stems so PubMed-like
+// and TREC-like corpora read differently; indexes decode uniquely so the
+// vocabulary has no duplicates by construction (a dedup pass guards the
+// stem-prefixed cases).
+
+var syllables = []string{
+	"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+	"ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+	"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+	"ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+	"ta", "te", "ti", "to", "tu", "va", "ve", "vi", "vo", "vu",
+}
+
+// pubmedStems flavour the medical corpus (PubMed abstracts are "consistent
+// in both size and language type", §4.1).
+var pubmedStems = []string{
+	"cardi", "neuro", "onco", "immuno", "patho", "hepat", "nephro", "derma",
+	"gastro", "hemato", "pulmo", "osteo", "cyto", "geno", "proteo", "lipo",
+	"thermo", "chemo", "radio", "bio",
+}
+
+// trecStems flavour the .gov web corpus.
+var trecStems = []string{
+	"fed", "gov", "pol", "reg", "tax", "env", "edu", "agri",
+	"trans", "health", "energy", "budget", "grant", "census", "trade", "labor",
+}
+
+// syllableWord encodes index i as a unique syllable sequence of at least
+// minSyl syllables.
+func syllableWord(i, minSyl int) string {
+	var sb strings.Builder
+	n := i
+	count := 0
+	for n > 0 || count < minSyl {
+		sb.WriteString(syllables[n%len(syllables)])
+		n /= len(syllables)
+		count++
+	}
+	return sb.String()
+}
+
+// BuildVocabulary returns size distinct words for the given corpus format.
+// The construction is deterministic: the same (format, size) always yields
+// the same word list, so tests and figures are reproducible.
+func BuildVocabulary(format Format, size int) []string {
+	stems := pubmedStems
+	if format == FormatTREC {
+		stems = trecStems
+	}
+	words := make([]string, 0, size)
+	seen := make(map[string]bool, size)
+	for i := 0; len(words) < size; i++ {
+		var w string
+		if i%3 == 0 {
+			w = stems[(i/3)%len(stems)] + syllableWord(i/3/len(stems), 1)
+		} else {
+			w = syllableWord(i, 2)
+		}
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	return words
+}

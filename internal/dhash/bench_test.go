@@ -1,0 +1,67 @@
+package dhash
+
+import (
+	"fmt"
+	"testing"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+func BenchmarkInsertDistinct(b *testing.B) {
+	terms := make([]string, 10000)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("term%06d", i)
+	}
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+					m := New(c, armci.New(c))
+					for j := c.Rank(); j < len(terms); j += c.Size() {
+						m.Insert(terms[j])
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInsertCached(b *testing.B) {
+	// Re-inserting a seen term is a pure cache hit.
+	_, err := cluster.Run(1, simtime.Zero(), func(c *cluster.Comm) error {
+		m := New(c, armci.New(c))
+		m.Insert("hot")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Insert("hot")
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFinalize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+			m := New(c, armci.New(c))
+			for j := 0; j < 5000; j++ {
+				m.Insert(fmt.Sprintf("w%05d", j))
+			}
+			m.Finalize()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

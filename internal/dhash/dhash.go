@@ -1,0 +1,227 @@
+// Package dhash implements the paper's scalable distributed hashmap: the
+// global vocabulary map built collectively by all ranks during scanning.
+// Terms are hash-partitioned across ranks; inserting a new term is an ARMCI
+// remote procedure call to the owner, which assigns a provisional global
+// term ID. After scanning, Finalize renumbers the vocabulary into dense IDs
+// 0..N-1 ordered lexicographically within each owner — a deterministic
+// numbering that downstream stages (term statistics, topicality, inverted
+// index) use to index global arrays.
+package dhash
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+)
+
+// insert handler name in the armci registry.
+const handlerInsert = "dhash.insert"
+
+// shard is one rank's partition of the vocabulary.
+type shard struct {
+	mu    sync.Mutex
+	ids   map[string]int64 // term -> local sequence number
+	terms []string         // local sequence number -> term
+
+	// Populated by Finalize.
+	sortedIdx []int64 // local sequence number -> lexicographic index
+	sorted    []string
+}
+
+// Map is one rank's handle to the distributed vocabulary hashmap.
+type Map struct {
+	c      *cluster.Comm
+	rpc    *armci.Registry
+	shards []*shard // shared across ranks; shards[r] owned by rank r
+
+	// cache memoizes owner replies so each rank pays at most one RPC per
+	// distinct term, as a batched ARMCI implementation would.
+	cache map[string]int64
+
+	// Populated by Finalize.
+	finalized bool
+	prefix    []int64 // dense ID base per owner rank; len P+1
+}
+
+// sharedState is broadcast from rank 0 at creation.
+type sharedState struct {
+	shards []*shard
+}
+
+// New collectively creates an empty distributed hashmap on the given
+// registry. Every rank must call New.
+func New(c *cluster.Comm, rpc *armci.Registry) *Map {
+	var ss *sharedState
+	if c.Rank() == 0 {
+		ss = &sharedState{shards: make([]*shard, c.Size())}
+		for r := range ss.shards {
+			ss.shards[r] = &shard{ids: make(map[string]int64)}
+		}
+	}
+	got := c.Bcast(0, ss, 64)
+	ss = got.(*sharedState)
+	m := &Map{
+		c:      c,
+		rpc:    rpc,
+		shards: ss.shards,
+		cache:  make(map[string]int64),
+	}
+	mine := ss.shards[c.Rank()]
+	rpc.Register(handlerInsert, func(arg any) any {
+		term := arg.(string)
+		mine.mu.Lock()
+		id, ok := mine.ids[term]
+		if !ok {
+			id = int64(len(mine.terms))
+			mine.ids[term] = id
+			mine.terms = append(mine.terms, term)
+		}
+		mine.mu.Unlock()
+		return id
+	})
+	c.Barrier() // all handlers registered before any rank inserts
+	return m
+}
+
+// Owner returns the rank owning a term's vocabulary entry.
+func (m *Map) Owner(term string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(term))
+	return int(h.Sum32() % uint32(m.c.Size()))
+}
+
+// Insert returns the provisional global ID of term, inserting it if new.
+// Provisional IDs encode (owner, local sequence): id = local*P + owner.
+// They are unique but depend on insertion interleaving; call Finalize and
+// Dense for the stable numbering.
+func (m *Map) Insert(term string) int64 {
+	if id, ok := m.cache[term]; ok {
+		return id
+	}
+	owner := m.Owner(term)
+	bytes := float64(len(term) + 8)
+	local := m.rpc.Call(owner, handlerInsert, term, bytes, 8).(int64)
+	id := local*int64(m.c.Size()) + int64(owner)
+	m.cache[term] = id
+	return id
+}
+
+// Lookup returns the provisional ID of a term and whether it exists, without
+// inserting. It pays a one-sided lookup cost when the owner is remote.
+func (m *Map) Lookup(term string) (int64, bool) {
+	if id, ok := m.cache[term]; ok {
+		return id, true
+	}
+	owner := m.Owner(term)
+	sh := m.shards[owner]
+	sh.mu.Lock()
+	local, ok := sh.ids[term]
+	sh.mu.Unlock()
+	if owner != m.c.Rank() {
+		m.c.Clock().Advance(m.c.Model().OneSidedCost(float64(len(term) + 8)))
+	}
+	if !ok {
+		return 0, false
+	}
+	return local*int64(m.c.Size()) + int64(owner), true
+}
+
+// LocalCount returns the number of vocabulary entries owned by this rank.
+func (m *Map) LocalCount() int64 {
+	sh := m.shards[m.c.Rank()]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return int64(len(sh.terms))
+}
+
+// Finalize collectively freezes the vocabulary and computes the dense
+// renumbering: each owner sorts its terms lexicographically, and dense IDs
+// are assigned contiguously per owner in rank order. For a fixed P the
+// numbering depends only on the vocabulary *set* — never on scan
+// interleaving — so repeated runs agree bit-for-bit. Across different P the
+// hash partition changes the numbering, so cross-P tests compare term-keyed
+// quantities. Returns the global vocabulary size N.
+func (m *Map) Finalize() int64 {
+	m.c.Barrier() // all inserts complete
+	mine := m.shards[m.c.Rank()]
+	mine.mu.Lock()
+	order := make([]int64, len(mine.terms))
+	for i := range order {
+		order[i] = int64(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return mine.terms[order[a]] < mine.terms[order[b]] })
+	mine.sortedIdx = make([]int64, len(order))
+	mine.sorted = make([]string, len(order))
+	for sortedPos, localID := range order {
+		mine.sortedIdx[localID] = int64(sortedPos)
+		mine.sorted[sortedPos] = mine.terms[localID]
+	}
+	localN := int64(len(mine.terms))
+	mine.mu.Unlock()
+
+	counts := m.c.AllgatherInt64(localN)
+	m.prefix = make([]int64, m.c.Size()+1)
+	for r, cnt := range counts {
+		m.prefix[r+1] = m.prefix[r] + cnt
+	}
+	// Charge replication of the remap tables (each rank will translate its
+	// provisional IDs against every owner's table, traffic a physical run
+	// would pay as an allgather of V/P-sized tables).
+	remote := m.prefix[m.c.Size()] - localN
+	m.c.Clock().Advance(m.c.Model().OneSidedCost(float64(8 * remote)))
+	m.finalized = true
+	m.c.Barrier()
+	return m.prefix[m.c.Size()]
+}
+
+// N returns the global vocabulary size; valid after Finalize.
+func (m *Map) N() int64 {
+	m.mustBeFinal()
+	return m.prefix[m.c.Size()]
+}
+
+// Dense converts a provisional ID from Insert into its dense global ID in
+// 0..N-1; valid after Finalize.
+func (m *Map) Dense(provisional int64) int64 {
+	m.mustBeFinal()
+	p := int64(m.c.Size())
+	owner := provisional % p
+	local := provisional / p
+	return m.prefix[owner] + m.shards[owner].sortedIdx[local]
+}
+
+// Term returns the term string for a dense global ID; valid after Finalize.
+func (m *Map) Term(dense int64) string {
+	m.mustBeFinal()
+	owner := sort.Search(m.c.Size(), func(r int) bool { return m.prefix[r+1] > dense })
+	return m.shards[owner].sorted[dense-m.prefix[owner]]
+}
+
+// DenseLookup returns the dense ID for a term string, if present; valid
+// after Finalize.
+func (m *Map) DenseLookup(term string) (int64, bool) {
+	m.mustBeFinal()
+	owner := m.Owner(term)
+	sh := m.shards[owner]
+	local, ok := sh.ids[term]
+	if !ok {
+		return 0, false
+	}
+	return m.prefix[owner] + sh.sortedIdx[local], true
+}
+
+// DenseRange returns the dense-ID range [lo,hi) owned by rank r — the term
+// partition used by the statistics and topicality stages.
+func (m *Map) DenseRange(r int) (lo, hi int64) {
+	m.mustBeFinal()
+	return m.prefix[r], m.prefix[r+1]
+}
+
+func (m *Map) mustBeFinal() {
+	if !m.finalized {
+		panic("dhash: map not finalized")
+	}
+}

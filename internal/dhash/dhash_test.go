@@ -1,0 +1,277 @@
+package dhash
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+// newMap wires up a map inside a rank body.
+func newMap(c *cluster.Comm) *Map {
+	return New(c, armci.New(c))
+}
+
+func TestInsertAssignsStableIDs(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			m := newMap(c)
+			a := m.Insert("alpha")
+			b := m.Insert("beta")
+			a2 := m.Insert("alpha")
+			if a != a2 {
+				return fmt.Errorf("re-insert changed id: %d vs %d", a, a2)
+			}
+			if a == b {
+				return fmt.Errorf("distinct terms share id %d", a)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestConcurrentInsertsSameVocabulary(t *testing.T) {
+	// All ranks insert overlapping term sets; after Finalize the global
+	// vocabulary must contain each term exactly once with dense IDs 0..N-1.
+	for _, p := range []int{1, 2, 3, 8} {
+		terms := make([]string, 100)
+		for i := range terms {
+			terms[i] = fmt.Sprintf("term%03d", i)
+		}
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			m := newMap(c)
+			prov := make([]int64, len(terms))
+			// Each rank inserts a shifted ordering so owners see
+			// different interleavings.
+			for i := range terms {
+				j := (i + c.Rank()*13) % len(terms)
+				prov[j] = m.Insert(terms[j])
+			}
+			n := m.Finalize()
+			if n != int64(len(terms)) {
+				return fmt.Errorf("N=%d want %d", n, len(terms))
+			}
+			seen := make(map[int64]string)
+			for i, pid := range prov {
+				d := m.Dense(pid)
+				if d < 0 || d >= n {
+					return fmt.Errorf("dense id %d out of range", d)
+				}
+				if prev, dup := seen[d]; dup && prev != terms[i] {
+					return fmt.Errorf("dense id %d maps to %q and %q", d, prev, terms[i])
+				}
+				seen[d] = terms[i]
+				if got := m.Term(d); got != terms[i] {
+					return fmt.Errorf("Term(%d)=%q want %q", d, got, terms[i])
+				}
+				if got, ok := m.DenseLookup(terms[i]); !ok || got != d {
+					return fmt.Errorf("DenseLookup(%q)=(%d,%v) want %d", terms[i], got, ok, d)
+				}
+			}
+			if len(seen) != len(terms) {
+				return fmt.Errorf("%d dense ids for %d terms", len(seen), len(terms))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestDenseIDsDeterministicAcrossRuns(t *testing.T) {
+	// With a fixed P, dense numbering depends only on the vocabulary set,
+	// not on insertion order — run twice with different per-rank orders.
+	const p = 4
+	terms := make([]string, 60)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("w%02d", i)
+	}
+	runOnce := func(seed int64) map[string]int64 {
+		out := make(map[string]int64)
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			m := newMap(c)
+			order := rand.New(rand.NewSource(seed + int64(c.Rank()))).Perm(len(terms))
+			for _, i := range order {
+				m.Insert(terms[i])
+			}
+			m.Finalize()
+			if c.Rank() == 0 {
+				for _, term := range terms {
+					id, ok := m.DenseLookup(term)
+					if !ok {
+						return fmt.Errorf("missing %q", term)
+					}
+					out[term] = id
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := runOnce(1), runOnce(999)
+	for term, id := range a {
+		if b[term] != id {
+			t.Fatalf("term %q: dense id %d vs %d across insertion orders", term, id, b[term])
+		}
+	}
+}
+
+func TestDenseRangePartition(t *testing.T) {
+	_, err := cluster.Run(4, simtime.Zero(), func(c *cluster.Comm) error {
+		m := newMap(c)
+		for i := 0; i < 50; i++ {
+			m.Insert(fmt.Sprintf("tok%d", i))
+		}
+		n := m.Finalize()
+		var covered int64
+		prevHi := int64(0)
+		for r := 0; r < 4; r++ {
+			lo, hi := m.DenseRange(r)
+			if lo != prevHi {
+				return fmt.Errorf("range gap at rank %d", r)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != n {
+			return fmt.Errorf("ranges cover %d of %d", covered, n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupWithoutInsert(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		m := newMap(c)
+		if c.Rank() == 0 {
+			m.Insert("present")
+		}
+		c.Barrier()
+		if _, ok := m.Lookup("absent"); ok {
+			return fmt.Errorf("found absent term")
+		}
+		if _, ok := m.Lookup("present"); !ok {
+			return fmt.Errorf("did not find present term")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnfinalizedAccessPanics(t *testing.T) {
+	_, err := cluster.Run(1, simtime.Zero(), func(c *cluster.Comm) error {
+		m := newMap(c)
+		m.Insert("x")
+		m.Term(0) // must panic: not finalized
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic for pre-Finalize Term access")
+	}
+}
+
+func TestLocalCountSumsToN(t *testing.T) {
+	_, err := cluster.Run(4, simtime.Zero(), func(c *cluster.Comm) error {
+		m := newMap(c)
+		for i := 0; i < 37; i++ {
+			m.Insert(fmt.Sprintf("q%02d", i))
+		}
+		c.Barrier()
+		total := c.AllreduceSumInt(m.LocalCount())
+		if total != 37 {
+			return fmt.Errorf("local counts sum to %d want 37", total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseNumberingIsSortedPerOwner(t *testing.T) {
+	// Within one owner's dense range, terms are lexicographically sorted.
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		m := newMap(c)
+		words := []string{"zeta", "alpha", "mu", "beta", "omega", "kappa", "nu"}
+		for _, wd := range words {
+			m.Insert(wd)
+		}
+		m.Finalize()
+		for r := 0; r < 3; r++ {
+			lo, hi := m.DenseRange(r)
+			var prev string
+			for d := lo; d < hi; d++ {
+				term := m.Term(d)
+				if d > lo && term <= prev {
+					return fmt.Errorf("rank %d dense range unsorted: %q after %q", r, term, prev)
+				}
+				prev = term
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomVocabularies(t *testing.T) {
+	f := func(raw []string, pRaw uint8) bool {
+		p := int(pRaw%4) + 1
+		// Sanitize: drop empties, dedupe.
+		set := make(map[string]bool)
+		for _, s := range raw {
+			if s != "" && len(s) < 64 {
+				set[s] = true
+			}
+		}
+		terms := make([]string, 0, len(set))
+		for s := range set {
+			terms = append(terms, s)
+		}
+		sort.Strings(terms)
+		ok := true
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			m := newMap(c)
+			for i := range terms {
+				m.Insert(terms[(i+c.Rank())%len(terms)])
+			}
+			n := m.Finalize()
+			if n != int64(len(terms)) {
+				ok = false
+				return nil
+			}
+			ids := make(map[int64]bool)
+			for _, term := range terms {
+				id, found := m.DenseLookup(term)
+				if !found || ids[id] || m.Term(id) != term {
+					ok = false
+					return nil
+				}
+				ids[id] = true
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package ga implements the Global Arrays programming model the paper builds
+// on: dense one-dimensional arrays physically block-distributed across the
+// ranks of a cluster.World, accessed through one-sided Get/Put/Acc
+// operations and an atomic ReadInc (fetch-and-increment), with locality
+// queries so code can exploit the NUMA structure the model deliberately
+// exposes.
+//
+// Within this in-process reproduction a "remote" access is a synchronized
+// read/write of the owner's shard; the origin rank's virtual clock is charged
+// the one-sided transfer cost for remote portions and a memory-copy cost for
+// local portions, mirroring the traffic a physical Global Arrays run would
+// generate. Like the original toolkit, concurrent one-sided accesses to
+// overlapping regions are unordered unless the caller separates them with
+// Sync (a barrier) or uses the atomic ReadInc.
+package ga
+
+import (
+	"fmt"
+	"sync"
+
+	"inspire/internal/cluster"
+)
+
+// number constrains array element types.
+type number interface{ ~int64 | ~float64 }
+
+// shared is the process-wide descriptor of one global array.
+type shared[T number] struct {
+	name   string
+	n      int64
+	bounds []int64 // len P+1; shard r spans [bounds[r], bounds[r+1])
+	shards [][]T
+	locks  []sync.RWMutex
+}
+
+// Array is one rank's handle to a global array of element type T.
+type Array[T number] struct {
+	c *cluster.Comm
+	s *shared[T]
+}
+
+const elemBytes = 8
+
+// tag used for the creation broadcast; distinct from collective tags.
+const tagCreate = 2000
+
+// Create collectively allocates a global array of n elements with an even
+// block distribution (shard r spans [r*n/P, (r+1)*n/P)). Every rank must
+// call Create with identical arguments.
+func Create[T number](c *cluster.Comm, name string, n int64) *Array[T] {
+	p := int64(c.Size())
+	bounds := make([]int64, p+1)
+	for r := int64(0); r <= p; r++ {
+		bounds[r] = r * n / p
+	}
+	return createWithBounds[T](c, name, bounds)
+}
+
+// CreateIrregular collectively allocates a global array in which rank r owns
+// exactly localN elements (each rank passes its own count). Used for
+// forward-index token streams whose per-rank lengths differ.
+func CreateIrregular[T number](c *cluster.Comm, name string, localN int64) *Array[T] {
+	counts := c.AllgatherInt64(localN)
+	bounds := make([]int64, c.Size()+1)
+	for r, cnt := range counts {
+		bounds[r+1] = bounds[r] + cnt
+	}
+	return createWithBounds[T](c, name, bounds)
+}
+
+func createWithBounds[T number](c *cluster.Comm, name string, bounds []int64) *Array[T] {
+	var s *shared[T]
+	if c.Rank() == 0 {
+		p := c.Size()
+		s = &shared[T]{
+			name:   name,
+			n:      bounds[p],
+			bounds: bounds,
+			shards: make([][]T, p),
+			locks:  make([]sync.RWMutex, p),
+		}
+		for r := 0; r < p; r++ {
+			s.shards[r] = make([]T, bounds[r+1]-bounds[r])
+		}
+	}
+	got := c.Bcast(0, s, 64)
+	return &Array[T]{c: c, s: got.(*shared[T])}
+}
+
+// Name returns the array's debug name.
+func (a *Array[T]) Name() string { return a.s.name }
+
+// N returns the global length.
+func (a *Array[T]) N() int64 { return a.s.n }
+
+// Distribution returns the half-open global index range owned by rank r.
+func (a *Array[T]) Distribution(r int) (lo, hi int64) {
+	return a.s.bounds[r], a.s.bounds[r+1]
+}
+
+// Owner returns the rank owning global index i.
+func (a *Array[T]) Owner(i int64) int {
+	// Binary search over bounds.
+	lo, hi := 0, len(a.s.bounds)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if a.s.bounds[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Access returns the calling rank's local shard for direct, zero-cost reads
+// and writes — the locality escape hatch Global Arrays provides. The caller
+// must separate conflicting direct access and one-sided access with Sync.
+func (a *Array[T]) Access() []T {
+	return a.s.shards[a.c.Rank()]
+}
+
+// AccessRank returns rank r's shard. Intended for post-Sync read-only phases
+// (e.g. rank 0 collecting results); charges nothing.
+func (a *Array[T]) AccessRank(r int) []T {
+	return a.s.shards[r]
+}
+
+// Sync is a barrier that orders one-sided operations: all operations issued
+// before Sync are complete after it, on every rank.
+func (a *Array[T]) Sync() { a.c.Barrier() }
+
+// forEachShard walks the shards overlapping [lo,hi) and invokes fn with the
+// shard rank, the global start of the overlap, and the overlap length.
+func (a *Array[T]) forEachShard(lo, hi int64, fn func(rank int, start, n int64)) {
+	if lo < 0 || hi > a.s.n || lo > hi {
+		panic(fmt.Sprintf("ga: %s range [%d,%d) out of bounds (n=%d)", a.s.name, lo, hi, a.s.n))
+	}
+	r := a.Owner(lo)
+	for lo < hi {
+		shardHi := a.s.bounds[r+1]
+		end := hi
+		if shardHi < end {
+			end = shardHi
+		}
+		if end > lo {
+			fn(r, lo, end-lo)
+		}
+		lo = end
+		r++
+	}
+}
+
+// charge bills the origin clock for touching n elements of rank r's shard.
+func (a *Array[T]) charge(r int, n int64) {
+	m := a.c.Model()
+	bytes := float64(n * elemBytes)
+	if r == a.c.Rank() {
+		a.c.Clock().Advance(m.LocalCopyCost(bytes))
+	} else {
+		a.c.Clock().Advance(m.OneSidedCost(bytes))
+	}
+}
+
+// Get copies the global range [lo, lo+len(out)) into out.
+func (a *Array[T]) Get(lo int64, out []T) {
+	hi := lo + int64(len(out))
+	a.forEachShard(lo, hi, func(r int, start, n int64) {
+		sh := a.s.shards[r]
+		off := start - a.s.bounds[r]
+		a.s.locks[r].RLock()
+		copy(out[start-lo:start-lo+n], sh[off:off+n])
+		a.s.locks[r].RUnlock()
+		a.charge(r, n)
+	})
+}
+
+// Put copies vals into the global range [lo, lo+len(vals)).
+func (a *Array[T]) Put(lo int64, vals []T) {
+	hi := lo + int64(len(vals))
+	a.forEachShard(lo, hi, func(r int, start, n int64) {
+		sh := a.s.shards[r]
+		off := start - a.s.bounds[r]
+		a.s.locks[r].Lock()
+		copy(sh[off:off+n], vals[start-lo:start-lo+n])
+		a.s.locks[r].Unlock()
+		a.charge(r, n)
+	})
+}
+
+// Acc atomically adds vals into the global range [lo, lo+len(vals)).
+// Concurrent Acc calls to overlapping ranges serialize per shard, matching
+// the GA accumulate semantics.
+func (a *Array[T]) Acc(lo int64, vals []T) {
+	hi := lo + int64(len(vals))
+	a.forEachShard(lo, hi, func(r int, start, n int64) {
+		sh := a.s.shards[r]
+		off := start - a.s.bounds[r]
+		a.s.locks[r].Lock()
+		for i := int64(0); i < n; i++ {
+			sh[off+i] += vals[start-lo+i]
+		}
+		a.s.locks[r].Unlock()
+		a.charge(r, n)
+	})
+}
+
+// ReadInc atomically adds inc to element i and returns the previous value —
+// the GA fetch-and-increment underpinning the paper's shared task queue.
+func (a *Array[T]) ReadInc(i int64, inc T) T {
+	if i < 0 || i >= a.s.n {
+		panic(fmt.Sprintf("ga: %s ReadInc index %d out of bounds (n=%d)", a.s.name, i, a.s.n))
+	}
+	r := a.Owner(i)
+	off := i - a.s.bounds[r]
+	a.s.locks[r].Lock()
+	old := a.s.shards[r][off]
+	a.s.shards[r][off] = old + inc
+	a.s.locks[r].Unlock()
+	m := a.c.Model()
+	if r == a.c.Rank() {
+		a.c.Clock().Advance(m.LocalCopyCost(elemBytes))
+	} else {
+		a.c.Clock().Advance(m.AtomicCost)
+	}
+	return old
+}
+
+// GetOne reads a single element.
+func (a *Array[T]) GetOne(i int64) T {
+	var buf [1]T
+	a.Get(i, buf[:])
+	return buf[0]
+}
+
+// PutOne writes a single element.
+func (a *Array[T]) PutOne(i int64, v T) {
+	buf := [1]T{v}
+	a.Put(i, buf[:])
+}
+
+// Zero resets the calling rank's shard to the zero value; collective callers
+// should pair it with Sync.
+func (a *Array[T]) Zero() {
+	sh := a.Access()
+	for i := range sh {
+		var z T
+		sh[i] = z
+	}
+}

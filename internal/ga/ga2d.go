@@ -1,0 +1,114 @@
+package ga
+
+import (
+	"fmt"
+
+	"inspire/internal/cluster"
+)
+
+// Array2D is a dense two-dimensional global array distributed by row blocks
+// across ranks — the GA shape the paper uses for the term-to-term
+// association matrix and the index tables. Rows are contiguous in the
+// backing store and row blocks align with rank boundaries, so any row is one
+// contiguous one-sided transfer. Rectangular patches move with Get2D/Put2D/
+// Acc2D; locally owned rows are accessible directly.
+type Array2D[T number] struct {
+	rows, cols int64
+	flat       *Array[T]
+}
+
+// Create2D collectively allocates a rows x cols global array with an even
+// row-block distribution. Every rank must call it with identical arguments.
+func Create2D[T number](c *cluster.Comm, name string, rows, cols int64) *Array2D[T] {
+	if rows < 0 || cols <= 0 {
+		panic(fmt.Sprintf("ga: %s: invalid shape %dx%d", name, rows, cols))
+	}
+	p := int64(c.Size())
+	r := int64(c.Rank())
+	myRows := (r+1)*rows/p - r*rows/p
+	flat := CreateIrregular[T](c, name, myRows*cols)
+	return &Array2D[T]{rows: rows, cols: cols, flat: flat}
+}
+
+// Shape returns (rows, cols).
+func (a *Array2D[T]) Shape() (rows, cols int64) { return a.rows, a.cols }
+
+// RowDistribution returns the half-open row range owned by rank r.
+func (a *Array2D[T]) RowDistribution(r int) (lo, hi int64) {
+	flo, fhi := a.flat.Distribution(r)
+	return flo / a.cols, fhi / a.cols
+}
+
+// RowOwner returns the rank owning row i.
+func (a *Array2D[T]) RowOwner(i int64) int { return a.flat.Owner(i * a.cols) }
+
+// AccessRows returns the calling rank's local row block as one row-major
+// slice (zero-cost direct access) together with its starting global row.
+func (a *Array2D[T]) AccessRows() (rows []T, firstRow int64) {
+	lo, _ := a.RowDistribution(a.flat.c.Rank())
+	return a.flat.Access(), lo
+}
+
+// GetRow copies global row i into out (len(out) == cols).
+func (a *Array2D[T]) GetRow(i int64, out []T) {
+	a.checkRow(i)
+	if int64(len(out)) != a.cols {
+		panic("ga: GetRow buffer size mismatch")
+	}
+	a.flat.Get(i*a.cols, out)
+}
+
+// PutRow writes global row i from vals (len(vals) == cols).
+func (a *Array2D[T]) PutRow(i int64, vals []T) {
+	a.checkRow(i)
+	if int64(len(vals)) != a.cols {
+		panic("ga: PutRow buffer size mismatch")
+	}
+	a.flat.Put(i*a.cols, vals)
+}
+
+// Get2D copies the patch [rowLo, rowLo+h) x [colLo, colLo+w) into out
+// (row-major, len h*w).
+func (a *Array2D[T]) Get2D(rowLo, colLo, h, w int64, out []T) {
+	a.checkPatch(rowLo, colLo, h, w, int64(len(out)))
+	for r := int64(0); r < h; r++ {
+		a.flat.Get((rowLo+r)*a.cols+colLo, out[r*w:(r+1)*w])
+	}
+}
+
+// Put2D writes the patch [rowLo, rowLo+h) x [colLo, colLo+w) from vals
+// (row-major, len h*w).
+func (a *Array2D[T]) Put2D(rowLo, colLo, h, w int64, vals []T) {
+	a.checkPatch(rowLo, colLo, h, w, int64(len(vals)))
+	for r := int64(0); r < h; r++ {
+		a.flat.Put((rowLo+r)*a.cols+colLo, vals[r*w:(r+1)*w])
+	}
+}
+
+// Acc2D atomically adds the patch [rowLo, rowLo+h) x [colLo, colLo+w).
+func (a *Array2D[T]) Acc2D(rowLo, colLo, h, w int64, vals []T) {
+	a.checkPatch(rowLo, colLo, h, w, int64(len(vals)))
+	for r := int64(0); r < h; r++ {
+		a.flat.Acc((rowLo+r)*a.cols+colLo, vals[r*w:(r+1)*w])
+	}
+}
+
+// Sync is a barrier ordering one-sided operations.
+func (a *Array2D[T]) Sync() { a.flat.Sync() }
+
+func (a *Array2D[T]) checkRow(i int64) {
+	if i < 0 || i >= a.rows {
+		panic(fmt.Sprintf("ga: %s row %d out of bounds (rows=%d)", a.flat.Name(), i, a.rows))
+	}
+}
+
+func (a *Array2D[T]) checkPatch(rowLo, colLo, h, w, n int64) {
+	if rowLo < 0 || colLo < 0 || h < 0 || w < 0 ||
+		rowLo+h > a.rows || colLo+w > a.cols {
+		panic(fmt.Sprintf("ga: %s patch [%d,%d)+%dx%d out of bounds (%dx%d)",
+			a.flat.Name(), rowLo, colLo, h, w, a.rows, a.cols))
+	}
+	if n != h*w {
+		panic("ga: patch buffer size mismatch")
+	}
+}

@@ -1,0 +1,171 @@
+package ga
+
+import (
+	"fmt"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+func TestArray2DRowDistribution(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			a := Create2D[float64](c, "m", 37, 5)
+			rows, cols := a.Shape()
+			if rows != 37 || cols != 5 {
+				return fmt.Errorf("shape %dx%d", rows, cols)
+			}
+			var covered int64
+			prevHi := int64(0)
+			for r := 0; r < p; r++ {
+				lo, hi := a.RowDistribution(r)
+				if lo != prevHi {
+					return fmt.Errorf("row gap at rank %d", r)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != 37 {
+				return fmt.Errorf("covered %d rows", covered)
+			}
+			for i := int64(0); i < 37; i++ {
+				owner := a.RowOwner(i)
+				lo, hi := a.RowDistribution(owner)
+				if i < lo || i >= hi {
+					return fmt.Errorf("row %d owner %d range [%d,%d)", i, owner, lo, hi)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestArray2DRowRoundTrip(t *testing.T) {
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		a := Create2D[int64](c, "rt", 10, 4)
+		if c.Rank() == 0 {
+			for i := int64(0); i < 10; i++ {
+				row := []int64{i, i * 10, i * 100, i * 1000}
+				a.PutRow(i, row)
+			}
+		}
+		a.Sync()
+		buf := make([]int64, 4)
+		for i := int64(0); i < 10; i++ {
+			a.GetRow(i, buf)
+			if buf[0] != i || buf[3] != i*1000 {
+				return fmt.Errorf("row %d: %v", i, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArray2DPatchOps(t *testing.T) {
+	_, err := cluster.Run(4, simtime.Zero(), func(c *cluster.Comm) error {
+		a := Create2D[float64](c, "patch", 12, 6)
+		// Every rank accumulates 1.0 into an interior patch.
+		patch := make([]float64, 3*4)
+		for i := range patch {
+			patch[i] = 1
+		}
+		a.Acc2D(4, 1, 3, 4, patch)
+		a.Sync()
+		got := make([]float64, 3*4)
+		a.Get2D(4, 1, 3, 4, got)
+		for i, v := range got {
+			if v != 4 {
+				return fmt.Errorf("patch[%d]=%g want 4", i, v)
+			}
+		}
+		// Outside the patch stays zero.
+		outside := make([]float64, 6)
+		a.Get2D(0, 0, 1, 6, outside)
+		for i, v := range outside {
+			if v != 0 {
+				return fmt.Errorf("outside[%d]=%g", i, v)
+			}
+		}
+		// Put overwrites. The Sync *before* the put is required: one-sided
+		// semantics let rank 0's put race with the reads above otherwise.
+		a.Sync()
+		if c.Rank() == 0 {
+			a.Put2D(4, 1, 3, 4, patch)
+		}
+		a.Sync()
+		a.Get2D(4, 1, 3, 4, got)
+		for i, v := range got {
+			if v != 1 {
+				return fmt.Errorf("after put patch[%d]=%g want 1", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArray2DAccessRows(t *testing.T) {
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		a := Create2D[int64](c, "local", 9, 2)
+		rows, first := a.AccessRows()
+		lo, hi := a.RowDistribution(c.Rank())
+		if first != lo || int64(len(rows)) != (hi-lo)*2 {
+			return fmt.Errorf("local block: first=%d len=%d range [%d,%d)", first, len(rows), lo, hi)
+		}
+		for i := range rows {
+			rows[i] = first*2 + int64(i)
+		}
+		a.Sync()
+		// Read back through global gets.
+		buf := make([]int64, 2)
+		for i := int64(0); i < 9; i++ {
+			a.GetRow(i, buf)
+			if buf[0] != i*2 || buf[1] != i*2+1 {
+				return fmt.Errorf("row %d: %v", i, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArray2DBoundsPanics(t *testing.T) {
+	cases := []func(a *Array2D[int64]){
+		func(a *Array2D[int64]) { a.GetRow(-1, make([]int64, 4)) },
+		func(a *Array2D[int64]) { a.GetRow(100, make([]int64, 4)) },
+		func(a *Array2D[int64]) { a.GetRow(0, make([]int64, 3)) },
+		func(a *Array2D[int64]) { a.Get2D(0, 0, 20, 2, make([]int64, 40)) },
+		func(a *Array2D[int64]) { a.Get2D(0, 3, 1, 4, make([]int64, 4)) },
+		func(a *Array2D[int64]) { a.Get2D(0, 0, 2, 2, make([]int64, 5)) },
+	}
+	for i, tc := range cases {
+		_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+			a := Create2D[int64](c, "oob2d", 10, 4)
+			if c.Rank() == 0 {
+				tc(a)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Errorf("case %d: expected panic", i)
+		}
+	}
+	_, err := cluster.Run(1, simtime.Zero(), func(c *cluster.Comm) error {
+		Create2D[int64](c, "badshape", 4, 0)
+		return nil
+	})
+	if err == nil {
+		t.Error("zero cols should panic")
+	}
+}

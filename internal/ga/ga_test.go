@@ -1,0 +1,314 @@
+package ga
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+var testSizes = []int{1, 2, 3, 4, 7, 8}
+
+func TestDistributionCoversArray(t *testing.T) {
+	for _, p := range testSizes {
+		for _, n := range []int64{0, 1, 5, 64, 1000} {
+			_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+				a := Create[int64](c, "t", n)
+				if a.N() != n {
+					return fmt.Errorf("N=%d want %d", a.N(), n)
+				}
+				var covered int64
+				prevHi := int64(0)
+				for r := 0; r < p; r++ {
+					lo, hi := a.Distribution(r)
+					if lo != prevHi {
+						return fmt.Errorf("gap at rank %d: lo=%d prev=%d", r, lo, prevHi)
+					}
+					covered += hi - lo
+					prevHi = hi
+				}
+				if covered != n || prevHi != n {
+					return fmt.Errorf("coverage %d of %d", covered, n)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d n=%d: %v", p, n, err)
+			}
+		}
+	}
+}
+
+func TestOwnerMatchesDistribution(t *testing.T) {
+	_, err := cluster.Run(5, simtime.Zero(), func(c *cluster.Comm) error {
+		a := Create[float64](c, "own", 103)
+		for i := int64(0); i < 103; i++ {
+			r := a.Owner(i)
+			lo, hi := a.Distribution(r)
+			if i < lo || i >= hi {
+				return fmt.Errorf("owner(%d)=%d but range [%d,%d)", i, r, lo, hi)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTripAcrossShards(t *testing.T) {
+	for _, p := range testSizes {
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			const n = 97
+			a := Create[int64](c, "rt", n)
+			// Rank 0 writes a pattern spanning every shard; all read back.
+			if c.Rank() == 0 {
+				vals := make([]int64, n)
+				for i := range vals {
+					vals[i] = int64(i * i)
+				}
+				a.Put(0, vals)
+			}
+			a.Sync()
+			out := make([]int64, n)
+			a.Get(0, out)
+			for i, v := range out {
+				if v != int64(i*i) {
+					return fmt.Errorf("rank %d: [%d]=%d want %d", c.Rank(), i, v, i*i)
+				}
+			}
+			// Partial window crossing a boundary.
+			lo := int64(n/2 - 3)
+			win := make([]int64, 7)
+			a.Get(lo, win)
+			for i, v := range win {
+				want := (lo + int64(i)) * (lo + int64(i))
+				if v != want {
+					return fmt.Errorf("window [%d]=%d want %d", i, v, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAccSumsContributionsFromAllRanks(t *testing.T) {
+	for _, p := range testSizes {
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			const n = 40
+			a := Create[float64](c, "acc", n)
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(c.Rank() + 1)
+			}
+			a.Acc(0, vals)
+			a.Sync()
+			out := make([]float64, n)
+			a.Get(0, out)
+			want := float64(p*(p+1)) / 2
+			for i, v := range out {
+				if v != want {
+					return fmt.Errorf("[%d]=%g want %g", i, v, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestReadIncLinearizable(t *testing.T) {
+	// Every rank increments the shared counter k times; the observed
+	// values must be a permutation of 0..kp-1 and the final value kp.
+	for _, p := range testSizes {
+		const k = 200
+		seen := make([]int64, k*p)
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			a := Create[int64](c, "ctr", 1)
+			for i := 0; i < k; i++ {
+				v := a.ReadInc(0, 1)
+				if v < 0 || v >= int64(k*p) {
+					return fmt.Errorf("out of range ticket %d", v)
+				}
+				atomic.AddInt64(&seen[v], 1)
+			}
+			a.Sync()
+			if got := a.GetOne(0); got != int64(k*p) {
+				return fmt.Errorf("final=%d want %d", got, k*p)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for v, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("p=%d: ticket %d seen %d times", p, v, cnt)
+			}
+		}
+	}
+}
+
+func TestCreateIrregular(t *testing.T) {
+	_, err := cluster.Run(4, simtime.Zero(), func(c *cluster.Comm) error {
+		localN := int64(c.Rank() * 10) // ranks own 0,10,20,30 elements
+		a := CreateIrregular[int64](c, "irr", localN)
+		if a.N() != 60 {
+			return fmt.Errorf("N=%d want 60", a.N())
+		}
+		lo, hi := a.Distribution(c.Rank())
+		if hi-lo != localN {
+			return fmt.Errorf("rank %d owns %d want %d", c.Rank(), hi-lo, localN)
+		}
+		// Each rank writes its own range via local access; all read back.
+		sh := a.Access()
+		for i := range sh {
+			sh[i] = int64(c.Rank())
+		}
+		a.Sync()
+		all := make([]int64, 60)
+		a.Get(0, all)
+		for r := 0; r < 4; r++ {
+			rlo, rhi := a.Distribution(r)
+			for i := rlo; i < rhi; i++ {
+				if all[i] != int64(r) {
+					return fmt.Errorf("[%d]=%d want %d", i, all[i], r)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessRankVisibilityAfterSync(t *testing.T) {
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		a := Create[float64](c, "vis", 30)
+		sh := a.Access()
+		for i := range sh {
+			sh[i] = float64(c.Rank()) + 0.5
+		}
+		a.Sync()
+		if c.Rank() == 0 {
+			for r := 0; r < 3; r++ {
+				for _, v := range a.AccessRank(r) {
+					if v != float64(r)+0.5 {
+						return fmt.Errorf("rank %d shard has %g", r, v)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZero(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		a := Create[int64](c, "z", 10)
+		sh := a.Access()
+		for i := range sh {
+			sh[i] = 9
+		}
+		a.Sync()
+		a.Zero()
+		a.Sync()
+		out := make([]int64, 10)
+		a.Get(0, out)
+		for i, v := range out {
+			if v != 0 {
+				return fmt.Errorf("[%d]=%d after Zero", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	cases := []func(a *Array[int64]){
+		func(a *Array[int64]) { a.Get(-1, make([]int64, 1)) },
+		func(a *Array[int64]) { a.Get(5, make([]int64, 10)) },
+		func(a *Array[int64]) { a.Put(9, make([]int64, 2)) },
+		func(a *Array[int64]) { a.ReadInc(10, 1) },
+		func(a *Array[int64]) { a.ReadInc(-1, 1) },
+	}
+	for i, tc := range cases {
+		_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+			a := Create[int64](c, "oob", 10)
+			if c.Rank() == 0 {
+				tc(a)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("case %d: expected out-of-bounds panic", i)
+		}
+	}
+}
+
+func TestRemoteAccessChargesMoreThanLocal(t *testing.T) {
+	w, err := cluster.Run(2, nil, func(c *cluster.Comm) error {
+		a := Create[float64](c, "cost", 1000)
+		buf := make([]float64, 400)
+		if c.Rank() == 0 {
+			a.Get(0, buf) // local half
+		} else {
+			a.Get(0, buf) // remote half (rank 1 reading rank 0's shard)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := w.Clocks()[0].Now()
+	remote := w.Clocks()[1].Now()
+	if remote <= local {
+		t.Errorf("remote get (%g) should cost more than local get (%g)", remote, local)
+	}
+}
+
+func TestPutGetQuick(t *testing.T) {
+	// Property: for any pattern written by rank 0 after a sync, every rank
+	// reads back exactly that pattern.
+	f := func(vals []int64, pRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		p := int(pRaw%4) + 1
+		ok := true
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			a := Create[int64](c, "q", int64(len(vals)))
+			if c.Rank() == 0 {
+				a.Put(0, vals)
+			}
+			a.Sync()
+			out := make([]int64, len(vals))
+			a.Get(0, out)
+			for i := range out {
+				if out[i] != vals[i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package ga
+
+import "sort"
+
+// Indexed (scatter/gather) operations, the analogues of ga_gather and
+// ga_scatter_acc in the Global Arrays toolkit. Elements are grouped by owner
+// shard so each touched owner is charged a single one-sided transfer of the
+// aggregate payload, matching how GA vectors element lists into per-owner
+// messages.
+
+// GetIndexed reads the elements at the given global indexes into out
+// (len(out) == len(idxs)).
+func (a *Array[T]) GetIndexed(idxs []int64, out []T) {
+	if len(out) != len(idxs) {
+		panic("ga: GetIndexed length mismatch")
+	}
+	a.byOwner(idxs, func(r int, positions []int) {
+		sh := a.s.shards[r]
+		base := a.s.bounds[r]
+		a.s.locks[r].RLock()
+		for _, pos := range positions {
+			out[pos] = sh[idxs[pos]-base]
+		}
+		a.s.locks[r].RUnlock()
+		// Index list travels out, values travel back: 16 bytes per element.
+		a.chargeBytes(r, int64(16*len(positions)))
+	})
+}
+
+// ScatterAcc atomically adds vals[i] to element idxs[i] for every i.
+// Duplicate indexes accumulate.
+func (a *Array[T]) ScatterAcc(idxs []int64, vals []T) {
+	if len(vals) != len(idxs) {
+		panic("ga: ScatterAcc length mismatch")
+	}
+	a.byOwner(idxs, func(r int, positions []int) {
+		sh := a.s.shards[r]
+		base := a.s.bounds[r]
+		a.s.locks[r].Lock()
+		for _, pos := range positions {
+			sh[idxs[pos]-base] += vals[pos]
+		}
+		a.s.locks[r].Unlock()
+		// Index+value pairs travel: 16 bytes per element.
+		a.chargeBytes(r, int64(16*len(positions)))
+	})
+}
+
+// byOwner groups element positions by owning rank and invokes fn once per
+// owner, in ascending rank order (deterministic traffic pattern).
+func (a *Array[T]) byOwner(idxs []int64, fn func(rank int, positions []int)) {
+	if len(idxs) == 0 {
+		return
+	}
+	positions := make([]int, len(idxs))
+	for i := range positions {
+		if idxs[i] < 0 || idxs[i] >= a.s.n {
+			panic("ga: indexed op out of bounds")
+		}
+		positions[i] = i
+	}
+	sort.Slice(positions, func(x, y int) bool { return idxs[positions[x]] < idxs[positions[y]] })
+	start := 0
+	for start < len(positions) {
+		r := a.Owner(idxs[positions[start]])
+		hi := a.s.bounds[r+1]
+		end := start
+		for end < len(positions) && idxs[positions[end]] < hi {
+			end++
+		}
+		fn(r, positions[start:end])
+		start = end
+	}
+}
+
+// chargeBytes bills the origin clock for an explicit byte volume touching
+// rank r's shard.
+func (a *Array[T]) chargeBytes(r int, bytes int64) {
+	m := a.c.Model()
+	if r == a.c.Rank() {
+		a.c.Clock().Advance(m.LocalCopyCost(float64(bytes)))
+	} else {
+		a.c.Clock().Advance(m.OneSidedCost(float64(bytes)))
+	}
+}

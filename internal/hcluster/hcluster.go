@@ -1,0 +1,371 @@
+// Package hcluster implements the alternative clustering family the paper
+// names in §3.5: "other types of clustering could be applied that would
+// enable different means to explore the relationships of the data (e.g.,
+// hierarchical clustering: single-link, complete, and various adaptive
+// cutting approaches)".
+//
+// Agglomerative clustering is quadratic in the number of points, so — as
+// with the projection stage, which uses the k-means centroids as a
+// representative sample — the hierarchy is built over a bounded,
+// deterministically chosen sample of document signatures; every remaining
+// document joins the cluster of its nearest sample point. The pairwise
+// distance matrix is computed in parallel (each rank scores the sample
+// against its local documents and a block of sample pairs); the
+// agglomeration itself is replicated on every rank from identical inputs,
+// so all ranks hold the same dendrogram without further communication.
+package hcluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"inspire/internal/cluster"
+)
+
+// Linkage selects the inter-cluster distance update.
+type Linkage int
+
+const (
+	// SingleLink merges on the minimum pairwise distance (chains).
+	SingleLink Linkage = iota
+	// CompleteLink merges on the maximum pairwise distance (compact).
+	CompleteLink
+	// AverageLink merges on the unweighted average distance (UPGMA).
+	AverageLink
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLink:
+		return "single"
+	case CompleteLink:
+		return "complete"
+	case AverageLink:
+		return "average"
+	default:
+		return fmt.Sprintf("linkage(%d)", int(l))
+	}
+}
+
+// Merge records one agglomeration step: clusters A and B (indexes into the
+// node numbering: 0..n-1 are leaves, n+k is the cluster created by merge k)
+// joined at the given linkage distance.
+type Merge struct {
+	A, B int
+	Dist float64
+}
+
+// Dendrogram is the full agglomeration history over the sample.
+type Dendrogram struct {
+	// SampleDocs holds the global document IDs of the sample leaves.
+	SampleDocs []int64
+	// SampleVecs holds the corresponding signature vectors.
+	SampleVecs [][]float64
+	// Merges lists the n-1 agglomeration steps in order.
+	Merges []Merge
+	// Linkage records the linkage used.
+	Linkage Linkage
+}
+
+// Config tunes Build.
+type Config struct {
+	// Linkage selects the merge criterion. Default SingleLink.
+	Linkage Linkage
+	// MaxSample bounds the number of sampled signatures. Default 512.
+	MaxSample int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxSample <= 0 {
+		cfg.MaxSample = 512
+	}
+	return cfg
+}
+
+// Build collectively constructs the dendrogram over a deterministic sample
+// of the non-null local signatures. All ranks return an identical value.
+func Build(c *cluster.Comm, vecs [][]float64, docIDs []int64, cfg Config) (*Dendrogram, error) {
+	cfg = cfg.withDefaults()
+
+	// Deterministic global sample: every rank nominates its locally
+	// smallest document IDs with non-null signatures; the global sample is
+	// the smallest MaxSample doc IDs overall. Using Scored with score =
+	// -doc makes MergeTopK pick exactly those, identically everywhere.
+	local := make([]cluster.Scored, 0, len(vecs))
+	for i, v := range vecs {
+		if v != nil {
+			local = append(local, cluster.Scored{ID: docIDs[i], Score: -float64(docIDs[i])})
+		}
+	}
+	sort.Slice(local, func(a, b int) bool {
+		if local[a].Score != local[b].Score {
+			return local[a].Score > local[b].Score
+		}
+		return local[a].ID < local[b].ID
+	})
+	chosen := c.MergeTopK(local, cfg.MaxSample)
+	if len(chosen) == 0 {
+		return nil, fmt.Errorf("hcluster: no non-null signatures to cluster")
+	}
+	wanted := make(map[int64]int, len(chosen))
+	for i, s := range chosen {
+		wanted[s.ID] = i
+	}
+
+	// Gather the sample vectors: each rank contributes the vectors of the
+	// chosen documents it owns; element-wise sum assembles them (each slot
+	// has exactly one contributor).
+	var m int
+	for _, v := range vecs {
+		if v != nil {
+			m = len(v)
+			break
+		}
+	}
+	mAll := c.AllreduceMaxFloat64([]float64{float64(m)})
+	m = int(mAll[0])
+	flat := make([]float64, len(chosen)*m)
+	for i, v := range vecs {
+		if v == nil {
+			continue
+		}
+		if slot, ok := wanted[docIDs[i]]; ok {
+			copy(flat[slot*m:(slot+1)*m], v)
+		}
+	}
+	flat = c.AllreduceSumFloat64(flat)
+
+	d := &Dendrogram{Linkage: cfg.Linkage}
+	d.SampleDocs = make([]int64, len(chosen))
+	d.SampleVecs = make([][]float64, len(chosen))
+	for i, s := range chosen {
+		d.SampleDocs[i] = s.ID
+		d.SampleVecs[i] = flat[i*m : (i+1)*m]
+	}
+
+	// Pairwise distances over the sample, computed in parallel by row
+	// blocks and assembled with an allreduce.
+	n := len(chosen)
+	dist := make([]float64, n*n)
+	lo := c.Rank() * n / c.Size()
+	hi := (c.Rank() + 1) * n / c.Size()
+	var flops float64
+	for i := lo; i < hi; i++ {
+		for j := i + 1; j < n; j++ {
+			dd := euclid(d.SampleVecs[i], d.SampleVecs[j])
+			dist[i*n+j] = dd
+			dist[j*n+i] = dd
+			flops += float64(3 * m)
+		}
+	}
+	c.Clock().Advance(c.Model().FlopCost(flops))
+	dist = c.AllreduceSumFloat64(dist)
+
+	d.Merges = agglomerate(dist, n, cfg.Linkage)
+	c.Clock().Advance(c.Model().FlopCost(float64(n) * float64(n) * float64(len(d.Merges)) / 8))
+	return d, nil
+}
+
+// euclid returns the Euclidean distance.
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		diff := a[i] - b[i]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// agglomerate runs Lance-Williams agglomeration over the distance matrix.
+// Nodes 0..n-1 are leaves; merge k creates node n+k. Deterministic: ties
+// break on the smaller (A, B) pair.
+func agglomerate(dist []float64, n int, linkage Linkage) []Merge {
+	if n <= 1 {
+		return nil
+	}
+	// active cluster set; cluster index -> current matrix slot.
+	type clus struct {
+		node int // dendrogram node id
+		size int
+	}
+	active := make([]clus, n)
+	for i := range active {
+		active[i] = clus{node: i, size: 1}
+	}
+	// Work on a copy to keep Build's matrix intact for callers.
+	w := make([]float64, len(dist))
+	copy(w, dist)
+	slotDist := func(a, b int) float64 { return w[a*n+b] }
+	setDist := func(a, b int, v float64) {
+		w[a*n+b] = v
+		w[b*n+a] = v
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	var merges []Merge
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for a := 0; a < n; a++ {
+			if !alive[a] {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if !alive[b] {
+					continue
+				}
+				dd := slotDist(a, b)
+				if dd < bestD || (dd == bestD && (a < bestA || (a == bestA && b < bestB))) {
+					bestA, bestB, bestD = a, b, dd
+				}
+			}
+		}
+		merges = append(merges, Merge{A: active[bestA].node, B: active[bestB].node, Dist: bestD})
+		// Lance-Williams update into slot bestA.
+		sa := float64(active[bestA].size)
+		sb := float64(active[bestB].size)
+		for x := 0; x < n; x++ {
+			if !alive[x] || x == bestA || x == bestB {
+				continue
+			}
+			da := slotDist(bestA, x)
+			db := slotDist(bestB, x)
+			var nd float64
+			switch linkage {
+			case SingleLink:
+				nd = math.Min(da, db)
+			case CompleteLink:
+				nd = math.Max(da, db)
+			default: // AverageLink (UPGMA)
+				nd = (sa*da + sb*db) / (sa + sb)
+			}
+			setDist(bestA, x, nd)
+		}
+		active[bestA] = clus{node: n + step, size: active[bestA].size + active[bestB].size}
+		alive[bestB] = false
+	}
+	return merges
+}
+
+// CutResult maps sample leaves to clusters after cutting the dendrogram.
+type CutResult struct {
+	// K is the resulting cluster count.
+	K int
+	// Leaf[i] is the cluster of sample leaf i.
+	Leaf []int
+	// Height is the distance threshold that produced the cut.
+	Height float64
+}
+
+// CutK cuts the dendrogram into exactly k clusters (stopping k-1 merges
+// early). k is clamped to [1, leaves].
+func (d *Dendrogram) CutK(k int) *CutResult {
+	n := len(d.SampleDocs)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	stop := n - k // number of merges to apply
+	return d.cut(stop)
+}
+
+// CutAdaptive implements an adaptive cutting approach: it stops merging at
+// the largest relative jump in merge distance (the "knee"), a standard
+// heuristic for picking the natural cluster count, bounded to [minK, maxK].
+func (d *Dendrogram) CutAdaptive(minK, maxK int) *CutResult {
+	n := len(d.SampleDocs)
+	if n <= 2 {
+		return d.CutK(n)
+	}
+	if minK < 1 {
+		minK = 1
+	}
+	if maxK <= 0 || maxK > n {
+		maxK = n
+	}
+	bestK, bestJump := minK, -1.0
+	for k := minK; k <= maxK && k < n; k++ {
+		// Cutting to k clusters applies merges [0, n-k); the first merge
+		// NOT applied is index n-k. A large jump from the last applied
+		// merge to that one marks a natural cut.
+		idx := n - k
+		if idx <= 0 || idx >= len(d.Merges) {
+			continue
+		}
+		jump := d.Merges[idx].Dist - d.Merges[idx-1].Dist
+		if jump > bestJump {
+			bestJump, bestK = jump, k
+		}
+	}
+	return d.CutK(bestK)
+}
+
+// cut applies the first `stop` merges and labels leaves by component.
+func (d *Dendrogram) cut(stop int) *CutResult {
+	n := len(d.SampleDocs)
+	parent := make([]int, n+stop)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	height := 0.0
+	for s := 0; s < stop; s++ {
+		mg := d.Merges[s]
+		ra, rb := find(mg.A), find(mg.B)
+		node := n + s
+		parent[ra] = node
+		parent[rb] = node
+		height = mg.Dist
+	}
+	labels := make(map[int]int)
+	out := &CutResult{Leaf: make([]int, n), Height: height}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		id, ok := labels[root]
+		if !ok {
+			id = len(labels)
+			labels[root] = id
+		}
+		out.Leaf[i] = id
+	}
+	out.K = len(labels)
+	return out
+}
+
+// AssignAll labels every local document with the cluster of its nearest
+// sample leaf under the given cut (-1 for null signatures). Local work only.
+func (d *Dendrogram) AssignAll(c *cluster.Comm, vecs [][]float64, cut *CutResult) []int {
+	out := make([]int, len(vecs))
+	var flops float64
+	for i, v := range vecs {
+		if v == nil {
+			out[i] = -1
+			continue
+		}
+		best, bestD := 0, math.Inf(1)
+		for s, sv := range d.SampleVecs {
+			dd := euclid(sv, v)
+			if dd < bestD {
+				best, bestD = s, dd
+			}
+		}
+		flops += float64(3 * len(v) * len(d.SampleVecs))
+		out[i] = cut.Leaf[best]
+	}
+	c.Clock().Advance(c.Model().FlopCost(flops))
+	return out
+}

@@ -1,0 +1,270 @@
+package hcluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+// twoBlobs builds two well-separated groups in 3-D split across p ranks.
+func twoBlobs(n int, p, rank int, seed int64) (vecs [][]float64, ids []int64, labels map[int64]int) {
+	rng := rand.New(rand.NewSource(seed))
+	labels = make(map[int64]int)
+	for i := 0; i < n; i++ {
+		group := i % 2
+		v := []float64{float64(group) * 50, float64(group) * 50, 0}
+		for d := range v {
+			v[d] += rng.NormFloat64() * 0.5
+		}
+		labels[int64(i)] = group
+		if i%p == rank {
+			vecs = append(vecs, v)
+			ids = append(ids, int64(i))
+		}
+	}
+	return vecs, ids, labels
+}
+
+func TestBuildSeparatesBlobs(t *testing.T) {
+	for _, link := range []Linkage{SingleLink, CompleteLink, AverageLink} {
+		for _, p := range []int{1, 2, 4} {
+			_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+				vecs, ids, labels := twoBlobs(60, p, c.Rank(), 1)
+				d, err := Build(c, vecs, ids, Config{Linkage: link})
+				if err != nil {
+					return err
+				}
+				if len(d.Merges) != len(d.SampleDocs)-1 {
+					return fmt.Errorf("%d merges for %d leaves", len(d.Merges), len(d.SampleDocs))
+				}
+				cut := d.CutK(2)
+				if cut.K != 2 {
+					return fmt.Errorf("cut produced %d clusters", cut.K)
+				}
+				// Every sample leaf's cut label must be consistent with its
+				// true group.
+				groupToCluster := map[int]int{}
+				for leaf, doc := range d.SampleDocs {
+					g := labels[doc]
+					cl := cut.Leaf[leaf]
+					if prev, ok := groupToCluster[g]; ok && prev != cl {
+						return fmt.Errorf("%v: group %d split", link, g)
+					}
+					groupToCluster[g] = cl
+				}
+				if len(groupToCluster) != 2 {
+					return fmt.Errorf("%v: %d groups", link, len(groupToCluster))
+				}
+				// AssignAll extends consistently to all local docs.
+				assign := d.AssignAll(c, vecs, cut)
+				for i, a := range assign {
+					if a != groupToCluster[labels[ids[i]]] {
+						return fmt.Errorf("%v: doc %d assigned %d", link, ids[i], a)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("linkage=%v p=%d: %v", link, p, err)
+			}
+		}
+	}
+}
+
+func TestDendrogramIdenticalAcrossRanks(t *testing.T) {
+	results := make([]*Dendrogram, 4)
+	_, err := cluster.Run(4, simtime.Zero(), func(c *cluster.Comm) error {
+		vecs, ids, _ := twoBlobs(40, 4, c.Rank(), 3)
+		d, err := Build(c, vecs, ids, Config{Linkage: AverageLink})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = d
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if !reflect.DeepEqual(results[0].Merges, results[r].Merges) {
+			t.Fatalf("rank %d dendrogram differs", r)
+		}
+		if !reflect.DeepEqual(results[0].SampleDocs, results[r].SampleDocs) {
+			t.Fatalf("rank %d sample differs", r)
+		}
+	}
+}
+
+func TestSingleLinkChains(t *testing.T) {
+	// A line of equally spaced points plus one far outlier: single link
+	// chains the line into one cluster at k=2; complete link may not.
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		var vecs [][]float64
+		var ids []int64
+		for i := 0; i < 10; i++ {
+			if i%2 == c.Rank() {
+				vecs = append(vecs, []float64{float64(i), 0})
+				ids = append(ids, int64(i))
+			}
+		}
+		if c.Rank() == 0 {
+			vecs = append(vecs, []float64{1000, 0})
+			ids = append(ids, 10)
+		}
+		d, err := Build(c, vecs, ids, Config{Linkage: SingleLink})
+		if err != nil {
+			return err
+		}
+		cut := d.CutK(2)
+		// The outlier must be alone.
+		var outlierLeaf int
+		for leaf, doc := range d.SampleDocs {
+			if doc == 10 {
+				outlierLeaf = leaf
+			}
+		}
+		solo := cut.Leaf[outlierLeaf]
+		for leaf, doc := range d.SampleDocs {
+			if doc != 10 && cut.Leaf[leaf] == solo {
+				return fmt.Errorf("line point %d grouped with outlier", doc)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDistancesMonotoneForCompleteAndAverage(t *testing.T) {
+	// Complete and average linkage are monotone (no inversions).
+	for _, link := range []Linkage{CompleteLink, AverageLink} {
+		_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+			rng := rand.New(rand.NewSource(7 + int64(c.Rank())))
+			var vecs [][]float64
+			var ids []int64
+			for i := 0; i < 30; i++ {
+				if i%2 == c.Rank() {
+					vecs = append(vecs, []float64{rng.Float64() * 10, rng.Float64() * 10})
+					ids = append(ids, int64(i))
+				}
+			}
+			d, err := Build(c, vecs, ids, Config{Linkage: link})
+			if err != nil {
+				return err
+			}
+			for i := 1; i < len(d.Merges); i++ {
+				if d.Merges[i].Dist < d.Merges[i-1].Dist-1e-9 {
+					return fmt.Errorf("%v: inversion at merge %d: %g < %g",
+						link, i, d.Merges[i].Dist, d.Merges[i-1].Dist)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCutAdaptiveFindsTwoBlobs(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		vecs, ids, _ := twoBlobs(50, 2, c.Rank(), 11)
+		d, err := Build(c, vecs, ids, Config{Linkage: CompleteLink})
+		if err != nil {
+			return err
+		}
+		cut := d.CutAdaptive(2, 10)
+		if cut.K != 2 {
+			return fmt.Errorf("adaptive cut chose k=%d for two blobs", cut.K)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutKClamps(t *testing.T) {
+	_, err := cluster.Run(1, simtime.Zero(), func(c *cluster.Comm) error {
+		vecs := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+		ids := []int64{0, 1, 2}
+		d, err := Build(c, vecs, ids, Config{})
+		if err != nil {
+			return err
+		}
+		if got := d.CutK(0).K; got != 1 {
+			return fmt.Errorf("k=0 -> %d", got)
+		}
+		if got := d.CutK(99).K; got != 3 {
+			return fmt.Errorf("k=99 -> %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxSampleBounds(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		var vecs [][]float64
+		var ids []int64
+		for i := 0; i < 100; i++ {
+			if i%2 == c.Rank() {
+				vecs = append(vecs, []float64{float64(i)})
+				ids = append(ids, int64(i))
+			}
+		}
+		d, err := Build(c, vecs, ids, Config{MaxSample: 16})
+		if err != nil {
+			return err
+		}
+		if len(d.SampleDocs) != 16 {
+			return fmt.Errorf("sample %d want 16", len(d.SampleDocs))
+		}
+		// Deterministic choice: the 16 smallest doc IDs.
+		for i, doc := range d.SampleDocs {
+			if doc != int64(i) {
+				return fmt.Errorf("sample[%d]=%d", i, doc)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllNullFails(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		vecs := make([][]float64, 5)
+		ids := []int64{0, 1, 2, 3, 4}
+		_, err := Build(c, vecs, ids, Config{})
+		if err == nil {
+			return fmt.Errorf("expected error for all-null input")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if SingleLink.String() != "single" || CompleteLink.String() != "complete" ||
+		AverageLink.String() != "average" || Linkage(9).String() == "" {
+		t.Fatal("linkage names")
+	}
+}
+
+func TestEuclid(t *testing.T) {
+	if got := euclid([]float64{0, 3}, []float64{4, 0}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("euclid = %g", got)
+	}
+}

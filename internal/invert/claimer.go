@@ -1,0 +1,106 @@
+package invert
+
+import (
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/ga"
+)
+
+// claimer hands out load indexes under the configured strategy. claim()
+// invokes process for every load this rank wins and returns their indexes;
+// collectively, every load is processed exactly once.
+type claimer struct {
+	c     *cluster.Comm
+	loads []Load
+	opts  Options
+
+	// Per-owner segments of the (owner-ordered) load table.
+	ownerStart []int
+	ownerCount []int
+
+	// DynamicGA: one task-queue counter per owner rank, advanced by
+	// atomic fetch-and-increment.
+	queue *ga.Array[int64]
+
+	// MasterWorker: dispatcher RPC.
+	rpc *armci.Registry
+}
+
+const mwHandler = "invert.nextload"
+
+// newClaimer collectively prepares the strategy state.
+func newClaimer(c *cluster.Comm, loads []Load, opts Options) *claimer {
+	cl := &claimer{c: c, loads: loads, opts: opts}
+	p := c.Size()
+	cl.ownerStart = make([]int, p)
+	cl.ownerCount = make([]int, p)
+	for i := range loads {
+		cl.ownerCount[loads[i].Owner]++
+	}
+	for r := 1; r < p; r++ {
+		cl.ownerStart[r] = cl.ownerStart[r-1] + cl.ownerCount[r-1]
+	}
+	switch opts.Strategy {
+	case DynamicGA:
+		// One counter per owner; ga.Create distributes one element to
+		// each rank when n == P.
+		cl.queue = ga.Create[int64](c, "invert.queue", int64(p))
+		cl.queue.Sync()
+	case MasterWorker:
+		cl.rpc = opts.RPC
+		if cl.rpc == nil {
+			cl.rpc = armci.New(c)
+		}
+		if c.Rank() == 0 {
+			next := 0
+			cl.rpc.Register(mwHandler, func(any) any {
+				li := next
+				next++
+				return li
+			})
+		}
+		c.Barrier()
+	}
+	return cl
+}
+
+// claim runs the strategy's work loop.
+func (cl *claimer) claim(process func(li int)) []int {
+	var mine []int
+	switch cl.opts.Strategy {
+	case Static:
+		r := cl.c.Rank()
+		for k := 0; k < cl.ownerCount[r]; k++ {
+			li := cl.ownerStart[r] + k
+			process(li)
+			mine = append(mine, li)
+		}
+	case MasterWorker:
+		for {
+			li := cl.rpc.Call(0, mwHandler, nil, 8, 8).(int)
+			if li >= len(cl.loads) {
+				break
+			}
+			process(li)
+			mine = append(mine, li)
+		}
+	case DynamicGA:
+		// The task queue is prioritized so each process completes its
+		// own inversion loads first, then helps with loads owned by
+		// other processes (paper §3.3).
+		p := cl.c.Size()
+		for step := 0; step < p; step++ {
+			victim := (cl.c.Rank() + step) % p
+			for {
+				k := cl.queue.ReadInc(int64(victim), 1)
+				if k >= int64(cl.ownerCount[victim]) {
+					break
+				}
+				li := cl.ownerStart[victim] + int(k)
+				process(li)
+				mine = append(mine, li)
+			}
+		}
+	}
+	return mine
+}

@@ -1,0 +1,424 @@
+// Package invert implements the paper's Indexing component: parallel
+// inverted file indexing with the FAST-INV algorithm (two counting-sort
+// passes over the forward index) and the dynamic load-balancing scheme of
+// §3.3 — the forward index is published in global arrays, divided into
+// fixed-size chunks of fields ("loads"), and idle processes steal loads
+// through a GA atomic fetch-and-increment on per-owner task-queue counters,
+// each process draining its own loads first.
+//
+// Two baseline strategies are provided for the paper's comparisons: Static
+// (each process inverts only its own loads; no balancing — Figure 9's
+// counterpart) and MasterWorker (every load grab is an RPC to a rank-0
+// dispatcher — the scheme §3.3 argues does not scale).
+package invert
+
+import (
+	"fmt"
+	"sort"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/ga"
+	"inspire/internal/scan"
+	"inspire/internal/simtime"
+)
+
+// Strategy selects the load-distribution scheme.
+type Strategy int
+
+const (
+	// DynamicGA is the paper's scheme: per-owner task queues advanced by
+	// GA atomic fetch-and-increment, own loads first, then stealing.
+	DynamicGA Strategy = iota
+	// Static processes only locally owned loads.
+	Static
+	// MasterWorker requests every load from a rank-0 dispatcher RPC.
+	MasterWorker
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case DynamicGA:
+		return "dynamic-ga"
+	case Static:
+		return "static"
+	case MasterWorker:
+		return "master-worker"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// GlobalForward is the forward index published in global arrays so any
+// process can invert any load (paper: "these tables are stored in global
+// arrays, so that they are globally accessible when processes exchange
+// information during inverted file indexing").
+type GlobalForward struct {
+	Tokens   *ga.Array[int64] // concatenated token streams, rank-major
+	FieldLo  *ga.Array[int64] // global token start of each field
+	FieldLen *ga.Array[int64] // token count of each field
+	FieldDoc *ga.Array[int64] // global document ID of each field
+	NumField int64
+}
+
+// PublishForward collectively copies each rank's forward index into global
+// arrays. Local shard writes are direct memory stores (free, as in GA).
+func PublishForward(c *cluster.Comm, fwd *scan.Forward) *GlobalForward {
+	gf := &GlobalForward{}
+	gf.Tokens = ga.CreateIrregular[int64](c, "fwd.tokens", int64(len(fwd.Tokens)))
+	copy(gf.Tokens.Access(), fwd.Tokens)
+	tokBase, _ := gf.Tokens.Distribution(c.Rank())
+
+	nf := int64(len(fwd.Fields))
+	gf.FieldLo = ga.CreateIrregular[int64](c, "fwd.fieldlo", nf)
+	gf.FieldLen = ga.CreateIrregular[int64](c, "fwd.fieldlen", nf)
+	gf.FieldDoc = ga.CreateIrregular[int64](c, "fwd.fielddoc", nf)
+	lo, len_, doc := gf.FieldLo.Access(), gf.FieldLen.Access(), gf.FieldDoc.Access()
+	for i, f := range fwd.Fields {
+		lo[i] = tokBase + f.Lo
+		len_[i] = f.Hi - f.Lo
+		doc[i] = fwd.GlobalDocIDs[f.Record]
+	}
+	gf.NumField = gf.FieldLo.N()
+	c.Barrier()
+	return gf
+}
+
+// Load is one unit of inversion work: a contiguous range of fields owned by
+// one rank, covering a contiguous token range of that rank's stream.
+type Load struct {
+	Owner            int
+	FieldLo, FieldHi int64 // global field indexes
+	TokenLo, TokenHi int64 // global token range
+	Entries          int64 // distinct (term, doc) pairs; filled in pass 1
+}
+
+// Tokens returns the token count of the load.
+func (l *Load) Tokens() int64 { return l.TokenHi - l.TokenLo }
+
+// BuildLoads collectively divides the global forward index into fixed-size
+// chunks of approximately chunkTokens tokens (Kruskal-Weiss fixed-size
+// chunking). Chunks are aligned to *record* boundaries — all fields of one
+// record stay in one load — so each (term, document) pair is produced by
+// exactly one load and postings never need cross-load merging. The returned
+// table is identical on every rank, ordered by owner.
+func BuildLoads(c *cluster.Comm, gf *GlobalForward, chunkTokens int64) []Load {
+	if chunkTokens <= 0 {
+		chunkTokens = 4096
+	}
+	fLo, fHi := gf.FieldLo.Distribution(c.Rank())
+	lo := gf.FieldLo.Access()
+	ln := gf.FieldLen.Access()
+	doc := gf.FieldDoc.Access()
+	var mine []Load
+	var cur *Load
+	n := fHi - fLo
+	for i := int64(0); i < n; i++ {
+		if cur == nil {
+			mine = append(mine, Load{
+				Owner:   c.Rank(),
+				FieldLo: fLo + i, FieldHi: fLo + i,
+				TokenLo: lo[i], TokenHi: lo[i],
+			})
+			cur = &mine[len(mine)-1]
+		}
+		cur.FieldHi = fLo + i + 1
+		cur.TokenHi = lo[i] + ln[i]
+		recordEnds := i+1 >= n || doc[i+1] != doc[i]
+		if cur.Tokens() >= chunkTokens && recordEnds {
+			cur = nil
+		}
+	}
+	// Drop degenerate empty trailing loads.
+	filtered := mine[:0]
+	for _, l := range mine {
+		if l.FieldHi > l.FieldLo {
+			filtered = append(filtered, l)
+		}
+	}
+	parts := c.Allgather(filtered, float64(48*len(filtered)))
+	var all []Load
+	for _, p := range parts {
+		all = append(all, p.([]Load)...)
+	}
+	return all
+}
+
+// Index is the product of inversion: the term-to-record index with
+// per-term postings (document ID, in-document frequency), partitioned across
+// ranks by the dense-term-ID ranges of the vocabulary.
+type Index struct {
+	N int64 // vocabulary size
+
+	Counts   *ga.Array[int64] // postings per term == document frequency
+	Off      *ga.Array[int64] // start offset of each term's postings
+	PostDoc  *ga.Array[int64] // posting document IDs
+	PostFreq *ga.Array[int64] // posting frequencies
+
+	// TermLo, TermHi is the dense term range owned by the local rank.
+	TermLo, TermHi int64
+
+	// DF and CF are the local owned terms' document and collection
+	// frequencies (index i corresponds to term TermLo+i).
+	DF []int64
+	CF []int64
+
+	// Loads is the global load table with Entries filled, and Stats the
+	// per-load execution accounting for the deterministic schedule model.
+	Loads []Load
+}
+
+// Postings returns term t's postings (sorted by document ID) — a one-sided
+// read, usable from any rank after Invert.
+func (ix *Index) Postings(t int64) (docs, freqs []int64) {
+	n := ix.Counts.GetOne(t)
+	if n == 0 {
+		return nil, nil
+	}
+	off := ix.Off.GetOne(t)
+	docs = make([]int64, n)
+	freqs = make([]int64, n)
+	ix.PostDoc.Get(off, docs)
+	ix.PostFreq.Get(off, freqs)
+	return docs, freqs
+}
+
+// termBoundsFn describes the dense-term partition (from dhash.DenseRange).
+type termBoundsFn func(rank int) (lo, hi int64)
+
+// Options configures Invert.
+type Options struct {
+	Strategy    Strategy
+	ChunkTokens int64
+	// RPC is required for the MasterWorker strategy.
+	RPC *armci.Registry
+}
+
+// Invert collectively builds the term-to-record index from the published
+// forward index using the FAST-INV two-pass algorithm under the selected
+// load-distribution strategy. termBounds must describe the same partition on
+// every rank; N is the vocabulary size.
+func Invert(c *cluster.Comm, gf *GlobalForward, N int64, termBounds func(rank int) (lo, hi int64), opts Options) *Index {
+	lo, hi := termBounds(c.Rank())
+	ix := &Index{N: N, TermLo: lo, TermHi: hi}
+	ix.Counts = createTermArray(c, "inv.counts", N, termBounds)
+	ix.Off = createTermArray(c, "inv.off", N, termBounds)
+
+	loads := BuildLoads(c, gf, opts.ChunkTokens)
+	claimer := newClaimer(c, loads, opts)
+
+	// --- Pass 1: count distinct (term, doc) pairs per term. -------------
+	myEntries := make(map[int]int64) // load index -> entries
+	myLoads := claimer.claim(func(li int) {
+		pairs := invertLoad(c, gf, &loads[li])
+		idxs := make([]int64, 0, len(pairs))
+		ones := make([]int64, 0, len(pairs))
+		seen := make(map[int64]int64)
+		for _, pr := range pairs {
+			seen[pr.term]++
+		}
+		for t := range seen {
+			idxs = append(idxs, t)
+			ones = append(ones, seen[t])
+		}
+		ix.Counts.ScatterAcc(idxs, ones)
+		myEntries[li] = int64(len(pairs))
+		c.Clock().Advance(c.Model().InvertCost(float64(loads[li].Tokens())))
+	})
+	c.Barrier()
+
+	// Share per-load entry counts so the load table (and therefore the
+	// deterministic cost model) is global.
+	type entryPair struct{ Load, Entries int64 }
+	local := make([]entryPair, 0, len(myEntries))
+	for li, e := range myEntries {
+		local = append(local, entryPair{int64(li), e})
+	}
+	for _, part := range c.Allgather(local, float64(16*len(local))) {
+		for _, ep := range part.([]entryPair) {
+			loads[ep.Load].Entries = ep.Entries
+		}
+	}
+	ix.Loads = loads
+
+	// --- Offsets: local prefix over owned counts, global base via exscan.
+	counts := ix.Counts.Access()
+	var localTotal int64
+	for _, n := range counts {
+		localTotal += n
+	}
+	base, totalPostings := c.ExScanInt64(localTotal)
+	offs := ix.Off.Access()
+	run := base
+	for i, n := range counts {
+		offs[i] = run
+		run += n
+	}
+	ix.PostDoc = ga.CreateIrregular[int64](c, "inv.postdoc", localTotal)
+	ix.PostFreq = ga.CreateIrregular[int64](c, "inv.postfreq", localTotal)
+	cursor := createTermArray(c, "inv.cursor", N, termBounds)
+	copy(cursor.Access(), offs)
+	c.Barrier()
+	_ = totalPostings
+
+	// --- Pass 2: re-invert the same loads and place postings. -----------
+	for _, li := range myLoads {
+		pairs := invertLoad(c, gf, &loads[li])
+		// Group by term, preserving the deterministic (doc-ordered within
+		// a load) pair order.
+		byTerm := make(map[int64][]entry)
+		for _, pr := range pairs {
+			byTerm[pr.term] = append(byTerm[pr.term], pr)
+		}
+		terms := make([]int64, 0, len(byTerm))
+		for t := range byTerm {
+			terms = append(terms, t)
+		}
+		sort.Slice(terms, func(a, b int) bool { return terms[a] < terms[b] })
+		for _, t := range terms {
+			es := byTerm[t]
+			slot := cursor.ReadInc(t, int64(len(es)))
+			docs := make([]int64, len(es))
+			freqs := make([]int64, len(es))
+			for i, e := range es {
+				docs[i] = e.doc
+				freqs[i] = e.freq
+			}
+			ix.PostDoc.Put(slot, docs)
+			ix.PostFreq.Put(slot, freqs)
+		}
+		c.Clock().Advance(c.Model().InvertCost(float64(loads[li].Tokens())))
+	}
+	c.Barrier()
+
+	// --- Finalize at the owner: sort postings per term, derive DF/CF. ---
+	ix.finalizeOwned(c)
+	c.Barrier()
+	return ix
+}
+
+// entry is one (term, doc, freq) posting contribution.
+type entry struct{ term, doc, freq int64 }
+
+// invertLoad reads a load's fields and tokens through one-sided Gets and
+// produces its (term, doc)->freq contributions in deterministic order
+// (ascending doc, then term-insertion order within the doc).
+func invertLoad(c *cluster.Comm, gf *GlobalForward, l *Load) []entry {
+	nf := l.FieldHi - l.FieldLo
+	fLo := make([]int64, nf)
+	fLen := make([]int64, nf)
+	fDoc := make([]int64, nf)
+	gf.FieldLo.Get(l.FieldLo, fLo)
+	gf.FieldLen.Get(l.FieldLo, fLen)
+	gf.FieldDoc.Get(l.FieldLo, fDoc)
+	toks := make([]int64, l.Tokens())
+	gf.Tokens.Get(l.TokenLo, toks)
+
+	var out []entry
+	freq := make(map[int64]int64)
+	var order []int64
+	flush := func(doc int64) {
+		for _, t := range order {
+			out = append(out, entry{term: t, doc: doc, freq: freq[t]})
+			delete(freq, t)
+		}
+		order = order[:0]
+	}
+	curDoc := int64(-1)
+	for i := int64(0); i < nf; i++ {
+		if fDoc[i] != curDoc {
+			if curDoc >= 0 {
+				flush(curDoc)
+			}
+			curDoc = fDoc[i]
+		}
+		start := fLo[i] - l.TokenLo
+		for _, t := range toks[start : start+fLen[i]] {
+			if freq[t] == 0 {
+				order = append(order, t)
+			}
+			freq[t]++
+		}
+	}
+	if curDoc >= 0 {
+		flush(curDoc)
+	}
+	return out
+}
+
+// finalizeOwned sorts each owned term's postings by document ID and fills
+// DF/CF.
+func (ix *Index) finalizeOwned(c *cluster.Comm) {
+	counts := ix.Counts.Access()
+	offs := ix.Off.Access()
+	ix.DF = make([]int64, len(counts))
+	ix.CF = make([]int64, len(counts))
+	postBase, _ := ix.PostDoc.Distribution(c.Rank())
+	docs := ix.PostDoc.Access()
+	freqs := ix.PostFreq.Access()
+	var moved int64
+	for i := range counts {
+		n := counts[i]
+		if n == 0 {
+			continue
+		}
+		lo := offs[i] - postBase
+		d := docs[lo : lo+n]
+		f := freqs[lo : lo+n]
+		sort.Sort(&postingSorter{d, f})
+		ix.DF[i] = n
+		for _, fv := range f {
+			ix.CF[i] += fv
+		}
+		moved += n
+	}
+	c.Clock().Advance(c.Model().InvertCost(float64(moved)))
+}
+
+// postingSorter co-sorts docs and freqs by ascending doc.
+type postingSorter struct{ d, f []int64 }
+
+func (p *postingSorter) Len() int           { return len(p.d) }
+func (p *postingSorter) Less(i, j int) bool { return p.d[i] < p.d[j] }
+func (p *postingSorter) Swap(i, j int) {
+	p.d[i], p.d[j] = p.d[j], p.d[i]
+	p.f[i], p.f[j] = p.f[j], p.f[i]
+}
+
+// createTermArray creates an int64 global array partitioned by the dense
+// term ranges.
+func createTermArray(c *cluster.Comm, name string, n int64, termBounds func(rank int) (lo, hi int64)) *ga.Array[int64] {
+	lo, hi := termBounds(c.Rank())
+	a := ga.CreateIrregular[int64](c, name, hi-lo)
+	if a.N() != n {
+		panic(fmt.Sprintf("invert: %s: term bounds cover %d of %d", name, a.N(), n))
+	}
+	return a
+}
+
+// LoadCost returns the deterministic virtual cost of inverting one load:
+// two FAST-INV passes over its tokens, the one-sided reads of its fields and
+// tokens, and the scatter of its posting contributions (counts in pass 1,
+// doc+freq in pass 2).
+func LoadCost(m *simtime.Model, l *Load) float64 {
+	tokens := float64(l.Tokens())
+	entries := float64(l.Entries)
+	fields := float64(l.FieldHi - l.FieldLo)
+	compute := 2 * m.InvertCost(tokens)
+	comm := 2 * (m.OneSidedCost(8*tokens) + 3*m.OneSidedCost(8*fields))
+	comm += m.OneSidedCost(16*entries) * 2
+	return compute + comm
+}
+
+// LoadCosts returns the per-load cost vector and owner vector for the
+// schedule simulators.
+func LoadCosts(m *simtime.Model, loads []Load) (costs []float64, owners []int) {
+	costs = make([]float64, len(loads))
+	owners = make([]int, len(loads))
+	for i := range loads {
+		costs[i] = LoadCost(m, &loads[i])
+		owners[i] = loads[i].Owner
+	}
+	return costs, owners
+}

@@ -1,0 +1,322 @@
+package invert
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/corpus"
+	"inspire/internal/dhash"
+	"inspire/internal/scan"
+	"inspire/internal/simtime"
+)
+
+// refPosting is a reference posting list entry.
+type refPosting struct {
+	Doc  int64
+	Freq int64
+}
+
+// referenceIndex builds the expected term->postings map by scanning the
+// whole corpus serially (P=1) and inverting it with plain maps.
+func referenceIndex(t *testing.T, sources []*corpus.Source) map[string][]refPosting {
+	t.Helper()
+	ref := make(map[string][]refPosting)
+	_, err := cluster.Run(1, simtime.Zero(), func(c *cluster.Comm) error {
+		vocab := dhash.New(c, armci.New(c))
+		fwd, err := scan.Scan(c, vocab, sources, scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		for r := 0; r < fwd.NumRecords(); r++ {
+			freq := make(map[int64]int64)
+			for _, tok := range fwd.RecordTokens(r) {
+				freq[tok]++
+			}
+			doc := fwd.GlobalDocIDs[r]
+			for tok, f := range freq {
+				term := vocab.Term(tok)
+				ref[term] = append(ref[term], refPosting{Doc: doc, Freq: f})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sort postings by doc for comparability.
+	for term := range ref {
+		ps := ref[term]
+		for i := 1; i < len(ps); i++ {
+			for j := i; j > 0 && ps[j].Doc < ps[j-1].Doc; j-- {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+	}
+	return ref
+}
+
+// runInvert executes the full scan+invert under the given strategy and
+// returns the term->postings map read back through one-sided gets.
+func runInvert(t *testing.T, p int, sources []*corpus.Source, strat Strategy, chunk int64) map[string][]refPosting {
+	t.Helper()
+	out := make(map[string][]refPosting)
+	_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		parts := corpus.Partition(sources, p)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := PublishForward(c, fwd)
+		ix := Invert(c, gf, n, vocab.DenseRange, Options{Strategy: strat, ChunkTokens: chunk, RPC: rpc})
+		if c.Rank() == 0 {
+			for d := int64(0); d < n; d++ {
+				docs, freqs := ix.Postings(d)
+				term := vocab.Term(d)
+				for i := range docs {
+					out[term] = append(out[term], refPosting{Doc: docs[i], Freq: freqs[i]})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func invTestSources() []*corpus.Source {
+	return corpus.Generate(corpus.GenSpec{
+		Format: corpus.FormatPubMed, TargetBytes: 30_000, Sources: 5, Seed: 23, VocabSize: 900, Topics: 4,
+	})
+}
+
+func TestInvertMatchesReferenceAllStrategies(t *testing.T) {
+	sources := invTestSources()
+	want := referenceIndex(t, sources)
+	for _, strat := range []Strategy{DynamicGA, Static, MasterWorker} {
+		for _, p := range []int{1, 2, 4} {
+			got := runInvert(t, p, sources, strat, 512)
+			if len(got) != len(want) {
+				t.Fatalf("%v p=%d: %d terms vs %d", strat, p, len(got), len(want))
+			}
+			for term, wps := range want {
+				if !reflect.DeepEqual(got[term], wps) {
+					t.Fatalf("%v p=%d: term %q postings %v want %v", strat, p, term, got[term], wps)
+				}
+			}
+		}
+	}
+}
+
+func TestInvertTinyChunksStressStealing(t *testing.T) {
+	sources := invTestSources()
+	want := referenceIndex(t, sources)
+	// Chunk of 1 token maximizes load count and steal contention.
+	got := runInvert(t, 4, sources, DynamicGA, 1)
+	if len(got) != len(want) {
+		t.Fatalf("%d terms vs %d", len(got), len(want))
+	}
+	for term, wps := range want {
+		if !reflect.DeepEqual(got[term], wps) {
+			t.Fatalf("term %q postings differ under tiny chunks", term)
+		}
+	}
+}
+
+func TestInvertRepeatedRunsIdentical(t *testing.T) {
+	// Work stealing changes who does what, never the result.
+	sources := invTestSources()
+	a := runInvert(t, 4, sources, DynamicGA, 256)
+	b := runInvert(t, 4, sources, DynamicGA, 256)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated dynamic runs differ")
+	}
+}
+
+func TestBuildLoadsCoverEveryFieldOnce(t *testing.T) {
+	sources := invTestSources()
+	for _, p := range []int{1, 3} {
+		for _, chunk := range []int64{64, 1024, 1 << 20} {
+			_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+				vocab := dhash.New(c, armci.New(c))
+				parts := corpus.Partition(sources, p)
+				fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+				if err != nil {
+					return err
+				}
+				vocab.Finalize()
+				fwd.RemapDense(c, vocab)
+				fwd.AssignGlobalDocIDs(c)
+				gf := PublishForward(c, fwd)
+				loads := BuildLoads(c, gf, chunk)
+				covered := make(map[int64]bool)
+				for _, l := range loads {
+					if l.Owner < 0 || l.Owner >= p {
+						return fmt.Errorf("bad owner %d", l.Owner)
+					}
+					for f := l.FieldLo; f < l.FieldHi; f++ {
+						if covered[f] {
+							return fmt.Errorf("field %d in two loads", f)
+						}
+						covered[f] = true
+					}
+				}
+				if int64(len(covered)) != gf.NumField {
+					return fmt.Errorf("loads cover %d of %d fields", len(covered), gf.NumField)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d chunk=%d: %v", p, chunk, err)
+			}
+		}
+	}
+}
+
+func TestLoadsAlignToRecordBoundaries(t *testing.T) {
+	sources := invTestSources()
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		vocab := dhash.New(c, armci.New(c))
+		parts := corpus.Partition(sources, 2)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := PublishForward(c, fwd)
+		loads := BuildLoads(c, gf, 64)
+		// The first field of a load must start a new document relative to
+		// the previous field.
+		for _, l := range loads {
+			if l.FieldLo == 0 {
+				continue
+			}
+			var prev, first [1]int64
+			gf.FieldDoc.Get(l.FieldLo-1, prev[:])
+			gf.FieldDoc.Get(l.FieldLo, first[:])
+			if prev[0] == first[0] {
+				// Same doc crossing a load boundary is only legal when
+				// the previous field belongs to another owner's rank
+				// boundary — which cannot happen since docs never span
+				// sources. Flag it.
+				return fmt.Errorf("load at field %d splits doc %d", l.FieldLo, first[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFAndCFConsistency(t *testing.T) {
+	sources := invTestSources()
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		parts := corpus.Partition(sources, 3)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := PublishForward(c, fwd)
+		ix := Invert(c, gf, n, vocab.DenseRange, Options{Strategy: DynamicGA})
+		// Sum of CF over all terms equals the global token count.
+		var localCF int64
+		for _, v := range ix.CF {
+			localCF += v
+		}
+		totalCF := c.AllreduceSumInt(localCF)
+		totalTokens := c.AllreduceSumInt(int64(len(fwd.Tokens)))
+		if totalCF != totalTokens {
+			return fmt.Errorf("sum(CF)=%d != tokens=%d", totalCF, totalTokens)
+		}
+		// DF of each owned term equals its posting count and postings are
+		// sorted by doc.
+		lo, _ := vocab.DenseRange(c.Rank())
+		for i := range ix.DF {
+			docs, freqs := ix.Postings(lo + int64(i))
+			if int64(len(docs)) != ix.DF[i] {
+				return fmt.Errorf("term %d: %d postings, DF=%d", lo+int64(i), len(docs), ix.DF[i])
+			}
+			var cf int64
+			for k := range docs {
+				cf += freqs[k]
+				if k > 0 && docs[k] <= docs[k-1] {
+					return fmt.Errorf("term %d postings unsorted or duplicated", lo+int64(i))
+				}
+			}
+			if cf != ix.CF[i] {
+				return fmt.Errorf("term %d: CF %d vs %d", lo+int64(i), cf, ix.CF[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCostPositiveAndMonotone(t *testing.T) {
+	m := simtime.PNNLCluster2007()
+	small := &Load{TokenLo: 0, TokenHi: 100, FieldLo: 0, FieldHi: 4, Entries: 50}
+	big := &Load{TokenLo: 0, TokenHi: 10000, FieldLo: 0, FieldHi: 400, Entries: 5000}
+	cs, cb := LoadCost(m, small), LoadCost(m, big)
+	if cs <= 0 || cb <= cs {
+		t.Fatalf("load costs not monotone: small=%g big=%g", cs, cb)
+	}
+	costs, owners := LoadCosts(m, []Load{*small, *big})
+	if len(costs) != 2 || len(owners) != 2 || costs[0] != cs || costs[1] != cb {
+		t.Fatalf("LoadCosts mismatch")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if DynamicGA.String() != "dynamic-ga" || Static.String() != "static" || MasterWorker.String() != "master-worker" {
+		t.Fatal("strategy names")
+	}
+	if Strategy(42).String() == "" {
+		t.Fatal("unknown strategy should render")
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	empty := &corpus.Source{Name: "empty", Format: corpus.FormatPubMed, Data: nil}
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		fwd, err := scan.Scan(c, vocab, []*corpus.Source{empty}, scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := PublishForward(c, fwd)
+		ix := Invert(c, gf, n, vocab.DenseRange, Options{})
+		if len(ix.Loads) != 0 {
+			return fmt.Errorf("loads from empty corpus")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package kmeans
+
+import (
+	"fmt"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+func BenchmarkKMeans(b *testing.B) {
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			vecs, ids, _ := blobs(2000, 16, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+					v, id := scatter(vecs, ids, p, c.Rank())
+					Run(c, v, id, int64(len(vecs)), Config{K: 8, MaxIter: 10})
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

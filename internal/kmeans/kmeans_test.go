@@ -1,0 +1,282 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+// blobs generates three well-separated Gaussian blobs in m dimensions.
+func blobs(n, m int, seed int64) ([][]float64, []int64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, 3)
+	for k := range centers {
+		centers[k] = make([]float64, m)
+		centers[k][k%m] = 10 * float64(k+1)
+	}
+	vecs := make([][]float64, n)
+	ids := make([]int64, n)
+	labels := make([]int, n)
+	for i := range vecs {
+		k := i % 3
+		labels[i] = k
+		v := make([]float64, m)
+		for d := range v {
+			v[d] = centers[k][d] + rng.NormFloat64()*0.3
+		}
+		vecs[i] = v
+		ids[i] = int64(i)
+	}
+	return vecs, ids, labels
+}
+
+// scatter splits vecs round-robin across p ranks.
+func scatter(vecs [][]float64, ids []int64, p, rank int) ([][]float64, []int64) {
+	var v [][]float64
+	var id []int64
+	for i := range vecs {
+		if i%p == rank {
+			v = append(v, vecs[i])
+			id = append(id, ids[i])
+		}
+	}
+	return v, id
+}
+
+func TestRecoversSeparatedBlobs(t *testing.T) {
+	vecs, ids, labels := blobs(300, 6, 1)
+	for _, p := range []int{1, 2, 4} {
+		perRank := make([]map[int64]int, p)
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			v, id := scatter(vecs, ids, p, c.Rank())
+			res := Run(c, v, id, int64(len(vecs)), Config{K: 3})
+			if res.K != 3 {
+				return fmt.Errorf("K=%d", res.K)
+			}
+			mine := make(map[int64]int)
+			for i, a := range res.Assign {
+				if a < 0 {
+					return fmt.Errorf("unassigned non-null vector")
+				}
+				mine[id[i]] = a
+			}
+			perRank[c.Rank()] = mine
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		assignments := make(map[int64]int)
+		for _, m := range perRank {
+			for k, v := range m {
+				assignments[k] = v
+			}
+		}
+		// Perfect recovery: every true blob maps to exactly one cluster.
+		blobToCluster := make(map[int]int)
+		for docID, cl := range assignments {
+			b := labels[docID]
+			if prev, ok := blobToCluster[b]; ok && prev != cl {
+				t.Fatalf("p=%d: blob %d split across clusters", p, b)
+			}
+			blobToCluster[b] = cl
+		}
+		if len(blobToCluster) != 3 {
+			t.Fatalf("p=%d: %d clusters used", p, len(blobToCluster))
+		}
+	}
+}
+
+func TestObjectiveNonIncreasing(t *testing.T) {
+	// Track the objective across iterations by running with increasing
+	// MaxIter; each longer run must end at most as high.
+	vecs, ids, _ := blobs(200, 4, 2)
+	var prev float64 = math.Inf(1)
+	for _, iters := range []int{1, 2, 5, 20} {
+		var obj float64
+		_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+			v, id := scatter(vecs, ids, 2, c.Rank())
+			res := Run(c, v, id, int64(len(vecs)), Config{K: 4, MaxIter: iters})
+			if c.Rank() == 0 {
+				obj = res.Objective
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj > prev*(1+1e-9) {
+			t.Fatalf("objective rose from %g to %g at %d iters", prev, obj, iters)
+		}
+		prev = obj
+	}
+}
+
+func TestSizesSumToNonNullCount(t *testing.T) {
+	vecs, ids, _ := blobs(150, 5, 3)
+	// Null 20% of vectors.
+	for i := 0; i < len(vecs); i += 5 {
+		vecs[i] = nil
+	}
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		v, id := scatter(vecs, ids, 3, c.Rank())
+		res := Run(c, v, id, int64(len(vecs)), Config{K: 3})
+		var total int64
+		for _, s := range res.Sizes {
+			total += s
+		}
+		if total != 120 {
+			return fmt.Errorf("sizes sum to %d, want 120", total)
+		}
+		for i, a := range res.Assign {
+			if (v[i] == nil) != (a == -1) {
+				return fmt.Errorf("null assignment mismatch at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroidsIdenticalAcrossRanks(t *testing.T) {
+	vecs, ids, _ := blobs(120, 4, 4)
+	_, err := cluster.Run(4, simtime.Zero(), func(c *cluster.Comm) error {
+		v, id := scatter(vecs, ids, 4, c.Rank())
+		res := Run(c, v, id, int64(len(vecs)), Config{K: 3})
+		flat := make([]float64, 0, res.K*res.M)
+		for _, ctr := range res.Centroids {
+			flat = append(flat, ctr...)
+		}
+		sum := c.AllreduceSumFloat64(append([]float64(nil), flat...))
+		for i := range sum {
+			if math.Abs(sum[i]-4*flat[i]) > 1e-9*(1+math.Abs(flat[i])) {
+				return fmt.Errorf("ranks disagree on centroid component %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesSerialReference(t *testing.T) {
+	// P=1 vs P=4 produce the same centroids up to FP tolerance: seeding is
+	// deterministic by global doc ID and updates are order-independent
+	// sums.
+	vecs, ids, _ := blobs(100, 3, 5)
+	collect := func(p int) [][]float64 {
+		var out [][]float64
+		_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+			v, id := scatter(vecs, ids, p, c.Rank())
+			res := Run(c, v, id, int64(len(vecs)), Config{K: 3, MaxIter: 10})
+			if c.Rank() == 0 {
+				out = res.Centroids
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(1), collect(4)
+	if len(a) != len(b) {
+		t.Fatalf("K differs: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		for d := range a[k] {
+			if math.Abs(a[k][d]-b[k][d]) > 1e-6 {
+				t.Fatalf("centroid %d dim %d: %g vs %g", k, d, a[k][d], b[k][d])
+			}
+		}
+	}
+}
+
+func TestAllNullSignatures(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		vecs := make([][]float64, 10) // all nil
+		ids := make([]int64, 10)
+		for i := range ids {
+			ids[i] = int64(i + 10*c.Rank())
+		}
+		res := Run(c, vecs, ids, 20, Config{K: 3})
+		if res.K != 0 {
+			return fmt.Errorf("K=%d for all-null input", res.K)
+		}
+		for _, a := range res.Assign {
+			if a != -1 {
+				return fmt.Errorf("assigned a null vector")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFewerPointsThanK(t *testing.T) {
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		var vecs [][]float64
+		var ids []int64
+		if c.Rank() == 0 {
+			vecs = [][]float64{{1, 0}, {0, 1}}
+			ids = []int64{0, 1}
+		}
+		res := Run(c, vecs, ids, 2, Config{K: 10})
+		if res.K > 2 || res.K < 1 {
+			return fmt.Errorf("K=%d for 2 distinct points", res.K)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	cfg := Config{}.withDefaults(200)
+	if cfg.K != 10 {
+		t.Fatalf("default K for 200 docs = %d, want 10", cfg.K)
+	}
+	if got := (Config{}).withDefaults(2).K; got != 2 {
+		t.Fatalf("minimum K: %d", got)
+	}
+	if got := (Config{}).withDefaults(1_000_000).K; got != 16 {
+		t.Fatalf("maximum K: %d", got)
+	}
+	if cfg.MaxIter != 30 || cfg.Tol <= 0 {
+		t.Fatal("defaults missing")
+	}
+}
+
+func TestUnevenDistributionOneRankEmpty(t *testing.T) {
+	vecs, ids, _ := blobs(60, 4, 6)
+	_, err := cluster.Run(4, simtime.Zero(), func(c *cluster.Comm) error {
+		var v [][]float64
+		var id []int64
+		if c.Rank() != 3 { // rank 3 holds nothing
+			for i := range vecs {
+				if i%3 == c.Rank() {
+					v = append(v, vecs[i])
+					id = append(id, ids[i])
+				}
+			}
+		}
+		res := Run(c, v, id, int64(len(vecs)), Config{K: 3})
+		if res.K != 3 {
+			return fmt.Errorf("K=%d with an empty rank", res.K)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

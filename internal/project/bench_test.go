@@ -1,0 +1,34 @@
+package project
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkJacobiEigen(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(map[int]string{16: "n=16", 64: "n=64", 128: "n=128"}[n], func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := randSymmetric(n, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := JacobiEigen(a, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildTerrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]Point, 5000)
+	for i := range pts {
+		pts[i] = Point{Doc: int64(i), X: rng.NormFloat64(), Y: rng.NormFloat64()}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildTerrain(pts, 64, 24, 1.5)
+	}
+}

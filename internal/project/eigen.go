@@ -1,0 +1,112 @@
+// Package project implements the paper's projection stage: principal
+// component analysis over the cluster centroids (using the centroids as a
+// representative sample of the document space, §3.5), projection of every
+// document signature onto the two leading principal components, gathering of
+// the 2-D coordinates at the master process, and the ThemeView terrain — the
+// scale-independent landscape of themes rendered from the projected
+// documents.
+package project
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// JacobiEigen computes all eigenvalues and eigenvectors of the symmetric
+// n×n matrix a (row-major; only read). It returns the eigenvalues in
+// descending order with their unit eigenvectors as rows of vecs
+// (vecs[k*n:(k+1)*n] is the k-th eigenvector). The cyclic Jacobi rotation
+// method is used: robust, dependency-free, and plenty fast for the
+// centroid-covariance sizes (M up to a few hundred) this engine produces.
+func JacobiEigen(a []float64, n int) (vals []float64, vecs []float64, err error) {
+	if len(a) != n*n {
+		return nil, nil, fmt.Errorf("project: matrix is %d elements, want %d", len(a), n*n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a[i*n+j]-a[j*n+i]) > 1e-9*(1+math.Abs(a[i*n+j])) {
+				return nil, nil, fmt.Errorf("project: matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Working copy and accumulated rotations (V starts as identity).
+	w := make([]float64, n*n)
+	copy(w, a)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w[i*n+j] * w[i*n+j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w[p*n+p]
+				aqq := w[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				cos := 1 / math.Sqrt(t*t+1)
+				sin := t * cos
+				rotate(w, v, n, p, q, cos, sin)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w[i*n+i]
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return vals[order[x]] > vals[order[y]] })
+	outVals := make([]float64, n)
+	outVecs := make([]float64, n*n)
+	for k, idx := range order {
+		outVals[k] = vals[idx]
+		for i := 0; i < n; i++ {
+			// V's columns are eigenvectors; emit them as rows.
+			outVecs[k*n+i] = v[i*n+idx]
+		}
+	}
+	return outVals, outVecs, nil
+}
+
+// rotate applies the Jacobi rotation (p, q, cos, sin) to w and accumulates
+// it into v.
+func rotate(w, v []float64, n, p, q int, cos, sin float64) {
+	for i := 0; i < n; i++ {
+		wip := w[i*n+p]
+		wiq := w[i*n+q]
+		w[i*n+p] = cos*wip - sin*wiq
+		w[i*n+q] = sin*wip + cos*wiq
+	}
+	for j := 0; j < n; j++ {
+		wpj := w[p*n+j]
+		wqj := w[q*n+j]
+		w[p*n+j] = cos*wpj - sin*wqj
+		w[q*n+j] = sin*wpj + cos*wqj
+	}
+	for i := 0; i < n; i++ {
+		vip := v[i*n+p]
+		viq := v[i*n+q]
+		v[i*n+p] = cos*vip - sin*viq
+		v[i*n+q] = sin*vip + cos*viq
+	}
+}

@@ -1,0 +1,180 @@
+package project
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"inspire/internal/cluster"
+)
+
+// Point is one projected document.
+type Point struct {
+	Doc  int64 // global document ID
+	X, Y float64
+}
+
+// Projection is the outcome of the projection stage on one rank.
+type Projection struct {
+	// Mean is the (size-weighted) centroid mean subtracted before
+	// projecting.
+	Mean []float64
+	// PC1, PC2 are the two leading principal components.
+	PC1, PC2 []float64
+	// Eig holds the two leading eigenvalues of the centroid covariance.
+	Eig [2]float64
+	// Local holds this rank's projected documents (null signatures get
+	// the origin, like IN-SPIRE's "no signature" bucket).
+	Local []Point
+	// Centers2D holds the projected cluster centroids (identical
+	// everywhere).
+	Centers2D [][2]float64
+}
+
+// PCA computes the covariance of the centroids (weighted by cluster size,
+// so the sample reflects the document distribution) and returns its two
+// leading eigenpairs. Identical inputs on every rank produce identical
+// outputs with no communication, matching the paper's "each process computes
+// the transformation matrix using the centroids of the clusters".
+func PCA(centroids [][]float64, sizes []int64) (mean, pc1, pc2 []float64, eig [2]float64, err error) {
+	k := len(centroids)
+	if k == 0 {
+		return nil, nil, nil, eig, fmt.Errorf("project: no centroids")
+	}
+	m := len(centroids[0])
+	mean = make([]float64, m)
+	var wTotal float64
+	for j, ctr := range centroids {
+		w := 1.0
+		if j < len(sizes) && sizes[j] > 0 {
+			w = float64(sizes[j])
+		}
+		wTotal += w
+		for d, x := range ctr {
+			mean[d] += w * x
+		}
+	}
+	for d := range mean {
+		mean[d] /= wTotal
+	}
+	cov := make([]float64, m*m)
+	for j, ctr := range centroids {
+		w := 1.0
+		if j < len(sizes) && sizes[j] > 0 {
+			w = float64(sizes[j])
+		}
+		for a := 0; a < m; a++ {
+			da := ctr[a] - mean[a]
+			for b := a; b < m; b++ {
+				cov[a*m+b] += w * da * (ctr[b] - mean[b])
+			}
+		}
+	}
+	for a := 0; a < m; a++ {
+		for b := 0; b < a; b++ {
+			cov[a*m+b] = cov[b*m+a]
+		}
+	}
+	inv := 1 / wTotal
+	for i := range cov {
+		cov[i] *= inv
+	}
+	vals, vecs, err := JacobiEigen(cov, m)
+	if err != nil {
+		return nil, nil, nil, eig, err
+	}
+	pc1 = vecs[0:m]
+	pc2 = make([]float64, m)
+	if m > 1 {
+		copy(pc2, vecs[m:2*m])
+		eig[1] = vals[1]
+	}
+	eig[0] = vals[0]
+	// Canonical sign: make the largest-magnitude coefficient positive so
+	// the projection is deterministic across eigensolver sign flips.
+	canonicalize(pc1)
+	canonicalize(pc2)
+	return mean, pc1, pc2, eig, nil
+}
+
+func canonicalize(v []float64) {
+	big, bigAbs := 0, 0.0
+	for i, x := range v {
+		if math.Abs(x) > bigAbs {
+			big, bigAbs = i, math.Abs(x)
+		}
+	}
+	if bigAbs > 0 && v[big] < 0 {
+		for i := range v {
+			v[i] = -v[i]
+		}
+	}
+}
+
+// Project collectively projects the local signatures onto the two leading
+// principal components of the centroid covariance. vecs[r] may be nil (null
+// signature -> origin). The per-document work is local; only the centroid
+// inputs (already replicated) are shared.
+func Project(c *cluster.Comm, vecs [][]float64, docIDs []int64, centroids [][]float64, sizes []int64) (*Projection, error) {
+	mean, pc1, pc2, eig, err := PCA(centroids, sizes)
+	if err != nil {
+		return nil, err
+	}
+	m := len(mean)
+	// PCA cost: covariance (k*m^2) + Jacobi (~m^3 per sweep, a few sweeps).
+	c.Clock().Advance(c.Model().FlopCost(float64(len(centroids)*m*m) + 8*float64(m*m*m)))
+	proj := &Projection{Mean: mean, PC1: pc1, PC2: pc2, Eig: eig}
+	for r, v := range vecs {
+		pt := Point{Doc: docIDs[r]}
+		if v != nil {
+			var x, y float64
+			for d, val := range v {
+				diff := val - mean[d]
+				x += diff * pc1[d]
+				y += diff * pc2[d]
+			}
+			pt.X, pt.Y = x, y
+		}
+		proj.Local = append(proj.Local, pt)
+	}
+	c.Clock().Advance(c.Model().FlopCost(4 * float64(len(vecs)*m)))
+	for _, ctr := range centroids {
+		var x, y float64
+		for d, val := range ctr {
+			diff := val - mean[d]
+			x += diff * pc1[d]
+			y += diff * pc2[d]
+		}
+		proj.Centers2D = append(proj.Centers2D, [2]float64{x, y})
+	}
+	return proj, nil
+}
+
+// GatherCoords collects every rank's projected points at root, sorted by
+// global document ID — the final primary product the master process writes
+// for the ThemeView visualization. Returns nil on non-root ranks.
+func GatherCoords(c *cluster.Comm, proj *Projection, root int) []Point {
+	flat := make([]float64, 0, 3*len(proj.Local))
+	for _, p := range proj.Local {
+		flat = append(flat, float64(p.Doc), p.X, p.Y)
+	}
+	parts := c.GatherFloat64s(root, flat)
+	if parts == nil {
+		return nil
+	}
+	// The coordinate file is corpus-proportional; charge its assembly at
+	// the master like the bulk (scaled) data path.
+	var totalBytes float64
+	for _, part := range parts {
+		totalBytes += float64(8 * len(part))
+	}
+	c.Clock().Advance(c.Model().OneSidedCost(totalBytes))
+	var all []Point
+	for _, part := range parts {
+		for i := 0; i+2 < len(part); i += 3 {
+			all = append(all, Point{Doc: int64(part[i]), X: part[i+1], Y: part[i+2]})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Doc < all[b].Doc })
+	return all
+}

@@ -1,0 +1,396 @@
+package project
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inspire/internal/cluster"
+	"inspire/internal/simtime"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	a := []float64{
+		3, 0, 0,
+		0, 7, 0,
+		0, 0, 1,
+	}
+	vals, vecs, err := JacobiEigen(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 3, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Fatalf("vals=%v want %v", vals, want)
+		}
+	}
+	// Leading eigenvector is e2 (up to sign).
+	if math.Abs(math.Abs(vecs[1])-1) > 1e-10 {
+		t.Fatalf("leading vec %v", vecs[:3])
+	}
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := JacobiEigen([]float64{2, 1, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals=%v", vals)
+	}
+	// Leading eigenvector ~ (1,1)/sqrt2.
+	s := 1 / math.Sqrt2
+	if math.Abs(math.Abs(vecs[0])-s) > 1e-9 || math.Abs(math.Abs(vecs[1])-s) > 1e-9 {
+		t.Fatalf("vecs=%v", vecs[:2])
+	}
+}
+
+func TestJacobiEigenErrors(t *testing.T) {
+	if _, _, err := JacobiEigen([]float64{1, 2}, 2); err == nil {
+		t.Fatal("wrong size should error")
+	}
+	if _, _, err := JacobiEigen([]float64{1, 2, 3, 4}, 2); err == nil {
+		t.Fatal("asymmetric should error")
+	}
+}
+
+// randSymmetric builds a random symmetric matrix.
+func randSymmetric(n int, rng *rand.Rand) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a[i*n+j] = v
+			a[j*n+i] = v
+		}
+	}
+	return a
+}
+
+func TestJacobiEigenProperties(t *testing.T) {
+	// For random symmetric matrices: A v_k = λ_k v_k, vectors orthonormal,
+	// trace preserved.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := randSymmetric(n, rng)
+		vals, vecs, err := JacobiEigen(a, n)
+		if err != nil {
+			return false
+		}
+		// Trace.
+		var trA, trL float64
+		for i := 0; i < n; i++ {
+			trA += a[i*n+i]
+			trL += vals[i]
+		}
+		if math.Abs(trA-trL) > 1e-8*(1+math.Abs(trA)) {
+			return false
+		}
+		// Residuals and orthonormality.
+		for k := 0; k < n; k++ {
+			v := vecs[k*n : (k+1)*n]
+			for i := 0; i < n; i++ {
+				var av float64
+				for j := 0; j < n; j++ {
+					av += a[i*n+j] * v[j]
+				}
+				if math.Abs(av-vals[k]*v[i]) > 1e-7 {
+					return false
+				}
+			}
+			for l := 0; l <= k; l++ {
+				w := vecs[l*n : (l+1)*n]
+				var dot float64
+				for i := range v {
+					dot += v[i] * w[i]
+				}
+				want := 0.0
+				if l == k {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		// Descending order.
+		for k := 1; k < n; k++ {
+			if vals[k] > vals[k-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCAOnPlanarCentroids(t *testing.T) {
+	// Centroids on a line in 5-D: PC1 captures all variance.
+	centroids := [][]float64{}
+	dir := []float64{1, 2, 0, -1, 3}
+	for i := -2; i <= 2; i++ {
+		c := make([]float64, 5)
+		for d := range c {
+			c[d] = float64(i) * dir[d]
+		}
+		centroids = append(centroids, c)
+	}
+	mean, pc1, pc2, eig, err := PCA(centroids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mean {
+		if math.Abs(m) > 1e-12 {
+			t.Fatalf("mean not zero: %v", mean)
+		}
+	}
+	if eig[0] <= 0 {
+		t.Fatalf("no variance captured: %v", eig)
+	}
+	if eig[1] > 1e-10 {
+		t.Fatalf("second PC should be ~0 for collinear centroids: %v", eig)
+	}
+	// PC1 parallel to dir.
+	norm := math.Sqrt(1 + 4 + 0 + 1 + 9)
+	for d := range dir {
+		if math.Abs(math.Abs(pc1[d])-math.Abs(dir[d])/norm) > 1e-9 {
+			t.Fatalf("pc1=%v not parallel to %v", pc1, dir)
+		}
+	}
+	_ = pc2
+}
+
+func TestPCAWeighted(t *testing.T) {
+	// Heavy weight on two x-axis centroids pulls PC1 to the x axis.
+	centroids := [][]float64{{10, 0}, {-10, 0}, {0, 1}, {0, -1}}
+	sizes := []int64{100, 100, 1, 1}
+	_, pc1, _, _, err := PCA(centroids, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Abs(pc1[0])-1) > 1e-6 {
+		t.Fatalf("pc1=%v should align with x", pc1)
+	}
+}
+
+func TestPCAErrorsOnEmpty(t *testing.T) {
+	if _, _, _, _, err := PCA(nil, nil); err == nil {
+		t.Fatal("no centroids should error")
+	}
+}
+
+func TestProjectPreservesSeparation(t *testing.T) {
+	// Two far-apart groups in 4-D stay separated in 2-D.
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		var vecs [][]float64
+		var ids []int64
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		for i := 0; i < 40; i++ {
+			v := make([]float64, 4)
+			base := 0.0
+			if i%2 == 1 {
+				base = 20
+			}
+			for d := range v {
+				v[d] = base + rng.NormFloat64()*0.1
+			}
+			vecs = append(vecs, v)
+			ids = append(ids, int64(c.Rank()*1000+i))
+		}
+		centroids := [][]float64{{0, 0, 0, 0}, {20, 20, 20, 20}}
+		sizes := []int64{40, 40}
+		proj, err := Project(c, vecs, ids, centroids, sizes)
+		if err != nil {
+			return err
+		}
+		for i, pt := range proj.Local {
+			other := proj.Local[(i+1)%len(proj.Local)]
+			sameGroup := i%2 == (i+1)%2
+			_ = sameGroup
+			_ = other
+			_ = pt
+		}
+		// Group means differ strongly along PC1.
+		var m0, m1 float64
+		for i, pt := range proj.Local {
+			if i%2 == 0 {
+				m0 += pt.X
+			} else {
+				m1 += pt.X
+			}
+		}
+		m0 /= 20
+		m1 /= 20
+		if math.Abs(m0-m1) < 10 {
+			return fmt.Errorf("groups collapsed: %g vs %g", m0, m1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherCoordsSortedComplete(t *testing.T) {
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		proj := &Projection{}
+		for i := 0; i < 5; i++ {
+			proj.Local = append(proj.Local, Point{
+				Doc: int64(c.Rank() + 3*i), X: float64(c.Rank()), Y: float64(i),
+			})
+		}
+		all := GatherCoords(c, proj, 0)
+		if c.Rank() != 0 {
+			if all != nil {
+				return fmt.Errorf("non-root got coords")
+			}
+			return nil
+		}
+		if len(all) != 15 {
+			return fmt.Errorf("%d coords", len(all))
+		}
+		for i, pt := range all {
+			if pt.Doc != int64(i) {
+				return fmt.Errorf("coords unsorted: %v at %d", pt.Doc, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullSignaturesProjectToOrigin(t *testing.T) {
+	_, err := cluster.Run(1, simtime.Zero(), func(c *cluster.Comm) error {
+		vecs := [][]float64{{1, 2}, nil, {3, 4}}
+		ids := []int64{0, 1, 2}
+		proj, err := Project(c, vecs, ids, [][]float64{{1, 2}, {3, 4}}, []int64{1, 1})
+		if err != nil {
+			return err
+		}
+		if proj.Local[1].X != 0 || proj.Local[1].Y != 0 {
+			return fmt.Errorf("null signature not at origin: %+v", proj.Local[1])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTerrainDensityAndPeaks(t *testing.T) {
+	// Two tight clusters of points produce two dominant peaks.
+	var pts []Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, Point{Doc: int64(i), X: 0 + 0.01*float64(i%5), Y: 0})
+		pts = append(pts, Point{Doc: int64(100 + i), X: 10 + 0.01*float64(i%5), Y: 10})
+	}
+	tr := BuildTerrain(pts, 40, 20, 1.0)
+	if len(tr.Peaks) < 2 {
+		t.Fatalf("found %d peaks, want >= 2", len(tr.Peaks))
+	}
+	// The two strongest peaks are far apart (one per cluster).
+	a, b := tr.Peaks[0], tr.Peaks[1]
+	dx, dy := a.X-b.X, a.Y-b.Y
+	if math.Sqrt(dx*dx+dy*dy) < 5 {
+		t.Fatalf("top peaks too close: %+v %+v", a, b)
+	}
+	// Density non-negative, max at a peak.
+	var maxD float64
+	for _, d := range tr.Density {
+		if d < 0 {
+			t.Fatal("negative density")
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if tr.Peaks[0].Height != maxD {
+		t.Fatalf("strongest peak %g != max density %g", tr.Peaks[0].Height, maxD)
+	}
+}
+
+func TestTerrainEmptyAndDegenerate(t *testing.T) {
+	tr := BuildTerrain(nil, 10, 10, 0)
+	if len(tr.Peaks) != 0 {
+		t.Fatal("peaks from no points")
+	}
+	if tr.ASCII() == "" {
+		t.Fatal("ascii render empty")
+	}
+	// All points identical: still renders.
+	same := []Point{{Doc: 0, X: 5, Y: 5}, {Doc: 1, X: 5, Y: 5}}
+	tr2 := BuildTerrain(same, 8, 8, 0)
+	if len(tr2.Peaks) == 0 {
+		t.Fatal("degenerate cloud should still peak")
+	}
+	if tr2.String() == "" {
+		t.Fatal("String() empty")
+	}
+	// Tiny grid clamps.
+	tr3 := BuildTerrain(same, 1, 1, 0)
+	if tr3.W < 2 || tr3.H < 2 {
+		t.Fatal("grid not clamped")
+	}
+}
+
+func TestTerrainASCIIShades(t *testing.T) {
+	pts := []Point{{Doc: 0, X: 0, Y: 0}}
+	tr := BuildTerrain(pts, 12, 6, 1)
+	art := tr.ASCII()
+	lines := 0
+	for _, ch := range art {
+		if ch == '\n' {
+			lines++
+		}
+	}
+	if lines != 6 {
+		t.Fatalf("ascii has %d lines, want 6", lines)
+	}
+	// Max shade appears exactly where the point is.
+	found := false
+	for _, ch := range art {
+		if ch == '@' {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("peak shade missing")
+	}
+}
+
+func TestCanonicalSignDeterminism(t *testing.T) {
+	// PCA of the same data repeated gives identical components.
+	centroids := [][]float64{{1, 2, 3}, {4, 0, 1}, {-2, 5, 0}, {0, 0, 7}}
+	_, a1, a2, _, err := PCA(centroids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b1, b2, _, err := PCA(centroids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != b1[i] || a2[i] != b2[i] {
+			t.Fatal("PCA not deterministic")
+		}
+	}
+	// Largest-magnitude coefficient is positive.
+	maxAbs, maxIdx := 0.0, 0
+	for i, x := range a1 {
+		if math.Abs(x) > maxAbs {
+			maxAbs, maxIdx = math.Abs(x), i
+		}
+	}
+	if a1[maxIdx] < 0 {
+		t.Fatal("sign not canonical")
+	}
+}

@@ -1,0 +1,171 @@
+package project
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Terrain is a ThemeView-style density landscape: documents deposit Gaussian
+// mass onto a grid; mountains mark dominant themes, valleys weak ones
+// (paper Figure 2).
+type Terrain struct {
+	W, H    int
+	Density []float64 // row-major, H rows of W
+	// MinX/MaxX/MinY/MaxY are the data bounds mapped onto the grid.
+	MinX, MaxX, MinY, MaxY float64
+	// Peaks are local maxima in descending height order.
+	Peaks []Peak
+}
+
+// Peak is one local maximum of the terrain.
+type Peak struct {
+	GX, GY int     // grid cell
+	X, Y   float64 // data coordinates of the cell center
+	Height float64
+}
+
+// BuildTerrain rasterizes points into a w×h density grid with a Gaussian
+// kernel whose standard deviation is sigmaCells grid cells (default 1.5 when
+// zero). Points at the exact origin with zero density contribution (the
+// null-signature bucket) still count: ThemeView renders everything.
+func BuildTerrain(points []Point, w, h int, sigmaCells float64) *Terrain {
+	if w < 2 {
+		w = 2
+	}
+	if h < 2 {
+		h = 2
+	}
+	if sigmaCells <= 0 {
+		sigmaCells = 1.5
+	}
+	t := &Terrain{W: w, H: h, Density: make([]float64, w*h)}
+	if len(points) == 0 {
+		return t
+	}
+	t.MinX, t.MaxX = math.Inf(1), math.Inf(-1)
+	t.MinY, t.MaxY = math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		t.MinX = math.Min(t.MinX, p.X)
+		t.MaxX = math.Max(t.MaxX, p.X)
+		t.MinY = math.Min(t.MinY, p.Y)
+		t.MaxY = math.Max(t.MaxY, p.Y)
+	}
+	if t.MaxX == t.MinX {
+		t.MaxX = t.MinX + 1
+	}
+	if t.MaxY == t.MinY {
+		t.MaxY = t.MinY + 1
+	}
+	sx := float64(w-1) / (t.MaxX - t.MinX)
+	sy := float64(h-1) / (t.MaxY - t.MinY)
+	radius := int(math.Ceil(3 * sigmaCells))
+	inv2s2 := 1 / (2 * sigmaCells * sigmaCells)
+	for _, p := range points {
+		cx := (p.X - t.MinX) * sx
+		cy := (p.Y - t.MinY) * sy
+		gx0, gy0 := int(cx), int(cy)
+		for gy := gy0 - radius; gy <= gy0+radius; gy++ {
+			if gy < 0 || gy >= h {
+				continue
+			}
+			for gx := gx0 - radius; gx <= gx0+radius; gx++ {
+				if gx < 0 || gx >= w {
+					continue
+				}
+				dx := float64(gx) - cx
+				dy := float64(gy) - cy
+				t.Density[gy*w+gx] += math.Exp(-(dx*dx + dy*dy) * inv2s2)
+			}
+		}
+	}
+	t.findPeaks()
+	return t
+}
+
+// findPeaks locates strict local maxima (8-neighbourhood) above 10% of the
+// global maximum.
+func (t *Terrain) findPeaks() {
+	var maxD float64
+	for _, d := range t.Density {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		return
+	}
+	threshold := 0.1 * maxD
+	for gy := 0; gy < t.H; gy++ {
+		for gx := 0; gx < t.W; gx++ {
+			d := t.Density[gy*t.W+gx]
+			if d < threshold {
+				continue
+			}
+			isPeak := true
+			for dy := -1; dy <= 1 && isPeak; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					nx, ny := gx+dx, gy+dy
+					if nx < 0 || nx >= t.W || ny < 0 || ny >= t.H {
+						continue
+					}
+					n := t.Density[ny*t.W+nx]
+					if n > d || (n == d && (ny*t.W+nx) < (gy*t.W+gx)) {
+						isPeak = false
+						break
+					}
+				}
+			}
+			if isPeak {
+				t.Peaks = append(t.Peaks, Peak{
+					GX: gx, GY: gy,
+					X:      t.MinX + float64(gx)*(t.MaxX-t.MinX)/float64(t.W-1),
+					Y:      t.MinY + float64(gy)*(t.MaxY-t.MinY)/float64(t.H-1),
+					Height: d,
+				})
+			}
+		}
+	}
+	sort.Slice(t.Peaks, func(a, b int) bool {
+		if t.Peaks[a].Height != t.Peaks[b].Height {
+			return t.Peaks[a].Height > t.Peaks[b].Height
+		}
+		return t.Peaks[a].GY*t.W+t.Peaks[a].GX < t.Peaks[b].GY*t.W+t.Peaks[b].GX
+	})
+}
+
+// shades ramp from valley to mountain.
+var shades = []byte(" .:-=+*#%@")
+
+// ASCII renders the terrain as a text landscape, highest rows first, for
+// terminal inspection — the textual stand-in for the ThemeView rendering.
+func (t *Terrain) ASCII() string {
+	var maxD float64
+	for _, d := range t.Density {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	var sb strings.Builder
+	for gy := t.H - 1; gy >= 0; gy-- {
+		for gx := 0; gx < t.W; gx++ {
+			d := t.Density[gy*t.W+gx]
+			idx := 0
+			if maxD > 0 {
+				idx = int(d / maxD * float64(len(shades)-1))
+			}
+			sb.WriteByte(shades[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String summarizes the terrain.
+func (t *Terrain) String() string {
+	return fmt.Sprintf("terrain %dx%d, %d peaks", t.W, t.H, len(t.Peaks))
+}

@@ -1,0 +1,257 @@
+// Package query implements the interactive-analysis layer the paper names
+// as its next frontier: "the interactions associated with massive datasets
+// within a visual analytics environment. To the best of our knowledge,
+// interactions of this scale on a parallel system have never been
+// attempted."
+//
+// Queries run SPMD over the engine's distributed products: term lookups
+// resolve through the vocabulary hashmap and read postings with one-sided
+// gets against the term owner; boolean queries intersect/union posting
+// lists; similarity search scans local signatures and combines per-rank
+// candidates with the same top-K merge collective the topicality stage uses.
+// Every operation is charged to the virtual clock, so interaction latency on
+// the modeled cluster is measurable.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+)
+
+// Engine wraps one rank's view of a finished pipeline run.
+type Engine struct {
+	c   *cluster.Comm
+	res *core.Result
+}
+
+// New builds the query engine over a pipeline result. Must be called
+// collectively with each rank's own result.
+func New(c *cluster.Comm, res *core.Result) *Engine {
+	return &Engine{c: c, res: res}
+}
+
+// Posting is one document hit for a term.
+type Posting struct {
+	Doc  int64
+	Freq int64
+}
+
+// TermDocs returns the posting list of a term (sorted by document ID), or
+// nil when the term is not in the vocabulary. Any rank may call it; the
+// postings transfer one-sided from the term's owner.
+func (e *Engine) TermDocs(term string) []Posting {
+	tok := normalize(term)
+	id, ok := e.res.Vocab.DenseLookup(tok)
+	if !ok {
+		return nil
+	}
+	docs, freqs := e.res.Index.Postings(id)
+	out := make([]Posting, len(docs))
+	for i := range docs {
+		out[i] = Posting{Doc: docs[i], Freq: freqs[i]}
+	}
+	return out
+}
+
+// DF returns a term's document frequency (0 when absent).
+func (e *Engine) DF(term string) int64 {
+	id, ok := e.res.Vocab.DenseLookup(normalize(term))
+	if !ok {
+		return 0
+	}
+	return e.res.Stats.DF.GetOne(id)
+}
+
+// And returns the documents containing every term, sorted by document ID.
+func (e *Engine) And(terms ...string) []int64 {
+	if len(terms) == 0 {
+		return nil
+	}
+	// Fetch the rarest list first so intersections stay small.
+	lists := make([][]Posting, len(terms))
+	for i, t := range terms {
+		lists[i] = e.TermDocs(t)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	acc := docSet(lists[0])
+	for _, l := range lists[1:] {
+		acc = intersect(acc, docSet(l))
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	return acc
+}
+
+// Or returns the documents containing any term, sorted by document ID.
+func (e *Engine) Or(terms ...string) []int64 {
+	seen := make(map[int64]bool)
+	for _, t := range terms {
+		for _, p := range e.TermDocs(t) {
+			seen[p.Doc] = true
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for doc := range seen {
+		out = append(out, doc)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Hit is one similarity-search result.
+type Hit struct {
+	Doc   int64
+	Score float64 // cosine similarity in signature space
+}
+
+// Similar collectively finds the k documents most similar to the target
+// document's knowledge signature (cosine similarity; the target itself is
+// excluded). Every rank returns the same hits. Must be called by all ranks.
+func (e *Engine) Similar(targetDoc int64, k int) ([]Hit, error) {
+	fwd := e.res.Forward
+	sigs := e.res.Signatures
+	// The owner of the target broadcasts its vector via sum-allreduce.
+	m := sigs.M
+	target := make([]float64, m)
+	found := 0.0
+	for i, id := range fwd.GlobalDocIDs {
+		if id == targetDoc {
+			if v := sigs.Vecs[i]; v != nil {
+				copy(target, v)
+				found = 1
+			}
+		}
+	}
+	target = e.c.AllreduceSumFloat64(target)
+	if e.c.AllreduceSum(found) == 0 {
+		return nil, fmt.Errorf("query: document %d not found or has a null signature", targetDoc)
+	}
+
+	// Local scoring, global top-k merge.
+	local := make([]cluster.Scored, 0, 64)
+	var flops float64
+	for i, v := range sigs.Vecs {
+		if v == nil || fwd.GlobalDocIDs[i] == targetDoc {
+			continue
+		}
+		local = append(local, cluster.Scored{ID: fwd.GlobalDocIDs[i], Score: cosine(target, v)})
+		flops += float64(3 * m)
+	}
+	e.c.Clock().Advance(e.c.Model().FlopCost(flops))
+	sort.Slice(local, func(a, b int) bool {
+		if local[a].Score != local[b].Score {
+			return local[a].Score > local[b].Score
+		}
+		return local[a].ID < local[b].ID
+	})
+	top := e.c.MergeTopK(local, k)
+	out := make([]Hit, len(top))
+	for i, s := range top {
+		out[i] = Hit{Doc: s.ID, Score: s.Score}
+	}
+	return out, nil
+}
+
+// ThemeDocs collectively returns the global document IDs assigned to a
+// k-means cluster, sorted. Must be called by all ranks.
+func (e *Engine) ThemeDocs(clusterID int) []int64 {
+	var local []int64
+	for i, a := range e.res.Clusters.Assign {
+		if a == clusterID {
+			local = append(local, e.res.Forward.GlobalDocIDs[i])
+		}
+	}
+	parts := e.c.Allgather(local, float64(8*len(local)))
+	var out []int64
+	for _, p := range parts {
+		out = append(out, p.([]int64)...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Near collectively returns the documents whose 2-D projection falls within
+// radius of (x, y) — the drill-down an analyst performs on a ThemeView
+// mountain. Must be called by all ranks.
+func (e *Engine) Near(x, y, radius float64) []int64 {
+	r2 := radius * radius
+	var local []int64
+	for _, pt := range e.res.Projection.Local {
+		dx, dy := pt.X-x, pt.Y-y
+		if dx*dx+dy*dy <= r2 {
+			local = append(local, pt.Doc)
+		}
+	}
+	parts := e.c.Allgather(local, float64(8*len(local)))
+	var out []int64
+	for _, p := range parts {
+		out = append(out, p.([]int64)...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// --- helpers ---------------------------------------------------------------
+
+// normalize lowercases a query term the way the tokenizer would.
+func normalize(term string) string {
+	out := make([]byte, 0, len(term))
+	for i := 0; i < len(term); i++ {
+		ch := term[i]
+		if ch >= 'A' && ch <= 'Z' {
+			ch += 'a' - 'A'
+		}
+		out = append(out, ch)
+	}
+	return string(out)
+}
+
+// cosine returns the cosine similarity of two non-negative vectors.
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// docSet extracts sorted doc IDs from postings.
+func docSet(ps []Posting) []int64 {
+	out := make([]int64, len(ps))
+	for i, p := range ps {
+		out[i] = p.Doc
+	}
+	return out
+}
+
+// intersect merges two sorted ID lists.
+func intersect(a, b []int64) []int64 {
+	var out []int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package query
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/scan"
+	"inspire/internal/simtime"
+)
+
+// miniDocs is a hand corpus with known term/document structure. Terms repeat
+// within documents so topicality selects them.
+var miniDocs = []string{
+	"apple apple banana banana cherry",        // doc 0
+	"apple banana banana",                     // doc 1
+	"apple apple cherry cherry",               // doc 2
+	"durian durian elder elder fig fig",       // doc 3
+	"durian elder elder fig",                  // doc 4
+	"grape grape honeydew honeydew kiwi kiwi", // doc 5
+}
+
+// withEngine runs the pipeline over miniDocs and hands each rank a query
+// engine.
+func withEngine(t *testing.T, p int, body func(c *cluster.Comm, e *Engine) error) {
+	t.Helper()
+	src := corpus.FromTexts("mini", miniDocs)
+	_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+		res, err := core.Run(c, []*corpus.Source{src}, core.Config{
+			// Select the whole vocabulary so every term is queryable
+			// against major-term products too.
+			TopN:      100,
+			TopicFrac: 0.5,
+			Tokenizer: scan.TokenizerConfig{},
+		})
+		if err != nil {
+			return err
+		}
+		return body(c, New(c, res))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermDocsMatchesCorpus(t *testing.T) {
+	withEngine(t, 3, func(c *cluster.Comm, e *Engine) error {
+		ps := e.TermDocs("apple")
+		if len(ps) != 3 {
+			return fmt.Errorf("apple in %d docs, want 3: %v", len(ps), ps)
+		}
+		wantFreq := map[int64]int64{0: 2, 1: 1, 2: 2}
+		for _, p := range ps {
+			if wantFreq[p.Doc] != p.Freq {
+				return fmt.Errorf("apple in doc %d freq %d, want %d", p.Doc, p.Freq, wantFreq[p.Doc])
+			}
+		}
+		// Case folding.
+		if got := e.TermDocs("APPLE"); len(got) != 3 {
+			return fmt.Errorf("case folding failed")
+		}
+		if got := e.TermDocs("nonexistent"); got != nil {
+			return fmt.Errorf("phantom postings: %v", got)
+		}
+		if e.DF("banana") != 2 || e.DF("nonexistent") != 0 {
+			return fmt.Errorf("df wrong")
+		}
+		return nil
+	})
+}
+
+func TestBooleanQueries(t *testing.T) {
+	withEngine(t, 2, func(c *cluster.Comm, e *Engine) error {
+		if got := e.And("apple", "banana"); !reflect.DeepEqual(got, []int64{0, 1}) {
+			return fmt.Errorf("apple AND banana = %v", got)
+		}
+		if got := e.And("apple", "durian"); got != nil {
+			return fmt.Errorf("disjoint AND = %v", got)
+		}
+		if got := e.And("apple", "missing"); got != nil {
+			return fmt.Errorf("AND with missing term = %v", got)
+		}
+		if got := e.And(); got != nil {
+			return fmt.Errorf("empty AND = %v", got)
+		}
+		if got := e.Or("cherry", "fig"); !reflect.DeepEqual(got, []int64{0, 2, 3, 4}) {
+			return fmt.Errorf("cherry OR fig = %v", got)
+		}
+		if got := e.Or(); len(got) != 0 {
+			return fmt.Errorf("empty OR = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestSimilarFindsCoThematicDocs(t *testing.T) {
+	withEngine(t, 3, func(c *cluster.Comm, e *Engine) error {
+		// Doc 0's nearest neighbours should be docs 1 and 2 (the
+		// apple/banana/cherry theme), not the durian or grape docs.
+		hits, err := e.Similar(0, 2)
+		if err != nil {
+			return err
+		}
+		if len(hits) != 2 {
+			return fmt.Errorf("%d hits", len(hits))
+		}
+		got := map[int64]bool{hits[0].Doc: true, hits[1].Doc: true}
+		if !got[1] || !got[2] {
+			return fmt.Errorf("neighbours of doc 0: %+v", hits)
+		}
+		if hits[0].Score < hits[1].Score {
+			return fmt.Errorf("hits unsorted: %+v", hits)
+		}
+		return nil
+	})
+}
+
+func TestSimilarErrors(t *testing.T) {
+	withEngine(t, 2, func(c *cluster.Comm, e *Engine) error {
+		if _, err := e.Similar(999, 3); err == nil {
+			return fmt.Errorf("similar to missing doc should fail")
+		}
+		return nil
+	})
+}
+
+func TestThemeDocsPartitionDocuments(t *testing.T) {
+	withEngine(t, 2, func(c *cluster.Comm, e *Engine) error {
+		seen := make(map[int64]int)
+		totalK := e.res.Clusters.K
+		for k := 0; k < totalK; k++ {
+			for _, doc := range e.ThemeDocs(k) {
+				seen[doc]++
+			}
+		}
+		// Every non-null doc appears in exactly one theme.
+		for doc, n := range seen {
+			if n != 1 {
+				return fmt.Errorf("doc %d in %d themes", doc, n)
+			}
+		}
+		if len(seen) == 0 {
+			return fmt.Errorf("no themed documents")
+		}
+		return nil
+	})
+}
+
+func TestNearFindsProjectedDocs(t *testing.T) {
+	withEngine(t, 2, func(c *cluster.Comm, e *Engine) error {
+		// A huge radius catches every document.
+		all := e.Near(0, 0, 1e9)
+		if len(all) != len(miniDocs) {
+			return fmt.Errorf("near-all found %d of %d", len(all), len(miniDocs))
+		}
+		// A zero radius at a specific doc's position finds at least it.
+		var x, y float64
+		for _, pt := range e.res.Projection.Local {
+			if pt.Doc == 0 {
+				x, y = pt.X, pt.Y
+			}
+		}
+		xs := c.AllreduceSumFloat64([]float64{x, y})
+		hits := e.Near(xs[0], xs[1], 1e-9)
+		found := false
+		for _, d := range hits {
+			if d == 0 {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("doc 0 not found at its own position: %v", hits)
+		}
+		return nil
+	})
+}
+
+func TestQueriesAgreeAcrossRanks(t *testing.T) {
+	withEngine(t, 4, func(c *cluster.Comm, e *Engine) error {
+		and := e.And("apple", "cherry")
+		// Compare across ranks via an element-wise sum check.
+		sum := c.AllreduceSumInt64(append([]int64(nil), and...))
+		for i := range sum {
+			if sum[i] != and[i]*int64(c.Size()) {
+				return fmt.Errorf("ranks disagree on AND result")
+			}
+		}
+		hits, err := e.Similar(3, 1)
+		if err != nil {
+			return err
+		}
+		hitSum := c.AllreduceSumInt64([]int64{hits[0].Doc})
+		if hitSum[0] != hits[0].Doc*int64(c.Size()) {
+			return fmt.Errorf("ranks disagree on Similar result")
+		}
+		return nil
+	})
+}
+
+func TestVirtualLatencyCharged(t *testing.T) {
+	src := corpus.FromTexts("mini", miniDocs)
+	var before, after float64
+	_, err := cluster.Run(2, nil, func(c *cluster.Comm) error {
+		res, err := core.Run(c, []*corpus.Source{src}, core.Config{TopN: 100, TopicFrac: 0.5})
+		if err != nil {
+			return err
+		}
+		e := New(c, res)
+		c.Barrier()
+		if c.Rank() == 0 {
+			before = c.Clock().Now()
+			e.TermDocs("apple")
+			after = c.Clock().Now()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatal("query latency not charged to the virtual clock")
+	}
+}

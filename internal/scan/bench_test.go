@@ -1,0 +1,49 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/corpus"
+	"inspire/internal/dhash"
+	"inspire/internal/simtime"
+)
+
+// benchText is ~1 KB of representative prose.
+var benchText = strings.Repeat(
+	"parallel text processing engines enable interactive visual analytics "+
+		"over massive document collections, revealing hidden thematic structure; ", 8)
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchText)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ForEachToken(benchText, TokenizerConfig{}, func(string) { n++ })
+		if n == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkScanPipeline(b *testing.B) {
+	sources := corpus.Generate(corpus.GenSpec{
+		Format: corpus.FormatPubMed, TargetBytes: 256 << 10, Sources: 8, Seed: 1, VocabSize: 5000,
+	})
+	b.SetBytes(corpus.TotalBytes(sources))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+			vocab := dhash.New(c, armci.New(c))
+			parts := corpus.Partition(sources, 2)
+			_, err := Scan(c, vocab, parts[c.Rank()], TokenizerConfig{})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

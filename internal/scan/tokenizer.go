@@ -1,0 +1,122 @@
+// Package scan implements the paper's "Scan & Map" component: each rank
+// parses its statically assigned sources, tokenizes record fields, builds the
+// forward indices (field-to-term and document-to-field tables), and inserts
+// unique terms into the global distributed vocabulary hashmap, which assigns
+// global term IDs (paper §3.2).
+package scan
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenizerConfig controls term extraction. The zero value selects the
+// defaults documented per field.
+type TokenizerConfig struct {
+	// MinLen drops tokens shorter than this many bytes. Default 2.
+	MinLen int
+	// MaxLen drops tokens longer than this many bytes. Default 40.
+	MaxLen int
+	// KeepNumbers keeps purely numeric tokens. Default false: numbers
+	// (years, identifiers) carry no thematic signal.
+	KeepNumbers bool
+	// Stopwords are lowercased terms to drop. Nil selects the built-in
+	// English list; an empty non-nil map keeps everything.
+	Stopwords map[string]bool
+}
+
+func (t TokenizerConfig) withDefaults() TokenizerConfig {
+	if t.MinLen == 0 {
+		t.MinLen = 2
+	}
+	if t.MaxLen == 0 {
+		t.MaxLen = 40
+	}
+	if t.Stopwords == nil {
+		t.Stopwords = DefaultStopwords
+	}
+	return t
+}
+
+// DefaultStopwords is a small English function-word list, matching the kind
+// of configuration the IN-SPIRE engine applies before signature generation.
+var DefaultStopwords = func() map[string]bool {
+	words := []string{
+		"a", "an", "and", "are", "as", "at", "be", "but", "by", "for",
+		"from", "had", "has", "have", "he", "her", "his", "if", "in",
+		"into", "is", "it", "its", "no", "not", "of", "on", "or", "she",
+		"such", "that", "the", "their", "then", "there", "these", "they",
+		"this", "to", "was", "we", "were", "which", "will", "with", "would",
+	}
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}()
+
+// isDelim reports whether r separates terms: anything that is not a letter,
+// digit, or intra-word connector. Markup characters (<, >, /, &) therefore
+// delimit, which strips the residual HTML in TREC-like sources.
+func isDelim(r rune) bool {
+	if unicode.IsLetter(r) || unicode.IsDigit(r) {
+		return false
+	}
+	return r != '\'' && r != '-'
+}
+
+// Tokenize splits text into lowercased terms according to the config.
+func Tokenize(text string, cfg TokenizerConfig) []string {
+	cfg = cfg.withDefaults()
+	var out []string
+	ForEachToken(text, cfg, func(term string) {
+		out = append(out, term)
+	})
+	return out
+}
+
+// ForEachToken streams the terms of text without building a slice; the scan
+// hot path uses this form.
+func ForEachToken(text string, cfg TokenizerConfig, fn func(term string)) {
+	cfg = cfg.withDefaults()
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		tok := text[start:end]
+		start = -1
+		if len(tok) < cfg.MinLen || len(tok) > cfg.MaxLen {
+			return
+		}
+		tok = strings.ToLower(tok)
+		tok = strings.Trim(tok, "'-")
+		if len(tok) < cfg.MinLen {
+			return
+		}
+		if !cfg.KeepNumbers && allDigits(tok) {
+			return
+		}
+		if cfg.Stopwords[tok] {
+			return
+		}
+		fn(tok)
+	}
+	for i, r := range text {
+		if isDelim(r) {
+			flush(i)
+		} else if start < 0 {
+			start = i
+		}
+	}
+	flush(len(text))
+}
+
+func allDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

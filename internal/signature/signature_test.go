@@ -1,0 +1,222 @@
+package signature
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"inspire/internal/armci"
+	"inspire/internal/assoc"
+	"inspire/internal/cluster"
+	"inspire/internal/corpus"
+	"inspire/internal/dhash"
+	"inspire/internal/invert"
+	"inspire/internal/scan"
+	"inspire/internal/simtime"
+	"inspire/internal/stats"
+	"inspire/internal/topic"
+)
+
+// withSignatures runs the pipeline through signature generation.
+func withSignatures(t *testing.T, p int, sources []*corpus.Source, topN, topM int,
+	body func(c *cluster.Comm, fwd *scan.Forward, am *assoc.Matrix, sigs *Signatures, vocab *dhash.Map) error) {
+	t.Helper()
+	_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		parts := corpus.Partition(sources, p)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := invert.PublishForward(c, fwd)
+		ix := invert.Invert(c, gf, n, vocab.DenseRange, invert.Options{})
+		st := stats.Build(c, ix, fwd.TotalDocs, int64(len(fwd.Tokens)))
+		top := topic.Select(c, st, topN, topM, vocab.Term)
+		am := assoc.Build(c, fwd, top, st)
+		sigs := Generate(c, fwd, am)
+		return body(c, fwd, am, sigs, vocab)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sigSources() []*corpus.Source {
+	return corpus.Generate(corpus.GenSpec{
+		Format: corpus.FormatPubMed, TargetBytes: 50_000, Sources: 4, Seed: 41, VocabSize: 1000, Topics: 4,
+	})
+}
+
+func TestSignaturesL1Normalized(t *testing.T) {
+	withSignatures(t, 2, sigSources(), 100, 10, func(c *cluster.Comm, fwd *scan.Forward, am *assoc.Matrix, sigs *Signatures, vocab *dhash.Map) error {
+		if sigs.M != am.M {
+			return fmt.Errorf("M=%d vs matrix %d", sigs.M, am.M)
+		}
+		if len(sigs.Vecs) != fwd.NumRecords() {
+			return fmt.Errorf("%d vecs for %d records", len(sigs.Vecs), fwd.NumRecords())
+		}
+		for r, v := range sigs.Vecs {
+			if v == nil {
+				continue
+			}
+			if len(v) != sigs.M {
+				return fmt.Errorf("record %d: dim %d", r, len(v))
+			}
+			if math.Abs(L1(v)-1) > 1e-9 {
+				return fmt.Errorf("record %d: |v|_1 = %g", r, L1(v))
+			}
+			for _, x := range v {
+				if x < 0 || math.IsNaN(x) {
+					return fmt.Errorf("record %d: negative/NaN component", r)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestNullAndWeakAccounting(t *testing.T) {
+	withSignatures(t, 3, sigSources(), 100, 10, func(c *cluster.Comm, fwd *scan.Forward, am *assoc.Matrix, sigs *Signatures, vocab *dhash.Map) error {
+		var nulls, weaks int64
+		for r, v := range sigs.Vecs {
+			if v == nil {
+				nulls++
+				if !sigs.Weak[r] {
+					return fmt.Errorf("null record %d not marked weak", r)
+				}
+			}
+			if sigs.Weak[r] {
+				weaks++
+			}
+		}
+		if nulls != sigs.NullLocal {
+			return fmt.Errorf("NullLocal=%d counted %d", sigs.NullLocal, nulls)
+		}
+		if weaks != sigs.WeakLocal {
+			return fmt.Errorf("WeakLocal=%d counted %d", sigs.WeakLocal, weaks)
+		}
+		rate := sigs.NullRate(c)
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("null rate %g", rate)
+		}
+		return nil
+	})
+}
+
+func TestLargerMReducesOrEqualNulls(t *testing.T) {
+	sources := sigSources()
+	rates := make([]float64, 0, 2)
+	for _, m := range []int{2, 50} {
+		withSignatures(t, 2, sources, 100, m, func(c *cluster.Comm, fwd *scan.Forward, am *assoc.Matrix, sigs *Signatures, vocab *dhash.Map) error {
+			if c.Rank() == 0 {
+				rates = append(rates, sigs.NullRate(c))
+			} else {
+				sigs.NullRate(c)
+			}
+			return nil
+		})
+	}
+	if rates[1] > rates[0] {
+		t.Fatalf("more topics should not increase nulls: M=2 %.3f, M=50 %.3f", rates[0], rates[1])
+	}
+}
+
+func TestSignatureDeterministicAcrossRuns(t *testing.T) {
+	sources := sigSources()
+	collect := func() map[string][]float64 {
+		out := make(map[string][]float64)
+		var mu sync.Mutex
+		withSignatures(t, 2, sources, 80, 8, func(c *cluster.Comm, fwd *scan.Forward, am *assoc.Matrix, sigs *Signatures, vocab *dhash.Map) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for r, v := range sigs.Vecs {
+				if v != nil {
+					out[fwd.RecordIDs[r]] = append([]float64(nil), v...)
+				}
+			}
+			return nil
+		})
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("signature counts differ: %d vs %d", len(a), len(b))
+	}
+	for id, va := range a {
+		vb := b[id]
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("record %s component %d differs across runs", id, i)
+			}
+		}
+	}
+}
+
+func TestSignatureInvariantAcrossP(t *testing.T) {
+	sources := sigSources()
+	collect := func(p int) map[string][]float64 {
+		out := make(map[string][]float64)
+		var mu sync.Mutex
+		withSignatures(t, p, sources, 80, 8, func(c *cluster.Comm, fwd *scan.Forward, am *assoc.Matrix, sigs *Signatures, vocab *dhash.Map) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for r, v := range sigs.Vecs {
+				if v != nil {
+					out[fwd.RecordIDs[r]] = append([]float64(nil), v...)
+				}
+			}
+			return nil
+		})
+		return out
+	}
+	base := collect(1)
+	got := collect(4)
+	if len(base) != len(got) {
+		t.Fatalf("non-null counts differ: %d vs %d", len(base), len(got))
+	}
+	for id, va := range base {
+		vb, ok := got[id]
+		if !ok {
+			t.Fatalf("record %s null at P=4 but not P=1", id)
+		}
+		// Signature dimensions are ordered by topic rank; topic order is
+		// P-invariant after the string tie-break, so vectors must agree
+		// to FP tolerance.
+		for i := range va {
+			if math.Abs(va[i]-vb[i]) > 1e-9 {
+				t.Fatalf("record %s dim %d: %g vs %g", id, i, va[i], vb[i])
+			}
+		}
+	}
+}
+
+func TestL1(t *testing.T) {
+	if L1(nil) != 0 {
+		t.Fatal("empty L1")
+	}
+	if got := L1([]float64{1, -2, 3}); got != 6 {
+		t.Fatalf("L1 = %g, want 6", got)
+	}
+	f := func(raw []float64) bool {
+		s := L1(raw)
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			// NaN inputs or overflow: no finite property to check.
+			return true
+		}
+		if s < 0 {
+			return false
+		}
+		// Additivity over concatenation.
+		half := len(raw) / 2
+		return math.Abs(L1(raw[:half])+L1(raw[half:])-s) < 1e-9*(1+s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+package simtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Clock is the virtual clock of one SPMD rank. A Clock is advanced only by
+// its owning rank's goroutine; the one cross-rank interaction, observing a
+// message arrival time, is synchronized by the transport that carries the
+// message, so Clock itself needs no locking for the fast path. A mutex still
+// guards Now/Advance so that instrumentation goroutines may read safely.
+type Clock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d seconds. Negative d is ignored: cost
+// functions can legitimately round to zero but never travel backwards.
+func (c *Clock) Advance(d float64) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Merge sets the clock to max(current, t); used when receiving a message
+// whose arrival time is t.
+func (c *Clock) Merge(t float64) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// Set forces the clock to t; used by barrier-style collectives after all
+// ranks agree on a common time.
+func (c *Clock) Set(t float64) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// Span records the virtual start and end of one component on one rank.
+type Span struct {
+	Component string
+	Start     float64
+	End       float64
+}
+
+// Duration returns the span length in virtual seconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Timeline accumulates the per-component spans of one rank.
+type Timeline struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Record appends a completed span.
+func (t *Timeline) Record(component string, start, end float64) {
+	if end < start {
+		end = start
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Component: component, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in insertion order.
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// ComponentTotal returns the summed duration of all spans with the given
+// component name.
+func (t *Timeline) ComponentTotal(component string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum float64
+	for _, s := range t.spans {
+		if s.Component == component {
+			sum += s.Duration()
+		}
+	}
+	return sum
+}
+
+// Breakdown summarizes component durations across the timelines of all ranks.
+// For each component it keeps the maximum over ranks (the component's
+// critical-path duration, since components are separated by barriers) and the
+// per-rank durations for balance analysis.
+type Breakdown struct {
+	// PerRank maps component -> per-rank summed durations.
+	PerRank map[string][]float64
+	// Order lists components in first-seen order.
+	Order []string
+}
+
+// Collect builds a Breakdown from the per-rank timelines.
+func Collect(timelines []*Timeline) *Breakdown {
+	b := &Breakdown{PerRank: make(map[string][]float64)}
+	for rank, tl := range timelines {
+		for _, s := range tl.Spans() {
+			if _, ok := b.PerRank[s.Component]; !ok {
+				b.PerRank[s.Component] = make([]float64, len(timelines))
+				b.Order = append(b.Order, s.Component)
+			}
+			b.PerRank[s.Component][rank] += s.Duration()
+		}
+	}
+	return b
+}
+
+// Max returns the maximum per-rank duration of the component.
+func (b *Breakdown) Max(component string) float64 {
+	var m float64
+	for _, d := range b.PerRank[component] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Total returns the sum over components of the per-component maxima: the
+// virtual wall-clock of a barrier-separated pipeline.
+func (b *Breakdown) Total() float64 {
+	var sum float64
+	for _, c := range b.Order {
+		sum += b.Max(c)
+	}
+	return sum
+}
+
+// Imbalance returns max/mean of the per-rank durations for a component; 1.0
+// is perfectly balanced. Returns 0 when the component did no work.
+func (b *Breakdown) Imbalance(component string) float64 {
+	per := b.PerRank[component]
+	if len(per) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, d := range per {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := sum / float64(len(per))
+	return max / mean
+}
+
+// Percentages returns the share (0..100) of each component in the total,
+// keyed by component, using per-component maxima. Components with zero total
+// are reported as 0.
+func (b *Breakdown) Percentages() map[string]float64 {
+	total := b.Total()
+	out := make(map[string]float64, len(b.Order))
+	for _, c := range b.Order {
+		if total > 0 {
+			out[c] = 100 * b.Max(c) / total
+		} else {
+			out[c] = 0
+		}
+	}
+	return out
+}
+
+// String renders the breakdown as an aligned table, components in order.
+func (b *Breakdown) String() string {
+	out := ""
+	for _, c := range b.Order {
+		out += fmt.Sprintf("%-10s max=%10.3fs imbalance=%5.2f\n", c, b.Max(c), b.Imbalance(c))
+	}
+	return out
+}
+
+// ListSchedule simulates greedy self-scheduling of independent task costs
+// onto p workers: each successive task is taken by the worker with the
+// smallest accumulated load. This is the deterministic equivalent of the
+// paper's fixed-size-chunking dynamic load balancer (a worker grabs the next
+// load the moment it becomes idle), and is used to compute reproducible
+// virtual durations for the work-stealing indexing stage. It returns the
+// makespan and the per-worker loads.
+func ListSchedule(costs []float64, p int) (makespan float64, perWorker []float64) {
+	if p <= 0 {
+		return 0, nil
+	}
+	perWorker = make([]float64, p)
+	for _, c := range costs {
+		// Find least-loaded worker; ties resolve to the lowest rank,
+		// keeping the schedule deterministic.
+		best := 0
+		for w := 1; w < p; w++ {
+			if perWorker[w] < perWorker[best] {
+				best = w
+			}
+		}
+		perWorker[best] += c
+	}
+	for _, l := range perWorker {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return makespan, perWorker
+}
+
+// LPTSchedule is ListSchedule after sorting costs in decreasing order
+// (longest processing time first). The paper's own-loads-first priority queue
+// behaves between ListSchedule and LPTSchedule; LPT is provided for ablation.
+func LPTSchedule(costs []float64, p int) (makespan float64, perWorker []float64) {
+	sorted := make([]float64, len(costs))
+	copy(sorted, costs)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	return ListSchedule(sorted, p)
+}
+
+// StaticSchedule assigns each task to its owning worker (owners[i] is the
+// rank that owns task i) and returns the resulting makespan and per-worker
+// loads — the no-load-balancing baseline of the paper's Figure 9.
+func StaticSchedule(costs []float64, owners []int, p int) (makespan float64, perWorker []float64) {
+	perWorker = make([]float64, p)
+	for i, c := range costs {
+		o := 0
+		if i < len(owners) {
+			o = owners[i]
+		}
+		if o < 0 || o >= p {
+			o = 0
+		}
+		perWorker[o] += c
+	}
+	for _, l := range perWorker {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return makespan, perWorker
+}
+
+// MasterWorkerSchedule models the master-worker dynamic load balancer the
+// paper contrasts with the GA atomic task queue (§3.3): every task grab is a
+// round-trip RPC to rank 0, and the master services requests serially. The
+// returned makespan is the larger of the list-scheduling makespan with the
+// per-task RPC overhead added and the master's total service time.
+func MasterWorkerSchedule(costs []float64, p int, rpcRoundTrip, masterService float64) float64 {
+	if p <= 1 {
+		var sum float64
+		for _, c := range costs {
+			sum += c
+		}
+		return sum
+	}
+	withOverhead := make([]float64, len(costs))
+	for i, c := range costs {
+		withOverhead[i] = c + rpcRoundTrip
+	}
+	// Rank 0 both dispatches and works in the paper's master-worker
+	// framing; modeling it as a dedicated master is the conventional
+	// (and more favourable) variant, so use p workers.
+	makespan, _ := ListSchedule(withOverhead, p)
+	serial := float64(len(costs)) * masterService
+	if serial > makespan {
+		makespan = serial
+	}
+	return makespan
+}

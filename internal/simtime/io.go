@@ -1,0 +1,61 @@
+package simtime
+
+// Storage model for the scanning component. The paper observes (§4.2): "The
+// scanning component is I/O bound as well as computationally bound. In case
+// of larger files and a large number of processors, the scanning component
+// becomes I/O bound, which can be leveraged by using scalable parallel file
+// systems (e.g., Lustre)." The IOModel captures the two regimes: a per-node
+// link ceiling and a shared backend ceiling that P readers contend for.
+
+// IOModel describes the storage subsystem feeding source scans.
+type IOModel struct {
+	// Name identifies the profile in reports.
+	Name string
+	// NodeBandwidth is one process's uncontended read bandwidth (bytes/s).
+	NodeBandwidth float64
+	// AggregateBandwidth is the backend's total bandwidth, shared by all
+	// concurrent readers (bytes/s).
+	AggregateBandwidth float64
+}
+
+// NFS2007 models a single shared filer over gigabit ethernet: fine for a few
+// readers, saturating as processors multiply.
+func NFS2007() *IOModel {
+	return &IOModel{
+		Name:               "shared NFS filer (2007)",
+		NodeBandwidth:      60e6,
+		AggregateBandwidth: 30e6,
+	}
+}
+
+// Lustre2007 models a striped parallel filesystem of the era: per-node
+// bandwidth is the binding constraint across the whole processor range.
+func Lustre2007() *IOModel {
+	return &IOModel{
+		Name:               "Lustre parallel filesystem (2007)",
+		NodeBandwidth:      120e6,
+		AggregateBandwidth: 6e9,
+	}
+}
+
+// ReadCost returns the virtual seconds for one process to read n source
+// bytes while p processes share the backend: the effective bandwidth is the
+// smaller of the node link and the process's fair share of the backend.
+// A nil receiver (no storage model configured) reads for free, keeping the
+// compute-bound default behaviour.
+func (io *IOModel) ReadCost(m *Model, bytes float64, p int) float64 {
+	if io == nil || bytes <= 0 {
+		return 0
+	}
+	if p < 1 {
+		p = 1
+	}
+	eff := io.NodeBandwidth
+	if share := io.AggregateBandwidth / float64(p); share < eff {
+		eff = share
+	}
+	if eff <= 0 {
+		return 0
+	}
+	return m.DataScale * bytes / eff
+}

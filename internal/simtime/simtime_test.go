@@ -1,0 +1,314 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := PNNLCluster2007().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+	if err := Zero().Validate(); err != nil {
+		t.Fatalf("zero profile invalid: %v", err)
+	}
+	var nilModel *Model
+	if err := nilModel.Validate(); err == nil {
+		t.Fatal("nil model should be invalid")
+	}
+	bad := PNNLCluster2007()
+	bad.Flops = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero flop rate should be invalid")
+	}
+	bad = PNNLCluster2007()
+	bad.DataScale = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative DataScale should be invalid")
+	}
+	bad = PNNLCluster2007()
+	bad.Latency = -1e-6
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative latency should be invalid")
+	}
+	bad = PNNLCluster2007()
+	bad.MemBytesPerProc = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero memory should be invalid")
+	}
+}
+
+func TestCostsScaleLinearly(t *testing.T) {
+	m := PNNLCluster2007()
+	if got := m.ScanCost(2 * m.ScanBytesPerSec); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ScanCost: got %g, want 2", got)
+	}
+	if got := m.InvertCost(3 * m.PostingsPerSec); math.Abs(got-3) > 1e-12 {
+		t.Errorf("InvertCost: got %g, want 3", got)
+	}
+	if got := m.FlopCost(m.Flops); math.Abs(got-1) > 1e-12 {
+		t.Errorf("FlopCost: got %g, want 1", got)
+	}
+	if got := m.TokenCost(m.TokensPerSec); math.Abs(got-1) > 1e-12 {
+		t.Errorf("TokenCost: got %g, want 1", got)
+	}
+}
+
+func TestDataScaleInflatesWork(t *testing.T) {
+	m := PNNLCluster2007()
+	base := m.ScanCost(1e6)
+	m.DataScale = 512
+	if got := m.ScanCost(1e6); math.Abs(got-512*base) > 1e-9 {
+		t.Errorf("DataScale: got %g, want %g", got, 512*base)
+	}
+	// Latency is not scaled; only the byte term is.
+	small := m.SendCost(0)
+	if small != m.Latency {
+		t.Errorf("SendCost(0): got %g, want latency %g", small, m.Latency)
+	}
+}
+
+func TestMemoryPressure(t *testing.T) {
+	m := PNNLCluster2007()
+	if got := m.MemoryPressure(m.MemBytesPerProc / 2); got != 1 {
+		t.Errorf("below memory: got %g, want 1", got)
+	}
+	if got := m.MemoryPressure(m.MemBytesPerProc); got != 1 {
+		t.Errorf("at memory: got %g, want 1", got)
+	}
+	got := m.MemoryPressure(2 * m.MemBytesPerProc)
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("2x overcommit: got %g, want 4", got)
+	}
+	// Monotone non-decreasing in working set.
+	prev := 0.0
+	for ws := 0.5; ws <= 4; ws += 0.25 {
+		p := m.MemoryPressure(ws * m.MemBytesPerProc)
+		if p < prev {
+			t.Fatalf("pressure not monotone at %gx: %g < %g", ws, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestClockBasics(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("new clock not at zero")
+	}
+	c.Advance(1.5)
+	c.Advance(-3) // ignored
+	if got := c.Now(); got != 1.5 {
+		t.Fatalf("got %g, want 1.5", got)
+	}
+	c.Merge(1.0) // earlier: no-op
+	if got := c.Now(); got != 1.5 {
+		t.Fatalf("merge backwards moved clock: %g", got)
+	}
+	c.Merge(2.0)
+	if got := c.Now(); got != 2.0 {
+		t.Fatalf("merge forwards: got %g, want 2", got)
+	}
+	c.Set(0.5)
+	if got := c.Now(); got != 0.5 {
+		t.Fatalf("set: got %g, want 0.5", got)
+	}
+}
+
+func TestTimelineAndBreakdown(t *testing.T) {
+	t0 := NewTimeline()
+	t1 := NewTimeline()
+	t0.Record("scan", 0, 10)
+	t1.Record("scan", 0, 6)
+	t0.Record("index", 10, 12)
+	t1.Record("index", 6, 18)
+	b := Collect([]*Timeline{t0, t1})
+	if got := b.Max("scan"); got != 10 {
+		t.Errorf("scan max: got %g, want 10", got)
+	}
+	if got := b.Max("index"); got != 12 {
+		t.Errorf("index max: got %g, want 12", got)
+	}
+	if got := b.Total(); got != 22 {
+		t.Errorf("total: got %g, want 22", got)
+	}
+	pct := b.Percentages()
+	if math.Abs(pct["scan"]+pct["index"]-100) > 1e-9 {
+		t.Errorf("percentages do not sum to 100: %v", pct)
+	}
+	// scan: loads 10 and 6 -> mean 8, max 10 -> imbalance 1.25
+	if got := b.Imbalance("scan"); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("imbalance: got %g, want 1.25", got)
+	}
+	if len(b.Order) != 2 || b.Order[0] != "scan" || b.Order[1] != "index" {
+		t.Errorf("component order wrong: %v", b.Order)
+	}
+}
+
+func TestTimelineComponentTotal(t *testing.T) {
+	tl := NewTimeline()
+	tl.Record("a", 0, 1)
+	tl.Record("a", 5, 7.5)
+	tl.Record("b", 1, 5)
+	if got := tl.ComponentTotal("a"); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("got %g, want 3.5", got)
+	}
+	if got := tl.ComponentTotal("missing"); got != 0 {
+		t.Errorf("missing component: got %g, want 0", got)
+	}
+	// Negative spans are clamped.
+	tl.Record("c", 10, 9)
+	if got := tl.ComponentTotal("c"); got != 0 {
+		t.Errorf("clamped span: got %g, want 0", got)
+	}
+}
+
+func TestListScheduleConservesWork(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		costs := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			costs[i] = float64(r) / 100
+			total += costs[i]
+		}
+		makespan, per := ListSchedule(costs, p)
+		var sum, max float64
+		for _, l := range per {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		if math.Abs(sum-total) > 1e-6*(1+total) {
+			return false
+		}
+		if math.Abs(max-makespan) > 1e-12 {
+			return false
+		}
+		// Makespan is at least total/p and at most total.
+		return makespan >= total/float64(p)-1e-9 && makespan <= total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListScheduleGreedyBound(t *testing.T) {
+	// Greedy list scheduling is within 2x of the lower bound
+	// max(total/p, maxTask).
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := int(pRaw%16) + 1
+		costs := make([]float64, len(raw))
+		var total, maxTask float64
+		for i, r := range raw {
+			costs[i] = float64(r)/500 + 0.001
+			total += costs[i]
+			if costs[i] > maxTask {
+				maxTask = costs[i]
+			}
+		}
+		lower := total / float64(p)
+		if maxTask > lower {
+			lower = maxTask
+		}
+		makespan, _ := ListSchedule(costs, p)
+		return makespan <= 2*lower+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPTNoWorseThanList(t *testing.T) {
+	costs := []float64{9, 1, 1, 1, 1, 1, 8, 7}
+	listM, _ := ListSchedule(costs, 3)
+	lptM, _ := LPTSchedule(costs, 3)
+	if lptM > listM+1e-12 {
+		t.Errorf("LPT %g worse than list %g on adversarial input", lptM, listM)
+	}
+}
+
+func TestStaticSchedule(t *testing.T) {
+	costs := []float64{4, 1, 1, 1}
+	owners := []int{0, 1, 1, 1}
+	makespan, per := StaticSchedule(costs, owners, 2)
+	if makespan != 4 {
+		t.Errorf("makespan: got %g, want 4", makespan)
+	}
+	if per[0] != 4 || per[1] != 3 {
+		t.Errorf("per-worker: got %v, want [4 3]", per)
+	}
+	// Out-of-range owners fall back to rank 0 rather than dropping work.
+	_, per2 := StaticSchedule([]float64{1, 1}, []int{-1, 99}, 2)
+	if per2[0] != 2 {
+		t.Errorf("fallback owner: got %v", per2)
+	}
+}
+
+func TestMasterWorkerSlowerThanListUnderContention(t *testing.T) {
+	costs := make([]float64, 10000)
+	for i := range costs {
+		costs[i] = 0.0001
+	}
+	p := 32
+	list, _ := ListSchedule(costs, p)
+	mw := MasterWorkerSchedule(costs, p, 20e-6, 15e-6)
+	if mw <= list {
+		t.Errorf("master-worker (%g) should exceed atomic task queue (%g) on fine-grained tasks", mw, list)
+	}
+	// Single process: degenerate to serial sum.
+	serial := MasterWorkerSchedule([]float64{1, 2, 3}, 1, 1, 1)
+	if math.Abs(serial-6) > 1e-12 {
+		t.Errorf("p=1: got %g, want 6", serial)
+	}
+}
+
+func TestSchedulesEmptyAndDegenerate(t *testing.T) {
+	if m, per := ListSchedule(nil, 4); m != 0 || len(per) != 4 {
+		t.Errorf("empty: got %g, %v", m, per)
+	}
+	if m, per := ListSchedule([]float64{1}, 0); m != 0 || per != nil {
+		t.Errorf("p=0: got %g, %v", m, per)
+	}
+}
+
+func TestIOModelReadCost(t *testing.T) {
+	m := PNNLCluster2007()
+	var none *IOModel
+	if none.ReadCost(m, 1e6, 4) != 0 {
+		t.Fatal("nil IO model should read for free")
+	}
+	nfs := NFS2007()
+	// Few readers: node bandwidth binds; many readers: aggregate binds.
+	few := nfs.ReadCost(m, 1e6, 1)
+	many := nfs.ReadCost(m, 1e6, 32)
+	if many <= few {
+		t.Fatalf("contention should slow reads: few=%g many=%g", few, many)
+	}
+	wantMany := 1e6 / (nfs.AggregateBandwidth / 32)
+	if math.Abs(many-wantMany) > 1e-9*wantMany {
+		t.Fatalf("aggregate share: got %g want %g", many, wantMany)
+	}
+	lustre := Lustre2007()
+	// Lustre's aggregate never binds across the paper's range.
+	if lustre.ReadCost(m, 1e6, 32) != 1e6/lustre.NodeBandwidth {
+		t.Fatal("lustre should be node-bound at P=32")
+	}
+	// DataScale inflates read volume.
+	m2 := PNNLCluster2007()
+	m2.DataScale = 8
+	if got := nfs.ReadCost(m2, 1e6, 1); math.Abs(got-8*few) > 1e-9*got {
+		t.Fatalf("DataScale on reads: %g vs %g", got, 8*few)
+	}
+	if nfs.ReadCost(m, 0, 4) != 0 || nfs.ReadCost(m, -5, 4) != 0 {
+		t.Fatal("non-positive bytes should be free")
+	}
+	if nfs.ReadCost(m, 100, 0) != nfs.ReadCost(m, 100, 1) {
+		t.Fatal("p<1 should clamp to 1")
+	}
+}

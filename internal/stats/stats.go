@@ -1,0 +1,46 @@
+// Package stats implements the paper's Global Term Statistics component:
+// after inverted file indexing, the per-term document and collection
+// frequencies are published in global arrays so every process can read any
+// term's statistics during signature generation (paper §3.3: "A global array
+// is created to store these term statistics from all processes").
+package stats
+
+import (
+	"inspire/internal/cluster"
+	"inspire/internal/ga"
+	"inspire/internal/invert"
+)
+
+// TermStats holds the global term statistics.
+type TermStats struct {
+	// DF[t] is term t's document frequency (documents containing t).
+	DF *ga.Array[int64]
+	// CF[t] is term t's collection frequency (total occurrences).
+	CF *ga.Array[int64]
+	// TotalDocs is the global document count D.
+	TotalDocs int64
+	// TotalPostings is the global number of (term, document) pairs.
+	TotalPostings int64
+	// TotalTokens is the global token count.
+	TotalTokens int64
+}
+
+// Build collectively publishes the owner-local DF/CF vectors computed during
+// inversion into global arrays and reduces the collection-wide totals.
+func Build(c *cluster.Comm, ix *invert.Index, totalDocs int64, localTokens int64) *TermStats {
+	st := &TermStats{TotalDocs: totalDocs}
+	st.DF = ga.CreateIrregular[int64](c, "stats.df", ix.TermHi-ix.TermLo)
+	st.CF = ga.CreateIrregular[int64](c, "stats.cf", ix.TermHi-ix.TermLo)
+	copy(st.DF.Access(), ix.DF)
+	copy(st.CF.Access(), ix.CF)
+	var localPost, localCF int64
+	for i := range ix.DF {
+		localPost += ix.DF[i]
+		localCF += ix.CF[i]
+	}
+	totals := c.AllreduceSumInt64([]int64{localPost, localTokens})
+	st.TotalPostings = totals[0]
+	st.TotalTokens = totals[1]
+	c.Barrier()
+	return st
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/corpus"
+	"inspire/internal/dhash"
+	"inspire/internal/invert"
+	"inspire/internal/scan"
+	"inspire/internal/simtime"
+)
+
+func statSources() []*corpus.Source {
+	return corpus.Generate(corpus.GenSpec{
+		Format: corpus.FormatPubMed, TargetBytes: 40_000, Sources: 4, Seed: 51, VocabSize: 900, Topics: 4,
+	})
+}
+
+// withStats runs scan+invert+stats.
+func withStats(t *testing.T, p int, sources []*corpus.Source,
+	body func(c *cluster.Comm, st *TermStats, vocab *dhash.Map, fwd *scan.Forward) error) {
+	t.Helper()
+	_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		parts := corpus.Partition(sources, p)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := invert.PublishForward(c, fwd)
+		ix := invert.Invert(c, gf, n, vocab.DenseRange, invert.Options{})
+		st := Build(c, ix, fwd.TotalDocs, int64(len(fwd.Tokens)))
+		return body(c, st, vocab, fwd)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalsConsistent(t *testing.T) {
+	sources := statSources()
+	for _, p := range []int{1, 2, 4} {
+		withStats(t, p, sources, func(c *cluster.Comm, st *TermStats, vocab *dhash.Map, fwd *scan.Forward) error {
+			if st.TotalDocs != fwd.TotalDocs {
+				return fmt.Errorf("docs %d vs %d", st.TotalDocs, fwd.TotalDocs)
+			}
+			// Sum of CF equals total tokens.
+			var localCF int64
+			for _, v := range st.CF.Access() {
+				localCF += v
+			}
+			globalCF := c.AllreduceSumInt(localCF)
+			if globalCF != st.TotalTokens {
+				return fmt.Errorf("sum(CF)=%d tokens=%d", globalCF, st.TotalTokens)
+			}
+			// DF bounded by docs and by CF.
+			df := st.DF.Access()
+			cf := st.CF.Access()
+			for i := range df {
+				if df[i] > st.TotalDocs || df[i] > cf[i] || (df[i] == 0) != (cf[i] == 0) {
+					return fmt.Errorf("term %d: df=%d cf=%d docs=%d", i, df[i], cf[i], st.TotalDocs)
+				}
+			}
+			// TotalPostings equals global sum of DF.
+			var localDF int64
+			for _, v := range df {
+				localDF += v
+			}
+			if got := c.AllreduceSumInt(localDF); got != st.TotalPostings {
+				return fmt.Errorf("postings %d vs %d", got, st.TotalPostings)
+			}
+			return nil
+		})
+	}
+}
+
+func TestDFByTermInvariantAcrossP(t *testing.T) {
+	sources := statSources()
+	collect := func(p int) map[string]int64 {
+		out := make(map[string]int64)
+		withStats(t, p, sources, func(c *cluster.Comm, st *TermStats, vocab *dhash.Map, fwd *scan.Forward) error {
+			lo, hi := st.DF.Distribution(c.Rank())
+			df := st.DF.Access()
+			// Each rank reports its own range; merge via gather at 0.
+			type pair struct {
+				Term string
+				DF   int64
+			}
+			local := make([]pair, 0, hi-lo)
+			for i := int64(0); i < hi-lo; i++ {
+				local = append(local, pair{vocab.Term(lo + i), df[i]})
+			}
+			parts := c.Gather(0, local, float64(24*len(local)))
+			if c.Rank() == 0 {
+				for _, part := range parts {
+					for _, pr := range part.([]pair) {
+						out[pr.Term] = pr.DF
+					}
+				}
+			}
+			return nil
+		})
+		return out
+	}
+	base := collect(1)
+	for _, p := range []int{2, 3} {
+		got := collect(p)
+		if len(got) != len(base) {
+			t.Fatalf("p=%d: %d terms vs %d", p, len(got), len(base))
+		}
+		for term, df := range base {
+			if got[term] != df {
+				t.Fatalf("p=%d: term %q df %d vs %d", p, term, got[term], df)
+			}
+		}
+	}
+}
+
+func TestStatsReadableFromAnyRank(t *testing.T) {
+	withStats(t, 3, statSources(), func(c *cluster.Comm, st *TermStats, vocab *dhash.Map, fwd *scan.Forward) error {
+		// Every rank reads the same value for term 0 via one-sided Get.
+		v := st.DF.GetOne(0)
+		sum := c.AllreduceSumInt(v)
+		if sum != v*int64(c.Size()) {
+			return fmt.Errorf("ranks read different df for term 0")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,223 @@
+package topic
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"inspire/internal/armci"
+	"inspire/internal/cluster"
+	"inspire/internal/corpus"
+	"inspire/internal/dhash"
+	"inspire/internal/invert"
+	"inspire/internal/scan"
+	"inspire/internal/simtime"
+	"inspire/internal/stats"
+)
+
+func TestTopicalityEdgeCases(t *testing.T) {
+	if Topicality(0, 10, 100) != 0 {
+		t.Error("df=0 should score 0")
+	}
+	if Topicality(1, 1, 100) != 0 {
+		t.Error("single occurrence should score 0")
+	}
+	if Topicality(5, 10, 1) != 0 {
+		t.Error("single doc collection should score 0")
+	}
+	if Topicality(3, 10, 0) != 0 {
+		t.Error("empty collection should score 0")
+	}
+}
+
+func TestTopicalityBurstyBeatsScattered(t *testing.T) {
+	// 100 occurrences in 5 docs (bursty) vs 100 occurrences in ~100 docs
+	// (Poisson-like scatter) over a 10k-doc collection.
+	bursty := Topicality(5, 100, 10000)
+	scattered := Topicality(99, 100, 10000)
+	if bursty <= scattered {
+		t.Fatalf("bursty %g should beat scattered %g", bursty, scattered)
+	}
+	if scattered < 0 {
+		t.Fatalf("score must be non-negative, got %g", scattered)
+	}
+}
+
+func TestTopicalityAtExpectationIsZero(t *testing.T) {
+	// When df equals the random-scatter expectation, clumping is zero.
+	d := int64(1000)
+	cf := int64(50)
+	expDF := float64(d) * -math.Expm1(float64(cf)*math.Log1p(-1/float64(d)))
+	got := Topicality(int64(math.Ceil(expDF)), cf, d)
+	if got > 0.01 {
+		t.Fatalf("df at expectation should score ~0, got %g", got)
+	}
+}
+
+func TestTopicalityProperties(t *testing.T) {
+	// Non-negative; monotone in burstiness (fewer docs, same cf -> higher).
+	f := func(dfRaw, cfRaw uint16, dRaw uint32) bool {
+		d := int64(dRaw%100000) + 2
+		cf := int64(cfRaw%5000) + 2
+		df := int64(dfRaw)%cf + 1
+		if df > d {
+			df = d
+		}
+		s := Topicality(df, cf, d)
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return false
+		}
+		if df > 1 {
+			denser := Topicality(df-1, cf, d)
+			if denser+1e-12 < s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildStats runs scan+invert+stats for topic selection tests.
+func buildStats(t *testing.T, p int, sources []*corpus.Source, body func(c *cluster.Comm, st *stats.TermStats, vocab *dhash.Map) error) {
+	t.Helper()
+	_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		parts := corpus.Partition(sources, p)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := invert.PublishForward(c, fwd)
+		ix := invert.Invert(c, gf, n, vocab.DenseRange, invert.Options{})
+		st := stats.Build(c, ix, fwd.TotalDocs, int64(len(fwd.Tokens)))
+		return body(c, st, vocab)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func topicSources() []*corpus.Source {
+	return corpus.Generate(corpus.GenSpec{
+		Format: corpus.FormatPubMed, TargetBytes: 50_000, Sources: 4, Seed: 31, VocabSize: 1200, Topics: 4,
+	})
+}
+
+func TestSelectReturnsSameResultEverywhere(t *testing.T) {
+	sources := topicSources()
+	for _, p := range []int{1, 2, 4} {
+		var rank0 []int64
+		buildStats(t, p, sources, func(c *cluster.Comm, st *stats.TermStats, vocab *dhash.Map) error {
+			res := Select(c, st, 100, 10, vocab.Term)
+			if res.N() == 0 {
+				return fmt.Errorf("no majors selected")
+			}
+			if res.M() != 10 && res.M() != res.N() {
+				return fmt.Errorf("M=%d", res.M())
+			}
+			// All ranks agree (gather at 0 via allreduce-style check).
+			ids := append([]int64(nil), res.Majors...)
+			sum := c.AllreduceSumInt64(append([]int64(nil), ids...))
+			for i := range sum {
+				if sum[i] != ids[i]*int64(c.Size()) {
+					return fmt.Errorf("ranks disagree on major %d", i)
+				}
+			}
+			if c.Rank() == 0 {
+				rank0 = ids
+			}
+			return nil
+		})
+		if len(rank0) == 0 {
+			t.Fatalf("p=%d: empty selection", p)
+		}
+	}
+}
+
+func TestSelectOrderedByScore(t *testing.T) {
+	buildStats(t, 2, topicSources(), func(c *cluster.Comm, st *stats.TermStats, vocab *dhash.Map) error {
+		res := Select(c, st, 50, 5, vocab.Term)
+		for i := 1; i < res.N(); i++ {
+			if res.Scores[i] > res.Scores[i-1] {
+				return fmt.Errorf("scores out of order at %d: %g > %g", i, res.Scores[i], res.Scores[i-1])
+			}
+			if res.Scores[i] == res.Scores[i-1] && vocab.Term(res.Majors[i]) <= vocab.Term(res.Majors[i-1]) {
+				return fmt.Errorf("tie not broken by term string at %d", i)
+			}
+		}
+		// Index maps invert the slices.
+		for i, id := range res.Majors {
+			if res.MajorIdx[id] != i {
+				return fmt.Errorf("MajorIdx broken")
+			}
+		}
+		for j, id := range res.Topics {
+			if res.TopicIdx[id] != j {
+				return fmt.Errorf("TopicIdx broken")
+			}
+		}
+		return nil
+	})
+}
+
+func TestSelectTermSetInvariantAcrossP(t *testing.T) {
+	sources := topicSources()
+	collect := func(p int) map[string]bool {
+		out := make(map[string]bool)
+		buildStats(t, p, sources, func(c *cluster.Comm, st *stats.TermStats, vocab *dhash.Map) error {
+			res := Select(c, st, 60, 6, vocab.Term)
+			if c.Rank() == 0 {
+				for _, id := range res.Majors {
+					out[vocab.Term(id)] = true
+				}
+			}
+			return nil
+		})
+		return out
+	}
+	base := collect(1)
+	got := collect(3)
+	if len(base) != len(got) {
+		t.Fatalf("major set size differs: %d vs %d", len(base), len(got))
+	}
+	for term := range base {
+		if !got[term] {
+			t.Fatalf("P=3 missing major term %q", term)
+		}
+	}
+}
+
+func TestSelectDefaultM(t *testing.T) {
+	buildStats(t, 2, topicSources(), func(c *cluster.Comm, st *stats.TermStats, vocab *dhash.Map) error {
+		res := Select(c, st, 100, 0, vocab.Term)
+		if res.N() == 0 {
+			return fmt.Errorf("no majors")
+		}
+		wantM := (res.N() + 9) / 10
+		if res.M() != wantM {
+			return fmt.Errorf("default M=%d want %d", res.M(), wantM)
+		}
+		return nil
+	})
+}
+
+func TestSelectClampsToVocabulary(t *testing.T) {
+	buildStats(t, 2, topicSources(), func(c *cluster.Comm, st *stats.TermStats, vocab *dhash.Map) error {
+		res := Select(c, st, 1_000_000, 1_000_000, vocab.Term)
+		if int64(res.N()) > st.DF.N() {
+			return fmt.Errorf("selected %d majors from %d terms", res.N(), st.DF.N())
+		}
+		if res.M() > res.N() {
+			return fmt.Errorf("M %d > N %d", res.M(), res.N())
+		}
+		return nil
+	})
+}
