@@ -1,0 +1,378 @@
+// Command inspired is the serving daemon: index once, serve many. It loads a
+// finished pipeline run — either by running the pipeline over a corpus
+// directory or by loading a store persisted with -save-store — and answers
+// concurrent analyst sessions over JSON: term lookups, boolean queries,
+// similarity search, theme drill-down and ThemeView region queries, each
+// reported with its modeled virtual latency on the 2007 cluster.
+//
+// Usage:
+//
+//	inspired -in ./corpus-dir -format pubmed -p 8 -http :8417
+//	inspired -in ./corpus-dir -save-store run.store -stdin
+//	inspired -store run.store -http :8417
+//	echo "term apple" | inspired -store run.store -stdin
+//
+// HTTP endpoints (all GET, JSON responses):
+//
+//	/term?q=word            posting list of one term
+//	/df?q=word              document frequency
+//	/and?q=a,b,c            conjunctive query
+//	/or?q=a,b,c             disjunctive query
+//	/similar?doc=3&k=5      top-K similarity in signature space
+//	/theme?cluster=2        documents of one k-means theme
+//	/near?x=0&y=0&r=0.2     ThemeView region drill-down
+//	/themes                 discovered themes
+//	/stats                  server cache/traffic counters
+//
+// Pass session=NAME on query endpoints to accumulate per-session virtual
+// latency across requests; anonymous requests each get a fresh session.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/query"
+	"inspire/internal/serve"
+	"inspire/internal/signature"
+)
+
+func main() {
+	in := flag.String("in", "", "corpus directory to index (required unless -store)")
+	format := flag.String("format", "pubmed", "source format: pubmed or trec")
+	p := flag.Int("p", 4, "number of SPMD processes for the indexing run")
+	storePath := flag.String("store", "", "serve a store persisted with -save-store instead of indexing")
+	saveStore := flag.String("save-store", "", "persist the serving store to this file after indexing")
+	sigPath := flag.String("signatures", "", "override signatures from a file persisted by inspire -signatures")
+	httpAddr := flag.String("http", ":8417", "HTTP listen address (empty to disable)")
+	stdin := flag.Bool("stdin", false, "serve the line protocol on stdin instead of HTTP")
+	postCache := flag.Int("post-cache", 4096, "posting-list LRU cache entries")
+	simCache := flag.Int("sim-cache", 512, "similarity result cache entries")
+	flag.Parse()
+
+	st, err := loadOrIndex(*storePath, *in, *format, *p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
+		os.Exit(1)
+	}
+	if *sigPath != "" {
+		set, err := signature.LoadSetFile(*sigPath)
+		if err == nil {
+			err = st.ApplySignatures(set)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("applied %d persisted signatures (M=%d)\n", set.Len(), set.M)
+	}
+	if *saveStore != "" {
+		if err := st.SaveFile(*saveStore); err != nil {
+			fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("persisted serving store to %s\n", *saveStore)
+	}
+
+	srv, err := serve.NewServer(st, serve.Config{
+		PostingCacheEntries: *postCache,
+		SimCacheEntries:     *simCache,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d documents, %d terms, %d themes (producing run P=%d)\n",
+		st.TotalDocs, st.VocabSize, st.K, st.P)
+
+	d := &daemon{srv: srv, sessions: make(map[string]*namedSession)}
+	if *stdin {
+		d.serveLines(os.Stdin, os.Stdout)
+		return
+	}
+	if *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "inspired: nothing to do (no -http address and no -stdin)")
+		os.Exit(2)
+	}
+	fmt.Printf("listening on %s\n", *httpAddr)
+	if err := http.ListenAndServe(*httpAddr, d.mux()); err != nil {
+		fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadOrIndex resolves the serving store: a persisted file, or one indexing
+// run over the corpus directory.
+func loadOrIndex(storePath, in, format string, p int) (*serve.Store, error) {
+	if storePath != "" {
+		st, err := serve.LoadStoreFile(storePath)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("loaded store %s\n", storePath)
+		return st, nil
+	}
+	if in == "" {
+		return nil, fmt.Errorf("either -in or -store is required")
+	}
+	var f corpus.Format
+	switch format {
+	case "pubmed":
+		f = corpus.FormatPubMed
+	case "trec":
+		f = corpus.FormatTREC
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+	sources, err := loadSources(in, f)
+	if err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("no source files in %s", in)
+	}
+	var st *serve.Store
+	w, err := cluster.NewWorld(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	err = w.Run(func(c *cluster.Comm) error {
+		res, err := core.Run(c, sources, core.Config{CollectSignatures: true})
+		if err != nil {
+			return err
+		}
+		got, err := serve.Snapshot(c, res)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			st = got
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// loadSources reads every regular file of the directory as a source, in name
+// order.
+func loadSources(dir string, f corpus.Format) ([]*corpus.Source, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	var sources []*corpus.Source
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, &corpus.Source{Name: e.Name(), Format: f, Data: data})
+	}
+	return sources, nil
+}
+
+// daemon multiplexes named sessions over the server.
+type daemon struct {
+	srv *serve.Server
+
+	mu       sync.Mutex
+	sessions map[string]*namedSession
+}
+
+// namedSession serializes the requests of one session name: serve.Session
+// requires one goroutine at a time, and serializing also keeps each reply's
+// virtual_ms the latency of its own interaction.
+type namedSession struct {
+	mu   sync.Mutex
+	sess *serve.Session
+}
+
+// maxNamedSessions bounds the retained session table; once full, unseen
+// names fall back to throwaway sessions instead of growing memory without
+// bound.
+const maxNamedSessions = 1024
+
+// session returns the named session, creating it on first use; the empty
+// name gets a fresh throwaway session.
+func (d *daemon) session(name string) *namedSession {
+	if name == "" {
+		return &namedSession{sess: d.srv.NewSession()}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.sessions[name]; ok {
+		return s
+	}
+	if len(d.sessions) >= maxNamedSessions {
+		return &namedSession{sess: d.srv.NewSession()}
+	}
+	s := &namedSession{sess: d.srv.NewSession()}
+	d.sessions[name] = s
+	return s
+}
+
+// reply is the JSON envelope of every query response.
+type reply struct {
+	Op        string          `json:"op"`
+	VirtualMS float64         `json:"virtual_ms"`         // this interaction's modeled latency
+	Count     int             `json:"count"`              // result cardinality
+	Postings  []query.Posting `json:"postings,omitempty"` // term queries
+	Docs      []int64         `json:"docs,omitempty"`     // boolean/theme/near queries
+	Hits      []query.Hit     `json:"hits,omitempty"`     // similarity queries
+	DF        int64           `json:"df,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// run executes one parsed operation against a session, holding its lock so
+// concurrent requests on one name serialize and the reported virtual_ms
+// belongs to this interaction.
+func (d *daemon) run(ns *namedSession, op string, args map[string]string) reply {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	sess := ns.sess
+	rep := reply{Op: op}
+	terms := func() []string {
+		return strings.FieldsFunc(args["q"], func(r rune) bool { return r == ',' || r == ' ' })
+	}
+	switch op {
+	case "term":
+		rep.Postings = sess.TermDocs(args["q"])
+		rep.Count = len(rep.Postings)
+	case "df":
+		rep.DF = sess.DF(args["q"])
+	case "and":
+		rep.Docs = sess.And(terms()...)
+		rep.Count = len(rep.Docs)
+	case "or":
+		rep.Docs = sess.Or(terms()...)
+		rep.Count = len(rep.Docs)
+	case "similar":
+		doc, _ := strconv.ParseInt(args["doc"], 10, 64)
+		k, _ := strconv.Atoi(args["k"])
+		if k <= 0 {
+			k = 5
+		}
+		hits, err := sess.Similar(doc, k)
+		if err != nil {
+			rep.Error = err.Error()
+		}
+		rep.Hits = hits
+		rep.Count = len(hits)
+	case "theme":
+		k, _ := strconv.Atoi(args["cluster"])
+		rep.Docs = sess.ThemeDocs(k)
+		rep.Count = len(rep.Docs)
+	case "near":
+		x, _ := strconv.ParseFloat(args["x"], 64)
+		y, _ := strconv.ParseFloat(args["y"], 64)
+		r, _ := strconv.ParseFloat(args["r"], 64)
+		rep.Docs = sess.Near(x, y, r)
+		rep.Count = len(rep.Docs)
+	default:
+		rep.Error = fmt.Sprintf("unknown op %q", op)
+		return rep
+	}
+	rep.VirtualMS = sess.Stats().LastMS
+	return rep
+}
+
+// mux builds the HTTP surface.
+func (d *daemon) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(op string, keys ...string) {
+		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
+			args := make(map[string]string, len(keys))
+			for _, k := range keys {
+				args[k] = r.URL.Query().Get(k)
+			}
+			sess := d.session(r.URL.Query().Get("session"))
+			writeJSON(w, d.run(sess, op, args))
+		})
+	}
+	handle("term", "q")
+	handle("df", "q")
+	handle("and", "q")
+	handle("or", "q")
+	handle("similar", "doc", "k")
+	handle("theme", "cluster")
+	handle("near", "x", "y", "r")
+	mux.HandleFunc("/themes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.srv.Store().Themes)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.srv.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// serveLines answers the stdin line protocol: one op per line, JSON per
+// line. Lines are "term apple", "and apple banana", "similar 3 5",
+// "theme 2", "near 0 0 0.2", "df apple", "stats", "quit".
+func (d *daemon) serveLines(in *os.File, out *os.File) {
+	sess := &namedSession{sess: d.srv.NewSession()}
+	sc := bufio.NewScanner(in)
+	enc := json.NewEncoder(out)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		op, rest := fields[0], fields[1:]
+		switch op {
+		case "quit", "exit":
+			return
+		case "stats":
+			_ = enc.Encode(d.srv.Stats())
+			continue
+		}
+		args := map[string]string{}
+		switch op {
+		case "term", "df":
+			if len(rest) > 0 {
+				args["q"] = rest[0]
+			}
+		case "and", "or":
+			args["q"] = strings.Join(rest, ",")
+		case "similar":
+			if len(rest) > 0 {
+				args["doc"] = rest[0]
+			}
+			if len(rest) > 1 {
+				args["k"] = rest[1]
+			}
+		case "theme":
+			if len(rest) > 0 {
+				args["cluster"] = rest[0]
+			}
+		case "near":
+			if len(rest) > 2 {
+				args["x"], args["y"], args["r"] = rest[0], rest[1], rest[2]
+			}
+		}
+		_ = enc.Encode(d.run(sess, op, args))
+	}
+}

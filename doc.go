@@ -12,9 +12,17 @@
 // matrix of conditional term probabilities, L1-normalized knowledge
 // signatures, distributed k-means, and PCA projection.
 //
+// Beyond the batch pipeline, the engine opens the paper's stated frontier —
+// interactive analysis at scale: internal/query answers term, boolean,
+// similarity and drill-down queries over the distributed products, and
+// internal/serve turns a finished run into a long-lived serving store that
+// answers many concurrent analyst sessions (LRU posting and similarity
+// caches, coalesced index transfers, per-interaction virtual latency)
+// through the cmd/inspired daemon: index once, serve many.
+//
 // The library lives under internal/; the executables under cmd/ (inspire,
-// corpusgen, benchfig) and the runnable scenarios under examples/ are the
-// public surface. bench_test.go in this directory regenerates every figure
-// of the paper's evaluation as Go benchmarks; see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured results.
+// inspired, corpusgen, benchfig) and the runnable scenarios under examples/
+// are the public surface. bench_test.go in this directory regenerates every
+// figure of the paper's evaluation as Go benchmarks; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
 package inspire

@@ -1,0 +1,99 @@
+// Serving scenario — the ROADMAP's "heavy traffic" axis over the paper's
+// interactive-analysis frontier. The pipeline runs once over a synthetic
+// PubMed-style corpus; the finished run is snapshotted into a serving store;
+// then N concurrent analyst sessions replay a mixed workload (term lookups,
+// boolean queries, similarity search, theme drill-down, ThemeView region
+// queries) against one serve.Server.
+//
+// The replay reports the serving scoreboard: sustained queries/sec on the
+// host, posting/similarity cache hit rates, how many index transfers were
+// coalesced across sessions, and the mean/max per-interaction virtual
+// latency on the modeled 2007 cluster. Repeated queries hit the caches
+// without changing a single answer — the determinism the engine guarantees
+// end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/serve"
+)
+
+func main() {
+	sources := corpus.Generate(corpus.GenSpec{
+		Format:      corpus.FormatPubMed,
+		TargetBytes: 1 << 20,
+		Sources:     12,
+		Seed:        11,
+		Topics:      6,
+		VocabSize:   6000,
+	})
+
+	// Index once: one pipeline run, snapshotted into the serving store.
+	const p = 4
+	var st *serve.Store
+	w, err := cluster.NewWorld(p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = w.Run(func(c *cluster.Comm) error {
+		res, err := core.Run(c, sources, core.Config{CollectSignatures: true})
+		if err != nil {
+			return err
+		}
+		got, err := serve.Snapshot(c, res)
+		if c.Rank() == 0 {
+			st = got
+		}
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d documents, %d terms, %d themes (P=%d pipeline run)\n",
+		st.TotalDocs, st.VocabSize, st.K, p)
+
+	// Serve many: concurrent sessions over one server.
+	srv, err := serve.NewServer(st, serve.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const sessions = 12
+	rep, err := serve.Replay(srv, serve.WorkloadConfig{
+		Sessions:      sessions,
+		OpsPerSession: 60,
+		Seed:          42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmixed workload (%s):\n%s\n", rep.OpMix(), rep)
+
+	// Determinism across cache states: replaying the same workload against
+	// warm caches answers faster but identically; spot-check one query on a
+	// cold server vs the warm one.
+	warm := srv.NewSession()
+	cold := mustSession(st)
+	term := st.TopTerms(1)[0]
+	a, b := warm.TermDocs(term), cold.TermDocs(term)
+	same := len(a) == len(b)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == b[i]
+	}
+	fmt.Printf("\nspot check %q: warm-cache answer == cold-server answer: %v "+
+		"(warm %.4f ms vs cold %.4f ms virtual)\n",
+		term, same, warm.Stats().LastMS, cold.Stats().LastMS)
+}
+
+// mustSession opens a session on a fresh (cold-cache) server over the store.
+func mustSession(st *serve.Store) *serve.Session {
+	srv, err := serve.NewServer(st, serve.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return srv.NewSession()
+}

@@ -1,0 +1,3 @@
+module inspire
+
+go 1.24

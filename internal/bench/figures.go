@@ -28,6 +28,7 @@ var Experiments = []Experiment{
 	{"A1", "Ablation: GA atomic task queue vs master-worker dispatcher", FigA1},
 	{"A2", "Ablation: static vs adaptive signature dimensionality", FigA2},
 	{"A3", "Ablation: scanning under ideal vs NFS vs Lustre storage", FigA3},
+	{"S1", "Serving: query throughput and cache effectiveness vs concurrent sessions", FigS1},
 }
 
 // FindExperiment resolves an experiment by ID.

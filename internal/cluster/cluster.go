@@ -133,6 +133,10 @@ func Run(p int, model *simtime.Model, body func(c *Comm) error) (*World, error) 
 type Comm struct {
 	world *World
 	rank  int
+
+	// fork, when non-nil, is the private clock of a forked endpoint (see
+	// Fork); the endpoint then supports one-sided operations only.
+	fork *simtime.Clock
 }
 
 // Rank returns this process's rank in 0..Size-1.
@@ -144,8 +148,40 @@ func (c *Comm) Size() int { return c.world.size }
 // Model returns the machine model.
 func (c *Comm) Model() *simtime.Model { return c.world.model }
 
-// Clock returns this rank's virtual clock.
-func (c *Comm) Clock() *simtime.Clock { return c.world.clocks[c.rank] }
+// Clock returns this rank's virtual clock (the fork's private clock on a
+// forked endpoint).
+func (c *Comm) Clock() *simtime.Clock {
+	if c.fork != nil {
+		return c.fork
+	}
+	return c.world.clocks[c.rank]
+}
+
+// Fork returns a derived endpoint that shares this rank's identity and world
+// but owns a private virtual clock starting at the parent's current time.
+// Forks exist so one rank can issue *overlapped* one-sided operations from
+// concurrent goroutines — the in-process analogue of Global Arrays
+// non-blocking ga_nbget — with each stream's cost accumulating on its own
+// clock. After the goroutines finish, Join folds the forks back into the
+// parent as the maximum over streams (overlap, not a sum).
+//
+// A forked endpoint supports one-sided operations only: Send, Recv and every
+// collective built on them panic, because the mailboxes and barrier state
+// belong to the unforked rank.
+func (c *Comm) Fork() *Comm {
+	f := &Comm{world: c.world, rank: c.rank, fork: simtime.NewClock()}
+	f.fork.Set(c.Clock().Now())
+	return f
+}
+
+// Join merges forked endpoints back into this rank's clock: the clock becomes
+// the maximum of its own time and every fork's time, modeling concurrent
+// one-sided streams that all complete before execution continues.
+func (c *Comm) Join(forks ...*Comm) {
+	for _, f := range forks {
+		c.Clock().Merge(f.Clock().Now())
+	}
+}
 
 // Timeline returns this rank's component timeline.
 func (c *Comm) Timeline() *simtime.Timeline { return c.world.timelines[c.rank] }
@@ -158,6 +194,9 @@ func (c *Comm) World() *World { return c.world }
 // virtual cost of a message of approximately `bytes` payload bytes. Send is
 // asynchronous up to the mailbox capacity.
 func (c *Comm) Send(to, tag int, payload any, bytes float64) {
+	if c.fork != nil {
+		panic("cluster: forked endpoints support one-sided operations only")
+	}
 	if to < 0 || to >= c.world.size {
 		panic(fmt.Sprintf("cluster: send to invalid rank %d (size %d)", to, c.world.size))
 	}
@@ -175,6 +214,9 @@ func (c *Comm) Send(to, tag int, payload any, bytes float64) {
 // Recv panics instead of blocking forever; the panic surfaces as this rank's
 // error through Run's recovery.
 func (c *Comm) Recv(from, tag int) any {
+	if c.fork != nil {
+		panic("cluster: forked endpoints support one-sided operations only")
+	}
 	if from < 0 || from >= c.world.size {
 		panic(fmt.Sprintf("cluster: recv from invalid rank %d (size %d)", from, c.world.size))
 	}

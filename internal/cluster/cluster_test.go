@@ -504,3 +504,55 @@ func TestAbortOnPanicWakesPeers(t *testing.T) {
 		t.Fatal("panicked run deadlocked")
 	}
 }
+
+func TestForkJoinModelsOverlappedGets(t *testing.T) {
+	_, err := Run(2, nil, func(c *Comm) error {
+		base := c.Clock().Now()
+		// Two forks each advance by 3 and 5 seconds of one-sided work;
+		// joining folds in the max (overlap), not the sum.
+		f1, f2 := c.Fork(), c.Fork()
+		if f1.Clock().Now() != base || f2.Clock().Now() != base {
+			return fmt.Errorf("fork clocks do not start at parent time")
+		}
+		if f1.Rank() != c.Rank() || f1.Size() != c.Size() {
+			return fmt.Errorf("fork identity differs from parent")
+		}
+		f1.Clock().Advance(3)
+		f2.Clock().Advance(5)
+		c.Join(f1, f2)
+		if got := c.Clock().Now(); got != base+5 {
+			return fmt.Errorf("joined clock %g, want %g", got, base+5)
+		}
+		// The parent endpoint still supports the transport.
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkedEndpointRejectsTransport(t *testing.T) {
+	_, err := Run(2, nil, func(c *Comm) error {
+		f := c.Fork()
+		for name, fn := range map[string]func(){
+			"send":    func() { f.Send((c.Rank()+1)%2, 1, nil, 0) },
+			"recv":    func() { f.Recv((c.Rank()+1)%2, 1) },
+			"barrier": func() { f.Barrier() },
+		} {
+			panicked := func() (p bool) {
+				defer func() { p = recover() != nil }()
+				fn()
+				return false
+			}()
+			if !panicked {
+				return fmt.Errorf("forked %s did not panic", name)
+			}
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

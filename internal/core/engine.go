@@ -334,7 +334,7 @@ func Run(c *cluster.Comm, sources []*corpus.Source, cfg Config) (*Result, error)
 
 	// ------------------------- Persist signatures (step 7) --------------
 	if cfg.CollectSignatures {
-		collectSignatures(c, res)
+		GatherSignatures(c, res)
 	}
 
 	// ------------------------------------------------ ClusProj ----------
@@ -365,9 +365,12 @@ func Run(c *cluster.Comm, sources []*corpus.Source, cfg Config) (*Result, error)
 	return res, nil
 }
 
-// collectSignatures gathers all ranks' signatures at rank 0, flattened as
-// (docID, kind, vec...) frames, and sorts them by document ID.
-func collectSignatures(c *cluster.Comm, res *Result) {
+// GatherSignatures collectively gathers all ranks' signatures at rank 0,
+// flattened as (docID, kind, vec...) frames, sorted by document ID, into
+// SigDocIDs/SigVecs. Run calls it when Config.CollectSignatures is set; the
+// serving layer calls it when snapshotting a run whose signatures were not
+// collected during the pipeline.
+func GatherSignatures(c *cluster.Comm, res *Result) {
 	m := res.Signatures.M
 	frame := 2 + m
 	flat := make([]float64, 0, frame*len(res.Signatures.Vecs))

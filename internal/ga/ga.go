@@ -90,6 +90,18 @@ func createWithBounds[T number](c *cluster.Comm, name string, bounds []int64) *A
 // Name returns the array's debug name.
 func (a *Array[T]) Name() string { return a.s.name }
 
+// On returns a handle to the same global array bound to a different endpoint
+// of the same rank — typically one obtained with Comm.Fork — so concurrent
+// goroutines can issue overlapped one-sided Gets, each charged to its own
+// fork's clock. The underlying shards and locks are shared; only cost
+// accounting differs.
+func (a *Array[T]) On(c *cluster.Comm) *Array[T] {
+	if c.World() != a.c.World() || c.Rank() != a.c.Rank() {
+		panic(fmt.Sprintf("ga: %s: On requires an endpoint of the same rank and world", a.s.name))
+	}
+	return &Array[T]{c: c, s: a.s}
+}
+
 // N returns the global length.
 func (a *Array[T]) N() int64 { return a.s.n }
 

@@ -312,3 +312,72 @@ func TestPutGetQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOnForkConcurrentGets(t *testing.T) {
+	const n = 64
+	_, err := cluster.Run(4, nil, func(c *cluster.Comm) error {
+		a := Create[int64](c, "onfork", n)
+		lo, hi := a.Distribution(c.Rank())
+		sh := a.Access()
+		for i := range sh {
+			sh[i] = lo + int64(i)
+		}
+		_ = hi
+		a.Sync()
+		if c.Rank() == 0 {
+			// Drain the array with two overlapped streams on forked
+			// endpoints; the parent clock advances by the max stream.
+			before := c.Clock().Now()
+			out := make([]int64, n)
+			f1, f2 := c.Fork(), c.Fork()
+			a1, a2 := a.On(f1), a.On(f2)
+			done := make(chan struct{})
+			go func() { a1.Get(0, out[:n/2]); close(done) }()
+			a2.Get(n/2, out[n/2:])
+			<-done
+			c.Join(f1, f2)
+			for i := range out {
+				if out[i] != int64(i) {
+					return fmt.Errorf("out[%d] = %d", i, out[i])
+				}
+			}
+			seq := f1.Clock().Now() - before + (f2.Clock().Now() - before)
+			if got := c.Clock().Now() - before; got <= 0 || got >= seq {
+				return fmt.Errorf("joined cost %g not in (0, sequential %g)", got, seq)
+			}
+		}
+		a.Sync()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnRejectsForeignEndpoint(t *testing.T) {
+	_, err := cluster.Run(2, nil, func(c *cluster.Comm) error {
+		a := Create[int64](c, "foreign", 8)
+		if c.Rank() == 0 {
+			other, err := cluster.NewWorld(2, simtime.Zero())
+			if err != nil {
+				return err
+			}
+			// The foreign rank's panic is recovered by its own world and
+			// surfaces as that run's error.
+			err = other.Run(func(oc *cluster.Comm) error {
+				if oc.Rank() == 0 {
+					a.On(oc)
+				}
+				return nil
+			})
+			if err == nil {
+				return fmt.Errorf("On accepted an endpoint of a different world")
+			}
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

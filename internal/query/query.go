@@ -11,6 +11,14 @@
 // candidates with the same top-K merge collective the topicality stage uses.
 // Every operation is charged to the virtual clock, so interaction latency on
 // the modeled cluster is measurable.
+//
+// Concurrency: the point read paths — TermDocs, DF, And, Or — are safe for
+// concurrent use from multiple goroutines of one rank (multiple analyst
+// sessions), provided the posting source is; the global-array source is. The
+// collective operations — Similar, ThemeDocs, Near — synchronize all ranks
+// and must be called by exactly one session at a time. The serving layer
+// (internal/serve) builds on the non-collective paths plus a gathered
+// snapshot for the collective ones.
 package query
 
 import (
@@ -22,16 +30,34 @@ import (
 	"inspire/internal/core"
 )
 
+// PostingSource supplies a term's posting list by dense term ID. The
+// distributed inverted index (invert.Index) is the default source; a serving
+// layer can interpose a caching source so repeated lookups skip the one-sided
+// transfer. Implementations must be safe for concurrent use.
+type PostingSource interface {
+	Postings(id int64) (docs, freqs []int64)
+}
+
 // Engine wraps one rank's view of a finished pipeline run.
 type Engine struct {
 	c   *cluster.Comm
 	res *core.Result
+	src PostingSource
 }
 
 // New builds the query engine over a pipeline result. Must be called
 // collectively with each rank's own result.
 func New(c *cluster.Comm, res *core.Result) *Engine {
-	return &Engine{c: c, res: res}
+	return &Engine{c: c, res: res, src: res.Index}
+}
+
+// UsePostings replaces the engine's posting source (e.g. with a cache wrapped
+// around the previous source) and returns the source it replaced. Not safe to
+// call concurrently with queries; install sources before serving.
+func (e *Engine) UsePostings(src PostingSource) PostingSource {
+	old := e.src
+	e.src = src
+	return old
 }
 
 // Posting is one document hit for a term.
@@ -44,12 +70,12 @@ type Posting struct {
 // nil when the term is not in the vocabulary. Any rank may call it; the
 // postings transfer one-sided from the term's owner.
 func (e *Engine) TermDocs(term string) []Posting {
-	tok := normalize(term)
+	tok := Normalize(term)
 	id, ok := e.res.Vocab.DenseLookup(tok)
 	if !ok {
 		return nil
 	}
-	docs, freqs := e.res.Index.Postings(id)
+	docs, freqs := e.src.Postings(id)
 	out := make([]Posting, len(docs))
 	for i := range docs {
 		out[i] = Posting{Doc: docs[i], Freq: freqs[i]}
@@ -59,7 +85,7 @@ func (e *Engine) TermDocs(term string) []Posting {
 
 // DF returns a term's document frequency (0 when absent).
 func (e *Engine) DF(term string) int64 {
-	id, ok := e.res.Vocab.DenseLookup(normalize(term))
+	id, ok := e.res.Vocab.DenseLookup(Normalize(term))
 	if !ok {
 		return 0
 	}
@@ -82,7 +108,7 @@ func (e *Engine) And(terms ...string) []int64 {
 	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
 	acc := docSet(lists[0])
 	for _, l := range lists[1:] {
-		acc = intersect(acc, docSet(l))
+		acc = IntersectSorted(acc, docSet(l))
 		if len(acc) == 0 {
 			return nil
 		}
@@ -142,7 +168,7 @@ func (e *Engine) Similar(targetDoc int64, k int) ([]Hit, error) {
 		if v == nil || fwd.GlobalDocIDs[i] == targetDoc {
 			continue
 		}
-		local = append(local, cluster.Scored{ID: fwd.GlobalDocIDs[i], Score: cosine(target, v)})
+		local = append(local, cluster.Scored{ID: fwd.GlobalDocIDs[i], Score: Cosine(target, v)})
 		flops += float64(3 * m)
 	}
 	e.c.Clock().Advance(e.c.Model().FlopCost(flops))
@@ -201,8 +227,8 @@ func (e *Engine) Near(x, y, radius float64) []int64 {
 
 // --- helpers ---------------------------------------------------------------
 
-// normalize lowercases a query term the way the tokenizer would.
-func normalize(term string) string {
+// Normalize lowercases a query term the way the tokenizer would.
+func Normalize(term string) string {
 	out := make([]byte, 0, len(term))
 	for i := 0; i < len(term); i++ {
 		ch := term[i]
@@ -214,8 +240,8 @@ func normalize(term string) string {
 	return string(out)
 }
 
-// cosine returns the cosine similarity of two non-negative vectors.
-func cosine(a, b []float64) float64 {
+// Cosine returns the cosine similarity of two non-negative vectors.
+func Cosine(a, b []float64) float64 {
 	var dot, na, nb float64
 	for i := range a {
 		dot += a[i] * b[i]
@@ -237,8 +263,8 @@ func docSet(ps []Posting) []int64 {
 	return out
 }
 
-// intersect merges two sorted ID lists.
-func intersect(a, b []int64) []int64 {
+// IntersectSorted merges two sorted ID lists into their sorted intersection.
+func IntersectSorted(a, b []int64) []int64 {
 	var out []int64
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

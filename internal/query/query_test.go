@@ -224,3 +224,38 @@ func TestVirtualLatencyCharged(t *testing.T) {
 		t.Fatal("query latency not charged to the virtual clock")
 	}
 }
+
+// countingSource wraps a posting source and counts fetches — the shape a
+// serving cache interposes.
+type countingSource struct {
+	inner PostingSource
+	calls int64
+}
+
+func (cs *countingSource) Postings(id int64) ([]int64, []int64) {
+	cs.calls++
+	return cs.inner.Postings(id)
+}
+
+func TestUsePostingsInterposesSource(t *testing.T) {
+	withEngine(t, 2, func(c *cluster.Comm, e *Engine) error {
+		want := e.TermDocs("apple")
+		cs := &countingSource{}
+		cs.inner = e.UsePostings(cs)
+		if cs.inner == nil {
+			return fmt.Errorf("no previous source returned")
+		}
+		got := e.TermDocs("apple")
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("interposed source changes results: %v vs %v", got, want)
+		}
+		if cs.calls != 1 {
+			return fmt.Errorf("interposed source saw %d calls, want 1", cs.calls)
+		}
+		e.And("apple", "banana")
+		if cs.calls != 3 {
+			return fmt.Errorf("boolean query bypassed the source (%d calls)", cs.calls)
+		}
+		return nil
+	})
+}

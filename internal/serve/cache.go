@@ -1,0 +1,51 @@
+package serve
+
+import "container/list"
+
+// lru is a minimal least-recently-used map used for the posting-list and
+// similarity caches. Counters live in the Server so the cache stays a pure
+// data structure; callers synchronize access (Server guards each cache with
+// its own mutex alongside the in-flight table).
+type lru[K comparable, V any] struct {
+	cap   int
+	ll    *list.List
+	items map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](capacity int) *lru[K, V] {
+	return &lru[K, V]{cap: capacity, ll: list.New(), items: make(map[K]*list.Element, capacity)}
+}
+
+// get returns the cached value and refreshes its recency.
+func (l *lru[K, V]) get(k K) (V, bool) {
+	if el, ok := l.items[k]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts or refreshes a value and reports whether an entry was evicted.
+func (l *lru[K, V]) add(k K, v V) (evicted bool) {
+	if el, ok := l.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		l.ll.MoveToFront(el)
+		return false
+	}
+	l.items[k] = l.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if l.ll.Len() <= l.cap {
+		return false
+	}
+	oldest := l.ll.Back()
+	l.ll.Remove(oldest)
+	delete(l.items, oldest.Value.(*lruEntry[K, V]).key)
+	return true
+}
+
+func (l *lru[K, V]) len() int { return l.ll.Len() }

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/query"
+	"inspire/internal/signature"
+	"inspire/internal/simtime"
+)
+
+// miniDocs is the hand corpus with known term/document structure shared with
+// the query tests.
+var miniDocs = []string{
+	"apple apple banana banana cherry",        // doc 0
+	"apple banana banana",                     // doc 1
+	"apple apple cherry cherry",               // doc 2
+	"durian durian elder elder fig fig",       // doc 3
+	"durian elder elder fig",                  // doc 4
+	"grape grape honeydew honeydew kiwi kiwi", // doc 5
+}
+
+// buildStoreT runs the pipeline over miniDocs at P ranks and snapshots it.
+func buildStoreT(t *testing.T, p int) *Store {
+	t.Helper()
+	src := corpus.FromTexts("mini", miniDocs)
+	var st *Store
+	_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+		res, err := core.Run(c, []*corpus.Source{src}, core.Config{TopN: 100, TopicFrac: 0.5})
+		if err != nil {
+			return err
+		}
+		got, err := Snapshot(c, res)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			st = got
+		} else if got != nil {
+			return fmt.Errorf("rank %d got a non-nil store", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("no store from rank 0")
+	}
+	return st
+}
+
+func newServerT(t *testing.T, st *Store, cfg Config) *Server {
+	t.Helper()
+	srv, err := NewServer(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestSnapshotMatchesCorpus(t *testing.T) {
+	st := buildStoreT(t, 3)
+	if st.TotalDocs != int64(len(miniDocs)) {
+		t.Fatalf("store has %d docs, want %d", st.TotalDocs, len(miniDocs))
+	}
+	srv := newServerT(t, st, Config{})
+	sess := srv.NewSession()
+
+	ps := sess.TermDocs("apple")
+	wantFreq := map[int64]int64{0: 2, 1: 1, 2: 2}
+	if len(ps) != 3 {
+		t.Fatalf("apple in %d docs: %v", len(ps), ps)
+	}
+	for _, p := range ps {
+		if wantFreq[p.Doc] != p.Freq {
+			t.Fatalf("apple in doc %d freq %d, want %d", p.Doc, p.Freq, wantFreq[p.Doc])
+		}
+	}
+	if got := sess.TermDocs("APPLE"); len(got) != 3 {
+		t.Fatal("case folding failed")
+	}
+	if got := sess.TermDocs("nonexistent"); got != nil {
+		t.Fatalf("phantom postings: %v", got)
+	}
+	if sess.DF("banana") != 2 || sess.DF("nonexistent") != 0 {
+		t.Fatal("df wrong")
+	}
+	if got := sess.And("apple", "banana"); !reflect.DeepEqual(got, []int64{0, 1}) {
+		t.Fatalf("apple AND banana = %v", got)
+	}
+	if got := sess.And("apple", "durian"); got != nil {
+		t.Fatalf("disjoint AND = %v", got)
+	}
+	if got := sess.Or("cherry", "fig"); !reflect.DeepEqual(got, []int64{0, 2, 3, 4}) {
+		t.Fatalf("cherry OR fig = %v", got)
+	}
+
+	hits, err := sess.Similar(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for _, h := range hits {
+		got[h.Doc] = true
+	}
+	if !got[1] || !got[2] {
+		t.Fatalf("neighbours of doc 0: %+v", hits)
+	}
+	if _, err := sess.Similar(999, 2); err == nil {
+		t.Fatal("similar to missing doc should fail")
+	}
+
+	// Themes partition the documents.
+	seen := map[int64]int{}
+	for k := 0; k < st.K; k++ {
+		for _, d := range sess.ThemeDocs(k) {
+			seen[d]++
+		}
+	}
+	for d, n := range seen {
+		if n != 1 {
+			t.Fatalf("doc %d in %d themes", d, n)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no themed documents")
+	}
+	if all := sess.Near(0, 0, 1e9); len(all) != len(miniDocs) {
+		t.Fatalf("near-all found %d of %d", len(all), len(miniDocs))
+	}
+
+	// Virtual latency is accounted per interaction.
+	sst := sess.Stats()
+	if sst.Ops == 0 || sst.VirtualSeconds < 0 || sst.MeanMS < 0 {
+		t.Fatalf("session account broken: %+v", sst)
+	}
+}
+
+func TestCachedAnswersIdenticalToCold(t *testing.T) {
+	st := buildStoreT(t, 3)
+	srv := newServerT(t, st, Config{})
+	sess := srv.NewSession()
+
+	cold := sess.TermDocs("banana")
+	warm := sess.TermDocs("banana")
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached postings differ: %v vs %v", cold, warm)
+	}
+	coldSim, err := sess.Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSim, err := sess.Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldSim, warmSim) {
+		t.Fatalf("cached similarity differs: %v vs %v", coldSim, warmSim)
+	}
+
+	stats := srv.Stats()
+	if stats.PostingMisses != 1 || stats.PostingHits != 1 {
+		t.Fatalf("posting cache counters: %+v", stats)
+	}
+	if stats.SimMisses != 1 || stats.SimHits != 1 {
+		t.Fatalf("sim cache counters: %+v", stats)
+	}
+
+	// A fresh server (cold caches) answers identically.
+	srv2 := newServerT(t, st, Config{})
+	sess2 := srv2.NewSession()
+	if got := sess2.TermDocs("banana"); !reflect.DeepEqual(got, cold) {
+		t.Fatalf("fresh server differs: %v vs %v", got, cold)
+	}
+	got2, err := sess2.Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, coldSim) {
+		t.Fatalf("fresh server similarity differs")
+	}
+
+	// A cache hit is cheaper in virtual time than the remote miss was —
+	// under the calibrated model, where remote transfers actually cost.
+	st.Model = simtime.PNNLCluster2007()
+	srv3 := newServerT(t, st, Config{FrontRank: 1})
+	s3 := srv3.NewSession()
+	var missCost, hitCost float64
+	// Find a term owned by a rank other than the front-end so the miss pays
+	// a modeled remote transfer.
+	term := ""
+	for _, cand := range []string{"apple", "banana", "cherry", "durian", "elder", "fig"} {
+		if id, ok := st.TermID(cand); ok && st.Owner(id) != 1 {
+			term = cand
+			break
+		}
+	}
+	if term == "" {
+		t.Skip("every probe term owned by front-end rank")
+	}
+	s3.TermDocs(term)
+	missCost = s3.Stats().LastMS
+	s3.TermDocs(term)
+	hitCost = s3.Stats().LastMS
+	if hitCost >= missCost {
+		t.Fatalf("cache hit (%.6f ms) not cheaper than remote miss (%.6f ms)", hitCost, missCost)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	st := buildStoreT(t, 2)
+	srv := newServerT(t, st, Config{PostingCacheEntries: 2})
+	sess := srv.NewSession()
+	terms := []string{"apple", "banana", "cherry", "durian", "elder", "fig"}
+	for _, term := range terms {
+		if sess.TermDocs(term) == nil {
+			t.Fatalf("no postings for %q", term)
+		}
+	}
+	stats := srv.Stats()
+	if stats.PostingEvictions == 0 {
+		t.Fatalf("no evictions with cache cap 2 and %d terms: %+v", len(terms), stats)
+	}
+	if stats.PostingMisses != uint64(len(terms)) {
+		t.Fatalf("expected %d misses, got %+v", len(terms), stats)
+	}
+	// Evicted entries still answer correctly on refetch.
+	if got := sess.TermDocs("apple"); len(got) != 3 {
+		t.Fatalf("refetch after eviction wrong: %v", got)
+	}
+}
+
+func TestCoalescingConcurrentGets(t *testing.T) {
+	st := buildStoreT(t, 2)
+	srv := newServerT(t, st, Config{})
+	const n = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([][]query.Posting, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := srv.NewSession()
+			<-start
+			results[i] = sess.TermDocs("apple")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("concurrent sessions disagree: %v vs %v", results[i], results[0])
+		}
+	}
+	stats := srv.Stats()
+	if stats.PostingMisses != 1 {
+		t.Fatalf("concurrent gets for one term issued %d transfers, want 1 (%+v)", stats.PostingMisses, stats)
+	}
+	if stats.PostingHits+stats.Coalesced != n-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", stats.PostingHits, stats.Coalesced, n-1)
+	}
+}
+
+func TestConcurrentMixedWorkloadRace(t *testing.T) {
+	st := buildStoreT(t, 3)
+	srv := newServerT(t, st, Config{PostingCacheEntries: 4, SimCacheEntries: 2})
+	rep, err := Replay(srv, WorkloadConfig{Sessions: 10, OpsPerSession: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 400 {
+		t.Fatalf("replayed %d ops, want 400", rep.Ops)
+	}
+	if rep.Stats.Queries != 400 {
+		t.Fatalf("server counted %d queries", rep.Stats.Queries)
+	}
+	if rep.Stats.PostingHitRate() <= 0 {
+		t.Fatalf("skewed workload produced no cache hits: %+v", rep.Stats)
+	}
+	if rep.MeanVirtualMS <= 0 {
+		t.Fatalf("no virtual latency accounted: %+v", rep)
+	}
+	if rep.String() == "" || rep.OpMix() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	st := buildStoreT(t, 3)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newServerT(t, st, Config{}).NewSession()
+	b := newServerT(t, loaded, Config{}).NewSession()
+	if !reflect.DeepEqual(a.TermDocs("apple"), b.TermDocs("apple")) {
+		t.Fatal("loaded store postings differ")
+	}
+	if !reflect.DeepEqual(a.And("apple", "cherry"), b.And("apple", "cherry")) {
+		t.Fatal("loaded store boolean differs")
+	}
+	ha, err := a.Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ha, hb) {
+		t.Fatal("loaded store similarity differs")
+	}
+	if _, err := LoadStore(bytes.NewReader([]byte("not a store"))); err == nil {
+		t.Fatal("garbage store loaded")
+	}
+}
+
+func TestApplyPersistedSignatures(t *testing.T) {
+	st := buildStoreT(t, 2)
+	// Persist the snapshot's own signatures and reload them through the
+	// serving load path; similarity answers must be unchanged.
+	var buf bytes.Buffer
+	if err := signature.Save(&buf, st.SigM, st.SigDocs, st.SigVecs); err != nil {
+		t.Fatal(err)
+	}
+	before, err := newServerT(t, st, Config{}).NewSession().Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := signature.LoadSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplySignatures(set); err != nil {
+		t.Fatal(err)
+	}
+	after, err := newServerT(t, st, Config{}).NewSession().Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("persisted signatures change answers: %v vs %v", before, after)
+	}
+	if err := st.ApplySignatures(nil); err == nil {
+		t.Fatal("nil signature set accepted")
+	}
+}
+
+func TestTopTermsAndSampleDocs(t *testing.T) {
+	st := buildStoreT(t, 2)
+	top := st.TopTerms(3)
+	if len(top) != 3 {
+		t.Fatalf("top terms: %v", top)
+	}
+	// Highest-DF terms of miniDocs: apple (3 docs) leads.
+	if top[0] != "apple" {
+		t.Fatalf("top term %q, want apple", top[0])
+	}
+	docs := st.SampleDocs(4)
+	if len(docs) == 0 {
+		t.Fatal("no sample docs")
+	}
+	for i := 1; i < len(docs); i++ {
+		if docs[i] <= docs[i-1] {
+			t.Fatalf("sample docs unsorted: %v", docs)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"inspire/internal/query"
+	"inspire/internal/signature"
+)
+
+// Config tunes the server. The zero value selects documented defaults.
+type Config struct {
+	// PostingCacheEntries bounds the LRU posting-list cache. Default 4096.
+	PostingCacheEntries int
+	// SimCacheEntries bounds the top-K similarity result cache. Default 512.
+	SimCacheEntries int
+	// FrontRank is the producing-run rank modeled as hosting the serving
+	// front-end: postings owned by it are local memory reads, everything
+	// else is a modeled remote one-sided get. Default 0.
+	FrontRank int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.PostingCacheEntries <= 0 {
+		cfg.PostingCacheEntries = 4096
+	}
+	if cfg.SimCacheEntries <= 0 {
+		cfg.SimCacheEntries = 512
+	}
+	return cfg
+}
+
+// Stats is a snapshot of the server-wide counters.
+type Stats struct {
+	Queries uint64 // interactions served across all sessions
+
+	PostingHits      uint64 // posting fetches answered from the LRU cache
+	PostingMisses    uint64 // posting fetches that went to the (modeled) index
+	PostingEvictions uint64 // LRU entries displaced
+	Coalesced        uint64 // fetches that joined an in-flight get for the same term
+	RemoteGets       uint64 // misses whose term owner was not the front-end rank
+
+	SimHits      uint64 // similarity queries answered from the result cache
+	SimMisses    uint64 // similarity queries that scanned the signatures
+	SimEvictions uint64
+}
+
+// PostingHitRate returns hits/(hits+misses), counting coalesced joins as
+// hits: they were answered without a new transfer.
+func (s Stats) PostingHitRate() float64 {
+	total := s.PostingHits + s.Coalesced + s.PostingMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PostingHits+s.Coalesced) / float64(total)
+}
+
+// SimHitRate returns the similarity-cache hit rate.
+func (s Stats) SimHitRate() float64 {
+	if s.SimHits+s.SimMisses == 0 {
+		return 0
+	}
+	return float64(s.SimHits) / float64(s.SimHits+s.SimMisses)
+}
+
+// postingVal is one cached posting list (views into the store, immutable).
+type postingVal struct {
+	docs, freqs []int64
+}
+
+// flight is one in-progress posting fetch; concurrent requests for the same
+// term coalesce onto it and share its single modeled transfer.
+type flight struct {
+	done chan struct{}
+	val  postingVal
+	cost float64
+}
+
+// simKey keys the similarity cache.
+type simKey struct {
+	doc int64
+	k   int
+}
+
+// Server answers concurrent sessions against one Store. All methods are safe
+// for concurrent use. The signature set is captured at construction: a
+// Store.ApplySignatures after NewServer affects only servers built later, so
+// one server's similarity answers and cache always agree.
+type Server struct {
+	store *Store
+	cfg   Config
+	sigs  *signature.Set
+
+	pmu      sync.Mutex
+	postings *lru[int64, postingVal]
+	flights  map[int64]*flight
+
+	smu  sync.Mutex
+	sims *lru[simKey, []query.Hit]
+
+	queries          atomic.Uint64
+	postingHits      atomic.Uint64
+	postingMisses    atomic.Uint64
+	postingEvictions atomic.Uint64
+	coalesced        atomic.Uint64
+	remoteGets       atomic.Uint64
+	simHits          atomic.Uint64
+	simMisses        atomic.Uint64
+	simEvictions     atomic.Uint64
+
+	nextSession atomic.Int64
+}
+
+// NewServer builds a server over a store.
+func NewServer(st *Store, cfg Config) (*Server, error) {
+	if st == nil {
+		return nil, fmt.Errorf("serve: nil store")
+	}
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		store:    st,
+		cfg:      cfg,
+		sigs:     st.Signatures(),
+		postings: newLRU[int64, postingVal](cfg.PostingCacheEntries),
+		flights:  make(map[int64]*flight),
+		sims:     newLRU[simKey, []query.Hit](cfg.SimCacheEntries),
+	}, nil
+}
+
+// Store returns the underlying snapshot.
+func (s *Server) Store() *Store { return s.store }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Queries:          s.queries.Load(),
+		PostingHits:      s.postingHits.Load(),
+		PostingMisses:    s.postingMisses.Load(),
+		PostingEvictions: s.postingEvictions.Load(),
+		Coalesced:        s.coalesced.Load(),
+		RemoteGets:       s.remoteGets.Load(),
+		SimHits:          s.simHits.Load(),
+		SimMisses:        s.simMisses.Load(),
+		SimEvictions:     s.simEvictions.Load(),
+	}
+}
+
+// NewSession opens an analyst session. Sessions are cheap; each accumulates
+// its own virtual-latency account. A session's methods must be called from
+// one goroutine at a time; different sessions are fully concurrent.
+func (s *Server) NewSession() *Session {
+	return &Session{s: s, ID: s.nextSession.Add(1)}
+}
+
+// --- posting fetch path ---------------------------------------------------
+
+// wireCost models one uncached posting fetch: two descriptor reads (count,
+// offset) plus the two posting vectors, one-sided against the owner or local
+// memory copies when the front-end owns the term.
+func (s *Server) wireCost(t int64, n int64) float64 {
+	m := s.store.Model
+	if s.store.Owner(t) != s.cfg.FrontRank {
+		return 2*m.OneSidedCost(8) + 2*m.OneSidedCost(8*float64(n))
+	}
+	return 2*m.LocalCopyCost(8) + 2*m.LocalCopyCost(8*float64(n))
+}
+
+// hitCost models a cache hit: a front-end memory copy of the list.
+func (s *Server) hitCost(n int) float64 {
+	return s.store.Model.LocalCopyCost(16 * float64(n))
+}
+
+// getPostings returns term t's postings and the virtual cost of obtaining
+// them, consulting the LRU cache and coalescing concurrent misses for the
+// same term into one modeled transfer.
+func (s *Server) getPostings(t int64) (postingVal, float64) {
+	s.pmu.Lock()
+	if v, ok := s.postings.get(t); ok {
+		s.pmu.Unlock()
+		s.postingHits.Add(1)
+		return v, s.hitCost(len(v.docs))
+	}
+	if f, ok := s.flights[t]; ok {
+		s.pmu.Unlock()
+		s.coalesced.Add(1)
+		<-f.done
+		// The joiner shares the in-flight transfer: same arrival, no new
+		// traffic charged to the term owner.
+		return f.val, f.cost
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[t] = f
+	s.pmu.Unlock()
+
+	s.postingMisses.Add(1)
+	docs, freqs := s.store.Postings(t)
+	f.val = postingVal{docs: docs, freqs: freqs}
+	f.cost = s.wireCost(t, int64(len(docs)))
+	if s.store.Owner(t) != s.cfg.FrontRank {
+		s.remoteGets.Add(1)
+	}
+
+	s.pmu.Lock()
+	if s.postings.add(t, f.val) {
+		s.postingEvictions.Add(1)
+	}
+	delete(s.flights, t)
+	s.pmu.Unlock()
+	close(f.done)
+	return f.val, f.cost
+}
+
+// --- Session --------------------------------------------------------------
+
+// Session is one analyst's connection: a sequential stream of interactions
+// with its own virtual-latency account. Concurrent sessions share the
+// server's caches and coalesce their index traffic.
+type Session struct {
+	s  *Server
+	ID int64
+
+	mu     sync.Mutex
+	ops    int64
+	virt   float64 // accumulated virtual seconds
+	maxOp  float64
+	lastOp float64
+}
+
+// SessionStats is a snapshot of one session's account.
+type SessionStats struct {
+	Ops            int64
+	VirtualSeconds float64
+	MeanMS         float64 // mean per-interaction virtual latency
+	MaxMS          float64
+	LastMS         float64
+}
+
+// Stats snapshots the session account.
+func (ss *Session) Stats() SessionStats {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	st := SessionStats{
+		Ops:            ss.ops,
+		VirtualSeconds: ss.virt,
+		MaxMS:          ss.maxOp * 1000,
+		LastMS:         ss.lastOp * 1000,
+	}
+	if ss.ops > 0 {
+		st.MeanMS = ss.virt / float64(ss.ops) * 1000
+	}
+	return st
+}
+
+// charge records one completed interaction.
+func (ss *Session) charge(cost float64) {
+	ss.mu.Lock()
+	ss.ops++
+	ss.virt += cost
+	ss.lastOp = cost
+	if cost > ss.maxOp {
+		ss.maxOp = cost
+	}
+	ss.mu.Unlock()
+	ss.s.queries.Add(1)
+}
+
+// lookupCost models the front-end vocabulary probe (the dense map is
+// replicated to the front-end at snapshot time).
+func (ss *Session) lookupCost(term string) float64 {
+	return ss.s.store.Model.LocalCopyCost(float64(len(term) + 8))
+}
+
+// TermDocs returns the posting list of a term (sorted by document ID), or
+// nil when the term is unknown.
+func (ss *Session) TermDocs(term string) []query.Posting {
+	cost := ss.lookupCost(term)
+	t, ok := ss.s.store.TermID(term)
+	if !ok {
+		ss.charge(cost)
+		return nil
+	}
+	v, fetchCost := ss.s.getPostings(t)
+	ss.charge(cost + fetchCost)
+	out := make([]query.Posting, len(v.docs))
+	for i := range v.docs {
+		out[i] = query.Posting{Doc: v.docs[i], Freq: v.freqs[i]}
+	}
+	return out
+}
+
+// DF returns a term's document frequency (0 when absent).
+func (ss *Session) DF(term string) int64 {
+	cost := ss.lookupCost(term)
+	t, ok := ss.s.store.TermID(term)
+	if !ok {
+		ss.charge(cost)
+		return 0
+	}
+	m := ss.s.store.Model
+	if ss.s.store.Owner(t) != ss.s.cfg.FrontRank {
+		cost += m.OneSidedCost(8)
+	} else {
+		cost += m.LocalCopyCost(8)
+	}
+	ss.charge(cost)
+	return ss.s.store.DF[t]
+}
+
+// fetchLists resolves every term to its posting docs, charging lookups and
+// fetches; ok is false when any term is unknown or empty.
+func (ss *Session) fetchLists(terms []string) (lists [][]int64, cost float64, ok bool) {
+	lists = make([][]int64, 0, len(terms))
+	ok = true
+	for _, term := range terms {
+		cost += ss.lookupCost(term)
+		t, found := ss.s.store.TermID(term)
+		if !found {
+			ok = false
+			continue
+		}
+		v, c := ss.s.getPostings(t)
+		cost += c
+		if len(v.docs) == 0 {
+			ok = false
+			continue
+		}
+		lists = append(lists, v.docs)
+	}
+	return lists, cost, ok
+}
+
+// And returns the documents containing every term, sorted by document ID.
+func (ss *Session) And(terms ...string) []int64 {
+	if len(terms) == 0 {
+		return nil
+	}
+	lists, cost, ok := ss.fetchLists(terms)
+	if !ok {
+		ss.charge(cost)
+		return nil
+	}
+	// Intersect smallest-first so intermediate results stay small.
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	acc := append([]int64(nil), lists[0]...)
+	var merged float64
+	for _, l := range lists[1:] {
+		merged += float64(len(acc) + len(l))
+		acc = query.IntersectSorted(acc, l)
+		if len(acc) == 0 {
+			acc = nil
+			break
+		}
+	}
+	ss.charge(cost + ss.s.store.Model.FlopCost(2*merged))
+	return acc
+}
+
+// Or returns the documents containing any of the terms, sorted.
+func (ss *Session) Or(terms ...string) []int64 {
+	lists, cost, _ := ss.fetchLists(terms)
+	seen := make(map[int64]bool)
+	var merged float64
+	for _, l := range lists {
+		merged += float64(len(l))
+		for _, d := range l {
+			seen[d] = true
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	ss.charge(cost + ss.s.store.Model.FlopCost(2*merged))
+	return out
+}
+
+// Similar returns the k documents most similar to the target document's
+// knowledge signature (cosine similarity, the target excluded), consulting
+// the top-K result cache. Identical queries return identical results whether
+// served cold or cached.
+func (ss *Session) Similar(doc int64, k int) ([]query.Hit, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: similar: k must be positive")
+	}
+	key := simKey{doc: doc, k: k}
+	ss.s.smu.Lock()
+	hits, ok := ss.s.sims.get(key)
+	ss.s.smu.Unlock()
+	m := ss.s.store.Model
+	if ok {
+		ss.s.simHits.Add(1)
+		ss.charge(m.LocalCopyCost(16 * float64(len(hits))))
+		return hits, nil
+	}
+	ss.s.simMisses.Add(1)
+
+	sigs := ss.s.sigs
+	target, found := sigs.Vec(doc)
+	if !found || target == nil {
+		ss.charge(m.LocalCopyCost(8))
+		return nil, fmt.Errorf("serve: document %d not found or has a null signature", doc)
+	}
+	scored := make([]query.Hit, 0, len(sigs.Vecs))
+	var flops float64
+	for i, v := range sigs.Vecs {
+		if v == nil || sigs.Docs[i] == doc {
+			continue
+		}
+		scored = append(scored, query.Hit{Doc: sigs.Docs[i], Score: query.Cosine(target, v)})
+		flops += float64(3 * sigs.M)
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].Doc < scored[b].Doc
+	})
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	hits = append([]query.Hit(nil), scored...)
+
+	ss.s.smu.Lock()
+	if ss.s.sims.add(key, hits) {
+		ss.s.simEvictions.Add(1)
+	}
+	ss.s.smu.Unlock()
+	ss.charge(m.FlopCost(flops) + m.LocalCopyCost(16*float64(len(hits))))
+	return hits, nil
+}
+
+// ThemeDocs returns the document IDs assigned to a k-means cluster, sorted.
+func (ss *Session) ThemeDocs(cluster int) []int64 {
+	st := ss.s.store
+	var out []int64
+	for i, c := range st.AssignClusters {
+		if c == int64(cluster) {
+			out = append(out, st.AssignDocs[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	ss.charge(st.Model.FlopCost(float64(len(st.AssignClusters))))
+	return out
+}
+
+// Near returns the documents whose ThemeView projection falls within radius
+// of (x, y), sorted — the analyst's terrain drill-down.
+func (ss *Session) Near(x, y, radius float64) []int64 {
+	st := ss.s.store
+	r2 := radius * radius
+	var out []int64
+	for _, pt := range st.Points {
+		dx, dy := pt.X-x, pt.Y-y
+		if dx*dx+dy*dy <= r2 {
+			out = append(out, pt.Doc)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	ss.charge(st.Model.FlopCost(3 * float64(len(st.Points))))
+	return out
+}

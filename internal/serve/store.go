@@ -1,0 +1,415 @@
+// Package serve is the concurrent query-serving layer over a finished
+// pipeline run — the "heavy traffic" axis the paper leaves open after naming
+// interactive analysis of massive datasets as its next frontier. A Store is
+// a front-end snapshot of a run's distributed products (vocabulary, inverted
+// index, knowledge signatures, clusters and ThemeView projection); a Server
+// answers many concurrent analyst Sessions against one Store with an LRU
+// posting-list cache, a top-K similarity cache, and request coalescing that
+// batches concurrent gets for the same term owner into one modeled transfer.
+//
+// Serving keeps the engine's virtual-time discipline: every interaction is
+// charged the latency it would cost on the modeled cluster — remote one-sided
+// transfers for cache misses against the distributed index, front-end memory
+// copies for hits — so sustained queries/sec and per-interaction latency are
+// measurable for workloads far larger than the host.
+package serve
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/ga"
+	"inspire/internal/project"
+	"inspire/internal/query"
+	"inspire/internal/signature"
+	"inspire/internal/simtime"
+)
+
+// Store is the read-only serving snapshot of one finished pipeline run. All
+// exported fields are immutable after Snapshot/LoadStore (ApplySignatures
+// swaps the signature set as one unit); every method is safe for concurrent
+// use.
+//
+// The posting lists keep their distributed layout metadata (Prefix: the
+// dense-term ownership bounds of the producing run), so the serving cost
+// model can distinguish front-end-local reads from modeled remote one-sided
+// gets against a term's owner.
+type Store struct {
+	// Model is the machine model of the producing run; serving costs are
+	// charged against it.
+	Model *simtime.Model
+	// P is the world size of the producing run.
+	P int
+
+	TotalDocs int64
+	VocabSize int64
+
+	// Terms maps a normalized term to its dense ID; TermList is the inverse.
+	Terms    map[string]int64
+	TermList []string
+	// Prefix holds the dense-ID ownership bounds of the producing run
+	// (len P+1); term t is owned by the rank r with Prefix[r] <= t < Prefix[r+1].
+	Prefix []int64
+
+	// DF[t] is term t's document frequency; Off[t] the start of its postings
+	// in PostDoc/PostFreq (the global concatenated layout of the run).
+	DF       []int64
+	Off      []int64
+	PostDoc  []int64
+	PostFreq []int64
+
+	// Knowledge signatures, sorted by document ID (nil = null signature).
+	// Read them through Signatures(), which returns a consistent indexed
+	// snapshot even across ApplySignatures.
+	SigM    int
+	SigDocs []int64
+	SigVecs [][]float64
+
+	// ThemeView products.
+	Points         []project.Point
+	AssignDocs     []int64
+	AssignClusters []int64
+	K              int
+	Themes         []core.Theme
+
+	sigMu  sync.Mutex
+	sigSet *signature.Set
+}
+
+// snapshotStreams is the number of concurrent one-sided streams Snapshot uses
+// to drain the posting arrays (cluster.Comm.Fork + ga.Array.On).
+const snapshotStreams = 4
+
+// Snapshot collectively exports a finished run into a serving store. Every
+// rank must call it with its own result; rank 0 returns the store, all other
+// ranks return (nil, nil). The export is charged to the virtual clocks like
+// any other post-pipeline step: rank 0 drains the distributed index with
+// overlapped one-sided gets and replicates the vocabulary tables.
+func Snapshot(c *cluster.Comm, res *core.Result) (*Store, error) {
+	if res == nil || res.Index == nil || res.Clusters == nil {
+		return nil, fmt.Errorf("serve: snapshot needs a finished pipeline result")
+	}
+
+	// Signatures may already be gathered (Config.CollectSignatures); if not,
+	// gather them now. Only rank 0 holds them, so agree collectively.
+	have := 0.0
+	if res.SigDocIDs != nil {
+		have = 1
+	}
+	if c.AllreduceSum(have) == 0 {
+		core.GatherSignatures(c, res)
+	}
+
+	// Gather (doc, cluster) assignment pairs at rank 0.
+	local := res.Clusters.Assign
+	docs := make([]int64, len(local))
+	asg := make([]int64, len(local))
+	for i, a := range local {
+		docs[i] = res.Forward.GlobalDocIDs[i]
+		asg[i] = int64(a)
+	}
+	docParts := c.GatherInt64s(0, docs)
+	asgParts := c.GatherInt64s(0, asg)
+
+	var st *Store
+	if c.Rank() == 0 {
+		st = buildStore(c, res, docParts, asgParts)
+	}
+	c.Barrier()
+	return st, nil
+}
+
+// buildStore runs on rank 0 only: it drains the distributed products into
+// front-end memory.
+func buildStore(c *cluster.Comm, res *core.Result, docParts, asgParts [][]int64) *Store {
+	m := c.Model()
+	V := res.VocabSize
+	st := &Store{
+		Model:     m,
+		P:         c.Size(),
+		TotalDocs: res.TotalDocs,
+		VocabSize: V,
+		SigM:      res.TopM,
+		SigDocs:   res.SigDocIDs,
+		SigVecs:   res.SigVecs,
+		Points:    res.Coords,
+		K:         res.Clusters.K,
+		Themes:    res.Themes,
+	}
+
+	// Ownership bounds and the replicated vocabulary.
+	st.Prefix = make([]int64, c.Size()+1)
+	for r := 0; r < c.Size(); r++ {
+		lo, hi := res.Vocab.DenseRange(r)
+		st.Prefix[r] = lo
+		st.Prefix[r+1] = hi
+	}
+	st.Terms = make(map[string]int64, V)
+	st.TermList = make([]string, V)
+	var remoteBytes float64
+	for id := int64(0); id < V; id++ {
+		t := res.Vocab.Term(id)
+		st.TermList[id] = t
+		st.Terms[t] = id
+		if st.Owner(id) != c.Rank() {
+			remoteBytes += float64(len(t) + 8)
+		}
+	}
+	c.Clock().Advance(m.OneSidedCost(remoteBytes))
+
+	// Term statistics and posting offsets.
+	st.DF = make([]int64, V)
+	st.Off = make([]int64, V)
+	if V > 0 {
+		res.Index.Counts.Get(0, st.DF)
+		res.Index.Off.Get(0, st.Off)
+	}
+	total := res.Index.PostDoc.N()
+	st.PostDoc = make([]int64, total)
+	st.PostFreq = make([]int64, total)
+
+	// Drain the posting arrays with overlapped one-sided streams: each fork
+	// owns a private clock, so the cost of the concurrent gets folds back in
+	// as their maximum, not their sum.
+	if total > 0 {
+		streams := snapshotStreams
+		if total < int64(streams) {
+			streams = 1
+		}
+		chunk := (total + int64(streams) - 1) / int64(streams)
+		forks := make([]*cluster.Comm, streams)
+		var wg sync.WaitGroup
+		for i := range forks {
+			forks[i] = c.Fork()
+			lo := int64(i) * chunk
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			if lo >= hi {
+				continue
+			}
+			pd := res.Index.PostDoc.On(forks[i])
+			pf := res.Index.PostFreq.On(forks[i])
+			wg.Add(1)
+			go func(lo, hi int64, pd, pf *ga.Array[int64]) {
+				defer wg.Done()
+				pd.Get(lo, st.PostDoc[lo:hi])
+				pf.Get(lo, st.PostFreq[lo:hi])
+			}(lo, hi, pd, pf)
+		}
+		wg.Wait()
+		c.Join(forks...)
+	}
+
+	// Flatten the gathered cluster assignments.
+	for r := range docParts {
+		st.AssignDocs = append(st.AssignDocs, docParts[r]...)
+		st.AssignClusters = append(st.AssignClusters, asgParts[r]...)
+	}
+	return st
+}
+
+// TermID resolves a query term (normalized like the tokenizer) to its dense
+// ID.
+func (st *Store) TermID(term string) (int64, bool) {
+	id, ok := st.Terms[query.Normalize(term)]
+	return id, ok
+}
+
+// Owner returns the producing-run rank that owned dense term ID t.
+func (st *Store) Owner(t int64) int {
+	return sort.Search(st.P, func(r int) bool { return st.Prefix[r+1] > t })
+}
+
+// Postings returns views of term t's posting list (sorted by document ID).
+// The returned slices are shared and must not be mutated.
+func (st *Store) Postings(t int64) (docs, freqs []int64) {
+	n := st.DF[t]
+	if n == 0 {
+		return nil, nil
+	}
+	off := st.Off[t]
+	return st.PostDoc[off : off+n], st.PostFreq[off : off+n]
+}
+
+// Signatures returns the store's current signature set as one consistent,
+// indexed snapshot (the slices and index always belong together, even if
+// ApplySignatures swaps the set concurrently). Servers capture the snapshot
+// at construction.
+func (st *Store) Signatures() *signature.Set {
+	st.sigMu.Lock()
+	defer st.sigMu.Unlock()
+	if st.sigSet == nil {
+		set, err := signature.NewSet(st.SigM, st.SigDocs, st.SigVecs)
+		if err != nil {
+			// validate() rejects mismatched lengths at load; a hand-built
+			// store that skipped validation fails loudly here.
+			panic(err)
+		}
+		st.sigSet = set
+	}
+	return st.sigSet
+}
+
+// SignatureOf returns the knowledge signature of a document: (nil, true) for
+// a present null signature, (nil, false) for an unknown document.
+func (st *Store) SignatureOf(doc int64) ([]float64, bool) {
+	return st.Signatures().Vec(doc)
+}
+
+// ApplySignatures replaces the store's signatures with a persisted set — the
+// serving load path for signatures regenerated offline (e.g. by an
+// adaptive-dimensionality rerun) without re-indexing. Servers bind the
+// signature set when they are constructed: apply before NewServer; servers
+// already running keep answering from the set they captured.
+func (st *Store) ApplySignatures(set *signature.Set) error {
+	if set == nil || set.Len() == 0 {
+		return fmt.Errorf("serve: empty signature set")
+	}
+	st.sigMu.Lock()
+	st.SigM = set.M
+	st.SigDocs = set.Docs
+	st.SigVecs = set.Vecs
+	st.sigSet = set
+	st.sigMu.Unlock()
+	return nil
+}
+
+// TopTerms returns up to n terms ordered by descending document frequency
+// (ties alphabetically) — the natural query vocabulary for workload replay.
+func (st *Store) TopTerms(n int) []string {
+	ids := make([]int64, 0, len(st.DF))
+	for t, df := range st.DF {
+		if df > 0 {
+			ids = append(ids, int64(t))
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if st.DF[ids[a]] != st.DF[ids[b]] {
+			return st.DF[ids[a]] > st.DF[ids[b]]
+		}
+		return st.TermList[ids[a]] < st.TermList[ids[b]]
+	})
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = st.TermList[id]
+	}
+	return out
+}
+
+// SampleDocs returns up to n document IDs with non-null signatures, in
+// ascending ID order — deterministic similarity-search targets.
+func (st *Store) SampleDocs(n int) []int64 {
+	set := st.Signatures()
+	out := make([]int64, 0, n)
+	for i, d := range set.Docs {
+		if set.Vecs[i] == nil {
+			continue
+		}
+		out = append(out, d)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// validate checks the structural invariants a loaded store must satisfy.
+func (st *Store) validate() error {
+	V := st.VocabSize
+	switch {
+	case st.Model == nil:
+		return fmt.Errorf("serve: store has no machine model")
+	case st.P <= 0 || int64(len(st.Prefix)) != int64(st.P)+1:
+		return fmt.Errorf("serve: store ownership bounds malformed (P=%d, len=%d)", st.P, len(st.Prefix))
+	case int64(len(st.DF)) != V || int64(len(st.Off)) != V || int64(len(st.TermList)) != V:
+		return fmt.Errorf("serve: store term vectors disagree with vocabulary size %d", V)
+	case len(st.SigDocs) != len(st.SigVecs):
+		return fmt.Errorf("serve: store has %d signature ids for %d vectors", len(st.SigDocs), len(st.SigVecs))
+	case len(st.AssignDocs) != len(st.AssignClusters):
+		return fmt.Errorf("serve: store assignment vectors disagree")
+	case len(st.PostDoc) != len(st.PostFreq):
+		return fmt.Errorf("serve: store has %d posting docs for %d frequencies", len(st.PostDoc), len(st.PostFreq))
+	}
+	if err := st.Model.Validate(); err != nil {
+		return err
+	}
+	for t := int64(0); t < V; t++ {
+		if n := st.DF[t]; n > 0 {
+			if off := st.Off[t]; off < 0 || off+n > int64(len(st.PostDoc)) {
+				return fmt.Errorf("serve: store postings of term %d out of bounds", t)
+			}
+		}
+	}
+	return nil
+}
+
+// storeMagic versions the store file format.
+const storeMagic = "INSPSTORE1\n"
+
+// Save writes the store in its persistent format (magic header + gob body),
+// enabling index-once/serve-many across process restarts.
+func (st *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, storeMagic); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(bw).Encode(st); err != nil {
+		return fmt.Errorf("serve: save store: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveFile persists the store to a file.
+func (st *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = st.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadStore reads a store written by Save and validates its invariants.
+func LoadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("serve: load store: %w", err)
+	}
+	if string(magic) != storeMagic {
+		return nil, fmt.Errorf("serve: load store: bad magic %q", magic)
+	}
+	st := &Store{}
+	if err := gob.NewDecoder(br).Decode(st); err != nil {
+		return nil, fmt.Errorf("serve: load store: %w", err)
+	}
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// LoadStoreFile reads a persisted store by path.
+func LoadStoreFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadStore(f)
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WorkloadConfig describes a replayable mixed analyst workload: N concurrent
+// sessions each issuing a deterministic stream of interactions. Term choice
+// is skewed toward the head of the query vocabulary (analysts revisit the
+// same themes), which is what gives caches and coalescing their traction.
+type WorkloadConfig struct {
+	// Sessions is the number of concurrent sessions. Default 8.
+	Sessions int
+	// OpsPerSession is the interaction count per session. Default 50.
+	OpsPerSession int
+	// Seed fixes the workload; each session derives its own stream from it.
+	Seed int64
+	// Terms is the query vocabulary. Empty selects the store's 48 top-DF
+	// terms.
+	Terms []string
+	// Docs are similarity-search targets. Empty selects 16 sampled
+	// documents with non-null signatures.
+	Docs []int64
+	// SimK is the similarity top-K. Default 5.
+	SimK int
+}
+
+func (cfg WorkloadConfig) withDefaults(st *Store) WorkloadConfig {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.OpsPerSession <= 0 {
+		cfg.OpsPerSession = 50
+	}
+	if cfg.SimK <= 0 {
+		cfg.SimK = 5
+	}
+	if len(cfg.Terms) == 0 {
+		cfg.Terms = st.TopTerms(48)
+	}
+	if len(cfg.Docs) == 0 {
+		cfg.Docs = st.SampleDocs(16)
+	}
+	return cfg
+}
+
+// WorkloadReport aggregates one replay.
+type WorkloadReport struct {
+	Sessions int
+	Ops      int64
+
+	WallSeconds float64
+	QPS         float64 // sustained host queries/sec across all sessions
+
+	MeanVirtualMS float64 // mean per-interaction virtual latency
+	MaxVirtualMS  float64 // worst single interaction
+
+	OpCounts map[string]int64
+	Stats    Stats // server counters accumulated during the replay
+}
+
+// String renders the report as the serving scoreboard.
+func (r *WorkloadReport) String() string {
+	return fmt.Sprintf(
+		"%d sessions, %d interactions in %.2fs host time (%.0f queries/sec)\n"+
+			"per-interaction virtual latency: mean %.3f ms, max %.3f ms\n"+
+			"posting cache: %.1f%% hit rate (%d hits + %d coalesced / %d misses, %d evictions, %d remote gets)\n"+
+			"similarity cache: %.1f%% hit rate (%d hits / %d misses)",
+		r.Sessions, r.Ops, r.WallSeconds, r.QPS,
+		r.MeanVirtualMS, r.MaxVirtualMS,
+		100*r.Stats.PostingHitRate(), r.Stats.PostingHits, r.Stats.Coalesced,
+		r.Stats.PostingMisses, r.Stats.PostingEvictions, r.Stats.RemoteGets,
+		100*r.Stats.SimHitRate(), r.Stats.SimHits, r.Stats.SimMisses)
+}
+
+// pickSkewed picks an index in [0, n) biased toward 0 — a Zipf-like analyst
+// revisiting head terms.
+func pickSkewed(rng *rand.Rand, n int) int {
+	i := int(float64(n) * math.Pow(rng.Float64(), 2.5))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Replay runs the workload against the server and aggregates the outcome.
+// The interaction streams are deterministic in cfg.Seed; only host timing and
+// the interleaving-dependent cache/coalescing counters vary between runs.
+func Replay(srv *Server, cfg WorkloadConfig) (*WorkloadReport, error) {
+	cfg = cfg.withDefaults(srv.Store())
+	if len(cfg.Terms) == 0 {
+		return nil, fmt.Errorf("serve: workload has no query terms")
+	}
+	if len(cfg.Docs) == 0 {
+		return nil, fmt.Errorf("serve: workload has no similarity targets")
+	}
+	before := srv.Stats()
+
+	var (
+		mu       sync.Mutex
+		opCounts = make(map[string]int64)
+		firstErr error
+		virtSum  float64
+		virtMax  float64
+		totalOps int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for sid := 0; sid < cfg.Sessions; sid++ {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed<<16 + int64(sid)))
+			sess := srv.NewSession()
+			local := make(map[string]int64)
+			term := func() string { return cfg.Terms[pickSkewed(rng, len(cfg.Terms))] }
+			for op := 0; op < cfg.OpsPerSession; op++ {
+				switch p := rng.Float64(); {
+				case p < 0.40:
+					sess.TermDocs(term())
+					local["term"]++
+				case p < 0.55:
+					sess.And(term(), term())
+					local["and"]++
+				case p < 0.70:
+					sess.Or(term(), term())
+					local["or"]++
+				case p < 0.85:
+					doc := cfg.Docs[pickSkewed(rng, len(cfg.Docs))]
+					if _, err := sess.Similar(doc, cfg.SimK); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local["similar"]++
+				case p < 0.93:
+					sess.ThemeDocs(rng.Intn(max(1, srv.Store().K)))
+					local["theme"]++
+				default:
+					sess.Near(rng.Float64()-0.5, rng.Float64()-0.5, 0.2)
+					local["near"]++
+				}
+			}
+			st := sess.Stats()
+			mu.Lock()
+			for k, v := range local {
+				opCounts[k] += v
+			}
+			virtSum += st.VirtualSeconds
+			if st.MaxMS/1000 > virtMax {
+				virtMax = st.MaxMS / 1000
+			}
+			totalOps += st.Ops
+			mu.Unlock()
+		}(sid)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	after := srv.Stats()
+	rep := &WorkloadReport{
+		Sessions:    cfg.Sessions,
+		Ops:         totalOps,
+		WallSeconds: wall,
+		OpCounts:    opCounts,
+		Stats:       diffStats(before, after),
+	}
+	if wall > 0 {
+		rep.QPS = float64(totalOps) / wall
+	}
+	if totalOps > 0 {
+		rep.MeanVirtualMS = virtSum / float64(totalOps) * 1000
+	}
+	rep.MaxVirtualMS = virtMax * 1000
+	return rep, nil
+}
+
+// diffStats subtracts counter snapshots so repeated replays on one server
+// report only their own traffic.
+func diffStats(before, after Stats) Stats {
+	return Stats{
+		Queries:          after.Queries - before.Queries,
+		PostingHits:      after.PostingHits - before.PostingHits,
+		PostingMisses:    after.PostingMisses - before.PostingMisses,
+		PostingEvictions: after.PostingEvictions - before.PostingEvictions,
+		Coalesced:        after.Coalesced - before.Coalesced,
+		RemoteGets:       after.RemoteGets - before.RemoteGets,
+		SimHits:          after.SimHits - before.SimHits,
+		SimMisses:        after.SimMisses - before.SimMisses,
+		SimEvictions:     after.SimEvictions - before.SimEvictions,
+	}
+}
+
+// OpMix renders the op counts deterministically, e.g. "and=12 near=3 term=25".
+func (r *WorkloadReport) OpMix() string {
+	names := make([]string, 0, len(r.OpCounts))
+	for k := range r.OpCounts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, k := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, r.OpCounts[k])
+	}
+	return out
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 )
 
 var sigMagic = [8]byte{'I', 'N', 'S', 'P', 'S', 'I', 'G', '1'}
@@ -124,4 +125,71 @@ func Load(r io.Reader) (m int, docIDs []int64, vecs [][]float64, err error) {
 		}
 	}
 	return m, docIDs, vecs, nil
+}
+
+// SaveFile persists signatures to a file in the Save format.
+func SaveFile(path string, m int, docIDs []int64, vecs [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = Save(f, m, docIDs, vecs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Set is a loaded signature collection indexed for serving: the query layer
+// resolves a document's knowledge signature without rescanning the records.
+type Set struct {
+	M    int
+	Docs []int64
+	Vecs [][]float64 // nil entries are null signatures
+
+	idx map[int64]int
+}
+
+// NewSet indexes parallel docID/vector slices as a serving set.
+func NewSet(m int, docs []int64, vecs [][]float64) (*Set, error) {
+	if len(docs) != len(vecs) {
+		return nil, fmt.Errorf("signature: set: %d ids for %d vectors", len(docs), len(vecs))
+	}
+	s := &Set{M: m, Docs: docs, Vecs: vecs, idx: make(map[int64]int, len(docs))}
+	for i, d := range docs {
+		s.idx[d] = i
+	}
+	return s, nil
+}
+
+// LoadSet reads a persisted signature file into an indexed serving set.
+func LoadSet(r io.Reader) (*Set, error) {
+	m, docs, vecs, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewSet(m, docs, vecs)
+}
+
+// LoadSetFile reads a persisted signature file by path.
+func LoadSetFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSet(f)
+}
+
+// Len returns the number of records in the set.
+func (s *Set) Len() int { return len(s.Docs) }
+
+// Vec returns the signature vector of a document (nil, true for a present
+// null signature; nil, false for an unknown document).
+func (s *Set) Vec(doc int64) ([]float64, bool) {
+	i, ok := s.idx[doc]
+	if !ok {
+		return nil, false
+	}
+	return s.Vecs[i], true
 }

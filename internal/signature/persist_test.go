@@ -135,3 +135,35 @@ func TestSaveLoadQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSetServingLoadPath(t *testing.T) {
+	ids := []int64{3, 1, 7}
+	vecs := [][]float64{{0.5, 0.5}, nil, {1, 0}}
+	path := t.TempDir() + "/sigs.bin"
+	if err := SaveFile(path, 2, ids, vecs); err != nil {
+		t.Fatal(err)
+	}
+	set, err := LoadSetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.M != 2 || set.Len() != 3 {
+		t.Fatalf("set M=%d len=%d", set.M, set.Len())
+	}
+	v, ok := set.Vec(7)
+	if !ok || v[0] != 1 || v[1] != 0 {
+		t.Fatalf("Vec(7) = %v, %v", v, ok)
+	}
+	if v, ok := set.Vec(1); !ok || v != nil {
+		t.Fatalf("null signature lookup = %v, %v", v, ok)
+	}
+	if _, ok := set.Vec(99); ok {
+		t.Fatal("unknown doc found")
+	}
+	if _, err := NewSet(1, []int64{1, 2}, [][]float64{{1}}); err == nil {
+		t.Fatal("mismatched set accepted")
+	}
+	if _, err := LoadSetFile(t.TempDir() + "/missing.bin"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
