@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (5, 6a, 6b, 7a, 7b, 8, 9, A1, A2, A3, S1); empty = all")
+	fig := flag.String("fig", "", "figure to regenerate (5, 6a, 6b, 7a, 7b, 8, 9, A1, A2, A3, S1, S2); empty = all")
 	scale := flag.Float64("scale", bench.DefaultScale, "dataset reduction factor (paper bytes / synthetic bytes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()

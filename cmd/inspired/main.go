@@ -12,6 +12,10 @@
 //	inspired -store run.store -http :8417
 //	echo "term apple" | inspired -store run.store -stdin
 //
+// -store accepts both store format versions: INSPSTORE2 (block-compressed
+// postings, what -save-store now writes) and legacy INSPSTORE1 flat files,
+// which are re-compressed on load.
+//
 // HTTP endpoints (all GET, JSON responses):
 //
 //	/term?q=word            posting list of one term
@@ -121,7 +125,16 @@ func loadOrIndex(storePath, in, format string, p int) (*serve.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		fmt.Printf("loaded store %s\n", storePath)
+		if st.Compressed() {
+			fmt.Printf("loaded store %s (INSPSTORE2, block-compressed postings)\n", storePath)
+		} else {
+			// Legacy flat store: serve it in the compressed layout so the
+			// resident footprint and And latency match freshly built stores.
+			if err := st.CompressPostings(); err != nil {
+				return nil, err
+			}
+			fmt.Printf("loaded store %s (INSPSTORE1, compressed flat postings on load)\n", storePath)
+		}
 		return st, nil
 	}
 	if in == "" {

@@ -16,9 +16,10 @@
 // interactive analysis at scale: internal/query answers term, boolean,
 // similarity and drill-down queries over the distributed products, and
 // internal/serve turns a finished run into a long-lived serving store that
-// answers many concurrent analyst sessions (LRU posting and similarity
-// caches, coalesced index transfers, per-interaction virtual latency)
-// through the cmd/inspired daemon: index once, serve many.
+// answers many concurrent analyst sessions (block-compressed posting lists
+// with skip-directory intersection via internal/postings, LRU posting and
+// similarity caches, coalesced index transfers, per-interaction virtual
+// latency) through the cmd/inspired daemon: index once, serve many.
 //
 // The library lives under internal/; the executables under cmd/ (inspire,
 // inspired, corpusgen, benchfig) and the runnable scenarios under examples/

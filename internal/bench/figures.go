@@ -29,6 +29,7 @@ var Experiments = []Experiment{
 	{"A2", "Ablation: static vs adaptive signature dimensionality", FigA2},
 	{"A3", "Ablation: scanning under ideal vs NFS vs Lustre storage", FigA3},
 	{"S1", "Serving: query throughput and cache effectiveness vs concurrent sessions", FigS1},
+	{"S2", "Serving: posting store bytes and And latency, flat vs block-compressed", FigS2},
 }
 
 // FindExperiment resolves an experiment by ID.

@@ -320,3 +320,45 @@ func TestEmptyCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEncodePostingsMatchesIndex(t *testing.T) {
+	sources := invTestSources()
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		rpc := armci.New(c)
+		vocab := dhash.New(c, rpc)
+		parts := corpus.Partition(sources, 3)
+		fwd, err := scan.Scan(c, vocab, parts[c.Rank()], scan.TokenizerConfig{})
+		if err != nil {
+			return err
+		}
+		n := vocab.Finalize()
+		fwd.RemapDense(c, vocab)
+		fwd.AssignGlobalDocIDs(c)
+		gf := PublishForward(c, fwd)
+		ix := Invert(c, gf, n, vocab.DenseRange, Options{Strategy: DynamicGA, RPC: rpc})
+
+		// Every rank emits its owned range straight into the block codec;
+		// the blocks must decode to exactly the index's posting lists.
+		ps, err := ix.EncodePostings(c)
+		if err != nil {
+			return err
+		}
+		if err := ps.Validate(); err != nil {
+			return err
+		}
+		if ps.NumTerms != ix.TermHi-ix.TermLo {
+			return fmt.Errorf("rank %d encoded %d terms, owns %d", c.Rank(), ps.NumTerms, ix.TermHi-ix.TermLo)
+		}
+		for i := int64(0); i < ps.NumTerms; i++ {
+			wantDocs, wantFreqs := ix.Postings(ix.TermLo + i)
+			gotDocs, gotFreqs := ps.Postings(i)
+			if !reflect.DeepEqual(gotDocs, wantDocs) || !reflect.DeepEqual(gotFreqs, wantFreqs) {
+				return fmt.Errorf("rank %d term %d: block postings differ", c.Rank(), ix.TermLo+i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

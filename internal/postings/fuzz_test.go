@@ -1,0 +1,94 @@
+package postings
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// FuzzBlockRoundTrip drives the block codec with arbitrary gap/freq streams:
+// the fuzzer's bytes become posting gaps and frequencies, which must encode
+// and decode to identity, keep the skip directory consistent with the block
+// contents, self-intersect to identity, and survive gob persistence.
+func FuzzBlockRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{1, 2, 3, 255, 0, 7}, uint16(1))
+	f.Add(bytes.Repeat([]byte{9, 1}, 400), uint16(3*BlockSize))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		// Derive a strictly increasing doc list and parallel freqs from the
+		// raw bytes; n caps the length so giant inputs stay fast.
+		count := int(n)%(4*BlockSize+3) + len(data)%7
+		docs := make([]int64, 0, count)
+		freqs := make([]int64, 0, count)
+		cur := int64(0)
+		for i := 0; i < count; i++ {
+			gap, fr := int64(1), int64(0)
+			if len(data) > 0 {
+				gap += int64(data[i%len(data)])
+				fr = int64(data[(i*2+1)%len(data)])
+			}
+			cur += gap
+			docs = append(docs, cur)
+			freqs = append(freqs, fr)
+		}
+
+		w := NewWriter(int64(count))
+		if err := w.Append(docs, freqs); err != nil {
+			t.Fatalf("valid list rejected: %v", err)
+		}
+		if err := w.Append(nil, nil); err != nil { // empty term rides along
+			t.Fatalf("empty list rejected: %v", err)
+		}
+		st := w.Finish()
+		if err := st.Validate(); err != nil {
+			t.Fatalf("encoded store invalid: %v", err)
+		}
+
+		gotDocs, gotFreqs := st.Postings(0)
+		if count == 0 {
+			if gotDocs != nil || gotFreqs != nil {
+				t.Fatal("empty term decoded non-nil")
+			}
+		} else if !reflect.DeepEqual(gotDocs, docs) || !reflect.DeepEqual(gotFreqs, freqs) {
+			t.Fatal("round trip mismatch")
+		}
+
+		// Skip-directory consistency: every interior entry is the true block
+		// max and the recorded boundaries decode block-locally.
+		var buf [BlockSize]int64
+		for j := int64(0); j < st.Blocks(0); j++ {
+			blk := st.decodeDocBlock(0, j, buf[:])
+			lo := int(j) * BlockSize
+			hi := min(lo+BlockSize, len(docs))
+			if !reflect.DeepEqual(blk, docs[lo:hi]) {
+				t.Fatalf("block %d decodes wrong", j)
+			}
+			if j < st.Blocks(0)-1 && st.BlkMax[j] != docs[hi-1] {
+				t.Fatalf("block %d skip max %d, want %d", j, st.BlkMax[j], docs[hi-1])
+			}
+		}
+
+		// Self-intersection is identity and touches every block.
+		inter, ist := st.Intersect(docs, 0)
+		if count > 0 && !reflect.DeepEqual(inter, docs) {
+			t.Fatal("self-intersection differs")
+		}
+		if int64(ist.BlocksDecoded+ist.BlocksSkipped) != st.Blocks(0) {
+			t.Fatalf("block accounting off: %+v over %d blocks", ist, st.Blocks(0))
+		}
+
+		// The layout survives its persistence encoding.
+		var pb bytes.Buffer
+		if err := gob.NewEncoder(&pb).Encode(st); err != nil {
+			t.Fatal(err)
+		}
+		var re Store
+		if err := gob.NewDecoder(&pb).Decode(&re); err != nil {
+			t.Fatal(err)
+		}
+		if err := re.Validate(); err != nil {
+			t.Fatalf("reloaded store invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genList builds a random sorted posting list of n docs with gaps up to span.
+func genList(rng *rand.Rand, n int, span int64) (docs, freqs []int64) {
+	docs = make([]int64, n)
+	freqs = make([]int64, n)
+	cur := int64(0)
+	for i := 0; i < n; i++ {
+		cur += 1 + rng.Int63n(span)
+		docs[i] = cur
+		freqs[i] = 1 + rng.Int63n(9)
+	}
+	return docs, freqs
+}
+
+func buildStoreFrom(t *testing.T, lists [][2][]int64) *Store {
+	t.Helper()
+	w := NewWriter(0)
+	for _, l := range lists {
+		if err := w.Append(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Finish()
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRoundTripAcrossBlockBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var lists [][2][]int64
+	for _, n := range []int{0, 1, 2, BlockSize - 1, BlockSize, BlockSize + 1, 3 * BlockSize, 1000} {
+		d, f := genList(rng, n, 40)
+		lists = append(lists, [2][]int64{d, f})
+	}
+	st := buildStoreFrom(t, lists)
+	if st.NumTerms != int64(len(lists)) {
+		t.Fatalf("store has %d terms, want %d", st.NumTerms, len(lists))
+	}
+	for ti, l := range lists {
+		docs, freqs := st.Postings(int64(ti))
+		if len(l[0]) == 0 {
+			if docs != nil || freqs != nil {
+				t.Fatalf("term %d: empty list decoded non-nil", ti)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(docs, l[0]) || !reflect.DeepEqual(freqs, l[1]) {
+			t.Fatalf("term %d: round trip mismatch", ti)
+		}
+	}
+}
+
+func TestWriterRejectsMalformedLists(t *testing.T) {
+	cases := []struct {
+		name        string
+		docs, freqs []int64
+	}{
+		{"length mismatch", []int64{1, 2}, []int64{1}},
+		{"negative doc", []int64{-1, 2}, []int64{1, 1}},
+		{"unsorted", []int64{5, 3}, []int64{1, 1}},
+		{"duplicate doc", []int64{3, 3}, []int64{1, 1}},
+		{"negative freq", []int64{1, 2}, []int64{1, -4}},
+	}
+	for _, c := range cases {
+		if err := NewWriter(0).Append(c.docs, c.freqs); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestSkipDirectoryMatchesBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, f := genList(rng, 5*BlockSize+17, 100)
+	st := buildStoreFrom(t, [][2][]int64{{d, f}})
+	if got, want := st.Blocks(0), int64(6); got != want {
+		t.Fatalf("blocks = %d, want %d", got, want)
+	}
+	// Every interior directory entry holds the true block max, and every
+	// block decodes independently to the matching slice of the full list.
+	var buf [BlockSize]int64
+	for j := int64(0); j < st.Blocks(0); j++ {
+		blk := st.decodeDocBlock(0, j, buf[:])
+		lo := j * BlockSize
+		if !reflect.DeepEqual(blk, d[lo:min(lo+BlockSize, int64(len(d)))]) {
+			t.Fatalf("block %d decodes wrong", j)
+		}
+		if j < st.Blocks(0)-1 && st.BlkMax[j] != blk[len(blk)-1] {
+			t.Fatalf("block %d: directory max %d, want %d", j, st.BlkMax[j], blk[len(blk)-1])
+		}
+	}
+}
+
+func TestIntersectSkipsRuledOutBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, f := genList(rng, 8*BlockSize, 10)
+	st := buildStoreFrom(t, [][2][]int64{{d, f}})
+
+	// Self-intersection returns the list, decoding every block.
+	got, ist := st.Intersect(d, 0)
+	if !reflect.DeepEqual(got, d) {
+		t.Fatal("self-intersection differs from list")
+	}
+	if ist.BlocksDecoded != 8 || ist.BlocksSkipped != 0 {
+		t.Fatalf("self-intersection stats %+v", ist)
+	}
+
+	// Probing only docs of the last block leaves the first seven cold.
+	tail := d[len(d)-3:]
+	got, ist = st.Intersect(tail, 0)
+	if !reflect.DeepEqual(got, tail) {
+		t.Fatalf("tail intersection = %v", got)
+	}
+	if ist.BlocksDecoded != 1 || ist.BlocksSkipped != 7 {
+		t.Fatalf("tail intersection decoded %d skipped %d, want 1/7", ist.BlocksDecoded, ist.BlocksSkipped)
+	}
+
+	// Candidates between two postings intersect to nothing.
+	if got, _ := st.Intersect([]int64{d[0] + 1}, 0); len(got) != 0 {
+		t.Fatalf("phantom intersection: %v", got)
+	}
+	// Empty candidate set decodes nothing.
+	if _, ist := st.Intersect(nil, 0); ist.BlocksDecoded != 0 {
+		t.Fatalf("empty acc decoded %d blocks", ist.BlocksDecoded)
+	}
+}
+
+func TestIntersectAgreesWithMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		d, f := genList(rng, rng.Intn(4*BlockSize), 6)
+		st := buildStoreFrom(t, [][2][]int64{{d, f}})
+		acc, _ := genList(rng, rng.Intn(200), 9)
+		want := mergeIntersect(acc, d)
+		got, ist := st.Intersect(acc, 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: intersect = %v, want %v", trial, got, want)
+		}
+		if int64(ist.BlocksDecoded+ist.BlocksSkipped) != st.Blocks(0) {
+			t.Fatalf("trial %d: decoded %d + skipped %d != %d blocks",
+				trial, ist.BlocksDecoded, ist.BlocksSkipped, st.Blocks(0))
+		}
+	}
+}
+
+func mergeIntersect(a, b []int64) []int64 {
+	var out []int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, f := genList(rng, 2*BlockSize, 5)
+	st := buildStoreFrom(t, [][2][]int64{{d, f}})
+
+	bad := *st
+	bad.Count = bad.Count[:0]
+	if bad.Validate() == nil {
+		t.Fatal("truncated counts validated")
+	}
+	bad = *st
+	bad.TermDoc = append([]int64(nil), bad.TermDoc...)
+	bad.TermDoc[1]++
+	if bad.Validate() == nil {
+		t.Fatal("blob overrun validated")
+	}
+	bad = *st
+	bad.BlkDocEnd = append([]int64(nil), bad.BlkDocEnd...)
+	bad.BlkDocEnd[0] = 1 << 40
+	if bad.Validate() == nil {
+		t.Fatal("out-of-bounds directory validated")
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"inspire/internal/cluster"
 	"inspire/internal/core"
+	"inspire/internal/scan"
 )
 
 // PostingSource supplies a term's posting list by dense term ID. The
@@ -93,22 +94,39 @@ func (e *Engine) DF(term string) int64 {
 }
 
 // And returns the documents containing every term, sorted by document ID.
+// Document frequencies (cheap descriptor reads) are consulted before any
+// posting list moves: terms are intersected rarest-first and the remaining —
+// larger — lists are never transferred once the intersection is empty or a
+// term is absent.
 func (e *Engine) And(terms ...string) []int64 {
 	if len(terms) == 0 {
 		return nil
 	}
-	// Fetch the rarest list first so intersections stay small.
-	lists := make([][]Posting, len(terms))
+	type cand struct {
+		id int64
+		df int64
+	}
+	cands := make([]cand, len(terms))
 	for i, t := range terms {
-		lists[i] = e.TermDocs(t)
-		if len(lists[i]) == 0 {
+		id, ok := e.res.Vocab.DenseLookup(Normalize(t))
+		if !ok {
 			return nil
 		}
+		df := e.res.Stats.DF.GetOne(id)
+		if df == 0 {
+			return nil
+		}
+		cands[i] = cand{id: id, df: df}
 	}
-	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
-	acc := docSet(lists[0])
-	for _, l := range lists[1:] {
-		acc = IntersectSorted(acc, docSet(l))
+	sort.Slice(cands, func(a, b int) bool { return cands[a].df < cands[b].df })
+	var acc []int64
+	for i, c := range cands {
+		docs, _ := e.src.Postings(c.id)
+		if i == 0 {
+			acc = append([]int64(nil), docs...)
+		} else {
+			acc = IntersectSorted(acc, docs)
+		}
 		if len(acc) == 0 {
 			return nil
 		}
@@ -227,17 +245,12 @@ func (e *Engine) Near(x, y, radius float64) []int64 {
 
 // --- helpers ---------------------------------------------------------------
 
-// Normalize lowercases a query term the way the tokenizer would.
+// Normalize folds a query term exactly the way the tokenizer folded it at
+// indexing time (scan.NormalizeTerm): Unicode lowercasing plus the '- edge
+// trim. It previously byte-lowercased ASCII only, which made every indexed
+// non-ASCII term (naïve, café) unreachable from every query path.
 func Normalize(term string) string {
-	out := make([]byte, 0, len(term))
-	for i := 0; i < len(term); i++ {
-		ch := term[i]
-		if ch >= 'A' && ch <= 'Z' {
-			ch += 'a' - 'A'
-		}
-		out = append(out, ch)
-	}
-	return string(out)
+	return scan.NormalizeTerm(term)
 }
 
 // Cosine returns the cosine similarity of two non-negative vectors.
@@ -254,17 +267,20 @@ func Cosine(a, b []float64) float64 {
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
 }
 
-// docSet extracts sorted doc IDs from postings.
-func docSet(ps []Posting) []int64 {
-	out := make([]int64, len(ps))
-	for i, p := range ps {
-		out[i] = p.Doc
-	}
-	return out
-}
-
-// IntersectSorted merges two sorted ID lists into their sorted intersection.
+// IntersectSorted intersects two sorted ID lists into a sorted result. When
+// the lists are comparably sized it merges linearly; when one dwarfs the
+// other it gallops — exponential probing then binary search in the longer
+// list — so the cost is near |short| · log |long| rather than |short|+|long|.
 func IntersectSorted(a, b []int64) []int64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	if len(b) >= gallopFactor*len(a) {
+		return gallopIntersect(a, b)
+	}
 	var out []int64
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -277,6 +293,39 @@ func IntersectSorted(a, b []int64) []int64 {
 			out = append(out, a[i])
 			i++
 			j++
+		}
+	}
+	return out
+}
+
+// gallopFactor is the length ratio beyond which IntersectSorted switches
+// from linear merging to galloping search.
+const gallopFactor = 16
+
+// gallopIntersect intersects short a against long b by exponential probing.
+func gallopIntersect(a, b []int64) []int64 {
+	var out []int64
+	lo := 0
+	for _, v := range a {
+		// Gallop: double the step until b[lo+step] >= v, then binary search
+		// the bracketed window.
+		step := 1
+		for lo+step < len(b) && b[lo+step] < v {
+			step *= 2
+		}
+		hi := lo + step
+		if hi > len(b) {
+			hi = len(b)
+		}
+		w := b[lo:hi]
+		k := sort.Search(len(w), func(i int) bool { return w[i] >= v })
+		lo += k
+		if lo >= len(b) {
+			break
+		}
+		if b[lo] == v {
+			out = append(out, v)
+			lo++
 		}
 	}
 	return out

@@ -259,3 +259,95 @@ func TestUsePostingsInterposesSource(t *testing.T) {
 		return nil
 	})
 }
+
+// uniDocs plants non-ASCII vocabulary so normalization is exercised
+// end-to-end: scan indexes the folded forms, queries must reach them.
+var uniDocs = []string{
+	"naïve naïve café café résumé",      // doc 0
+	"naïve café café straße",            // doc 1
+	"résumé résumé straße straße naïve", // doc 2
+	"plain plain words words here here", // doc 3
+}
+
+func TestUnicodeTermsQueryableEndToEnd(t *testing.T) {
+	src := corpus.FromTexts("uni", uniDocs)
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		res, err := core.Run(c, []*corpus.Source{src}, core.Config{TopN: 100, TopicFrac: 0.5})
+		if err != nil {
+			return err
+		}
+		e := New(c, res)
+		// The raw, upper-case, and connector-wrapped spellings all resolve:
+		// the query fold matches the tokenizer's (scan.NormalizeTerm), not an
+		// ASCII-only byte fold.
+		for _, spelling := range []string{"naïve", "NAÏVE", "Naïve", "'naïve'", "naïve-"} {
+			if got := e.TermDocs(spelling); len(got) != 3 {
+				return fmt.Errorf("TermDocs(%q) found %d docs, want 3", spelling, len(got))
+			}
+		}
+		if df := e.DF("CAFÉ"); df != 2 {
+			return fmt.Errorf("DF(CAFÉ) = %d, want 2", df)
+		}
+		if got := e.And("naïve", "STRASSE"); got != nil {
+			return fmt.Errorf("ASCII spelling must not match folded non-ASCII term: %v", got)
+		}
+		if got := e.And("naïve", "café"); !reflect.DeepEqual(got, []int64{0, 1}) {
+			return fmt.Errorf("naïve AND café = %v", got)
+		}
+		if got := e.Or("straße", "résumé"); !reflect.DeepEqual(got, []int64{0, 1, 2}) {
+			return fmt.Errorf("straße OR résumé = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndOrdersByDFAndEarlyExits(t *testing.T) {
+	withEngine(t, 2, func(c *cluster.Comm, e *Engine) error {
+		cs := &countingSource{}
+		cs.inner = e.UsePostings(cs)
+
+		// A missing term dooms the conjunction before any list transfers.
+		e.And("apple", "banana", "nonexistent")
+		if cs.calls != 0 {
+			return fmt.Errorf("And with a missing term transferred %d lists, want 0", cs.calls)
+		}
+
+		// Disjoint rare terms empty the intersection after two fetches; the
+		// remaining (largest) list must never move. DFs: banana=2, durian=2,
+		// apple=3 — banana ∩ durian = ∅ before apple is touched.
+		cs.calls = 0
+		if got := e.And("apple", "banana", "durian"); got != nil {
+			return fmt.Errorf("disjoint AND = %v", got)
+		}
+		if cs.calls != 2 {
+			return fmt.Errorf("early exit transferred %d lists, want 2", cs.calls)
+		}
+		return nil
+	})
+}
+
+func TestIntersectSortedGallops(t *testing.T) {
+	// A long strided list against a short one exercises the galloping path
+	// (ratio >= gallopFactor); results must match the linear merge.
+	long := make([]int64, 4096)
+	for i := range long {
+		long[i] = int64(3 * i)
+	}
+	short := []int64{0, 3, 7, 300, 301, 302, 303, 9000, 12285}
+	want := []int64{0, 3, 300, 303, 9000, 12285}
+	if got := IntersectSorted(short, long); !reflect.DeepEqual(got, want) {
+		t.Fatalf("gallop short∩long = %v, want %v", got, want)
+	}
+	if got := IntersectSorted(long, short); !reflect.DeepEqual(got, want) {
+		t.Fatalf("gallop long∩short = %v, want %v", got, want)
+	}
+	if got := IntersectSorted(nil, long); got != nil {
+		t.Fatalf("empty∩long = %v", got)
+	}
+	if got := IntersectSorted(long, long); !reflect.DeepEqual(got, long) {
+		t.Fatal("self-intersection differs")
+	}
+}

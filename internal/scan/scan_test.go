@@ -316,3 +316,30 @@ func ExampleTokenize() {
 	fmt.Println(Tokenize("Scalable Visual Analytics of Massive Textual Datasets!", TokenizerConfig{}))
 	// Output: [scalable visual analytics massive textual datasets]
 }
+
+func TestNormalizeTermMatchesTokenizerFold(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Apple", "apple"},
+		{"NAÏVE", "naïve"},
+		{"Café", "café"},
+		{"STRASSE", "strasse"},
+		{"'quoted'", "quoted"},
+		{"-dash-", "dash"},
+		{"--'mix'-", "mix"},
+		{"state-of-the-art", "state-of-the-art"}, // interior connectors survive
+		{"o'brien", "o'brien"},
+	}
+	for _, c := range cases {
+		if got := NormalizeTerm(c.in); got != c.want {
+			t.Errorf("NormalizeTerm(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Every token the tokenizer emits is a fixed point of NormalizeTerm —
+	// the property that makes query-side folding agree with the index.
+	text := "Naïve CAFÉS résumé 'alpha' beta-gamma- O'Brien <b>Markup</b> straße"
+	for _, tok := range Tokenize(text, TokenizerConfig{}) {
+		if got := NormalizeTerm(tok); got != tok {
+			t.Errorf("indexed token %q renormalizes to %q", tok, got)
+		}
+	}
+}

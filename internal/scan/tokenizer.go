@@ -55,6 +55,15 @@ var DefaultStopwords = func() map[string]bool {
 	return m
 }()
 
+// NormalizeTerm folds a token to its indexed form: Unicode-aware lowercasing
+// plus trimming the intra-word connectors (' and -) the delimiter rules let
+// through at token edges. This is the single normalization shared by the
+// tokenizer and every query path (query.Engine, serve.Store) — a query layer
+// that folds differently makes indexed terms silently unreachable.
+func NormalizeTerm(term string) string {
+	return strings.Trim(strings.ToLower(term), "'-")
+}
+
 // isDelim reports whether r separates terms: anything that is not a letter,
 // digit, or intra-word connector. Markup characters (<, >, /, &) therefore
 // delimit, which strips the residual HTML in TREC-like sources.
@@ -89,8 +98,7 @@ func ForEachToken(text string, cfg TokenizerConfig, fn func(term string)) {
 		if len(tok) < cfg.MinLen || len(tok) > cfg.MaxLen {
 			return
 		}
-		tok = strings.ToLower(tok)
-		tok = strings.Trim(tok, "'-")
+		tok = NormalizeTerm(tok)
 		if len(tok) < cfg.MinLen {
 			return
 		}

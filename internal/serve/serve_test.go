@@ -378,3 +378,161 @@ func TestTopTermsAndSampleDocs(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreFormatVersions(t *testing.T) {
+	st := buildStoreT(t, 3)
+	if !st.Compressed() {
+		t.Fatal("snapshot store is not block-compressed")
+	}
+
+	// v2 round trip, magic included.
+	var v2 bytes.Buffer
+	if err := st.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v2.Bytes(), []byte("INSPSTORE2\n")) {
+		t.Fatalf("compressed store wrote magic %q", v2.Bytes()[:11])
+	}
+	fromV2, err := LoadStore(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromV2.Compressed() {
+		t.Fatal("v2 load lost compression")
+	}
+
+	// The flat layout persists as a v1 file a previous build could read —
+	// and the compatibility loader reads it back.
+	flat := st.FlatCopy()
+	if flat.Compressed() {
+		t.Fatal("flat copy still compressed")
+	}
+	var v1 bytes.Buffer
+	if err := flat.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v1.Bytes(), []byte("INSPSTORE1\n")) {
+		t.Fatalf("flat store wrote magic %q", v1.Bytes()[:11])
+	}
+	fromV1, err := LoadStore(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromV1.Compressed() {
+		t.Fatal("v1 load claims compression")
+	}
+
+	// All four layouts answer identically.
+	want := newServerT(t, st, Config{}).NewSession().And("apple", "cherry")
+	for name, s := range map[string]*Store{"v2 reload": fromV2, "flat": flat, "v1 reload": fromV1} {
+		if got := newServerT(t, s, Config{}).NewSession().And("apple", "cherry"); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s store answers %v, want %v", name, got, want)
+		}
+	}
+
+	// A legacy store compresses in place (the inspired -store load path) and
+	// keeps answering.
+	if err := fromV1.CompressPostings(); err != nil {
+		t.Fatal(err)
+	}
+	if got := newServerT(t, fromV1, Config{}).NewSession().And("apple", "cherry"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recompressed legacy store answers %v, want %v", got, want)
+	}
+}
+
+func TestAndShortCircuitsDoomedQueries(t *testing.T) {
+	st := buildStoreT(t, 3)
+	srv := newServerT(t, st, Config{})
+	sess := srv.NewSession()
+	// A conjunction containing an unknown term must not transfer a single
+	// posting list — only the vocabulary lookups made so far are charged.
+	if got := sess.And("apple", "nonexistent", "banana"); got != nil {
+		t.Fatalf("doomed And = %v", got)
+	}
+	if s := srv.Stats(); s.PostingHits+s.PostingMisses+s.Coalesced+s.PartialFetches != 0 {
+		t.Fatalf("doomed And moved posting lists: %+v", s)
+	}
+	if sess.Stats().Ops != 1 || sess.Stats().VirtualSeconds <= 0 {
+		t.Fatalf("doomed And not accounted: %+v", sess.Stats())
+	}
+}
+
+func TestAndBlockSkippingAgreesWithDecodedPaths(t *testing.T) {
+	// A generated corpus gives the DF spread the path policy keys on: tail
+	// terms (sparse candidate sets) intersect off compressed blocks, head
+	// terms fetch decoded through the LRU.
+	sources := corpus.Generate(corpus.GenSpec{
+		Format: corpus.FormatPubMed, TargetBytes: 40_000, Sources: 4, Seed: 9, VocabSize: 1200, Topics: 4,
+	})
+	var st *Store
+	_, err := cluster.Run(3, simtime.Zero(), func(c *cluster.Comm) error {
+		res, err := core.Run(c, sources, core.Config{CollectSignatures: true})
+		if err != nil {
+			return err
+		}
+		got, err := Snapshot(c, res)
+		if c.Rank() == 0 {
+			st = got
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := st.FlatCopy()
+
+	// Pick the head term and a handful of tail terms by DF.
+	head := st.TopTerms(1)[0]
+	var tails []string
+	for id, df := range st.DF {
+		if df >= 1 && df <= 2 {
+			tails = append(tails, st.TermList[id])
+			if len(tails) == 6 {
+				break
+			}
+		}
+	}
+	if len(tails) == 0 {
+		t.Fatal("corpus has no tail terms")
+	}
+
+	srvC := newServerT(t, st, Config{})
+	srvF := newServerT(t, flat, Config{})
+	cold := srvC.NewSession()
+	for _, tail := range tails {
+		q := []string{tail, head}
+		want := srvF.NewSession().And(q...)
+		if got := cold.And(q...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("compressed And(%v) = %v, flat says %v", q, got, want)
+		}
+	}
+	s := srvC.Stats()
+	if s.PartialFetches == 0 || s.BlocksDecoded == 0 {
+		t.Fatalf("sparse conjunctions never intersected off compressed blocks: %+v", s)
+	}
+	// Warm the head list into the decoded cache: And answers must not
+	// change when the cached fast path takes over.
+	warm := srvC.NewSession()
+	warm.TermDocs(head)
+	for _, tail := range tails {
+		q := []string{tail, head}
+		want := srvF.NewSession().And(q...)
+		if got := warm.And(q...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("warm compressed And(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Dense conjunctions (head x head) take the full-fetch path, so repeats
+	// hit the LRU instead of re-transferring compressed blocks.
+	top := st.TopTerms(2)
+	dense := srvC.NewSession()
+	dense.And(top[0], top[1])
+	before := srvC.Stats()
+	dense.And(top[0], top[1])
+	after := srvC.Stats()
+	if after.PostingMisses != before.PostingMisses || after.PartialFetches != before.PartialFetches {
+		t.Fatalf("repeated dense And re-transferred: before %+v after %+v", before, after)
+	}
+	if after.PostingHits <= before.PostingHits {
+		t.Fatalf("repeated dense And missed the cache: before %+v after %+v", before, after)
+	}
+}

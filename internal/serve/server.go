@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"inspire/internal/postings"
 	"inspire/internal/query"
 	"inspire/internal/signature"
 )
@@ -41,6 +42,10 @@ type Stats struct {
 	PostingEvictions uint64 // LRU entries displaced
 	Coalesced        uint64 // fetches that joined an in-flight get for the same term
 	RemoteGets       uint64 // misses whose term owner was not the front-end rank
+
+	PartialFetches uint64 // And intersections served straight off compressed blocks
+	BlocksDecoded  uint64 // posting blocks decoded during partial fetches
+	BlocksSkipped  uint64 // posting blocks the skip directory ruled out untouched
 
 	SimHits      uint64 // similarity queries answered from the result cache
 	SimMisses    uint64 // similarity queries that scanned the signatures
@@ -106,6 +111,9 @@ type Server struct {
 	postingEvictions atomic.Uint64
 	coalesced        atomic.Uint64
 	remoteGets       atomic.Uint64
+	partialFetches   atomic.Uint64
+	blocksDecoded    atomic.Uint64
+	blocksSkipped    atomic.Uint64
 	simHits          atomic.Uint64
 	simMisses        atomic.Uint64
 	simEvictions     atomic.Uint64
@@ -144,6 +152,9 @@ func (s *Server) Stats() Stats {
 		PostingEvictions: s.postingEvictions.Load(),
 		Coalesced:        s.coalesced.Load(),
 		RemoteGets:       s.remoteGets.Load(),
+		PartialFetches:   s.partialFetches.Load(),
+		BlocksDecoded:    s.blocksDecoded.Load(),
+		BlocksSkipped:    s.blocksSkipped.Load(),
 		SimHits:          s.simHits.Load(),
 		SimMisses:        s.simMisses.Load(),
 		SimEvictions:     s.simEvictions.Load(),
@@ -160,14 +171,45 @@ func (s *Server) NewSession() *Session {
 // --- posting fetch path ---------------------------------------------------
 
 // wireCost models one uncached posting fetch: two descriptor reads (count,
-// offset) plus the two posting vectors, one-sided against the owner or local
-// memory copies when the front-end owns the term.
+// offset) plus the posting payload, one-sided against the owner or local
+// memory copies when the front-end owns the term. A compressed store moves
+// the block-coded bytes — several times fewer — and the front-end pays the
+// varint+delta decode in flops.
 func (s *Server) wireCost(t int64, n int64) float64 {
 	m := s.store.Model
-	if s.store.Owner(t) != s.cfg.FrontRank {
+	remote := s.store.Owner(t) != s.cfg.FrontRank
+	if ps := s.store.Posts; ps != nil {
+		docB, freqB := ps.TermBytes(t)
+		payload := float64(docB + freqB)
+		// Varint+delta decode streams at memory rate: charged as writing
+		// the decoded int64 pairs, like the block decoders it models.
+		decode := m.LocalCopyCost(16 * float64(n))
+		if remote {
+			return 2*m.OneSidedCost(8) + m.OneSidedCost(payload) + decode
+		}
+		return 2*m.LocalCopyCost(8) + m.LocalCopyCost(payload) + decode
+	}
+	if remote {
 		return 2*m.OneSidedCost(8) + 2*m.OneSidedCost(8*float64(n))
 	}
 	return 2*m.LocalCopyCost(8) + 2*m.LocalCopyCost(8*float64(n))
+}
+
+// partialCost models a block-skipping intersection against term t's
+// compressed list: the skip-directory probe plus only the decoded doc blocks
+// move (ruled-out blocks cost nothing), decode runs at memory rate over the
+// decoded blocks, and the merge walk covers the candidates plus the decoded
+// postings.
+func (s *Server) partialCost(t int64, accLen int, ist postings.IntersectStats) float64 {
+	m := s.store.Model
+	dir := 8 + 24*float64(ist.BlocksDecoded+ist.BlocksSkipped)
+	payload := float64(ist.BytesDecoded)
+	decoded := float64(ist.PostingsDecoded)
+	work := m.LocalCopyCost(8*decoded) + m.FlopCost(2*(float64(accLen)+decoded))
+	if s.store.Owner(t) != s.cfg.FrontRank {
+		return m.OneSidedCost(dir) + m.OneSidedCost(payload) + work
+	}
+	return m.LocalCopyCost(dir) + m.LocalCopyCost(payload) + work
 }
 
 // hitCost models a cache hit: a front-end memory copy of the list.
@@ -213,6 +255,20 @@ func (s *Server) getPostings(t int64) (postingVal, float64) {
 	s.pmu.Unlock()
 	close(f.done)
 	return f.val, f.cost
+}
+
+// cachedPostings peeks the LRU without fetching on a miss. The And path uses
+// it so cache hits keep their decoded fast path while misses intersect
+// straight off the compressed blocks instead of decoding whole lists.
+func (s *Server) cachedPostings(t int64) (postingVal, float64, bool) {
+	s.pmu.Lock()
+	v, ok := s.postings.get(t)
+	s.pmu.Unlock()
+	if !ok {
+		return postingVal{}, 0, false
+	}
+	s.postingHits.Add(1)
+	return v, s.hitCost(len(v.docs)), true
 }
 
 // --- Session --------------------------------------------------------------
@@ -301,73 +357,103 @@ func (ss *Session) DF(term string) int64 {
 		ss.charge(cost)
 		return 0
 	}
-	m := ss.s.store.Model
-	if ss.s.store.Owner(t) != ss.s.cfg.FrontRank {
-		cost += m.OneSidedCost(8)
-	} else {
-		cost += m.LocalCopyCost(8)
-	}
+	// DF is replicated to the front-end at snapshot time, like the
+	// vocabulary: a local read regardless of the term's producing owner.
+	cost += ss.s.store.Model.LocalCopyCost(8)
 	ss.charge(cost)
 	return ss.s.store.DF[t]
 }
 
-// fetchLists resolves every term to its posting docs, charging lookups and
-// fetches; ok is false when any term is unknown or empty.
-func (ss *Session) fetchLists(terms []string) (lists [][]int64, cost float64, ok bool) {
-	lists = make([][]int64, 0, len(terms))
-	ok = true
-	for _, term := range terms {
-		cost += ss.lookupCost(term)
-		t, found := ss.s.store.TermID(term)
-		if !found {
-			ok = false
-			continue
-		}
-		v, c := ss.s.getPostings(t)
-		cost += c
-		if len(v.docs) == 0 {
-			ok = false
-			continue
-		}
-		lists = append(lists, v.docs)
-	}
-	return lists, cost, ok
-}
-
 // And returns the documents containing every term, sorted by document ID.
+//
+// The conjunction is doomed the moment any term is unknown or empty, so the
+// vocabulary and DF descriptors are consulted for every term before a single
+// posting list moves — a doomed And costs only those lookups. Live terms are
+// intersected rarest-first: the rarest list is fetched decoded (through the
+// LRU), and each larger list is then intersected in place — from the decoded
+// cache on a hit; block-skippingly against the compressed store when the
+// candidate set is sparse relative to the list (never decoding the blocks
+// the skip directory rules out); through a full cached-and-coalesced fetch
+// when it is dense and would decode most blocks anyway. The loop exits
+// before touching the remaining (larger) lists once the intersection empties.
 func (ss *Session) And(terms ...string) []int64 {
 	if len(terms) == 0 {
 		return nil
 	}
-	lists, cost, ok := ss.fetchLists(terms)
-	if !ok {
-		ss.charge(cost)
-		return nil
+	st := ss.s.store
+	m := st.Model
+	type cand struct{ id, df int64 }
+	cands := make([]cand, 0, len(terms))
+	var cost float64
+	for _, term := range terms {
+		cost += ss.lookupCost(term)
+		t, found := st.TermID(term)
+		if found { // DF is front-end local, like the vocabulary
+			cost += m.LocalCopyCost(8)
+		}
+		if !found || st.DF[t] == 0 {
+			ss.charge(cost)
+			return nil
+		}
+		cands = append(cands, cand{id: t, df: st.DF[t]})
 	}
-	// Intersect smallest-first so intermediate results stay small.
-	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
-	acc := append([]int64(nil), lists[0]...)
-	var merged float64
-	for _, l := range lists[1:] {
-		merged += float64(len(acc) + len(l))
-		acc = query.IntersectSorted(acc, l)
+	sort.Slice(cands, func(a, b int) bool { return cands[a].df < cands[b].df })
+
+	v, c := ss.s.getPostings(cands[0].id)
+	cost += c
+	acc := append([]int64(nil), v.docs...)
+	var flops float64
+	for _, cd := range cands[1:] {
 		if len(acc) == 0 {
-			acc = nil
 			break
 		}
+		if v, c, ok := ss.s.cachedPostings(cd.id); ok {
+			cost += c
+			flops += 2 * float64(len(acc)+len(v.docs))
+			acc = query.IntersectSorted(acc, v.docs)
+			continue
+		}
+		// A sparse candidate set admits few blocks, so intersecting off the
+		// compressed store wins; a dense one would decode most blocks
+		// anyway, and the full fetch keeps the LRU warm and the transfer
+		// coalesced for the next session asking about the same term.
+		if ps := st.Posts; ps != nil && int64(len(acc)) < cd.df/4 {
+			res, ist := ps.Intersect(acc, cd.id)
+			cost += ss.s.partialCost(cd.id, len(acc), ist)
+			ss.s.partialFetches.Add(1)
+			ss.s.blocksDecoded.Add(uint64(ist.BlocksDecoded))
+			ss.s.blocksSkipped.Add(uint64(ist.BlocksSkipped))
+			acc = res
+			continue
+		}
+		v, c := ss.s.getPostings(cd.id)
+		cost += c
+		flops += 2 * float64(len(acc)+len(v.docs))
+		acc = query.IntersectSorted(acc, v.docs)
 	}
-	ss.charge(cost + ss.s.store.Model.FlopCost(2*merged))
+	if len(acc) == 0 {
+		acc = nil
+	}
+	ss.charge(cost + m.FlopCost(flops))
 	return acc
 }
 
-// Or returns the documents containing any of the terms, sorted.
+// Or returns the documents containing any of the terms, sorted. Unknown and
+// empty terms contribute nothing; every live list must transfer.
 func (ss *Session) Or(terms ...string) []int64 {
-	lists, cost, _ := ss.fetchLists(terms)
+	var cost float64
 	seen := make(map[int64]bool)
 	var merged float64
-	for _, l := range lists {
-		merged += float64(len(l))
-		for _, d := range l {
+	for _, term := range terms {
+		cost += ss.lookupCost(term)
+		t, found := ss.s.store.TermID(term)
+		if !found {
+			continue
+		}
+		v, c := ss.s.getPostings(t)
+		cost += c
+		merged += float64(len(v.docs))
+		for _, d := range v.docs {
 			seen[d] = true
 		}
 	}

@@ -26,8 +26,9 @@ import (
 	"inspire/internal/cluster"
 	"inspire/internal/core"
 	"inspire/internal/ga"
+	"inspire/internal/postings"
 	"inspire/internal/project"
-	"inspire/internal/query"
+	"inspire/internal/scan"
 	"inspire/internal/signature"
 	"inspire/internal/simtime"
 )
@@ -58,9 +59,17 @@ type Store struct {
 	// (len P+1); term t is owned by the rank r with Prefix[r] <= t < Prefix[r+1].
 	Prefix []int64
 
-	// DF[t] is term t's document frequency; Off[t] the start of its postings
-	// in PostDoc/PostFreq (the global concatenated layout of the run).
-	DF       []int64
+	// DF[t] is term t's document frequency.
+	DF []int64
+
+	// Posts holds the postings in the serving format: block-compressed
+	// delta+varint doc/freq lists with a skip directory (INSPSTORE2). When
+	// nil the store carries the legacy flat layout below instead.
+	Posts *postings.Store
+
+	// Legacy flat layout (INSPSTORE1, and the transient form Snapshot drains
+	// into before compressing): Off[t] is the start of term t's postings in
+	// the concatenated PostDoc/PostFreq arrays.
 	Off      []int64
 	PostDoc  []int64
 	PostFreq []int64
@@ -214,13 +223,20 @@ func buildStore(c *cluster.Comm, res *core.Result, docParts, asgParts [][]int64)
 		st.AssignDocs = append(st.AssignDocs, docParts[r]...)
 		st.AssignClusters = append(st.AssignClusters, asgParts[r]...)
 	}
+
+	// Compress into the serving format; the drained flat arrays were only
+	// ever transient. One front-end pass: charged as a local re-encode.
+	if err := st.CompressPostings(); err != nil {
+		panic(fmt.Sprintf("serve: snapshot compression: %v", err))
+	}
+	c.Clock().Advance(m.LocalCopyCost(16*float64(total)) + m.FlopCost(4*float64(total)))
 	return st
 }
 
-// TermID resolves a query term (normalized like the tokenizer) to its dense
-// ID.
+// TermID resolves a query term (normalized exactly like the tokenizer, via
+// the shared scan.NormalizeTerm fold) to its dense ID.
 func (st *Store) TermID(term string) (int64, bool) {
-	id, ok := st.Terms[query.Normalize(term)]
+	id, ok := st.Terms[scan.NormalizeTerm(term)]
 	return id, ok
 }
 
@@ -229,15 +245,88 @@ func (st *Store) Owner(t int64) int {
 	return sort.Search(st.P, func(r int) bool { return st.Prefix[r+1] > t })
 }
 
-// Postings returns views of term t's posting list (sorted by document ID).
-// The returned slices are shared and must not be mutated.
+// Postings returns term t's posting list (sorted by document ID). For a
+// compressed store the list is decoded into fresh slices; for the flat
+// layout the returned slices are shared views and must not be mutated.
 func (st *Store) Postings(t int64) (docs, freqs []int64) {
+	if st.Posts != nil {
+		return st.Posts.Postings(t)
+	}
 	n := st.DF[t]
 	if n == 0 {
 		return nil, nil
 	}
 	off := st.Off[t]
 	return st.PostDoc[off : off+n], st.PostFreq[off : off+n]
+}
+
+// Compressed reports whether the store carries the block-compressed posting
+// layout (INSPSTORE2) rather than the legacy flat arrays.
+func (st *Store) Compressed() bool { return st.Posts != nil }
+
+// CompressPostings re-encodes the flat posting arrays into the block
+// format and drops them; a no-op when already compressed. The serving paths
+// work on either layout, so this is a pure space/latency trade.
+func (st *Store) CompressPostings() error {
+	if st.Posts != nil {
+		return nil
+	}
+	w := postings.NewWriter(int64(len(st.PostDoc)))
+	for t := int64(0); t < st.VocabSize; t++ {
+		n := st.DF[t]
+		var docs, freqs []int64
+		if n > 0 {
+			off := st.Off[t]
+			docs, freqs = st.PostDoc[off:off+n], st.PostFreq[off:off+n]
+		}
+		if err := w.Append(docs, freqs); err != nil {
+			return fmt.Errorf("serve: compress postings: %w", err)
+		}
+	}
+	st.Posts = w.Finish()
+	st.Off, st.PostDoc, st.PostFreq = nil, nil, nil
+	return nil
+}
+
+// DecompressPostings expands the block format back into the flat layout —
+// the v1 baseline the bench figure compares against; a no-op when already
+// flat.
+func (st *Store) DecompressPostings() {
+	if st.Posts == nil {
+		return
+	}
+	var total int64
+	for _, n := range st.Posts.Count {
+		total += n
+	}
+	st.Off = make([]int64, st.VocabSize)
+	st.PostDoc = make([]int64, 0, total)
+	st.PostFreq = make([]int64, 0, total)
+	for t := int64(0); t < st.VocabSize; t++ {
+		st.Off[t] = int64(len(st.PostDoc))
+		docs, freqs := st.Posts.Postings(t)
+		st.PostDoc = append(st.PostDoc, docs...)
+		st.PostFreq = append(st.PostFreq, freqs...)
+	}
+	st.Posts = nil
+}
+
+// FlatCopy returns a copy of the store that serves from the flat posting
+// layout, sharing every other product with the receiver. The compressed-vs-
+// flat bench figure serves both from one snapshot this way.
+func (st *Store) FlatCopy() *Store {
+	cp := &Store{
+		Model: st.Model, P: st.P,
+		TotalDocs: st.TotalDocs, VocabSize: st.VocabSize,
+		Terms: st.Terms, TermList: st.TermList, Prefix: st.Prefix,
+		DF: st.DF, Posts: st.Posts,
+		Off: st.Off, PostDoc: st.PostDoc, PostFreq: st.PostFreq,
+		SigM: st.SigM, SigDocs: st.SigDocs, SigVecs: st.SigVecs,
+		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
+		K: st.K, Themes: st.Themes,
+	}
+	cp.DecompressPostings()
+	return cp
 }
 
 // Signatures returns the store's current signature set as one consistent,
@@ -333,7 +422,7 @@ func (st *Store) validate() error {
 		return fmt.Errorf("serve: store has no machine model")
 	case st.P <= 0 || int64(len(st.Prefix)) != int64(st.P)+1:
 		return fmt.Errorf("serve: store ownership bounds malformed (P=%d, len=%d)", st.P, len(st.Prefix))
-	case int64(len(st.DF)) != V || int64(len(st.Off)) != V || int64(len(st.TermList)) != V:
+	case int64(len(st.DF)) != V || int64(len(st.TermList)) != V:
 		return fmt.Errorf("serve: store term vectors disagree with vocabulary size %d", V)
 	case len(st.SigDocs) != len(st.SigVecs):
 		return fmt.Errorf("serve: store has %d signature ids for %d vectors", len(st.SigDocs), len(st.SigVecs))
@@ -345,6 +434,23 @@ func (st *Store) validate() error {
 	if err := st.Model.Validate(); err != nil {
 		return err
 	}
+	if st.Posts != nil {
+		if err := st.Posts.Validate(); err != nil {
+			return err
+		}
+		if st.Posts.NumTerms != V {
+			return fmt.Errorf("serve: compressed postings cover %d of %d terms", st.Posts.NumTerms, V)
+		}
+		for t := int64(0); t < V; t++ {
+			if st.Posts.Count[t] != st.DF[t] {
+				return fmt.Errorf("serve: term %d has %d compressed postings for DF %d", t, st.Posts.Count[t], st.DF[t])
+			}
+		}
+		return nil
+	}
+	if int64(len(st.Off)) != V {
+		return fmt.Errorf("serve: flat store has %d offsets for %d terms", len(st.Off), V)
+	}
 	for t := int64(0); t < V; t++ {
 		if n := st.DF[t]; n > 0 {
 			if off := st.Off[t]; off < 0 || off+n > int64(len(st.PostDoc)) {
@@ -355,14 +461,25 @@ func (st *Store) validate() error {
 	return nil
 }
 
-// storeMagic versions the store file format.
-const storeMagic = "INSPSTORE1\n"
+// The store file magics version the format: v1 carries flat posting arrays,
+// v2 the block-compressed layout. Both headers are the same length, and the
+// loader accepts either.
+const (
+	storeMagicV1 = "INSPSTORE1\n"
+	storeMagicV2 = "INSPSTORE2\n"
+)
 
 // Save writes the store in its persistent format (magic header + gob body),
-// enabling index-once/serve-many across process restarts.
+// enabling index-once/serve-many across process restarts. A compressed store
+// writes INSPSTORE2; a flat store writes the legacy INSPSTORE1, byte-for-
+// byte loadable by previous builds.
 func (st *Store) Save(w io.Writer) error {
+	magic := storeMagicV1
+	if st.Posts != nil {
+		magic = storeMagicV2
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := io.WriteString(bw, storeMagic); err != nil {
+	if _, err := io.WriteString(bw, magic); err != nil {
 		return err
 	}
 	if err := gob.NewEncoder(bw).Encode(st); err != nil {
@@ -384,19 +501,28 @@ func (st *Store) SaveFile(path string) error {
 	return err
 }
 
-// LoadStore reads a store written by Save and validates its invariants.
+// LoadStore reads a store written by Save — either format version — and
+// validates its invariants. INSPSTORE1 files written by previous builds load
+// into the flat layout and keep serving; callers that want them in the
+// compressed format follow up with CompressPostings.
 func LoadStore(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(storeMagic))
+	magic := make([]byte, len(storeMagicV1))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("serve: load store: %w", err)
 	}
-	if string(magic) != storeMagic {
+	if string(magic) != storeMagicV1 && string(magic) != storeMagicV2 {
 		return nil, fmt.Errorf("serve: load store: bad magic %q", magic)
 	}
 	st := &Store{}
 	if err := gob.NewDecoder(br).Decode(st); err != nil {
 		return nil, fmt.Errorf("serve: load store: %w", err)
+	}
+	if string(magic) == storeMagicV2 && st.Posts == nil {
+		return nil, fmt.Errorf("serve: load store: v2 file carries no compressed postings")
+	}
+	if string(magic) == storeMagicV1 && st.Posts != nil {
+		return nil, fmt.Errorf("serve: load store: v1 file carries compressed postings")
 	}
 	if err := st.validate(); err != nil {
 		return nil, err

@@ -70,11 +70,13 @@ func (r *WorkloadReport) String() string {
 		"%d sessions, %d interactions in %.2fs host time (%.0f queries/sec)\n"+
 			"per-interaction virtual latency: mean %.3f ms, max %.3f ms\n"+
 			"posting cache: %.1f%% hit rate (%d hits + %d coalesced / %d misses, %d evictions, %d remote gets)\n"+
+			"block skipping: %d partial fetches (%d blocks decoded, %d ruled out)\n"+
 			"similarity cache: %.1f%% hit rate (%d hits / %d misses)",
 		r.Sessions, r.Ops, r.WallSeconds, r.QPS,
 		r.MeanVirtualMS, r.MaxVirtualMS,
 		100*r.Stats.PostingHitRate(), r.Stats.PostingHits, r.Stats.Coalesced,
 		r.Stats.PostingMisses, r.Stats.PostingEvictions, r.Stats.RemoteGets,
+		r.Stats.PartialFetches, r.Stats.BlocksDecoded, r.Stats.BlocksSkipped,
 		100*r.Stats.SimHitRate(), r.Stats.SimHits, r.Stats.SimMisses)
 }
 
@@ -196,6 +198,9 @@ func diffStats(before, after Stats) Stats {
 		PostingEvictions: after.PostingEvictions - before.PostingEvictions,
 		Coalesced:        after.Coalesced - before.Coalesced,
 		RemoteGets:       after.RemoteGets - before.RemoteGets,
+		PartialFetches:   after.PartialFetches - before.PartialFetches,
+		BlocksDecoded:    after.BlocksDecoded - before.BlocksDecoded,
+		BlocksSkipped:    after.BlocksSkipped - before.BlocksSkipped,
 		SimHits:          after.SimHits - before.SimHits,
 		SimMisses:        after.SimMisses - before.SimMisses,
 		SimEvictions:     after.SimEvictions - before.SimEvictions,
