@@ -1,0 +1,53 @@
+// Command benchgate is the CI bench-regression gate: it compares the metrics
+// a fresh `benchfig -ci` run wrote against the committed baseline and exits
+// non-zero when serving throughput regressed more than 15%, the posting
+// compression ratio fell below the gated 2.5x, or the 4-shard scatter-gather
+// speedup fell below 1.5x.
+//
+// Usage:
+//
+//	benchfig -ci BENCH_CI.json
+//	benchgate -baseline BENCH_BASELINE.json -current BENCH_CI.json
+//
+// The gated quantities are virtual (modeled on the paper's cluster), so they
+// reproduce exactly across hosts; a gate failure means the code changed the
+// serving work, not that the runner was slow. When an intentional change
+// shifts the numbers, regenerate and commit the baseline in the same PR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inspire/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline metrics")
+	current := flag.String("current", "BENCH_CI.json", "metrics of this run (benchfig -ci)")
+	flag.Parse()
+
+	base, err := bench.ReadCIMetrics(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := bench.ReadCIMetrics(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if base.Scale != cur.Scale {
+		fmt.Fprintf(os.Stderr, "benchgate: scale mismatch: baseline %g, current %g\n", base.Scale, cur.Scale)
+		os.Exit(1)
+	}
+	if violations := cur.Gate(base); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok — serving %.0f virtual qps (baseline %.0f), 4-shard %.0f (%.2fx), compression %.2fx\n",
+		cur.ServingVirtualQPS, base.ServingVirtualQPS, cur.ShardedVirtualQPS4, cur.ShardingSpeedup4x, cur.CompressionRatio)
+}

@@ -10,11 +10,17 @@
 //	inspired -in ./corpus-dir -format pubmed -p 8 -http :8417
 //	inspired -in ./corpus-dir -save-store run.store -stdin
 //	inspired -store run.store -http :8417
+//	inspired -in ./corpus-dir -shards 4 -save-store run.shards
+//	inspired -store run.shards -http :8417
 //	echo "term apple" | inspired -store run.store -stdin
 //
-// -store accepts both store format versions: INSPSTORE2 (block-compressed
+// -store accepts both store format versions — INSPSTORE2 (block-compressed
 // postings, what -save-store now writes) and legacy INSPSTORE1 flat files,
-// which are re-compressed on load.
+// which are re-compressed on load — plus INSPSHARDS1 shard manifests written
+// by -shards N -save-store, which serve their whole partitioned set behind a
+// scatter-gather router. -shards N also re-partitions a freshly indexed run
+// or a loaded single store at serve time; either way the session API is
+// identical to single-store serving.
 //
 // HTTP endpoints (all GET, JSON responses):
 //
@@ -60,48 +66,93 @@ func main() {
 	storePath := flag.String("store", "", "serve a store persisted with -save-store instead of indexing")
 	saveStore := flag.String("save-store", "", "persist the serving store to this file after indexing")
 	sigPath := flag.String("signatures", "", "override signatures from a file persisted by inspire -signatures")
+	shards := flag.Int("shards", 1, "partition the serving store into N document shards behind a scatter-gather router")
 	httpAddr := flag.String("http", ":8417", "HTTP listen address (empty to disable)")
 	stdin := flag.Bool("stdin", false, "serve the line protocol on stdin instead of HTTP")
-	postCache := flag.Int("post-cache", 4096, "posting-list LRU cache entries")
-	simCache := flag.Int("sim-cache", 512, "similarity result cache entries")
+	postCache := flag.Int("post-cache", 4096, "posting-list LRU cache entries (per shard when sharded)")
+	simCache := flag.Int("sim-cache", 512, "similarity result cache entries (at the router when sharded)")
 	flag.Parse()
 
-	st, err := loadOrIndex(*storePath, *in, *format, *p)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
 		os.Exit(1)
 	}
-	if *sigPath != "" {
-		set, err := signature.LoadSetFile(*sigPath)
-		if err == nil {
-			err = st.ApplySignatures(set)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("applied %d persisted signatures (M=%d)\n", set.Len(), set.M)
-	}
-	if *saveStore != "" {
-		if err := st.SaveFile(*saveStore); err != nil {
-			fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("persisted serving store to %s\n", *saveStore)
-	}
-
-	srv, err := serve.NewServer(st, serve.Config{
+	cfg := serve.Config{
 		PostingCacheEntries: *postCache,
 		SimCacheEntries:     *simCache,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
-		os.Exit(1)
 	}
-	fmt.Printf("serving %d documents, %d terms, %d themes (producing run P=%d)\n",
-		st.TotalDocs, st.VocabSize, st.K, st.P)
 
-	d := &daemon{srv: srv, sessions: make(map[string]*namedSession)}
+	var svc serve.Service
+	if isMan, _ := serveManifest(*storePath); isMan {
+		// A persisted shard set serves as-is: its partitioning is fixed at
+		// save time, and signatures live inside the shard stores.
+		if *sigPath != "" || *saveStore != "" || *shards > 1 {
+			fail(fmt.Errorf("-signatures, -save-store and -shards do not apply to a shard manifest; re-index or load the single store to repartition"))
+		}
+		man, shardStores, err := serve.LoadShards(*storePath)
+		if err != nil {
+			fail(err)
+		}
+		r, err := serve.NewRouter(shardStores, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded shard manifest %s (%d shards)\n", *storePath, man.NumShards)
+		fmt.Printf("serving %d documents, %d terms, %d themes across %d shards\n",
+			man.TotalDocs, man.VocabSize, r.NumThemes(), man.NumShards)
+		svc = r
+	} else {
+		st, err := loadOrIndex(*storePath, *in, *format, *p)
+		if err != nil {
+			fail(err)
+		}
+		if *sigPath != "" {
+			set, err := signature.LoadSetFile(*sigPath)
+			if err == nil {
+				err = st.ApplySignatures(set)
+			}
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("applied %d persisted signatures (M=%d)\n", set.Len(), set.M)
+		}
+		if *saveStore != "" {
+			if *shards > 1 {
+				if err := st.SaveShards(*saveStore, *shards); err != nil {
+					fail(err)
+				}
+				fmt.Printf("persisted %d-shard serving set behind manifest %s\n", *shards, *saveStore)
+			} else {
+				if err := st.SaveFile(*saveStore); err != nil {
+					fail(err)
+				}
+				fmt.Printf("persisted serving store to %s\n", *saveStore)
+			}
+		}
+		if *shards > 1 {
+			shardStores, err := st.Shard(*shards)
+			if err != nil {
+				fail(err)
+			}
+			r, err := serve.NewRouter(shardStores, cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("serving %d documents, %d terms, %d themes across %d shards (producing run P=%d)\n",
+				st.TotalDocs, st.VocabSize, st.K, *shards, st.P)
+			svc = r
+		} else {
+			srv, err := serve.NewServer(st, cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("serving %d documents, %d terms, %d themes (producing run P=%d)\n",
+				st.TotalDocs, st.VocabSize, st.K, st.P)
+			svc = srv
+		}
+	}
+
+	d := &daemon{srv: svc, sessions: make(map[string]*namedSession)}
 	if *stdin {
 		d.serveLines(os.Stdin, os.Stdout)
 		return
@@ -115,6 +166,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// serveManifest reports whether a non-empty -store path names a shard
+// manifest.
+func serveManifest(storePath string) (bool, error) {
+	if storePath == "" {
+		return false, nil
+	}
+	return serve.IsShardManifestFile(storePath)
 }
 
 // loadOrIndex resolves the serving store: a persisted file, or one indexing
@@ -203,20 +263,21 @@ func loadSources(dir string, f corpus.Format) ([]*corpus.Source, error) {
 	return sources, nil
 }
 
-// daemon multiplexes named sessions over the server.
+// daemon multiplexes named sessions over the serving surface — a monolithic
+// Server or a sharded Router, indistinguishable behind serve.Service.
 type daemon struct {
-	srv *serve.Server
+	srv serve.Service
 
 	mu       sync.Mutex
 	sessions map[string]*namedSession
 }
 
-// namedSession serializes the requests of one session name: serve.Session
+// namedSession serializes the requests of one session name: a Querier
 // requires one goroutine at a time, and serializing also keeps each reply's
 // virtual_ms the latency of its own interaction.
 type namedSession struct {
 	mu   sync.Mutex
-	sess *serve.Session
+	sess serve.Querier
 }
 
 // maxNamedSessions bounds the retained session table; once full, unseen
@@ -228,7 +289,7 @@ const maxNamedSessions = 1024
 // name gets a fresh throwaway session.
 func (d *daemon) session(name string) *namedSession {
 	if name == "" {
-		return &namedSession{sess: d.srv.NewSession()}
+		return &namedSession{sess: d.srv.NewQuerier()}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -236,9 +297,9 @@ func (d *daemon) session(name string) *namedSession {
 		return s
 	}
 	if len(d.sessions) >= maxNamedSessions {
-		return &namedSession{sess: d.srv.NewSession()}
+		return &namedSession{sess: d.srv.NewQuerier()}
 	}
-	s := &namedSession{sess: d.srv.NewSession()}
+	s := &namedSession{sess: d.srv.NewQuerier()}
 	d.sessions[name] = s
 	return s
 }
@@ -329,7 +390,7 @@ func (d *daemon) mux() *http.ServeMux {
 	handle("theme", "cluster")
 	handle("near", "x", "y", "r")
 	mux.HandleFunc("/themes", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, d.srv.Store().Themes)
+		writeJSON(w, d.srv.Themes())
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, d.srv.Stats())
@@ -346,7 +407,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 // line. Lines are "term apple", "and apple banana", "similar 3 5",
 // "theme 2", "near 0 0 0.2", "df apple", "stats", "quit".
 func (d *daemon) serveLines(in *os.File, out *os.File) {
-	sess := &namedSession{sess: d.srv.NewSession()}
+	sess := &namedSession{sess: d.srv.NewQuerier()}
 	sc := bufio.NewScanner(in)
 	enc := json.NewEncoder(out)
 	for sc.Scan() {

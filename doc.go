@@ -19,11 +19,16 @@
 // answers many concurrent analyst sessions (block-compressed posting lists
 // with skip-directory intersection via internal/postings, LRU posting and
 // similarity caches, coalesced index transfers, per-interaction virtual
-// latency) through the cmd/inspired daemon: index once, serve many.
+// latency) through the cmd/inspired daemon: index once, serve many. The
+// store also partitions into document shards served by a scatter-gather
+// router (inspired -shards N): per-shard DF summaries prune fan-out, doomed
+// queries short-circuit at the router, per-shard answers k-way merge, and
+// the slowest shard — not the whole store — bounds each interaction, all
+// behind the unchanged session API.
 //
 // The library lives under internal/; the executables under cmd/ (inspire,
-// inspired, corpusgen, benchfig) and the runnable scenarios under examples/
-// are the public surface. bench_test.go in this directory regenerates every
+// inspired, corpusgen, benchfig, benchgate) and the runnable scenarios under
+// examples/ are the public surface. bench_test.go in this directory regenerates every
 // figure of the paper's evaluation as Go benchmarks; see DESIGN.md for the
 // system inventory and EXPERIMENTS.md for paper-vs-measured results.
 package inspire

@@ -18,8 +18,8 @@ func andPairs(st *serve.Store) [][]string {
 	var qs [][]string
 	n := len(terms)
 	for i := 0; i < 32 && i+1 < n; i++ {
-		qs = append(qs, []string{terms[i], terms[i+1]})           // head×head
-		qs = append(qs, []string{terms[i], terms[n-1-i]})         // head×tail
+		qs = append(qs, []string{terms[i], terms[i+1]})                     // head×head
+		qs = append(qs, []string{terms[i], terms[n-1-i]})                   // head×tail
 		qs = append(qs, []string{terms[i], terms[(i+n/2)%n], terms[n-1-i]}) // 3-term
 	}
 	return qs

@@ -30,6 +30,7 @@ var Experiments = []Experiment{
 	{"A3", "Ablation: scanning under ideal vs NFS vs Lustre storage", FigA3},
 	{"S1", "Serving: query throughput and cache effectiveness vs concurrent sessions", FigS1},
 	{"S2", "Serving: posting store bytes and And latency, flat vs block-compressed", FigS2},
+	{"S3", "Serving: sharded scatter-gather throughput and tail latency vs shard count", FigS3},
 }
 
 // FindExperiment resolves an experiment by ID.

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"inspire/internal/serve"
+)
+
+// The CI bench-regression gate: every run writes CIMetrics as JSON
+// (cmd/benchfig -ci), and cmd/benchgate fails the job when the fresh numbers
+// regress past these thresholds against the committed baseline
+// (BENCH_BASELINE.json). The gated quantities are virtual — modeled on the
+// paper's cluster, independent of the host and of runner noise — so the
+// thresholds can be tight without flaking.
+const (
+	// GateMaxQPSDrop fails the gate when serving throughput falls more than
+	// this fraction below the baseline.
+	GateMaxQPSDrop = 0.15
+	// GateMinCompression is the absolute floor on the posting compression
+	// ratio (PR 2's headline claim).
+	GateMinCompression = 2.5
+	// GateMinShardSpeedup is the absolute floor on the 4-shard throughput
+	// scaling over the monolithic server (this PR's headline claim).
+	GateMinShardSpeedup = 1.5
+)
+
+// CIMetrics are the gated quantities of one bench run.
+type CIMetrics struct {
+	Scale float64 `json:"scale"`
+
+	// ServingVirtualQPS is the modeled throughput of one deterministic
+	// analyst session against the monolithic server, cold caches.
+	ServingVirtualQPS float64 `json:"serving_virtual_qps"`
+	// ShardedVirtualQPS4 is the same stream through a 4-shard Router.
+	ShardedVirtualQPS4 float64 `json:"sharded_virtual_qps_4"`
+	// ShardingSpeedup4x is their ratio.
+	ShardingSpeedup4x float64 `json:"sharding_speedup_4x"`
+	// CompressionRatio is flat posting bytes over block-compressed bytes.
+	CompressionRatio float64 `json:"compression_ratio"`
+}
+
+// ciWorkload is the deterministic gate workload: a single session's stream
+// is free of interleaving effects, so its virtual account reproduces exactly
+// on any host.
+var ciWorkload = serve.WorkloadConfig{Sessions: 1, OpsPerSession: 400, Seed: 1}
+
+// CollectCI measures the gated metrics at the given scale.
+func CollectCI(scale float64) (*CIMetrics, error) {
+	st, err := ServingStore(scale, 8)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Compressed() {
+		return nil, fmt.Errorf("bench: serving snapshot is not compressed")
+	}
+	m := &CIMetrics{Scale: scale}
+
+	var totalPostings int64
+	for _, n := range st.DF {
+		totalPostings += n
+	}
+	m.CompressionRatio = 16 * float64(totalPostings) / float64(st.Posts.SizeBytes())
+
+	for _, n := range []int{1, 4} {
+		svc, err := ShardedService(st, n)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := serve.Replay(svc, ciWorkload)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			m.ServingVirtualQPS = rep.VirtualQPS
+		} else {
+			m.ShardedVirtualQPS4 = rep.VirtualQPS
+		}
+	}
+	if m.ServingVirtualQPS > 0 {
+		m.ShardingSpeedup4x = m.ShardedVirtualQPS4 / m.ServingVirtualQPS
+	}
+	return m, nil
+}
+
+// Gate compares fresh metrics against a baseline and returns the violations,
+// empty when the gate passes.
+func (m *CIMetrics) Gate(baseline *CIMetrics) []string {
+	var out []string
+	if floor := (1 - GateMaxQPSDrop) * baseline.ServingVirtualQPS; m.ServingVirtualQPS < floor {
+		out = append(out, fmt.Sprintf("serving throughput %.0f virtual qps is >%.0f%% below the baseline %.0f",
+			m.ServingVirtualQPS, 100*GateMaxQPSDrop, baseline.ServingVirtualQPS))
+	}
+	if floor := (1 - GateMaxQPSDrop) * baseline.ShardedVirtualQPS4; m.ShardedVirtualQPS4 < floor {
+		out = append(out, fmt.Sprintf("4-shard throughput %.0f virtual qps is >%.0f%% below the baseline %.0f",
+			m.ShardedVirtualQPS4, 100*GateMaxQPSDrop, baseline.ShardedVirtualQPS4))
+	}
+	if m.CompressionRatio < GateMinCompression {
+		out = append(out, fmt.Sprintf("posting compression ratio %.2fx is below the gated %.1fx",
+			m.CompressionRatio, GateMinCompression))
+	}
+	if m.ShardingSpeedup4x < GateMinShardSpeedup {
+		out = append(out, fmt.Sprintf("4-shard speedup %.2fx is below the gated %.1fx",
+			m.ShardingSpeedup4x, GateMinShardSpeedup))
+	}
+	return out
+}
+
+// WriteJSON persists the metrics for the gate step.
+func (m *CIMetrics) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCIMetrics loads a metrics file written by WriteJSON.
+func ReadCIMetrics(path string) (*CIMetrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &CIMetrics{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("bench: metrics %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"inspire/internal/serve"
+)
+
+// ShardCounts are the x axis of the sharded-serving figure.
+var ShardCounts = []int{1, 2, 4, 8}
+
+// ShardedService builds the serving surface for one shard count: the
+// monolithic Server at 1 (the Fig S1 baseline), a Router over a fresh
+// document partition otherwise.
+func ShardedService(st *serve.Store, n int) (serve.Service, error) {
+	if n == 1 {
+		return serve.NewServer(st, serve.Config{})
+	}
+	shards, err := st.Shard(n)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewRouter(shards, serve.Config{})
+}
+
+// FigS3 regenerates the sharded-serving figure: the same snapshot is
+// partitioned into growing shard counts and the same seeded mixed workload
+// replays against each set cold. Reported per point: modeled sustained
+// throughput (interactions over the mean session's virtual seconds — the
+// quantity partitioning scales), mean, p95 and worst-case virtual latency, and the
+// scatter-gather traffic (shard sub-queries issued, shards pruned by the
+// zero-DF summaries, router short-circuits).
+func FigS3(scale float64) ([]*Figure, error) {
+	st, err := ServingStore(scale, 8)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "Fig S3",
+		Title: fmt.Sprintf("%s: sharded serving, throughput and tail latency vs shard count (%d sessions)",
+			PubMedSpecs(scale)[0], 8),
+		XLabel: "shards",
+		YLabel: "virtual queries/sec, virtual latency (ms), scatter-gather traffic",
+	}
+	var vqps, mean, p95, maxv, subq, pruned []float64
+	for _, n := range ShardCounts {
+		fig.X = append(fig.X, fmt.Sprintf("S=%d", n))
+		svc, err := ShardedService(st, n)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := serve.Replay(svc, serve.WorkloadConfig{
+			Sessions:      8,
+			OpsPerSession: servingOpsPerSession,
+			Seed:          1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vqps = append(vqps, rep.VirtualQPS)
+		mean = append(mean, rep.MeanVirtualMS)
+		p95 = append(p95, rep.P95VirtualMS)
+		maxv = append(maxv, rep.MaxVirtualMS)
+		subq = append(subq, float64(rep.Stats.ShardQueries))
+		pruned = append(pruned, float64(rep.Stats.ShardsPruned))
+	}
+	fig.AddSeries("virtual qps", vqps)
+	fig.AddSeries("mean virt ms", mean)
+	fig.AddSeries("p95 virt ms", p95)
+	fig.AddSeries("max virt ms", maxv)
+	fig.AddSeries("shard queries", subq)
+	fig.AddSeries("shards pruned", pruned)
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("virtual throughput scales %.2fx at 4 shards over the monolithic server: each scatter runs its", ratioAt(vqps, 4)),
+		"sub-queries in parallel on shard-sized postings and signature slices, so the slowest shard — not the",
+		"whole store — bounds the interaction; RPC fan-out and the gather merge are what keeps it sublinear,",
+		"and the DF summaries prune shards that cannot contribute before any request is issued;",
+		fmt.Sprintf("the worst interaction — a cold full-corpus similarity scan — shrinks %.2fx at 4 shards", 1/ratioAt(maxv, 4)))
+	return []*Figure{fig}, nil
+}
+
+// ratioAt returns ys[index of shard count n] / ys[index of 1].
+func ratioAt(ys []float64, n int) float64 {
+	var base, at float64
+	for i, s := range ShardCounts {
+		if i >= len(ys) {
+			break
+		}
+		if s == 1 {
+			base = ys[i]
+		}
+		if s == n {
+			at = ys[i]
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	return at / base
+}

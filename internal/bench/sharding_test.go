@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardingClaimOnBenchCorpus pins this PR's headline number at the bench
+// corpus's real scale: serving throughput scales at least 1.5x at 4 shards
+// over the monolithic server, and mean latency does not regress.
+func TestShardingClaimOnBenchCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bench corpus")
+	}
+	figs, err := FigS3(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make(map[string][]float64)
+	for _, s := range figs[0].Series {
+		series[s.Name] = s.Y
+	}
+	vqps := series["virtual qps"]
+	mean := series["mean virt ms"]
+	if len(vqps) != len(ShardCounts) || len(mean) != len(ShardCounts) {
+		t.Fatalf("figure series malformed: %v", figs[0].Series)
+	}
+	if ratio := ratioAt(vqps, 4); ratio < GateMinShardSpeedup {
+		t.Fatalf("4-shard virtual throughput scales %.2fx < %.1fx (%v)", ratio, GateMinShardSpeedup, vqps)
+	}
+	if r := ratioAt(mean, 4); r >= 1 {
+		t.Fatalf("4-shard mean latency %.2fx of monolithic, want < 1 (%v)", r, mean)
+	}
+}
+
+// TestCIGateAgainstCommittedBaseline reproduces the CI bench-regression gate
+// in-process: fresh metrics at the baseline's scale must pass against the
+// repository's committed BENCH_BASELINE.json.
+func TestCIGateAgainstCommittedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bench corpus")
+	}
+	base, err := ReadCIMetrics("../../BENCH_BASELINE.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := CollectCI(base.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := cur.Gate(base); len(violations) > 0 {
+		t.Fatalf("gate failed against committed baseline:\n%s", strings.Join(violations, "\n"))
+	}
+}
+
+// TestGateThresholds exercises the comparison logic itself.
+func TestGateThresholds(t *testing.T) {
+	base := &CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 300, ShardingSpeedup4x: 3, CompressionRatio: 4}
+	ok := &CIMetrics{ServingVirtualQPS: 90, ShardedVirtualQPS4: 260, ShardingSpeedup4x: 2.9, CompressionRatio: 3.8}
+	if v := ok.Gate(base); len(v) != 0 {
+		t.Fatalf("within-threshold metrics rejected: %v", v)
+	}
+	cases := []struct {
+		name string
+		m    CIMetrics
+	}{
+		{"qps drop", CIMetrics{ServingVirtualQPS: 80, ShardedVirtualQPS4: 300, ShardingSpeedup4x: 3.75, CompressionRatio: 4}},
+		{"sharded qps drop", CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 200, ShardingSpeedup4x: 2, CompressionRatio: 4}},
+		{"compression floor", CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 300, ShardingSpeedup4x: 3, CompressionRatio: 2.4}},
+		{"speedup floor", CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 140, ShardingSpeedup4x: 1.4, CompressionRatio: 4}},
+	}
+	for _, tc := range cases {
+		if v := tc.m.Gate(base); len(v) == 0 {
+			t.Fatalf("%s not caught", tc.name)
+		}
+	}
+}

@@ -203,6 +203,48 @@ func (s *Store) Intersect(acc []int64, t int64) ([]int64, IntersectStats) {
 	return out, ist
 }
 
+// Split partitions the store by document into n stores with the same dense
+// term IDs: posting (doc, freq) pairs of every term are routed to the store
+// route(doc) selects. Each output store's Count vector is that shard's
+// per-term document-frequency summary — what a scatter-gather router prunes
+// fan-out on. Lists are decoded once and re-encoded per shard.
+func (s *Store) Split(n int, route func(doc int64) int) ([]*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("postings: split into %d shards", n)
+	}
+	writers := make([]*Writer, n)
+	for i := range writers {
+		writers[i] = NewWriter(int64(len(s.DocBlob)) / int64(n))
+	}
+	partDocs := make([][]int64, n)
+	partFreqs := make([][]int64, n)
+	for t := int64(0); t < s.NumTerms; t++ {
+		for i := range partDocs {
+			partDocs[i] = partDocs[i][:0]
+			partFreqs[i] = partFreqs[i][:0]
+		}
+		docs, freqs := s.Postings(t)
+		for i, d := range docs {
+			r := route(d)
+			if r < 0 || r >= n {
+				return nil, fmt.Errorf("postings: split routed doc %d to shard %d of %d", d, r, n)
+			}
+			partDocs[r] = append(partDocs[r], d)
+			partFreqs[r] = append(partFreqs[r], freqs[i])
+		}
+		for i, w := range writers {
+			if err := w.Append(partDocs[i], partFreqs[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]*Store, n)
+	for i, w := range writers {
+		out[i] = w.Finish()
+	}
+	return out, nil
+}
+
 // Validate checks the structural invariants of the layout: vector lengths,
 // monotone offsets, and directory extents consistent with the block counts.
 func (s *Store) Validate() error {

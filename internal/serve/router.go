@@ -1,0 +1,569 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"inspire/internal/core"
+	"inspire/internal/query"
+	"inspire/internal/scan"
+	"inspire/internal/simtime"
+)
+
+// Router serves analyst sessions over a document-partitioned shard set — the
+// scatter-gather front-end that lifts the single-store throughput ceiling of
+// Fig S1. Each shard runs behind its own Server (its own posting/similarity
+// caches and coalescing); the router replicates the vocabulary and the
+// global document frequencies, prunes fan-out with the per-shard DF
+// summaries (a shard whose DF is zero for a query's terms is never asked),
+// and k-way merges the per-shard answers. Queries whose terms are unknown or
+// absent from every shard short-circuit at the router without any fan-out.
+//
+// Virtual-time discipline carries over: a routed interaction is charged the
+// router-side lookups, one RPC round trip per participating shard, the
+// slowest shard's sub-query (the scatter runs in parallel on the modeled
+// shard servers, and on host goroutines), and the gather merge.
+type Router struct {
+	shards []*Server
+	model  *simtime.Model
+	cfg    Config
+
+	// Replicated router-side tables: the query vocabulary, the global DF
+	// (element-wise sum of the shard DFs), and each shard's own DF summary.
+	terms    map[string]int64
+	termList []string
+	df       []int64
+	shardDF  [][]int64
+
+	totalDocs int64
+	k         int
+	themes    []core.Theme
+
+	// The similarity cache lives at the router: a routed top-K answer is a
+	// merge across shards, so caching merged results short-circuits the whole
+	// fan-out on a hit.
+	smu  sync.Mutex
+	sims *lru[simKey, []query.Hit]
+
+	queries       atomic.Uint64
+	fanOuts       atomic.Uint64
+	shardQueries  atomic.Uint64
+	shardsPruned  atomic.Uint64
+	shortCircuits atomic.Uint64
+	simHits       atomic.Uint64
+	simMisses     atomic.Uint64
+	simEvictions  atomic.Uint64
+
+	nextSession atomic.Int64
+}
+
+// NewRouter builds a scatter-gather router over the shard stores of one
+// sharded set (Store.Shard or LoadShards). Each shard gets its own Server
+// with the given per-shard cache configuration.
+func NewRouter(shards []*Store, cfg Config) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one shard")
+	}
+	cfg = cfg.withDefaults()
+	first := shards[0]
+	r := &Router{
+		shards:   make([]*Server, len(shards)),
+		model:    first.Model,
+		cfg:      cfg,
+		terms:    first.Terms,
+		termList: first.TermList,
+		df:       make([]int64, first.VocabSize),
+		shardDF:  make([][]int64, len(shards)),
+		k:        first.K,
+		themes:   first.Themes,
+		sims:     newLRU[simKey, []query.Hit](cfg.SimCacheEntries),
+	}
+	for i, st := range shards {
+		if st.VocabSize != first.VocabSize {
+			return nil, fmt.Errorf("serve: shard %d vocabulary %d differs from shard 0's %d", i, st.VocabSize, first.VocabSize)
+		}
+		srv, err := NewServer(st, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		r.shards[i] = srv
+		r.shardDF[i] = st.DF
+		for t, d := range st.DF {
+			r.df[t] += d
+		}
+		r.totalDocs += st.TotalDocs
+	}
+	return r, nil
+}
+
+// termID resolves a query term against the replicated vocabulary, folded
+// exactly like the tokenizer (and Store.TermID).
+func (r *Router) termID(term string) (int64, bool) {
+	id, ok := r.terms[scan.NormalizeTerm(term)]
+	return id, ok
+}
+
+// NumShards returns the partition count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns shard i's server, for inspection.
+func (r *Router) Shard(i int) *Server { return r.shards[i] }
+
+// NewQuerier opens a routed session behind the Service surface.
+func (r *Router) NewQuerier() Querier { return r.NewSession() }
+
+// NewSession opens a routed analyst session: one sub-session per shard plus
+// the router-side virtual-latency account. Like Session, a RouterSession's
+// methods must be called from one goroutine at a time; distinct sessions are
+// fully concurrent.
+func (r *Router) NewSession() *RouterSession {
+	subs := make([]*Session, len(r.shards))
+	for i, s := range r.shards {
+		subs[i] = s.NewSession()
+	}
+	return &RouterSession{r: r, ID: r.nextSession.Add(1), subs: subs}
+}
+
+// Stats aggregates the shard servers' cache/traffic counters and adds the
+// router's fan-out block. Queries counts routed interactions; the shard
+// sub-queries they scattered into are ShardQueries.
+func (r *Router) Stats() Stats {
+	var out Stats
+	for _, s := range r.shards {
+		st := s.Stats()
+		out.PostingHits += st.PostingHits
+		out.PostingMisses += st.PostingMisses
+		out.PostingEvictions += st.PostingEvictions
+		out.Coalesced += st.Coalesced
+		out.RemoteGets += st.RemoteGets
+		out.PartialFetches += st.PartialFetches
+		out.BlocksDecoded += st.BlocksDecoded
+		out.BlocksSkipped += st.BlocksSkipped
+	}
+	out.Queries = r.queries.Load()
+	out.FanOuts = r.fanOuts.Load()
+	out.ShardQueries = r.shardQueries.Load()
+	out.ShardsPruned = r.shardsPruned.Load()
+	out.ShortCircuits = r.shortCircuits.Load()
+	out.SimHits = r.simHits.Load()
+	out.SimMisses = r.simMisses.Load()
+	out.SimEvictions = r.simEvictions.Load()
+	return out
+}
+
+// TopTerms ranks the global (shard-summed) document frequencies.
+func (r *Router) TopTerms(n int) []string { return topTerms(r.df, r.termList, n) }
+
+// SampleDocs merges the shards' deterministic similarity targets in
+// ascending document order.
+func (r *Router) SampleDocs(n int) []int64 {
+	parts := make([][]int64, len(r.shards))
+	for i, s := range r.shards {
+		parts[i] = s.SampleDocs(n)
+	}
+	out := mergeDocs(parts)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TotalDocs returns the document count across all shards.
+func (r *Router) TotalDocs() int64 { return r.totalDocs }
+
+// NumThemes returns the k-means cluster count of the producing run.
+func (r *Router) NumThemes() int { return r.k }
+
+// Themes returns the discovered themes (replicated to every shard).
+func (r *Router) Themes() []core.Theme { return r.themes }
+
+// --- RouterSession --------------------------------------------------------
+
+// RouterSession is one analyst's connection through the router: a sequential
+// stream of interactions whose account charges the scatter-gather cost model.
+// It holds one sub-session per shard so shard-side work is accounted (and
+// cached, coalesced) exactly like directly-served sessions.
+type RouterSession struct {
+	r    *Router
+	ID   int64
+	subs []*Session
+	acct account
+}
+
+// Stats snapshots the routed session's account.
+func (rs *RouterSession) Stats() SessionStats { return rs.acct.snapshot() }
+
+func (rs *RouterSession) charge(cost float64) {
+	rs.acct.add(cost)
+	rs.r.queries.Add(1)
+}
+
+// lookupCost models the router-side vocabulary probe (the dense map is
+// replicated to the router, like to the single-store front-end).
+func (rs *RouterSession) lookupCost(term string) float64 {
+	return rs.r.model.LocalCopyCost(float64(len(term) + 8))
+}
+
+// mergeCost models the gather-side k-way merge: a streaming pass that moves
+// every merged item through router memory once. The per-item comparisons ride
+// inside the stream (the shard count is small and the lists are disjoint), so
+// the merge is memory-rate like the decode and hit paths it sits between —
+// charging it at the flop rate would make gathering a list cost several times
+// more than decoding it.
+func (r *Router) mergeCost(items, width float64) float64 {
+	return r.model.LocalCopyCost(width * items)
+}
+
+// scatter fans one sub-interaction out to the listed shards and returns the
+// modeled cost of the round: one RPC round trip per participating shard (the
+// router issues requests and collects replies serially) plus the slowest
+// shard's sub-query — the shard servers work in parallel, on host goroutines
+// too. fn must issue exactly one interaction on the sub-session it is handed
+// and return the reply payload bytes.
+func (rs *RouterSession) scatter(ids []int, reqBytes float64, fn func(shard int, sub *Session) float64) float64 {
+	r := rs.r
+	r.fanOuts.Add(1)
+	r.shardQueries.Add(uint64(len(ids)))
+	r.shardsPruned.Add(uint64(len(r.shards) - len(ids)))
+	replies := make([]float64, len(ids))
+	costs := make([]float64, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			replies[i] = fn(id, rs.subs[id])
+			costs[i] = rs.subs[id].acct.last()
+		}(i, id)
+	}
+	wg.Wait()
+	var rpc, slowest float64
+	for i := range ids {
+		rpc += r.model.RPCRoundTrip(reqBytes, replies[i])
+		if costs[i] > slowest {
+			slowest = costs[i]
+		}
+	}
+	return rpc + slowest
+}
+
+// liveShards returns the shards whose DF summary admits the term.
+func (r *Router) liveShards(t int64) []int {
+	out := make([]int, 0, len(r.shards))
+	for i := range r.shards {
+		if r.shardDF[i][t] > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// allShards lists every shard, for interactions partitioning cannot prune.
+func (r *Router) allShards() []int {
+	out := make([]int, len(r.shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// reqBytes models a scatter request payload carrying the query terms.
+func reqBytes(terms []string) float64 {
+	b := 8.0
+	for _, t := range terms {
+		b += float64(len(t) + 8)
+	}
+	return b
+}
+
+// TermDocs returns the posting list of a term across all shards (sorted by
+// document ID), or nil when the term is unknown — answered at the router
+// with no fan-out, like any term absent from every shard's DF summary.
+func (rs *RouterSession) TermDocs(term string) []query.Posting {
+	r := rs.r
+	cost := rs.lookupCost(term)
+	t, ok := r.termID(term)
+	if ok {
+		cost += r.model.LocalCopyCost(8)
+	}
+	if !ok || r.df[t] == 0 {
+		r.shortCircuits.Add(1)
+		rs.charge(cost)
+		return nil
+	}
+	parts := make([][]query.Posting, len(r.shards))
+	cost += rs.scatter(r.liveShards(t), reqBytes([]string{term}), func(shard int, sub *Session) float64 {
+		parts[shard] = sub.TermDocs(term)
+		return 16 * float64(len(parts[shard]))
+	})
+	out := mergePostings(parts)
+	cost += r.mergeCost(float64(len(out)), 16)
+	rs.charge(cost)
+	return out
+}
+
+// DF returns a term's global document frequency (0 when absent) — a
+// router-local read of the replicated shard-summed DF vector, never a
+// fan-out.
+func (rs *RouterSession) DF(term string) int64 {
+	r := rs.r
+	cost := rs.lookupCost(term)
+	t, ok := r.termID(term)
+	if !ok {
+		rs.charge(cost)
+		return 0
+	}
+	rs.charge(cost + r.model.LocalCopyCost(8))
+	return r.df[t]
+}
+
+// And returns the documents containing every term, sorted by document ID.
+// The router resolves every term against its replicated vocabulary and DF
+// first — an unknown or globally-empty term dooms the conjunction with no
+// fan-out at all — then scatters only to shards whose DF summary is non-zero
+// for every term: a document can only satisfy the conjunction on a shard
+// holding postings for all of them. Each shard runs its own rarest-first
+// block-skipping intersection.
+func (rs *RouterSession) And(terms ...string) []int64 {
+	if len(terms) == 0 {
+		return nil
+	}
+	r := rs.r
+	var cost float64
+	ids := make([]int64, 0, len(terms))
+	for _, term := range terms {
+		cost += rs.lookupCost(term)
+		t, ok := r.termID(term)
+		if ok {
+			cost += r.model.LocalCopyCost(8)
+		}
+		if !ok || r.df[t] == 0 {
+			r.shortCircuits.Add(1)
+			rs.charge(cost)
+			return nil
+		}
+		ids = append(ids, t)
+	}
+	// Per-shard pruning costs one summary probe per (term, shard).
+	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.shards)))
+	live := make([]int, 0, len(r.shards))
+	for i := range r.shards {
+		all := true
+		for _, t := range ids {
+			if r.shardDF[i][t] == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		r.shortCircuits.Add(1)
+		rs.charge(cost)
+		return nil
+	}
+	parts := make([][]int64, len(r.shards))
+	cost += rs.scatter(live, reqBytes(terms), func(shard int, sub *Session) float64 {
+		parts[shard] = sub.And(terms...)
+		return 8 * float64(len(parts[shard]))
+	})
+	out := mergeDocs(parts)
+	cost += r.mergeCost(float64(len(out)), 8)
+	rs.charge(cost)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Or returns the documents containing any of the terms, sorted. Shards where
+// no query term has postings are pruned; if that is every shard, the router
+// answers empty with no fan-out.
+func (rs *RouterSession) Or(terms ...string) []int64 {
+	r := rs.r
+	var cost float64
+	ids := make([]int64, 0, len(terms))
+	for _, term := range terms {
+		cost += rs.lookupCost(term)
+		t, ok := r.termID(term)
+		if !ok {
+			continue
+		}
+		cost += r.model.LocalCopyCost(8)
+		if r.df[t] > 0 {
+			ids = append(ids, t)
+		}
+	}
+	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.shards)))
+	live := make([]int, 0, len(r.shards))
+	for i := range r.shards {
+		for _, t := range ids {
+			if r.shardDF[i][t] > 0 {
+				live = append(live, i)
+				break
+			}
+		}
+	}
+	if len(live) == 0 {
+		r.shortCircuits.Add(1)
+		rs.charge(cost)
+		return nil
+	}
+	parts := make([][]int64, len(r.shards))
+	cost += rs.scatter(live, reqBytes(terms), func(shard int, sub *Session) float64 {
+		parts[shard] = sub.Or(terms...)
+		return 8 * float64(len(parts[shard]))
+	})
+	out := mergeDocs(parts)
+	cost += r.mergeCost(float64(len(out)), 8)
+	rs.charge(cost)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Similar returns the k documents most similar to the target document's
+// knowledge signature across all shards, consulting the router's merged
+// result cache. On a miss the target vector is fetched from its owning shard
+// (modulo routing locates it without a lookup round), every shard scores its
+// own signature slice against it in parallel, and the per-shard top-K lists
+// k-way merge into the global top-K — identical to the single-store answer.
+func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: similar: k must be positive")
+	}
+	r := rs.r
+	m := r.model
+	key := simKey{doc: doc, k: k}
+	r.smu.Lock()
+	hits, ok := r.sims.get(key)
+	r.smu.Unlock()
+	if ok {
+		r.simHits.Add(1)
+		rs.charge(m.LocalCopyCost(16 * float64(len(hits))))
+		return hits, nil
+	}
+	r.simMisses.Add(1)
+
+	owner := 0
+	if doc >= 0 {
+		owner = ShardOf(doc, len(r.shards))
+	}
+	target, found := r.shards[owner].signature(doc)
+	cost := m.RPCRoundTrip(8, 8*float64(len(target)))
+	if !found || target == nil {
+		rs.charge(cost)
+		return nil, fmt.Errorf("serve: document %d not found or has a null signature", doc)
+	}
+	parts := make([][]query.Hit, len(r.shards))
+	cost += rs.scatter(r.allShards(), 8*float64(len(target))+16, func(shard int, sub *Session) float64 {
+		parts[shard] = sub.similarTo(target, doc, k)
+		return 16 * float64(len(parts[shard]))
+	})
+	hits = mergeHits(parts, k)
+	cost += r.mergeCost(float64(len(hits)), 16)
+
+	r.smu.Lock()
+	if r.sims.add(key, hits) {
+		r.simEvictions.Add(1)
+	}
+	r.smu.Unlock()
+	rs.charge(cost)
+	return hits, nil
+}
+
+// ThemeDocs returns the document IDs assigned to a k-means cluster, sorted —
+// every shard holds its own documents' assignments, so the drill-down fans
+// out everywhere and merges.
+func (rs *RouterSession) ThemeDocs(cluster int) []int64 {
+	r := rs.r
+	parts := make([][]int64, len(r.shards))
+	cost := rs.scatter(r.allShards(), 16, func(shard int, sub *Session) float64 {
+		parts[shard] = sub.ThemeDocs(cluster)
+		return 8 * float64(len(parts[shard]))
+	})
+	out := mergeDocs(parts)
+	cost += r.mergeCost(float64(len(out)), 8)
+	rs.charge(cost)
+	return out
+}
+
+// Near returns the documents whose ThemeView projection falls within radius
+// of (x, y), sorted, gathered from every shard's slice of the terrain.
+func (rs *RouterSession) Near(x, y, radius float64) []int64 {
+	r := rs.r
+	parts := make([][]int64, len(r.shards))
+	cost := rs.scatter(r.allShards(), 24, func(shard int, sub *Session) float64 {
+		parts[shard] = sub.Near(x, y, radius)
+		return 8 * float64(len(parts[shard]))
+	})
+	out := mergeDocs(parts)
+	cost += r.mergeCost(float64(len(out)), 8)
+	rs.charge(cost)
+	return out
+}
+
+// --- gather merges --------------------------------------------------------
+
+// mergeSorted k-way merges per-shard lists that are each sorted under less,
+// emitting at most limit items (limit < 0 = all). A linear selection scan
+// per item is right for the handful of shards a router fronts. nil when
+// nothing merges.
+func mergeSorted[T any](parts [][]T, less func(a, b T) bool, limit int) []T {
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	if limit >= 0 && total > limit {
+		total = limit
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]T, 0, total)
+	pos := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for i, p := range parts {
+			if pos[i] >= len(p) {
+				continue
+			}
+			if best < 0 || less(p[pos[i]], parts[best][pos[best]]) {
+				best = i
+			}
+		}
+		out = append(out, parts[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// mergeDocs k-way merges ascending, pairwise-disjoint document lists (the
+// shards partition the document space, so no ID appears twice).
+func mergeDocs(parts [][]int64) []int64 {
+	return mergeSorted(parts, func(a, b int64) bool { return a < b }, -1)
+}
+
+// mergePostings k-way merges doc-sorted, disjoint posting lists.
+func mergePostings(parts [][]query.Posting) []query.Posting {
+	return mergeSorted(parts, func(a, b query.Posting) bool { return a.Doc < b.Doc }, -1)
+}
+
+// mergeHits k-way merges per-shard top-K hit lists (score descending, doc
+// ascending on ties — the order every shard emits) and keeps the global
+// top k.
+func mergeHits(parts [][]query.Hit, k int) []query.Hit {
+	return mergeSorted(parts, hitLess, k)
+}
+
+// hitLess orders hits score-descending, document-ascending on ties.
+func hitLess(a, b query.Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"inspire/internal/core"
 	"inspire/internal/postings"
 	"inspire/internal/query"
 	"inspire/internal/signature"
@@ -33,7 +34,9 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// Stats is a snapshot of the server-wide counters.
+// Stats is a snapshot of the server-wide counters. The fan-out block is
+// populated only by a Router over a sharded store set; a single-store Server
+// leaves it zero.
 type Stats struct {
 	Queries uint64 // interactions served across all sessions
 
@@ -50,6 +53,11 @@ type Stats struct {
 	SimHits      uint64 // similarity queries answered from the result cache
 	SimMisses    uint64 // similarity queries that scanned the signatures
 	SimEvictions uint64
+
+	FanOuts       uint64 // router scatter rounds issued
+	ShardQueries  uint64 // sub-queries executed on shard servers
+	ShardsPruned  uint64 // shard sub-queries skipped by zero-DF pruning
+	ShortCircuits uint64 // router queries answered with no fan-out at all
 }
 
 // PostingHitRate returns hits/(hits+misses), counting coalesced joins as
@@ -87,6 +95,33 @@ type flight struct {
 type simKey struct {
 	doc int64
 	k   int
+}
+
+// Querier is the session surface shared by single-store Sessions and sharded
+// RouterSessions: one analyst's sequential interaction stream with its own
+// virtual-latency account. A Querier's methods must be called from one
+// goroutine at a time; distinct Queriers are fully concurrent.
+type Querier interface {
+	TermDocs(term string) []query.Posting
+	DF(term string) int64
+	And(terms ...string) []int64
+	Or(terms ...string) []int64
+	Similar(doc int64, k int) ([]query.Hit, error)
+	ThemeDocs(cluster int) []int64
+	Near(x, y, radius float64) []int64
+	Stats() SessionStats
+}
+
+// Service is what serves analyst sessions: a single-store Server or a
+// sharded Router. Workload replay and the daemon front-end run against this
+// surface, so a sharded set serves transparently behind the session API.
+type Service interface {
+	NewQuerier() Querier
+	Stats() Stats
+	TopTerms(n int) []string
+	SampleDocs(n int) []int64
+	NumThemes() int
+	Themes() []core.Theme
 }
 
 // Server answers concurrent sessions against one Store. All methods are safe
@@ -142,6 +177,26 @@ func NewServer(st *Store, cfg Config) (*Server, error) {
 
 // Store returns the underlying snapshot.
 func (s *Server) Store() *Store { return s.store }
+
+// NewQuerier opens a session; it is NewSession behind the Service surface.
+func (s *Server) NewQuerier() Querier { return s.NewSession() }
+
+// TopTerms returns the store's query vocabulary head, for workload defaults.
+func (s *Server) TopTerms(n int) []string { return s.store.TopTerms(n) }
+
+// SampleDocs returns deterministic similarity targets from the store.
+func (s *Server) SampleDocs(n int) []int64 { return s.store.SampleDocs(n) }
+
+// NumThemes returns the store's k-means cluster count.
+func (s *Server) NumThemes() int { return s.store.K }
+
+// Themes returns the store's discovered themes.
+func (s *Server) Themes() []core.Theme { return s.store.Themes }
+
+// signature returns the signature vector the server captured for doc.
+func (s *Server) signature(doc int64) ([]float64, bool) {
+	return s.sigs.Vec(doc)
+}
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
@@ -277,14 +332,9 @@ func (s *Server) cachedPostings(t int64) (postingVal, float64, bool) {
 // with its own virtual-latency account. Concurrent sessions share the
 // server's caches and coalesce their index traffic.
 type Session struct {
-	s  *Server
-	ID int64
-
-	mu     sync.Mutex
-	ops    int64
-	virt   float64 // accumulated virtual seconds
-	maxOp  float64
-	lastOp float64
+	s    *Server
+	ID   int64
+	acct account
 }
 
 // SessionStats is a snapshot of one session's account.
@@ -296,32 +346,57 @@ type SessionStats struct {
 	LastMS         float64
 }
 
-// Stats snapshots the session account.
-func (ss *Session) Stats() SessionStats {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	st := SessionStats{
-		Ops:            ss.ops,
-		VirtualSeconds: ss.virt,
-		MaxMS:          ss.maxOp * 1000,
-		LastMS:         ss.lastOp * 1000,
+// account is one querier's virtual-latency ledger, shared by single-store
+// Sessions and sharded RouterSessions.
+type account struct {
+	mu     sync.Mutex
+	ops    int64
+	virt   float64 // accumulated virtual seconds
+	maxOp  float64
+	lastOp float64
+}
+
+// add records one completed interaction.
+func (a *account) add(cost float64) {
+	a.mu.Lock()
+	a.ops++
+	a.virt += cost
+	a.lastOp = cost
+	if cost > a.maxOp {
+		a.maxOp = cost
 	}
-	if ss.ops > 0 {
-		st.MeanMS = ss.virt / float64(ss.ops) * 1000
+	a.mu.Unlock()
+}
+
+// last returns the cost of the most recent interaction in virtual seconds.
+func (a *account) last() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastOp
+}
+
+// snapshot renders the ledger as SessionStats.
+func (a *account) snapshot() SessionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := SessionStats{
+		Ops:            a.ops,
+		VirtualSeconds: a.virt,
+		MaxMS:          a.maxOp * 1000,
+		LastMS:         a.lastOp * 1000,
+	}
+	if a.ops > 0 {
+		st.MeanMS = a.virt / float64(a.ops) * 1000
 	}
 	return st
 }
 
+// Stats snapshots the session account.
+func (ss *Session) Stats() SessionStats { return ss.acct.snapshot() }
+
 // charge records one completed interaction.
 func (ss *Session) charge(cost float64) {
-	ss.mu.Lock()
-	ss.ops++
-	ss.virt += cost
-	ss.lastOp = cost
-	if cost > ss.maxOp {
-		ss.maxOp = cost
-	}
-	ss.mu.Unlock()
+	ss.acct.add(cost)
 	ss.s.queries.Add(1)
 }
 
@@ -492,10 +567,27 @@ func (ss *Session) Similar(doc int64, k int) ([]query.Hit, error) {
 		ss.charge(m.LocalCopyCost(8))
 		return nil, fmt.Errorf("serve: document %d not found or has a null signature", doc)
 	}
+	scored, flops := ss.s.scanSimilar(target, doc, k)
+	hits = append([]query.Hit(nil), scored...)
+
+	ss.s.smu.Lock()
+	if ss.s.sims.add(key, hits) {
+		ss.s.simEvictions.Add(1)
+	}
+	ss.s.smu.Unlock()
+	ss.charge(m.FlopCost(flops) + m.LocalCopyCost(16*float64(len(hits))))
+	return hits, nil
+}
+
+// scanSimilar scores the server's captured signatures against a target
+// vector, excluding one document, and returns the top k hits (score
+// descending, document ascending on ties) plus the flops the scan cost.
+func (s *Server) scanSimilar(target []float64, exclude int64, k int) ([]query.Hit, float64) {
+	sigs := s.sigs
 	scored := make([]query.Hit, 0, len(sigs.Vecs))
 	var flops float64
 	for i, v := range sigs.Vecs {
-		if v == nil || sigs.Docs[i] == doc {
+		if v == nil || sigs.Docs[i] == exclude {
 			continue
 		}
 		scored = append(scored, query.Hit{Doc: sigs.Docs[i], Score: query.Cosine(target, v)})
@@ -510,15 +602,20 @@ func (ss *Session) Similar(doc int64, k int) ([]query.Hit, error) {
 	if len(scored) > k {
 		scored = scored[:k]
 	}
-	hits = append([]query.Hit(nil), scored...)
+	return scored, flops
+}
 
-	ss.s.smu.Lock()
-	if ss.s.sims.add(key, hits) {
-		ss.s.simEvictions.Add(1)
-	}
-	ss.s.smu.Unlock()
+// similarTo is the shard-local half of a routed similarity query: it scores
+// this server's signature slice against an externally supplied target vector.
+// It bypasses the per-server result cache — the router caches the merged
+// answer, and the sim counters with it — and charges the session the scan
+// plus the reply copy.
+func (ss *Session) similarTo(target []float64, exclude int64, k int) []query.Hit {
+	m := ss.s.store.Model
+	scored, flops := ss.s.scanSimilar(target, exclude, k)
+	hits := append([]query.Hit(nil), scored...)
 	ss.charge(m.FlopCost(flops) + m.LocalCopyCost(16*float64(len(hits))))
-	return hits, nil
+	return hits
 }
 
 // ThemeDocs returns the document IDs assigned to a k-means cluster, sorted.

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"inspire/internal/postings"
+)
+
+// ShardOf is the document-partitioning rule of a sharded serving set: global
+// document ID d lives on shard d mod shards. Modulo routing keeps every shard
+// within one document of perfectly balanced for the dense IDs a pipeline run
+// produces, and it needs no routing table — the router recomputes it from the
+// manifest's shard count alone.
+func ShardOf(doc int64, shards int) int {
+	return int(doc % int64(shards))
+}
+
+// Shard splits the store into n document-partitioned shard stores. Each
+// shard carries its own compressed posting blobs (per-term counts doubling as
+// the shard's DF summary), its slice of the signatures, ThemeView points and
+// cluster assignments, and the full replicated vocabulary, ownership bounds,
+// model and themes — everything a shard Server needs to answer sub-queries
+// on its own. The receiver is not modified; shard stores share its immutable
+// replicated tables.
+//
+// Sharding assumes the dense document IDs a pipeline snapshot produces
+// (0..TotalDocs-1); each shard's TotalDocs is its own document count.
+func (st *Store) Shard(n int) ([]*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: shard count %d", n)
+	}
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	posts := st.Posts
+	if posts == nil {
+		// Legacy flat snapshot: encode the block layout without touching the
+		// receiver, so sharding a v1 store leaves the original flat.
+		w := postings.NewWriter(int64(len(st.PostDoc)))
+		for t := int64(0); t < st.VocabSize; t++ {
+			var docs, freqs []int64
+			if c := st.DF[t]; c > 0 {
+				off := st.Off[t]
+				docs, freqs = st.PostDoc[off:off+c], st.PostFreq[off:off+c]
+			}
+			if err := w.Append(docs, freqs); err != nil {
+				return nil, fmt.Errorf("serve: shard: %w", err)
+			}
+		}
+		posts = w.Finish()
+	}
+	parts, err := posts.Split(n, func(doc int64) int { return ShardOf(doc, n) })
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard: %w", err)
+	}
+
+	out := make([]*Store, n)
+	for i := range out {
+		out[i] = &Store{
+			Model: st.Model, P: st.P,
+			// Dense IDs round-robin across shards: shard i owns
+			// ceil((TotalDocs-i)/n) of them.
+			TotalDocs: (st.TotalDocs - int64(i) + int64(n) - 1) / int64(n),
+			VocabSize: st.VocabSize,
+			Terms:     st.Terms, TermList: st.TermList, Prefix: st.Prefix,
+			DF:    parts[i].Count,
+			Posts: parts[i],
+			SigM:  st.SigM,
+			K:     st.K, Themes: st.Themes,
+		}
+	}
+	for i, d := range st.SigDocs {
+		r := ShardOf(d, n)
+		out[r].SigDocs = append(out[r].SigDocs, d)
+		out[r].SigVecs = append(out[r].SigVecs, st.SigVecs[i])
+	}
+	for _, pt := range st.Points {
+		r := ShardOf(pt.Doc, n)
+		out[r].Points = append(out[r].Points, pt)
+	}
+	for i, d := range st.AssignDocs {
+		r := ShardOf(d, n)
+		out[r].AssignDocs = append(out[r].AssignDocs, d)
+		out[r].AssignClusters = append(out[r].AssignClusters, st.AssignClusters[i])
+	}
+	for i := range out {
+		if err := out[i].validate(); err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// SaveShards shards the store n ways and persists the set: one INSPSTORE2
+// file per shard next to the manifest, plus the manifest itself at path. The
+// manifest names the shard files relative to its own directory, so the set
+// moves as a unit.
+func (st *Store) SaveShards(path string, n int) error {
+	shards, err := st.Shard(n)
+	if err != nil {
+		return err
+	}
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	man := &Manifest{
+		NumShards: n,
+		TotalDocs: st.TotalDocs,
+		VocabSize: st.VocabSize,
+		Route:     RouteMod,
+		Shards:    make([]ShardInfo, n),
+	}
+	for i, sh := range shards {
+		var posts int64
+		for _, c := range sh.DF {
+			posts += c
+		}
+		man.Shards[i] = ShardInfo{
+			File:     fmt.Sprintf("%s.s%02d", base, i),
+			Docs:     sh.TotalDocs,
+			Postings: posts,
+		}
+		if err := sh.SaveFile(filepath.Join(dir, man.Shards[i].File)); err != nil {
+			return err
+		}
+	}
+	data, err := man.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadShards reads a manifest written by SaveShards and loads every shard
+// store it names, cross-checking each against the manifest's summary.
+func LoadShards(path string) (*Manifest, []*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	man, err := DecodeManifest(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: load shards %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	shards := make([]*Store, man.NumShards)
+	var docs int64
+	for i, info := range man.Shards {
+		sh, err := LoadStoreFile(filepath.Join(dir, info.File))
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: load shard %d: %w", i, err)
+		}
+		if sh.VocabSize != man.VocabSize {
+			return nil, nil, fmt.Errorf("serve: shard %d has vocabulary %d, manifest says %d", i, sh.VocabSize, man.VocabSize)
+		}
+		var posts int64
+		for _, c := range sh.DF {
+			posts += c
+		}
+		if sh.TotalDocs != info.Docs || posts != info.Postings {
+			return nil, nil, fmt.Errorf("serve: shard %d carries %d docs/%d postings, manifest says %d/%d",
+				i, sh.TotalDocs, posts, info.Docs, info.Postings)
+		}
+		docs += sh.TotalDocs
+		shards[i] = sh
+	}
+	if docs != man.TotalDocs {
+		return nil, nil, fmt.Errorf("serve: shards carry %d docs, manifest says %d", docs, man.TotalDocs)
+	}
+	return man, shards, nil
+}
+
+// IsShardManifestFile reports whether the file begins with the shard-manifest
+// magic — i.e. whether a -store path names a sharded set rather than a single
+// store.
+func IsShardManifestFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	head := make([]byte, len(manifestMagic))
+	// ReadFull, not Read: a legal short read must not misclassify a valid
+	// manifest. A file shorter than the magic is simply not a manifest.
+	if _, err := io.ReadFull(f, head); err != nil {
+		return false, nil
+	}
+	return string(head) == manifestMagic, nil
+}
+
+// LoadServiceFile opens any persisted serving artifact as a Service: a shard
+// manifest loads its set behind a Router; a single INSPSTORE2 or legacy
+// INSPSTORE1 file loads behind a plain Server (flat v1 postings are
+// re-compressed on load, as cmd/inspired has always done). This is the one
+// load path the daemon needs — sharded and monolithic sets serve behind the
+// same session API.
+func LoadServiceFile(path string, cfg Config) (Service, error) {
+	man, err := IsShardManifestFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if man {
+		_, shards, err := LoadShards(path)
+		if err != nil {
+			return nil, err
+		}
+		return NewRouter(shards, cfg)
+	}
+	st, err := LoadStoreFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Compressed() {
+		if err := st.CompressPostings(); err != nil {
+			return nil, err
+		}
+	}
+	return NewServer(st, cfg)
+}

@@ -374,25 +374,29 @@ func (st *Store) ApplySignatures(set *signature.Set) error {
 
 // TopTerms returns up to n terms ordered by descending document frequency
 // (ties alphabetically) — the natural query vocabulary for workload replay.
-func (st *Store) TopTerms(n int) []string {
-	ids := make([]int64, 0, len(st.DF))
-	for t, df := range st.DF {
-		if df > 0 {
+func (st *Store) TopTerms(n int) []string { return topTerms(st.DF, st.TermList, n) }
+
+// topTerms ranks a DF vector; the Router reuses it over its global
+// (shard-summed) document frequencies.
+func topTerms(df []int64, termList []string, n int) []string {
+	ids := make([]int64, 0, len(df))
+	for t, d := range df {
+		if d > 0 {
 			ids = append(ids, int64(t))
 		}
 	}
 	sort.Slice(ids, func(a, b int) bool {
-		if st.DF[ids[a]] != st.DF[ids[b]] {
-			return st.DF[ids[a]] > st.DF[ids[b]]
+		if df[ids[a]] != df[ids[b]] {
+			return df[ids[a]] > df[ids[b]]
 		}
-		return st.TermList[ids[a]] < st.TermList[ids[b]]
+		return termList[ids[a]] < termList[ids[b]]
 	})
 	if len(ids) > n {
 		ids = ids[:n]
 	}
 	out := make([]string, len(ids))
 	for i, id := range ids {
-		out[i] = st.TermList[id]
+		out[i] = termList[id]
 	}
 	return out
 }

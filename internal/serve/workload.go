@@ -20,7 +20,7 @@ type WorkloadConfig struct {
 	OpsPerSession int
 	// Seed fixes the workload; each session derives its own stream from it.
 	Seed int64
-	// Terms is the query vocabulary. Empty selects the store's 48 top-DF
+	// Terms is the query vocabulary. Empty selects the service's 48 top-DF
 	// terms.
 	Terms []string
 	// Docs are similarity-search targets. Empty selects 16 sampled
@@ -30,7 +30,7 @@ type WorkloadConfig struct {
 	SimK int
 }
 
-func (cfg WorkloadConfig) withDefaults(st *Store) WorkloadConfig {
+func (cfg WorkloadConfig) withDefaults(svc Service) WorkloadConfig {
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 8
 	}
@@ -41,10 +41,10 @@ func (cfg WorkloadConfig) withDefaults(st *Store) WorkloadConfig {
 		cfg.SimK = 5
 	}
 	if len(cfg.Terms) == 0 {
-		cfg.Terms = st.TopTerms(48)
+		cfg.Terms = svc.TopTerms(48)
 	}
 	if len(cfg.Docs) == 0 {
-		cfg.Docs = st.SampleDocs(16)
+		cfg.Docs = svc.SampleDocs(16)
 	}
 	return cfg
 }
@@ -57,27 +57,44 @@ type WorkloadReport struct {
 	WallSeconds float64
 	QPS         float64 // sustained host queries/sec across all sessions
 
+	// VirtualQPS is the modeled sustained throughput: total interactions
+	// over the mean session's virtual seconds — sessions run concurrently in
+	// virtual time, each as its own sequential stream, so with balanced
+	// streams the service completes Sessions interactions per mean
+	// interaction latency. (The busiest session is not used: which session
+	// draws the cold similarity scans is interleaving luck, and one 5-second
+	// outlier would swamp the steady-state number.)
+	VirtualQPS float64
+
 	MeanVirtualMS float64 // mean per-interaction virtual latency
-	MaxVirtualMS  float64 // worst single interaction
+	P50VirtualMS  float64 // median per-interaction virtual latency
+	P95VirtualMS  float64 // body-tail per-interaction virtual latency
+	P99VirtualMS  float64 // tail per-interaction virtual latency
+	MaxVirtualMS  float64 // worst single interaction (a cold similarity scan)
 
 	OpCounts map[string]int64
-	Stats    Stats // server counters accumulated during the replay
+	Stats    Stats // service counters accumulated during the replay
 }
 
 // String renders the report as the serving scoreboard.
 func (r *WorkloadReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%d sessions, %d interactions in %.2fs host time (%.0f queries/sec)\n"+
-			"per-interaction virtual latency: mean %.3f ms, max %.3f ms\n"+
+			"modeled throughput %.0f queries/sec; per-interaction virtual latency: mean %.3f ms, p50 %.3f ms, p99 %.3f ms, max %.3f ms\n"+
 			"posting cache: %.1f%% hit rate (%d hits + %d coalesced / %d misses, %d evictions, %d remote gets)\n"+
 			"block skipping: %d partial fetches (%d blocks decoded, %d ruled out)\n"+
 			"similarity cache: %.1f%% hit rate (%d hits / %d misses)",
 		r.Sessions, r.Ops, r.WallSeconds, r.QPS,
-		r.MeanVirtualMS, r.MaxVirtualMS,
+		r.VirtualQPS, r.MeanVirtualMS, r.P50VirtualMS, r.P99VirtualMS, r.MaxVirtualMS,
 		100*r.Stats.PostingHitRate(), r.Stats.PostingHits, r.Stats.Coalesced,
 		r.Stats.PostingMisses, r.Stats.PostingEvictions, r.Stats.RemoteGets,
 		r.Stats.PartialFetches, r.Stats.BlocksDecoded, r.Stats.BlocksSkipped,
 		100*r.Stats.SimHitRate(), r.Stats.SimHits, r.Stats.SimMisses)
+	if r.Stats.FanOuts > 0 || r.Stats.ShortCircuits > 0 {
+		s += fmt.Sprintf("\nscatter-gather: %d fan-outs into %d shard queries (%d pruned by DF summaries, %d short-circuited at the router)",
+			r.Stats.FanOuts, r.Stats.ShardQueries, r.Stats.ShardsPruned, r.Stats.ShortCircuits)
+	}
+	return s
 }
 
 // pickSkewed picks an index in [0, n) biased toward 0 — a Zipf-like analyst
@@ -90,18 +107,20 @@ func pickSkewed(rng *rand.Rand, n int) int {
 	return i
 }
 
-// Replay runs the workload against the server and aggregates the outcome.
+// Replay runs the workload against a Service — a single-store Server or a
+// sharded Router, behind the same session API — and aggregates the outcome.
 // The interaction streams are deterministic in cfg.Seed; only host timing and
 // the interleaving-dependent cache/coalescing counters vary between runs.
-func Replay(srv *Server, cfg WorkloadConfig) (*WorkloadReport, error) {
-	cfg = cfg.withDefaults(srv.Store())
+func Replay(svc Service, cfg WorkloadConfig) (*WorkloadReport, error) {
+	cfg = cfg.withDefaults(svc)
 	if len(cfg.Terms) == 0 {
 		return nil, fmt.Errorf("serve: workload has no query terms")
 	}
 	if len(cfg.Docs) == 0 {
 		return nil, fmt.Errorf("serve: workload has no similarity targets")
 	}
-	before := srv.Stats()
+	before := svc.Stats()
+	themes := svc.NumThemes()
 
 	var (
 		mu       sync.Mutex
@@ -110,6 +129,7 @@ func Replay(srv *Server, cfg WorkloadConfig) (*WorkloadReport, error) {
 		virtSum  float64
 		virtMax  float64
 		totalOps int64
+		allLats  []float64 // every interaction's virtual ms
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -118,8 +138,9 @@ func Replay(srv *Server, cfg WorkloadConfig) (*WorkloadReport, error) {
 		go func(sid int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed<<16 + int64(sid)))
-			sess := srv.NewSession()
+			sess := svc.NewQuerier()
 			local := make(map[string]int64)
+			lats := make([]float64, 0, cfg.OpsPerSession)
 			term := func() string { return cfg.Terms[pickSkewed(rng, len(cfg.Terms))] }
 			for op := 0; op < cfg.OpsPerSession; op++ {
 				switch p := rng.Float64(); {
@@ -144,12 +165,13 @@ func Replay(srv *Server, cfg WorkloadConfig) (*WorkloadReport, error) {
 					}
 					local["similar"]++
 				case p < 0.93:
-					sess.ThemeDocs(rng.Intn(max(1, srv.Store().K)))
+					sess.ThemeDocs(rng.Intn(max(1, themes)))
 					local["theme"]++
 				default:
 					sess.Near(rng.Float64()-0.5, rng.Float64()-0.5, 0.2)
 					local["near"]++
 				}
+				lats = append(lats, sess.Stats().LastMS)
 			}
 			st := sess.Stats()
 			mu.Lock()
@@ -161,6 +183,7 @@ func Replay(srv *Server, cfg WorkloadConfig) (*WorkloadReport, error) {
 				virtMax = st.MaxMS / 1000
 			}
 			totalOps += st.Ops
+			allLats = append(allLats, lats...)
 			mu.Unlock()
 		}(sid)
 	}
@@ -170,7 +193,7 @@ func Replay(srv *Server, cfg WorkloadConfig) (*WorkloadReport, error) {
 		return nil, firstErr
 	}
 
-	after := srv.Stats()
+	after := svc.Stats()
 	rep := &WorkloadReport{
 		Sessions:    cfg.Sessions,
 		Ops:         totalOps,
@@ -181,14 +204,37 @@ func Replay(srv *Server, cfg WorkloadConfig) (*WorkloadReport, error) {
 	if wall > 0 {
 		rep.QPS = float64(totalOps) / wall
 	}
+	if virtSum > 0 {
+		rep.VirtualQPS = float64(totalOps) / (virtSum / float64(cfg.Sessions))
+	}
 	if totalOps > 0 {
 		rep.MeanVirtualMS = virtSum / float64(totalOps) * 1000
 	}
+	sort.Float64s(allLats)
+	rep.P50VirtualMS = percentile(allLats, 0.50)
+	rep.P95VirtualMS = percentile(allLats, 0.95)
+	rep.P99VirtualMS = percentile(allLats, 0.99)
 	rep.MaxVirtualMS = virtMax * 1000
 	return rep, nil
 }
 
-// diffStats subtracts counter snapshots so repeated replays on one server
+// percentile reads the p-quantile (nearest-rank) of an ascending-sorted
+// slice; 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// diffStats subtracts counter snapshots so repeated replays on one service
 // report only their own traffic.
 func diffStats(before, after Stats) Stats {
 	return Stats{
@@ -204,6 +250,10 @@ func diffStats(before, after Stats) Stats {
 		SimHits:          after.SimHits - before.SimHits,
 		SimMisses:        after.SimMisses - before.SimMisses,
 		SimEvictions:     after.SimEvictions - before.SimEvictions,
+		FanOuts:          after.FanOuts - before.FanOuts,
+		ShardQueries:     after.ShardQueries - before.ShardQueries,
+		ShardsPruned:     after.ShardsPruned - before.ShardsPruned,
+		ShortCircuits:    after.ShortCircuits - before.ShortCircuits,
 	}
 }
 
