@@ -45,8 +45,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchfig: ci metrics: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote CI metrics to %s: serving %.0f virtual qps, 4-shard %.0f (%.2fx), compression %.2fx\n",
-			*ci, m.ServingVirtualQPS, m.ShardedVirtualQPS4, m.ShardingSpeedup4x, m.CompressionRatio)
+		fmt.Printf("wrote CI metrics to %s: serving %.0f virtual qps, 4-shard %.0f (%.2fx), compression %.2fx, "+
+			"ingest %.0f virtual docs/sec (query p95 %.2fx idle)\n",
+			*ci, m.ServingVirtualQPS, m.ShardedVirtualQPS4, m.ShardingSpeedup4x, m.CompressionRatio,
+			m.IngestVirtualDPS, m.IngestQueryP95Ratio)
 		return
 	}
 

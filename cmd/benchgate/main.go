@@ -1,8 +1,9 @@
 // Command benchgate is the CI bench-regression gate: it compares the metrics
 // a fresh `benchfig -ci` run wrote against the committed baseline and exits
-// non-zero when serving throughput regressed more than 15%, the posting
-// compression ratio fell below the gated 2.5x, or the 4-shard scatter-gather
-// speedup fell below 1.5x.
+// non-zero when serving or ingest throughput regressed more than 15%, the
+// posting compression ratio fell below the gated 2.5x, the 4-shard
+// scatter-gather speedup fell below 1.5x, or query p95 latency under
+// concurrent ingestion exceeded 2x the idle baseline.
 //
 // Usage:
 //
@@ -48,6 +49,8 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: ok — serving %.0f virtual qps (baseline %.0f), 4-shard %.0f (%.2fx), compression %.2fx\n",
-		cur.ServingVirtualQPS, base.ServingVirtualQPS, cur.ShardedVirtualQPS4, cur.ShardingSpeedup4x, cur.CompressionRatio)
+	fmt.Printf("benchgate: ok — serving %.0f virtual qps (baseline %.0f), 4-shard %.0f (%.2fx), compression %.2fx, "+
+		"ingest %.0f virtual docs/sec (query p95 %.2fx idle)\n",
+		cur.ServingVirtualQPS, base.ServingVirtualQPS, cur.ShardedVirtualQPS4, cur.ShardingSpeedup4x,
+		cur.CompressionRatio, cur.IngestVirtualDPS, cur.IngestQueryP95Ratio)
 }

@@ -1,9 +1,15 @@
-// Command inspired is the serving daemon: index once, serve many. It loads a
-// finished pipeline run — either by running the pipeline over a corpus
-// directory or by loading a store persisted with -save-store — and answers
-// concurrent analyst sessions over JSON: term lookups, boolean queries,
-// similarity search, theme drill-down and ThemeView region queries, each
-// reported with its modeled virtual latency on the 2007 cluster.
+// Command inspired is the serving daemon: index once, serve many — and since
+// the live-ingestion refactor, keep ingesting. It loads a finished pipeline
+// run — either by running the pipeline over a corpus directory or by loading
+// a store persisted with -save-store — and answers concurrent analyst
+// sessions over JSON: term lookups, boolean queries, similarity search,
+// theme drill-down and ThemeView region queries, each reported with its
+// modeled virtual latency on the 2007 cluster. Sessions can also add and
+// delete documents while queries keep serving: adds are tokenized with the
+// producing run's normalization, signature-projected with its frozen
+// association matrix, and become visible when their delta seals (every 256
+// adds by default, or on flush); a background compactor folds sealed
+// segments together.
 //
 // Usage:
 //
@@ -31,11 +37,19 @@
 //	/similar?doc=3&k=5      top-K similarity in signature space
 //	/theme?cluster=2        documents of one k-means theme
 //	/near?x=0&y=0&r=0.2     ThemeView region drill-down
+//	/add?text=...           ingest a document (returns its ID)
+//	/delete?doc=3           tombstone a document
+//	/flush                  make pending adds visible now
+//	/compact                merge sealed segments now
+//	/save?path=FILE         persist the live state (single store: rebased
+//	                        INSPSTORE2; sharded: INSPSHARDS2 manifest + segments)
 //	/themes                 discovered themes
-//	/stats                  server cache/traffic counters
+//	/stats                  server cache/traffic/ingest counters
 //
 // Pass session=NAME on query endpoints to accumulate per-session virtual
-// latency across requests; anonymous requests each get a fresh session.
+// latency across requests; anonymous requests each get a fresh session. The
+// stdin protocol mirrors the endpoints: "add some document text",
+// "delete 3", "flush", "compact", "save run.live".
 package main
 
 import (
@@ -313,6 +327,8 @@ type reply struct {
 	Docs      []int64         `json:"docs,omitempty"`     // boolean/theme/near queries
 	Hits      []query.Hit     `json:"hits,omitempty"`     // similarity queries
 	DF        int64           `json:"df,omitempty"`
+	Doc       int64           `json:"doc,omitempty"` // add: the assigned document ID
+	OK        bool            `json:"ok,omitempty"`  // add/delete/flush/compact/save
 	Error     string          `json:"error,omitempty"`
 }
 
@@ -361,11 +377,58 @@ func (d *daemon) run(ns *namedSession, op string, args map[string]string) reply 
 		r, _ := strconv.ParseFloat(args["r"], 64)
 		rep.Docs = sess.Near(x, y, r)
 		rep.Count = len(rep.Docs)
+	case "add":
+		doc, err := sess.Add(args["text"])
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Doc, rep.OK = doc, true
+		}
+	case "delete":
+		doc, err := strconv.ParseInt(args["doc"], 10, 64)
+		if err == nil {
+			err = sess.Delete(doc)
+		}
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Doc, rep.OK = doc, true
+		}
 	default:
 		rep.Error = fmt.Sprintf("unknown op %q", op)
 		return rep
 	}
 	rep.VirtualMS = sess.Stats().LastMS
+	return rep
+}
+
+// live executes one service-level maintenance op (flush/compact/save) — not
+// a session interaction, so no virtual account is touched.
+func (d *daemon) live(op, path string) reply {
+	rep := reply{Op: op}
+	lv, ok := d.srv.(serve.Liver)
+	if !ok {
+		rep.Error = "service does not support live maintenance"
+		return rep
+	}
+	var err error
+	switch op {
+	case "flush":
+		err = lv.FlushLive()
+	case "compact":
+		err = lv.CompactLive()
+	case "save":
+		if path == "" {
+			err = fmt.Errorf("save needs a path")
+		} else {
+			err = lv.SaveLive(path)
+		}
+	}
+	if err != nil {
+		rep.Error = err.Error()
+	} else {
+		rep.OK = true
+	}
 	return rep
 }
 
@@ -389,6 +452,14 @@ func (d *daemon) mux() *http.ServeMux {
 	handle("similar", "doc", "k")
 	handle("theme", "cluster")
 	handle("near", "x", "y", "r")
+	handle("add", "text")
+	handle("delete", "doc")
+	for _, op := range []string{"flush", "compact", "save"} {
+		op := op
+		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, d.live(op, r.URL.Query().Get("path")))
+		})
+	}
 	mux.HandleFunc("/themes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, d.srv.Themes())
 	})
@@ -422,6 +493,13 @@ func (d *daemon) serveLines(in *os.File, out *os.File) {
 		case "stats":
 			_ = enc.Encode(d.srv.Stats())
 			continue
+		case "flush", "compact", "save":
+			path := ""
+			if len(rest) > 0 {
+				path = rest[0]
+			}
+			_ = enc.Encode(d.live(op, path))
+			continue
 		}
 		args := map[string]string{}
 		switch op {
@@ -431,6 +509,12 @@ func (d *daemon) serveLines(in *os.File, out *os.File) {
 			}
 		case "and", "or":
 			args["q"] = strings.Join(rest, ",")
+		case "add":
+			args["text"] = strings.Join(rest, " ")
+		case "delete":
+			if len(rest) > 0 {
+				args["doc"] = rest[0]
+			}
 		case "similar":
 			if len(rest) > 0 {
 				args["doc"] = rest[0]

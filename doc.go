@@ -26,6 +26,17 @@
 // the slowest shard — not the whole store — bounds each interaction, all
 // behind the unchanged session API.
 //
+// Serving is no longer frozen at snapshot time: the store ingests live. New
+// documents are added through the session API (inspired's add/delete
+// commands), tokenized with the producing run's normalization and projected
+// into signature space with its frozen association matrix; they buffer in a
+// mutable delta, seal into block-compressed segments (internal/segment), and
+// become visible through atomically swapped epoch views that readers never
+// block on, while a background compactor k-way-merges small segments and
+// deletes tombstone immediately. Live sharded sets persist behind an
+// extended manifest; a single live store rebases back into an ordinary
+// store file.
+//
 // The library lives under internal/; the executables under cmd/ (inspire,
 // inspired, corpusgen, benchfig, benchgate) and the runnable scenarios under
 // examples/ are the public surface. bench_test.go in this directory regenerates every

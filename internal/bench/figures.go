@@ -31,6 +31,7 @@ var Experiments = []Experiment{
 	{"S1", "Serving: query throughput and cache effectiveness vs concurrent sessions", FigS1},
 	{"S2", "Serving: posting store bytes and And latency, flat vs block-compressed", FigS2},
 	{"S3", "Serving: sharded scatter-gather throughput and tail latency vs shard count", FigS3},
+	{"S4", "Serving: query tail latency under live ingestion; refresh lag vs seal threshold", FigS4},
 }
 
 // FindExperiment resolves an experiment by ID.

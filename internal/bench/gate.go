@@ -22,8 +22,16 @@ const (
 	// ratio (PR 2's headline claim).
 	GateMinCompression = 2.5
 	// GateMinShardSpeedup is the absolute floor on the 4-shard throughput
-	// scaling over the monolithic server (this PR's headline claim).
+	// scaling over the monolithic server (PR 3's headline claim).
 	GateMinShardSpeedup = 1.5
+	// GateMaxIngestDrop fails the gate when modeled ingest throughput falls
+	// more than this fraction below the baseline.
+	GateMaxIngestDrop = 0.15
+	// GateMaxIngestP95Ratio is the absolute ceiling on query p95 latency
+	// under concurrent ingestion relative to the idle baseline (the live-
+	// ingestion PR's headline claim: queries keep serving while documents
+	// stream in).
+	GateMaxIngestP95Ratio = 2.0
 )
 
 // CIMetrics are the gated quantities of one bench run.
@@ -39,6 +47,14 @@ type CIMetrics struct {
 	ShardingSpeedup4x float64 `json:"sharding_speedup_4x"`
 	// CompressionRatio is flat posting bytes over block-compressed bytes.
 	CompressionRatio float64 `json:"compression_ratio"`
+	// IngestVirtualDPS is the modeled live-ingestion throughput: documents
+	// per virtual second of add latency (tokenize + project + append +
+	// amortized seals) in the deterministic interleaved stream.
+	IngestVirtualDPS float64 `json:"ingest_virtual_dps"`
+	// IngestQueryP95Ratio is query p95 latency with concurrent ingestion
+	// over the idle p95 — how much serving degrades while documents stream
+	// in.
+	IngestQueryP95Ratio float64 `json:"ingest_query_p95_ratio"`
 }
 
 // ciWorkload is the deterministic gate workload: a single session's stream
@@ -81,6 +97,9 @@ func CollectCI(scale float64) (*CIMetrics, error) {
 	if m.ServingVirtualQPS > 0 {
 		m.ShardingSpeedup4x = m.ShardedVirtualQPS4 / m.ServingVirtualQPS
 	}
+	if m.IngestVirtualDPS, m.IngestQueryP95Ratio, err = CollectIngestCI(scale); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -103,6 +122,14 @@ func (m *CIMetrics) Gate(baseline *CIMetrics) []string {
 	if m.ShardingSpeedup4x < GateMinShardSpeedup {
 		out = append(out, fmt.Sprintf("4-shard speedup %.2fx is below the gated %.1fx",
 			m.ShardingSpeedup4x, GateMinShardSpeedup))
+	}
+	if floor := (1 - GateMaxIngestDrop) * baseline.IngestVirtualDPS; m.IngestVirtualDPS < floor {
+		out = append(out, fmt.Sprintf("ingest throughput %.0f virtual docs/sec is >%.0f%% below the baseline %.0f",
+			m.IngestVirtualDPS, 100*GateMaxIngestDrop, baseline.IngestVirtualDPS))
+	}
+	if m.IngestQueryP95Ratio > GateMaxIngestP95Ratio {
+		out = append(out, fmt.Sprintf("query p95 under ingest is %.2fx idle, above the gated %.1fx",
+			m.IngestQueryP95Ratio, GateMaxIngestP95Ratio))
 	}
 	return out
 }

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"inspire/internal/corpus"
+	"inspire/internal/serve"
+)
+
+// Live-ingestion figure (Fig S4) and the CI ingest metrics: the serving
+// snapshot keeps answering the Fig S1 mixed workload while documents stream
+// in through the segmented live path. Everything here is single-session and
+// deterministic — virtual latencies depend only on the seeded op stream and
+// the seal/compaction policy, never on host scheduling — which is what lets
+// benchgate hold the numbers to tight thresholds.
+
+// ingestTextsCache memoizes the parsed record texts of the bench corpus.
+var ingestTextsCache = struct {
+	texts map[float64][]string
+}{texts: make(map[float64][]string)}
+
+// IngestTexts returns the bench corpus's record texts in document order —
+// the documents the ingest benchmarks re-feed through the live path (same
+// vocabulary, realistic term distribution).
+func IngestTexts(scale float64) ([]string, error) {
+	if texts, ok := ingestTextsCache.texts[scale]; ok {
+		return texts, nil
+	}
+	sources := PubMedSpecs(scale)[0].Generate()
+	sort.Slice(sources, func(i, j int) bool { return sources[i].Name < sources[j].Name })
+	var texts []string
+	for _, src := range sources {
+		recs, err := corpus.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		for i := range recs {
+			texts = append(texts, recs[i].Text())
+		}
+	}
+	ingestTextsCache.texts[scale] = texts
+	return texts, nil
+}
+
+// ingestProbeResult aggregates one deterministic interleaved run.
+type ingestProbeResult struct {
+	QueryP50MS  float64
+	QueryP95MS  float64
+	AddP95MS    float64
+	AddMeanMS   float64
+	Adds        int
+	MeanLagDocs float64 // mean buffered (not yet visible) docs over the adds
+	Stats       serve.Stats
+}
+
+// ingestProbe replays a deterministic single-session mixed query stream
+// (the Fig S1 op mix) against a fork of the store, interleaving one add
+// every addEvery queries (0 = idle). Sealed segments compact synchronously
+// whenever the policy's threshold is reached, so the stream — and every
+// virtual latency in it — reproduces exactly on any host.
+func ingestProbe(st *serve.Store, texts []string, queries, addEvery int, policy serve.LivePolicy) (*ingestProbeResult, error) {
+	fork := st.Fork()
+	policy.ManualCompaction = true
+	fork.SetLivePolicy(policy)
+	srv, err := serve.NewServer(fork, serve.Config{})
+	if err != nil {
+		return nil, err
+	}
+	sess := srv.NewSession()
+	terms := srv.TopTerms(48)
+	docs := srv.SampleDocs(16)
+	if len(terms) == 0 || len(docs) == 0 {
+		return nil, fmt.Errorf("bench: ingest probe has no query material")
+	}
+	rng := rand.New(rand.NewSource(11))
+	term := func() string { return terms[int(float64(len(terms))*math.Pow(rng.Float64(), 2.5))%len(terms)] }
+
+	res := &ingestProbeResult{}
+	var queryLats, addLats []float64
+	var lagSum float64
+	nextText := 0
+	for op := 0; op < queries; op++ {
+		switch p := rng.Float64(); {
+		case p < 0.40:
+			sess.TermDocs(term())
+		case p < 0.55:
+			sess.And(term(), term())
+		case p < 0.70:
+			sess.Or(term(), term())
+		case p < 0.85:
+			doc := docs[int(float64(len(docs))*math.Pow(rng.Float64(), 2.5))%len(docs)]
+			if _, err := sess.Similar(doc, 5); err != nil {
+				return nil, err
+			}
+		case p < 0.93:
+			sess.ThemeDocs(rng.Intn(max(1, srv.NumThemes())))
+		default:
+			sess.Near(rng.Float64()-0.5, rng.Float64()-0.5, 0.2)
+		}
+		queryLats = append(queryLats, sess.Stats().LastMS)
+		if addEvery > 0 && (op+1)%addEvery == 0 {
+			lagSum += float64(fork.PendingDocs())
+			if _, err := sess.Add(texts[nextText%len(texts)]); err != nil {
+				return nil, err
+			}
+			nextText++
+			addLats = append(addLats, sess.Stats().LastMS)
+			if fork.LiveSegments() >= policy.CompactSegments {
+				if _, err := fork.Compact(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	sort.Float64s(queryLats)
+	res.QueryP50MS = quantile(queryLats, 0.50)
+	res.QueryP95MS = quantile(queryLats, 0.95)
+	res.Adds = len(addLats)
+	if len(addLats) > 0 {
+		var sum float64
+		for _, l := range addLats {
+			sum += l
+		}
+		res.AddMeanMS = sum / float64(len(addLats))
+		sort.Float64s(addLats)
+		res.AddP95MS = quantile(addLats, 0.95)
+		res.MeanLagDocs = lagSum / float64(len(addLats))
+	}
+	res.Stats = srv.Stats()
+	return res, nil
+}
+
+// quantile reads the nearest-rank p-quantile of an ascending-sorted slice.
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ingestProbeQueries keeps each Fig S4 point sub-second at default scale
+// while giving the percentiles a real population.
+const ingestProbeQueries = 400
+
+// FigS4 regenerates the live-ingestion figure: the left panel holds the
+// query stream fixed and turns ingestion on at two seal thresholds,
+// reporting query p50/p95 against the idle baseline; the right panel sweeps
+// the seal threshold and reports the refresh lag (mean documents buffered
+// and thus invisible) against the seal/compaction traffic it buys.
+func FigS4(scale float64) ([]*Figure, error) {
+	st, err := ServingStore(scale, 8)
+	if err != nil {
+		return nil, err
+	}
+	texts, err := IngestTexts(scale)
+	if err != nil {
+		return nil, err
+	}
+
+	left := &Figure{
+		ID:     "Fig S4a",
+		Title:  fmt.Sprintf("%s: query latency while documents stream in (1 session, add every 4th op)", PubMedSpecs(scale)[0]),
+		XLabel: "mode",
+		YLabel: "virtual latency (ms), segment traffic",
+	}
+	var p50, p95, addP95, segF []float64
+	for _, mode := range []struct {
+		name     string
+		addEvery int
+		seal     int
+	}{
+		{"idle", 0, 64},
+		{"seal=64", 4, 64},
+		{"seal=16", 4, 16},
+	} {
+		r, err := ingestProbe(st, texts, ingestProbeQueries, mode.addEvery,
+			serve.LivePolicy{SealDocs: mode.seal, CompactSegments: 4})
+		if err != nil {
+			return nil, err
+		}
+		left.X = append(left.X, mode.name)
+		p50 = append(p50, r.QueryP50MS)
+		p95 = append(p95, r.QueryP95MS)
+		addP95 = append(addP95, r.AddP95MS)
+		segF = append(segF, float64(r.Stats.SegmentFetches))
+	}
+	left.AddSeries("query p50 ms", p50)
+	left.AddSeries("query p95 ms", p95)
+	left.AddSeries("add p95 ms", addP95)
+	left.AddSeries("seg fetches", segF)
+	left.Notes = append(left.Notes,
+		"queries keep serving off the previous epoch view while adds buffer, seal and compact;",
+		"the p95 stays within 2x of the idle baseline (gated in CI), and the add tail carries the",
+		"seal cost — the visible price of a refresh")
+
+	right := &Figure{
+		ID:     "Fig S4b",
+		Title:  fmt.Sprintf("%s: refresh lag vs seal threshold (add every 2nd op)", PubMedSpecs(scale)[0]),
+		XLabel: "seal docs",
+		YLabel: "buffered docs, seals/compactions, add latency",
+	}
+	var lag, seals, compactions, addMean []float64
+	for _, seal := range []int{16, 64, 256} {
+		r, err := ingestProbe(st, texts, ingestProbeQueries, 2,
+			serve.LivePolicy{SealDocs: seal, CompactSegments: 4})
+		if err != nil {
+			return nil, err
+		}
+		right.X = append(right.X, fmt.Sprintf("%d", seal))
+		lag = append(lag, r.MeanLagDocs)
+		seals = append(seals, float64(r.Stats.Seals))
+		compactions = append(compactions, float64(r.Stats.Compactions))
+		addMean = append(addMean, r.AddMeanMS)
+	}
+	right.AddSeries("mean lag docs", lag)
+	right.AddSeries("seals", seals)
+	right.AddSeries("compactions", compactions)
+	right.AddSeries("add mean ms", addMean)
+	right.Notes = append(right.Notes,
+		"the seal threshold is the freshness knob: small deltas surface documents quickly but seal",
+		"and compact constantly; large deltas amortize the encode at the price of staleness")
+	return []*Figure{left, right}, nil
+}
+
+// CollectIngestCI measures the gated ingest quantities: modeled ingest
+// throughput (docs over the virtual seconds their adds cost, seals included)
+// and the ratio of query p95 under concurrent ingestion to the idle p95.
+func CollectIngestCI(scale float64) (dps, p95Ratio float64, err error) {
+	st, err := ServingStore(scale, 8)
+	if err != nil {
+		return 0, 0, err
+	}
+	texts, err := IngestTexts(scale)
+	if err != nil {
+		return 0, 0, err
+	}
+	pol := serve.LivePolicy{SealDocs: 64, CompactSegments: 4}
+	idle, err := ingestProbe(st, texts, ingestProbeQueries, 0, pol)
+	if err != nil {
+		return 0, 0, err
+	}
+	busy, err := ingestProbe(st, texts, ingestProbeQueries, 4, pol)
+	if err != nil {
+		return 0, 0, err
+	}
+	if busy.AddMeanMS > 0 {
+		dps = 1000 / busy.AddMeanMS
+	}
+	if idle.QueryP95MS > 0 {
+		p95Ratio = busy.QueryP95MS / idle.QueryP95MS
+	}
+	return dps, p95Ratio, nil
+}

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestIngestClaimOnBenchCorpus gates the live-ingestion headline on the real
+// bench corpus at default scale: queries keep serving while documents stream
+// in, with p95 virtual latency within 2x of the idle baseline, and ingest
+// throughput is a real number. It also pins determinism — the CI gate only
+// works because the interleaved probe reproduces exactly.
+func TestIngestClaimOnBenchCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench corpus run")
+	}
+	dps1, ratio1, err := CollectIngestCI(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dps1 <= 0 {
+		t.Fatalf("ingest throughput %.2f docs/sec", dps1)
+	}
+	if ratio1 <= 0 || ratio1 > GateMaxIngestP95Ratio {
+		t.Fatalf("query p95 under ingest is %.2fx idle, claim gates %.1fx", ratio1, GateMaxIngestP95Ratio)
+	}
+	dps2, ratio2, err := CollectIngestCI(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dps1 != dps2 || ratio1 != ratio2 {
+		t.Fatalf("ingest metrics not deterministic: %.6f/%.6f vs %.6f/%.6f", dps1, ratio1, dps2, ratio2)
+	}
+}

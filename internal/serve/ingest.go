@@ -1,0 +1,510 @@
+package serve
+
+// Live ingestion: the mutable side of the epoch-swapped serving stack. Added
+// documents accumulate in an in-memory delta (tokenized with the producing
+// run's normalization and projected into signature space with its frozen
+// association matrix), deltas seal into block-compressed segments, and a
+// background compactor k-way-merges small segments into larger ones — each
+// step publishing a new immutable view, so concurrent queries never block and
+// always see a whole epoch.
+//
+// Every ingest interaction is charged virtual time like a query: an add pays
+// the modeled tokenize (scan rate over the raw bytes), the signature
+// projection flops, and the memory-rate posting append; the add that trips
+// the seal threshold also pays the seal's encode pass (the visible latency
+// spike a refresh costs). Compaction charges its merge bytes at memory rate
+// to its own account, off every session's critical path.
+
+import (
+	"fmt"
+
+	"inspire/internal/postings"
+	"inspire/internal/scan"
+	"inspire/internal/segment"
+	"inspire/internal/signature"
+)
+
+// LivePolicy tunes a live store's ingest layer. The zero value selects the
+// documented defaults.
+type LivePolicy struct {
+	// SealDocs is the number of buffered documents that triggers an
+	// automatic seal: added documents become visible to queries when their
+	// delta seals, so this bounds the refresh lag. Default 256.
+	SealDocs int
+	// CompactSegments is the sealed-segment count that triggers compaction.
+	// Default 4.
+	CompactSegments int
+	// ManualCompaction disables the background compactor; callers compact
+	// explicitly (deterministic tests and benchmarks do).
+	ManualCompaction bool
+	// Tokenizer configures ingest tokenization. The zero value selects the
+	// pipeline defaults — matching the producing run is what makes an
+	// ingested document index exactly like a batch-scanned one.
+	Tokenizer scan.TokenizerConfig
+}
+
+func (p LivePolicy) withDefaults() LivePolicy {
+	if p.SealDocs <= 0 {
+		p.SealDocs = 256
+	}
+	if p.CompactSegments <= 0 {
+		p.CompactSegments = 4
+	}
+	return p
+}
+
+// SetLivePolicy configures the store's ingest layer. Call before ingesting;
+// changes apply to the next add.
+func (st *Store) SetLivePolicy(p LivePolicy) {
+	st.live.mu.Lock()
+	st.live.policy = p
+	st.live.mu.Unlock()
+}
+
+// livePolicy returns the effective policy; callers hold live.mu or accept a
+// racy-read default (tokenization uses it outside the lock by design — the
+// policy is set before ingestion starts).
+func (st *Store) livePolicy() LivePolicy {
+	return st.live.policy.withDefaults()
+}
+
+// prepareDoc tokenizes a document with the producing run's normalization,
+// resolves tokens against the frozen vocabulary (out-of-vocabulary terms are
+// dropped — the vocabulary, like the signature space, is fixed at snapshot
+// time), projects the signature, and returns the modeled front-end cost:
+// scan-rate tokenize plus projection flops.
+func (st *Store) prepareDoc(text string) (counts map[int64]int64, sig []float64, cost float64) {
+	counts = make(map[int64]int64)
+	scan.ForEachToken(text, st.livePolicy().Tokenizer, func(term string) {
+		if id, ok := st.Terms[term]; ok {
+			counts[id]++
+		}
+	})
+	cost = st.Model.ScanCost(float64(len(text)))
+	if st.Proj != nil {
+		var flops float64
+		sig, flops = st.Proj.Project(counts)
+		cost += st.Model.FlopCost(flops)
+	}
+	return counts, sig, cost
+}
+
+// Add ingests one document, assigning it the next document ID, and returns
+// the ID and the interaction's modeled cost. The document becomes visible to
+// queries when its delta seals (LivePolicy.SealDocs, or Flush).
+func (st *Store) Add(text string) (int64, float64, error) {
+	counts, sig, prep := st.prepareDoc(text)
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	st.initViewLocked()
+	doc := st.live.nextDoc
+	cost, err := st.addLocked(doc, counts, sig)
+	return doc, prep + cost, err
+}
+
+// AddAt ingests one document under an explicit ID — the sharded path, where
+// the router assigns global IDs and routes each to shard ID mod S. The ID
+// must be new: at or above the base snapshot's dense range and not already
+// ingested.
+func (st *Store) AddAt(doc int64, text string) (float64, error) {
+	counts, sig, prep := st.prepareDoc(text)
+	cost, err := st.AddCounts(doc, counts, sig)
+	return prep + cost, err
+}
+
+// AddCounts ingests one pre-tokenized document: its in-document term counts
+// (dense IDs) and signature. The router uses this form so a routed add
+// tokenizes once, at the router.
+func (st *Store) AddCounts(doc int64, counts map[int64]int64, sig []float64) (float64, error) {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	st.initViewLocked()
+	return st.addLocked(doc, counts, sig)
+}
+
+// addLocked buffers one document in the delta, sealing when the policy's
+// threshold trips; callers hold live.mu with the view initialized.
+func (st *Store) addLocked(doc int64, counts map[int64]int64, sig []float64) (float64, error) {
+	v := st.live.cur.Load()
+	if doc < 0 || v.base.containsDoc(doc) {
+		return 0, fmt.Errorf("serve: add: doc %d collides with the base snapshot", doc)
+	}
+	for _, s := range v.segs {
+		if s.Contains(doc) {
+			return 0, fmt.Errorf("serve: add: doc %d already ingested", doc)
+		}
+	}
+	if v.tombs[doc] {
+		return 0, fmt.Errorf("serve: add: doc %d was deleted; IDs are never reused", doc)
+	}
+	pol := st.livePolicy()
+	if st.live.delta == nil {
+		st.live.delta = segment.NewDelta(st.VocabSize, st.SigM)
+	}
+	if err := st.live.delta.Add(doc, counts, sig); err != nil {
+		return 0, err
+	}
+	if doc >= st.live.nextDoc {
+		st.live.nextDoc = doc + 1
+	}
+	st.live.adds.Add(1)
+	// The append itself: one memory-rate write per (doc, freq) posting pair.
+	cost := st.Model.LocalCopyCost(16 * float64(len(counts)))
+	if st.live.delta.NumDocs() >= pol.SealDocs {
+		sealCost, err := st.sealLocked()
+		if err != nil {
+			return cost, err
+		}
+		cost += sealCost
+	}
+	return cost, nil
+}
+
+// Delete tombstones a document and publishes the change immediately. The
+// postings stay in place until compaction (segment documents) or Rebase
+// (base documents) drops them; every query path filters the tombstone set.
+// Deleting a document still buffered in the delta seals the delta first, so
+// tombstones only ever target visible documents and the live-document count
+// stays exact.
+func (st *Store) Delete(doc int64) (float64, error) {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	v := st.initViewLocked()
+	var cost float64
+	if st.live.delta != nil && st.live.delta.Contains(doc) {
+		sealCost, err := st.sealLocked()
+		if err != nil {
+			return 0, err
+		}
+		cost += sealCost
+		v = st.live.cur.Load()
+	}
+	if !v.contains(doc) {
+		return cost, fmt.Errorf("serve: delete: unknown document %d", doc)
+	}
+	tombs := make(map[int64]bool, len(v.tombs)+1)
+	for d := range v.tombs {
+		tombs[d] = true
+	}
+	tombs[doc] = true
+	st.publishLocked(&view{gen: v.gen, base: v.base, segs: v.segs, tombs: tombs, sigs: v.sigs,
+		kind: viewTomb, tomb: doc})
+	st.live.deletes.Add(1)
+	// The copy-on-write tombstone publish moves the set once at memory rate.
+	return cost + st.Model.LocalCopyCost(8*float64(len(tombs))), nil
+}
+
+// Flush seals the buffered delta (if any) into a segment and publishes it,
+// making every pending add visible. It returns the modeled seal cost.
+func (st *Store) Flush() (float64, error) {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	st.initViewLocked()
+	return st.sealLocked()
+}
+
+// sealLocked freezes the delta into a sealed segment and publishes the new
+// view; callers hold live.mu. A nil/empty delta is a no-op.
+func (st *Store) sealLocked() (float64, error) {
+	if st.live.delta == nil || st.live.delta.NumDocs() == 0 {
+		return 0, nil
+	}
+	posts := st.live.delta.Postings()
+	seg, err := st.live.delta.Seal()
+	if err != nil {
+		return 0, err
+	}
+	st.live.delta = nil
+	v := st.live.cur.Load()
+	segs := make([]*segment.Segment, len(v.segs), len(v.segs)+1)
+	copy(segs, v.segs)
+	segs = append(segs, seg)
+	st.publishLocked(&view{gen: v.gen, base: v.base, segs: segs, tombs: v.tombs, sigs: v.sigs,
+		kind: viewSeal, newSegs: segs[len(segs)-1:]})
+	st.live.seals.Add(1)
+	pol := st.livePolicy()
+	if !pol.ManualCompaction && len(segs) >= pol.CompactSegments && !st.live.compacting {
+		st.live.compactWG.Add(1)
+		go func() {
+			defer st.live.compactWG.Done()
+			_, _ = st.Compact()
+		}()
+	}
+	// The seal re-encodes every buffered posting into blocks: one read and
+	// one write of the 16-byte pair at memory rate.
+	return st.Model.LocalCopyCost(32 * float64(posts)), nil
+}
+
+// installLive publishes persisted live state — loaded segments and a
+// tombstone list — onto a freshly loaded store (the LoadShards path). The
+// store must not have live state already.
+func (st *Store) installLive(segs []*segment.Segment, tombs []int64) error {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	if st.hasLiveLocked() {
+		return fmt.Errorf("serve: store already has live state")
+	}
+	v := st.initViewLocked()
+	next := &view{gen: v.gen, base: v.base, segs: segs, sigs: v.sigs}
+	if len(tombs) > 0 {
+		next.tombs = make(map[int64]bool, len(tombs))
+		for _, d := range tombs {
+			next.tombs[d] = true
+		}
+	}
+	for _, seg := range segs {
+		if max := seg.MaxDoc() + 1; max > st.live.nextDoc {
+			st.live.nextDoc = max
+		}
+	}
+	for _, d := range tombs {
+		if !v.base.containsDoc(d) && !containsAny(segs, d) {
+			return fmt.Errorf("serve: tombstone %d targets no document", d)
+		}
+	}
+	st.publishLocked(next)
+	return nil
+}
+
+// WaitCompaction blocks until any in-flight background compaction finishes.
+// Quiesce ingestion first — a concurrent add may trigger another run.
+func (st *Store) WaitCompaction() { st.live.compactWG.Wait() }
+
+// Compact k-way merges every currently sealed segment into one, dropping the
+// tombstones that point into them, and publishes the compacted view. Queries
+// keep serving the old view throughout. It returns the modeled merge cost,
+// which is also charged to the store's compaction account.
+func (st *Store) Compact() (float64, error) {
+	st.live.mu.Lock()
+	v := st.initViewLocked()
+	if len(v.segs) < 2 || st.live.compacting {
+		st.live.mu.Unlock()
+		return 0, nil
+	}
+	st.live.compacting = true
+	input := v.segs
+	tombs := v.tombs
+	st.live.mu.Unlock()
+
+	// The merge runs off the lock: ingestion and deletes continue against
+	// the published view while the compactor works.
+	merged, err := segment.Merge(input, func(d int64) bool { return tombs[d] })
+	if err != nil {
+		st.live.mu.Lock()
+		st.live.compacting = false
+		st.live.mu.Unlock()
+		return 0, fmt.Errorf("serve: compact: %w", err)
+	}
+	var bytesIn int64
+	var postsIn int64
+	for _, s := range input {
+		bytesIn += s.Posts.SizeBytes()
+		postsIn += s.Postings()
+	}
+	cost := st.Model.LocalCopyCost(float64(bytesIn+merged.Posts.SizeBytes())) +
+		st.Model.LocalCopyCost(16*float64(postsIn))
+
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	cur := st.live.cur.Load()
+	// The merge ran off the lock: if the segment list was rewritten under us
+	// (a concurrent Rebase folded everything into the base), the input is no
+	// longer a prefix of the current list — drop the merge result.
+	prefix := len(cur.segs) >= len(input)
+	for i := 0; prefix && i < len(input); i++ {
+		prefix = cur.segs[i] == input[i]
+	}
+	if !prefix {
+		st.live.compacting = false
+		return 0, nil
+	}
+	// Segments sealed while we merged sit after the input prefix; keep them.
+	segs := make([]*segment.Segment, 0, 1+len(cur.segs)-len(input))
+	if merged.NumDocs() > 0 {
+		segs = append(segs, merged)
+	}
+	segs = append(segs, cur.segs[len(input):]...)
+	// Tombstones that pointed into the merged input are gone from the data;
+	// drop them from the set. Later tombstones (including ones filed against
+	// input docs during the merge) stay and keep filtering.
+	next := make(map[int64]bool, len(cur.tombs))
+	for d := range cur.tombs {
+		if tombs[d] && containsAny(input, d) {
+			continue
+		}
+		next[d] = true
+	}
+	st.publishLocked(&view{gen: cur.gen, base: cur.base, segs: segs, tombs: next, sigs: cur.sigs,
+		kind: viewCompact})
+	st.live.compacting = false
+	st.live.compactions.Add(1)
+	st.live.compactVirt += cost
+	return cost, nil
+}
+
+// containsAny reports whether any segment covers doc.
+func containsAny(segs []*segment.Segment, doc int64) bool {
+	for _, s := range segs {
+		if s.Contains(doc) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rebase folds the base snapshot, every sealed segment and the tombstone set
+// into a fresh base — the full materialization that makes the store
+// persistable as a single INSPSTORE2 file again. Pending adds are flushed
+// first. The old base products are left untouched (readers holding the old
+// view keep working); the store's fields and a new view (with the base
+// generation advanced) are swapped in at the end.
+//
+// After a rebase TotalDocs is the document-ID high water, not the live count
+// (deleted IDs leave holes and are never reused); Shard still assumes the
+// dense IDs of a pure pipeline snapshot, so shard a store before ingesting
+// into it, not after rebasing deletions.
+func (st *Store) Rebase() error {
+	if _, err := st.Flush(); err != nil {
+		return err
+	}
+	st.WaitCompaction()
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	v := st.initViewLocked()
+	if len(v.segs) == 0 && len(v.tombs) == 0 {
+		return nil
+	}
+
+	dead := v.tombs
+	var total int64
+	for _, n := range v.base.df {
+		total += n
+	}
+	for _, s := range v.segs {
+		total += s.Postings()
+	}
+	w := postings.NewWriter(total)
+	lists := make([]plist, 0, 1+len(v.segs))
+	for t := int64(0); t < st.VocabSize; t++ {
+		lists = lists[:0]
+		if v.base.df[t] > 0 {
+			d, f := v.base.postings(t)
+			lists = append(lists, plist{d, f})
+		}
+		for _, s := range v.segs {
+			if s.Posts.Count[t] > 0 {
+				d, f := s.Posts.Postings(t)
+				lists = append(lists, plist{d, f})
+			}
+		}
+		docs, freqs := mergePlists(lists, dead)
+		if err := w.Append(docs, freqs); err != nil {
+			return fmt.Errorf("serve: rebase: %w", err)
+		}
+	}
+	posts := w.Finish()
+
+	// Merge the signature sets (base epoch set + per-segment slices),
+	// ascending by document, dropping tombstones.
+	sigDocs := make([]int64, 0, len(v.sigs.Docs))
+	sigVecs := make([][]float64, 0, len(v.sigs.Docs))
+	srcDocs := make([][]int64, 0, 1+len(v.segs))
+	srcVecs := make([][][]float64, 0, 1+len(v.segs))
+	srcDocs, srcVecs = append(srcDocs, v.sigs.Docs), append(srcVecs, v.sigs.Vecs)
+	for _, s := range v.segs {
+		srcDocs, srcVecs = append(srcDocs, s.Docs), append(srcVecs, s.SigVecs)
+	}
+	pos := make([]int, len(srcDocs))
+	for {
+		best := -1
+		for i := range srcDocs {
+			if pos[i] >= len(srcDocs[i]) {
+				continue
+			}
+			if best < 0 || srcDocs[i][pos[i]] < srcDocs[best][pos[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if d := srcDocs[best][pos[best]]; !dead[d] {
+			sigDocs = append(sigDocs, d)
+			sigVecs = append(sigVecs, srcVecs[best][pos[best]])
+		}
+		pos[best]++
+	}
+
+	points := v.base.points
+	assignDocs, assignClusters := v.base.assignDocs, v.base.assignClusters
+	if len(dead) > 0 {
+		points = nil
+		for _, pt := range v.base.points {
+			if !dead[pt.Doc] {
+				points = append(points, pt)
+			}
+		}
+		assignDocs, assignClusters = nil, nil
+		for i, d := range v.base.assignDocs {
+			if !dead[d] {
+				assignDocs = append(assignDocs, d)
+				assignClusters = append(assignClusters, v.base.assignClusters[i])
+			}
+		}
+	}
+
+	st.Posts, st.DF = posts, posts.Count
+	st.Off, st.PostDoc, st.PostFreq = nil, nil, nil
+	if st.ShardCount > 0 {
+		// A shard's TotalDocs is its document count; base membership stays
+		// modular, so the global high water moves to cover rebased ingests.
+		st.GlobalDocs = st.live.nextDoc
+		st.TotalDocs = int64(len(sigDocs))
+	} else {
+		// Monolithic stores keep TotalDocs as the dense ID high water
+		// (deleted IDs leave holes and are never reused).
+		st.TotalDocs = st.live.nextDoc
+	}
+	st.SigM = v.sigs.M
+	st.SigDocs, st.SigVecs = sigDocs, sigVecs
+	st.Points = points
+	st.AssignDocs, st.AssignClusters = assignDocs, assignClusters
+	set, err := signature.NewSet(st.SigM, sigDocs, sigVecs)
+	if err != nil {
+		return fmt.Errorf("serve: rebase: %w", err)
+	}
+	st.setSigSet(set)
+	st.publishLocked(&view{gen: v.gen + 1, base: st.baseView(), sigs: set})
+	st.live.compactions.Add(1)
+	st.live.compactVirt += st.Model.LocalCopyCost(32 * float64(total))
+	return nil
+}
+
+// plist is one sorted (docs, freqs) posting list feeding a k-way merge.
+type plist struct{ docs, freqs []int64 }
+
+// mergePlists k-way merges disjoint doc-sorted posting lists, dropping docs
+// in dead (nil = none). Freshly allocated; nil when nothing survives.
+func mergePlists(lists []plist, dead map[int64]bool) (docs, freqs []int64) {
+	pos := make([]int, len(lists))
+	for {
+		best := -1
+		for i := range lists {
+			if pos[i] >= len(lists[i].docs) {
+				continue
+			}
+			if best < 0 || lists[i].docs[pos[i]] < lists[best].docs[pos[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if d := lists[best].docs[pos[best]]; len(dead) == 0 || !dead[d] {
+			docs = append(docs, d)
+			freqs = append(freqs, lists[best].freqs[pos[best]])
+		}
+		pos[best]++
+	}
+	return docs, freqs
+}

@@ -1,0 +1,707 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/signature"
+	"inspire/internal/simtime"
+)
+
+// ingestSources is the generated corpus shared by the equivalence tests: big
+// enough for a real vocabulary spread, small enough to index in milliseconds.
+func ingestSources() []*corpus.Source {
+	return corpus.Generate(corpus.GenSpec{
+		Format: corpus.FormatPubMed, TargetBytes: 30_000, Sources: 3, Seed: 17, VocabSize: 900, Topics: 4,
+	})
+}
+
+// batchStore indexes sources in one pipeline run and snapshots it.
+func batchStore(t *testing.T, sources []*corpus.Source, p int) *Store {
+	t.Helper()
+	var st *Store
+	_, err := cluster.Run(p, simtime.Zero(), func(c *cluster.Comm) error {
+		res, err := core.Run(c, sources, core.Config{CollectSignatures: true})
+		if err != nil {
+			return err
+		}
+		got, err := Snapshot(c, res)
+		if c.Rank() == 0 {
+			st = got
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Proj == nil {
+		t.Fatal("snapshot carries no signature projection")
+	}
+	return st
+}
+
+// recordTexts returns every record's whole text in global document-ID order
+// (sources sorted by name, records in source order — exactly how
+// AssignGlobalDocIDs numbers them).
+func recordTexts(t *testing.T, sources []*corpus.Source) []string {
+	t.Helper()
+	sorted := append([]*corpus.Source(nil), sources...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var texts []string
+	for _, src := range sorted {
+		recs, err := corpus.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range recs {
+			texts = append(texts, recs[i].Text())
+		}
+	}
+	return texts
+}
+
+// queryTerms picks a deterministic probe vocabulary: head terms, tail terms
+// and misses.
+func queryTerms(st *Store) []string {
+	terms := st.TopTerms(12)
+	var tails int
+	for id, df := range st.DF {
+		if df >= 1 && df <= 2 {
+			terms = append(terms, st.TermList[id])
+			if tails++; tails == 12 {
+				break
+			}
+		}
+	}
+	return append(terms, "zzz-missing", "absent")
+}
+
+// agreeQueries fails the test unless both queriers answer an identical mixed
+// stream of DF/TermDocs/And/Or/Similar queries identically.
+func agreeQueries(t *testing.T, label string, want, got Querier, terms []string, simDocs []int64) {
+	t.Helper()
+	for _, term := range terms {
+		if a, b := want.DF(term), got.DF(term); a != b {
+			t.Fatalf("%s: DF(%q) = %d, want %d", label, term, b, a)
+		}
+		if a, b := want.TermDocs(term), got.TermDocs(term); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: TermDocs(%q) = %v, want %v", label, term, b, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		n := 1 + rng.Intn(3)
+		q := make([]string, n)
+		for j := range q {
+			q[j] = terms[rng.Intn(len(terms))]
+		}
+		if a, b := want.And(q...), got.And(q...); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: And(%v) = %v, want %v", label, q, b, a)
+		}
+		if a, b := want.Or(q...), got.Or(q...); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: Or(%v) = %v, want %v", label, q, b, a)
+		}
+	}
+	for _, doc := range simDocs {
+		a, errA := want.Similar(doc, 5)
+		b, errB := got.Similar(doc, 5)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: Similar(%d) errors disagree: %v vs %v", label, doc, errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: Similar(%d) = %v, want %v", label, doc, b, a)
+		}
+	}
+}
+
+// TestIngestedEqualsBatchSingle is the offline-vs-ingested equivalence check
+// on a single store: indexing a corpus in one batch and ingesting the same
+// records doc-by-doc into an EmptyCopy must answer And/Or/DF/TermDocs/
+// Similar identically — while the ingested store still serves from multiple
+// sealed segments, after compaction, and after a full rebase.
+func TestIngestedEqualsBatchSingle(t *testing.T) {
+	sources := ingestSources()
+	st := batchStore(t, sources, 3)
+	texts := recordTexts(t, sources)
+	if int64(len(texts)) != st.TotalDocs {
+		t.Fatalf("parsed %d records for %d docs", len(texts), st.TotalDocs)
+	}
+
+	live := st.EmptyCopy()
+	live.SetLivePolicy(LivePolicy{SealDocs: 7, CompactSegments: 3, ManualCompaction: true})
+	for i, text := range texts {
+		doc, cost, err := live.Add(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc != int64(i) {
+			t.Fatalf("add %d assigned doc %d", i, doc)
+		}
+		if cost <= 0 {
+			t.Fatalf("add %d cost %g", i, cost)
+		}
+	}
+	if _, err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if live.LiveDocs() != st.TotalDocs {
+		t.Fatalf("live store sees %d docs, want %d", live.LiveDocs(), st.TotalDocs)
+	}
+	if live.LiveSegments() < 2 {
+		t.Fatalf("expected multiple segments, got %d", live.LiveSegments())
+	}
+
+	terms := queryTerms(st)
+	simDocs := append(st.SampleDocs(6), 1<<40) // including a miss
+	batchSrv := newServerT(t, st, Config{})
+	check := func(label string) {
+		t.Helper()
+		agreeQueries(t, label, batchSrv.NewSession(), newServerT(t, live, Config{}).NewSession(), terms, simDocs)
+	}
+	check("segmented")
+
+	if _, err := live.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if live.LiveSegments() != 1 {
+		t.Fatalf("compaction left %d segments", live.LiveSegments())
+	}
+	check("compacted")
+
+	if err := live.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	if live.LiveSegments() != 0 || live.TotalDocs != st.TotalDocs {
+		t.Fatalf("rebase left %d segments, %d docs", live.LiveSegments(), live.TotalDocs)
+	}
+	check("rebased")
+
+	if s := newServerT(t, live, Config{}).Stats(); s.Adds != uint64(len(texts)) || s.Seals == 0 || s.Compactions == 0 {
+		t.Fatalf("ingest counters: %+v", s)
+	}
+}
+
+// TestIngestedEqualsBatchSharded runs the same equivalence through the
+// Router: a batch-built 3-shard set versus an empty 3-shard set ingested
+// entirely through routed adds (which tokenize at the router and land on
+// shard doc mod S).
+func TestIngestedEqualsBatchSharded(t *testing.T) {
+	sources := ingestSources()
+	st := batchStore(t, sources, 3)
+	texts := recordTexts(t, sources)
+
+	batchShards, err := st.Shard(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRouter, err := NewRouter(batchShards, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	emptyShards, err := st.EmptyCopy().Shard(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range emptyShards {
+		sh.SetLivePolicy(LivePolicy{SealDocs: 5, CompactSegments: 3, ManualCompaction: true})
+	}
+	liveRouter, err := NewRouter(emptyShards, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := liveRouter.NewSession()
+	for i, text := range texts {
+		doc, err := sess.Add(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc != int64(i) {
+			t.Fatalf("routed add %d assigned doc %d", i, doc)
+		}
+	}
+	if err := liveRouter.FlushLive(); err != nil {
+		t.Fatal(err)
+	}
+
+	terms := queryTerms(st)
+	simDocs := append(st.SampleDocs(6), 1<<40)
+	agreeQueries(t, "routed segmented", batchRouter.NewSession(), liveRouter.NewSession(), terms, simDocs)
+
+	if err := liveRouter.CompactLive(); err != nil {
+		t.Fatal(err)
+	}
+	agreeQueries(t, "routed compacted", batchRouter.NewSession(), liveRouter.NewSession(), terms, simDocs)
+
+	// The routed set also agrees with the monolithic batch server.
+	agreeQueries(t, "routed vs single", newServerT(t, st, Config{}).NewSession(), liveRouter.NewSession(), terms, simDocs)
+
+	if s := liveRouter.Stats(); s.Adds != uint64(len(texts)) || s.Seals == 0 {
+		t.Fatalf("routed ingest counters: %+v", s)
+	}
+}
+
+// TestDeleteTombstones checks the delete path end to end: tombstoned
+// documents vanish from every query immediately, DF overcounts until the
+// postings are physically dropped, and Rebase makes the counts exact again.
+func TestDeleteTombstones(t *testing.T) {
+	st := buildStoreT(t, 3).Fork()
+	srv := newServerT(t, st, Config{})
+	sess := srv.NewSession()
+
+	dfBefore := sess.DF("apple")
+	if got := sess.And("apple", "banana"); !reflect.DeepEqual(got, []int64{0, 1}) {
+		t.Fatalf("precondition: %v", got)
+	}
+	if err := sess.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.And("apple", "banana"); !reflect.DeepEqual(got, []int64{0}) {
+		t.Fatalf("And after delete = %v", got)
+	}
+	if got := sess.Or("banana"); !reflect.DeepEqual(got, []int64{0}) {
+		t.Fatalf("Or after delete = %v", got)
+	}
+	for _, p := range sess.TermDocs("banana") {
+		if p.Doc == 1 {
+			t.Fatal("tombstoned doc in TermDocs")
+		}
+	}
+	if _, err := sess.Similar(1, 3); err == nil {
+		t.Fatal("Similar to a deleted doc should fail")
+	}
+	hits, err := sess.Similar(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Doc == 1 {
+			t.Fatal("tombstoned doc in Similar results")
+		}
+	}
+	for k := 0; k < st.K; k++ {
+		for _, d := range sess.ThemeDocs(k) {
+			if d == 1 {
+				t.Fatal("tombstoned doc in ThemeDocs")
+			}
+		}
+	}
+	for _, d := range sess.Near(0, 0, 1e9) {
+		if d == 1 {
+			t.Fatal("tombstoned doc in Near")
+		}
+	}
+	// DF keeps counting the tombstoned doc until the postings drop.
+	if got := sess.DF("apple"); got != dfBefore {
+		t.Fatalf("DF before rebase = %d, want the overcount %d", got, dfBefore)
+	}
+	if err := st.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.NewSession().DF("apple"); got != dfBefore-1 {
+		t.Fatalf("DF after rebase = %d, want %d", got, dfBefore-1)
+	}
+
+	if err := srv.NewSession().Delete(999); err == nil {
+		t.Fatal("deleting an unknown doc should fail")
+	}
+	if _, err := st.AddAt(1, "resurrection"); err == nil {
+		t.Fatal("re-adding a base doc ID should fail")
+	}
+}
+
+// TestIngestVisibilityFollowsSeals checks the refresh-lag contract: buffered
+// adds are invisible until the delta seals (threshold or Flush), and every
+// interaction after the swap sees them.
+func TestIngestVisibilityFollowsSeals(t *testing.T) {
+	st := buildStoreT(t, 2).Fork()
+	st.SetLivePolicy(LivePolicy{SealDocs: 3, CompactSegments: 100, ManualCompaction: true})
+	srv := newServerT(t, st, Config{})
+	sess := srv.NewSession()
+	base := sess.DF("apple")
+
+	if _, _, err := st.Add("apple apple kiwi quarterly"); err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingDocs() != 1 {
+		t.Fatalf("pending %d", st.PendingDocs())
+	}
+	if got := sess.DF("apple"); got != base {
+		t.Fatalf("buffered add already visible: DF %d", got)
+	}
+	if _, err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.DF("apple"); got != base+1 {
+		t.Fatalf("flushed add invisible: DF %d, want %d", got, base+1)
+	}
+	// The new doc answers boolean queries merged with the base: apple lives
+	// in base docs {0,1,2} and kiwi only in base doc 5, so the conjunction
+	// can only be satisfied inside the ingested segment.
+	docs := sess.And("apple", "kiwi")
+	if len(docs) != 1 || docs[0] != st.TotalDocs {
+		t.Fatalf("And over base+segment = %v", docs)
+	}
+	// Out-of-vocabulary terms ("quarterly" is not in the mini vocabulary)
+	// are dropped, not indexed: the vocabulary is frozen at snapshot time.
+	if got := sess.DF("quarterly"); got != 0 {
+		t.Fatalf("OOV term got DF %d", got)
+	}
+
+	// Auto-seal at the threshold: the third add trips it.
+	for i := 0; i < 3; i++ {
+		if _, _, err := st.Add(fmt.Sprintf("banana cargo %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.PendingDocs() != 0 {
+		t.Fatalf("auto-seal did not fire: pending %d", st.PendingDocs())
+	}
+	if got, want := sess.DF("banana"), int64(2+3); got != want {
+		t.Fatalf("DF after auto-seal = %d, want %d", got, want)
+	}
+}
+
+// TestDeletePendingDocSealsFirst pins the delete-of-a-buffered-doc contract:
+// the delta seals so the tombstone targets a visible document, and the live
+// document count stays exact.
+func TestDeletePendingDocSealsFirst(t *testing.T) {
+	st := buildStoreT(t, 2).Fork()
+	st.SetLivePolicy(LivePolicy{SealDocs: 100, CompactSegments: 100, ManualCompaction: true})
+	base := st.LiveDocs()
+	doc, _, err := st.Add("apple banana transient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Delete(doc); err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingDocs() != 0 {
+		t.Fatalf("delete left %d pending docs", st.PendingDocs())
+	}
+	if got := st.LiveDocs(); got != base {
+		t.Fatalf("LiveDocs = %d, want %d", got, base)
+	}
+	if _, err := st.Delete(doc); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+// TestApplySignaturesRejectsDimMismatchWithLiveState pins the dimensionality
+// guard: a set of a different M cannot land while segments carry vectors of
+// the old dimensionality, or while the ingest projection maps into it.
+func TestApplySignaturesRejectsDimMismatchWithLiveState(t *testing.T) {
+	st := buildStoreT(t, 2).Fork()
+	st.SetLivePolicy(LivePolicy{SealDocs: 1, CompactSegments: 100, ManualCompaction: true})
+	if _, _, err := st.Add("apple banana"); err != nil {
+		t.Fatal(err)
+	}
+	other, err := signature.NewSet(st.SigM+3, []int64{0}, [][]float64{make([]float64, st.SigM+3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplySignatures(other); err == nil {
+		t.Fatal("dimensionality change accepted over live segments")
+	}
+	if err := st.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	// Even rebased, the frozen projection still maps into the old space.
+	if st.Proj != nil {
+		if err := st.ApplySignatures(other); err == nil {
+			t.Fatal("dimensionality change accepted despite the ingest projection")
+		}
+	}
+}
+
+// TestApplySignaturesReachesRunningServers locks in the epoch-swap fix: a
+// signature set applied to the store is visible to servers built before the
+// swap, on their very next interaction, and the similarity caches cannot
+// serve stale merges across it.
+func TestApplySignaturesReachesRunningServers(t *testing.T) {
+	st := buildStoreT(t, 2).Fork()
+	srv := newServerT(t, st, Config{})
+	sess := srv.NewSession()
+	before, err := sess.Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A permuted set: every doc gets the signature of the next signed doc,
+	// so the nearest-neighbour structure genuinely changes.
+	docs := append([]int64(nil), st.SigDocs...)
+	vecs := make([][]float64, len(st.SigVecs))
+	var signed []int
+	for i, v := range st.SigVecs {
+		if v != nil {
+			signed = append(signed, i)
+		}
+	}
+	if len(signed) < 2 {
+		t.Skip("not enough signed docs to permute")
+	}
+	for j, i := range signed {
+		vecs[i] = st.SigVecs[signed[(j+1)%len(signed)]]
+	}
+	permuted, err := signature.NewSet(st.SigM, docs, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplySignatures(permuted); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sess.Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(before, after) {
+		t.Fatal("running server still answers from the old signature set")
+	}
+	// A fresh server agrees with the running one — no construction-time
+	// capture anymore.
+	fresh, err := newServerT(t, st, Config{}).NewSession().Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, fresh) {
+		t.Fatalf("running server %v, fresh server %v", after, fresh)
+	}
+}
+
+// TestApplySignaturesConcurrentWithSimilar races signature swaps against
+// similarity queries (run under -race in CI): every answer must equal the
+// result of one of the two sets — never a blend — and nothing may error.
+func TestApplySignaturesConcurrentWithSimilar(t *testing.T) {
+	st := buildStoreT(t, 2).Fork()
+	setA := st.Signatures()
+	docs := append([]int64(nil), setA.Docs...)
+	vecs := make([][]float64, len(setA.Vecs))
+	var signed []int
+	for i, v := range setA.Vecs {
+		if v != nil {
+			signed = append(signed, i)
+		}
+	}
+	for j, i := range signed {
+		vecs[i] = setA.Vecs[signed[(j+1)%len(signed)]]
+	}
+	setB, err := signature.NewSet(st.SigM, docs, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newServerT(t, st, Config{})
+	wantA, err := srv.NewSession().Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplySignatures(setB); err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := srv.NewSession().Similar(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var appliers, queriers sync.WaitGroup
+	stop := make(chan struct{})
+	appliers.Add(1)
+	go func() {
+		defer appliers.Done()
+		sets := []*signature.Set{setA, setB}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := st.ApplySignatures(sets[i%2]); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			sess := srv.NewSession()
+			for i := 0; i < 200; i++ {
+				got, err := sess.Similar(0, 3)
+				if err != nil {
+					t.Errorf("similar: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(got, wantA) && !reflect.DeepEqual(got, wantB) {
+					t.Errorf("blended answer: %v", got)
+					return
+				}
+			}
+		}()
+	}
+	queriers.Wait()
+	close(stop)
+	appliers.Wait()
+}
+
+// TestBackgroundCompactionKeepsServing exercises the auto-seal +
+// background-compaction path under concurrent queries (meaningful under
+// -race): ingestion proceeds, queries never block or err, and the segment
+// count stays bounded.
+func TestBackgroundCompactionKeepsServing(t *testing.T) {
+	sources := ingestSources()
+	st := batchStore(t, sources, 2)
+	texts := recordTexts(t, sources)
+
+	live := st.EmptyCopy()
+	live.SetLivePolicy(LivePolicy{SealDocs: 4, CompactSegments: 3})
+	srv := newServerT(t, live, Config{})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := srv.NewSession()
+			terms := queryTerms(st)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sess.DF(terms[i%len(terms)])
+				sess.And(terms[i%len(terms)], terms[(i+3)%len(terms)])
+				sess.Or(terms[i%len(terms)], terms[(i+7)%len(terms)])
+			}
+		}(g)
+	}
+	ingester := srv.NewSession()
+	for _, text := range texts {
+		if _, err := ingester.Add(text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	live.WaitCompaction()
+
+	s := srv.Stats()
+	if s.Seals == 0 || s.Compactions == 0 {
+		t.Fatalf("background machinery idle: %+v", s)
+	}
+	// After a final explicit compaction the store agrees with the batch run.
+	if _, err := live.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	agreeQueries(t, "post-compaction", newServerT(t, st, Config{}).NewSession(),
+		srv.NewSession(), queryTerms(st), st.SampleDocs(4))
+}
+
+// TestLiveSetPersistence round-trips live state through disk: a sharded set
+// with sealed segments and tombstones saves behind an INSPSHARDS2 manifest
+// and reloads answering identically; a single live store rebases into an
+// ordinary INSPSTORE2 file.
+func TestLiveSetPersistence(t *testing.T) {
+	sources := ingestSources()
+	sort.Slice(sources, func(i, j int) bool { return sources[i].Name < sources[j].Name })
+	st := batchStore(t, sources, 2)
+	texts := recordTexts(t, sources)
+	dir := t.TempDir()
+
+	// Sharded: batch-index a name-ordered prefix of the corpus as the base,
+	// ingest the rest through the router, delete a few docs, save, reload.
+	baseSt := batchStore(t, sources[:2], 2)
+	half := len(recordTexts(t, sources[:2]))
+	shards, err := baseSt.Shard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shards {
+		sh.SetLivePolicy(LivePolicy{SealDocs: 4, CompactSegments: 100, ManualCompaction: true})
+	}
+	router, err := NewRouter(shards, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := router.NewSession()
+	for i := half; i < len(texts); i++ {
+		if _, err := sess.Add(texts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Delete(int64(half) + 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "set.live")
+	if err := router.SaveLive(manifest); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("INSPSHARDS2\n")) {
+		t.Fatalf("live manifest magic %q", data[:12])
+	}
+
+	_, loaded, err := LoadShards(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := NewRouter(loaded, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := queryTerms(st)
+	simDocs := baseSt.SampleDocs(4)
+	agreeQueries(t, "reloaded live set", router.NewSession(), reloaded.NewSession(), terms, simDocs)
+
+	// The generic service loader serves it too.
+	svc, err := LoadServiceFile(manifest, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeQueries(t, "LoadServiceFile live set", router.NewSession(), svc.NewQuerier(), terms, simDocs)
+
+	// Single store: ingest, delete, SaveLive rebases to one INSPSTORE2 file.
+	single := baseSt.Fork()
+	single.SetLivePolicy(LivePolicy{SealDocs: 8, CompactSegments: 100, ManualCompaction: true})
+	srv := newServerT(t, single, Config{})
+	s2 := srv.NewSession()
+	for i := half; i < len(texts); i++ {
+		if _, err := s2.Add(texts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.Delete(int64(half) + 1); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "single.store")
+	if err := srv.SaveLive(file); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStoreFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeQueries(t, "rebased single store", srv.NewSession(),
+		newServerT(t, back, Config{}).NewSession(), terms, simDocs)
+}

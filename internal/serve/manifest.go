@@ -6,10 +6,17 @@ import (
 	"strings"
 )
 
-// manifestMagic heads the sidecar manifest of a sharded serving set. The
-// shard stores themselves stay ordinary INSPSTORE2 files; the manifest is
-// what makes them a set.
-const manifestMagic = "INSPSHARDS1\n"
+// The manifest magics head the sidecar manifest of a sharded serving set.
+// The shard stores themselves stay ordinary INSPSTORE2 files; the manifest
+// is what makes them a set. Version 1 describes a frozen partition; version
+// 2 extends each shard with its live state — the sealed ingest segments
+// (sidecar INSPSEG1 files) and the tombstone set — so a live set persists
+// and reloads mid-stream. Encode writes v1 bytes whenever no shard carries
+// live state, so frozen sets stay loadable by earlier builds.
+const (
+	manifestMagic   = "INSPSHARDS1\n"
+	manifestMagicV2 = "INSPSHARDS2\n"
+)
 
 // RouteMod names the modulo document-partitioning rule (ShardOf). It is the
 // only rule this version writes; the field exists so a future rule can be
@@ -19,8 +26,10 @@ const RouteMod = "mod"
 // manifest codec bounds: decode rejects anything larger, so corrupt or
 // adversarial inputs cannot demand huge allocations.
 const (
-	maxManifestShards = 1 << 12
-	maxManifestString = 1 << 12
+	maxManifestShards   = 1 << 12
+	maxManifestString   = 1 << 12
+	maxManifestSegments = 1 << 10
+	maxManifestTombs    = 1 << 22
 )
 
 // Manifest describes a sharded serving set: how many document partitions,
@@ -35,11 +44,35 @@ type Manifest struct {
 }
 
 // ShardInfo names one shard's store file (relative to the manifest) and its
-// summary counts.
+// summary counts, plus — in a v2 manifest — the shard's live state: its
+// sealed ingest segments and tombstoned document IDs.
 type ShardInfo struct {
 	File     string
-	Docs     int64
-	Postings int64
+	Docs     int64 // base-store document count
+	Postings int64 // base-store posting count
+
+	// Segments lists the shard's sealed ingest segments (sidecar files next
+	// to the manifest), oldest first. Empty for a frozen shard.
+	Segments []SegmentInfo
+	// Tombs lists the shard's tombstoned document IDs, strictly ascending.
+	Tombs []int64
+}
+
+// SegmentInfo names one sealed segment file and its document count.
+type SegmentInfo struct {
+	File string
+	Docs int64
+}
+
+// liveState reports whether any shard carries segments or tombstones — what
+// decides the manifest version written.
+func (m *Manifest) liveState() bool {
+	for _, s := range m.Shards {
+		if len(s.Segments) > 0 || len(s.Tombs) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate checks the structural invariants a manifest must satisfy before
@@ -57,23 +90,45 @@ func (m *Manifest) Validate() error {
 	}
 	var docs int64
 	files := make(map[string]bool, len(m.Shards))
+	plainName := func(name string) bool {
+		return name != "" && len(name) <= maxManifestString &&
+			!strings.ContainsAny(name, "/\\") && name != "." && name != ".."
+	}
 	for i, s := range m.Shards {
 		switch {
-		case s.File == "" || len(s.File) > maxManifestString:
-			return fmt.Errorf("serve: manifest shard %d has a bad file name", i)
-		case strings.ContainsAny(s.File, "/\\") || s.File == "." || s.File == "..":
+		case !plainName(s.File):
 			// Shard files live next to the manifest; anything else would let
 			// a manifest reach outside its own directory.
-			return fmt.Errorf("serve: manifest shard %d file %q is not a plain name", i, s.File)
+			return fmt.Errorf("serve: manifest shard %d has a bad file name", i)
 		case files[s.File]:
 			// A repeated file would serve its documents twice, breaking the
 			// disjointness every gather merge relies on.
 			return fmt.Errorf("serve: manifest shard %d repeats file %q", i, s.File)
 		case s.Docs < 0 || s.Postings < 0:
 			return fmt.Errorf("serve: manifest shard %d has negative counts", i)
+		case len(s.Segments) > maxManifestSegments:
+			return fmt.Errorf("serve: manifest shard %d has %d segments", i, len(s.Segments))
+		case len(s.Tombs) > maxManifestTombs:
+			return fmt.Errorf("serve: manifest shard %d has %d tombstones", i, len(s.Tombs))
 		}
 		files[s.File] = true
 		docs += s.Docs
+		for j, seg := range s.Segments {
+			switch {
+			case !plainName(seg.File):
+				return fmt.Errorf("serve: manifest shard %d segment %d has a bad file name", i, j)
+			case files[seg.File]:
+				return fmt.Errorf("serve: manifest shard %d repeats file %q", i, seg.File)
+			case seg.Docs < 0:
+				return fmt.Errorf("serve: manifest shard %d segment %d has negative docs", i, j)
+			}
+			files[seg.File] = true
+		}
+		for j, d := range s.Tombs {
+			if d < 0 || (j > 0 && d <= s.Tombs[j-1]) {
+				return fmt.Errorf("serve: manifest shard %d tombstones not strictly ascending at %d", i, j)
+			}
+		}
 	}
 	if docs != m.TotalDocs {
 		return fmt.Errorf("serve: manifest shards sum to %d docs, header says %d", docs, m.TotalDocs)
@@ -82,12 +137,20 @@ func (m *Manifest) Validate() error {
 }
 
 // Encode serializes the manifest: magic, then uvarint counts and
-// length-prefixed strings. The format is versioned by the magic alone.
+// length-prefixed strings. The format is versioned by the magic alone: v1
+// bytes when no shard carries live state (identical to what earlier builds
+// wrote and read), v2 otherwise, which appends each shard's segment list and
+// delta-coded tombstone IDs.
 func (m *Manifest) Encode() ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	buf := []byte(manifestMagic)
+	live := m.liveState()
+	magic := manifestMagic
+	if live {
+		magic = manifestMagicV2
+	}
+	buf := []byte(magic)
 	buf = binary.AppendUvarint(buf, uint64(m.NumShards))
 	buf = binary.AppendUvarint(buf, uint64(m.TotalDocs))
 	buf = binary.AppendUvarint(buf, uint64(m.VocabSize))
@@ -96,13 +159,33 @@ func (m *Manifest) Encode() ([]byte, error) {
 		buf = appendString(buf, s.File)
 		buf = binary.AppendUvarint(buf, uint64(s.Docs))
 		buf = binary.AppendUvarint(buf, uint64(s.Postings))
+		if !live {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(s.Segments)))
+		for _, seg := range s.Segments {
+			buf = appendString(buf, seg.File)
+			buf = binary.AppendUvarint(buf, uint64(seg.Docs))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(s.Tombs)))
+		prev := int64(0)
+		for _, d := range s.Tombs {
+			buf = binary.AppendUvarint(buf, uint64(d-prev))
+			prev = d
+		}
 	}
 	return buf, nil
 }
 
-// DecodeManifest parses and validates a manifest written by Encode.
+// DecodeManifest parses and validates a manifest written by Encode, either
+// version.
 func DecodeManifest(data []byte) (*Manifest, error) {
-	if len(data) < len(manifestMagic) || string(data[:len(manifestMagic)]) != manifestMagic {
+	live := false
+	switch {
+	case len(data) >= len(manifestMagic) && string(data[:len(manifestMagic)]) == manifestMagic:
+	case len(data) >= len(manifestMagicV2) && string(data[:len(manifestMagicV2)]) == manifestMagicV2:
+		live = true
+	default:
 		return nil, fmt.Errorf("serve: not a shard manifest")
 	}
 	r := &byteReader{buf: data[len(manifestMagic):]}
@@ -117,10 +200,35 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	if r.err == nil {
 		m.Shards = make([]ShardInfo, m.NumShards)
 		for i := range m.Shards {
-			m.Shards[i].File = r.string()
-			m.Shards[i].Docs = int64(r.uvarint())
-			m.Shards[i].Postings = int64(r.uvarint())
+			s := &m.Shards[i]
+			s.File = r.string()
+			s.Docs = int64(r.uvarint())
+			s.Postings = int64(r.uvarint())
+			if !live || r.err != nil {
+				continue
+			}
+			nSegs := r.uvarint()
+			if nSegs > maxManifestSegments {
+				return nil, fmt.Errorf("serve: manifest shard %d has %d segments", i, nSegs)
+			}
+			for j := uint64(0); j < nSegs && r.err == nil; j++ {
+				s.Segments = append(s.Segments, SegmentInfo{File: r.string(), Docs: int64(r.uvarint())})
+			}
+			nTombs := r.uvarint()
+			if nTombs > maxManifestTombs {
+				return nil, fmt.Errorf("serve: manifest shard %d has %d tombstones", i, nTombs)
+			}
+			prev := int64(0)
+			for j := uint64(0); j < nTombs && r.err == nil; j++ {
+				prev += int64(r.uvarint())
+				s.Tombs = append(s.Tombs, prev)
+			}
 		}
+	}
+	// A v2 manifest without live state would re-encode as v1; reject it so
+	// encode(decode(x)) stays the identity on every accepted input.
+	if r.err == nil && live && !m.liveState() {
+		return nil, fmt.Errorf("serve: v2 manifest carries no live state")
 	}
 	switch {
 	case r.err != nil:

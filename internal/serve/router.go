@@ -24,19 +24,33 @@ import (
 // router-side lookups, one RPC round trip per participating shard, the
 // slowest shard's sub-query (the scatter runs in parallel on the modeled
 // shard servers, and on host goroutines), and the gather merge.
+//
+// Live ingestion routes through the router too: an add is tokenized and
+// signature-projected once at the router (the vocabulary and projection are
+// replicated), assigned the next global document ID, and shipped to shard
+// ID mod S; the router folds the new terms into its replicated DF tables so
+// fan-out pruning stays exact for ingested documents. Deletes route to the
+// owning shard by the same rule.
 type Router struct {
 	shards []*Server
 	model  *simtime.Model
 	cfg    Config
 
-	// Replicated router-side tables: the query vocabulary, the global DF
-	// (element-wise sum of the shard DFs), and each shard's own DF summary.
+	// Replicated router-side tables, guarded by dfMu: the query vocabulary
+	// (immutable), the global DF (element-wise sum of the shard DFs plus
+	// everything ingested), each shard's base DF summary, and the per-shard
+	// live DF overlay maintained as adds route through. Deleted documents
+	// stay counted until an offline rebase — pruning only needs "may hold
+	// postings", so the overcount is always safe.
 	terms    map[string]int64
 	termList []string
+	dfMu     sync.RWMutex
 	df       []int64
 	shardDF  [][]int64
+	liveDF   []map[int64]int64
 
 	totalDocs int64
+	nextDoc   atomic.Int64
 	k         int
 	themes    []core.Theme
 
@@ -75,10 +89,12 @@ func NewRouter(shards []*Store, cfg Config) (*Router, error) {
 		termList: first.TermList,
 		df:       make([]int64, first.VocabSize),
 		shardDF:  make([][]int64, len(shards)),
+		liveDF:   make([]map[int64]int64, len(shards)),
 		k:        first.K,
 		themes:   first.Themes,
 		sims:     newLRU[simKey, []query.Hit](cfg.SimCacheEntries),
 	}
+	nextDoc := int64(0)
 	for i, st := range shards {
 		if st.VocabSize != first.VocabSize {
 			return nil, fmt.Errorf("serve: shard %d vocabulary %d differs from shard 0's %d", i, st.VocabSize, first.VocabSize)
@@ -89,11 +105,30 @@ func NewRouter(shards []*Store, cfg Config) (*Router, error) {
 		}
 		r.shards[i] = srv
 		r.shardDF[i] = st.DF
+		r.liveDF[i] = make(map[int64]int64)
 		for t, d := range st.DF {
 			r.df[t] += d
 		}
 		r.totalDocs += st.TotalDocs
+		nextDoc += st.TotalDocs
+		// A shard loaded with live segments (a persisted live set) feeds its
+		// segment DF summaries into the router tables, exactly as if the
+		// adds had routed through this router.
+		v := st.viewNow()
+		for _, seg := range v.segs {
+			for t, c := range seg.Posts.Count {
+				if c > 0 {
+					r.liveDF[i][int64(t)] += c
+					r.df[t] += c
+				}
+			}
+			nextDoc += seg.NumDocs()
+			if max := seg.MaxDoc() + 1; max > nextDoc {
+				nextDoc = max
+			}
+		}
 	}
+	r.nextDoc.Store(nextDoc)
 	return r, nil
 }
 
@@ -125,8 +160,8 @@ func (r *Router) NewSession() *RouterSession {
 	return &RouterSession{r: r, ID: r.nextSession.Add(1), subs: subs}
 }
 
-// Stats aggregates the shard servers' cache/traffic counters and adds the
-// router's fan-out block. Queries counts routed interactions; the shard
+// Stats aggregates the shard servers' cache/traffic/ingest counters and adds
+// the router's fan-out block. Queries counts routed interactions; the shard
 // sub-queries they scattered into are ShardQueries.
 func (r *Router) Stats() Stats {
 	var out Stats
@@ -140,6 +175,12 @@ func (r *Router) Stats() Stats {
 		out.PartialFetches += st.PartialFetches
 		out.BlocksDecoded += st.BlocksDecoded
 		out.BlocksSkipped += st.BlocksSkipped
+		out.SegmentFetches += st.SegmentFetches
+		out.SimRefreshes += st.SimRefreshes
+		out.Adds += st.Adds
+		out.Deletes += st.Deletes
+		out.Seals += st.Seals
+		out.Compactions += st.Compactions
 	}
 	out.Queries = r.queries.Load()
 	out.FanOuts = r.fanOuts.Load()
@@ -152,8 +193,21 @@ func (r *Router) Stats() Stats {
 	return out
 }
 
-// TopTerms ranks the global (shard-summed) document frequencies.
-func (r *Router) TopTerms(n int) []string { return topTerms(r.df, r.termList, n) }
+// TopTerms ranks the global (shard-summed plus ingested) document
+// frequencies.
+func (r *Router) TopTerms(n int) []string {
+	r.dfMu.RLock()
+	df := append([]int64(nil), r.df...)
+	r.dfMu.RUnlock()
+	return topTerms(df, r.termList, n)
+}
+
+// globalDF reads one term's replicated global DF.
+func (r *Router) globalDF(t int64) int64 {
+	r.dfMu.RLock()
+	defer r.dfMu.RUnlock()
+	return r.df[t]
+}
 
 // SampleDocs merges the shards' deterministic similarity targets in
 // ascending document order.
@@ -248,15 +302,67 @@ func (rs *RouterSession) scatter(ids []int, reqBytes float64, fn func(shard int,
 	return rpc + slowest
 }
 
-// liveShards returns the shards whose DF summary admits the term.
+// liveShards returns the shards whose DF summary — base or live overlay —
+// admits the term.
 func (r *Router) liveShards(t int64) []int {
+	r.dfMu.RLock()
+	defer r.dfMu.RUnlock()
 	out := make([]int, 0, len(r.shards))
 	for i := range r.shards {
-		if r.shardDF[i][t] > 0 {
+		if r.shardDF[i][t] > 0 || r.liveDF[i][t] > 0 {
 			out = append(out, i)
 		}
 	}
 	return out
+}
+
+// andShards returns the shards whose DF summaries admit every term — a
+// document can only satisfy a conjunction on a shard holding postings for
+// all of them.
+func (r *Router) andShards(ids []int64) []int {
+	r.dfMu.RLock()
+	defer r.dfMu.RUnlock()
+	out := make([]int, 0, len(r.shards))
+	for i := range r.shards {
+		all := true
+		for _, t := range ids {
+			if r.shardDF[i][t] == 0 && r.liveDF[i][t] == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// orShards returns the shards where at least one term may have postings.
+func (r *Router) orShards(ids []int64) []int {
+	r.dfMu.RLock()
+	defer r.dfMu.RUnlock()
+	out := make([]int, 0, len(r.shards))
+	for i := range r.shards {
+		for _, t := range ids {
+			if r.shardDF[i][t] > 0 || r.liveDF[i][t] > 0 {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// epochSum sums the shard stores' serving epochs; it strictly grows on every
+// published change anywhere in the set, so it versions the router's merged
+// similarity cache.
+func (r *Router) epochSum() uint64 {
+	var sum uint64
+	for _, s := range r.shards {
+		sum += s.store.viewNow().epoch
+	}
+	return sum
 }
 
 // allShards lists every shard, for interactions partitioning cannot prune.
@@ -287,7 +393,7 @@ func (rs *RouterSession) TermDocs(term string) []query.Posting {
 	if ok {
 		cost += r.model.LocalCopyCost(8)
 	}
-	if !ok || r.df[t] == 0 {
+	if !ok || r.globalDF(t) == 0 {
 		r.shortCircuits.Add(1)
 		rs.charge(cost)
 		return nil
@@ -304,8 +410,9 @@ func (rs *RouterSession) TermDocs(term string) []query.Posting {
 }
 
 // DF returns a term's global document frequency (0 when absent) — a
-// router-local read of the replicated shard-summed DF vector, never a
-// fan-out.
+// router-local read of the replicated shard-summed DF vector (live ingests
+// included), never a fan-out. Like the single-store DF, deleted documents
+// stay counted until their postings are actually dropped.
 func (rs *RouterSession) DF(term string) int64 {
 	r := rs.r
 	cost := rs.lookupCost(term)
@@ -315,7 +422,7 @@ func (rs *RouterSession) DF(term string) int64 {
 		return 0
 	}
 	rs.charge(cost + r.model.LocalCopyCost(8))
-	return r.df[t]
+	return r.globalDF(t)
 }
 
 // And returns the documents containing every term, sorted by document ID.
@@ -338,7 +445,7 @@ func (rs *RouterSession) And(terms ...string) []int64 {
 		if ok {
 			cost += r.model.LocalCopyCost(8)
 		}
-		if !ok || r.df[t] == 0 {
+		if !ok || r.globalDF(t) == 0 {
 			r.shortCircuits.Add(1)
 			rs.charge(cost)
 			return nil
@@ -347,19 +454,7 @@ func (rs *RouterSession) And(terms ...string) []int64 {
 	}
 	// Per-shard pruning costs one summary probe per (term, shard).
 	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.shards)))
-	live := make([]int, 0, len(r.shards))
-	for i := range r.shards {
-		all := true
-		for _, t := range ids {
-			if r.shardDF[i][t] == 0 {
-				all = false
-				break
-			}
-		}
-		if all {
-			live = append(live, i)
-		}
-	}
+	live := r.andShards(ids)
 	if len(live) == 0 {
 		r.shortCircuits.Add(1)
 		rs.charge(cost)
@@ -393,24 +488,16 @@ func (rs *RouterSession) Or(terms ...string) []int64 {
 			continue
 		}
 		cost += r.model.LocalCopyCost(8)
-		if r.df[t] > 0 {
+		if r.globalDF(t) > 0 {
 			ids = append(ids, t)
 		}
 	}
 	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.shards)))
-	live := make([]int, 0, len(r.shards))
-	for i := range r.shards {
-		for _, t := range ids {
-			if r.shardDF[i][t] > 0 {
-				live = append(live, i)
-				break
-			}
-		}
-	}
+	live := r.orShards(ids)
 	if len(live) == 0 {
 		r.shortCircuits.Add(1)
 		rs.charge(cost)
-		return nil
+		return []int64{} // query.Engine.Or returns an empty, non-nil union
 	}
 	parts := make([][]int64, len(r.shards))
 	cost += rs.scatter(live, reqBytes(terms), func(shard int, sub *Session) float64 {
@@ -420,8 +507,8 @@ func (rs *RouterSession) Or(terms ...string) []int64 {
 	out := mergeDocs(parts)
 	cost += r.mergeCost(float64(len(out)), 8)
 	rs.charge(cost)
-	if len(out) == 0 {
-		return nil
+	if out == nil {
+		out = []int64{}
 	}
 	return out
 }
@@ -438,7 +525,10 @@ func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
 	}
 	r := rs.r
 	m := r.model
-	key := simKey{doc: doc, k: k}
+	// The merged-answer cache versions itself on the sum of the shard
+	// epochs: any seal, delete or signature swap anywhere in the set moves
+	// the sum, so stale merges age out like single-store entries.
+	key := simKey{epoch: r.epochSum(), doc: doc, k: k}
 	r.smu.Lock()
 	hits, ok := r.sims.get(key)
 	r.smu.Unlock()
@@ -490,6 +580,87 @@ func (rs *RouterSession) ThemeDocs(cluster int) []int64 {
 	cost += r.mergeCost(float64(len(out)), 8)
 	rs.charge(cost)
 	return out
+}
+
+// Add ingests one document through the router: tokenized and
+// signature-projected once at the router against the replicated vocabulary
+// and projection, assigned the next global document ID, and routed to shard
+// ID mod S. The interaction is charged the router-side prepare, the RPC
+// round trip, and the shard's append (the shard sub-session accounts it
+// too, like any other sub-query). The router folds the document's terms into
+// its replicated DF tables so later pruning sees them.
+func (rs *RouterSession) Add(text string) (int64, error) {
+	r := rs.r
+	st := r.shards[0].store
+	counts, sig, prep := st.prepareDoc(text)
+	doc := r.nextDoc.Add(1) - 1
+	shard := ShardOf(doc, len(r.shards))
+	sub := rs.subs[shard]
+	appendCost, err := sub.s.store.AddCounts(doc, counts, sig)
+	sub.charge(appendCost)
+	cost := prep + r.model.RPCRoundTrip(float64(len(text))+8, 8) + appendCost
+	rs.charge(cost)
+	if err != nil {
+		return 0, err
+	}
+	r.dfMu.Lock()
+	for t := range counts {
+		r.liveDF[shard][t]++
+		r.df[t]++
+	}
+	r.dfMu.Unlock()
+	return doc, nil
+}
+
+// Delete tombstones a document on its owning shard (ID mod S). The
+// replicated DF tables are left alone — deleted documents stay counted until
+// an offline rebase, which only ever over-admits a shard to a fan-out.
+func (rs *RouterSession) Delete(doc int64) error {
+	r := rs.r
+	if doc < 0 {
+		return fmt.Errorf("serve: delete: unknown document %d", doc)
+	}
+	shard := ShardOf(doc, len(r.shards))
+	sub := rs.subs[shard]
+	cost, err := sub.s.store.Delete(doc)
+	sub.charge(cost)
+	rs.charge(r.model.RPCRoundTrip(16, 8) + cost)
+	return err
+}
+
+// FlushLive makes pending adds visible on every shard.
+func (r *Router) FlushLive() error {
+	for i, s := range r.shards {
+		if _, err := s.store.Flush(); err != nil {
+			return fmt.Errorf("serve: flush shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CompactLive merges sealed segments on every shard.
+func (r *Router) CompactLive() error {
+	for i, s := range r.shards {
+		if _, err := s.store.Compact(); err != nil {
+			return fmt.Errorf("serve: compact shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SaveLive persists the whole live set: pending adds flushed, compaction
+// drained, then every shard's base store, sealed segments and tombstones
+// written behind an extended (INSPSHARDS2) manifest at path.
+func (r *Router) SaveLive(path string) error {
+	if err := r.FlushLive(); err != nil {
+		return err
+	}
+	stores := make([]*Store, len(r.shards))
+	for i, s := range r.shards {
+		s.store.WaitCompaction()
+		stores[i] = s.store
+	}
+	return SaveLiveSet(path, stores)
 }
 
 // Near returns the documents whose ThemeView projection falls within radius

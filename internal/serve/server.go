@@ -9,7 +9,7 @@ import (
 	"inspire/internal/core"
 	"inspire/internal/postings"
 	"inspire/internal/query"
-	"inspire/internal/signature"
+	"inspire/internal/segment"
 )
 
 // Config tunes the server. The zero value selects documented defaults.
@@ -36,7 +36,8 @@ func (cfg Config) withDefaults() Config {
 
 // Stats is a snapshot of the server-wide counters. The fan-out block is
 // populated only by a Router over a sharded store set; a single-store Server
-// leaves it zero.
+// leaves it zero. The ingest block counts live-ingestion activity on the
+// underlying store(s).
 type Stats struct {
 	Queries uint64 // interactions served across all sessions
 
@@ -49,15 +50,22 @@ type Stats struct {
 	PartialFetches uint64 // And intersections served straight off compressed blocks
 	BlocksDecoded  uint64 // posting blocks decoded during partial fetches
 	BlocksSkipped  uint64 // posting blocks the skip directory ruled out untouched
+	SegmentFetches uint64 // posting reads answered from sealed delta segments
 
 	SimHits      uint64 // similarity queries answered from the result cache
 	SimMisses    uint64 // similarity queries that scanned the signatures
+	SimRefreshes uint64 // misses patched forward from an older epoch's answer
 	SimEvictions uint64
 
 	FanOuts       uint64 // router scatter rounds issued
 	ShardQueries  uint64 // sub-queries executed on shard servers
 	ShardsPruned  uint64 // shard sub-queries skipped by zero-DF pruning
 	ShortCircuits uint64 // router queries answered with no fan-out at all
+
+	Adds        uint64 // documents ingested through the live path
+	Deletes     uint64 // documents tombstoned
+	Seals       uint64 // deltas sealed into segments
+	Compactions uint64 // segment merges (and rebases) completed
 }
 
 // PostingHitRate returns hits/(hits+misses), counting coalesced joins as
@@ -78,9 +86,19 @@ func (s Stats) SimHitRate() float64 {
 	return float64(s.SimHits) / float64(s.SimHits+s.SimMisses)
 }
 
-// postingVal is one cached posting list (views into the store, immutable).
+// postingVal is one cached base posting list (views into the store,
+// immutable).
 type postingVal struct {
 	docs, freqs []int64
+}
+
+// postKey keys the posting cache: the base generation plus the term. Epoch
+// swaps (seals, deletes, signature swaps, compactions) leave the base alone,
+// so cached decoded lists survive them; only a base rewrite (Rebase) bumps
+// the generation and retires the old entries.
+type postKey struct {
+	gen uint64
+	t   int64
 }
 
 // flight is one in-progress posting fetch; concurrent requests for the same
@@ -91,16 +109,20 @@ type flight struct {
 	cost float64
 }
 
-// simKey keys the similarity cache.
+// simKey keys the similarity caches. The epoch makes every published change
+// (ingest seal, delete, signature swap) a natural invalidation: old-epoch
+// entries simply age out of the LRU.
 type simKey struct {
-	doc int64
-	k   int
+	epoch uint64
+	doc   int64
+	k     int
 }
 
 // Querier is the session surface shared by single-store Sessions and sharded
 // RouterSessions: one analyst's sequential interaction stream with its own
-// virtual-latency account. A Querier's methods must be called from one
-// goroutine at a time; distinct Queriers are fully concurrent.
+// virtual-latency account, including the live-ingestion verbs. A Querier's
+// methods must be called from one goroutine at a time; distinct Queriers are
+// fully concurrent.
 type Querier interface {
 	TermDocs(term string) []query.Posting
 	DF(term string) int64
@@ -109,6 +131,8 @@ type Querier interface {
 	Similar(doc int64, k int) ([]query.Hit, error)
 	ThemeDocs(cluster int) []int64
 	Near(x, y, radius float64) []int64
+	Add(text string) (int64, error)
+	Delete(doc int64) error
 	Stats() SessionStats
 }
 
@@ -124,18 +148,27 @@ type Service interface {
 	Themes() []core.Theme
 }
 
+// Liver is the live-maintenance surface of a Service: making pending adds
+// visible, compacting segments, and persisting the live state. The daemon
+// exposes these as operator commands.
+type Liver interface {
+	FlushLive() error
+	CompactLive() error
+	SaveLive(path string) error
+}
+
 // Server answers concurrent sessions against one Store. All methods are safe
-// for concurrent use. The signature set is captured at construction: a
-// Store.ApplySignatures after NewServer affects only servers built later, so
-// one server's similarity answers and cache always agree.
+// for concurrent use. Sessions resolve the store's current epoch view once
+// per interaction, so ingestion, deletes, compaction and signature swaps
+// published through the store become visible between interactions — never in
+// the middle of one.
 type Server struct {
 	store *Store
 	cfg   Config
-	sigs  *signature.Set
 
 	pmu      sync.Mutex
-	postings *lru[int64, postingVal]
-	flights  map[int64]*flight
+	postings *lru[postKey, postingVal]
+	flights  map[postKey]*flight
 
 	smu  sync.Mutex
 	sims *lru[simKey, []query.Hit]
@@ -149,8 +182,10 @@ type Server struct {
 	partialFetches   atomic.Uint64
 	blocksDecoded    atomic.Uint64
 	blocksSkipped    atomic.Uint64
+	segmentFetches   atomic.Uint64
 	simHits          atomic.Uint64
 	simMisses        atomic.Uint64
+	simRefreshes     atomic.Uint64
 	simEvictions     atomic.Uint64
 
 	nextSession atomic.Int64
@@ -168,14 +203,13 @@ func NewServer(st *Store, cfg Config) (*Server, error) {
 	return &Server{
 		store:    st,
 		cfg:      cfg,
-		sigs:     st.Signatures(),
-		postings: newLRU[int64, postingVal](cfg.PostingCacheEntries),
-		flights:  make(map[int64]*flight),
+		postings: newLRU[postKey, postingVal](cfg.PostingCacheEntries),
+		flights:  make(map[postKey]*flight),
 		sims:     newLRU[simKey, []query.Hit](cfg.SimCacheEntries),
 	}, nil
 }
 
-// Store returns the underlying snapshot.
+// Store returns the underlying store.
 func (s *Server) Store() *Store { return s.store }
 
 // NewQuerier opens a session; it is NewSession behind the Service surface.
@@ -193,13 +227,36 @@ func (s *Server) NumThemes() int { return s.store.K }
 // Themes returns the store's discovered themes.
 func (s *Server) Themes() []core.Theme { return s.store.Themes }
 
-// signature returns the signature vector the server captured for doc.
-func (s *Server) signature(doc int64) ([]float64, bool) {
-	return s.sigs.Vec(doc)
+// FlushLive makes every pending add visible (Store.Flush).
+func (s *Server) FlushLive() error {
+	_, err := s.store.Flush()
+	return err
 }
 
-// Stats snapshots the server counters.
+// CompactLive merges the store's sealed segments now (Store.Compact).
+func (s *Server) CompactLive() error {
+	_, err := s.store.Compact()
+	return err
+}
+
+// SaveLive persists the store with its live state folded in: pending adds
+// are flushed, compaction drained, the segments and tombstones rebased into
+// the base, and the result written as a single INSPSTORE2 file.
+func (s *Server) SaveLive(path string) error {
+	if err := s.store.Rebase(); err != nil {
+		return err
+	}
+	return s.store.SaveFile(path)
+}
+
+// signature returns the signature vector of doc in the store's current view.
+func (s *Server) signature(doc int64) ([]float64, bool) {
+	return s.store.viewNow().sigVec(doc)
+}
+
+// Stats snapshots the server counters plus the store's ingest counters.
 func (s *Server) Stats() Stats {
+	live := &s.store.live
 	return Stats{
 		Queries:          s.queries.Load(),
 		PostingHits:      s.postingHits.Load(),
@@ -210,9 +267,15 @@ func (s *Server) Stats() Stats {
 		PartialFetches:   s.partialFetches.Load(),
 		BlocksDecoded:    s.blocksDecoded.Load(),
 		BlocksSkipped:    s.blocksSkipped.Load(),
+		SegmentFetches:   s.segmentFetches.Load(),
 		SimHits:          s.simHits.Load(),
 		SimMisses:        s.simMisses.Load(),
+		SimRefreshes:     s.simRefreshes.Load(),
 		SimEvictions:     s.simEvictions.Load(),
+		Adds:             live.adds.Load(),
+		Deletes:          live.deletes.Load(),
+		Seals:            live.seals.Load(),
+		Compactions:      live.compactions.Load(),
 	}
 }
 
@@ -225,15 +288,15 @@ func (s *Server) NewSession() *Session {
 
 // --- posting fetch path ---------------------------------------------------
 
-// wireCost models one uncached posting fetch: two descriptor reads (count,
-// offset) plus the posting payload, one-sided against the owner or local
-// memory copies when the front-end owns the term. A compressed store moves
-// the block-coded bytes — several times fewer — and the front-end pays the
-// varint+delta decode in flops.
-func (s *Server) wireCost(t int64, n int64) float64 {
+// wireCost models one uncached base posting fetch: two descriptor reads
+// (count, offset) plus the posting payload, one-sided against the owner or
+// local memory copies when the front-end owns the term. A compressed store
+// moves the block-coded bytes — several times fewer — and the front-end pays
+// the varint+delta decode in flops.
+func (s *Server) wireCost(b *baseView, t int64, n int64) float64 {
 	m := s.store.Model
 	remote := s.store.Owner(t) != s.cfg.FrontRank
-	if ps := s.store.Posts; ps != nil {
+	if ps := b.posts; ps != nil {
 		docB, freqB := ps.TermBytes(t)
 		payload := float64(docB + freqB)
 		// Varint+delta decode streams at memory rate: charged as writing
@@ -251,10 +314,10 @@ func (s *Server) wireCost(t int64, n int64) float64 {
 }
 
 // partialCost models a block-skipping intersection against term t's
-// compressed list: the skip-directory probe plus only the decoded doc blocks
-// move (ruled-out blocks cost nothing), decode runs at memory rate over the
-// decoded blocks, and the merge walk covers the candidates plus the decoded
-// postings.
+// compressed base list: the skip-directory probe plus only the decoded doc
+// blocks move (ruled-out blocks cost nothing), decode runs at memory rate
+// over the decoded blocks, and the merge walk covers the candidates plus the
+// decoded postings.
 func (s *Server) partialCost(t int64, accLen int, ist postings.IntersectStats) float64 {
 	m := s.store.Model
 	dir := 8 + 24*float64(ist.BlocksDecoded+ist.BlocksSkipped)
@@ -272,17 +335,27 @@ func (s *Server) hitCost(n int) float64 {
 	return s.store.Model.LocalCopyCost(16 * float64(n))
 }
 
-// getPostings returns term t's postings and the virtual cost of obtaining
-// them, consulting the LRU cache and coalescing concurrent misses for the
-// same term into one modeled transfer.
-func (s *Server) getPostings(t int64) (postingVal, float64) {
+// segCost models reading term t's postings from a sealed segment: segments
+// live in front-end memory, so the compressed bytes move and decode at
+// memory rate.
+func (s *Server) segCost(seg *segment.Segment, t int64, n int64) float64 {
+	m := s.store.Model
+	docB, freqB := seg.Posts.TermBytes(t)
+	return m.LocalCopyCost(float64(docB+freqB)) + m.LocalCopyCost(16*float64(n))
+}
+
+// getPostings returns term t's base postings under the view's generation and
+// the virtual cost of obtaining them, consulting the LRU cache and
+// coalescing concurrent misses for the same term into one modeled transfer.
+func (s *Server) getPostings(v *view, t int64) (postingVal, float64) {
+	key := postKey{gen: v.gen, t: t}
 	s.pmu.Lock()
-	if v, ok := s.postings.get(t); ok {
+	if val, ok := s.postings.get(key); ok {
 		s.pmu.Unlock()
 		s.postingHits.Add(1)
-		return v, s.hitCost(len(v.docs))
+		return val, s.hitCost(len(val.docs))
 	}
-	if f, ok := s.flights[t]; ok {
+	if f, ok := s.flights[key]; ok {
 		s.pmu.Unlock()
 		s.coalesced.Add(1)
 		<-f.done
@@ -291,22 +364,22 @@ func (s *Server) getPostings(t int64) (postingVal, float64) {
 		return f.val, f.cost
 	}
 	f := &flight{done: make(chan struct{})}
-	s.flights[t] = f
+	s.flights[key] = f
 	s.pmu.Unlock()
 
 	s.postingMisses.Add(1)
-	docs, freqs := s.store.Postings(t)
+	docs, freqs := v.base.postings(t)
 	f.val = postingVal{docs: docs, freqs: freqs}
-	f.cost = s.wireCost(t, int64(len(docs)))
+	f.cost = s.wireCost(v.base, t, int64(len(docs)))
 	if s.store.Owner(t) != s.cfg.FrontRank {
 		s.remoteGets.Add(1)
 	}
 
 	s.pmu.Lock()
-	if s.postings.add(t, f.val) {
+	if s.postings.add(key, f.val) {
 		s.postingEvictions.Add(1)
 	}
-	delete(s.flights, t)
+	delete(s.flights, key)
 	s.pmu.Unlock()
 	close(f.done)
 	return f.val, f.cost
@@ -315,22 +388,31 @@ func (s *Server) getPostings(t int64) (postingVal, float64) {
 // cachedPostings peeks the LRU without fetching on a miss. The And path uses
 // it so cache hits keep their decoded fast path while misses intersect
 // straight off the compressed blocks instead of decoding whole lists.
-func (s *Server) cachedPostings(t int64) (postingVal, float64, bool) {
+func (s *Server) cachedPostings(v *view, t int64) (postingVal, float64, bool) {
 	s.pmu.Lock()
-	v, ok := s.postings.get(t)
+	val, ok := s.postings.get(postKey{gen: v.gen, t: t})
 	s.pmu.Unlock()
 	if !ok {
 		return postingVal{}, 0, false
 	}
 	s.postingHits.Add(1)
-	return v, s.hitCost(len(v.docs)), true
+	return val, s.hitCost(len(val.docs)), true
+}
+
+// segPostings reads term t's postings from one segment, counting and
+// charging the fetch.
+func (s *Server) segPostings(seg *segment.Segment, t int64) (docs, freqs []int64, cost float64) {
+	docs, freqs = seg.Posts.Postings(t)
+	s.segmentFetches.Add(1)
+	return docs, freqs, s.segCost(seg, t, int64(len(docs)))
 }
 
 // --- Session --------------------------------------------------------------
 
 // Session is one analyst's connection: a sequential stream of interactions
 // with its own virtual-latency account. Concurrent sessions share the
-// server's caches and coalesce their index traffic.
+// server's caches and coalesce their index traffic. Each interaction
+// resolves the store's current epoch view once and answers entirely from it.
 type Session struct {
 	s    *Server
 	ID   int64
@@ -406,150 +488,321 @@ func (ss *Session) lookupCost(term string) float64 {
 	return ss.s.store.Model.LocalCopyCost(float64(len(term) + 8))
 }
 
-// TermDocs returns the posting list of a term (sorted by document ID), or
-// nil when the term is unknown.
-func (ss *Session) TermDocs(term string) []query.Posting {
-	cost := ss.lookupCost(term)
-	t, ok := ss.s.store.TermID(term)
-	if !ok {
-		ss.charge(cost)
-		return nil
+// dfCost models reading a term's DF descriptors: the replicated base DF plus
+// one summary probe per sealed segment.
+func (ss *Session) dfCost(v *view) float64 {
+	return ss.s.store.Model.LocalCopyCost(8 * float64(1+len(v.segs)))
+}
+
+// filterTombs drops tombstoned docs in place; nil when nothing survives.
+func filterTombs(docs []int64, tombs map[int64]bool) []int64 {
+	if len(tombs) == 0 || len(docs) == 0 {
+		return docs
 	}
-	v, fetchCost := ss.s.getPostings(t)
-	ss.charge(cost + fetchCost)
-	out := make([]query.Posting, len(v.docs))
-	for i := range v.docs {
-		out[i] = query.Posting{Doc: v.docs[i], Freq: v.freqs[i]}
+	out := docs[:0]
+	for _, d := range docs {
+		if !tombs[d] {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
-// DF returns a term's document frequency (0 when absent).
+// TermDocs returns the posting list of a term (sorted by document ID), or
+// nil when the term is unknown or fully deleted — base and ingested-segment
+// postings merged, tombstones filtered.
+func (ss *Session) TermDocs(term string) []query.Posting {
+	v := ss.s.store.viewNow()
+	cost := ss.lookupCost(term)
+	t, ok := ss.s.store.TermID(term)
+	if !ok || v.df(t) == 0 {
+		ss.charge(cost)
+		return nil
+	}
+	cost += ss.dfCost(v)
+	lists := make([]plist, 0, 1+len(v.segs))
+	if v.base.df[t] > 0 {
+		val, c := ss.s.getPostings(v, t)
+		cost += c
+		lists = append(lists, plist{val.docs, val.freqs})
+	}
+	for _, seg := range v.segs {
+		if seg.Posts.Count[t] == 0 {
+			continue
+		}
+		d, f, c := ss.s.segPostings(seg, t)
+		cost += c
+		lists = append(lists, plist{d, f})
+	}
+	var docs, freqs []int64
+	if len(lists) == 1 && len(v.tombs) == 0 {
+		docs, freqs = lists[0].docs, lists[0].freqs
+	} else {
+		docs, freqs = mergePlists(lists, v.tombs)
+		cost += ss.s.store.Model.LocalCopyCost(16 * float64(len(docs)))
+	}
+	ss.charge(cost)
+	if len(docs) == 0 {
+		return nil
+	}
+	out := make([]query.Posting, len(docs))
+	for i := range docs {
+		out[i] = query.Posting{Doc: docs[i], Freq: freqs[i]}
+	}
+	return out
+}
+
+// DF returns a term's document frequency (0 when absent): the base DF plus
+// every sealed segment's summary. Tombstoned documents stay counted until
+// compaction or Rebase drops their postings — the standard LSM overcount.
 func (ss *Session) DF(term string) int64 {
+	v := ss.s.store.viewNow()
 	cost := ss.lookupCost(term)
 	t, ok := ss.s.store.TermID(term)
 	if !ok {
 		ss.charge(cost)
 		return 0
 	}
-	// DF is replicated to the front-end at snapshot time, like the
-	// vocabulary: a local read regardless of the term's producing owner.
-	cost += ss.s.store.Model.LocalCopyCost(8)
-	ss.charge(cost)
-	return ss.s.store.DF[t]
+	ss.charge(cost + ss.dfCost(v))
+	return v.df(t)
 }
 
 // And returns the documents containing every term, sorted by document ID.
 //
-// The conjunction is doomed the moment any term is unknown or empty, so the
-// vocabulary and DF descriptors are consulted for every term before a single
-// posting list moves — a doomed And costs only those lookups. Live terms are
-// intersected rarest-first: the rarest list is fetched decoded (through the
-// LRU), and each larger list is then intersected in place — from the decoded
-// cache on a hit; block-skippingly against the compressed store when the
-// candidate set is sparse relative to the list (never decoding the blocks
-// the skip directory rules out); through a full cached-and-coalesced fetch
-// when it is dense and would decode most blocks anyway. The loop exits
-// before touching the remaining (larger) lists once the intersection empties.
+// The conjunction is doomed the moment any term is unknown or empty in the
+// whole view, so the vocabulary and DF descriptors are consulted for every
+// term before a single posting list moves — a doomed And costs only those
+// lookups. Every document lives either in the base or in exactly one sealed
+// segment, so the conjunction decomposes: the base part intersects
+// rarest-first with the block-skipping machinery (see below), each segment
+// whose DF summary admits every term intersects its own small lists, and the
+// disjoint results merge, tombstones filtered.
+//
+// Base part: the rarest list is fetched decoded (through the LRU), and each
+// larger list is then intersected in place — from the decoded cache on a
+// hit; block-skippingly against the compressed store when the candidate set
+// is sparse relative to the list (never decoding the blocks the skip
+// directory rules out); through a full cached-and-coalesced fetch when it is
+// dense and would decode most blocks anyway. The loop exits before touching
+// the remaining (larger) lists once the intersection empties.
 func (ss *Session) And(terms ...string) []int64 {
 	if len(terms) == 0 {
 		return nil
 	}
 	st := ss.s.store
+	v := st.viewNow()
 	m := st.Model
-	type cand struct{ id, df int64 }
+	type cand struct{ id, baseDF, liveDF int64 }
 	cands := make([]cand, 0, len(terms))
 	var cost float64
 	for _, term := range terms {
 		cost += ss.lookupCost(term)
 		t, found := st.TermID(term)
-		if found { // DF is front-end local, like the vocabulary
-			cost += m.LocalCopyCost(8)
+		var live int64
+		if found { // DF descriptors are front-end local, like the vocabulary
+			cost += ss.dfCost(v)
+			live = v.df(t)
 		}
-		if !found || st.DF[t] == 0 {
+		if !found || live == 0 {
 			ss.charge(cost)
 			return nil
 		}
-		cands = append(cands, cand{id: t, df: st.DF[t]})
+		cands = append(cands, cand{id: t, baseDF: v.base.df[t], liveDF: live})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].df < cands[b].df })
+	sort.Slice(cands, func(a, b int) bool { return cands[a].liveDF < cands[b].liveDF })
 
-	v, c := ss.s.getPostings(cands[0].id)
-	cost += c
-	acc := append([]int64(nil), v.docs...)
+	// Base intersection: only possible when every term has base postings.
+	var acc []int64
 	var flops float64
-	for _, cd := range cands[1:] {
-		if len(acc) == 0 {
+	baseLive := true
+	for _, cd := range cands {
+		if cd.baseDF == 0 {
+			baseLive = false
 			break
 		}
-		if v, c, ok := ss.s.cachedPostings(cd.id); ok {
-			cost += c
-			flops += 2 * float64(len(acc)+len(v.docs))
-			acc = query.IntersectSorted(acc, v.docs)
-			continue
-		}
-		// A sparse candidate set admits few blocks, so intersecting off the
-		// compressed store wins; a dense one would decode most blocks
-		// anyway, and the full fetch keeps the LRU warm and the transfer
-		// coalesced for the next session asking about the same term.
-		if ps := st.Posts; ps != nil && int64(len(acc)) < cd.df/4 {
-			res, ist := ps.Intersect(acc, cd.id)
-			cost += ss.s.partialCost(cd.id, len(acc), ist)
-			ss.s.partialFetches.Add(1)
-			ss.s.blocksDecoded.Add(uint64(ist.BlocksDecoded))
-			ss.s.blocksSkipped.Add(uint64(ist.BlocksSkipped))
-			acc = res
-			continue
-		}
-		v, c := ss.s.getPostings(cd.id)
-		cost += c
-		flops += 2 * float64(len(acc)+len(v.docs))
-		acc = query.IntersectSorted(acc, v.docs)
 	}
-	if len(acc) == 0 {
-		acc = nil
+	if baseLive {
+		val, c := ss.s.getPostings(v, cands[0].id)
+		cost += c
+		acc = append([]int64(nil), val.docs...)
+		for _, cd := range cands[1:] {
+			if len(acc) == 0 {
+				break
+			}
+			if val, c, ok := ss.s.cachedPostings(v, cd.id); ok {
+				cost += c
+				flops += 2 * float64(len(acc)+len(val.docs))
+				acc = query.IntersectSorted(acc, val.docs)
+				continue
+			}
+			// A sparse candidate set admits few blocks, so intersecting off
+			// the compressed store wins; a dense one would decode most blocks
+			// anyway, and the full fetch keeps the LRU warm and the transfer
+			// coalesced for the next session asking about the same term.
+			if ps := v.base.posts; ps != nil && int64(len(acc)) < cd.baseDF/4 {
+				res, ist := ps.Intersect(acc, cd.id)
+				cost += ss.s.partialCost(cd.id, len(acc), ist)
+				ss.s.partialFetches.Add(1)
+				ss.s.blocksDecoded.Add(uint64(ist.BlocksDecoded))
+				ss.s.blocksSkipped.Add(uint64(ist.BlocksSkipped))
+				acc = res
+				continue
+			}
+			val, c := ss.s.getPostings(v, cd.id)
+			cost += c
+			flops += 2 * float64(len(acc)+len(val.docs))
+			acc = query.IntersectSorted(acc, val.docs)
+		}
+	}
+
+	// Segment intersections: a segment can only contribute documents if its
+	// DF summary admits every term.
+	parts := make([][]int64, 0, 1+len(v.segs))
+	if len(acc) > 0 {
+		parts = append(parts, acc)
+	}
+	for _, seg := range v.segs {
+		admit := true
+		for _, cd := range cands {
+			if seg.Posts.Count[cd.id] == 0 {
+				admit = false
+				break
+			}
+		}
+		if !admit {
+			continue
+		}
+		var segAcc []int64
+		for i, cd := range cands {
+			d, _, c := ss.s.segPostings(seg, cd.id)
+			cost += c
+			if i == 0 {
+				segAcc = d
+				continue
+			}
+			flops += 2 * float64(len(segAcc)+len(d))
+			segAcc = query.IntersectSorted(segAcc, d)
+			if len(segAcc) == 0 {
+				break
+			}
+		}
+		if len(segAcc) > 0 {
+			parts = append(parts, segAcc)
+		}
+	}
+	out := filterTombs(mergeDocs(parts), v.tombs)
+	if len(parts) > 1 {
+		cost += m.LocalCopyCost(8 * float64(len(out)))
 	}
 	ss.charge(cost + m.FlopCost(flops))
-	return acc
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Or returns the documents containing any of the terms, sorted. Unknown and
-// empty terms contribute nothing; every live list must transfer.
+// empty terms contribute nothing; every live list must transfer. The union
+// is a k-way merge over the already-sorted posting lists (base and segment),
+// deduplicating as it streams — no scratch map, no re-sort.
 func (ss *Session) Or(terms ...string) []int64 {
+	st := ss.s.store
+	v := st.viewNow()
 	var cost float64
-	seen := make(map[int64]bool)
+	lists := make([][]int64, 0, len(terms))
 	var merged float64
 	for _, term := range terms {
 		cost += ss.lookupCost(term)
-		t, found := ss.s.store.TermID(term)
+		t, found := st.TermID(term)
 		if !found {
 			continue
 		}
-		v, c := ss.s.getPostings(t)
-		cost += c
-		merged += float64(len(v.docs))
-		for _, d := range v.docs {
-			seen[d] = true
+		if v.base.df[t] > 0 {
+			val, c := ss.s.getPostings(v, t)
+			cost += c
+			merged += float64(len(val.docs))
+			lists = append(lists, val.docs)
+		}
+		for _, seg := range v.segs {
+			if seg.Posts.Count[t] == 0 {
+				continue
+			}
+			d, _, c := ss.s.segPostings(seg, t)
+			cost += c
+			merged += float64(len(d))
+			lists = append(lists, d)
 		}
 	}
-	out := make([]int64, 0, len(seen))
-	for d := range seen {
-		out = append(out, d)
+	out := filterTombs(unionSorted(lists), v.tombs)
+	ss.charge(cost + st.Model.FlopCost(2*merged))
+	if out == nil {
+		out = []int64{} // query.Engine.Or returns an empty, non-nil union
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	ss.charge(cost + ss.s.store.Model.FlopCost(2*merged))
+	return out
+}
+
+// unionSorted k-way merges ascending document lists into their deduplicated
+// union. A linear selection scan per emitted doc is right for the handful of
+// lists a disjunction carries; the lists are never mutated. nil when empty.
+func unionSorted(lists [][]int64) []int64 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		if len(lists[0]) == 0 {
+			return nil
+		}
+		return append([]int64(nil), lists[0]...)
+	}
+	var total int
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]int64, 0, total)
+	pos := make([]int, len(lists))
+	for {
+		best := -1
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[pos[i]] < lists[best][pos[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d := lists[best][pos[best]]
+		if n := len(out); n == 0 || out[n-1] != d {
+			out = append(out, d)
+		}
+		pos[best]++
+	}
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
 // Similar returns the k documents most similar to the target document's
 // knowledge signature (cosine similarity, the target excluded), consulting
 // the top-K result cache. Identical queries return identical results whether
-// served cold or cached.
+// served cold or cached; the cache key carries the view epoch, so every
+// published change (ingest seal, delete, signature swap) invalidates stale
+// answers without any sweep.
 func (ss *Session) Similar(doc int64, k int) ([]query.Hit, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("serve: similar: k must be positive")
 	}
-	key := simKey{doc: doc, k: k}
+	v := ss.s.store.viewNow()
+	key := simKey{epoch: v.epoch, doc: doc, k: k}
 	ss.s.smu.Lock()
 	hits, ok := ss.s.sims.get(key)
 	ss.s.smu.Unlock()
@@ -561,13 +814,15 @@ func (ss *Session) Similar(doc int64, k int) ([]query.Hit, error) {
 	}
 	ss.s.simMisses.Add(1)
 
-	sigs := ss.s.sigs
-	target, found := sigs.Vec(doc)
+	target, found := v.sigVec(doc)
 	if !found || target == nil {
 		ss.charge(m.LocalCopyCost(8))
 		return nil, fmt.Errorf("serve: document %d not found or has a null signature", doc)
 	}
-	scored, flops := ss.s.scanSimilar(target, doc, k)
+	scored, flops, refreshed := ss.s.refreshSimilar(v, target, doc, k)
+	if !refreshed {
+		scored, flops = ss.s.scanSimilar(v, target, doc, k)
+	}
 	hits = append([]query.Hit(nil), scored...)
 
 	ss.s.smu.Lock()
@@ -579,19 +834,93 @@ func (ss *Session) Similar(doc int64, k int) ([]query.Hit, error) {
 	return hits, nil
 }
 
-// scanSimilar scores the server's captured signatures against a target
-// vector, excluding one document, and returns the top k hits (score
-// descending, document ascending on ties) plus the flops the scan cost.
-func (s *Server) scanSimilar(target []float64, exclude int64, k int) ([]query.Hit, float64) {
-	sigs := s.sigs
-	scored := make([]query.Hit, 0, len(sigs.Vecs))
-	var flops float64
-	for i, v := range sigs.Vecs {
-		if v == nil || sigs.Docs[i] == exclude {
+// refreshSimilar patches a cached top-K forward along the view lineage
+// instead of rescanning every signature: walking back from v, a cached
+// answer at an ancestor epoch stays a valid candidate set across seal deltas
+// (new documents can only displace, never promote) and compactions (identity
+// on visible documents), so only the segments appended since the ancestor
+// need scoring. A tombstone delta is safe exactly when it did not hit the
+// cached hits (removing a non-member cannot change the top K); otherwise —
+// or when the chain was cut by a signature swap or rebase — the caller falls
+// back to the full scan.
+func (s *Server) refreshSimilar(v *view, target []float64, exclude int64, k int) ([]query.Hit, float64, bool) {
+	var segs []*segment.Segment
+	var tombs []int64
+	for a := v; a.parent != nil; a = a.parent {
+		switch a.kind {
+		case viewSeal:
+			segs = append(segs, a.newSegs...)
+		case viewTomb:
+			tombs = append(tombs, a.tomb)
+		case viewCompact:
+		default:
+			return nil, 0, false
+		}
+		s.smu.Lock()
+		hits, ok := s.sims.get(simKey{epoch: a.parent.epoch, doc: exclude, k: k})
+		s.smu.Unlock()
+		if !ok {
 			continue
 		}
-		scored = append(scored, query.Hit{Doc: sigs.Docs[i], Score: query.Cosine(target, v)})
+		for _, h := range hits {
+			for _, d := range tombs {
+				if h.Doc == d {
+					return nil, 0, false // a cached hit died: full rescan
+				}
+			}
+		}
+		scored := append([]query.Hit(nil), hits...)
+		var flops float64
+		for _, seg := range segs {
+			for i, vec := range seg.SigVecs {
+				d := seg.Docs[i]
+				if vec == nil || d == exclude || v.tombs[d] {
+					continue
+				}
+				scored = append(scored, query.Hit{Doc: d, Score: query.Cosine(target, vec)})
+				flops += float64(3 * seg.SigM)
+			}
+		}
+		sort.Slice(scored, func(a, b int) bool {
+			if scored[a].Score != scored[b].Score {
+				return scored[a].Score > scored[b].Score
+			}
+			return scored[a].Doc < scored[b].Doc
+		})
+		if len(scored) > k {
+			scored = scored[:k]
+		}
+		s.simRefreshes.Add(1)
+		return scored, flops, true
+	}
+	return nil, 0, false
+}
+
+// scanSimilar scores the view's signatures — base set and ingested segments,
+// tombstones excluded — against a target vector, excluding one document, and
+// returns the top k hits (score descending, document ascending on ties) plus
+// the flops the scan cost.
+func (s *Server) scanSimilar(v *view, target []float64, exclude int64, k int) ([]query.Hit, float64) {
+	sigs := v.sigs
+	scored := make([]query.Hit, 0, len(sigs.Vecs))
+	var flops float64
+	for i, vec := range sigs.Vecs {
+		d := sigs.Docs[i]
+		if vec == nil || d == exclude || v.tombs[d] {
+			continue
+		}
+		scored = append(scored, query.Hit{Doc: d, Score: query.Cosine(target, vec)})
 		flops += float64(3 * sigs.M)
+	}
+	for _, seg := range v.segs {
+		for i, vec := range seg.SigVecs {
+			d := seg.Docs[i]
+			if vec == nil || d == exclude || v.tombs[d] {
+				continue
+			}
+			scored = append(scored, query.Hit{Doc: d, Score: query.Cosine(target, vec)})
+			flops += float64(3 * seg.SigM)
+		}
 	}
 	sort.Slice(scored, func(a, b int) bool {
 		if scored[a].Score != scored[b].Score {
@@ -606,45 +935,72 @@ func (s *Server) scanSimilar(target []float64, exclude int64, k int) ([]query.Hi
 }
 
 // similarTo is the shard-local half of a routed similarity query: it scores
-// this server's signature slice against an externally supplied target vector.
-// It bypasses the per-server result cache — the router caches the merged
+// this server's view against an externally supplied target vector. It
+// bypasses the per-server result cache — the router caches the merged
 // answer, and the sim counters with it — and charges the session the scan
 // plus the reply copy.
 func (ss *Session) similarTo(target []float64, exclude int64, k int) []query.Hit {
 	m := ss.s.store.Model
-	scored, flops := ss.s.scanSimilar(target, exclude, k)
+	v := ss.s.store.viewNow()
+	scored, flops := ss.s.scanSimilar(v, target, exclude, k)
 	hits := append([]query.Hit(nil), scored...)
 	ss.charge(m.FlopCost(flops) + m.LocalCopyCost(16*float64(len(hits))))
 	return hits
 }
 
 // ThemeDocs returns the document IDs assigned to a k-means cluster, sorted.
+// Documents ingested after the snapshot carry no cluster assignment until an
+// offline re-clustering; deleted documents are filtered.
 func (ss *Session) ThemeDocs(cluster int) []int64 {
 	st := ss.s.store
+	v := st.viewNow()
 	var out []int64
-	for i, c := range st.AssignClusters {
-		if c == int64(cluster) {
-			out = append(out, st.AssignDocs[i])
+	for i, c := range v.base.assignClusters {
+		if c == int64(cluster) && !v.tombs[v.base.assignDocs[i]] {
+			out = append(out, v.base.assignDocs[i])
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	ss.charge(st.Model.FlopCost(float64(len(st.AssignClusters))))
+	ss.charge(st.Model.FlopCost(float64(len(v.base.assignClusters))))
 	return out
 }
 
 // Near returns the documents whose ThemeView projection falls within radius
-// of (x, y), sorted — the analyst's terrain drill-down.
+// of (x, y), sorted — the analyst's terrain drill-down. Ingested documents
+// have no projection until an offline re-run; deleted ones are filtered.
 func (ss *Session) Near(x, y, radius float64) []int64 {
 	st := ss.s.store
+	v := st.viewNow()
 	r2 := radius * radius
 	var out []int64
-	for _, pt := range st.Points {
+	for _, pt := range v.base.points {
 		dx, dy := pt.X-x, pt.Y-y
-		if dx*dx+dy*dy <= r2 {
+		if dx*dx+dy*dy <= r2 && !v.tombs[pt.Doc] {
 			out = append(out, pt.Doc)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	ss.charge(st.Model.FlopCost(3 * float64(len(st.Points))))
+	ss.charge(st.Model.FlopCost(3 * float64(len(v.base.points))))
 	return out
+}
+
+// Add ingests one document through the live path, charging the session the
+// modeled tokenize + projection + append (and, for the add that trips the
+// seal threshold, the seal's encode pass). The document becomes visible to
+// queries when its delta seals.
+func (ss *Session) Add(text string) (int64, error) {
+	doc, cost, err := ss.s.store.Add(text)
+	ss.charge(cost)
+	if err != nil {
+		return 0, err
+	}
+	return doc, nil
+}
+
+// Delete tombstones a document; the change is visible to the very next
+// interaction on any session.
+func (ss *Session) Delete(doc int64) error {
+	cost, err := ss.s.store.Delete(doc)
+	ss.charge(cost)
+	return err
 }

@@ -5,8 +5,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"inspire/internal/postings"
+	"inspire/internal/segment"
 )
 
 // ShardOf is the document-partitioning rule of a sharded serving set: global
@@ -31,6 +33,12 @@ func ShardOf(doc int64, shards int) int {
 func (st *Store) Shard(n int) ([]*Store, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("serve: shard count %d", n)
+	}
+	st.live.mu.Lock()
+	hasLive := st.hasLiveLocked()
+	st.live.mu.Unlock()
+	if hasLive {
+		return nil, fmt.Errorf("serve: shard a store before ingesting into it (flush and Rebase first)")
 	}
 	if err := st.validate(); err != nil {
 		return nil, err
@@ -68,8 +76,9 @@ func (st *Store) Shard(n int) ([]*Store, error) {
 			Terms:     st.Terms, TermList: st.TermList, Prefix: st.Prefix,
 			DF:    parts[i].Count,
 			Posts: parts[i],
-			SigM:  st.SigM,
-			K:     st.K, Themes: st.Themes,
+			SigM:  st.SigM, Proj: st.Proj,
+			K: st.K, Themes: st.Themes,
+			ShardCount: n, ShardIndex: i, GlobalDocs: st.TotalDocs,
 		}
 	}
 	for i, d := range st.SigDocs {
@@ -132,8 +141,64 @@ func (st *Store) SaveShards(path string, n int) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadShards reads a manifest written by SaveShards and loads every shard
-// store it names, cross-checking each against the manifest's summary.
+// SaveLiveSet persists an already-partitioned shard set with its live state:
+// each shard's base store as an ordinary store file, each sealed segment as
+// an INSPSEG1 sidecar, and the tombstones inside the (v2) manifest at path.
+// Callers flush pending deltas first (Router.SaveLive does); documents still
+// buffered in a delta are not persisted. A set without live state writes a
+// v1 manifest, byte-identical to SaveShards output.
+func SaveLiveSet(path string, shards []*Store) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("serve: no shards to save")
+	}
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	man := &Manifest{
+		NumShards: len(shards),
+		VocabSize: shards[0].VocabSize,
+		Route:     RouteMod,
+		Shards:    make([]ShardInfo, len(shards)),
+	}
+	for i, sh := range shards {
+		if sh.PendingDocs() > 0 {
+			return fmt.Errorf("serve: shard %d has unflushed pending adds", i)
+		}
+		v := sh.viewNow()
+		var posts int64
+		for _, c := range v.base.df {
+			posts += c
+		}
+		info := ShardInfo{
+			File:     fmt.Sprintf("%s.s%02d", base, i),
+			Docs:     sh.TotalDocs,
+			Postings: posts,
+		}
+		if err := sh.SaveFile(filepath.Join(dir, info.File)); err != nil {
+			return err
+		}
+		for j, seg := range v.segs {
+			si := SegmentInfo{File: fmt.Sprintf("%s.s%02d.g%03d", base, i, j), Docs: seg.NumDocs()}
+			if err := seg.SaveFile(filepath.Join(dir, si.File)); err != nil {
+				return err
+			}
+			info.Segments = append(info.Segments, si)
+		}
+		for d := range v.tombs {
+			info.Tombs = append(info.Tombs, d)
+		}
+		sort.Slice(info.Tombs, func(a, b int) bool { return info.Tombs[a] < info.Tombs[b] })
+		man.Shards[i] = info
+		man.TotalDocs += sh.TotalDocs
+	}
+	data, err := man.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadShards reads a manifest written by SaveShards or SaveLiveSet and loads
+// every shard store it names — base file, sealed segments and tombstones —
+// cross-checking each against the manifest's summaries.
 func LoadShards(path string) (*Manifest, []*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -162,6 +227,47 @@ func LoadShards(path string) (*Manifest, []*Store, error) {
 			return nil, nil, fmt.Errorf("serve: shard %d carries %d docs/%d postings, manifest says %d/%d",
 				i, sh.TotalDocs, posts, info.Docs, info.Postings)
 		}
+		var segs []*segment.Segment
+		segDocs := make(map[int64]bool)
+		for j, si := range info.Segments {
+			seg, err := segment.LoadFile(filepath.Join(dir, si.File))
+			if err != nil {
+				return nil, nil, fmt.Errorf("serve: load shard %d segment %d: %w", i, j, err)
+			}
+			if seg.NumDocs() != si.Docs {
+				return nil, nil, fmt.Errorf("serve: shard %d segment %d carries %d docs, manifest says %d",
+					i, j, seg.NumDocs(), si.Docs)
+			}
+			if seg.Posts.NumTerms != sh.VocabSize {
+				return nil, nil, fmt.Errorf("serve: shard %d segment %d covers %d terms of %d",
+					i, j, seg.Posts.NumTerms, sh.VocabSize)
+			}
+			// The gather merges rely on disjointness: a segment document must
+			// belong to this shard by the routing rule, appear in exactly one
+			// segment, and not collide with the shard's base range.
+			baseBound := sh.TotalDocs
+			if sh.ShardCount > 0 {
+				baseBound = sh.GlobalDocs
+			}
+			for _, d := range seg.Docs {
+				switch {
+				case man.NumShards > 1 && ShardOf(d, man.NumShards) != i:
+					return nil, nil, fmt.Errorf("serve: shard %d segment %d holds doc %d owned by shard %d",
+						i, j, d, ShardOf(d, man.NumShards))
+				case segDocs[d]:
+					return nil, nil, fmt.Errorf("serve: shard %d doc %d appears in two segments", i, d)
+				case d < baseBound:
+					return nil, nil, fmt.Errorf("serve: shard %d segment %d doc %d collides with the base", i, j, d)
+				}
+				segDocs[d] = true
+			}
+			segs = append(segs, seg)
+		}
+		if len(segs) > 0 || len(info.Tombs) > 0 {
+			if err := sh.installLive(segs, info.Tombs); err != nil {
+				return nil, nil, fmt.Errorf("serve: load shard %d: %w", i, err)
+			}
+		}
 		docs += sh.TotalDocs
 		shards[i] = sh
 	}
@@ -171,9 +277,9 @@ func LoadShards(path string) (*Manifest, []*Store, error) {
 	return man, shards, nil
 }
 
-// IsShardManifestFile reports whether the file begins with the shard-manifest
-// magic — i.e. whether a -store path names a sharded set rather than a single
-// store.
+// IsShardManifestFile reports whether the file begins with a shard-manifest
+// magic (either version) — i.e. whether a -store path names a sharded set
+// rather than a single store.
 func IsShardManifestFile(path string) (bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -186,7 +292,7 @@ func IsShardManifestFile(path string) (bool, error) {
 	if _, err := io.ReadFull(f, head); err != nil {
 		return false, nil
 	}
-	return string(head) == manifestMagic, nil
+	return string(head) == manifestMagic || string(head) == manifestMagicV2, nil
 }
 
 // LoadServiceFile opens any persisted serving artifact as a Service: a shard

@@ -33,10 +33,14 @@ import (
 	"inspire/internal/simtime"
 )
 
-// Store is the read-only serving snapshot of one finished pipeline run. All
-// exported fields are immutable after Snapshot/LoadStore (ApplySignatures
-// swaps the signature set as one unit); every method is safe for concurrent
-// use.
+// Store is the serving form of one finished pipeline run: an immutable base
+// snapshot plus a live side — sealed delta segments, tombstones and an
+// in-memory ingest delta — published to readers as atomically swapped epoch
+// views (see view.go and ingest.go). The exported fields are the base
+// snapshot; they change only under explicit whole-layout operations
+// (CompressPostings/DecompressPostings before serving starts, Rebase), each
+// of which publishes a fresh view rather than mutating slices a concurrent
+// reader may hold. Every method is safe for concurrent use.
 //
 // The posting lists keep their distributed layout metadata (Prefix: the
 // dense-term ownership bounds of the producing run), so the serving cost
@@ -51,6 +55,15 @@ type Store struct {
 
 	TotalDocs int64
 	VocabSize int64
+
+	// ShardCount/ShardIndex/GlobalDocs describe a shard store's slice of the
+	// document space: base document d lives here iff d < GlobalDocs and
+	// d mod ShardCount == ShardIndex. ShardCount 0 is a monolithic store
+	// with the dense base [0, TotalDocs). The live layer needs this to tell
+	// "base document" from "unknown" on a shard.
+	ShardCount int
+	ShardIndex int
+	GlobalDocs int64
 
 	// Terms maps a normalized term to its dense ID; TermList is the inverse.
 	Terms    map[string]int64
@@ -81,6 +94,13 @@ type Store struct {
 	SigDocs []int64
 	SigVecs [][]float64
 
+	// Proj is the frozen signature-projection model of the producing run
+	// (the association-matrix rows of the major terms). Live ingestion uses
+	// it to give added documents the exact signature the batch pipeline
+	// would have computed; nil on stores persisted before it existed, in
+	// which case ingested documents get null signatures.
+	Proj *signature.Projection
+
 	// ThemeView products.
 	Points         []project.Point
 	AssignDocs     []int64
@@ -90,6 +110,10 @@ type Store struct {
 
 	sigMu  sync.Mutex
 	sigSet *signature.Set
+
+	// live is the mutable serving state: the current epoch view, the ingest
+	// delta and the compaction bookkeeping. Never persisted; see view.go.
+	live liveState
 }
 
 // snapshotStreams is the number of concurrent one-sided streams Snapshot uses
@@ -151,6 +175,7 @@ func buildStore(c *cluster.Comm, res *core.Result, docParts, asgParts [][]int64)
 		Points:    res.Coords,
 		K:         res.Clusters.K,
 		Themes:    res.Themes,
+		Proj:      signature.NewProjection(res.AM),
 	}
 
 	// Ownership bounds and the replicated vocabulary.
@@ -266,10 +291,17 @@ func (st *Store) Compressed() bool { return st.Posts != nil }
 
 // CompressPostings re-encodes the flat posting arrays into the block
 // format and drops them; a no-op when already compressed. The serving paths
-// work on either layout, so this is a pure space/latency trade.
+// work on either layout, so this is a pure space/latency trade. Like
+// DecompressPostings it rewrites the base layout, so it refuses once live
+// data (ingested segments, tombstones) exists — rebase or re-load first.
 func (st *Store) CompressPostings() error {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
 	if st.Posts != nil {
 		return nil
+	}
+	if st.hasLiveLocked() {
+		return fmt.Errorf("serve: compress postings: store has live segments or tombstones")
 	}
 	w := postings.NewWriter(int64(len(st.PostDoc)))
 	for t := int64(0); t < st.VocabSize; t++ {
@@ -285,15 +317,21 @@ func (st *Store) CompressPostings() error {
 	}
 	st.Posts = w.Finish()
 	st.Off, st.PostDoc, st.PostFreq = nil, nil, nil
+	st.resetViewLocked()
 	return nil
 }
 
 // DecompressPostings expands the block format back into the flat layout —
 // the v1 baseline the bench figure compares against; a no-op when already
-// flat.
+// flat. Panics if live data exists (it is a pre-serving/bench operation).
 func (st *Store) DecompressPostings() {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
 	if st.Posts == nil {
 		return
+	}
+	if st.hasLiveLocked() {
+		panic("serve: DecompressPostings on a store with live segments or tombstones")
 	}
 	var total int64
 	for _, n := range st.Posts.Count {
@@ -309,6 +347,7 @@ func (st *Store) DecompressPostings() {
 		st.PostFreq = append(st.PostFreq, freqs...)
 	}
 	st.Posts = nil
+	st.resetViewLocked()
 }
 
 // FlatCopy returns a copy of the store that serves from the flat posting
@@ -318,10 +357,11 @@ func (st *Store) FlatCopy() *Store {
 	cp := &Store{
 		Model: st.Model, P: st.P,
 		TotalDocs: st.TotalDocs, VocabSize: st.VocabSize,
+		ShardCount: st.ShardCount, ShardIndex: st.ShardIndex, GlobalDocs: st.GlobalDocs,
 		Terms: st.Terms, TermList: st.TermList, Prefix: st.Prefix,
 		DF: st.DF, Posts: st.Posts,
 		Off: st.Off, PostDoc: st.PostDoc, PostFreq: st.PostFreq,
-		SigM: st.SigM, SigDocs: st.SigDocs, SigVecs: st.SigVecs,
+		SigM: st.SigM, SigDocs: st.SigDocs, SigVecs: st.SigVecs, Proj: st.Proj,
 		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
 		K: st.K, Themes: st.Themes,
 	}
@@ -329,10 +369,51 @@ func (st *Store) FlatCopy() *Store {
 	return cp
 }
 
-// Signatures returns the store's current signature set as one consistent,
+// Fork returns a copy of the store with fresh live state: it shares every
+// immutable base product with the receiver but ingests, tombstones and
+// compacts independently. Benchmarks and tests fork a cached snapshot so
+// ingestion never leaks into other users of the original.
+func (st *Store) Fork() *Store {
+	return &Store{
+		Model: st.Model, P: st.P,
+		TotalDocs: st.TotalDocs, VocabSize: st.VocabSize,
+		ShardCount: st.ShardCount, ShardIndex: st.ShardIndex, GlobalDocs: st.GlobalDocs,
+		Terms: st.Terms, TermList: st.TermList, Prefix: st.Prefix,
+		DF: st.DF, Posts: st.Posts,
+		Off: st.Off, PostDoc: st.PostDoc, PostFreq: st.PostFreq,
+		SigM: st.SigM, SigDocs: st.SigDocs, SigVecs: st.SigVecs, Proj: st.Proj,
+		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
+		K: st.K, Themes: st.Themes,
+	}
+}
+
+// EmptyCopy returns a store with the receiver's frozen model — vocabulary,
+// ownership bounds, machine model, themes and signature projection — but no
+// documents at all: no postings, signatures, points or assignments. It is
+// the ingest-from-scratch starting point (and what the offline-vs-ingested
+// equivalence tests build on): every document is then added through the live
+// path against the same vocabulary and projection the batch run produced.
+func (st *Store) EmptyCopy() *Store {
+	w := postings.NewWriter(0)
+	for t := int64(0); t < st.VocabSize; t++ {
+		if err := w.Append(nil, nil); err != nil {
+			panic(err) // empty appends cannot fail
+		}
+	}
+	posts := w.Finish()
+	return &Store{
+		Model: st.Model, P: st.P,
+		TotalDocs: 0, VocabSize: st.VocabSize,
+		Terms: st.Terms, TermList: st.TermList, Prefix: st.Prefix,
+		DF: posts.Count, Posts: posts,
+		SigM: st.SigM, Proj: st.Proj,
+		K: st.K, Themes: st.Themes,
+	}
+}
+
+// Signatures returns the store's base signature set as one consistent,
 // indexed snapshot (the slices and index always belong together, even if
-// ApplySignatures swaps the set concurrently). Servers capture the snapshot
-// at construction.
+// ApplySignatures swaps the set concurrently).
 func (st *Store) Signatures() *signature.Set {
 	st.sigMu.Lock()
 	defer st.sigMu.Unlock()
@@ -348,27 +429,55 @@ func (st *Store) Signatures() *signature.Set {
 	return st.sigSet
 }
 
-// SignatureOf returns the knowledge signature of a document: (nil, true) for
-// a present null signature, (nil, false) for an unknown document.
-func (st *Store) SignatureOf(doc int64) ([]float64, bool) {
-	return st.Signatures().Vec(doc)
-}
-
-// ApplySignatures replaces the store's signatures with a persisted set — the
-// serving load path for signatures regenerated offline (e.g. by an
-// adaptive-dimensionality rerun) without re-indexing. Servers bind the
-// signature set when they are constructed: apply before NewServer; servers
-// already running keep answering from the set they captured.
-func (st *Store) ApplySignatures(set *signature.Set) error {
-	if set == nil || set.Len() == 0 {
-		return fmt.Errorf("serve: empty signature set")
-	}
+// setSigSet installs a signature set as the store's base set, keeping the
+// persisted fields in step; callers hold live.mu (or own the store).
+func (st *Store) setSigSet(set *signature.Set) {
 	st.sigMu.Lock()
 	st.SigM = set.M
 	st.SigDocs = set.Docs
 	st.SigVecs = set.Vecs
 	st.sigSet = set
 	st.sigMu.Unlock()
+}
+
+// SignatureOf returns the knowledge signature of a document in the current
+// view — base set or ingested segments: (nil, true) for a present null
+// signature, (nil, false) for an unknown or deleted document.
+func (st *Store) SignatureOf(doc int64) ([]float64, bool) {
+	return st.viewNow().sigVec(doc)
+}
+
+// ApplySignatures replaces the store's base signatures with a persisted set —
+// the serving load path for signatures regenerated offline (e.g. by an
+// adaptive-dimensionality rerun) without re-indexing. The swap rides the
+// epoch mechanism: a new view is published with the new set, so every server
+// over this store — including ones already running — answers its next
+// Similar from the new signatures, and the epoch-keyed similarity caches
+// invalidate themselves. Safe to call concurrently with queries.
+func (st *Store) ApplySignatures(set *signature.Set) error {
+	if set == nil || set.Len() == 0 {
+		return fmt.Errorf("serve: empty signature set")
+	}
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	if set.M != st.SigM {
+		// The signature space is changing dimensionality. Live segments (and
+		// buffered adds) carry vectors of the old dimensionality, and the
+		// frozen ingest projection maps into the old space — mixing them
+		// would score mismatched vectors.
+		if st.hasLiveLocked() {
+			return fmt.Errorf("serve: signature set has dimensionality %d but live segments carry %d; flush and Rebase first",
+				set.M, st.SigM)
+		}
+		if st.Proj != nil && st.Proj.M != set.M {
+			return fmt.Errorf("serve: signature set dimensionality %d disagrees with the store's ingest projection (%d); re-snapshot to change the signature space",
+				set.M, st.Proj.M)
+		}
+	}
+	st.setSigSet(set)
+	if v := st.live.cur.Load(); v != nil {
+		st.publishLocked(&view{gen: v.gen, base: v.base, segs: v.segs, tombs: v.tombs, sigs: set})
+	}
 	return nil
 }
 
@@ -437,6 +546,11 @@ func (st *Store) validate() error {
 	}
 	if err := st.Model.Validate(); err != nil {
 		return err
+	}
+	if st.Proj != nil {
+		if err := st.Proj.Validate(); err != nil {
+			return err
+		}
 	}
 	if st.Posts != nil {
 		if err := st.Posts.Validate(); err != nil {

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"inspire/internal/postings"
+	"inspire/internal/project"
+	"inspire/internal/segment"
+	"inspire/internal/signature"
+)
+
+// view is one immutable serving epoch of a live store: the base snapshot's
+// products, the sealed delta segments ingested since, the tombstone set, and
+// the signature set bound to this epoch. Sessions resolve the current view
+// once per interaction and work against it unperturbed while ingestion,
+// compaction or a signature swap publishes the next epoch — readers never
+// block and never see a half-applied change.
+type view struct {
+	// epoch increments on every published change (seal, delete, compaction,
+	// rebase, signature swap); it keys the similarity caches so stale merged
+	// answers age out naturally.
+	epoch uint64
+	// gen increments only when the base layout itself is rewritten (Rebase,
+	// CompressPostings/DecompressPostings); it keys the posting LRU, so the
+	// decoded base lists survive every epoch swap that leaves the base alone.
+	gen  uint64
+	base *baseView
+	// segs are the sealed delta segments, disjoint in documents; every
+	// ingested document lives in exactly one.
+	segs []*segment.Segment
+	// tombs marks deleted documents. The map is copy-on-write: published
+	// views never mutate it.
+	tombs map[int64]bool
+	// sigs is the base signature set of this epoch (segments carry their
+	// own); ApplySignatures publishes a new view with a new set.
+	sigs *signature.Set
+
+	// Incremental-similarity lineage: what changed from the parent epoch.
+	// A cached top-K at an ancestor epoch can be patched forward across
+	// seal deltas (scan only the appended segments) and compactions
+	// (identity on visible documents) instead of rescanning every
+	// signature; tombstone deltas patch forward unless they hit a cached
+	// result. Signature swaps, rebases and layout resets cut the chain
+	// (parent nil), as does depth reaching maxSimChain, which also bounds
+	// how many retired views a live chain keeps reachable.
+	parent  *view
+	depth   int
+	kind    viewKind
+	newSegs []*segment.Segment // kind == viewSeal: the appended segments
+	tomb    int64              // kind == viewTomb: the deleted document
+}
+
+// viewKind classifies the change a view introduced over its parent.
+type viewKind uint8
+
+const (
+	viewCut     viewKind = iota // no usable lineage (initial, swap, rebase)
+	viewSeal                    // segments appended
+	viewTomb                    // one document tombstoned
+	viewCompact                 // segments merged; visible answers unchanged
+)
+
+// maxSimChain bounds the lineage walked (and retained) for incremental
+// similarity refresh.
+const maxSimChain = 32
+
+// baseView freezes the base snapshot's per-document products. Rebase builds a
+// fresh baseView rather than mutating slices a concurrent reader may hold.
+type baseView struct {
+	totalDocs int64
+	// Shard routing metadata (see Store.ShardCount): base membership on a
+	// shard is modular, not dense.
+	shardCount, shardIndex int
+	globalDocs             int64
+
+	df    []int64
+	posts *postings.Store
+	// Legacy flat layout, populated when posts is nil.
+	off, postDoc, postFreq []int64
+
+	points         []project.Point
+	assignDocs     []int64
+	assignClusters []int64
+}
+
+// containsDoc reports whether doc is a base document of this store.
+func (b *baseView) containsDoc(doc int64) bool {
+	if doc < 0 {
+		return false
+	}
+	if b.shardCount > 0 {
+		return doc < b.globalDocs && int(doc%int64(b.shardCount)) == b.shardIndex
+	}
+	return doc < b.totalDocs
+}
+
+// postings returns term t's base posting list, decoding the compressed
+// layout or slicing the flat one (shared views; do not mutate).
+func (b *baseView) postings(t int64) (docs, freqs []int64) {
+	if b.posts != nil {
+		return b.posts.Postings(t)
+	}
+	n := b.df[t]
+	if n == 0 {
+		return nil, nil
+	}
+	off := b.off[t]
+	return b.postDoc[off : off+n], b.postFreq[off : off+n]
+}
+
+// df returns the live document frequency of term t in the view: base DF plus
+// every segment's DF summary. Tombstoned documents are still counted until
+// compaction (or Rebase) drops them — the standard LSM overcount, documented
+// on Session.DF.
+func (v *view) df(t int64) int64 {
+	n := v.base.df[t]
+	for _, s := range v.segs {
+		n += s.Posts.Count[t]
+	}
+	return n
+}
+
+// liveDocs returns the number of visible documents: base + sealed segments −
+// tombstones. Documents still buffered in the mutable delta are not visible.
+func (v *view) liveDocs() int64 {
+	n := v.base.totalDocs
+	for _, s := range v.segs {
+		n += s.NumDocs()
+	}
+	return n - int64(len(v.tombs))
+}
+
+// contains reports whether doc exists in the view (tombstoned documents do
+// not).
+func (v *view) contains(doc int64) bool {
+	if v.tombs[doc] {
+		return false
+	}
+	if v.base.containsDoc(doc) {
+		return true
+	}
+	for _, s := range v.segs {
+		if s.Contains(doc) {
+			return true
+		}
+	}
+	return false
+}
+
+// sigVec resolves doc's knowledge signature in the view: the base set first,
+// then the segments. (nil, true) is a present null signature; tombstoned and
+// unknown documents report (nil, false).
+func (v *view) sigVec(doc int64) ([]float64, bool) {
+	if v.tombs[doc] {
+		return nil, false
+	}
+	if vec, ok := v.sigs.Vec(doc); ok {
+		return vec, true
+	}
+	for _, s := range v.segs {
+		if vec, ok := s.SigVec(doc); ok {
+			return vec, true
+		}
+	}
+	return nil, false
+}
+
+// liveState is the mutable side of a live store: the current published view,
+// the in-memory delta, and the ingest/compaction bookkeeping. It lives on the
+// Store (unexported, never persisted) so every Server over one store shares
+// one epoch stream.
+type liveState struct {
+	cur atomic.Pointer[view]
+
+	// mu serializes publishers: ingest, seal, delete, compaction publish,
+	// signature swaps and rebase. Readers only load cur.
+	mu      sync.Mutex
+	delta   *segment.Delta
+	nextDoc int64
+	policy  LivePolicy
+
+	compacting  bool
+	compactWG   sync.WaitGroup
+	compactVirt float64 // virtual seconds charged to the background compactor
+
+	adds, deletes, seals, compactions atomic.Uint64
+}
+
+// viewNow returns the store's current view, initializing epoch 1 from the
+// base snapshot on first use.
+func (st *Store) viewNow() *view {
+	if v := st.live.cur.Load(); v != nil {
+		return v
+	}
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	return st.initViewLocked()
+}
+
+// initViewLocked builds (or returns) the current view; callers hold live.mu.
+func (st *Store) initViewLocked() *view {
+	if v := st.live.cur.Load(); v != nil {
+		return v
+	}
+	v := &view{epoch: 1, gen: 1, base: st.baseView(), sigs: st.Signatures()}
+	st.live.nextDoc = st.TotalDocs
+	if st.GlobalDocs > st.live.nextDoc {
+		st.live.nextDoc = st.GlobalDocs
+	}
+	st.live.cur.Store(v)
+	return v
+}
+
+// baseView snapshots the store's base products into an immutable baseView.
+func (st *Store) baseView() *baseView {
+	return &baseView{
+		totalDocs:      st.TotalDocs,
+		shardCount:     st.ShardCount,
+		shardIndex:     st.ShardIndex,
+		globalDocs:     st.GlobalDocs,
+		df:             st.DF,
+		posts:          st.Posts,
+		off:            st.Off,
+		postDoc:        st.PostDoc,
+		postFreq:       st.PostFreq,
+		points:         st.Points,
+		assignDocs:     st.AssignDocs,
+		assignClusters: st.AssignClusters,
+	}
+}
+
+// publishLocked installs next as the current view with the epoch advanced,
+// linking the similarity lineage unless next cuts it; callers hold live.mu
+// and must have derived next from the current view.
+func (st *Store) publishLocked(next *view) {
+	cur := st.initViewLocked()
+	next.epoch = cur.epoch + 1
+	if next.gen == 0 {
+		next.gen = cur.gen
+	}
+	if next.kind != viewCut && cur.depth < maxSimChain {
+		next.parent = cur
+		next.depth = cur.depth + 1
+	}
+	st.live.cur.Store(next)
+}
+
+// hasLiveLocked reports whether live data — sealed segments, tombstones or a
+// buffered delta — exists; callers hold live.mu. Whole-layout rewrites
+// (CompressPostings/DecompressPostings) refuse while it does.
+func (st *Store) hasLiveLocked() bool {
+	if st.live.delta != nil && st.live.delta.NumDocs() > 0 {
+		return true
+	}
+	v := st.live.cur.Load()
+	return v != nil && (len(v.segs) > 0 || len(v.tombs) > 0)
+}
+
+// resetViewLocked republishes the view from the store fields after a
+// whole-layout rewrite, advancing the base generation so posting-cache keys
+// from the old layout can never alias the new one; callers hold live.mu and
+// have checked hasLiveLocked. A no-op when no view was ever published.
+func (st *Store) resetViewLocked() {
+	v := st.live.cur.Load()
+	if v == nil {
+		return
+	}
+	st.live.cur.Store(&view{epoch: v.epoch + 1, gen: v.gen + 1, base: st.baseView(), sigs: v.sigs})
+}
+
+// Epoch returns the store's current serving epoch; it advances on every
+// published change (seal, delete, compaction, rebase, signature swap).
+func (st *Store) Epoch() uint64 { return st.viewNow().epoch }
+
+// LiveDocs returns the number of documents visible to queries right now:
+// base + sealed segments − tombstones. Adds still buffered in the delta are
+// not yet visible (see LivePolicy.SealDocs).
+func (st *Store) LiveDocs() int64 { return st.viewNow().liveDocs() }
+
+// LiveSegments returns the number of sealed, uncompacted delta segments.
+func (st *Store) LiveSegments() int { return len(st.viewNow().segs) }
+
+// PendingDocs returns the number of added documents buffered in the mutable
+// delta, not yet visible to queries.
+func (st *Store) PendingDocs() int {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	if st.live.delta == nil {
+		return 0
+	}
+	return st.live.delta.NumDocs()
+}

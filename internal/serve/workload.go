@@ -94,6 +94,11 @@ func (r *WorkloadReport) String() string {
 		s += fmt.Sprintf("\nscatter-gather: %d fan-outs into %d shard queries (%d pruned by DF summaries, %d short-circuited at the router)",
 			r.Stats.FanOuts, r.Stats.ShardQueries, r.Stats.ShardsPruned, r.Stats.ShortCircuits)
 	}
+	if r.Stats.Adds > 0 || r.Stats.Deletes > 0 {
+		s += fmt.Sprintf("\nlive ingest: %d adds, %d deletes, %d seals, %d compactions, %d segment fetches, %d sim refreshes",
+			r.Stats.Adds, r.Stats.Deletes, r.Stats.Seals, r.Stats.Compactions,
+			r.Stats.SegmentFetches, r.Stats.SimRefreshes)
+	}
 	return s
 }
 
@@ -247,13 +252,19 @@ func diffStats(before, after Stats) Stats {
 		PartialFetches:   after.PartialFetches - before.PartialFetches,
 		BlocksDecoded:    after.BlocksDecoded - before.BlocksDecoded,
 		BlocksSkipped:    after.BlocksSkipped - before.BlocksSkipped,
+		SegmentFetches:   after.SegmentFetches - before.SegmentFetches,
 		SimHits:          after.SimHits - before.SimHits,
 		SimMisses:        after.SimMisses - before.SimMisses,
+		SimRefreshes:     after.SimRefreshes - before.SimRefreshes,
 		SimEvictions:     after.SimEvictions - before.SimEvictions,
 		FanOuts:          after.FanOuts - before.FanOuts,
 		ShardQueries:     after.ShardQueries - before.ShardQueries,
 		ShardsPruned:     after.ShardsPruned - before.ShardsPruned,
 		ShortCircuits:    after.ShortCircuits - before.ShortCircuits,
+		Adds:             after.Adds - before.Adds,
+		Deletes:          after.Deletes - before.Deletes,
+		Seals:            after.Seals - before.Seals,
+		Compactions:      after.Compactions - before.Compactions,
 	}
 }
 
