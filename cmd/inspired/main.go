@@ -20,36 +20,43 @@
 //	inspired -store run.shards -http :8417
 //	echo "term apple" | inspired -store run.store -stdin
 //
-// -store accepts both store format versions — INSPSTORE2 (block-compressed
-// postings, what -save-store now writes) and legacy INSPSTORE1 flat files,
-// which are re-compressed on load — plus INSPSHARDS1 shard manifests written
+// -store accepts every store format version — INSPSTORE2 (block-compressed
+// postings, what -save-store now writes), INSPSTORE3 (a rebased store whose
+// deletions left ID holes) and legacy INSPSTORE1 flat files, which are
+// re-compressed on load — plus INSPSHARDS1 shard manifests written
 // by -shards N -save-store, which serve their whole partitioned set behind a
 // scatter-gather router. -shards N also re-partitions a freshly indexed run
 // or a loaded single store at serve time; either way the session API is
 // identical to single-store serving.
 //
-// HTTP endpoints (all GET, JSON responses):
+// HTTP endpoints (JSON responses; reads are GET, mutations are POST):
 //
-//	/term?q=word            posting list of one term
-//	/df?q=word              document frequency
-//	/and?q=a,b,c            conjunctive query
-//	/or?q=a,b,c             disjunctive query
-//	/similar?doc=3&k=5      top-K similarity in signature space
-//	/theme?cluster=2        documents of one k-means theme
-//	/near?x=0&y=0&r=0.2     ThemeView region drill-down
-//	/add?text=...           ingest a document (returns its ID)
-//	/delete?doc=3           tombstone a document
-//	/flush                  make pending adds visible now
-//	/compact                merge sealed segments now
-//	/save?path=FILE         persist the live state (single store: rebased
-//	                        INSPSTORE2; sharded: INSPSHARDS2 manifest + segments)
-//	/themes                 discovered themes
-//	/stats                  server cache/traffic/ingest counters
+//	GET  /term?q=word            posting list of one term
+//	GET  /df?q=word              document frequency
+//	GET  /and?q=a,b,c            conjunctive query
+//	GET  /or?q=a,b,c             disjunctive query
+//	GET  /similar?doc=3&k=5      top-K similarity in signature space
+//	GET  /theme?cluster=2        documents of one k-means theme
+//	GET  /near?x=0&y=0&r=0.2     ThemeView region drill-down
+//	POST /add?text=...           ingest a document (returns its ID)
+//	POST /delete?doc=3           tombstone a document
+//	POST /flush                  make pending adds visible now
+//	POST /compact                merge sealed segments now
+//	POST /save?path=NAME         persist the live state under -save-dir
+//	                             (single store: rebased INSPSTORE2; sharded:
+//	                             INSPSHARDS2 manifest + segments)
+//	GET  /themes                 discovered themes
+//	GET  /stats                  server cache/traffic/ingest counters
+//
+// /save takes a plain file name, written inside the directory configured
+// with -save-dir; without -save-dir the endpoint is disabled — a network
+// client never names an arbitrary server-side path.
 //
 // Pass session=NAME on query endpoints to accumulate per-session virtual
 // latency across requests; anonymous requests each get a fresh session. The
 // stdin protocol mirrors the endpoints: "add some document text",
-// "delete 3", "flush", "compact", "save run.live".
+// "delete 3", "flush", "compact", "save run.live" (stdin save takes a full
+// path — it is the operator's own terminal, not the network surface).
 package main
 
 import (
@@ -85,6 +92,7 @@ func main() {
 	stdin := flag.Bool("stdin", false, "serve the line protocol on stdin instead of HTTP")
 	postCache := flag.Int("post-cache", 4096, "posting-list LRU cache entries (per shard when sharded)")
 	simCache := flag.Int("sim-cache", 512, "similarity result cache entries (at the router when sharded)")
+	saveDir := flag.String("save-dir", "", "directory HTTP /save writes into (empty disables the endpoint)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -166,7 +174,7 @@ func main() {
 		}
 	}
 
-	d := &daemon{srv: svc, sessions: make(map[string]*namedSession)}
+	d := &daemon{srv: svc, saveDir: *saveDir, sessions: make(map[string]*namedSession)}
 	if *stdin {
 		d.serveLines(os.Stdin, os.Stdout)
 		return
@@ -199,15 +207,18 @@ func loadOrIndex(storePath, in, format string, p int) (*serve.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		if st.Compressed() {
-			fmt.Printf("loaded store %s (INSPSTORE2, block-compressed postings)\n", storePath)
-		} else {
+		switch {
+		case !st.Compressed():
 			// Legacy flat store: serve it in the compressed layout so the
 			// resident footprint and And latency match freshly built stores.
 			if err := st.CompressPostings(); err != nil {
 				return nil, err
 			}
 			fmt.Printf("loaded store %s (INSPSTORE1, compressed flat postings on load)\n", storePath)
+		case len(st.Holes) > 0:
+			fmt.Printf("loaded store %s (INSPSTORE3, block-compressed postings, %d deletion holes)\n", storePath, len(st.Holes))
+		default:
+			fmt.Printf("loaded store %s (INSPSTORE2, block-compressed postings)\n", storePath)
 		}
 		return st, nil
 	}
@@ -281,6 +292,8 @@ func loadSources(dir string, f corpus.Format) ([]*corpus.Source, error) {
 // Server or a sharded Router, indistinguishable behind serve.Service.
 type daemon struct {
 	srv serve.Service
+	// saveDir confines HTTP /save targets; empty disables the endpoint.
+	saveDir string
 
 	mu       sync.Mutex
 	sessions map[string]*namedSession
@@ -432,11 +445,17 @@ func (d *daemon) live(op, path string) reply {
 	return rep
 }
 
-// mux builds the HTTP surface.
+// mux builds the HTTP surface. Query endpoints answer GET; every endpoint
+// that mutates server state (add/delete/flush/compact/save) requires POST, so
+// crawlers, prefetchers and simple cross-site GETs cannot trip them.
 func (d *daemon) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	handle := func(op string, keys ...string) {
+	handle := func(op string, mutating bool, keys ...string) {
 		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
+			if mutating && r.Method != http.MethodPost {
+				writeJSONStatus(w, http.StatusMethodNotAllowed, reply{Op: op, Error: "mutating endpoint: use POST"})
+				return
+			}
 			args := make(map[string]string, len(keys))
 			for _, k := range keys {
 				args[k] = r.URL.Query().Get(k)
@@ -445,19 +464,32 @@ func (d *daemon) mux() *http.ServeMux {
 			writeJSON(w, d.run(sess, op, args))
 		})
 	}
-	handle("term", "q")
-	handle("df", "q")
-	handle("and", "q")
-	handle("or", "q")
-	handle("similar", "doc", "k")
-	handle("theme", "cluster")
-	handle("near", "x", "y", "r")
-	handle("add", "text")
-	handle("delete", "doc")
+	handle("term", false, "q")
+	handle("df", false, "q")
+	handle("and", false, "q")
+	handle("or", false, "q")
+	handle("similar", false, "doc", "k")
+	handle("theme", false, "cluster")
+	handle("near", false, "x", "y", "r")
+	handle("add", true, "text")
+	handle("delete", true, "doc")
 	for _, op := range []string{"flush", "compact", "save"} {
 		op := op
 		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, d.live(op, r.URL.Query().Get("path")))
+			if r.Method != http.MethodPost {
+				writeJSONStatus(w, http.StatusMethodNotAllowed, reply{Op: op, Error: "mutating endpoint: use POST"})
+				return
+			}
+			path := r.URL.Query().Get("path")
+			if op == "save" {
+				resolved, err := savePath(d.saveDir, path)
+				if err != nil {
+					writeJSON(w, reply{Op: op, Error: err.Error()})
+					return
+				}
+				path = resolved
+			}
+			writeJSON(w, d.live(op, path))
 		})
 	}
 	mux.HandleFunc("/themes", func(w http.ResponseWriter, r *http.Request) {
@@ -469,8 +501,28 @@ func (d *daemon) mux() *http.ServeMux {
 	return mux
 }
 
+// savePath resolves an HTTP /save target to a plain file name inside the
+// configured -save-dir, so a client with network access never gets a
+// file-write primitive against an arbitrary server-side path. An empty dir
+// keeps the endpoint disabled.
+func savePath(dir, name string) (string, error) {
+	if dir == "" {
+		return "", fmt.Errorf("save over HTTP is disabled; start inspired with -save-dir")
+	}
+	if name == "" || name == "." || name == ".." ||
+		name != filepath.Base(name) || strings.ContainsAny(name, `/\`) {
+		return "", fmt.Errorf("save path must be a plain file name (it is written inside -save-dir)")
+	}
+	return filepath.Join(dir, name), nil
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 

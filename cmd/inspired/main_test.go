@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"inspire/internal/core"
+	"inspire/internal/query"
+	"inspire/internal/serve"
+)
+
+// TestSavePathConfinement pins the /save target policy: a plain file name
+// joined under -save-dir, everything else — absolute paths, separators,
+// traversal, or an unconfigured dir — refused.
+func TestSavePathConfinement(t *testing.T) {
+	if _, err := savePath("", "run.live"); err == nil {
+		t.Fatal("save allowed without -save-dir")
+	}
+	got, err := savePath("/data", "run.live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join("/data", "run.live"); got != want {
+		t.Fatalf("savePath = %q, want %q", got, want)
+	}
+	for _, name := range []string{"", ".", "..", "/etc/passwd", "../escape", "sub/file", `sub\file`, "a/../b"} {
+		if _, err := savePath("/data", name); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+}
+
+// stubQuerier/stubService satisfy the serving interfaces with inert answers,
+// so the HTTP surface tests need no indexed store behind them.
+type stubQuerier struct{}
+
+func (stubQuerier) TermDocs(string) []query.Posting         { return nil }
+func (stubQuerier) DF(string) int64                         { return 0 }
+func (stubQuerier) And(...string) []int64                   { return nil }
+func (stubQuerier) Or(...string) []int64                    { return nil }
+func (stubQuerier) Similar(int64, int) ([]query.Hit, error) { return nil, nil }
+func (stubQuerier) ThemeDocs(int) []int64                   { return nil }
+func (stubQuerier) Near(float64, float64, float64) []int64  { return nil }
+func (stubQuerier) Add(string) (int64, error)               { return 0, nil }
+func (stubQuerier) Delete(int64) error                      { return nil }
+func (stubQuerier) Stats() serve.SessionStats               { return serve.SessionStats{} }
+
+type stubService struct{}
+
+func (stubService) NewQuerier() serve.Querier { return stubQuerier{} }
+func (stubService) Stats() serve.Stats        { return serve.Stats{} }
+func (stubService) TopTerms(int) []string     { return nil }
+func (stubService) SampleDocs(int) []int64    { return nil }
+func (stubService) NumThemes() int            { return 0 }
+func (stubService) Themes() []core.Theme      { return nil }
+
+// TestMutatingEndpointsRequirePOST pins the method split of the HTTP surface:
+// every state-changing endpoint rejects GET with 405, queries stay on GET,
+// and /save without -save-dir refuses rather than writing.
+func TestMutatingEndpointsRequirePOST(t *testing.T) {
+	d := &daemon{srv: stubService{}, sessions: make(map[string]*namedSession)}
+	mux := d.mux()
+	do := func(method, target string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+		return rec
+	}
+
+	for _, ep := range []string{"/add?text=x", "/delete?doc=1", "/flush", "/compact", "/save?path=x"} {
+		if rec := do(http.MethodGet, ep); rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s = %d, want %d", ep, rec.Code, http.StatusMethodNotAllowed)
+		}
+	}
+	for _, ep := range []string{"/df?q=x", "/and?q=a,b", "/similar?doc=0&k=3", "/stats"} {
+		if rec := do(http.MethodGet, ep); rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d, want %d", ep, rec.Code, http.StatusOK)
+		}
+	}
+	if rec := do(http.MethodPost, "/add?text=x"); rec.Code != http.StatusOK {
+		t.Fatalf("POST /add = %d, want %d", rec.Code, http.StatusOK)
+	}
+
+	// No -save-dir configured: /save must refuse with an error, not write.
+	rec := do(http.MethodPost, "/save?path=/tmp/anywhere")
+	var rep reply
+	if err := json.NewDecoder(rec.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.Error == "" {
+		t.Fatalf("unconfined save not refused: %+v", rep)
+	}
+}

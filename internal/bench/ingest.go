@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"inspire/internal/corpus"
 	"inspire/internal/serve"
@@ -19,6 +20,7 @@ import (
 
 // ingestTextsCache memoizes the parsed record texts of the bench corpus.
 var ingestTextsCache = struct {
+	sync.Mutex
 	texts map[float64][]string
 }{texts: make(map[float64][]string)}
 
@@ -26,12 +28,15 @@ var ingestTextsCache = struct {
 // the documents the ingest benchmarks re-feed through the live path (same
 // vocabulary, realistic term distribution).
 func IngestTexts(scale float64) ([]string, error) {
-	if texts, ok := ingestTextsCache.texts[scale]; ok {
+	ingestTextsCache.Lock()
+	texts, ok := ingestTextsCache.texts[scale]
+	ingestTextsCache.Unlock()
+	if ok {
 		return texts, nil
 	}
 	sources := PubMedSpecs(scale)[0].Generate()
 	sort.Slice(sources, func(i, j int) bool { return sources[i].Name < sources[j].Name })
-	var texts []string
+	texts = nil
 	for _, src := range sources {
 		recs, err := corpus.Parse(src)
 		if err != nil {
@@ -41,7 +46,9 @@ func IngestTexts(scale float64) ([]string, error) {
 			texts = append(texts, recs[i].Text())
 		}
 	}
+	ingestTextsCache.Lock()
 	ingestTextsCache.texts[scale] = texts
+	ingestTextsCache.Unlock()
 	return texts, nil
 }
 

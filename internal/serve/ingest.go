@@ -17,6 +17,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 
 	"inspire/internal/postings"
 	"inspire/internal/scan"
@@ -104,8 +105,11 @@ func (st *Store) Add(text string) (int64, float64, error) {
 
 // AddAt ingests one document under an explicit ID — the sharded path, where
 // the router assigns global IDs and routes each to shard ID mod S. The ID
-// must be new: at or above the base snapshot's dense range and not already
-// ingested.
+// must never have been used: adds reject base documents, already-ingested or
+// tombstoned IDs, everything below the retirement floor (rebased holes,
+// gaps under loaded segments, persisted high-water marks), and IDs whose
+// tombstones a compaction dropped. IDs above the floor may arrive out of
+// order — concurrent routed sessions land on a shard that way.
 func (st *Store) AddAt(doc int64, text string) (float64, error) {
 	counts, sig, prep := st.prepareDoc(text)
 	cost, err := st.AddCounts(doc, counts, sig)
@@ -134,8 +138,14 @@ func (st *Store) addLocked(doc int64, counts map[int64]int64, sig []float64) (fl
 			return 0, fmt.Errorf("serve: add: doc %d already ingested", doc)
 		}
 	}
-	if v.tombs[doc] {
-		return 0, fmt.Errorf("serve: add: doc %d was deleted; IDs are never reused", doc)
+	if v.tombs[doc] || doc < st.live.idFloor || st.live.retired[doc] {
+		// Everything below the retirement floor, in the retired set, or
+		// still tombstoned is in use or retired; a retired ID may have lost
+		// every other trace of itself (a rebased hole, or a tombstone
+		// dropped by compaction with its data). The floor and set — not the
+		// rolling nextDoc — are what reject here, so routed adds landing on
+		// a shard out of ID order still go through.
+		return 0, fmt.Errorf("serve: add: doc %d was deleted or retired; IDs are never reused", doc)
 	}
 	pol := st.livePolicy()
 	if st.live.delta == nil {
@@ -257,6 +267,12 @@ func (st *Store) installLive(segs []*segment.Segment, tombs []int64) error {
 			st.live.nextDoc = max
 		}
 	}
+	// IDs below the loaded segments' maxes are either present (in a segment)
+	// or retired gaps whose tombstones compacted away before the save; the
+	// floor rejects re-adding the gaps.
+	if st.live.nextDoc > st.live.idFloor {
+		st.live.idFloor = st.live.nextDoc
+	}
 	for _, d := range tombs {
 		if !v.base.containsDoc(d) && !containsAny(segs, d) {
 			return fmt.Errorf("serve: tombstone %d targets no document", d)
@@ -264,6 +280,33 @@ func (st *Store) installLive(segs []*segment.Segment, tombs []int64) error {
 	}
 	st.publishLocked(next)
 	return nil
+}
+
+// NextDocID returns the store's document-ID high-water mark: the ID the next
+// local Add would take. IDs at or above it have never been assigned; IDs
+// below it are in use or retired (deleted IDs are never reused).
+func (st *Store) NextDocID() int64 {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	st.initViewLocked()
+	return st.live.nextDoc
+}
+
+// AdvanceNextDoc raises the document-ID high-water mark (and the retirement
+// floor) to at least n. The load path uses it to restore a persisted mark
+// that the surviving data no longer implies — when the highest assigned IDs
+// were deleted and compacted away, nothing else records that they were ever
+// used.
+func (st *Store) AdvanceNextDoc(n int64) {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	st.initViewLocked()
+	if n > st.live.nextDoc {
+		st.live.nextDoc = n
+	}
+	if n > st.live.idFloor {
+		st.live.idFloor = n
+	}
 }
 
 // WaitCompaction blocks until any in-flight background compaction finishes.
@@ -326,10 +369,17 @@ func (st *Store) Compact() (float64, error) {
 	segs = append(segs, cur.segs[len(input):]...)
 	// Tombstones that pointed into the merged input are gone from the data;
 	// drop them from the set. Later tombstones (including ones filed against
-	// input docs during the merge) stay and keep filtering.
+	// input docs during the merge) stay and keep filtering. Every dropped
+	// tombstone leaves an untraceable retired ID behind; pin it in the
+	// retired set — exactly it, not a floor, so a concurrently routed lower
+	// ID still in flight stays addable.
 	next := make(map[int64]bool, len(cur.tombs))
 	for d := range cur.tombs {
 		if tombs[d] && containsAny(input, d) {
+			if st.live.retired == nil {
+				st.live.retired = make(map[int64]bool)
+			}
+			st.live.retired[d] = true
 			continue
 		}
 		next[d] = true
@@ -360,18 +410,29 @@ func containsAny(segs []*segment.Segment, doc int64) bool {
 // generation advanced) are swapped in at the end.
 //
 // After a rebase TotalDocs is the document-ID high water, not the live count
-// (deleted IDs leave holes and are never reused); Shard still assumes the
-// dense IDs of a pure pipeline snapshot, so shard a store before ingesting
-// into it, not after rebasing deletions.
+// (deleted IDs leave holes, recorded in Store.Holes and reading as absent,
+// and are never reused); Shard still assumes the dense IDs of a pure
+// pipeline snapshot, so shard a store before ingesting into it, not after
+// rebasing deletions.
 func (st *Store) Rebase() error {
-	if _, err := st.Flush(); err != nil {
-		return err
-	}
 	st.WaitCompaction()
 	st.live.mu.Lock()
 	defer st.live.mu.Unlock()
-	v := st.initViewLocked()
-	if len(v.segs) == 0 && len(v.tombs) == 0 {
+	st.initViewLocked()
+	// Seal inside the critical section: an add landing between an unlocked
+	// flush and this lock would advance nextDoc and be silently absorbed
+	// into the new base range as a phantom document with no postings. (A
+	// compaction our own seal spawns blocks on live.mu and no-ops after the
+	// rebase empties the segment list.)
+	if _, err := st.sealLocked(); err != nil {
+		return err
+	}
+	v := st.live.cur.Load()
+	// Nothing to fold only when no segments, no tombstones AND no
+	// compaction-retired IDs exist: a retired set with everything else empty
+	// (every ingest deleted and compacted away) still must materialize as
+	// holes, or persisting the store would forget the IDs were ever used.
+	if len(v.segs) == 0 && len(v.tombs) == 0 && len(st.live.retired) == 0 {
 		return nil
 	}
 
@@ -455,6 +516,24 @@ func (st *Store) Rebase() error {
 
 	st.Posts, st.DF = posts, posts.Count
 	st.Off, st.PostDoc, st.PostFreq = nil, nil, nil
+	if len(dead) > 0 || len(st.live.retired) > 0 {
+		// Deleted IDs — current tombstones and compaction-retired IDs alike
+		// — become permanent holes in the rebased range: the high-water mark
+		// keeps covering them (IDs are never reused), but they must read as
+		// absent, not as live base documents. The three sources are disjoint
+		// (retired IDs left the tombstone set, and old holes sit below the
+		// previous floor).
+		holes := make([]int64, 0, len(st.Holes)+len(dead)+len(st.live.retired))
+		holes = append(holes, st.Holes...)
+		for d := range dead {
+			holes = append(holes, d)
+		}
+		for d := range st.live.retired {
+			holes = append(holes, d)
+		}
+		sort.Slice(holes, func(a, b int) bool { return holes[a] < holes[b] })
+		st.Holes = holes
+	}
 	if st.ShardCount > 0 {
 		// A shard's TotalDocs is its document count; base membership stays
 		// modular, so the global high water moves to cover rebased ingests.
@@ -465,6 +544,10 @@ func (st *Store) Rebase() error {
 		// (deleted IDs leave holes and are never reused).
 		st.TotalDocs = st.live.nextDoc
 	}
+	// Everything below the high water is now base or hole: retire the whole
+	// range, which subsumes the compaction-retired set.
+	st.live.idFloor = st.live.nextDoc
+	st.live.retired = nil
 	st.SigM = v.sigs.M
 	st.SigDocs, st.SigVecs = sigDocs, sigVecs
 	st.Points = points

@@ -320,6 +320,390 @@ func TestDeleteTombstones(t *testing.T) {
 	}
 }
 
+// TestRefreshSimilarDropsCompactedTombstones pins the lineage-walk filter of
+// the incremental similarity refresh: a document sealed into a segment,
+// deleted, and then compacted away loses its tombstone from the published
+// view (the data went with it), but the lineage segments a cached top-K is
+// patched forward across still carry its signature — the refresh must filter
+// the tombstones walked along the lineage, not just the view's set, or it
+// resurrects the deleted document.
+func TestRefreshSimilarDropsCompactedTombstones(t *testing.T) {
+	st := buildStoreT(t, 2).Fork()
+	st.SetLivePolicy(LivePolicy{SealDocs: 100, CompactSegments: 100, ManualCompaction: true})
+	srv := newServerT(t, st, Config{})
+	sess := srv.NewSession()
+	k := int(st.TotalDocs) + 4 // large enough that every visible doc ranks
+
+	// Prime the similarity cache at the base epoch.
+	if _, err := sess.Similar(0, k); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal doc x (a duplicate of doc 0's text, so it scores at the top) into
+	// its own segment, then a second segment so compaction has work to do.
+	x, _, err := st.Add(miniDocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Add(miniDocs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if vec, ok := st.SignatureOf(x); !ok || vec == nil {
+		t.Fatal("ingested doc has no signature; the scenario needs a scorable one")
+	}
+	if _, err := st.Delete(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if v := st.viewNow(); v.tombs[x] {
+		t.Fatal("compaction kept the tombstone; the regression needs it dropped")
+	}
+
+	hits, err := sess.Similar(0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Doc == x {
+			t.Fatalf("deleted doc %d resurrected by the incremental refresh: %v", x, hits)
+		}
+	}
+	if srv.Stats().SimRefreshes == 0 {
+		t.Fatal("a full rescan answered the query; the refresh path was not exercised")
+	}
+	// The patched answer equals a cold full scan.
+	cold, err := newServerT(t, st, Config{}).NewSession().Similar(0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hits, cold) {
+		t.Fatalf("refreshed answer %v differs from cold scan %v", hits, cold)
+	}
+}
+
+// TestPersistedNextDocNeverReusesIDs pins the ID high-water mark across
+// persistence: delete every ingested document and compact, and the segments
+// and tombstones that recorded the assigned IDs are all gone — only the
+// manifest's NextDoc mark keeps a reloaded set from re-assigning them.
+func TestPersistedNextDocNeverReusesIDs(t *testing.T) {
+	st := buildStoreT(t, 2)
+	shards, err := st.Shard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shards {
+		sh.SetLivePolicy(LivePolicy{SealDocs: 2, CompactSegments: 100, ManualCompaction: true})
+	}
+	router, err := NewRouter(shards, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := router.NewSession()
+	first, last := int64(-1), int64(-1)
+	for i := 0; i < 8; i++ {
+		doc, err := sess.Add(fmt.Sprintf("apple banana %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first < 0 {
+			first = doc
+		}
+		last = doc
+	}
+	if err := router.FlushLive(); err != nil {
+		t.Fatal(err)
+	}
+	for d := first; d <= last; d++ {
+		if err := sess.Delete(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := router.CompactLive(); err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shards {
+		if sh.LiveSegments() != 0 || len(sh.viewNow().tombs) != 0 {
+			t.Fatalf("shard %d still carries segments/tombstones; the scenario needs them compacted away", i)
+		}
+	}
+
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "set.live")
+	if err := router.SaveLive(manifest); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing but the mark is live, and the mark alone must force v2.
+	if !bytes.HasPrefix(data, []byte(manifestMagicV2)) {
+		t.Fatalf("manifest magic %q: the ID high-water mark was not persisted", data[:12])
+	}
+
+	_, loaded, err := LoadShards(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := NewRouter(loaded, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := reloaded.NewSession().Add("apple fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != last+1 {
+		t.Fatalf("reloaded router assigned doc %d, want %d (deleted IDs are never reused)", doc, last+1)
+	}
+}
+
+// TestOutOfOrderAddsAndRetiredIDs pins the retirement-floor semantics: the
+// router assigns global IDs atomically but concurrent sessions' appends can
+// reach a shard out of ID order, so a later-assigned ID landing first must
+// not retire an earlier one still in flight — while genuinely retired IDs
+// (tombstones dropped by compaction together with their data) reject
+// forever.
+func TestOutOfOrderAddsAndRetiredIDs(t *testing.T) {
+	st := buildStoreT(t, 2).Fork()
+	st.SetLivePolicy(LivePolicy{SealDocs: 2, CompactSegments: 100, ManualCompaction: true})
+	base := st.TotalDocs
+	// The later-assigned ID lands first (the concurrent routed-add shape).
+	if _, err := st.AddCounts(base+3, map[int64]int64{0: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddCounts(base, map[int64]int64{0: 1}, nil); err != nil {
+		t.Fatalf("out-of-order add below the rolling high-water rejected: %v", err)
+	}
+	if _, err := st.AddCounts(base+1, map[int64]int64{0: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddCounts(base+2, map[int64]int64{0: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddCounts(base, map[int64]int64{0: 1}, nil); err == nil {
+		t.Fatal("duplicate ingested ID accepted")
+	}
+	if st.LiveSegments() != 2 {
+		t.Fatalf("expected 2 sealed segments, got %d", st.LiveSegments())
+	}
+	// Delete the highest ID and compact it away: the tombstone drops with
+	// the data, and the retired set must remember exactly that ID — while a
+	// lower, never-used ID whose routed add is still in flight stays
+	// addable.
+	if _, err := st.Delete(base + 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.viewNow().tombs) != 0 {
+		t.Fatal("compaction kept the tombstone; the scenario needs it dropped")
+	}
+	if _, err := st.AddCounts(base+3, map[int64]int64{0: 1}, nil); err == nil {
+		t.Fatal("compacted-away retired ID reused")
+	}
+	doc, _, err := st.Add("apple fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != base+4 {
+		t.Fatalf("next self-assigned add got %d, want %d", doc, base+4)
+	}
+	// The in-flight shape again, past a retired ID: a routed add assigned
+	// base+5 lands after base+6 was already ingested, deleted and compacted
+	// away on this shard — base+5 must still go through.
+	if _, err := st.AddCounts(base+6, map[int64]int64{0: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Delete(base + 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddCounts(base+5, map[int64]int64{0: 1}, nil); err != nil {
+		t.Fatalf("in-flight ID below a compaction-retired one rejected: %v", err)
+	}
+	if _, err := st.AddCounts(base+6, map[int64]int64{0: 1}, nil); err == nil {
+		t.Fatal("compacted-away retired ID reused after later adds")
+	}
+
+	// A rebase folds the retired IDs into persistent holes.
+	if err := st.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	for _, hole := range []int64{base + 3, base + 6} {
+		found := false
+		for _, d := range st.Holes {
+			if d == hole {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("retired ID %d not folded into holes %v", hole, st.Holes)
+		}
+	}
+}
+
+// TestRebaseLeavesHolesAbsent pins the hole semantics of a rebase that
+// dropped deletions: the retired IDs stay covered by the high-water mark
+// (never reused) but must read as absent — not as live base documents that
+// inflate LiveDocs, accept a second Delete, or shard.
+func TestRebaseLeavesHolesAbsent(t *testing.T) {
+	st := buildStoreT(t, 2).Fork()
+	st.SetLivePolicy(LivePolicy{SealDocs: 100, CompactSegments: 100, ManualCompaction: true})
+	base := st.LiveDocs()
+	doc, _, err := st.Add("apple banana transient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Delete(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LiveDocs(); got != base {
+		t.Fatalf("LiveDocs after rebase = %d, want %d (hole counted as live)", got, base)
+	}
+	if _, err := st.Delete(doc); err == nil {
+		t.Fatal("deleting a rebased-away hole accepted")
+	}
+	if _, err := st.AddAt(doc, "resurrection"); err == nil {
+		t.Fatal("hole ID reused")
+	}
+	if _, err := st.Shard(2); err == nil {
+		t.Fatal("holey store sharded")
+	}
+	next, _, err := st.Add("apple fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != doc+1 {
+		t.Fatalf("next add assigned %d, want %d", next, doc+1)
+	}
+
+	// The holes persist: flush, rebase again, save, reload.
+	if err := st.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "holey.store")
+	if err := st.SaveFile(file); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hole-carrying store bumps the magic so earlier builds reject it
+	// loudly instead of gob-dropping Holes and resurrecting the deletions.
+	if !bytes.HasPrefix(raw, []byte("INSPSTORE3\n")) {
+		t.Fatalf("holey store wrote magic %q", raw[:11])
+	}
+	back, err := LoadStoreFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.LiveDocs(); got != base+1 {
+		t.Fatalf("reloaded LiveDocs = %d, want %d", got, base+1)
+	}
+	if _, err := back.Delete(doc); err == nil {
+		t.Fatal("reloaded store accepted deleting a hole")
+	}
+	if _, err := back.Delete(next); err != nil {
+		t.Fatalf("reloaded store rejects a real document: %v", err)
+	}
+}
+
+// TestLoadShardsBackfillsLegacyRoutingMetadata pins the legacy-set upgrade
+// path: shard stores persisted before the live layer carry no routing
+// metadata (ShardCount/ShardIndex/GlobalDocs gob-decode zero), so LoadShards
+// must backfill it from the manifest — otherwise live ingestion into a
+// reloaded legacy set assigns IDs colliding with base documents and deletes
+// of high base IDs fail as unknown.
+func TestLoadShardsBackfillsLegacyRoutingMetadata(t *testing.T) {
+	st := buildStoreT(t, 2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.shards")
+	if err := st.SaveShards(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite each shard file without the routing metadata, exactly as the
+	// pre-live release persisted them.
+	man, _, err := LoadShards(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range man.Shards {
+		sh, err := LoadStoreFile(filepath.Join(dir, info.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.ShardCount, sh.ShardIndex, sh.GlobalDocs = 0, 0, 0
+		if err := sh.SaveFile(filepath.Join(dir, info.File)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, loaded, err := LoadShards(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range loaded {
+		if sh.ShardCount != 2 || sh.ShardIndex != i || sh.GlobalDocs != st.TotalDocs {
+			t.Fatalf("shard %d routing metadata not backfilled: count=%d index=%d global=%d",
+				i, sh.ShardCount, sh.ShardIndex, sh.GlobalDocs)
+		}
+	}
+	router, err := NewRouter(loaded, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := router.NewSession()
+	doc, err := sess.Add("apple banana legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != st.TotalDocs {
+		t.Fatalf("legacy set assigned doc %d, want %d (must not collide with base documents)", doc, st.TotalDocs)
+	}
+	// The highest base doc is deletable (the dense per-shard rule would call
+	// any base ID >= the shard's own count unknown).
+	if err := sess.Delete(st.TotalDocs - 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A store whose recorded partition disagrees with the manifest is
+	// rejected rather than silently misrouted.
+	bad, err := LoadStoreFile(filepath.Join(dir, man.Shards[0].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.ShardCount, bad.ShardIndex, bad.GlobalDocs = 3, 0, st.TotalDocs
+	if err := bad.SaveFile(filepath.Join(dir, man.Shards[0].File)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadShards(path); err == nil {
+		t.Fatal("mismatched shard-count metadata accepted")
+	}
+}
+
 // TestIngestVisibilityFollowsSeals checks the refresh-lag contract: buffered
 // adds are invisible until the delta seals (threshold or Flush), and every
 // interaction after the swap sees them.

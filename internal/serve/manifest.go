@@ -10,9 +10,10 @@ import (
 // The shard stores themselves stay ordinary INSPSTORE2 files; the manifest
 // is what makes them a set. Version 1 describes a frozen partition; version
 // 2 extends each shard with its live state — the sealed ingest segments
-// (sidecar INSPSEG1 files) and the tombstone set — so a live set persists
-// and reloads mid-stream. Encode writes v1 bytes whenever no shard carries
-// live state, so frozen sets stay loadable by earlier builds.
+// (sidecar INSPSEG1 files), the tombstone set and the document-ID high-water
+// mark — so a live set persists and reloads mid-stream. Encode writes v1
+// bytes whenever no shard carries live state, so frozen sets stay loadable
+// by earlier builds.
 const (
 	manifestMagic   = "INSPSHARDS1\n"
 	manifestMagicV2 = "INSPSHARDS2\n"
@@ -56,6 +57,13 @@ type ShardInfo struct {
 	Segments []SegmentInfo
 	// Tombs lists the shard's tombstoned document IDs, strictly ascending.
 	Tombs []int64
+	// NextDoc persists the shard's document-ID high-water mark when the
+	// surviving data no longer implies it — after the highest assigned IDs
+	// were deleted and compacted away, their tombstones drop with the data,
+	// and without this mark a reloaded set would re-assign them (IDs are
+	// never reused). Zero means "derive from the base bound and segments",
+	// which is exact whenever the highest ID is still present.
+	NextDoc int64
 }
 
 // SegmentInfo names one sealed segment file and its document count.
@@ -64,11 +72,12 @@ type SegmentInfo struct {
 	Docs int64
 }
 
-// liveState reports whether any shard carries segments or tombstones — what
-// decides the manifest version written.
+// liveState reports whether any shard carries live state — segments,
+// tombstones or an explicit ID high-water mark — which decides the manifest
+// version written.
 func (m *Manifest) liveState() bool {
 	for _, s := range m.Shards {
-		if len(s.Segments) > 0 || len(s.Tombs) > 0 {
+		if len(s.Segments) > 0 || len(s.Tombs) > 0 || s.NextDoc > 0 {
 			return true
 		}
 	}
@@ -110,6 +119,8 @@ func (m *Manifest) Validate() error {
 			return fmt.Errorf("serve: manifest shard %d has %d segments", i, len(s.Segments))
 		case len(s.Tombs) > maxManifestTombs:
 			return fmt.Errorf("serve: manifest shard %d has %d tombstones", i, len(s.Tombs))
+		case s.NextDoc < 0:
+			return fmt.Errorf("serve: manifest shard %d has negative next-doc mark", i)
 		}
 		files[s.File] = true
 		docs += s.Docs
@@ -173,6 +184,7 @@ func (m *Manifest) Encode() ([]byte, error) {
 			buf = binary.AppendUvarint(buf, uint64(d-prev))
 			prev = d
 		}
+		buf = binary.AppendUvarint(buf, uint64(s.NextDoc))
 	}
 	return buf, nil
 }
@@ -223,6 +235,7 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 				prev += int64(r.uvarint())
 				s.Tombs = append(s.Tombs, prev)
 			}
+			s.NextDoc = int64(r.uvarint())
 		}
 	}
 	// A v2 manifest without live state would re-encode as v1; reject it so

@@ -31,8 +31,19 @@ func FuzzManifestRoundTrip(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	// A shard whose only live state is the ID high-water mark (everything
+	// ingested was deleted and compacted away) still writes v2.
+	markSeed := &Manifest{
+		NumShards: 1, TotalDocs: 4, VocabSize: 3, Route: RouteMod,
+		Shards: []ShardInfo{{File: "r.s00", Docs: 4, Postings: 9, NextDoc: 11}},
+	}
+	markData, err := markSeed.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(data, uint8(2), uint16(9), uint16(4))
 	f.Add(liveData, uint8(3), uint16(7), uint16(3))
+	f.Add(markData, uint8(1), uint16(4), uint16(3))
 	f.Add([]byte(manifestMagic), uint8(1), uint16(0), uint16(0))
 	f.Add([]byte(manifestMagicV2), uint8(1), uint16(2), uint16(1))
 	f.Add([]byte{}, uint8(0), uint16(0), uint16(0))
@@ -81,6 +92,7 @@ func FuzzManifestRoundTrip(f *testing.F) {
 				for j := int64(0); j < int64(docs)%5; j++ {
 					info.Tombs = append(info.Tombs, int64(i)+j*(int64(vocab)+1))
 				}
+				info.NextDoc = int64(docs) % 3 * (int64(vocab) + int64(i))
 			}
 			m.Shards = append(m.Shards, info)
 			m.TotalDocs += d

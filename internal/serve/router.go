@@ -110,7 +110,6 @@ func NewRouter(shards []*Store, cfg Config) (*Router, error) {
 			r.df[t] += d
 		}
 		r.totalDocs += st.TotalDocs
-		nextDoc += st.TotalDocs
 		// A shard loaded with live segments (a persisted live set) feeds its
 		// segment DF summaries into the router tables, exactly as if the
 		// adds had routed through this router.
@@ -122,10 +121,13 @@ func NewRouter(shards []*Store, cfg Config) (*Router, error) {
 					r.df[t] += c
 				}
 			}
-			nextDoc += seg.NumDocs()
-			if max := seg.MaxDoc() + 1; max > nextDoc {
-				nextDoc = max
-			}
+		}
+		// Document IDs are global: the next ID is the highest mark any shard
+		// records (base bound, segment maxes, or a persisted high-water mark
+		// covering IDs whose data was deleted and compacted away). Counting
+		// surviving docs instead would re-assign retired IDs.
+		if next := st.NextDocID(); next > nextDoc {
+			nextDoc = next
 		}
 	}
 	r.nextDoc.Store(nextDoc)
@@ -557,11 +559,17 @@ func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
 	hits = mergeHits(parts, k)
 	cost += r.mergeCost(float64(len(hits)), 16)
 
-	r.smu.Lock()
-	if r.sims.add(key, hits) {
-		r.simEvictions.Add(1)
+	// The shards resolved their views after the key's sum was read, so under
+	// concurrent ingest the merged answer can reflect newer epochs than the
+	// key claims. Cache only when the sum is unchanged — every published
+	// change strictly grows it, so equality means no shard moved.
+	if r.epochSum() == key.epoch {
+		r.smu.Lock()
+		if r.sims.add(key, hits) {
+			r.simEvictions.Add(1)
+		}
+		r.smu.Unlock()
 	}
-	r.smu.Unlock()
 	rs.charge(cost)
 	return hits, nil
 }
@@ -596,19 +604,30 @@ func (rs *RouterSession) Add(text string) (int64, error) {
 	doc := r.nextDoc.Add(1) - 1
 	shard := ShardOf(doc, len(r.shards))
 	sub := rs.subs[shard]
-	appendCost, err := sub.s.store.AddCounts(doc, counts, sig)
-	sub.charge(appendCost)
-	cost := prep + r.model.RPCRoundTrip(float64(len(text))+8, 8) + appendCost
-	rs.charge(cost)
-	if err != nil {
-		return 0, err
-	}
+	// Fold the document's terms into the replicated DF tables before the
+	// shard append: AddCounts may seal and publish the batch, and a query
+	// pruned by a still-zero summary in that window would miss documents
+	// already visible on the shard. Folding first only ever over-admits a
+	// fan-out, which is safe (deletes leave the tables overcounted too).
 	r.dfMu.Lock()
 	for t := range counts {
 		r.liveDF[shard][t]++
 		r.df[t]++
 	}
 	r.dfMu.Unlock()
+	appendCost, err := sub.s.store.AddCounts(doc, counts, sig)
+	sub.charge(appendCost)
+	cost := prep + r.model.RPCRoundTrip(float64(len(text))+8, 8) + appendCost
+	rs.charge(cost)
+	if err != nil {
+		r.dfMu.Lock()
+		for t := range counts {
+			r.liveDF[shard][t]--
+			r.df[t]--
+		}
+		r.dfMu.Unlock()
+		return 0, err
+	}
 	return doc, nil
 }
 

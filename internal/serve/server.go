@@ -612,7 +612,18 @@ func (ss *Session) And(terms ...string) []int64 {
 		}
 		cands = append(cands, cand{id: t, baseDF: v.base.df[t], liveDF: live})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].liveDF < cands[b].liveDF })
+	// Rarest-first must follow the base lists the base pass actually fetches:
+	// ordering by live DF would seed the accumulator with a huge base list
+	// whenever a term's postings concentrate in ingested segments (live DF
+	// small overall but base DF large is impossible; the inverse — base-rare,
+	// segment-heavy — is exactly a trending ingested term). Live DF already
+	// served its purpose in the doomed-query exit above.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].baseDF != cands[b].baseDF {
+			return cands[a].baseDF < cands[b].baseDF
+		}
+		return cands[a].liveDF < cands[b].liveDF
+	})
 
 	// Base intersection: only possible when every term has base postings.
 	var acc []int64
@@ -745,48 +756,19 @@ func (ss *Session) Or(terms ...string) []int64 {
 }
 
 // unionSorted k-way merges ascending document lists into their deduplicated
-// union. A linear selection scan per emitted doc is right for the handful of
-// lists a disjunction carries; the lists are never mutated. nil when empty.
+// union (the shared mergeSorted selection merge, then an in-place dedup pass
+// — distinct query terms share documents, so the merged stream repeats
+// them). nil when empty.
 func unionSorted(lists [][]int64) []int64 {
-	switch len(lists) {
-	case 0:
-		return nil
-	case 1:
-		if len(lists[0]) == 0 {
-			return nil
-		}
-		return append([]int64(nil), lists[0]...)
-	}
-	var total int
-	for _, l := range lists {
-		total += len(l)
-	}
-	if total == 0 {
+	merged := mergeSorted(lists, func(a, b int64) bool { return a < b }, -1)
+	if merged == nil {
 		return nil
 	}
-	out := make([]int64, 0, total)
-	pos := make([]int, len(lists))
-	for {
-		best := -1
-		for i, l := range lists {
-			if pos[i] >= len(l) {
-				continue
-			}
-			if best < 0 || l[pos[i]] < lists[best][pos[best]] {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		d := lists[best][pos[best]]
+	out := merged[:0]
+	for _, d := range merged {
 		if n := len(out); n == 0 || out[n-1] != d {
 			out = append(out, d)
 		}
-		pos[best]++
-	}
-	if len(out) == 0 {
-		return nil
 	}
 	return out
 }
@@ -862,11 +844,17 @@ func (s *Server) refreshSimilar(v *view, target []float64, exclude int64, k int)
 		if !ok {
 			continue
 		}
+		// Tombstones filed along the walked lineage must filter the appended
+		// segments too, not just v.tombs: a compaction drops a tombstone from
+		// the published set together with the doc's postings, but a lineage
+		// segment sealed before the delete still carries the doc's signature.
+		dead := make(map[int64]bool, len(tombs))
+		for _, d := range tombs {
+			dead[d] = true
+		}
 		for _, h := range hits {
-			for _, d := range tombs {
-				if h.Doc == d {
-					return nil, 0, false // a cached hit died: full rescan
-				}
+			if dead[h.Doc] {
+				return nil, 0, false // a cached hit died: full rescan
 			}
 		}
 		scored := append([]query.Hit(nil), hits...)
@@ -874,7 +862,7 @@ func (s *Server) refreshSimilar(v *view, target []float64, exclude int64, k int)
 		for _, seg := range segs {
 			for i, vec := range seg.SigVecs {
 				d := seg.Docs[i]
-				if vec == nil || d == exclude || v.tombs[d] {
+				if vec == nil || d == exclude || v.tombs[d] || dead[d] {
 					continue
 				}
 				scored = append(scored, query.Hit{Doc: d, Score: query.Cosine(target, vec)})

@@ -40,6 +40,12 @@ func (st *Store) Shard(n int) ([]*Store, error) {
 	if hasLive {
 		return nil, fmt.Errorf("serve: shard a store before ingesting into it (flush and Rebase first)")
 	}
+	if len(st.Holes) > 0 {
+		// Sharding assumes the dense IDs of a pure pipeline snapshot; a
+		// rebase that dropped deletions left holes the per-shard counts
+		// cannot describe (see Rebase's doc comment).
+		return nil, fmt.Errorf("serve: shard a store before rebasing deletions into it")
+	}
 	if err := st.validate(); err != nil {
 		return nil, err
 	}
@@ -186,6 +192,22 @@ func SaveLiveSet(path string, shards []*Store) error {
 			info.Tombs = append(info.Tombs, d)
 		}
 		sort.Slice(info.Tombs, func(a, b int) bool { return info.Tombs[a] < info.Tombs[b] })
+		// Persist the ID high-water mark only when the surviving data no
+		// longer implies it (the highest assigned IDs were deleted and
+		// compacted away): the common case re-derives it at load, keeping
+		// frozen sets byte-identical to SaveShards output.
+		derived := sh.TotalDocs
+		if sh.ShardCount > 0 {
+			derived = sh.GlobalDocs
+		}
+		for _, seg := range v.segs {
+			if m := seg.MaxDoc() + 1; m > derived {
+				derived = m
+			}
+		}
+		if next := sh.NextDocID(); next > derived {
+			info.NextDoc = next
+		}
 		man.Shards[i] = info
 		man.TotalDocs += sh.TotalDocs
 	}
@@ -218,6 +240,21 @@ func LoadShards(path string) (*Manifest, []*Store, error) {
 		}
 		if sh.VocabSize != man.VocabSize {
 			return nil, nil, fmt.Errorf("serve: shard %d has vocabulary %d, manifest says %d", i, sh.VocabSize, man.VocabSize)
+		}
+		// Shard stores persisted before the live layer carry no routing
+		// metadata (the gob fields decode zero); backfill it from the
+		// manifest, which describes the same dense global space, so the live
+		// layer can tell "base document" from "unknown" on legacy sets too.
+		// Stores that do carry it must agree with the manifest.
+		switch {
+		case sh.ShardCount == 0:
+			sh.ShardCount = man.NumShards
+			sh.ShardIndex = i
+			sh.GlobalDocs = man.TotalDocs
+		case sh.ShardCount != man.NumShards:
+			return nil, nil, fmt.Errorf("serve: shard %d store says a %d-way partition, manifest says %d", i, sh.ShardCount, man.NumShards)
+		case sh.ShardIndex != i:
+			return nil, nil, fmt.Errorf("serve: shard %d store says it is shard %d", i, sh.ShardIndex)
 		}
 		var posts int64
 		for _, c := range sh.DF {
@@ -268,6 +305,10 @@ func LoadShards(path string) (*Manifest, []*Store, error) {
 				return nil, nil, fmt.Errorf("serve: load shard %d: %w", i, err)
 			}
 		}
+		// Restore the persisted ID high-water mark (see ShardInfo.NextDoc) so
+		// the never-reuse invariant survives deleting-then-compacting the
+		// highest assigned IDs.
+		sh.AdvanceNextDoc(info.NextDoc)
 		docs += sh.TotalDocs
 		shards[i] = sh
 	}

@@ -306,9 +306,30 @@ func TestManifestCodec(t *testing.T) {
 		t.Fatalf("round trip: %#v != %#v", back, good)
 	}
 
+	// The ID high-water mark alone round-trips too (and forces v2).
+	marked := &Manifest{
+		NumShards: 1, TotalDocs: 5, VocabSize: 7, Route: RouteMod,
+		Shards: []ShardInfo{{File: "a.s00", Docs: 5, Postings: 30, NextDoc: 12}},
+	}
+	data, err = marked.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:len(manifestMagicV2)]) != manifestMagicV2 {
+		t.Fatalf("marked manifest magic %q", data[:len(manifestMagicV2)])
+	}
+	back, err = DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(marked, back) {
+		t.Fatalf("marked round trip: %#v != %#v", back, marked)
+	}
+
 	bad := []*Manifest{
 		{NumShards: 0, Route: RouteMod},
 		{NumShards: 1, Route: "hash", Shards: []ShardInfo{{File: "x", Docs: 0}}},
+		{NumShards: 1, Route: RouteMod, Shards: []ShardInfo{{File: "x", Docs: 0, NextDoc: -1}}},
 		{NumShards: 1, Route: RouteMod, Shards: []ShardInfo{{File: "../x", Docs: 0}}},
 		{NumShards: 1, Route: RouteMod, Shards: []ShardInfo{{File: "sub/x", Docs: 0}}},
 		{NumShards: 2, Route: RouteMod, Shards: []ShardInfo{{File: "x", Docs: 0}, {File: "x", Docs: 0}}},

@@ -65,6 +65,13 @@ type Store struct {
 	ShardIndex int
 	GlobalDocs int64
 
+	// Holes lists, strictly ascending, the base-range document IDs whose
+	// documents were deleted and then rebased away: the dense range keeps
+	// covering them (TotalDocs — GlobalDocs on a shard — stays the ID
+	// high-water mark, because IDs are never reused), but they must read as
+	// absent. Nil for stores with no rebased deletions.
+	Holes []int64
+
 	// Terms maps a normalized term to its dense ID; TermList is the inverse.
 	Terms    map[string]int64
 	TermList []string
@@ -358,6 +365,7 @@ func (st *Store) FlatCopy() *Store {
 		Model: st.Model, P: st.P,
 		TotalDocs: st.TotalDocs, VocabSize: st.VocabSize,
 		ShardCount: st.ShardCount, ShardIndex: st.ShardIndex, GlobalDocs: st.GlobalDocs,
+		Holes: st.Holes,
 		Terms: st.Terms, TermList: st.TermList, Prefix: st.Prefix,
 		DF: st.DF, Posts: st.Posts,
 		Off: st.Off, PostDoc: st.PostDoc, PostFreq: st.PostFreq,
@@ -378,6 +386,7 @@ func (st *Store) Fork() *Store {
 		Model: st.Model, P: st.P,
 		TotalDocs: st.TotalDocs, VocabSize: st.VocabSize,
 		ShardCount: st.ShardCount, ShardIndex: st.ShardIndex, GlobalDocs: st.GlobalDocs,
+		Holes: st.Holes,
 		Terms: st.Terms, TermList: st.TermList, Prefix: st.Prefix,
 		DF: st.DF, Posts: st.Posts,
 		Off: st.Off, PostDoc: st.PostDoc, PostFreq: st.PostFreq,
@@ -547,6 +556,11 @@ func (st *Store) validate() error {
 	if err := st.Model.Validate(); err != nil {
 		return err
 	}
+	for i, d := range st.Holes {
+		if d < 0 || (i > 0 && d <= st.Holes[i-1]) {
+			return fmt.Errorf("serve: store holes not strictly ascending at %d", i)
+		}
+	}
 	if st.Proj != nil {
 		if err := st.Proj.Validate(); err != nil {
 			return err
@@ -580,21 +594,29 @@ func (st *Store) validate() error {
 }
 
 // The store file magics version the format: v1 carries flat posting arrays,
-// v2 the block-compressed layout. Both headers are the same length, and the
-// loader accepts either.
+// v2 the block-compressed layout, v3 adds rebased deletion holes. All
+// headers are the same length, and the loader accepts any of them. The v3
+// bump is what makes an earlier build reject a hole-carrying file loudly
+// instead of gob-dropping the unknown field and silently resurrecting the
+// deleted documents.
 const (
 	storeMagicV1 = "INSPSTORE1\n"
 	storeMagicV2 = "INSPSTORE2\n"
+	storeMagicV3 = "INSPSTORE3\n"
 )
 
 // Save writes the store in its persistent format (magic header + gob body),
 // enabling index-once/serve-many across process restarts. A compressed store
-// writes INSPSTORE2; a flat store writes the legacy INSPSTORE1, byte-for-
-// byte loadable by previous builds.
+// writes INSPSTORE2 — INSPSTORE3 when rebased deletions left ID holes — and
+// a flat store writes the legacy INSPSTORE1, byte-for-byte loadable by
+// previous builds.
 func (st *Store) Save(w io.Writer) error {
 	magic := storeMagicV1
 	if st.Posts != nil {
 		magic = storeMagicV2
+	}
+	if len(st.Holes) > 0 {
+		magic = storeMagicV3
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, magic); err != nil {
@@ -629,18 +651,22 @@ func LoadStore(r io.Reader) (*Store, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("serve: load store: %w", err)
 	}
-	if string(magic) != storeMagicV1 && string(magic) != storeMagicV2 {
+	if string(magic) != storeMagicV1 && string(magic) != storeMagicV2 && string(magic) != storeMagicV3 {
 		return nil, fmt.Errorf("serve: load store: bad magic %q", magic)
 	}
 	st := &Store{}
 	if err := gob.NewDecoder(br).Decode(st); err != nil {
 		return nil, fmt.Errorf("serve: load store: %w", err)
 	}
-	if string(magic) == storeMagicV2 && st.Posts == nil {
+	switch {
+	case string(magic) == storeMagicV2 && st.Posts == nil:
 		return nil, fmt.Errorf("serve: load store: v2 file carries no compressed postings")
-	}
-	if string(magic) == storeMagicV1 && st.Posts != nil {
+	case string(magic) == storeMagicV1 && st.Posts != nil:
 		return nil, fmt.Errorf("serve: load store: v1 file carries compressed postings")
+	case string(magic) != storeMagicV3 && len(st.Holes) > 0:
+		return nil, fmt.Errorf("serve: load store: %q file carries deletion holes", magic[:10])
+	case string(magic) == storeMagicV3 && len(st.Holes) == 0:
+		return nil, fmt.Errorf("serve: load store: v3 file carries no deletion holes")
 	}
 	if err := st.validate(); err != nil {
 		return nil, err

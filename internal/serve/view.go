@@ -74,6 +74,13 @@ type baseView struct {
 	shardCount, shardIndex int
 	globalDocs             int64
 
+	// holes are IDs inside the base range whose documents were deleted and
+	// rebased away (Store.Holes); they read as absent. live is the number of
+	// base documents actually present — totalDocs minus the holes for a
+	// monolithic store, while a shard's TotalDocs already counts survivors.
+	holes map[int64]bool
+	live  int64
+
 	df    []int64
 	posts *postings.Store
 	// Legacy flat layout, populated when posts is nil.
@@ -86,7 +93,7 @@ type baseView struct {
 
 // containsDoc reports whether doc is a base document of this store.
 func (b *baseView) containsDoc(doc int64) bool {
-	if doc < 0 {
+	if doc < 0 || b.holes[doc] {
 		return false
 	}
 	if b.shardCount > 0 {
@@ -121,10 +128,11 @@ func (v *view) df(t int64) int64 {
 	return n
 }
 
-// liveDocs returns the number of visible documents: base + sealed segments −
-// tombstones. Documents still buffered in the mutable delta are not visible.
+// liveDocs returns the number of visible documents: present base docs (holes
+// excluded) + sealed segments − tombstones. Documents still buffered in the
+// mutable delta are not visible.
 func (v *view) liveDocs() int64 {
-	n := v.base.totalDocs
+	n := v.base.live
 	for _, s := range v.segs {
 		n += s.NumDocs()
 	}
@@ -178,6 +186,20 @@ type liveState struct {
 	mu      sync.Mutex
 	delta   *segment.Delta
 	nextDoc int64
+	// idFloor is the retirement floor: every ID below it is in use or
+	// retired with possibly no surviving trace (a rebased hole, a gap under
+	// a loaded segment), so adds reject it outright. Unlike the rolling
+	// nextDoc it does NOT advance on ordinary appends — routed adds from
+	// concurrent sessions may land on a shard out of ID order, and a
+	// later-assigned ID must not retire an earlier one still in flight. It
+	// rises only at load (base bound, segment maxes, persisted mark) and on
+	// rebase.
+	idFloor int64
+	// retired pins the exact IDs above the floor whose tombstones a
+	// compaction dropped together with their data — nothing else records
+	// that they were ever used. A set, not a watermark, so in-flight lower
+	// IDs stay addable. Rebase folds it into holes and clears it.
+	retired map[int64]bool
 	policy  LivePolicy
 
 	compacting  bool
@@ -208,17 +230,19 @@ func (st *Store) initViewLocked() *view {
 	if st.GlobalDocs > st.live.nextDoc {
 		st.live.nextDoc = st.GlobalDocs
 	}
+	st.live.idFloor = st.live.nextDoc
 	st.live.cur.Store(v)
 	return v
 }
 
 // baseView snapshots the store's base products into an immutable baseView.
 func (st *Store) baseView() *baseView {
-	return &baseView{
+	b := &baseView{
 		totalDocs:      st.TotalDocs,
 		shardCount:     st.ShardCount,
 		shardIndex:     st.ShardIndex,
 		globalDocs:     st.GlobalDocs,
+		live:           st.TotalDocs,
 		df:             st.DF,
 		posts:          st.Posts,
 		off:            st.Off,
@@ -228,6 +252,18 @@ func (st *Store) baseView() *baseView {
 		assignDocs:     st.AssignDocs,
 		assignClusters: st.AssignClusters,
 	}
+	if len(st.Holes) > 0 {
+		b.holes = make(map[int64]bool, len(st.Holes))
+		for _, d := range st.Holes {
+			b.holes[d] = true
+		}
+		if st.ShardCount == 0 {
+			// A monolithic TotalDocs is the ID high-water mark after a
+			// rebase; a shard's TotalDocs already counts survivors.
+			b.live -= int64(len(st.Holes))
+		}
+	}
+	return b
 }
 
 // publishLocked installs next as the current view with the epoch advanced,
