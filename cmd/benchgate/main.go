@@ -1,14 +1,20 @@
 // Command benchgate is the CI bench-regression gate: it compares the metrics
 // a fresh `benchfig -ci` run wrote against the committed baseline and exits
-// non-zero when serving or ingest throughput regressed more than 15%, the
-// posting compression ratio fell below the gated 2.5x, the 4-shard
-// scatter-gather speedup fell below 1.5x, or query p95 latency under
-// concurrent ingestion exceeded 2x the idle baseline.
+// non-zero when serving, ingest or tile throughput regressed more than 15%,
+// the posting compression ratio fell below the gated 2.5x, the 4-shard
+// scatter-gather speedup fell below 1.5x, the tile-rendering speedup over
+// full-point scans fell below 3x, or a tail-latency-under-ingest ratio
+// exceeded its gate.
 //
 // Usage:
 //
 //	benchfig -ci BENCH_CI.json
 //	benchgate -baseline BENCH_BASELINE.json -current BENCH_CI.json
+//
+// The gate always prints a baseline-vs-current delta table (markdown), and
+// when $GITHUB_STEP_SUMMARY is set — i.e. inside a GitHub Actions job — the
+// same table is appended there, so every PR shows its perf trajectory in the
+// run summary.
 //
 // The gated quantities are virtual (modeled on the paper's cluster), so they
 // reproduce exactly across hosts; a gate failure means the code changed the
@@ -20,9 +26,52 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"inspire/internal/bench"
 )
+
+// row is one metric of the delta table; higherIsBetter orients the delta
+// arrow.
+type row struct {
+	name           string
+	base, cur      float64
+	higherIsBetter bool
+}
+
+// deltaTable renders the baseline-vs-current comparison as markdown.
+func deltaTable(base, cur *bench.CIMetrics) string {
+	rows := []row{
+		{"serving virtual qps", base.ServingVirtualQPS, cur.ServingVirtualQPS, true},
+		{"4-shard virtual qps", base.ShardedVirtualQPS4, cur.ShardedVirtualQPS4, true},
+		{"sharding speedup (4x)", base.ShardingSpeedup4x, cur.ShardingSpeedup4x, true},
+		{"compression ratio", base.CompressionRatio, cur.CompressionRatio, true},
+		{"ingest virtual docs/sec", base.IngestVirtualDPS, cur.IngestVirtualDPS, true},
+		{"query p95 under ingest (x idle)", base.IngestQueryP95Ratio, cur.IngestQueryP95Ratio, false},
+		{"tile virtual qps", base.TileVirtualQPS, cur.TileVirtualQPS, true},
+		{"tile speedup vs full scan", base.TileSpeedupVsScan, cur.TileSpeedupVsScan, true},
+		{"tile p95 under ingest (x idle)", base.TileIngestP95Ratio, cur.TileIngestP95Ratio, false},
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### Bench gate (scale %g)\n\n", cur.Scale)
+	sb.WriteString("| metric | baseline | current | delta |\n|---|---:|---:|---:|\n")
+	for _, r := range rows {
+		delta := "n/a"
+		if r.base != 0 {
+			pct := 100 * (r.cur - r.base) / r.base
+			mark := ""
+			switch {
+			case pct > 0.5 && r.higherIsBetter, pct < -0.5 && !r.higherIsBetter:
+				mark = " ✅"
+			case pct < -0.5 && r.higherIsBetter, pct > 0.5 && !r.higherIsBetter:
+				mark = " ⚠️"
+			}
+			delta = fmt.Sprintf("%+.1f%%%s", pct, mark)
+		}
+		fmt.Fprintf(&sb, "| %s | %.2f | %.2f | %s |\n", r.name, r.base, r.cur, delta)
+	}
+	return sb.String()
+}
 
 func main() {
 	baseline := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline metrics")
@@ -43,14 +92,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: scale mismatch: baseline %g, current %g\n", base.Scale, cur.Scale)
 		os.Exit(1)
 	}
-	if violations := cur.Gate(base); len(violations) > 0 {
+
+	violations := cur.Gate(base)
+	table := deltaTable(base, cur)
+	fmt.Println(table)
+	// Inside GitHub Actions, publish the same table (plus any violations)
+	// to the job's step summary so the perf trajectory is visible per PR.
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		summary := table
+		for _, v := range violations {
+			summary += fmt.Sprintf("\n- ❌ %s", v)
+		}
+		if len(violations) == 0 {
+			summary += "\n- ✅ gate passed\n"
+		} else {
+			summary += "\n"
+		}
+		if f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+			_, _ = f.WriteString(summary)
+			_ = f.Close()
+		}
+	}
+
+	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", v)
 		}
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: ok — serving %.0f virtual qps (baseline %.0f), 4-shard %.0f (%.2fx), compression %.2fx, "+
-		"ingest %.0f virtual docs/sec (query p95 %.2fx idle)\n",
+		"ingest %.0f virtual docs/sec (query p95 %.2fx idle), tiles %.0f virtual qps (%.1fx vs scans, p95 %.2fx under ingest)\n",
 		cur.ServingVirtualQPS, base.ServingVirtualQPS, cur.ShardedVirtualQPS4, cur.ShardingSpeedup4x,
-		cur.CompressionRatio, cur.IngestVirtualDPS, cur.IngestQueryP95Ratio)
+		cur.CompressionRatio, cur.IngestVirtualDPS, cur.IngestQueryP95Ratio,
+		cur.TileVirtualQPS, cur.TileSpeedupVsScan, cur.TileIngestP95Ratio)
 }

@@ -38,6 +38,8 @@
 //	GET  /similar?doc=3&k=5      top-K similarity in signature space
 //	GET  /theme?cluster=2        documents of one k-means theme
 //	GET  /near?x=0&y=0&r=0.2     ThemeView region drill-down
+//	GET  /tiles/{z}/{x}/{y}      Galaxy tile: density grid, top themes,
+//	                             exemplar docs of tile (x,y) at zoom z
 //	POST /add?text=...           ingest a document (returns its ID)
 //	POST /delete?doc=3           tombstone a document
 //	POST /flush                  make pending adds visible now
@@ -148,7 +150,11 @@ func main() {
 				if err := st.SaveFile(*saveStore); err != nil {
 					fail(err)
 				}
-				fmt.Printf("persisted serving store to %s\n", *saveStore)
+				if err := st.SaveTilesFile(*saveStore, cfg); err != nil {
+					fail(err)
+				}
+				fmt.Printf("persisted serving store to %s (+ tile sidecar %s%s)\n",
+					*saveStore, *saveStore, serve.TilesSidecarSuffix)
 			}
 		}
 		if *shards > 1 {
@@ -333,16 +339,17 @@ func (d *daemon) session(name string) *namedSession {
 
 // reply is the JSON envelope of every query response.
 type reply struct {
-	Op        string          `json:"op"`
-	VirtualMS float64         `json:"virtual_ms"`         // this interaction's modeled latency
-	Count     int             `json:"count"`              // result cardinality
-	Postings  []query.Posting `json:"postings,omitempty"` // term queries
-	Docs      []int64         `json:"docs,omitempty"`     // boolean/theme/near queries
-	Hits      []query.Hit     `json:"hits,omitempty"`     // similarity queries
-	DF        int64           `json:"df,omitempty"`
-	Doc       int64           `json:"doc,omitempty"` // add: the assigned document ID
-	OK        bool            `json:"ok,omitempty"`  // add/delete/flush/compact/save
-	Error     string          `json:"error,omitempty"`
+	Op        string            `json:"op"`
+	VirtualMS float64           `json:"virtual_ms"`         // this interaction's modeled latency
+	Count     int               `json:"count"`              // result cardinality
+	Postings  []query.Posting   `json:"postings,omitempty"` // term queries
+	Docs      []int64           `json:"docs,omitempty"`     // boolean/theme/near queries
+	Hits      []query.Hit       `json:"hits,omitempty"`     // similarity queries
+	Tile      *serve.TileResult `json:"tile,omitempty"`     // galaxy tile queries
+	DF        int64             `json:"df,omitempty"`
+	Doc       int64             `json:"doc,omitempty"` // add: the assigned document ID
+	OK        bool              `json:"ok,omitempty"`  // add/delete/flush/compact/save
+	Error     string            `json:"error,omitempty"`
 }
 
 // run executes one parsed operation against a session, holding its lock so
@@ -390,6 +397,23 @@ func (d *daemon) run(ns *namedSession, op string, args map[string]string) reply 
 		r, _ := strconv.ParseFloat(args["r"], 64)
 		rep.Docs = sess.Near(x, y, r)
 		rep.Count = len(rep.Docs)
+	case "tile":
+		z, errZ := strconv.Atoi(args["z"])
+		x, errX := strconv.Atoi(args["x"])
+		y, errY := strconv.Atoi(args["y"])
+		if errZ != nil || errX != nil || errY != nil {
+			// A malformed address must not alias to a valid tile (Atoi's
+			// zero value is the root tile).
+			rep.Error = fmt.Sprintf("tile address %q/%q/%q is not numeric", args["z"], args["x"], args["y"])
+			break
+		}
+		t, err := sess.Tile(z, x, y)
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Tile = t
+			rep.Count = int(t.Docs)
+		}
 	case "add":
 		doc, err := sess.Add(args["text"])
 		if err != nil {
@@ -471,6 +495,18 @@ func (d *daemon) mux() *http.ServeMux {
 	handle("similar", false, "doc", "k")
 	handle("theme", false, "cluster")
 	handle("near", false, "x", "y", "r")
+	// Galaxy tiles are addressed by path, slippy-map style; the method
+	// prefix makes non-GET requests 405 like the other read endpoints'
+	// mutation guard does.
+	mux.HandleFunc("GET /tiles/{z}/{x}/{y}", func(w http.ResponseWriter, r *http.Request) {
+		args := map[string]string{
+			"z": r.PathValue("z"),
+			"x": r.PathValue("x"),
+			"y": r.PathValue("y"),
+		}
+		sess := d.session(r.URL.Query().Get("session"))
+		writeJSON(w, d.run(sess, "tile", args))
+	})
 	handle("add", true, "text")
 	handle("delete", true, "doc")
 	for _, op := range []string{"flush", "compact", "save"} {
@@ -528,7 +564,7 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 
 // serveLines answers the stdin line protocol: one op per line, JSON per
 // line. Lines are "term apple", "and apple banana", "similar 3 5",
-// "theme 2", "near 0 0 0.2", "df apple", "stats", "quit".
+// "theme 2", "near 0 0 0.2", "tile 2 1 3", "df apple", "stats", "quit".
 func (d *daemon) serveLines(in *os.File, out *os.File) {
 	sess := &namedSession{sess: d.srv.NewQuerier()}
 	sc := bufio.NewScanner(in)
@@ -581,6 +617,10 @@ func (d *daemon) serveLines(in *os.File, out *os.File) {
 		case "near":
 			if len(rest) > 2 {
 				args["x"], args["y"], args["r"] = rest[0], rest[1], rest[2]
+			}
+		case "tile":
+			if len(rest) > 2 {
+				args["z"], args["x"], args["y"] = rest[0], rest[1], rest[2]
 			}
 		}
 		_ = enc.Encode(d.run(sess, op, args))

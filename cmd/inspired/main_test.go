@@ -10,6 +10,7 @@ import (
 	"inspire/internal/core"
 	"inspire/internal/query"
 	"inspire/internal/serve"
+	"inspire/internal/tiles"
 )
 
 // TestSavePathConfinement pins the /save target policy: a plain file name
@@ -44,9 +45,13 @@ func (stubQuerier) Or(...string) []int64                    { return nil }
 func (stubQuerier) Similar(int64, int) ([]query.Hit, error) { return nil, nil }
 func (stubQuerier) ThemeDocs(int) []int64                   { return nil }
 func (stubQuerier) Near(float64, float64, float64) []int64  { return nil }
-func (stubQuerier) Add(string) (int64, error)               { return 0, nil }
-func (stubQuerier) Delete(int64) error                      { return nil }
-func (stubQuerier) Stats() serve.SessionStats               { return serve.SessionStats{} }
+func (stubQuerier) Tile(int, int, int) (*serve.TileResult, error) {
+	return &serve.TileResult{}, nil
+}
+func (stubQuerier) TileRange(int, tiles.Rect) ([]*serve.TileResult, error) { return nil, nil }
+func (stubQuerier) Add(string) (int64, error)                              { return 0, nil }
+func (stubQuerier) Delete(int64) error                                     { return nil }
+func (stubQuerier) Stats() serve.SessionStats                              { return serve.SessionStats{} }
 
 type stubService struct{}
 
@@ -91,5 +96,42 @@ func TestMutatingEndpointsRequirePOST(t *testing.T) {
 	}
 	if rep.OK || rep.Error == "" {
 		t.Fatalf("unconfined save not refused: %+v", rep)
+	}
+}
+
+// TestTilesEndpointRouting pins the slippy-map tile route: GET answers with a
+// tile envelope, the path values reach the querier, and mutation methods 405.
+func TestTilesEndpointRouting(t *testing.T) {
+	d := &daemon{srv: stubService{}, sessions: make(map[string]*namedSession)}
+	mux := d.mux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/tiles/2/1/3?session=a", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /tiles/2/1/3 = %d, want %d", rec.Code, http.StatusOK)
+	}
+	var rep reply
+	if err := json.NewDecoder(rec.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != "tile" || rep.Error != "" || rep.Tile == nil {
+		t.Fatalf("tile reply = %+v", rep)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/tiles/0/0/0", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /tiles/0/0/0 = %d, want %d", rec.Code, http.StatusMethodNotAllowed)
+	}
+
+	// A malformed address must error, not alias to the (0,0,0) root tile.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/tiles/abc/def/ghi", nil))
+	rep = reply{}
+	if err := json.NewDecoder(rec.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Error == "" || rep.Tile != nil {
+		t.Fatalf("non-numeric tile address not refused: %+v", rep)
 	}
 }

@@ -37,6 +37,17 @@
 // extended manifest; a single live store rebases back into an ordinary
 // store file.
 //
+// The ThemeView projection itself serves at scale through the Galaxy tile
+// pyramid (internal/tiles): a quadtree of multi-resolution aggregates —
+// density grids, top-theme histograms with representative labels, exemplar
+// documents — so a client renders any viewport from a handful of fixed-size
+// tiles (inspired's /tiles/{z}/{x}/{y} endpoint) instead of pulling
+// corpus-proportional point sets. Pyramids persist as sidecars next to
+// store files, are maintained incrementally under live ingestion along the
+// same epoch lineage as the similarity refresh, and merge bit-identically
+// across shards; spatial Near queries descend the same quadtree instead of
+// scanning every point.
+//
 // The library lives under internal/; the executables under cmd/ (inspire,
 // inspired, corpusgen, benchfig, benchgate) and the runnable scenarios under
 // examples/ are the public surface. bench_test.go in this directory regenerates every

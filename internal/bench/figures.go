@@ -32,6 +32,7 @@ var Experiments = []Experiment{
 	{"S2", "Serving: posting store bytes and And latency, flat vs block-compressed", FigS2},
 	{"S3", "Serving: sharded scatter-gather throughput and tail latency vs shard count", FigS3},
 	{"S4", "Serving: query tail latency under live ingestion; refresh lag vs seal threshold", FigS4},
+	{"S5", "Serving: Galaxy viewport rendering, tile pyramid vs naive full-point scans, idle and under ingest", FigS5},
 }
 
 // FindExperiment resolves an experiment by ID.

@@ -32,6 +32,13 @@ const (
 	// ingestion PR's headline claim: queries keep serving while documents
 	// stream in).
 	GateMaxIngestP95Ratio = 2.0
+	// GateMinTileSpeedup is the absolute floor on viewport rendering
+	// throughput via the Galaxy tile pyramid over naive full-point Near
+	// scans (the tile PR's headline claim).
+	GateMinTileSpeedup = 3.0
+	// GateMaxTileP95Ratio is the absolute ceiling on tile-rendering p95
+	// latency under concurrent ingestion relative to idle tile serving.
+	GateMaxTileP95Ratio = 2.5
 )
 
 // CIMetrics are the gated quantities of one bench run.
@@ -55,6 +62,15 @@ type CIMetrics struct {
 	// over the idle p95 — how much serving degrades while documents stream
 	// in.
 	IngestQueryP95Ratio float64 `json:"ingest_query_p95_ratio"`
+	// TileVirtualQPS is the modeled throughput of the deterministic
+	// viewport render walk served from the Galaxy tile pyramid.
+	TileVirtualQPS float64 `json:"tile_virtual_qps"`
+	// TileSpeedupVsScan is TileVirtualQPS over the same walk rendered by
+	// naive full-point Near scans.
+	TileSpeedupVsScan float64 `json:"tile_speedup_vs_scan"`
+	// TileIngestP95Ratio is tile-rendering p95 latency under concurrent
+	// ingestion over the idle tile p95.
+	TileIngestP95Ratio float64 `json:"tile_ingest_p95_ratio"`
 }
 
 // ciWorkload is the deterministic gate workload: a single session's stream
@@ -100,6 +116,9 @@ func CollectCI(scale float64) (*CIMetrics, error) {
 	if m.IngestVirtualDPS, m.IngestQueryP95Ratio, err = CollectIngestCI(scale); err != nil {
 		return nil, err
 	}
+	if m.TileVirtualQPS, m.TileSpeedupVsScan, m.TileIngestP95Ratio, err = CollectTileCI(scale); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -130,6 +149,18 @@ func (m *CIMetrics) Gate(baseline *CIMetrics) []string {
 	if m.IngestQueryP95Ratio > GateMaxIngestP95Ratio {
 		out = append(out, fmt.Sprintf("query p95 under ingest is %.2fx idle, above the gated %.1fx",
 			m.IngestQueryP95Ratio, GateMaxIngestP95Ratio))
+	}
+	if floor := (1 - GateMaxQPSDrop) * baseline.TileVirtualQPS; m.TileVirtualQPS < floor {
+		out = append(out, fmt.Sprintf("tile serving %.0f virtual qps is >%.0f%% below the baseline %.0f",
+			m.TileVirtualQPS, 100*GateMaxQPSDrop, baseline.TileVirtualQPS))
+	}
+	if m.TileSpeedupVsScan < GateMinTileSpeedup {
+		out = append(out, fmt.Sprintf("tile rendering speedup %.2fx over full-point scans is below the gated %.1fx",
+			m.TileSpeedupVsScan, GateMinTileSpeedup))
+	}
+	if m.TileIngestP95Ratio > GateMaxTileP95Ratio {
+		out = append(out, fmt.Sprintf("tile p95 under ingest is %.2fx idle, above the gated %.1fx",
+			m.TileIngestP95Ratio, GateMaxTileP95Ratio))
 	}
 	return out
 }

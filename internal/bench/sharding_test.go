@@ -55,22 +55,30 @@ func TestCIGateAgainstCommittedBaseline(t *testing.T) {
 
 // TestGateThresholds exercises the comparison logic itself.
 func TestGateThresholds(t *testing.T) {
-	base := &CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 300, ShardingSpeedup4x: 3, CompressionRatio: 4}
-	ok := &CIMetrics{ServingVirtualQPS: 90, ShardedVirtualQPS4: 260, ShardingSpeedup4x: 2.9, CompressionRatio: 3.8}
+	base := &CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 300, ShardingSpeedup4x: 3, CompressionRatio: 4,
+		TileVirtualQPS: 400, TileSpeedupVsScan: 30, TileIngestP95Ratio: 1.7}
+	ok := &CIMetrics{ServingVirtualQPS: 90, ShardedVirtualQPS4: 260, ShardingSpeedup4x: 2.9, CompressionRatio: 3.8,
+		TileVirtualQPS: 350, TileSpeedupVsScan: 25, TileIngestP95Ratio: 2.2}
 	if v := ok.Gate(base); len(v) != 0 {
 		t.Fatalf("within-threshold metrics rejected: %v", v)
 	}
+	pass := *ok
 	cases := []struct {
 		name string
-		m    CIMetrics
+		mut  func(*CIMetrics)
 	}{
-		{"qps drop", CIMetrics{ServingVirtualQPS: 80, ShardedVirtualQPS4: 300, ShardingSpeedup4x: 3.75, CompressionRatio: 4}},
-		{"sharded qps drop", CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 200, ShardingSpeedup4x: 2, CompressionRatio: 4}},
-		{"compression floor", CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 300, ShardingSpeedup4x: 3, CompressionRatio: 2.4}},
-		{"speedup floor", CIMetrics{ServingVirtualQPS: 100, ShardedVirtualQPS4: 140, ShardingSpeedup4x: 1.4, CompressionRatio: 4}},
+		{"qps drop", func(m *CIMetrics) { m.ServingVirtualQPS = 80 }},
+		{"sharded qps drop", func(m *CIMetrics) { m.ShardedVirtualQPS4 = 200 }},
+		{"compression floor", func(m *CIMetrics) { m.CompressionRatio = 2.4 }},
+		{"speedup floor", func(m *CIMetrics) { m.ShardingSpeedup4x = 1.4 }},
+		{"tile qps drop", func(m *CIMetrics) { m.TileVirtualQPS = 200 }},
+		{"tile speedup floor", func(m *CIMetrics) { m.TileSpeedupVsScan = 2.9 }},
+		{"tile p95 ceiling", func(m *CIMetrics) { m.TileIngestP95Ratio = 2.6 }},
 	}
 	for _, tc := range cases {
-		if v := tc.m.Gate(base); len(v) == 0 {
+		m := pass
+		tc.mut(&m)
+		if v := m.Gate(base); len(v) == 0 {
 			t.Fatalf("%s not caught", tc.name)
 		}
 	}

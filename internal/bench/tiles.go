@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"inspire/internal/serve"
+	"inspire/internal/tiles"
+)
+
+// Galaxy tile-serving figure (Fig S5) and the CI tile metrics: the same
+// deterministic pan-and-zoom render path — the whole corpus down to a single
+// theme — is served three ways: through the tile pyramid, through the naive
+// full-point Near scan it replaces (a DisableTiles server), and through the
+// pyramid while documents stream in. Everything is single-session and
+// deterministic, so benchgate can hold the numbers to tight thresholds.
+
+// tileViewport is one step of the render path: the viewport rectangle a
+// client shows at zoom z.
+type tileViewport struct {
+	Z    int
+	Rect tiles.Rect
+}
+
+// TileViewports derives the deterministic pan-and-zoom path over a store:
+// starting from the whole projection at zoom 0, each step descends into the
+// densest tile of the current viewport with half a tile of surrounding
+// context — the Galaxy walk from the full corpus to one theme's
+// neighbourhood.
+func TileViewports(st *serve.Store) ([]tileViewport, error) {
+	if st.TileBox == nil {
+		return nil, fmt.Errorf("bench: store has no tile bounds")
+	}
+	srv, err := serve.NewServer(st.Fork(), serve.Config{})
+	if err != nil {
+		return nil, err
+	}
+	sess := srv.NewSession()
+	box := *st.TileBox
+	maxZoom := serve.Config{}.TileMaxZoom
+	if maxZoom <= 0 {
+		maxZoom = 6
+	}
+	cur := box
+	var out []tileViewport
+	for z := 0; z <= maxZoom; z++ {
+		out = append(out, tileViewport{Z: z, Rect: cur})
+		ts, err := sess.TileRange(z, cur)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) == 0 {
+			break
+		}
+		best := ts[0]
+		for _, t := range ts[1:] {
+			if t.Docs > best.Docs {
+				best = t
+			}
+		}
+		r := tiles.TileRectIn(box, z, best.X, best.Y)
+		w, h := r.MaxX-r.MinX, r.MaxY-r.MinY
+		cur = tiles.Rect{MinX: r.MinX - w/2, MinY: r.MinY - h/2, MaxX: r.MaxX + w/2, MaxY: r.MaxY + h/2}
+	}
+	return out, nil
+}
+
+// tileProbeRounds repeats the walk enough to populate the percentiles while
+// each probe stays sub-second at default scale.
+const tileProbeRounds = 24
+
+// tileProbeResult aggregates one deterministic render replay.
+type tileProbeResult struct {
+	Ops        int
+	VirtualQPS float64
+	P50MS      float64
+	P95MS      float64
+	Stats      serve.Stats
+}
+
+// tileProbe replays the viewport path rounds times against a fork of the
+// store. naive renders each viewport with the full-point Near scan
+// (DisableTiles — the pre-tiles behaviour); otherwise each viewport is one
+// TileRange call. addEvery > 0 interleaves one live add per addEvery
+// viewports (sealed segments compact synchronously, so the stream reproduces
+// exactly on any host).
+func tileProbe(st *serve.Store, vps []tileViewport, rounds int, texts []string, addEvery int, naive bool) (*tileProbeResult, error) {
+	// SealDocs is deliberately small relative to the add stream so the walk
+	// crosses several epochs — each seal invalidates the tile LRU, which is
+	// exactly the refresh cost the under-ingest p95 must carry.
+	fork := st.Fork()
+	fork.SetLivePolicy(serve.LivePolicy{SealDocs: 16, CompactSegments: 4, ManualCompaction: true})
+	srv, err := serve.NewServer(fork, serve.Config{DisableTiles: naive})
+	if err != nil {
+		return nil, err
+	}
+	sess := srv.NewSession()
+	var lats []float64
+	op, nextText := 0, 0
+	for round := 0; round < rounds; round++ {
+		for _, vp := range vps {
+			if naive {
+				cx, cy := (vp.Rect.MinX+vp.Rect.MaxX)/2, (vp.Rect.MinY+vp.Rect.MaxY)/2
+				rr := math.Hypot(vp.Rect.MaxX-vp.Rect.MinX, vp.Rect.MaxY-vp.Rect.MinY) / 2
+				sess.Near(cx, cy, rr)
+			} else {
+				if _, err := sess.TileRange(vp.Z, vp.Rect); err != nil {
+					return nil, err
+				}
+			}
+			lats = append(lats, sess.Stats().LastMS)
+			op++
+			if addEvery > 0 && op%addEvery == 0 {
+				if _, err := sess.Add(texts[nextText%len(texts)]); err != nil {
+					return nil, err
+				}
+				nextText++
+				if fork.LiveSegments() >= 4 {
+					if _, err := fork.Compact(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	res := &tileProbeResult{Ops: len(lats), Stats: srv.Stats()}
+	var virtMS float64
+	for _, l := range lats {
+		virtMS += l
+	}
+	if virtMS > 0 {
+		res.VirtualQPS = float64(len(lats)) / (virtMS / 1000)
+	}
+	sort.Float64s(lats)
+	res.P50MS = quantile(lats, 0.50)
+	res.P95MS = quantile(lats, 0.95)
+	return res, nil
+}
+
+// FigS5 regenerates the tile-serving figure: the deterministic viewport walk
+// rendered through the naive full-point scan, through the tile pyramid, and
+// through the pyramid under concurrent ingestion — modeled throughput, tail
+// latency and the pyramid traffic behind them.
+func FigS5(scale float64) ([]*Figure, error) {
+	st, err := ServingStore(scale, 8)
+	if err != nil {
+		return nil, err
+	}
+	texts, err := IngestTexts(scale)
+	if err != nil {
+		return nil, err
+	}
+	vps, err := TileViewports(st)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "Fig S5",
+		Title: fmt.Sprintf("%s: Galaxy viewport rendering, tile pyramid vs full-point scans (%d-step walk x %d)",
+			PubMedSpecs(scale)[0], len(vps), tileProbeRounds),
+		XLabel: "mode",
+		YLabel: "virtual qps, virtual latency (ms), tile traffic",
+	}
+	var qps, p50, p95, hits, pruned []float64
+	for _, mode := range []struct {
+		name     string
+		naive    bool
+		addEvery int
+	}{
+		{"near scan", true, 0},
+		{"tiles", false, 0},
+		{"tiles+ingest", false, 2},
+	} {
+		r, err := tileProbe(st, vps, tileProbeRounds, texts, mode.addEvery, mode.naive)
+		if err != nil {
+			return nil, err
+		}
+		fig.X = append(fig.X, mode.name)
+		qps = append(qps, r.VirtualQPS)
+		p50 = append(p50, r.P50MS)
+		p95 = append(p95, r.P95MS)
+		hits = append(hits, float64(r.Stats.TileHits))
+		pruned = append(pruned, float64(r.Stats.TilesPruned))
+	}
+	fig.AddSeries("virtual qps", qps)
+	fig.AddSeries("p50 virt ms", p50)
+	fig.AddSeries("p95 virt ms", p95)
+	fig.AddSeries("tile LRU hits", hits)
+	fig.AddSeries("subtrees pruned", pruned)
+	if qps[0] > 0 {
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("rendering a viewport from fixed-size tile aggregates is %.0fx faster in virtual time than", qps[1]/qps[0]),
+			"scanning every projected point: the naive scan pays flops proportional to the corpus on every",
+			"frame, while a tile answer moves a few kilobytes of density/histogram bins through the epoch-keyed",
+			"LRU; under ingestion every seal publishes a new epoch, so tiles re-read the maintained pyramid and",
+			"the p95 carries that refresh cost")
+	}
+	return []*Figure{fig}, nil
+}
+
+// CollectTileCI measures the gated tile quantities: modeled tile-serving
+// throughput over the viewport walk, its speedup over the naive full-point
+// scan, and the p95 ratio of tile rendering under concurrent ingestion to
+// idle.
+func CollectTileCI(scale float64) (tileQPS, speedup, p95Ratio float64, err error) {
+	st, err := ServingStore(scale, 8)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	texts, err := IngestTexts(scale)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	vps, err := TileViewports(st)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	idle, err := tileProbe(st, vps, tileProbeRounds, texts, 0, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	scan, err := tileProbe(st, vps, tileProbeRounds, texts, 0, true)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	busy, err := tileProbe(st, vps, tileProbeRounds, texts, 2, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tileQPS = idle.VirtualQPS
+	if scan.VirtualQPS > 0 {
+		speedup = idle.VirtualQPS / scan.VirtualQPS
+	}
+	if idle.P95MS > 0 {
+		p95Ratio = busy.P95MS / idle.P95MS
+	}
+	return tileQPS, speedup, p95Ratio, nil
+}

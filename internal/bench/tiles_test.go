@@ -1,0 +1,58 @@
+package bench
+
+import "testing"
+
+// TestTileClaimOnBenchCorpus pins this PR's headline numbers at the bench
+// corpus's real scale: rendering the deterministic Galaxy viewport walk from
+// the tile pyramid is at least 3x faster in virtual time than the naive
+// full-point scans it replaces, and tile p95 under concurrent ingestion
+// stays within the gated ratio of idle.
+func TestTileClaimOnBenchCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bench corpus")
+	}
+	qps, speedup, p95Ratio, err := CollectTileCI(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps <= 0 {
+		t.Fatalf("tile serving throughput %g", qps)
+	}
+	if speedup < GateMinTileSpeedup {
+		t.Fatalf("tile rendering speedup %.2fx < gated %.1fx", speedup, GateMinTileSpeedup)
+	}
+	if p95Ratio > GateMaxTileP95Ratio {
+		t.Fatalf("tile p95 under ingest %.2fx idle > gated %.1fx", p95Ratio, GateMaxTileP95Ratio)
+	}
+}
+
+// TestTileViewportsDescend sanity-checks the deterministic walk: it starts
+// at the whole world and narrows monotonically.
+func TestTileViewportsDescend(t *testing.T) {
+	st, err := ServingStore(16384, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vps, err := TileViewports(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vps) < 3 {
+		t.Fatalf("walk has only %d steps", len(vps))
+	}
+	for i := 1; i < len(vps); i++ {
+		if vps[i].Z != vps[i-1].Z+1 {
+			t.Fatalf("step %d jumps from zoom %d to %d", i, vps[i-1].Z, vps[i].Z)
+		}
+		if i < 2 {
+			// Step 1's viewport is the root tile plus pan margin — wider
+			// than the world; the walk narrows strictly from there on.
+			continue
+		}
+		prev := (vps[i-1].Rect.MaxX - vps[i-1].Rect.MinX) * (vps[i-1].Rect.MaxY - vps[i-1].Rect.MinY)
+		cur := (vps[i].Rect.MaxX - vps[i].Rect.MinX) * (vps[i].Rect.MaxY - vps[i].Rect.MinY)
+		if cur >= prev {
+			t.Fatalf("step %d viewport grew: %g -> %g", i, prev, cur)
+		}
+	}
+}

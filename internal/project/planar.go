@@ -1,0 +1,55 @@
+package project
+
+import (
+	"fmt"
+	"math"
+)
+
+// Planar is the frozen 2-D projection model of a finished run: the centroid
+// mean and the two leading principal components PCA produced. A serving
+// store persists it so documents ingested after the snapshot can be placed
+// on the ThemeView plane with exactly the arithmetic the batch pipeline used
+// — the live-ingestion counterpart of signature.Projection.
+type Planar struct {
+	Mean, PC1, PC2 []float64
+}
+
+// NewPlanar freezes a projection's model (sharing its slices, which are
+// never mutated after the run).
+func NewPlanar(p *Projection) *Planar {
+	if p == nil {
+		return nil
+	}
+	return &Planar{Mean: p.Mean, PC1: p.PC1, PC2: p.PC2}
+}
+
+// Validate checks the structural invariants a loaded model must satisfy.
+func (p *Planar) Validate() error {
+	if len(p.Mean) == 0 || len(p.PC1) != len(p.Mean) || len(p.PC2) != len(p.Mean) {
+		return fmt.Errorf("project: planar model has mismatched dimensions (%d/%d/%d)",
+			len(p.Mean), len(p.PC1), len(p.PC2))
+	}
+	for _, s := range [][]float64{p.Mean, p.PC1, p.PC2} {
+		for _, f := range s {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return fmt.Errorf("project: planar model not finite")
+			}
+		}
+	}
+	return nil
+}
+
+// Project places one knowledge signature on the plane, bit-for-bit as
+// Project placed the batch run's signatures (a nil or null signature gets
+// the origin, IN-SPIRE's "no signature" bucket). Cost: 4*M flops.
+func (p *Planar) Project(sig []float64) (x, y float64) {
+	for d, val := range sig {
+		if d >= len(p.Mean) {
+			break
+		}
+		diff := val - p.Mean[d]
+		x += diff * p.PC1[d]
+		y += diff * p.PC2[d]
+	}
+	return x, y
+}

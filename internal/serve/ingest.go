@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"inspire/internal/postings"
+	"inspire/internal/project"
 	"inspire/internal/scan"
 	"inspire/internal/segment"
 	"inspire/internal/signature"
@@ -197,7 +198,7 @@ func (st *Store) Delete(doc int64) (float64, error) {
 		tombs[d] = true
 	}
 	tombs[doc] = true
-	st.publishLocked(&view{gen: v.gen, base: v.base, segs: v.segs, tombs: tombs, sigs: v.sigs,
+	st.publishLocked(&view{gen: v.gen, base: v.base, segs: v.segs, tombs: tombs, sigs: v.sigs, pts: v.pts,
 		kind: viewTomb, tomb: doc})
 	st.live.deletes.Add(1)
 	// The copy-on-write tombstone publish moves the set once at memory rate.
@@ -229,8 +230,15 @@ func (st *Store) sealLocked() (float64, error) {
 	segs := make([]*segment.Segment, len(v.segs), len(v.segs)+1)
 	copy(segs, v.segs)
 	segs = append(segs, seg)
-	st.publishLocked(&view{gen: v.gen, base: v.base, segs: segs, tombs: v.tombs, sigs: v.sigs,
-		kind: viewSeal, newSegs: segs[len(segs)-1:]})
+	// Place the sealed documents on the ThemeView plane with the frozen
+	// projection model, so spatial queries and the tile pyramid see them
+	// from this epoch on.
+	newPts := st.planarPoints(seg)
+	pts := make([]project.Point, len(v.pts), len(v.pts)+len(newPts))
+	copy(pts, v.pts)
+	pts = append(pts, newPts...)
+	st.publishLocked(&view{gen: v.gen, base: v.base, segs: segs, tombs: v.tombs, sigs: v.sigs, pts: pts,
+		kind: viewSeal, newSegs: segs[len(segs)-1:], newPts: newPts})
 	st.live.seals.Add(1)
 	pol := st.livePolicy()
 	if !pol.ManualCompaction && len(segs) >= pol.CompactSegments && !st.live.compacting {
@@ -241,8 +249,13 @@ func (st *Store) sealLocked() (float64, error) {
 		}()
 	}
 	// The seal re-encodes every buffered posting into blocks: one read and
-	// one write of the 16-byte pair at memory rate.
-	return st.Model.LocalCopyCost(32 * float64(posts)), nil
+	// one write of the 16-byte pair at memory rate — plus the planar
+	// projection of the sealed documents onto the ThemeView plane.
+	cost := st.Model.LocalCopyCost(32 * float64(posts))
+	if st.Planar != nil {
+		cost += st.Model.FlopCost(4 * float64(len(newPts)) * float64(len(st.Planar.Mean)))
+	}
+	return cost, nil
 }
 
 // installLive publishes persisted live state — loaded segments and a
@@ -256,6 +269,9 @@ func (st *Store) installLive(segs []*segment.Segment, tombs []int64) error {
 	}
 	v := st.initViewLocked()
 	next := &view{gen: v.gen, base: v.base, segs: segs, sigs: v.sigs}
+	for _, seg := range segs {
+		next.pts = append(next.pts, st.planarPoints(seg)...)
+	}
 	if len(tombs) > 0 {
 		next.tombs = make(map[int64]bool, len(tombs))
 		for _, d := range tombs {
@@ -374,17 +390,36 @@ func (st *Store) Compact() (float64, error) {
 	// retired set — exactly it, not a floor, so a concurrently routed lower
 	// ID still in flight stays addable.
 	next := make(map[int64]bool, len(cur.tombs))
+	var dropped map[int64]bool
 	for d := range cur.tombs {
 		if tombs[d] && containsAny(input, d) {
 			if st.live.retired == nil {
 				st.live.retired = make(map[int64]bool)
 			}
 			st.live.retired[d] = true
+			if dropped == nil {
+				dropped = make(map[int64]bool)
+			}
+			dropped[d] = true
 			continue
 		}
 		next[d] = true
 	}
-	st.publishLocked(&view{gen: cur.gen, base: cur.base, segs: segs, tombs: next, sigs: cur.sigs,
+	// A dropped tombstone leaves the published set together with its
+	// document's postings and signature; the live point must go with them,
+	// or a spatial query (and the tile pyramid rebuilt from this view)
+	// would resurrect the deleted document.
+	pts := cur.pts
+	if len(dropped) > 0 && len(pts) > 0 {
+		kept := make([]project.Point, 0, len(pts))
+		for _, pt := range pts {
+			if !dropped[pt.Doc] {
+				kept = append(kept, pt)
+			}
+		}
+		pts = kept
+	}
+	st.publishLocked(&view{gen: cur.gen, base: cur.base, segs: segs, tombs: next, sigs: cur.sigs, pts: pts,
 		kind: viewCompact})
 	st.live.compacting = false
 	st.live.compactions.Add(1)
@@ -496,15 +531,26 @@ func (st *Store) Rebase() error {
 		pos[best]++
 	}
 
+	// Fold the live points into the base point set (tombstones dropped),
+	// sorted by document like GatherCoords emits them — rebased ingests
+	// stay on the Galaxy exactly where their seal placed them.
 	points := v.base.points
-	assignDocs, assignClusters := v.base.assignDocs, v.base.assignClusters
-	if len(dead) > 0 {
-		points = nil
+	if len(dead) > 0 || len(v.pts) > 0 {
+		points = make([]project.Point, 0, len(v.base.points)+len(v.pts))
 		for _, pt := range v.base.points {
 			if !dead[pt.Doc] {
 				points = append(points, pt)
 			}
 		}
+		for _, pt := range v.pts {
+			if !dead[pt.Doc] {
+				points = append(points, pt)
+			}
+		}
+		sort.Slice(points, func(a, b int) bool { return points[a].Doc < points[b].Doc })
+	}
+	assignDocs, assignClusters := v.base.assignDocs, v.base.assignClusters
+	if len(dead) > 0 {
 		assignDocs, assignClusters = nil, nil
 		for i, d := range v.base.assignDocs {
 			if !dead[d] {
@@ -558,6 +604,13 @@ func (st *Store) Rebase() error {
 	}
 	st.setSigSet(set)
 	st.publishLocked(&view{gen: v.gen + 1, base: st.baseView(), sigs: set})
+	// The base points changed: the persisted tile sidecar no longer
+	// describes them, and the maintained pyramid rebuilds from the fresh
+	// (lineage-cut) view on its next query.
+	st.live.tileMu.Lock()
+	st.live.tileSidecar = nil
+	st.live.tilePyr, st.live.tileView = nil, nil
+	st.live.tileMu.Unlock()
 	st.live.compactions.Add(1)
 	st.live.compactVirt += st.Model.LocalCopyCost(32 * float64(total))
 	return nil

@@ -122,6 +122,19 @@ func agreeQueries(t *testing.T, label string, want, got Querier, terms []string,
 			t.Fatalf("%s: Similar(%d) = %v, want %v", label, doc, b, a)
 		}
 	}
+	// Spatial probes: ingested documents land on the ThemeView plane via the
+	// frozen Planar model, bit-for-bit where the batch run projected them,
+	// so region queries must agree at every radius.
+	for i := 0; i < 30; i++ {
+		x, y := rng.Float64()*2-1, rng.Float64()*2-1
+		r := rng.Float64() * 0.7
+		if a, b := want.Near(x, y, r), got.Near(x, y, r); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: Near(%g,%g,%g) = %v, want %v", label, x, y, r, b, a)
+		}
+	}
+	if a, b := want.Near(0, 0, 1e9), got.Near(0, 0, 1e9); !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: Near(all) = %d docs, want %d", label, len(b), len(a))
+	}
 }
 
 // TestIngestedEqualsBatchSingle is the offline-vs-ingested equivalence check

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -9,6 +10,7 @@ import (
 	"inspire/internal/query"
 	"inspire/internal/scan"
 	"inspire/internal/simtime"
+	"inspire/internal/tiles"
 )
 
 // Router serves analyst sessions over a document-partitioned shard set — the
@@ -54,6 +56,15 @@ type Router struct {
 	k         int
 	themes    []core.Theme
 
+	// tileBox is the shared tile-grid frame (every shard addresses the
+	// same world rectangle); boxes[i] is shard i's data bounding box,
+	// grown as adds route through, so spatial queries and tile fan-outs
+	// prune shards that cannot contribute. Guarded by boxMu.
+	tileBox tiles.Rect
+	boxMu   sync.RWMutex
+	boxes   []tiles.Rect
+	boxOK   []bool
+
 	// The similarity cache lives at the router: a routed top-K answer is a
 	// merge across shards, so caching merged results short-circuits the whole
 	// fan-out on a hit.
@@ -94,11 +105,55 @@ func NewRouter(shards []*Store, cfg Config) (*Router, error) {
 		themes:   first.Themes,
 		sims:     newLRU[simKey, []query.Hit](cfg.SimCacheEntries),
 	}
+	// Unify the tile-grid frame before any server is built: tile (z, x, y)
+	// must address the same world rectangle on every shard, or the gather
+	// merges would sum unrelated rectangles. Shards split from one
+	// snapshot already share the frozen box; legacy sets (per-shard
+	// derived boxes) get the union, which is exactly the box the
+	// unsharded snapshot would derive.
+	var box *tiles.Rect
+	same := true
+	for _, st := range shards {
+		switch {
+		case st.TileBox == nil:
+			same = false
+		case box == nil:
+			box = st.TileBox
+		case *box != *st.TileBox:
+			same = false
+		}
+	}
+	if !same || box == nil {
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		have := false
+		for _, st := range shards {
+			if st.TileBox == nil {
+				continue
+			}
+			minX, maxX = math.Min(minX, st.TileBox.MinX), math.Max(maxX, st.TileBox.MaxX)
+			minY, maxY = math.Min(minY, st.TileBox.MinY), math.Max(maxY, st.TileBox.MaxY)
+			have = true
+		}
+		u := tiles.NewBounds(0, 0, 1, 1)
+		if have {
+			u = tiles.NewBounds(minX, minY, maxX, maxY)
+		}
+		box = &u
+		for _, st := range shards {
+			st.TileBox = box
+		}
+	}
+	r.tileBox = *box
+	r.boxes = make([]tiles.Rect, len(shards))
+	r.boxOK = make([]bool, len(shards))
+
 	nextDoc := int64(0)
 	for i, st := range shards {
 		if st.VocabSize != first.VocabSize {
 			return nil, fmt.Errorf("serve: shard %d vocabulary %d differs from shard 0's %d", i, st.VocabSize, first.VocabSize)
 		}
+		r.boxes[i], r.boxOK[i] = st.DataBounds()
 		srv, err := NewServer(st, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
@@ -179,6 +234,11 @@ func (r *Router) Stats() Stats {
 		out.BlocksSkipped += st.BlocksSkipped
 		out.SegmentFetches += st.SegmentFetches
 		out.SimRefreshes += st.SimRefreshes
+		out.TileHits += st.TileHits
+		out.TileMisses += st.TileMisses
+		out.TilesPruned += st.TilesPruned
+		out.CompactVirtMS += st.CompactVirtMS
+		out.TileMaintVirtMS += st.TileMaintVirtMS
 		out.Adds += st.Adds
 		out.Deletes += st.Deletes
 		out.Seals += st.Seals
@@ -615,6 +675,14 @@ func (rs *RouterSession) Add(text string) (int64, error) {
 		r.df[t]++
 	}
 	r.dfMu.Unlock()
+	// Grow the shard's data bounding box to cover where the document will
+	// land on the plane (its seal places it there), so spatial pruning
+	// stays conservative for ingested documents. Growing before the append
+	// only ever over-admits a fan-out, which is safe.
+	if pl := st.Planar; pl != nil {
+		px, py := pl.Project(sig)
+		r.expandBox(shard, px, py)
+	}
 	appendCost, err := sub.s.store.AddCounts(doc, counts, sig)
 	sub.charge(appendCost)
 	cost := prep + r.model.RPCRoundTrip(float64(len(text))+8, 8) + appendCost
@@ -683,11 +751,21 @@ func (r *Router) SaveLive(path string) error {
 }
 
 // Near returns the documents whose ThemeView projection falls within radius
-// of (x, y), sorted, gathered from every shard's slice of the terrain.
+// of (x, y), sorted, gathered from the shards whose data bounding box
+// intersects the query box — a shard none of whose points can fall inside
+// it is never asked.
 func (rs *RouterSession) Near(x, y, radius float64) []int64 {
 	r := rs.r
+	rad := math.Abs(radius)
+	live := r.tileShards(r.cfg.tileConfig().MaxZoom,
+		tiles.Rect{MinX: x - rad, MinY: y - rad, MaxX: x + rad, MaxY: y + rad})
+	if len(live) == 0 {
+		r.shortCircuits.Add(1)
+		rs.charge(r.model.LocalCopyCost(24))
+		return nil
+	}
 	parts := make([][]int64, len(r.shards))
-	cost := rs.scatter(r.allShards(), 24, func(shard int, sub *Session) float64 {
+	cost := rs.scatter(live, 24, func(shard int, sub *Session) float64 {
 		parts[shard] = sub.Near(x, y, radius)
 		return 8 * float64(len(parts[shard]))
 	})

@@ -2,14 +2,17 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"inspire/internal/core"
 	"inspire/internal/postings"
+	"inspire/internal/project"
 	"inspire/internal/query"
 	"inspire/internal/segment"
+	"inspire/internal/tiles"
 )
 
 // Config tunes the server. The zero value selects documented defaults.
@@ -22,6 +25,25 @@ type Config struct {
 	// front-end: postings owned by it are local memory reads, everything
 	// else is a modeled remote one-sided get. Default 0.
 	FrontRank int
+
+	// TileMaxZoom is the deepest zoom level of the Galaxy tile pyramid
+	// (levels 0..TileMaxZoom). Default 6.
+	TileMaxZoom int
+	// TileGrid is the per-tile density raster dimension; must be a power
+	// of two. Default 8.
+	TileGrid int
+	// TileThemes is the number of top themes reported per tile. Default 4.
+	TileThemes int
+	// TileExemplars is the number of exemplar documents kept per tile.
+	// Default 4.
+	TileExemplars int
+	// TileCacheEntries bounds the epoch-keyed tile result LRU. Default
+	// 1024.
+	TileCacheEntries int
+	// DisableTiles turns the tile pyramid off: Tile/TileRange error and
+	// Near falls back to the full point scan — the pre-tiles behaviour the
+	// Fig S5 baseline measures.
+	DisableTiles bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -30,6 +52,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.SimCacheEntries <= 0 {
 		cfg.SimCacheEntries = 512
+	}
+	if cfg.TileThemes <= 0 {
+		cfg.TileThemes = 4
+	}
+	if cfg.TileCacheEntries <= 0 {
+		cfg.TileCacheEntries = 1024
 	}
 	return cfg
 }
@@ -56,6 +84,15 @@ type Stats struct {
 	SimMisses    uint64 // similarity queries that scanned the signatures
 	SimRefreshes uint64 // misses patched forward from an older epoch's answer
 	SimEvictions uint64
+
+	TileHits    uint64 // tile queries answered from the epoch-keyed tile LRU
+	TileMisses  uint64 // tile queries that read the maintained pyramid
+	TilesPruned uint64 // quadtree subtrees ruled out by spatial walks untouched
+
+	// Maintenance accounts: modeled virtual milliseconds charged to work
+	// kept off every session's critical path.
+	CompactVirtMS   float64 // background compaction and rebase merges
+	TileMaintVirtMS float64 // tile-pyramid builds and lineage patches
 
 	FanOuts       uint64 // router scatter rounds issued
 	ShardQueries  uint64 // sub-queries executed on shard servers
@@ -131,6 +168,8 @@ type Querier interface {
 	Similar(doc int64, k int) ([]query.Hit, error)
 	ThemeDocs(cluster int) []int64
 	Near(x, y, radius float64) []int64
+	Tile(z, x, y int) (*TileResult, error)
+	TileRange(z int, r tiles.Rect) ([]*TileResult, error)
 	Add(text string) (int64, error)
 	Delete(doc int64) error
 	Stats() SessionStats
@@ -173,6 +212,9 @@ type Server struct {
 	smu  sync.Mutex
 	sims *lru[simKey, []query.Hit]
 
+	tmu   sync.Mutex
+	tiles *lru[tileKey, *tiles.Tile]
+
 	queries          atomic.Uint64
 	postingHits      atomic.Uint64
 	postingMisses    atomic.Uint64
@@ -187,6 +229,9 @@ type Server struct {
 	simMisses        atomic.Uint64
 	simRefreshes     atomic.Uint64
 	simEvictions     atomic.Uint64
+	tileHits         atomic.Uint64
+	tileMisses       atomic.Uint64
+	tilesPruned      atomic.Uint64
 
 	nextSession atomic.Int64
 }
@@ -200,12 +245,16 @@ func NewServer(st *Store, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if err := cfg.tileConfig().Validate(); err != nil {
+		return nil, err
+	}
 	return &Server{
 		store:    st,
 		cfg:      cfg,
 		postings: newLRU[postKey, postingVal](cfg.PostingCacheEntries),
 		flights:  make(map[postKey]*flight),
 		sims:     newLRU[simKey, []query.Hit](cfg.SimCacheEntries),
+		tiles:    newLRU[tileKey, *tiles.Tile](cfg.TileCacheEntries),
 	}, nil
 }
 
@@ -241,12 +290,16 @@ func (s *Server) CompactLive() error {
 
 // SaveLive persists the store with its live state folded in: pending adds
 // are flushed, compaction drained, the segments and tombstones rebased into
-// the base, and the result written as a single INSPSTORE2 file.
+// the base, and the result written as a single INSPSTORE2 file with its tile
+// sidecar alongside.
 func (s *Server) SaveLive(path string) error {
 	if err := s.store.Rebase(); err != nil {
 		return err
 	}
-	return s.store.SaveFile(path)
+	if err := s.store.SaveFile(path); err != nil {
+		return err
+	}
+	return s.store.SaveTilesFile(path, s.cfg)
 }
 
 // signature returns the signature vector of doc in the store's current view.
@@ -257,6 +310,7 @@ func (s *Server) signature(doc int64) ([]float64, bool) {
 // Stats snapshots the server counters plus the store's ingest counters.
 func (s *Server) Stats() Stats {
 	live := &s.store.live
+	compactMS, tileMS := s.store.maintVirtMS()
 	return Stats{
 		Queries:          s.queries.Load(),
 		PostingHits:      s.postingHits.Load(),
@@ -272,10 +326,15 @@ func (s *Server) Stats() Stats {
 		SimMisses:        s.simMisses.Load(),
 		SimRefreshes:     s.simRefreshes.Load(),
 		SimEvictions:     s.simEvictions.Load(),
+		TileHits:         s.tileHits.Load(),
+		TileMisses:       s.tileMisses.Load(),
+		TilesPruned:      s.tilesPruned.Load(),
 		Adds:             live.adds.Load(),
 		Deletes:          live.deletes.Load(),
 		Seals:            live.seals.Load(),
 		Compactions:      live.compactions.Load(),
+		CompactVirtMS:    compactMS,
+		TileMaintVirtMS:  tileMS,
 	}
 }
 
@@ -954,21 +1013,57 @@ func (ss *Session) ThemeDocs(cluster int) []int64 {
 }
 
 // Near returns the documents whose ThemeView projection falls within radius
-// of (x, y), sorted — the analyst's terrain drill-down. Ingested documents
-// have no projection until an offline re-run; deleted ones are filtered.
+// of (x, y), sorted — the analyst's terrain drill-down. Documents ingested
+// on a store with the frozen Planar model are on the plane from the epoch
+// their delta seals; deleted ones are filtered.
+//
+// With tiles enabled (the default) the query descends the tile pyramid:
+// quadtree subtrees outside the query box are pruned untouched (counted in
+// Stats.TilesPruned) and virtual time is charged for the walk plus the
+// candidates actually examined — not, as the naive scan this replaced did,
+// for the whole point set on every call. Config.DisableTiles restores the
+// full scan, which Fig S5 uses as its baseline.
 func (ss *Session) Near(x, y, radius float64) []int64 {
 	st := ss.s.store
 	v := st.viewNow()
+	m := st.Model
 	r2 := radius * radius
 	var out []int64
-	for _, pt := range v.base.points {
-		dx, dy := pt.X-x, pt.Y-y
-		if dx*dx+dy*dy <= r2 && !v.tombs[pt.Doc] {
-			out = append(out, pt.Doc)
+	if ss.s.cfg.DisableTiles {
+		for _, pts := range [][]project.Point{v.base.points, v.pts} {
+			for _, pt := range pts {
+				dx, dy := pt.X-x, pt.Y-y
+				if dx*dx+dy*dy <= r2 && !v.tombs[pt.Doc] {
+					out = append(out, pt.Doc)
+				}
+			}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		ss.charge(m.FlopCost(3 * float64(len(v.base.points)+len(v.pts))))
+		return out
+	}
+	// The squared-distance test makes the radius sign-insensitive; the
+	// query box must agree. The pyramid's bin windows clamp the box with
+	// the member binning arithmetic, so out-of-bounds points (late ingests
+	// binned into edge tiles) stay findable.
+	rad := math.Abs(radius)
+	rect := tiles.Rect{MinX: x - rad, MinY: y - rad, MaxX: x + rad, MaxY: y + rad}
+	var cands []tiles.Entry
+	var visited, pruned int
+	st.withPyramid(v, ss.s.cfg.tileConfig(), func(p *tiles.Pyramid) {
+		cands, visited, pruned = p.Search(rect)
+	})
+	ss.s.tilesPruned.Add(uint64(pruned))
+	for _, e := range cands {
+		dx, dy := e.X-x, e.Y-y
+		if dx*dx+dy*dy <= r2 && !v.tombs[e.Doc] {
+			out = append(out, e.Doc)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	ss.charge(st.Model.FlopCost(3 * float64(len(v.base.points))))
+	ss.charge(m.LocalCopyCost(24*float64(visited+pruned)) +
+		m.FlopCost(3*float64(len(cands))) +
+		m.LocalCopyCost(8*float64(len(out))))
 	return out
 }
 

@@ -83,6 +83,7 @@ func (st *Store) Shard(n int) ([]*Store, error) {
 			DF:    parts[i].Count,
 			Posts: parts[i],
 			SigM:  st.SigM, Proj: st.Proj,
+			Planar: st.Planar, TileBox: st.TileBox,
 			K: st.K, Themes: st.Themes,
 			ShardCount: n, ShardIndex: i, GlobalDocs: st.TotalDocs,
 		}
@@ -136,7 +137,11 @@ func (st *Store) SaveShards(path string, n int) error {
 			Docs:     sh.TotalDocs,
 			Postings: posts,
 		}
-		if err := sh.SaveFile(filepath.Join(dir, man.Shards[i].File)); err != nil {
+		shardPath := filepath.Join(dir, man.Shards[i].File)
+		if err := sh.SaveFile(shardPath); err != nil {
+			return err
+		}
+		if err := sh.SaveTilesFile(shardPath, Config{}); err != nil {
 			return err
 		}
 	}
@@ -178,7 +183,11 @@ func SaveLiveSet(path string, shards []*Store) error {
 			Docs:     sh.TotalDocs,
 			Postings: posts,
 		}
-		if err := sh.SaveFile(filepath.Join(dir, info.File)); err != nil {
+		shardPath := filepath.Join(dir, info.File)
+		if err := sh.SaveFile(shardPath); err != nil {
+			return err
+		}
+		if err := sh.SaveTilesFile(shardPath, Config{}); err != nil {
 			return err
 		}
 		for j, seg := range v.segs {
@@ -234,6 +243,7 @@ func LoadShards(path string) (*Manifest, []*Store, error) {
 	shards := make([]*Store, man.NumShards)
 	var docs int64
 	for i, info := range man.Shards {
+		// LoadStoreFile also attaches the shard's tile sidecar if present.
 		sh, err := LoadStoreFile(filepath.Join(dir, info.File))
 		if err != nil {
 			return nil, nil, fmt.Errorf("serve: load shard %d: %w", i, err)

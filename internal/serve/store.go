@@ -31,6 +31,7 @@ import (
 	"inspire/internal/scan"
 	"inspire/internal/signature"
 	"inspire/internal/simtime"
+	"inspire/internal/tiles"
 )
 
 // Store is the serving form of one finished pipeline run: an immutable base
@@ -108,6 +109,21 @@ type Store struct {
 	// which case ingested documents get null signatures.
 	Proj *signature.Projection
 
+	// Planar is the frozen 2-D projection model (centroid mean + leading
+	// principal components): live ingestion uses it to place added
+	// documents on the ThemeView plane exactly as the batch run would
+	// have. Nil on stores persisted before it existed, in which case
+	// ingested documents stay off the Galaxy until an offline re-run.
+	Planar *project.Planar
+
+	// TileBox is the frozen world bounds of the Galaxy tile pyramid, fixed
+	// at snapshot time from the projected points and replicated to every
+	// shard so tile (z, x, y) addresses the same world rectangle on every
+	// server of a set. Documents projected outside it (late ingests) clamp
+	// into the edge tiles. Nil on legacy stores; derived from the points
+	// at load.
+	TileBox *tiles.Rect
+
 	// ThemeView products.
 	Points         []project.Point
 	AssignDocs     []int64
@@ -183,6 +199,8 @@ func buildStore(c *cluster.Comm, res *core.Result, docParts, asgParts [][]int64)
 		K:         res.Clusters.K,
 		Themes:    res.Themes,
 		Proj:      signature.NewProjection(res.AM),
+		Planar:    project.NewPlanar(res.Projection),
+		TileBox:   pointBounds(res.Coords),
 	}
 
 	// Ownership bounds and the replicated vocabulary.
@@ -370,6 +388,7 @@ func (st *Store) FlatCopy() *Store {
 		DF: st.DF, Posts: st.Posts,
 		Off: st.Off, PostDoc: st.PostDoc, PostFreq: st.PostFreq,
 		SigM: st.SigM, SigDocs: st.SigDocs, SigVecs: st.SigVecs, Proj: st.Proj,
+		Planar: st.Planar, TileBox: st.TileBox,
 		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
 		K: st.K, Themes: st.Themes,
 	}
@@ -391,6 +410,7 @@ func (st *Store) Fork() *Store {
 		DF: st.DF, Posts: st.Posts,
 		Off: st.Off, PostDoc: st.PostDoc, PostFreq: st.PostFreq,
 		SigM: st.SigM, SigDocs: st.SigDocs, SigVecs: st.SigVecs, Proj: st.Proj,
+		Planar: st.Planar, TileBox: st.TileBox,
 		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
 		K: st.K, Themes: st.Themes,
 	}
@@ -416,6 +436,7 @@ func (st *Store) EmptyCopy() *Store {
 		Terms: st.Terms, TermList: st.TermList, Prefix: st.Prefix,
 		DF: posts.Count, Posts: posts,
 		SigM: st.SigM, Proj: st.Proj,
+		Planar: st.Planar, TileBox: st.TileBox,
 		K: st.K, Themes: st.Themes,
 	}
 }
@@ -485,7 +506,7 @@ func (st *Store) ApplySignatures(set *signature.Set) error {
 	}
 	st.setSigSet(set)
 	if v := st.live.cur.Load(); v != nil {
-		st.publishLocked(&view{gen: v.gen, base: v.base, segs: v.segs, tombs: v.tombs, sigs: set})
+		st.publishLocked(&view{gen: v.gen, base: v.base, segs: v.segs, tombs: v.tombs, sigs: set, pts: v.pts})
 	}
 	return nil
 }
@@ -563,6 +584,16 @@ func (st *Store) validate() error {
 	}
 	if st.Proj != nil {
 		if err := st.Proj.Validate(); err != nil {
+			return err
+		}
+	}
+	if st.Planar != nil {
+		if err := st.Planar.Validate(); err != nil {
+			return err
+		}
+	}
+	if st.TileBox != nil {
+		if err := st.TileBox.Validate(); err != nil {
 			return err
 		}
 	}
@@ -671,15 +702,30 @@ func LoadStore(r io.Reader) (*Store, error) {
 	if err := st.validate(); err != nil {
 		return nil, err
 	}
+	// Legacy stores predate the frozen tile bounds; derive them from the
+	// persisted points so the pyramid the server builds lazily addresses
+	// the same world grid a re-saved store would.
+	if st.TileBox == nil && len(st.Points) > 0 {
+		st.TileBox = pointBounds(st.Points)
+	}
 	return st, nil
 }
 
-// LoadStoreFile reads a persisted store by path.
+// LoadStoreFile reads a persisted store by path, attaching the tile-pyramid
+// sidecar (path + ".tiles") when one is present and consistent; stores
+// without a sidecar build their pyramid lazily on first spatial query.
 func LoadStoreFile(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return LoadStore(f)
+	st, lerr := LoadStore(f)
+	if cerr := f.Close(); lerr == nil {
+		lerr = cerr
+	}
+	if lerr != nil {
+		return nil, lerr
+	}
+	st.attachTilesSidecar(path)
+	return st, nil
 }

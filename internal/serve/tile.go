@@ -1,0 +1,669 @@
+package serve
+
+// Galaxy tile serving: the multi-resolution spatial face of the store. A
+// quadtree tile pyramid (internal/tiles) aggregates the ThemeView projection
+// into density grids, theme histograms and exemplar documents at every zoom
+// level, so a client renders any viewport from a handful of fixed-size tiles
+// instead of pulling corpus-proportional point sets.
+//
+// The pyramid is maintained on the store's live side, synced to the serving
+// epochs exactly like the incremental similarity refresh: sealed documents
+// are re-binned from their seal delta (their plane coordinates come from the
+// frozen Planar projection), tombstones unbin their documents, compactions
+// are the identity, and a rebase (lineage cut) rebuilds from the new base.
+// Because every tile aggregate is an exact, order-independent function of
+// the member set, the incrementally maintained pyramid is identical to one
+// rebuilt offline, and per-shard pyramids merge into exactly the monolithic
+// answer — the equivalences the tile tests pin.
+//
+// Pyramid builds and patches are maintenance, charged to the store's
+// tile-maintenance account (like compaction) rather than to the session that
+// happened to trigger them; sessions pay per answered tile — a memory-rate
+// scan of the tile's bins through the server's epoch-keyed tile LRU — and,
+// for spatial Near queries, work proportional to the candidates the quadtree
+// walk admits rather than the whole point set.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"inspire/internal/core"
+	"inspire/internal/project"
+	"inspire/internal/segment"
+	"inspire/internal/tiles"
+)
+
+// TilesSidecarSuffix names the tile-pyramid sidecar persisted next to a
+// store file: <store>.tiles.
+const TilesSidecarSuffix = ".tiles"
+
+// TileTheme is one theme's share of a tile, with its representative label
+// (the theme's strongest terms).
+type TileTheme struct {
+	Cluster int64  `json:"cluster"`
+	Docs    int64  `json:"docs"`
+	Label   string `json:"label,omitempty"`
+}
+
+// TileResult is one rendered Galaxy tile: the density raster, the top theme
+// histogram and the exemplar documents of everything binned under tile
+// (z, x, y). Identical whether served by a single Server or merged across a
+// sharded Router.
+type TileResult struct {
+	Z    int   `json:"z"`
+	X    int   `json:"x"`
+	Y    int   `json:"y"`
+	Docs int64 `json:"docs"`
+	// Grid is the density raster dimension; Density is Grid*Grid counts,
+	// row-major with row 0 at the tile's MinY edge. Nil when the tile is
+	// empty.
+	Grid    int      `json:"grid"`
+	Density []uint32 `json:"density,omitempty"`
+	// Themes are the tile's top themes by document count (count
+	// descending, cluster ascending on ties), at most Config.TileThemes.
+	Themes []TileTheme `json:"themes,omitempty"`
+	// Exemplars are the smallest member document IDs, ascending.
+	Exemplars []int64 `json:"exemplars,omitempty"`
+}
+
+// tileConfig resolves the pyramid configuration of this server's tiles.
+func (cfg Config) tileConfig() tiles.Config {
+	return tiles.Config{
+		MaxZoom:   cfg.TileMaxZoom,
+		Grid:      cfg.TileGrid,
+		Exemplars: cfg.TileExemplars,
+	}.WithDefaults()
+}
+
+// checkTileAddr validates a tile address against the pyramid configuration.
+func checkTileAddr(tc tiles.Config, z, x, y int) error {
+	if z < 0 || z > tc.MaxZoom {
+		return fmt.Errorf("serve: tile zoom %d out of [0, %d]", z, tc.MaxZoom)
+	}
+	if n := 1 << z; x < 0 || x >= n || y < 0 || y >= n {
+		return fmt.Errorf("serve: tile (%d, %d) outside zoom %d", x, y, z)
+	}
+	return nil
+}
+
+// boundsOver accumulates the bounding box of the given point sets; ok is
+// false when every set is empty.
+func boundsOver(sets ...[]project.Point) (r tiles.Rect, ok bool) {
+	r = tiles.Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	for _, pts := range sets {
+		for _, p := range pts {
+			r.MinX, r.MaxX = math.Min(r.MinX, p.X), math.Max(r.MaxX, p.X)
+			r.MinY, r.MaxY = math.Min(r.MinY, p.Y), math.Max(r.MaxY, p.Y)
+			ok = true
+		}
+	}
+	return r, ok
+}
+
+// pointBounds returns the padded bounding box of a point set, nil when
+// empty.
+func pointBounds(pts []project.Point) *tiles.Rect {
+	r, ok := boundsOver(pts)
+	if !ok {
+		return nil
+	}
+	b := tiles.NewBounds(r.MinX, r.MinY, r.MaxX, r.MaxY)
+	return &b
+}
+
+// planarPoints places a sealed segment's documents on the ThemeView plane
+// with the store's frozen projection model — bit-for-bit what the batch
+// pipeline would have computed for the same signatures. Nil when the store
+// predates the Planar model.
+func (st *Store) planarPoints(seg *segment.Segment) []project.Point {
+	if st.Planar == nil {
+		return nil
+	}
+	out := make([]project.Point, len(seg.Docs))
+	for i, d := range seg.Docs {
+		x, y := st.Planar.Project(seg.SigVecs[i])
+		out[i] = project.Point{Doc: d, X: x, Y: y}
+	}
+	return out
+}
+
+// DataBounds returns the bounding box of every projected point the store
+// currently carries (base and sealed live documents; tombstones are not
+// subtracted — pruning only needs a superset), false when there are none.
+func (st *Store) DataBounds() (tiles.Rect, bool) {
+	v := st.viewNow()
+	return boundsOver(v.base.points, v.pts)
+}
+
+// --- pyramid maintenance ---------------------------------------------------
+
+// withPyramid runs fn with the store's tile pyramid synced to view v, under
+// the tile-maintenance lock. All servers over one store share one pyramid,
+// like they share one epoch stream. Maintenance cost (builds and lineage
+// patches) is charged to the store's tile account, off the session's path.
+func (st *Store) withPyramid(v *view, cfg tiles.Config, fn func(*tiles.Pyramid)) {
+	ls := &st.live
+	ls.tileMu.Lock()
+	defer ls.tileMu.Unlock()
+	if ls.tilePyr == nil || ls.tileView != v || ls.tilePyr.Config() != cfg {
+		st.syncPyramidLocked(v, cfg)
+	}
+	fn(ls.tilePyr)
+}
+
+// syncPyramidLocked brings the pyramid to view v: a lineage patch when v
+// descends from the view the pyramid reflects (re-binning only the epoch
+// deltas, mirroring the incremental similarity refresh), a full rebuild
+// otherwise. Callers hold tileMu.
+func (st *Store) syncPyramidLocked(v *view, cfg tiles.Config) {
+	ls := &st.live
+	if ls.tilePyr != nil && ls.tileView != nil && ls.tilePyr.Config() == cfg {
+		var chain []*view
+		a := v
+		for a != nil && a != ls.tileView {
+			chain = append(chain, a)
+			a = a.parent
+		}
+		if a == ls.tileView {
+			patched := true
+			var work float64
+			for i := len(chain) - 1; i >= 0 && patched; i-- {
+				w := chain[i]
+				switch w.kind {
+				case viewSeal:
+					for _, pt := range w.newPts {
+						ls.tilePyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1})
+					}
+					work += float64(len(w.newPts))
+				case viewTomb:
+					ls.tilePyr.Remove(w.tomb)
+					work++
+				case viewCompact:
+					// Identity on the pyramid: the dropped documents were
+					// unbinned at their tombstone epochs.
+				default:
+					patched = false
+				}
+			}
+			if patched {
+				ls.tileView = v
+				ls.tileVirt += st.Model.LocalCopyCost(32 * work * float64(cfg.MaxZoom+1))
+				return
+			}
+		}
+	}
+	ls.tilePyr = st.buildPyramidLocked(v, cfg)
+	ls.tileView = v
+}
+
+// buildPyramidLocked builds the pyramid of view v from scratch — from the
+// persisted sidecar plus the view's live deltas when the sidecar still
+// describes the base points, from the raw points otherwise. Callers hold
+// tileMu.
+func (st *Store) buildPyramidLocked(v *view, cfg tiles.Config) *tiles.Pyramid {
+	ls := &st.live
+	box := st.tileBoundsLocked(v)
+	var work float64
+	defer func() {
+		ls.tileVirt += st.Model.LocalCopyCost(32 * work * float64(cfg.MaxZoom+1))
+	}()
+
+	if sc := ls.tileSidecar; sc != nil && sc.Config() == cfg && sc.Bounds() == box {
+		pyr := sc.Clone()
+		for _, pt := range v.pts {
+			if !v.tombs[pt.Doc] {
+				pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1})
+			}
+		}
+		for d := range v.tombs {
+			pyr.Remove(d)
+		}
+		work = float64(pyr.NumDocs() + len(v.pts) + len(v.tombs))
+		return pyr
+	}
+
+	clusters := make(map[int64]int64, len(v.base.assignDocs))
+	for i, d := range v.base.assignDocs {
+		clusters[d] = v.base.assignClusters[i]
+	}
+	pyr, err := tiles.New(cfg, box)
+	if err != nil {
+		// cfg was validated at server construction and box is always
+		// padded; an error here is a programming bug.
+		panic(err)
+	}
+	for _, pt := range v.base.points {
+		if v.tombs[pt.Doc] || v.base.holes[pt.Doc] {
+			continue
+		}
+		c := int64(-1)
+		if cl, ok := clusters[pt.Doc]; ok {
+			c = cl
+		}
+		pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: c})
+	}
+	for _, pt := range v.pts {
+		if !v.tombs[pt.Doc] {
+			pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1})
+		}
+	}
+	work = float64(pyr.NumDocs())
+	return pyr
+}
+
+// tileBoundsLocked resolves the pyramid's world bounds: the store's frozen
+// TileBox, or — for legacy stores without one — a box derived from the
+// visible points once and memoized. Callers hold tileMu.
+func (st *Store) tileBoundsLocked(v *view) tiles.Rect {
+	if st.TileBox != nil {
+		return *st.TileBox
+	}
+	if st.live.tileBox != nil {
+		return *st.live.tileBox
+	}
+	b := tiles.NewBounds(0, 0, 1, 1)
+	if r, ok := boundsOver(v.base.points, v.pts); ok {
+		b = tiles.NewBounds(r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
+	st.live.tileBox = &b
+	return b
+}
+
+// --- sidecar persistence ---------------------------------------------------
+
+// BaseTilePyramid builds the pyramid of the store's base snapshot (its
+// persisted points and cluster assignments) — what SaveTilesFile persists
+// and what a loaded sidecar must reproduce.
+func (st *Store) BaseTilePyramid(cfg Config) (*tiles.Pyramid, error) {
+	tc := cfg.withDefaults().tileConfig()
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	box := tiles.NewBounds(0, 0, 1, 1)
+	if st.TileBox != nil {
+		box = *st.TileBox
+	} else if b := pointBounds(st.Points); b != nil {
+		box = *b
+	}
+	clusters := make(map[int64]int64, len(st.AssignDocs))
+	for i, d := range st.AssignDocs {
+		clusters[d] = st.AssignClusters[i]
+	}
+	pyr, err := tiles.New(tc, box)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range st.Points {
+		c := int64(-1)
+		if cl, ok := clusters[pt.Doc]; ok {
+			c = cl
+		}
+		if !pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: c}) {
+			return nil, fmt.Errorf("serve: tile pyramid: duplicate or non-finite point for doc %d", pt.Doc)
+		}
+	}
+	return pyr, nil
+}
+
+// SaveTilesFile persists the store's base tile pyramid as the sidecar of the
+// store file at storePath (storePath + ".tiles"), so the next load serves
+// tiles without rebuilding the pyramid.
+func (st *Store) SaveTilesFile(storePath string, cfg Config) error {
+	pyr, err := st.BaseTilePyramid(cfg)
+	if err != nil {
+		return err
+	}
+	return pyr.SaveFile(storePath + TilesSidecarSuffix)
+}
+
+// attachTilesSidecar loads the tile sidecar of the store file at path if one
+// exists and still describes the store's base points; anything missing,
+// corrupt or inconsistent is ignored — the pyramid then builds lazily, which
+// is also how stores persisted before the tile layer serve.
+func (st *Store) attachTilesSidecar(path string) {
+	pyr, err := tiles.LoadFile(path + TilesSidecarSuffix)
+	if err != nil {
+		return
+	}
+	if pyr.NumDocs() != len(st.Points) {
+		return
+	}
+	if st.TileBox == nil || pyr.Bounds() != *st.TileBox {
+		return
+	}
+	for _, pt := range st.Points {
+		if !pyr.Contains(pt.Doc) {
+			return
+		}
+	}
+	st.live.tileMu.Lock()
+	st.live.tileSidecar = pyr
+	st.live.tileMu.Unlock()
+}
+
+// --- server side -----------------------------------------------------------
+
+// tileKey keys the server's tile LRU: every published change advances the
+// epoch, so stale tiles age out without any sweep — the same
+// self-invalidation the similarity caches use.
+type tileKey struct {
+	epoch   uint64
+	z, x, y int
+}
+
+// tileBytes models a tile reply's payload size.
+func tileBytes(t *tiles.Tile) float64 {
+	if t == nil {
+		return 8
+	}
+	return float64(4*len(t.Density) + 16*len(t.Themes) + 8*len(t.Exemplars) + 32)
+}
+
+// tileRaw answers one tile address under view v from the epoch-keyed LRU,
+// falling through to the maintained pyramid on a miss. The returned tile is
+// an immutable snapshot (nil = empty). The cost is the descriptor probe plus
+// a memory-rate scan of the tile's bins (twice on a miss: the pyramid read
+// and the reply emit).
+func (s *Server) tileRaw(v *view, z, x, y int) (*tiles.Tile, float64) {
+	m := s.store.Model
+	key := tileKey{epoch: v.epoch, z: z, x: x, y: y}
+	s.tmu.Lock()
+	t, ok := s.tiles.get(key)
+	s.tmu.Unlock()
+	if ok {
+		s.tileHits.Add(1)
+		return t, m.LocalCopyCost(24 + tileBytes(t))
+	}
+	s.tileMisses.Add(1)
+	var cp *tiles.Tile
+	s.store.withPyramid(v, s.cfg.tileConfig(), func(p *tiles.Pyramid) {
+		cp = p.Tile(z, x, y).Clone()
+	})
+	s.tmu.Lock()
+	s.tiles.add(key, cp)
+	s.tmu.Unlock()
+	return cp, m.LocalCopyCost(24 + 2*tileBytes(cp))
+}
+
+// themeLabel renders a theme's representative label: its strongest terms.
+func themeLabel(themes []core.Theme, cluster int64) string {
+	if cluster < 0 || cluster >= int64(len(themes)) {
+		return ""
+	}
+	terms := themes[cluster].Terms
+	if len(terms) > 3 {
+		terms = terms[:3]
+	}
+	return strings.Join(terms, " ")
+}
+
+// renderTile trims a raw tile to the reply surface: the top themes by count
+// (count descending, cluster ascending on ties) with their labels. A nil raw
+// tile renders as the empty tile.
+func renderTile(raw *tiles.Tile, z, x, y, grid, topThemes int, themes []core.Theme) *TileResult {
+	res := &TileResult{Z: z, X: x, Y: y, Grid: grid}
+	if raw == nil {
+		return res
+	}
+	res.Docs = raw.Docs
+	res.Density = append([]uint32(nil), raw.Density...)
+	res.Exemplars = append([]int64(nil), raw.Exemplars...)
+	hist := append([]tiles.ThemeCount(nil), raw.Themes...)
+	sort.Slice(hist, func(a, b int) bool {
+		if hist[a].Docs != hist[b].Docs {
+			return hist[a].Docs > hist[b].Docs
+		}
+		return hist[a].Cluster < hist[b].Cluster
+	})
+	if len(hist) > topThemes {
+		hist = hist[:topThemes]
+	}
+	for _, h := range hist {
+		res.Themes = append(res.Themes, TileTheme{
+			Cluster: h.Cluster,
+			Docs:    h.Docs,
+			Label:   themeLabel(themes, h.Cluster),
+		})
+	}
+	return res
+}
+
+// Tile returns the Galaxy tile at (z, x, y): the density raster, top theme
+// histogram and exemplar documents of everything the ThemeView projection
+// bins there, answered from the server's epoch-keyed tile LRU.
+func (ss *Session) Tile(z, x, y int) (*TileResult, error) {
+	s := ss.s
+	if s.cfg.DisableTiles {
+		return nil, fmt.Errorf("serve: tiles are disabled on this server")
+	}
+	tc := s.cfg.tileConfig()
+	if err := checkTileAddr(tc, z, x, y); err != nil {
+		return nil, err
+	}
+	v := s.store.viewNow()
+	raw, cost := s.tileRaw(v, z, x, y)
+	ss.charge(cost)
+	return renderTile(raw, z, x, y, tc.Grid, s.cfg.TileThemes, s.store.Themes), nil
+}
+
+// TileRange returns every non-empty tile at zoom z whose extent intersects
+// r, ordered by (x, y) — one call renders a viewport. The quadtree walk
+// prunes subtrees outside the rect (counted in Stats.TilesPruned) and each
+// admitted tile answers through the tile LRU.
+func (ss *Session) TileRange(z int, r tiles.Rect) ([]*TileResult, error) {
+	s := ss.s
+	if s.cfg.DisableTiles {
+		return nil, fmt.Errorf("serve: tiles are disabled on this server")
+	}
+	tc := s.cfg.tileConfig()
+	if z < 0 || z > tc.MaxZoom {
+		return nil, fmt.Errorf("serve: tile zoom %d out of [0, %d]", z, tc.MaxZoom)
+	}
+	v := s.store.viewNow()
+	coords, _, cost := s.tileRangeCoords(v, tc, z, r)
+	out := make([]*TileResult, 0, len(coords))
+	for _, c := range coords {
+		raw, tcost := s.tileRaw(v, z, c[0], c[1])
+		cost += tcost
+		out = append(out, renderTile(raw, z, c[0], c[1], tc.Grid, s.cfg.TileThemes, s.store.Themes))
+	}
+	ss.charge(cost)
+	return out, nil
+}
+
+// tileRangeCoords walks the pyramid for the tile addresses at zoom z
+// intersecting r, charging the descent and counting pruned subtrees.
+func (s *Server) tileRangeCoords(v *view, tc tiles.Config, z int, r tiles.Rect) (coords [][2]int, walked int, cost float64) {
+	var pruned int
+	s.store.withPyramid(v, tc, func(p *tiles.Pyramid) {
+		ts, pr := p.Range(z, r)
+		pruned = pr
+		for _, t := range ts {
+			coords = append(coords, [2]int{t.X, t.Y})
+		}
+	})
+	s.tilesPruned.Add(uint64(pruned))
+	walked = len(coords) + pruned
+	return coords, walked, s.store.Model.LocalCopyCost(24 * float64(walked))
+}
+
+// tileRawQ is the shard-local half of a routed tile query: it answers the
+// raw (untrimmed) tile through this server's LRU and charges the
+// sub-session, like any other sub-query.
+func (ss *Session) tileRawQ(z, x, y int) *tiles.Tile {
+	v := ss.s.store.viewNow()
+	raw, cost := ss.s.tileRaw(v, z, x, y)
+	ss.charge(cost)
+	return raw
+}
+
+// tileRangeRaw is the shard-local half of a routed range query: raw tiles at
+// zoom z intersecting r, ordered by (x, y).
+func (ss *Session) tileRangeRaw(z int, r tiles.Rect) []*tiles.Tile {
+	s := ss.s
+	tc := s.cfg.tileConfig()
+	v := s.store.viewNow()
+	coords, _, cost := s.tileRangeCoords(v, tc, z, r)
+	out := make([]*tiles.Tile, 0, len(coords))
+	for _, c := range coords {
+		// tileRaw answers immutable snapshots already addressed (z, x, y);
+		// the merge side only reads them.
+		raw, tcost := s.tileRaw(v, z, c[0], c[1])
+		cost += tcost
+		if raw != nil {
+			out = append(out, raw)
+		}
+	}
+	ss.charge(cost)
+	return out
+}
+
+// --- router side -----------------------------------------------------------
+
+// tileShards returns the shards whose data bounding box overlaps rect's
+// tile window at zoom z — a shard none of whose points can bin inside the
+// window is never asked. The comparison runs in bin-index space with the
+// member binning arithmetic, so boundary points never mis-prune.
+func (r *Router) tileShards(z int, rect tiles.Rect) []int {
+	qx0, qy0, qx1, qy1, ok := tiles.BinWindow(r.tileBox, z, rect)
+	if !ok {
+		return nil
+	}
+	r.boxMu.RLock()
+	defer r.boxMu.RUnlock()
+	out := make([]int, 0, len(r.shards))
+	for i := range r.shards {
+		if !r.boxOK[i] {
+			continue
+		}
+		sx0, sy0, sx1, sy1, _ := tiles.BinWindow(r.tileBox, z, r.boxes[i])
+		if sx0 <= qx1 && qx0 <= sx1 && sy0 <= qy1 && qy0 <= sy1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// shardsForTile returns the shards whose data bounding box covers tile
+// (z, x, y) in bin-index space.
+func (r *Router) shardsForTile(z, x, y int) []int {
+	r.boxMu.RLock()
+	defer r.boxMu.RUnlock()
+	out := make([]int, 0, len(r.shards))
+	for i := range r.shards {
+		if !r.boxOK[i] {
+			continue
+		}
+		sx0, sy0, sx1, sy1, _ := tiles.BinWindow(r.tileBox, z, r.boxes[i])
+		if x >= sx0 && x <= sx1 && y >= sy0 && y <= sy1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// expandBox grows a shard's data bounding box to cover a newly ingested
+// point; boxes only ever grow, so pruning stays conservative.
+func (r *Router) expandBox(shard int, x, y float64) {
+	r.boxMu.Lock()
+	defer r.boxMu.Unlock()
+	if !r.boxOK[shard] {
+		r.boxes[shard] = tiles.Rect{MinX: x, MinY: y, MaxX: x, MaxY: y}
+		r.boxOK[shard] = true
+		return
+	}
+	b := &r.boxes[shard]
+	b.MinX, b.MaxX = math.Min(b.MinX, x), math.Max(b.MaxX, x)
+	b.MinY, b.MaxY = math.Min(b.MinY, y), math.Max(b.MaxY, y)
+}
+
+// Tile returns the Galaxy tile at (z, x, y) merged across the shard set:
+// densities and theme histograms sum, exemplar sets union and trim —
+// bit-identical to the single-store answer over the unsharded snapshot.
+// Shards whose bounding box misses the tile's extent are pruned before any
+// request is issued.
+func (rs *RouterSession) Tile(z, x, y int) (*TileResult, error) {
+	r := rs.r
+	if r.cfg.DisableTiles {
+		return nil, fmt.Errorf("serve: tiles are disabled on this router")
+	}
+	tc := r.cfg.tileConfig()
+	if err := checkTileAddr(tc, z, x, y); err != nil {
+		return nil, err
+	}
+	cost := r.model.LocalCopyCost(24)
+	live := r.shardsForTile(z, x, y)
+	if len(live) == 0 {
+		r.shortCircuits.Add(1)
+		rs.charge(cost)
+		return renderTile(nil, z, x, y, tc.Grid, r.cfg.TileThemes, r.themes), nil
+	}
+	parts := make([]*tiles.Tile, len(r.shards))
+	cost += rs.scatter(live, 24, func(shard int, sub *Session) float64 {
+		parts[shard] = sub.tileRawQ(z, x, y)
+		return tileBytes(parts[shard])
+	})
+	merged := tiles.Merge(parts, tc.Exemplars)
+	cost += r.model.LocalCopyCost(tileBytes(merged))
+	rs.charge(cost)
+	return renderTile(merged, z, x, y, tc.Grid, r.cfg.TileThemes, r.themes), nil
+}
+
+// TileRange returns every non-empty tile at zoom z intersecting r, merged
+// across the shard set and ordered by (x, y), identical to the single-store
+// answer. Only shards whose bounding box intersects the rect are asked.
+func (rs *RouterSession) TileRange(z int, rect tiles.Rect) ([]*TileResult, error) {
+	r := rs.r
+	if r.cfg.DisableTiles {
+		return nil, fmt.Errorf("serve: tiles are disabled on this router")
+	}
+	tc := r.cfg.tileConfig()
+	if z < 0 || z > tc.MaxZoom {
+		return nil, fmt.Errorf("serve: tile zoom %d out of [0, %d]", z, tc.MaxZoom)
+	}
+	cost := r.model.LocalCopyCost(24)
+	live := r.tileShards(z, rect)
+	if len(live) == 0 {
+		r.shortCircuits.Add(1)
+		rs.charge(cost)
+		return nil, nil
+	}
+	parts := make([][]*tiles.Tile, len(r.shards))
+	cost += rs.scatter(live, 40, func(shard int, sub *Session) float64 {
+		parts[shard] = sub.tileRangeRaw(z, rect)
+		var b float64
+		for _, t := range parts[shard] {
+			b += tileBytes(t)
+		}
+		return b
+	})
+	byAddr := make(map[[2]int][]*tiles.Tile)
+	for _, part := range parts {
+		for _, t := range part {
+			a := [2]int{t.X, t.Y}
+			byAddr[a] = append(byAddr[a], t)
+		}
+	}
+	addrs := make([][2]int, 0, len(byAddr))
+	for a := range byAddr {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(a, b int) bool {
+		if addrs[a][0] != addrs[b][0] {
+			return addrs[a][0] < addrs[b][0]
+		}
+		return addrs[a][1] < addrs[b][1]
+	})
+	out := make([]*TileResult, 0, len(addrs))
+	var mergedBytes float64
+	for _, a := range addrs {
+		merged := tiles.Merge(byAddr[a], tc.Exemplars)
+		mergedBytes += tileBytes(merged)
+		out = append(out, renderTile(merged, z, a[0], a[1], tc.Grid, r.cfg.TileThemes, r.themes))
+	}
+	cost += r.model.LocalCopyCost(mergedBytes)
+	rs.charge(cost)
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 	"inspire/internal/project"
 	"inspire/internal/segment"
 	"inspire/internal/signature"
+	"inspire/internal/tiles"
 )
 
 // view is one immutable serving epoch of a live store: the base snapshot's
@@ -35,6 +36,13 @@ type view struct {
 	// sigs is the base signature set of this epoch (segments carry their
 	// own); ApplySignatures publishes a new view with a new set.
 	sigs *signature.Set
+	// pts are the ThemeView points of the ingested (sealed) documents,
+	// computed from their signatures with the store's frozen Planar model
+	// at seal time; nil when the store has no Planar. Like segs the slice
+	// is copy-on-write: seals append to a fresh copy, compaction filters
+	// out points whose documents (and tombstones) it dropped, and Rebase
+	// folds them into the base points.
+	pts []project.Point
 
 	// Incremental-similarity lineage: what changed from the parent epoch.
 	// A cached top-K at an ancestor epoch can be patched forward across
@@ -48,6 +56,7 @@ type view struct {
 	depth   int
 	kind    viewKind
 	newSegs []*segment.Segment // kind == viewSeal: the appended segments
+	newPts  []project.Point    // kind == viewSeal: the appended points
 	tomb    int64              // kind == viewTomb: the deleted document
 }
 
@@ -206,6 +215,19 @@ type liveState struct {
 	compactWG   sync.WaitGroup
 	compactVirt float64 // virtual seconds charged to the background compactor
 
+	// Tile-pyramid maintenance state (see tile.go): the pyramid synced to
+	// tileView, the sidecar loaded alongside the store (nil once invalid),
+	// the derived world bounds of a legacy store, and the virtual seconds
+	// charged to pyramid builds and patches — maintenance, like
+	// compaction, off every session's critical path. Guarded by tileMu;
+	// publishers holding mu may take tileMu (never the reverse).
+	tileMu      sync.Mutex
+	tilePyr     *tiles.Pyramid
+	tileView    *view
+	tileSidecar *tiles.Pyramid
+	tileBox     *tiles.Rect
+	tileVirt    float64
+
 	adds, deletes, seals, compactions atomic.Uint64
 }
 
@@ -302,7 +324,20 @@ func (st *Store) resetViewLocked() {
 	if v == nil {
 		return
 	}
-	st.live.cur.Store(&view{epoch: v.epoch + 1, gen: v.gen + 1, base: st.baseView(), sigs: v.sigs})
+	st.live.cur.Store(&view{epoch: v.epoch + 1, gen: v.gen + 1, base: st.baseView(), sigs: v.sigs, pts: v.pts})
+}
+
+// maintVirtMS snapshots the store's maintenance accounts as virtual
+// milliseconds: background compaction/rebase merges and tile-pyramid builds
+// and patches — modeled work kept off every session's critical path.
+func (st *Store) maintVirtMS() (compact, tile float64) {
+	st.live.mu.Lock()
+	compact = st.live.compactVirt * 1000
+	st.live.mu.Unlock()
+	st.live.tileMu.Lock()
+	tile = st.live.tileVirt * 1000
+	st.live.tileMu.Unlock()
+	return compact, tile
 }
 
 // Epoch returns the store's current serving epoch; it advances on every

@@ -90,6 +90,10 @@ func (r *WorkloadReport) String() string {
 		r.Stats.PostingMisses, r.Stats.PostingEvictions, r.Stats.RemoteGets,
 		r.Stats.PartialFetches, r.Stats.BlocksDecoded, r.Stats.BlocksSkipped,
 		100*r.Stats.SimHitRate(), r.Stats.SimHits, r.Stats.SimMisses)
+	if r.Stats.TileHits+r.Stats.TileMisses+r.Stats.TilesPruned > 0 {
+		s += fmt.Sprintf("\ntiles: %d served from the LRU, %d pyramid reads, %d subtrees pruned by spatial walks (%.1f ms maintenance)",
+			r.Stats.TileHits, r.Stats.TileMisses, r.Stats.TilesPruned, r.Stats.TileMaintVirtMS)
+	}
 	if r.Stats.FanOuts > 0 || r.Stats.ShortCircuits > 0 {
 		s += fmt.Sprintf("\nscatter-gather: %d fan-outs into %d shard queries (%d pruned by DF summaries, %d short-circuited at the router)",
 			r.Stats.FanOuts, r.Stats.ShardQueries, r.Stats.ShardsPruned, r.Stats.ShortCircuits)
@@ -257,6 +261,11 @@ func diffStats(before, after Stats) Stats {
 		SimMisses:        after.SimMisses - before.SimMisses,
 		SimRefreshes:     after.SimRefreshes - before.SimRefreshes,
 		SimEvictions:     after.SimEvictions - before.SimEvictions,
+		TileHits:         after.TileHits - before.TileHits,
+		TileMisses:       after.TileMisses - before.TileMisses,
+		TilesPruned:      after.TilesPruned - before.TilesPruned,
+		CompactVirtMS:    after.CompactVirtMS - before.CompactVirtMS,
+		TileMaintVirtMS:  after.TileMaintVirtMS - before.TileMaintVirtMS,
 		FanOuts:          after.FanOuts - before.FanOuts,
 		ShardQueries:     after.ShardQueries - before.ShardQueries,
 		ShardsPruned:     after.ShardsPruned - before.ShardsPruned,

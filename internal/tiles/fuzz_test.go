@@ -1,0 +1,75 @@
+package tiles
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzTileRoundTrip drives the sidecar codec from both ends: arbitrary bytes
+// must either be rejected or decode to a pyramid whose canonical re-encoding
+// is byte-identical, and structured pyramids synthesized from the fuzzer's
+// integers must always round-trip exactly.
+func FuzzTileRoundTrip(f *testing.F) {
+	small, err := Build(Config{MaxZoom: 3, Grid: 2, Exemplars: 2}, NewBounds(0, 0, 1, 1), []Entry{
+		{Doc: 0, X: 0.1, Y: 0.2, Cluster: 1},
+		{Doc: 5, X: 0.9, Y: 0.8, Cluster: -1},
+		{Doc: 9, X: -2, Y: 3, Cluster: 0}, // clamps into an edge tile
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, err := New(Config{}, NewBounds(-1, -1, 1, 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(small.Encode(), uint8(3), uint16(12), int64(1))
+	f.Add(empty.Encode(), uint8(2), uint16(0), int64(2))
+	f.Add([]byte(Magic), uint8(1), uint16(4), int64(3))
+	f.Add([]byte{}, uint8(0), uint16(0), int64(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, zoom uint8, docs uint16, seed int64) {
+		// Arbitrary bytes: decode either errors or yields a pyramid whose
+		// canonical encoding is byte-identical and decodes back to the
+		// same value.
+		if p, err := Decode(raw); err == nil {
+			re := p.Encode()
+			if !reflect.DeepEqual(re, raw) {
+				t.Fatalf("accepted sidecar is not canonical: %d vs %d bytes", len(re), len(raw))
+			}
+			back, err := Decode(re)
+			if err != nil {
+				t.Fatalf("re-encoded sidecar rejected: %v", err)
+			}
+			if !reflect.DeepEqual(p, back) {
+				t.Fatal("round trip drifted")
+			}
+		}
+
+		// Structured input: a synthesized pyramid must round-trip to
+		// identity.
+		cfg := Config{MaxZoom: int(zoom)%6 + 1, Grid: 1 << (int(zoom) % 4), Exemplars: int(zoom)%5 + 1}
+		rng := rand.New(rand.NewSource(seed))
+		entries := make([]Entry, 0, int(docs)%64)
+		for i := 0; i < int(docs)%64; i++ {
+			entries = append(entries, Entry{
+				Doc:     int64(i)*7 + int64(docs),
+				X:       rng.Float64()*4 - 2,
+				Y:       rng.Float64()*4 - 2,
+				Cluster: int64(rng.Intn(4)) - 1,
+			})
+		}
+		p, err := Build(cfg, NewBounds(-1, -1, 2, 2), entries)
+		if err != nil {
+			t.Fatalf("valid pyramid rejected: %v", err)
+		}
+		enc := p.Encode()
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("encoded pyramid rejected: %v", err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatal("structured round trip drifted")
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package tiles
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randEntries builds a deterministic entry set, including points outside the
+// bounds (which must clamp into edge tiles) and unassigned clusters.
+func randEntries(n int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e := Entry{
+			Doc:     int64(i * 3), // sparse IDs
+			X:       rng.Float64()*2 - 0.5,
+			Y:       rng.Float64()*2 - 0.5,
+			Cluster: int64(rng.Intn(5)) - 1, // -1..3
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func testBounds() Rect { return NewBounds(0, 0, 1, 1) }
+
+// TestBuildOrderIndependent pins the core invariant: the pyramid is a pure
+// function of the member set, whatever order entries arrive in.
+func TestBuildOrderIndependent(t *testing.T) {
+	entries := randEntries(200, 1)
+	a, err := Build(Config{}, testBounds(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]Entry, len(entries))
+	for i, e := range entries {
+		rev[len(entries)-1-i] = e
+	}
+	b, err := Build(Config{}, testBounds(), rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("pyramids differ under insertion order")
+	}
+}
+
+// TestRemoveMatchesRebuild pins the incremental-maintenance invariant:
+// removing documents from a pyramid leaves exactly the pyramid built from
+// the survivors — density, counts, theme histograms and exemplars included.
+func TestRemoveMatchesRebuild(t *testing.T) {
+	entries := randEntries(300, 2)
+	full, err := Build(Config{}, testBounds(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survivors []Entry
+	for i, e := range entries {
+		if i%3 == 0 {
+			if !full.Remove(e.Doc) {
+				t.Fatalf("remove %d failed", e.Doc)
+			}
+		} else {
+			survivors = append(survivors, e)
+		}
+	}
+	want, err := Build(Config{}, testBounds(), survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, want) {
+		t.Fatal("incrementally maintained pyramid differs from rebuild")
+	}
+	// Removing everything leaves the empty pyramid.
+	for _, e := range survivors {
+		full.Remove(e.Doc)
+	}
+	empty, _ := New(Config{}, testBounds())
+	if !reflect.DeepEqual(full, empty) {
+		t.Fatalf("emptied pyramid not empty: %d tiles, %d docs", full.NumTiles(), full.NumDocs())
+	}
+}
+
+// TestZoomNesting checks that parent tiles aggregate exactly their four
+// children at every level.
+func TestZoomNesting(t *testing.T) {
+	p, err := Build(Config{MaxZoom: 5}, testBounds(), randEntries(400, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < 5; z++ {
+		all, _ := p.Range(z, p.Bounds())
+		for _, tl := range all {
+			var kids int64
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					if c := p.Tile(z+1, 2*tl.X+dx, 2*tl.Y+dy); c != nil {
+						kids += c.Docs
+					}
+				}
+			}
+			if kids != tl.Docs {
+				t.Fatalf("z=%d tile (%d,%d) has %d docs, children sum %d", z, tl.X, tl.Y, tl.Docs, kids)
+			}
+			var dens int64
+			for _, d := range tl.Density {
+				dens += int64(d)
+			}
+			if dens != tl.Docs {
+				t.Fatalf("z=%d tile (%d,%d) density sums %d for %d docs", z, tl.X, tl.Y, dens, tl.Docs)
+			}
+		}
+	}
+}
+
+// TestSearchMatchesBruteForce compares quadtree candidate search against a
+// full scan for random query boxes.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	entries := randEntries(250, 4)
+	p, err := Build(Config{}, testBounds(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		r := rng.Float64() * 0.3
+		q := Rect{MinX: cx - r, MinY: cy - r, MaxX: cx + r, MaxY: cy + r}
+		cands, _, _ := p.Search(q)
+		got := map[int64]bool{}
+		for _, e := range cands {
+			got[e.Doc] = true
+		}
+		// Every in-box point (by binned position) must be a candidate.
+		for _, e := range entries {
+			inBox := e.X >= q.MinX && e.X <= q.MaxX && e.Y >= q.MinY && e.Y <= q.MaxY
+			if inBox && !got[e.Doc] {
+				t.Fatalf("query %v missed doc %d at (%g,%g)", q, e.Doc, e.X, e.Y)
+			}
+		}
+	}
+}
+
+// TestMergeMatchesMonolithic partitions one entry set across three
+// "shards" and checks that merging per-shard tiles reproduces the
+// monolithic tile exactly at every address and zoom.
+func TestMergeMatchesMonolithic(t *testing.T) {
+	entries := randEntries(300, 5)
+	mono, err := Build(Config{}, testBounds(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*Pyramid, 3)
+	for i := range shards {
+		var part []Entry
+		for _, e := range entries {
+			if int(e.Doc)%3 == i {
+				part = append(part, e)
+			}
+		}
+		shards[i], err = Build(Config{}, testBounds(), part)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := mono.Config()
+	for z := 0; z <= cfg.MaxZoom; z++ {
+		all, _ := mono.Range(z, mono.Bounds())
+		for _, want := range all {
+			parts := make([]*Tile, len(shards))
+			for i, sh := range shards {
+				parts[i] = sh.Tile(z, want.X, want.Y)
+			}
+			got := Merge(parts, cfg.Exemplars)
+			if got == nil || got.Docs != want.Docs ||
+				!reflect.DeepEqual(got.Density, want.Density) ||
+				!reflect.DeepEqual(got.Themes, want.Themes) ||
+				!reflect.DeepEqual(got.Exemplars, want.Exemplars) {
+				t.Fatalf("z=%d tile (%d,%d): merged %+v != mono %+v", z, want.X, want.Y, got, want)
+			}
+		}
+	}
+}
+
+// TestExemplarsAreSmallestDocs pins the exemplar definition through adds and
+// removals.
+func TestExemplarsAreSmallestDocs(t *testing.T) {
+	p, err := Build(Config{Exemplars: 3}, testBounds(), randEntries(100, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the globally smallest docs; the root exemplars must re-derive.
+	root := p.Tile(0, 0, 0)
+	smallest := append([]int64(nil), root.Exemplars...)
+	for _, d := range smallest {
+		p.Remove(d)
+	}
+	root = p.Tile(0, 0, 0)
+	var want []int64
+	for d := range p.loc {
+		want = append(want, d)
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	if len(want) > 3 {
+		want = want[:3]
+	}
+	if !reflect.DeepEqual(root.Exemplars, want) {
+		t.Fatalf("root exemplars %v, want %v", root.Exemplars, want)
+	}
+}
+
+// TestCodecRoundTrip pins Encode/Decode identity on a pyramid with
+// out-of-bounds (clamped) points and unassigned clusters.
+func TestCodecRoundTrip(t *testing.T) {
+	p, err := Build(Config{MaxZoom: 4, Grid: 4, Exemplars: 2}, testBounds(), randEntries(120, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := p.Encode()
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatal("decode(encode(p)) != p")
+	}
+	if re := back.Encode(); !reflect.DeepEqual(enc, re) {
+		t.Fatal("encode(decode(b)) != b")
+	}
+}
+
+// TestCodecRejects exercises the decoder's validation.
+func TestCodecRejects(t *testing.T) {
+	p, err := Build(Config{}, testBounds(), randEntries(20, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := p.Encode()
+	cases := map[string][]byte{
+		"bad magic":  append([]byte("NOTTILES99\n"), enc[len(Magic):]...),
+		"truncated":  enc[:len(enc)-3],
+		"trailing":   append(append([]byte(nil), enc...), 0),
+		"empty":      {},
+		"magic only": []byte(Magic),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
