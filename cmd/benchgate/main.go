@@ -1,34 +1,40 @@
 // Command benchgate is the CI bench-regression gate: it compares the metrics
-// a fresh `benchfig -ci` run wrote against the committed baseline and exits
-// non-zero when serving, ingest or tile throughput regressed more than 15%,
-// the posting compression ratio fell below the gated 2.5x, the 4-shard
-// scatter-gather speedup fell below 1.5x, the tile-rendering speedup over
-// full-point scans fell below 3x, or a tail-latency-under-ingest ratio
-// exceeded its gate.
+// a fresh bench run wrote against the committed baseline and exits non-zero
+// when they regressed past the gated thresholds.
 //
-// Usage:
+// It gates two independent planes:
 //
 //	benchfig -ci BENCH_CI.json
 //	benchgate -baseline BENCH_BASELINE.json -current BENCH_CI.json
 //
-// The gate always prints a baseline-vs-current delta table (markdown), and
-// when $GITHUB_STEP_SUMMARY is set — i.e. inside a GitHub Actions job — the
-// same table is appended there, so every PR shows its perf trajectory in the
-// run summary.
+// gates the virtual metrics — modeled on the paper's cluster, so they
+// reproduce exactly across hosts and the thresholds can be tight (15%,
+// absolute floors on compression and the sharding/tile speedups). And
 //
-// The gated quantities are virtual (modeled on the paper's cluster), so they
-// reproduce exactly across hosts; a gate failure means the code changed the
-// serving work, not that the runner was slow. When an intentional change
-// shifts the numbers, regenerate and commit the baseline in the same PR.
+//	loadbench -ci -json BENCH_WALL_CI.json
+//	benchgate -wall -baseline BENCH_WALL.json -current BENCH_WALL_CI.json
+//
+// gates the wall-clock metrics — real HTTP load on the runner's own CPU, so
+// throughput is normalized by the run's CPU calibration score and the
+// tolerance is looser (25%); the per-request allocation metrics are
+// workload-deterministic and gate at 25% too.
+//
+// Either mode always prints a baseline-vs-current delta table (markdown),
+// and when $GITHUB_STEP_SUMMARY is set — i.e. inside a GitHub Actions job —
+// the same table is appended there, so every PR shows its perf trajectory in
+// the run summary. When an intentional change shifts the numbers, regenerate
+// and commit the baseline in the same PR.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"inspire/internal/bench"
+	"inspire/internal/loadgen"
 )
 
 // row is one metric of the delta table; higherIsBetter orients the delta
@@ -39,21 +45,10 @@ type row struct {
 	higherIsBetter bool
 }
 
-// deltaTable renders the baseline-vs-current comparison as markdown.
-func deltaTable(base, cur *bench.CIMetrics) string {
-	rows := []row{
-		{"serving virtual qps", base.ServingVirtualQPS, cur.ServingVirtualQPS, true},
-		{"4-shard virtual qps", base.ShardedVirtualQPS4, cur.ShardedVirtualQPS4, true},
-		{"sharding speedup (4x)", base.ShardingSpeedup4x, cur.ShardingSpeedup4x, true},
-		{"compression ratio", base.CompressionRatio, cur.CompressionRatio, true},
-		{"ingest virtual docs/sec", base.IngestVirtualDPS, cur.IngestVirtualDPS, true},
-		{"query p95 under ingest (x idle)", base.IngestQueryP95Ratio, cur.IngestQueryP95Ratio, false},
-		{"tile virtual qps", base.TileVirtualQPS, cur.TileVirtualQPS, true},
-		{"tile speedup vs full scan", base.TileSpeedupVsScan, cur.TileSpeedupVsScan, true},
-		{"tile p95 under ingest (x idle)", base.TileIngestP95Ratio, cur.TileIngestP95Ratio, false},
-	}
+// renderRows renders a titled markdown delta table over the rows.
+func renderRows(title string, rows []row) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "### Bench gate (scale %g)\n\n", cur.Scale)
+	fmt.Fprintf(&sb, "### %s\n\n", title)
 	sb.WriteString("| metric | baseline | current | delta |\n|---|---:|---:|---:|\n")
 	for _, r := range rows {
 		delta := "n/a"
@@ -73,32 +68,85 @@ func deltaTable(base, cur *bench.CIMetrics) string {
 	return sb.String()
 }
 
-func main() {
-	baseline := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline metrics")
-	current := flag.String("current", "BENCH_CI.json", "metrics of this run (benchfig -ci)")
-	flag.Parse()
+// deltaTable renders the virtual-plane comparison as markdown.
+func deltaTable(base, cur *bench.CIMetrics) string {
+	return renderRows(fmt.Sprintf("Bench gate (scale %g)", cur.Scale), []row{
+		{"serving virtual qps", base.ServingVirtualQPS, cur.ServingVirtualQPS, true},
+		{"4-shard virtual qps", base.ShardedVirtualQPS4, cur.ShardedVirtualQPS4, true},
+		{"sharding speedup (4x)", base.ShardingSpeedup4x, cur.ShardingSpeedup4x, true},
+		{"compression ratio", base.CompressionRatio, cur.CompressionRatio, true},
+		{"ingest virtual docs/sec", base.IngestVirtualDPS, cur.IngestVirtualDPS, true},
+		{"query p95 under ingest (x idle)", base.IngestQueryP95Ratio, cur.IngestQueryP95Ratio, false},
+		{"tile virtual qps", base.TileVirtualQPS, cur.TileVirtualQPS, true},
+		{"tile speedup vs full scan", base.TileSpeedupVsScan, cur.TileSpeedupVsScan, true},
+		{"tile p95 under ingest (x idle)", base.TileIngestP95Ratio, cur.TileIngestP95Ratio, false},
+	})
+}
 
-	base, err := bench.ReadCIMetrics(*baseline)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(1)
+// wallDeltaTable renders the wall-clock-plane comparison as markdown.
+func wallDeltaTable(base, cur *loadgen.WallMetrics) string {
+	title := fmt.Sprintf("Wall-clock gate (%d sessions x %d ops, seed %d)",
+		cur.Sessions, cur.OpsPerSession, cur.Seed)
+	return renderRows(title, []row{
+		{"requests/sec (raw)", base.QPS, cur.QPS, true},
+		{"normalized qps (per calib mops)", base.NormQPS, cur.NormQPS, true},
+		{"host calibration (mops)", base.CalibMOPS, cur.CalibMOPS, true},
+		{"p50 latency (ms)", base.P50MS, cur.P50MS, false},
+		{"p95 latency (ms)", base.P95MS, cur.P95MS, false},
+		{"p99 latency (ms)", base.P99MS, cur.P99MS, false},
+		{"allocs/request", base.AllocsPerOp, cur.AllocsPerOp, false},
+		{"alloc bytes/request", base.BytesPerOp, cur.BytesPerOp, false},
+		{"gc pause total (ms)", base.GCPauseMS, cur.GCPauseMS, false},
+	})
+}
+
+// gate loads both metric files of the selected plane and returns the
+// rendered delta table, the violations and the one-line pass verdict.
+func gate(wall bool, baselinePath, currentPath string) (table string, violations []string, verdict string, err error) {
+	if wall {
+		base, err := loadgen.ReadWallMetrics(baselinePath)
+		if err != nil {
+			return "", nil, "", err
+		}
+		cur, err := loadgen.ReadWallMetrics(currentPath)
+		if err != nil {
+			return "", nil, "", err
+		}
+		verdict = fmt.Sprintf("benchgate: ok — %.0f req/sec over real HTTP (normalized %.2f vs baseline %.2f), "+
+			"p99 %.2f ms, %.0f allocs/req, %.0f B/req",
+			cur.QPS, cur.NormQPS, base.NormQPS, cur.P99MS, cur.AllocsPerOp, cur.BytesPerOp)
+		return wallDeltaTable(base, cur), cur.Gate(base), verdict, nil
 	}
-	cur, err := bench.ReadCIMetrics(*current)
+	base, err := bench.ReadCIMetrics(baselinePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(1)
+		return "", nil, "", err
+	}
+	cur, err := bench.ReadCIMetrics(currentPath)
+	if err != nil {
+		return "", nil, "", err
 	}
 	if base.Scale != cur.Scale {
-		fmt.Fprintf(os.Stderr, "benchgate: scale mismatch: baseline %g, current %g\n", base.Scale, cur.Scale)
-		os.Exit(1)
+		return "", nil, "", fmt.Errorf("scale mismatch: baseline %g, current %g", base.Scale, cur.Scale)
 	}
+	verdict = fmt.Sprintf("benchgate: ok — serving %.0f virtual qps (baseline %.0f), 4-shard %.0f (%.2fx), compression %.2fx, "+
+		"ingest %.0f virtual docs/sec (query p95 %.2fx idle), tiles %.0f virtual qps (%.1fx vs scans, p95 %.2fx under ingest)",
+		cur.ServingVirtualQPS, base.ServingVirtualQPS, cur.ShardedVirtualQPS4, cur.ShardingSpeedup4x,
+		cur.CompressionRatio, cur.IngestVirtualDPS, cur.IngestQueryP95Ratio,
+		cur.TileVirtualQPS, cur.TileSpeedupVsScan, cur.TileIngestP95Ratio)
+	return deltaTable(base, cur), cur.Gate(base), verdict, nil
+}
 
-	violations := cur.Gate(base)
-	table := deltaTable(base, cur)
-	fmt.Println(table)
+// run is main behind testable seams: parsed flags in, exit code out.
+func run(wall bool, baselinePath, currentPath, summaryPath string, stdout, stderr io.Writer) int {
+	table, violations, verdict, err := gate(wall, baselinePath, currentPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, table)
 	// Inside GitHub Actions, publish the same table (plus any violations)
 	// to the job's step summary so the perf trajectory is visible per PR.
-	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+	if summaryPath != "" {
 		summary := table
 		for _, v := range violations {
 			summary += fmt.Sprintf("\n- ❌ %s", v)
@@ -108,21 +156,40 @@ func main() {
 		} else {
 			summary += "\n"
 		}
-		if f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+		if f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
 			_, _ = f.WriteString(summary)
 			_ = f.Close()
 		}
 	}
-
 	if len(violations) > 0 {
 		for _, v := range violations {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", v)
+			fmt.Fprintf(stderr, "benchgate: FAIL: %s\n", v)
 		}
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("benchgate: ok — serving %.0f virtual qps (baseline %.0f), 4-shard %.0f (%.2fx), compression %.2fx, "+
-		"ingest %.0f virtual docs/sec (query p95 %.2fx idle), tiles %.0f virtual qps (%.1fx vs scans, p95 %.2fx under ingest)\n",
-		cur.ServingVirtualQPS, base.ServingVirtualQPS, cur.ShardedVirtualQPS4, cur.ShardingSpeedup4x,
-		cur.CompressionRatio, cur.IngestVirtualDPS, cur.IngestQueryP95Ratio,
-		cur.TileVirtualQPS, cur.TileSpeedupVsScan, cur.TileIngestP95Ratio)
+	fmt.Fprintln(stdout, verdict)
+	return 0
+}
+
+func main() {
+	wall := flag.Bool("wall", false, "gate the wall-clock load metrics (loadbench -ci) instead of the virtual bench metrics")
+	baseline := flag.String("baseline", "", "committed baseline metrics (default BENCH_BASELINE.json, or BENCH_WALL.json with -wall)")
+	current := flag.String("current", "", "metrics of this run (default BENCH_CI.json, or BENCH_WALL_CI.json with -wall)")
+	flag.Parse()
+
+	if *baseline == "" {
+		if *wall {
+			*baseline = "BENCH_WALL.json"
+		} else {
+			*baseline = "BENCH_BASELINE.json"
+		}
+	}
+	if *current == "" {
+		if *wall {
+			*current = "BENCH_WALL_CI.json"
+		} else {
+			*current = "BENCH_CI.json"
+		}
+	}
+	os.Exit(run(*wall, *baseline, *current, os.Getenv("GITHUB_STEP_SUMMARY"), os.Stdout, os.Stderr))
 }

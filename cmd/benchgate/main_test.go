@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inspire/internal/bench"
+	"inspire/internal/loadgen"
+)
+
+// baseCI is a healthy virtual baseline every threshold case perturbs.
+func baseCI() *bench.CIMetrics {
+	return &bench.CIMetrics{
+		Scale:               1024,
+		ServingVirtualQPS:   1000,
+		ShardedVirtualQPS4:  2500,
+		ShardingSpeedup4x:   2.5,
+		CompressionRatio:    4.0,
+		IngestVirtualDPS:    800,
+		IngestQueryP95Ratio: 1.2,
+		TileVirtualQPS:      5000,
+		TileSpeedupVsScan:   6.0,
+		TileIngestP95Ratio:  1.5,
+	}
+}
+
+// TestCIGateThresholds walks every virtual-plane gate boundary the command
+// enforces: the exact edge passes, one step past it fails.
+func TestCIGateThresholds(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*bench.CIMetrics)
+		want int // violations
+	}{
+		{"identical", func(m *bench.CIMetrics) {}, 0},
+		{"serving qps at floor", func(m *bench.CIMetrics) { m.ServingVirtualQPS = 850 }, 0},
+		{"serving qps below floor", func(m *bench.CIMetrics) { m.ServingVirtualQPS = 849 }, 1},
+		{"sharded qps below floor", func(m *bench.CIMetrics) { m.ShardedVirtualQPS4 = 2000 }, 1},
+		{"compression at floor", func(m *bench.CIMetrics) { m.CompressionRatio = bench.GateMinCompression }, 0},
+		{"compression below floor", func(m *bench.CIMetrics) { m.CompressionRatio = bench.GateMinCompression - 0.01 }, 1},
+		{"speedup at floor", func(m *bench.CIMetrics) { m.ShardingSpeedup4x = bench.GateMinShardSpeedup }, 0},
+		{"speedup below floor", func(m *bench.CIMetrics) { m.ShardingSpeedup4x = bench.GateMinShardSpeedup - 0.01 }, 1},
+		{"ingest dps below floor", func(m *bench.CIMetrics) { m.IngestVirtualDPS = 600 }, 1},
+		{"ingest p95 at ceiling", func(m *bench.CIMetrics) { m.IngestQueryP95Ratio = bench.GateMaxIngestP95Ratio }, 0},
+		{"ingest p95 above ceiling", func(m *bench.CIMetrics) { m.IngestQueryP95Ratio = bench.GateMaxIngestP95Ratio + 0.01 }, 1},
+		{"tile qps below floor", func(m *bench.CIMetrics) { m.TileVirtualQPS = 4000 }, 1},
+		{"tile speedup below floor", func(m *bench.CIMetrics) { m.TileSpeedupVsScan = bench.GateMinTileSpeedup - 0.01 }, 1},
+		{"tile p95 above ceiling", func(m *bench.CIMetrics) { m.TileIngestP95Ratio = bench.GateMaxTileP95Ratio + 0.01 }, 1},
+		{"improvements never fail", func(m *bench.CIMetrics) {
+			m.ServingVirtualQPS, m.TileVirtualQPS, m.CompressionRatio = 9000, 90000, 10
+		}, 0},
+	}
+	for _, tc := range cases {
+		cur := baseCI()
+		tc.mod(cur)
+		if got := cur.Gate(baseCI()); len(got) != tc.want {
+			t.Errorf("%s: %d violations %v, want %d", tc.name, len(got), got, tc.want)
+		}
+	}
+}
+
+// TestDeltaTableMarks pins the delta rendering: improvements get a check,
+// regressions a warning, lower-is-better rows invert, a zero baseline is
+// n/a, and sub-0.5% noise gets no mark at all.
+func TestDeltaTableMarks(t *testing.T) {
+	cases := []struct {
+		name string
+		rows []row
+		want string
+	}{
+		{"improvement", []row{{"m", 100, 110, true}}, "+10.0% ✅"},
+		{"regression", []row{{"m", 100, 90, true}}, "-10.0% ⚠️"},
+		{"lower is better improvement", []row{{"m", 100, 90, false}}, "-10.0% ✅"},
+		{"lower is better regression", []row{{"m", 100, 110, false}}, "+10.0% ⚠️"},
+		{"noise unmarked", []row{{"m", 1000, 1001, true}}, "+0.1% |"},
+		{"zero baseline", []row{{"m", 0, 5, true}}, "n/a"},
+	}
+	for _, tc := range cases {
+		got := renderRows("T", tc.rows)
+		if !strings.Contains(got, tc.want) {
+			t.Errorf("%s: table %q lacks %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestWallDeltaTable pins the wall-clock table: every gated metric appears,
+// latency and allocation rows are lower-is-better.
+func TestWallDeltaTable(t *testing.T) {
+	base := &loadgen.WallMetrics{Sessions: 100, OpsPerSession: 50, Seed: 1,
+		QPS: 1000, NormQPS: 2, P95MS: 100, AllocsPerOp: 200, BytesPerOp: 130000}
+	cur := &loadgen.WallMetrics{Sessions: 100, OpsPerSession: 50, Seed: 1,
+		QPS: 1100, NormQPS: 2.2, P95MS: 120, AllocsPerOp: 150, BytesPerOp: 130000}
+	got := wallDeltaTable(base, cur)
+	for _, want := range []string{
+		"Wall-clock gate (100 sessions x 50 ops, seed 1)",
+		"normalized qps", "p95 latency", "allocs/request",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table lacks %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "+10.0% ✅") { // higher qps is good
+		t.Fatalf("qps improvement unmarked:\n%s", got)
+	}
+	if !strings.Contains(got, "+20.0% ⚠️") { // higher p95 is bad
+		t.Fatalf("p95 regression unmarked:\n%s", got)
+	}
+	if !strings.Contains(got, "-25.0% ✅") { // fewer allocs is good
+		t.Fatalf("alloc improvement unmarked:\n%s", got)
+	}
+}
+
+// writeWall persists wall metrics for the end-to-end run() cases.
+func writeWall(t *testing.T, dir, name string, m *loadgen.WallMetrics) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := m.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunWallGate drives run() end to end on metric files: a healthy run
+// passes and appends the step summary, a regressed run fails with the
+// violation on stderr, a missing file is a hard error.
+func TestRunWallGate(t *testing.T) {
+	dir := t.TempDir()
+	base := &loadgen.WallMetrics{Sessions: 100, OpsPerSession: 50, Seed: 1,
+		QPS: 1000, NormQPS: 2.0, CalibMOPS: 500, AllocsPerOp: 200, BytesPerOp: 130000}
+	basePath := writeWall(t, dir, "base.json", base)
+
+	good := *base
+	good.NormQPS = 1.9
+	goodPath := writeWall(t, dir, "good.json", &good)
+	summary := filepath.Join(dir, "summary.md")
+	var out, errb bytes.Buffer
+	if code := run(true, basePath, goodPath, summary, &out, &errb); code != 0 {
+		t.Fatalf("healthy run exits %d; stderr %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "benchgate: ok") {
+		t.Fatalf("no verdict printed: %s", out.String())
+	}
+	sum, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sum), "gate passed") {
+		t.Fatalf("step summary lacks pass line: %s", sum)
+	}
+
+	bad := *base
+	bad.NormQPS = 1.0 // 50% drop: past the 25% gate
+	badPath := writeWall(t, dir, "bad.json", &bad)
+	out.Reset()
+	errb.Reset()
+	if code := run(true, basePath, badPath, "", &out, &errb); code != 1 {
+		t.Fatalf("regressed run exits %d", code)
+	}
+	if !strings.Contains(errb.String(), "normalized throughput") {
+		t.Fatalf("violation not named on stderr: %s", errb.String())
+	}
+
+	if code := run(true, basePath, filepath.Join(dir, "missing.json"), "", &out, &errb); code != 1 {
+		t.Fatal("missing current metrics accepted")
+	}
+}
+
+// TestRunScaleMismatch pins the virtual plane's refusal to compare runs at
+// different scales.
+func TestRunScaleMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a, b := baseCI(), baseCI()
+	b.Scale = 2048
+	aPath := filepath.Join(dir, "a.json")
+	bPath := filepath.Join(dir, "b.json")
+	if err := a.WriteJSON(aPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(bPath); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run(false, aPath, bPath, "", &out, &errb); code != 1 {
+		t.Fatal("scale mismatch accepted")
+	}
+	if !strings.Contains(errb.String(), "scale mismatch") {
+		t.Fatalf("mismatch not named: %s", errb.String())
+	}
+}

@@ -1,0 +1,196 @@
+// Command loadbench is the wall-clock load driver: it replays a seeded mixed
+// analyst workload — term, boolean, similarity, region and tile queries plus
+// live add/delete traffic — from many concurrent sessions over real HTTP
+// against the daemon's serving surface, and reports what the host actually
+// sustains: requests per second, client-observed latency percentiles,
+// allocations per request and GC pause totals.
+//
+// By default it serves in-process: the synthetic benchmark corpus is indexed
+// through the real pipeline, mounted behind internal/httpd on a loopback
+// listener, and driven through real sockets — so the allocation account
+// covers the serving path, and no daemon needs to be running. Point -url at
+// a live inspired instance to drive that instead (the allocation numbers
+// then charge the client side only).
+//
+// Usage:
+//
+//	loadbench                          # 100 sessions x 50 ops, in-process
+//	loadbench -sessions 200 -ops 100   # heavier sweep
+//	loadbench -shards 4                # drive the scatter-gather router
+//	loadbench -url http://host:8080    # drive a running daemon
+//	loadbench -ci -json BENCH_WALL_CI.json -data dev/bench/data.js
+//	loadbench -cpuprofile cpu.pprof    # profile the serving path under load
+//
+// -ci pins the gate preset (100 sessions x 50 ops, seed 1, 4 shards) so the
+// run is comparable against the committed BENCH_WALL.json baseline; see
+// cmd/benchgate -wall. -json writes the run's metrics; -data appends them to
+// the window.BENCHMARK_DATA perf-trajectory script.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"inspire/internal/bench"
+	"inspire/internal/httpd"
+	"inspire/internal/loadgen"
+)
+
+func main() {
+	sessions := flag.Int("sessions", 100, "concurrent HTTP sessions")
+	ops := flag.Int("ops", 50, "requests per session (timed phase)")
+	seed := flag.Int64("seed", 1, "workload seed; fixes the request streams")
+	warmup := flag.Int("warmup", 5, "untimed warmup requests per session")
+	live := flag.Float64("live", 0.08, "fraction of requests that mutate (add/delete); negative disables")
+	scale := flag.Float64("scale", bench.DefaultScale, "dataset reduction factor for the in-process corpus")
+	shards := flag.Int("shards", 1, "serve through an n-shard scatter-gather router (in-process mode)")
+	urlFlag := flag.String("url", "", "drive a running daemon at this base URL instead of serving in-process")
+	terms := flag.String("terms", "", "comma-separated query vocabulary (required with -url; in-process defaults to the store's top-DF terms)")
+	docs := flag.String("docs", "", "comma-separated similarity target doc IDs (required with -url)")
+	themes := flag.Int("themes", 0, "theme-ID range for /theme draws (in-process defaults to the store's theme count)")
+	jsonPath := flag.String("json", "", "write the run's wall metrics JSON to this file (see cmd/benchgate -wall)")
+	dataPath := flag.String("data", "", "append the run to this window.BENCHMARK_DATA perf-trajectory script")
+	ci := flag.Bool("ci", false, "use the CI gate preset: 100 sessions x 50 ops, seed 1, 4 shards")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed phase to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	flag.Parse()
+
+	if *ci {
+		*sessions, *ops, *seed, *shards = 100, 50, 1, 4
+	}
+
+	cfg := loadgen.Config{
+		Sessions:      *sessions,
+		OpsPerSession: *ops,
+		Seed:          *seed,
+		LiveFrac:      *live,
+		Themes:        *themes,
+	}
+
+	baseURL := *urlFlag
+	inProcess := baseURL == ""
+	if inProcess {
+		fmt.Fprintf(os.Stderr, "loadbench: indexing the scale-%g benchmark corpus (%d shard(s))...\n", *scale, *shards)
+		st, err := bench.ServingStore(*scale, 8)
+		if err != nil {
+			fatal(err)
+		}
+		svc, err := bench.ShardedService(st, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		if cfg.Themes <= 0 {
+			cfg.Themes = svc.NumThemes()
+		}
+		if *terms == "" {
+			cfg.Terms = svc.TopTerms(48)
+		}
+		if *docs == "" {
+			cfg.Docs = svc.SampleDocs(16)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, httpd.New(svc, "").Mux()) }()
+		baseURL = "http://" + ln.Addr().String()
+	}
+	if *terms != "" {
+		cfg.Terms = strings.Split(*terms, ",")
+	}
+	if *docs != "" {
+		for _, f := range strings.Split(*docs, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("-docs %q: %w", f, err))
+			}
+			cfg.Docs = append(cfg.Docs, id)
+		}
+	}
+	if len(cfg.Terms) == 0 || len(cfg.Docs) == 0 {
+		fatal(fmt.Errorf("-url mode needs -terms and -docs (the driver cannot read the remote store's vocabulary)"))
+	}
+
+	plan, err := loadgen.PlanWorkload(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	calib := loadgen.Calibrate()
+	fmt.Fprintf(os.Stderr, "loadbench: host calibration %.0f mops; driving %d sessions x %d ops (seed %d) at %s\n",
+		calib, cfg.Sessions, cfg.OpsPerSession, cfg.Seed, baseURL)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+
+	res, err := loadgen.Run(baseURL, plan, *warmup)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	m := loadgen.FromResult(res, cfg, calib, commit(), inProcess)
+	m.Scale, m.Shards = *scale, *shards
+	if *jsonPath != "" {
+		if err := m.WriteJSON(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadbench: wrote wall metrics to %s (norm qps %.2f)\n", *jsonPath, m.NormQPS)
+	}
+	if *dataPath != "" {
+		if err := loadgen.AppendTrajectory(*dataPath, m, time.Now()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadbench: appended run to %s\n", *dataPath)
+	}
+	if res.HardErrors > 0 {
+		fatal(fmt.Errorf("%d hard errors during the run", res.HardErrors))
+	}
+}
+
+// commit resolves the revision this run measured: the working tree's HEAD,
+// the Actions-provided SHA, or "unknown" outside both.
+func commit() string {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadbench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+window.BENCHMARK_DATA = {
+  "lastUpdate": 1786107799425,
+  "entries": {
+    "wall-clock serving": [
+      {
+        "commit": "06d152ecdc1c8bb55c795aa9c589017eb7d3c0f5",
+        "date": 1786107799425,
+        "benches": [
+          {
+            "name": "qps",
+            "value": 1365.7574114665608,
+            "unit": "req/s"
+          },
+          {
+            "name": "norm qps",
+            "value": 2.774349982302033,
+            "unit": "req/s per calib mops"
+          },
+          {
+            "name": "p50 latency",
+            "value": 70.982745,
+            "unit": "ms"
+          },
+          {
+            "name": "p95 latency",
+            "value": 107.100728,
+            "unit": "ms"
+          },
+          {
+            "name": "p99 latency",
+            "value": 124.068615,
+            "unit": "ms"
+          },
+          {
+            "name": "allocs",
+            "value": 195.4668,
+            "unit": "allocs/req"
+          },
+          {
+            "name": "alloc bytes",
+            "value": 128349.3712,
+            "unit": "B/req"
+          }
+        ]
+      }
+    ]
+  }
+};

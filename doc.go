@@ -48,9 +48,17 @@
 // across shards; spatial Near queries descend the same quadtree instead of
 // scanning every point.
 //
+// The daemon's HTTP and stdin surfaces live in internal/httpd, mountable
+// in-process; internal/loadgen and cmd/loadbench drive that surface with
+// seeded, replayable mixed workloads from many concurrent sessions over real
+// sockets and report wall-clock throughput, latency percentiles and
+// per-request allocation — the measured plane CI gates alongside the modeled
+// one (cmd/benchgate -wall).
+//
 // The library lives under internal/; the executables under cmd/ (inspire,
-// inspired, corpusgen, benchfig, benchgate) and the runnable scenarios under
-// examples/ are the public surface. bench_test.go in this directory regenerates every
-// figure of the paper's evaluation as Go benchmarks; see DESIGN.md for the
-// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+// inspired, corpusgen, benchfig, benchgate, loadbench) and the runnable
+// scenarios under examples/ are the public surface. bench_test.go in this
+// directory regenerates every figure of the paper's evaluation as Go
+// benchmarks; see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
 package inspire

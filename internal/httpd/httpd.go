@@ -1,0 +1,384 @@
+// Package httpd is the daemon's serving surface: the JSON HTTP mux and the
+// stdin line protocol that cmd/inspired exposes, factored out of the command
+// so it can also be driven in-process — the end-to-end test sweep and the
+// wall-clock load harness (internal/loadgen, cmd/loadbench) mount the exact
+// handler the production daemon serves, over real HTTP listeners, without
+// forking a subprocess.
+//
+// Endpoints (JSON responses; reads are GET, mutations are POST):
+//
+//	GET  /term?q=word            posting list of one term
+//	GET  /df?q=word              document frequency
+//	GET  /and?q=a,b,c            conjunctive query
+//	GET  /or?q=a,b,c             disjunctive query
+//	GET  /similar?doc=3&k=5      top-K similarity in signature space
+//	GET  /theme?cluster=2        documents of one k-means theme
+//	GET  /near?x=0&y=0&r=0.2     ThemeView region drill-down
+//	GET  /tiles/{z}/{x}/{y}      Galaxy tile
+//	POST /add?text=...           ingest a document (returns its ID)
+//	POST /delete?doc=3           tombstone a document
+//	POST /flush                  make pending adds visible now
+//	POST /compact                merge sealed segments now
+//	POST /save?path=NAME         persist under the configured save dir
+//	GET  /themes                 discovered themes
+//	GET  /stats                  server cache/traffic/ingest counters
+//
+// Pass session=NAME on query endpoints to accumulate per-session virtual
+// latency across requests; anonymous requests each get a fresh session.
+package httpd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"inspire/internal/query"
+	"inspire/internal/serve"
+)
+
+// Daemon multiplexes named sessions over the serving surface — a monolithic
+// Server or a sharded Router, indistinguishable behind serve.Service.
+type Daemon struct {
+	srv serve.Service
+	// saveDir confines HTTP /save targets; empty disables the endpoint.
+	saveDir string
+
+	mu       sync.Mutex
+	sessions map[string]*namedSession
+}
+
+// New builds a daemon over a service. saveDir confines HTTP /save targets to
+// plain file names inside it; empty disables the endpoint entirely.
+func New(srv serve.Service, saveDir string) *Daemon {
+	return &Daemon{srv: srv, saveDir: saveDir, sessions: make(map[string]*namedSession)}
+}
+
+// namedSession serializes the requests of one session name: a Querier
+// requires one goroutine at a time, and serializing also keeps each reply's
+// virtual_ms the latency of its own interaction.
+type namedSession struct {
+	mu   sync.Mutex
+	sess serve.Querier
+}
+
+// maxNamedSessions bounds the retained session table; once full, unseen
+// names fall back to throwaway sessions instead of growing memory without
+// bound.
+const maxNamedSessions = 1024
+
+// session returns the named session, creating it on first use; the empty
+// name gets a fresh throwaway session.
+func (d *Daemon) session(name string) *namedSession {
+	if name == "" {
+		return &namedSession{sess: d.srv.NewQuerier()}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.sessions[name]; ok {
+		return s
+	}
+	if len(d.sessions) >= maxNamedSessions {
+		return &namedSession{sess: d.srv.NewQuerier()}
+	}
+	s := &namedSession{sess: d.srv.NewQuerier()}
+	d.sessions[name] = s
+	return s
+}
+
+// Reply is the JSON envelope of every query response.
+type Reply struct {
+	Op        string            `json:"op"`
+	VirtualMS float64           `json:"virtual_ms"`         // this interaction's modeled latency
+	Count     int               `json:"count"`              // result cardinality
+	Postings  []query.Posting   `json:"postings,omitempty"` // term queries
+	Docs      []int64           `json:"docs,omitempty"`     // boolean/theme/near queries
+	Hits      []query.Hit       `json:"hits,omitempty"`     // similarity queries
+	Tile      *serve.TileResult `json:"tile,omitempty"`     // galaxy tile queries
+	DF        int64             `json:"df,omitempty"`
+	Doc       int64             `json:"doc,omitempty"` // add: the assigned document ID
+	OK        bool              `json:"ok,omitempty"`  // add/delete/flush/compact/save
+	Error     string            `json:"error,omitempty"`
+}
+
+// run executes one parsed operation against a session, holding its lock so
+// concurrent requests on one name serialize and the reported virtual_ms
+// belongs to this interaction.
+func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	sess := ns.sess
+	rep := Reply{Op: op}
+	terms := func() []string {
+		return strings.FieldsFunc(args["q"], func(r rune) bool { return r == ',' || r == ' ' })
+	}
+	switch op {
+	case "term":
+		rep.Postings = sess.TermDocs(args["q"])
+		rep.Count = len(rep.Postings)
+	case "df":
+		rep.DF = sess.DF(args["q"])
+	case "and":
+		rep.Docs = sess.And(terms()...)
+		rep.Count = len(rep.Docs)
+	case "or":
+		rep.Docs = sess.Or(terms()...)
+		rep.Count = len(rep.Docs)
+	case "similar":
+		doc, _ := strconv.ParseInt(args["doc"], 10, 64)
+		k, _ := strconv.Atoi(args["k"])
+		if k <= 0 {
+			k = 5
+		}
+		hits, err := sess.Similar(doc, k)
+		if err != nil {
+			rep.Error = err.Error()
+		}
+		rep.Hits = hits
+		rep.Count = len(hits)
+	case "theme":
+		k, _ := strconv.Atoi(args["cluster"])
+		rep.Docs = sess.ThemeDocs(k)
+		rep.Count = len(rep.Docs)
+	case "near":
+		x, _ := strconv.ParseFloat(args["x"], 64)
+		y, _ := strconv.ParseFloat(args["y"], 64)
+		r, _ := strconv.ParseFloat(args["r"], 64)
+		rep.Docs = sess.Near(x, y, r)
+		rep.Count = len(rep.Docs)
+	case "tile":
+		z, errZ := strconv.Atoi(args["z"])
+		x, errX := strconv.Atoi(args["x"])
+		y, errY := strconv.Atoi(args["y"])
+		if errZ != nil || errX != nil || errY != nil {
+			// A malformed address must not alias to a valid tile (Atoi's
+			// zero value is the root tile).
+			rep.Error = fmt.Sprintf("tile address %q/%q/%q is not numeric", args["z"], args["x"], args["y"])
+			break
+		}
+		t, err := sess.Tile(z, x, y)
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Tile = t
+			rep.Count = int(t.Docs)
+		}
+	case "add":
+		doc, err := sess.Add(args["text"])
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Doc, rep.OK = doc, true
+		}
+	case "delete":
+		doc, err := strconv.ParseInt(args["doc"], 10, 64)
+		if err == nil {
+			err = sess.Delete(doc)
+		}
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Doc, rep.OK = doc, true
+		}
+	default:
+		rep.Error = fmt.Sprintf("unknown op %q", op)
+		return rep
+	}
+	rep.VirtualMS = sess.Stats().LastMS
+	return rep
+}
+
+// live executes one service-level maintenance op (flush/compact/save) — not
+// a session interaction, so no virtual account is touched.
+func (d *Daemon) live(op, path string) Reply {
+	rep := Reply{Op: op}
+	lv, ok := d.srv.(serve.Liver)
+	if !ok {
+		rep.Error = "service does not support live maintenance"
+		return rep
+	}
+	var err error
+	switch op {
+	case "flush":
+		err = lv.FlushLive()
+	case "compact":
+		err = lv.CompactLive()
+	case "save":
+		if path == "" {
+			err = fmt.Errorf("save needs a path")
+		} else {
+			err = lv.SaveLive(path)
+		}
+	}
+	if err != nil {
+		rep.Error = err.Error()
+	} else {
+		rep.OK = true
+	}
+	return rep
+}
+
+// Mux builds the HTTP surface. Query endpoints answer GET; every endpoint
+// that mutates server state (add/delete/flush/compact/save) requires POST, so
+// crawlers, prefetchers and simple cross-site GETs cannot trip them.
+func (d *Daemon) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(op string, mutating bool, keys ...string) {
+		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
+			if mutating && r.Method != http.MethodPost {
+				writeJSONStatus(w, http.StatusMethodNotAllowed, Reply{Op: op, Error: "mutating endpoint: use POST"})
+				return
+			}
+			args := make(map[string]string, len(keys))
+			for _, k := range keys {
+				args[k] = r.URL.Query().Get(k)
+			}
+			sess := d.session(r.URL.Query().Get("session"))
+			writeJSON(w, d.run(sess, op, args))
+		})
+	}
+	handle("term", false, "q")
+	handle("df", false, "q")
+	handle("and", false, "q")
+	handle("or", false, "q")
+	handle("similar", false, "doc", "k")
+	handle("theme", false, "cluster")
+	handle("near", false, "x", "y", "r")
+	// Galaxy tiles are addressed by path, slippy-map style; the method
+	// prefix makes non-GET requests 405 like the other read endpoints'
+	// mutation guard does.
+	mux.HandleFunc("GET /tiles/{z}/{x}/{y}", func(w http.ResponseWriter, r *http.Request) {
+		args := map[string]string{
+			"z": r.PathValue("z"),
+			"x": r.PathValue("x"),
+			"y": r.PathValue("y"),
+		}
+		sess := d.session(r.URL.Query().Get("session"))
+		writeJSON(w, d.run(sess, "tile", args))
+	})
+	handle("add", true, "text")
+	handle("delete", true, "doc")
+	for _, op := range []string{"flush", "compact", "save"} {
+		op := op
+		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				writeJSONStatus(w, http.StatusMethodNotAllowed, Reply{Op: op, Error: "mutating endpoint: use POST"})
+				return
+			}
+			path := r.URL.Query().Get("path")
+			if op == "save" {
+				resolved, err := savePath(d.saveDir, path)
+				if err != nil {
+					writeJSON(w, Reply{Op: op, Error: err.Error()})
+					return
+				}
+				path = resolved
+			}
+			writeJSON(w, d.live(op, path))
+		})
+	}
+	mux.HandleFunc("/themes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.srv.Themes())
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.srv.Stats())
+	})
+	return mux
+}
+
+// savePath resolves an HTTP /save target to a plain file name inside the
+// configured save dir, so a client with network access never gets a
+// file-write primitive against an arbitrary server-side path. An empty dir
+// keeps the endpoint disabled.
+func savePath(dir, name string) (string, error) {
+	if dir == "" {
+		return "", fmt.Errorf("save over HTTP is disabled; start inspired with -save-dir")
+	}
+	if name == "" || name == "." || name == ".." ||
+		name != filepath.Base(name) || strings.ContainsAny(name, `/\`) {
+		return "", fmt.Errorf("save path must be a plain file name (it is written inside -save-dir)")
+	}
+	return filepath.Join(dir, name), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ServeLines answers the stdin line protocol: one op per line, JSON per
+// line. Lines are "term apple", "and apple banana", "similar 3 5",
+// "theme 2", "near 0 0 0.2", "tile 2 1 3", "df apple", "stats", "quit".
+// Unlike HTTP /save, the line protocol's save takes a full path — it is the
+// operator's own terminal, not the network surface.
+func (d *Daemon) ServeLines(in io.Reader, out io.Writer) {
+	sess := &namedSession{sess: d.srv.NewQuerier()}
+	sc := bufio.NewScanner(in)
+	enc := json.NewEncoder(out)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		op, rest := fields[0], fields[1:]
+		switch op {
+		case "quit", "exit":
+			return
+		case "stats":
+			_ = enc.Encode(d.srv.Stats())
+			continue
+		case "flush", "compact", "save":
+			path := ""
+			if len(rest) > 0 {
+				path = rest[0]
+			}
+			_ = enc.Encode(d.live(op, path))
+			continue
+		}
+		args := map[string]string{}
+		switch op {
+		case "term", "df":
+			if len(rest) > 0 {
+				args["q"] = rest[0]
+			}
+		case "and", "or":
+			args["q"] = strings.Join(rest, ",")
+		case "add":
+			args["text"] = strings.Join(rest, " ")
+		case "delete":
+			if len(rest) > 0 {
+				args["doc"] = rest[0]
+			}
+		case "similar":
+			if len(rest) > 0 {
+				args["doc"] = rest[0]
+			}
+			if len(rest) > 1 {
+				args["k"] = rest[1]
+			}
+		case "theme":
+			if len(rest) > 0 {
+				args["cluster"] = rest[0]
+			}
+		case "near":
+			if len(rest) > 2 {
+				args["x"], args["y"], args["r"] = rest[0], rest[1], rest[2]
+			}
+		case "tile":
+			if len(rest) > 2 {
+				args["z"], args["x"], args["y"] = rest[0], rest[1], rest[2]
+			}
+		}
+		_ = enc.Encode(d.run(sess, op, args))
+	}
+}

@@ -1,0 +1,490 @@
+package httpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/query"
+	"inspire/internal/serve"
+	"inspire/internal/simtime"
+	"inspire/internal/tiles"
+)
+
+// TestSavePathConfinement pins the /save target policy: a plain file name
+// joined under the save dir, everything else — absolute paths, separators,
+// traversal, or an unconfigured dir — refused.
+func TestSavePathConfinement(t *testing.T) {
+	if _, err := savePath("", "run.live"); err == nil {
+		t.Fatal("save allowed without a save dir")
+	}
+	got, err := savePath("/data", "run.live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join("/data", "run.live"); got != want {
+		t.Fatalf("savePath = %q, want %q", got, want)
+	}
+	for _, name := range []string{"", ".", "..", "/etc/passwd", "../escape", "sub/file", `sub\file`, "a/../b"} {
+		if _, err := savePath("/data", name); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+}
+
+// stubQuerier/stubService satisfy the serving interfaces with inert answers,
+// so the routing-policy tests need no indexed store behind them.
+type stubQuerier struct{}
+
+func (stubQuerier) TermDocs(string) []query.Posting         { return nil }
+func (stubQuerier) DF(string) int64                         { return 0 }
+func (stubQuerier) And(...string) []int64                   { return nil }
+func (stubQuerier) Or(...string) []int64                    { return nil }
+func (stubQuerier) Similar(int64, int) ([]query.Hit, error) { return nil, nil }
+func (stubQuerier) ThemeDocs(int) []int64                   { return nil }
+func (stubQuerier) Near(float64, float64, float64) []int64  { return nil }
+func (stubQuerier) Tile(int, int, int) (*serve.TileResult, error) {
+	return &serve.TileResult{}, nil
+}
+func (stubQuerier) TileRange(int, tiles.Rect) ([]*serve.TileResult, error) { return nil, nil }
+func (stubQuerier) Add(string) (int64, error)                              { return 0, nil }
+func (stubQuerier) Delete(int64) error                                     { return nil }
+func (stubQuerier) Stats() serve.SessionStats                              { return serve.SessionStats{} }
+
+type stubService struct{}
+
+func (stubService) NewQuerier() serve.Querier { return stubQuerier{} }
+func (stubService) Stats() serve.Stats        { return serve.Stats{} }
+func (stubService) TopTerms(int) []string     { return nil }
+func (stubService) SampleDocs(int) []int64    { return nil }
+func (stubService) NumThemes() int            { return 0 }
+func (stubService) Themes() []core.Theme      { return nil }
+
+// TestMutatingEndpointsRequirePOST pins the method split of the HTTP surface:
+// every state-changing endpoint rejects GET with 405, queries stay on GET,
+// and /save without a save dir refuses rather than writing.
+func TestMutatingEndpointsRequirePOST(t *testing.T) {
+	mux := New(stubService{}, "").Mux()
+	do := func(method, target string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+		return rec
+	}
+
+	for _, ep := range []string{"/add?text=x", "/delete?doc=1", "/flush", "/compact", "/save?path=x"} {
+		rec := do(http.MethodGet, ep)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s = %d, want %d", ep, rec.Code, http.StatusMethodNotAllowed)
+		}
+		// The 405 still carries a JSON body naming the fix.
+		var rep Reply
+		if err := json.NewDecoder(rec.Body).Decode(&rep); err != nil {
+			t.Fatalf("GET %s: non-JSON 405 body: %v", ep, err)
+		}
+		if rep.Error == "" || !strings.Contains(rep.Error, "POST") {
+			t.Fatalf("GET %s: 405 body %+v does not name POST", ep, rep)
+		}
+	}
+	for _, ep := range []string{"/df?q=x", "/and?q=a,b", "/similar?doc=0&k=3", "/stats"} {
+		if rec := do(http.MethodGet, ep); rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d, want %d", ep, rec.Code, http.StatusOK)
+		}
+	}
+	if rec := do(http.MethodPost, "/add?text=x"); rec.Code != http.StatusOK {
+		t.Fatalf("POST /add = %d, want %d", rec.Code, http.StatusOK)
+	}
+
+	// No save dir configured: /save must refuse with an error, not write.
+	rec := do(http.MethodPost, "/save?path=/tmp/anywhere")
+	var rep Reply
+	if err := json.NewDecoder(rec.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.Error == "" {
+		t.Fatalf("unconfined save not refused: %+v", rep)
+	}
+}
+
+// TestTilesEndpointRouting pins the slippy-map tile route: GET answers with a
+// tile envelope, the path values reach the querier, and mutation methods 405.
+func TestTilesEndpointRouting(t *testing.T) {
+	mux := New(stubService{}, "").Mux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/tiles/2/1/3?session=a", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /tiles/2/1/3 = %d, want %d", rec.Code, http.StatusOK)
+	}
+	var rep Reply
+	if err := json.NewDecoder(rec.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != "tile" || rep.Error != "" || rep.Tile == nil {
+		t.Fatalf("tile reply = %+v", rep)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/tiles/0/0/0", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /tiles/0/0/0 = %d, want %d", rec.Code, http.StatusMethodNotAllowed)
+	}
+
+	// A malformed address must error, not alias to the (0,0,0) root tile.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/tiles/abc/def/ghi", nil))
+	rep = Reply{}
+	if err := json.NewDecoder(rec.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Error == "" || rep.Tile != nil {
+		t.Fatalf("non-numeric tile address not refused: %+v", rep)
+	}
+}
+
+// e2eDocs is the hand corpus behind the end-to-end sweep: known term overlap
+// for boolean queries, two clear topic groups for themes/tiles, and unique
+// marker terms for live add/delete assertions.
+var e2eDocs = []string{
+	"apple apple banana banana cherry",
+	"apple banana banana",
+	"apple apple cherry cherry",
+	"durian durian elder elder fig fig",
+	"durian elder elder fig",
+	"grape grape honeydew honeydew kiwi kiwi",
+	"grape kiwi kiwi honeydew",
+	"banana cherry durian grape",
+}
+
+// buildService runs the real pipeline over e2eDocs and wraps it in a Server
+// (shards==1) or a scatter-gather Router.
+func buildService(t *testing.T, shards int) serve.Service {
+	t.Helper()
+	src := corpus.FromTexts("httpd-e2e", e2eDocs)
+	var st *serve.Store
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		res, err := core.Run(c, []*corpus.Source{src}, core.Config{TopN: 100, TopicFrac: 0.5, CollectSignatures: true})
+		if err != nil {
+			return err
+		}
+		got, err := serve.Snapshot(c, res)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			st = got
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := serve.Config{}
+	if shards > 1 {
+		parts, err := st.Shard(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := serve.NewRouter(parts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	srv, err := serve.NewServer(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// get issues a real HTTP request against the test server and decodes the
+// JSON reply envelope.
+func get(t *testing.T, client *http.Client, method, url string) (Reply, int) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s: Content-Type %q, want application/json", method, url, ct)
+	}
+	var rep Reply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	return rep, resp.StatusCode
+}
+
+// TestEndToEndSweep drives every route of the daemon over real HTTP against
+// a real indexed store — single-store and sharded — including error paths,
+// live ingest, maintenance endpoints and /save persistence.
+func TestEndToEndSweep(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"single", 1},
+		{"sharded", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			saveDir := t.TempDir()
+			ts := httptest.NewServer(New(buildService(t, tc.shards), saveDir).Mux())
+			defer ts.Close()
+			c := ts.Client()
+
+			// Term query: apple appears in docs 0,1,2.
+			rep, code := get(t, c, http.MethodGet, ts.URL+"/term?q=apple")
+			if code != http.StatusOK || rep.Op != "term" || rep.Count != 3 || len(rep.Postings) != 3 {
+				t.Fatalf("/term?q=apple = %d %+v", code, rep)
+			}
+			if rep.VirtualMS < 0 {
+				t.Fatalf("negative virtual latency: %+v", rep)
+			}
+
+			// DF and a missing term.
+			if rep, _ = get(t, c, http.MethodGet, ts.URL+"/df?q=banana"); rep.DF != 3 {
+				t.Fatalf("/df?q=banana = %+v, want DF 3", rep)
+			}
+			if rep, _ = get(t, c, http.MethodGet, ts.URL+"/df?q=zzz"); rep.DF != 0 {
+				t.Fatalf("/df?q=zzz = %+v, want DF 0", rep)
+			}
+
+			// Boolean queries; q splits on commas and spaces.
+			rep, _ = get(t, c, http.MethodGet, ts.URL+"/and?q=apple,banana")
+			if rep.Count != 2 || len(rep.Docs) != 2 {
+				t.Fatalf("/and apple,banana = %+v, want docs {0,1}", rep)
+			}
+			rep, _ = get(t, c, http.MethodGet, ts.URL+"/or?q=apple,durian")
+			if rep.Count != 6 {
+				t.Fatalf("/or apple,durian = %+v, want 6 docs", rep)
+			}
+
+			// Similarity: a valid target answers hits; an unknown document is
+			// a JSON-body error on HTTP 200, not a transport failure.
+			rep, code = get(t, c, http.MethodGet, ts.URL+"/similar?doc=0&k=3")
+			if code != http.StatusOK || rep.Error != "" || rep.Count == 0 {
+				t.Fatalf("/similar?doc=0 = %d %+v", code, rep)
+			}
+			rep, code = get(t, c, http.MethodGet, ts.URL+"/similar?doc=99999&k=3")
+			if code != http.StatusOK || rep.Error == "" {
+				t.Fatalf("unknown similar target not an in-band error: %d %+v", code, rep)
+			}
+
+			// Theme drill-down and ThemeView region query.
+			rep, _ = get(t, c, http.MethodGet, ts.URL+"/theme?cluster=0")
+			if rep.Op != "theme" || rep.Error != "" {
+				t.Fatalf("/theme?cluster=0 = %+v", rep)
+			}
+			rep, _ = get(t, c, http.MethodGet, ts.URL+"/near?x=0&y=0&r=2")
+			if rep.Op != "near" || rep.Count != len(e2eDocs) {
+				t.Fatalf("/near radius 2 = %+v, want all %d docs", rep, len(e2eDocs))
+			}
+
+			// Root tile covers the whole projection.
+			rep, code = get(t, c, http.MethodGet, ts.URL+"/tiles/0/0/0")
+			if code != http.StatusOK || rep.Error != "" || rep.Tile == nil {
+				t.Fatalf("/tiles/0/0/0 = %d %+v", code, rep)
+			}
+			if rep.Tile.Docs != int64(len(e2eDocs)) {
+				t.Fatalf("root tile covers %d docs, want %d", rep.Tile.Docs, len(e2eDocs))
+			}
+			// Out-of-range and malformed addresses are in-band errors.
+			if rep, _ = get(t, c, http.MethodGet, ts.URL+"/tiles/0/5/5"); rep.Error == "" {
+				t.Fatalf("out-of-range tile not refused: %+v", rep)
+			}
+			if rep, _ = get(t, c, http.MethodGet, ts.URL+"/tiles/x/0/0"); rep.Error == "" || rep.Tile != nil {
+				t.Fatalf("malformed tile address not refused: %+v", rep)
+			}
+
+			// Live ingest: add a document whose term pair exists nowhere in
+			// the base corpus (apple ∈ {0,1,2}, kiwi ∈ {5,6}; the vocabulary
+			// is frozen at snapshot time, so the marker must be in-vocab),
+			// flush it visible, query it back, then tombstone it.
+			rep, _ = get(t, c, http.MethodPost, ts.URL+"/add?text=apple+kiwi+kiwi")
+			if !rep.OK || rep.Error != "" {
+				t.Fatalf("/add = %+v", rep)
+			}
+			added := rep.Doc
+			if rep, _ = get(t, c, http.MethodPost, ts.URL+"/flush"); !rep.OK {
+				t.Fatalf("/flush = %+v", rep)
+			}
+			rep, _ = get(t, c, http.MethodGet, ts.URL+"/and?q=apple,kiwi")
+			if rep.Count != 1 || rep.Docs[0] != added {
+				t.Fatalf("added doc not served: %+v, want doc %d", rep, added)
+			}
+			rep, _ = get(t, c, http.MethodPost, fmt.Sprintf("%s/delete?doc=%d", ts.URL, added))
+			if !rep.OK {
+				t.Fatalf("/delete = %+v", rep)
+			}
+			if rep, _ = get(t, c, http.MethodGet, ts.URL+"/and?q=apple,kiwi"); rep.Count != 0 {
+				t.Fatalf("tombstoned doc still served: %+v", rep)
+			}
+			// Deleting it again is an in-band error.
+			rep, code = get(t, c, http.MethodPost, fmt.Sprintf("%s/delete?doc=%d", ts.URL, added))
+			if code != http.StatusOK || rep.Error == "" || rep.OK {
+				t.Fatalf("double delete not refused in-band: %d %+v", code, rep)
+			}
+
+			// Maintenance: compact now, then persist under the save dir.
+			if rep, _ = get(t, c, http.MethodPost, ts.URL+"/compact"); !rep.OK {
+				t.Fatalf("/compact = %+v", rep)
+			}
+			rep, _ = get(t, c, http.MethodPost, ts.URL+"/save?path=run.live")
+			if !rep.OK || rep.Error != "" {
+				t.Fatalf("/save = %+v", rep)
+			}
+			if _, err := os.Stat(filepath.Join(saveDir, "run.live")); err != nil {
+				t.Fatalf("save did not write inside the save dir: %v", err)
+			}
+			// Traversal out of the save dir is refused in-band.
+			rep, _ = get(t, c, http.MethodPost, ts.URL+"/save?path=..%2Fescape")
+			if rep.OK || rep.Error == "" {
+				t.Fatalf("traversal save not refused: %+v", rep)
+			}
+
+			// /themes and /stats are raw JSON (not a Reply envelope).
+			resp, err := c.Get(ts.URL + "/themes")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var themes []core.Theme
+			if err := json.NewDecoder(resp.Body).Decode(&themes); err != nil {
+				t.Fatalf("/themes: %v", err)
+			}
+			resp.Body.Close()
+			resp, err = c.Get(ts.URL + "/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st serve.Stats
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatalf("/stats: %v", err)
+			}
+			resp.Body.Close()
+			if st.Queries == 0 {
+				t.Fatalf("stats counted no queries after the sweep: %+v", st)
+			}
+
+			// Unknown routes 404 at the mux.
+			resp, err = c.Get(ts.URL + "/nosuch")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("GET /nosuch = %d, want 404", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestNamedSessionsAccumulate pins the session=NAME contract: one name keeps
+// one virtual account across requests, and the table is bounded.
+func TestNamedSessionsAccumulate(t *testing.T) {
+	d := New(buildService(t, 1), "")
+	ts := httptest.NewServer(d.Mux())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Two requests on one name reuse one Querier: the retained table holds
+	// exactly one session.
+	get(t, c, http.MethodGet, ts.URL+"/term?q=apple&session=s1")
+	get(t, c, http.MethodGet, ts.URL+"/term?q=banana&session=s1")
+	d.mu.Lock()
+	n := len(d.sessions)
+	d.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("retained %d sessions after two requests on one name, want 1", n)
+	}
+	// Anonymous requests never enter the table.
+	get(t, c, http.MethodGet, ts.URL+"/term?q=apple")
+	d.mu.Lock()
+	n = len(d.sessions)
+	d.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("anonymous request retained a session: table has %d", n)
+	}
+}
+
+// TestSessionTableBound pins the maxNamedSessions fallback: once the table is
+// full, unseen names get throwaway sessions instead of growing memory.
+func TestSessionTableBound(t *testing.T) {
+	d := New(stubService{}, "")
+	for i := 0; i < maxNamedSessions; i++ {
+		d.session(fmt.Sprintf("s%d", i))
+	}
+	if len(d.sessions) != maxNamedSessions {
+		t.Fatalf("table has %d sessions, want %d", len(d.sessions), maxNamedSessions)
+	}
+	d.session("overflow")
+	if len(d.sessions) != maxNamedSessions {
+		t.Fatalf("overflow name grew the table to %d", len(d.sessions))
+	}
+}
+
+// TestServeLines drives the stdin line protocol end to end: queries, live
+// ops, stats and quit, one JSON document per line.
+func TestServeLines(t *testing.T) {
+	d := New(buildService(t, 1), "")
+	in := strings.NewReader(strings.Join([]string{
+		"term apple",
+		"and apple banana",
+		"df banana",
+		"add apple kiwi kiwi",
+		"flush",
+		"similar 0 3",
+		"tile 0 0 0",
+		"bogusop x",
+		"stats",
+		"quit",
+		"term never-reached",
+	}, "\n"))
+	var out strings.Builder
+	d.ServeLines(in, &out)
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("got %d reply lines, want 9 (quit stops before the trailing term):\n%s", len(lines), out.String())
+	}
+	var rep Reply
+	if err := json.Unmarshal([]byte(lines[0]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != "term" || rep.Count != 3 {
+		t.Fatalf("line 1 = %+v, want term count 3", rep)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != "and" || rep.Count != 2 {
+		t.Fatalf("line 2 = %+v, want and count 2", rep)
+	}
+	// The unknown op answers an in-band error and the loop continues.
+	if err := json.Unmarshal([]byte(lines[7]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Error == "" {
+		t.Fatalf("unknown op not refused: %+v", rep)
+	}
+	// Line 9 is the stats document, not a Reply envelope.
+	var st serve.Stats
+	if err := json.Unmarshal([]byte(lines[8]), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries == 0 {
+		t.Fatalf("stats counted no queries: %+v", st)
+	}
+}

@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"inspire/internal/httpd"
+)
+
+// Result aggregates one measured phase of a load run.
+type Result struct {
+	Sessions int
+	Requests int64
+
+	WallSeconds float64
+	QPS         float64 // sustained host requests/sec across all sessions
+
+	// Client-observed wall latency per request, milliseconds.
+	P50MS  float64
+	P95MS  float64
+	P99MS  float64
+	P999MS float64
+	MaxMS  float64
+
+	// HardErrors are transport failures and non-200 statuses — a clean run
+	// has zero. InBandErrors are Reply envelopes that carried an error field
+	// on HTTP 200 (e.g. a similarity probe against a deleted document).
+	HardErrors   int64
+	InBandErrors int64
+
+	OpCounts map[string]int64
+
+	// Process-wide allocation account over the timed phase, per request.
+	// Meaningful when the server runs in the same process as the driver
+	// (cmd/loadbench's default mode); against a remote -url it charges the
+	// client side only.
+	AllocsPerOp float64
+	BytesPerOp  float64
+	// GCPauseMS is the stop-the-world pause total accumulated during the
+	// timed phase; NumGC the collections that contributed it.
+	GCPauseMS float64
+	NumGC     uint32
+}
+
+// warmupSeedSalt derives the untimed warmup plan from the measured plan's
+// seed without consuming any of the measured sequence.
+const warmupSeedSalt = 0x5eed
+
+// Run drives the plan against baseURL — the daemon's mux on a real listener —
+// with one goroutine per session, and measures the timed phase wall-clock.
+//
+// warmupOps > 0 first replays a derived untimed plan of that many requests
+// per session through the same connections and named sessions, so the timed
+// phase sees warm caches, established keep-alive sockets and steady scratch
+// buffers. Between the phases the driver runs a full GC and snapshots
+// runtime.MemStats around the timed phase, so AllocsPerOp charges the
+// measured traffic only.
+//
+// Sessions synchronize on a start barrier, never on timers: the run is as
+// fast as the host, and the request sequences stay exactly the plan's.
+func Run(baseURL string, plan *Plan, warmupOps int) (*Result, error) {
+	if _, err := url.Parse(baseURL); err != nil {
+		return nil, fmt.Errorf("loadgen: base url: %w", err)
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        plan.Cfg.Sessions + 8,
+		MaxIdleConnsPerHost: plan.Cfg.Sessions + 8,
+	}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: 60 * time.Second}
+
+	if warmupOps > 0 {
+		wcfg := plan.Cfg
+		wcfg.OpsPerSession = warmupOps
+		wcfg.Seed = plan.Cfg.Seed ^ warmupSeedSalt
+		wplan, err := PlanWorkload(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		runPhase(client, baseURL, wplan)
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res := runPhase(client, baseURL, plan)
+	res.WallSeconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	if res.WallSeconds > 0 {
+		res.QPS = float64(res.Requests) / res.WallSeconds
+	}
+	if res.Requests > 0 {
+		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(res.Requests)
+		res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Requests)
+	}
+	res.GCPauseMS = float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6
+	res.NumGC = after.NumGC - before.NumGC
+	return res, nil
+}
+
+// runPhase replays every session of the plan concurrently and aggregates
+// latencies and errors. It fills everything of Result except the wall-clock
+// and memory fields, which belong to the caller's timed window.
+func runPhase(client *http.Client, baseURL string, plan *Plan) *Result {
+	var (
+		mu   sync.Mutex
+		res  = &Result{Sessions: len(plan.Sessions), OpCounts: make(map[string]int64)}
+		lats = make([]float64, 0, plan.Ops())
+	)
+	barrier := make(chan struct{})
+	var wg sync.WaitGroup
+	for sid, reqs := range plan.Sessions {
+		wg.Add(1)
+		go func(sid int, reqs []Request) {
+			defer wg.Done()
+			session := fmt.Sprintf("s%d", sid)
+			var added []int64 // FIFO of live doc IDs this session's adds received
+			local := make(map[string]int64, 9)
+			slats := make([]float64, 0, len(reqs))
+			var hard, inband int64
+			<-barrier
+			for _, rq := range reqs {
+				path := rq.Path
+				if rq.Op == "delete" {
+					doc := int64(-1) // planned-after-add, so only a failed add leaves this
+					if len(added) > 0 {
+						doc, added = added[0], added[1:]
+					}
+					path = "/delete?doc=" + strconv.FormatInt(doc, 10) + "&session=" + session
+				}
+				t0 := time.Now()
+				req, err := http.NewRequest(rq.Method, baseURL+path, nil)
+				if err != nil {
+					hard++
+					continue
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					hard++
+					continue
+				}
+				var rep httpd.Reply
+				decodeErr := json.NewDecoder(resp.Body).Decode(&rep)
+				resp.Body.Close()
+				slats = append(slats, float64(time.Since(t0).Nanoseconds())/1e6)
+				local[rq.Op]++
+				if resp.StatusCode != http.StatusOK || decodeErr != nil {
+					hard++
+					continue
+				}
+				if rep.Error != "" {
+					inband++
+				}
+				if rq.Op == "add" && rep.OK {
+					added = append(added, rep.Doc)
+				}
+			}
+			mu.Lock()
+			for k, v := range local {
+				res.OpCounts[k] += v
+			}
+			res.HardErrors += hard
+			res.InBandErrors += inband
+			res.Requests += int64(len(slats))
+			lats = append(lats, slats...)
+			mu.Unlock()
+		}(sid, reqs)
+	}
+	close(barrier)
+	wg.Wait()
+
+	sort.Float64s(lats)
+	res.P50MS = percentile(lats, 0.50)
+	res.P95MS = percentile(lats, 0.95)
+	res.P99MS = percentile(lats, 0.99)
+	res.P999MS = percentile(lats, 0.999)
+	if n := len(lats); n > 0 {
+		res.MaxMS = lats[n-1]
+	}
+	return res
+}
+
+// percentile reads the p-quantile (nearest rank) of an ascending-sorted
+// slice; 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted))*p+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// String renders the result as the wall-clock scoreboard.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"%d sessions, %d requests in %.2fs — %.0f req/sec over real HTTP\n"+
+			"client latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, p99.9 %.3f ms, max %.3f ms\n"+
+			"allocation: %.0f allocs/req, %.0f B/req; GC: %d cycles, %.2f ms paused\n"+
+			"errors: %d hard, %d in-band",
+		r.Sessions, r.Requests, r.WallSeconds, r.QPS,
+		r.P50MS, r.P95MS, r.P99MS, r.P999MS, r.MaxMS,
+		r.AllocsPerOp, r.BytesPerOp, r.NumGC, r.GCPauseMS,
+		r.HardErrors, r.InBandErrors)
+}

@@ -1,0 +1,345 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"inspire/internal/cluster"
+	"inspire/internal/core"
+	"inspire/internal/corpus"
+	"inspire/internal/httpd"
+	"inspire/internal/serve"
+	"inspire/internal/simtime"
+)
+
+// planCfg is the reference workload of the determinism tests; no service is
+// needed to materialize a plan.
+func planCfg() Config {
+	return Config{
+		Sessions:      12,
+		OpsPerSession: 60,
+		Seed:          7,
+		Terms:         []string{"apple", "banana", "cherry", "durian", "elder", "fig", "grape", "kiwi"},
+		Docs:          []int64{0, 1, 3, 5, 7},
+	}
+}
+
+// TestPlanDeterminism pins the harness's core promise: a plan is a pure
+// function of its config — same seed, same byte-identical request streams;
+// a different seed diverges.
+func TestPlanDeterminism(t *testing.T) {
+	a, err := PlanWorkload(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanWorkload(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different plans")
+	}
+	cfg := planCfg()
+	cfg.Seed = 8
+	c, err := PlanWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Sessions, c.Sessions) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if got := a.Ops(); got != int64(12*60) {
+		t.Fatalf("plan has %d requests, want %d", got, 12*60)
+	}
+}
+
+// TestPlanShape pins the invariants the driver relies on: deletes only ever
+// follow an unconsumed add in the same session (so the runtime FIFO always
+// resolves), delete paths are the single runtime placeholder, every other
+// request carries a materialized path with its session name, and a long
+// enough plan exercises every op of the mix.
+func TestPlanShape(t *testing.T) {
+	p, err := PlanWorkload(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for sid, reqs := range p.Sessions {
+		pending := 0
+		for i, rq := range reqs {
+			seen[rq.Op] = true
+			switch rq.Op {
+			case "add":
+				pending++
+				if rq.Method != "POST" {
+					t.Fatalf("s%d[%d]: add via %s", sid, i, rq.Method)
+				}
+			case "delete":
+				pending--
+				if pending < 0 {
+					t.Fatalf("s%d[%d]: delete planned before a matching add", sid, i)
+				}
+				if rq.Path != "" || rq.Method != "POST" {
+					t.Fatalf("s%d[%d]: delete = %+v, want empty-path POST placeholder", sid, i, rq)
+				}
+				continue
+			}
+			if rq.Path == "" {
+				t.Fatalf("s%d[%d]: %s has no path", sid, i, rq.Op)
+			}
+			if !strings.Contains(rq.Path, "session=s") {
+				t.Fatalf("s%d[%d]: %s path %q has no session", sid, i, rq.Op, rq.Path)
+			}
+		}
+	}
+	for _, op := range []string{"term", "and", "or", "similar", "theme", "near", "tile", "add", "delete"} {
+		if !seen[op] {
+			t.Fatalf("op %q never planned in %d requests", op, planCfg().Sessions*planCfg().OpsPerSession)
+		}
+	}
+}
+
+// TestPlanRequiresVocabulary pins the error paths: no terms or no similarity
+// targets is a planning error, not a runtime surprise.
+func TestPlanRequiresVocabulary(t *testing.T) {
+	cfg := planCfg()
+	cfg.Terms = nil
+	if _, err := PlanWorkload(cfg); err == nil {
+		t.Fatal("plan without terms accepted")
+	}
+	cfg = planCfg()
+	cfg.Docs = nil
+	if _, err := PlanWorkload(cfg); err == nil {
+		t.Fatal("plan without similarity targets accepted")
+	}
+}
+
+// loadDocs is the driver test corpus — the same two-topic shape the httpd
+// end-to-end sweep uses, big enough for themes and tiles to be non-trivial.
+var loadDocs = []string{
+	"apple apple banana banana cherry",
+	"apple banana banana",
+	"apple apple cherry cherry",
+	"durian durian elder elder fig fig",
+	"durian elder elder fig",
+	"grape grape honeydew honeydew kiwi kiwi",
+	"grape kiwi kiwi honeydew",
+	"banana cherry durian grape",
+}
+
+// buildService runs the real pipeline over loadDocs and serves it.
+func buildService(t *testing.T) serve.Service {
+	t.Helper()
+	src := corpus.FromTexts("loadgen", loadDocs)
+	var st *serve.Store
+	_, err := cluster.Run(2, simtime.Zero(), func(c *cluster.Comm) error {
+		res, err := core.Run(c, []*corpus.Source{src}, core.Config{TopN: 100, TopicFrac: 0.5, CollectSignatures: true})
+		if err != nil {
+			return err
+		}
+		got, err := serve.Snapshot(c, res)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			st = got
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(st, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestDriverEndToEnd drives a real plan against the real daemon handler on a
+// real listener and checks the full accounting: every planned request issued
+// and answered, no transport or protocol errors, live adds resolving their
+// deletes, and coherent latency statistics.
+func TestDriverEndToEnd(t *testing.T) {
+	svc := buildService(t)
+	ts := httptest.NewServer(httpd.New(svc, "").Mux())
+	defer ts.Close()
+
+	cfg := Config{
+		Sessions:      16,
+		OpsPerSession: 15,
+		Seed:          3,
+		Terms:         svc.TopTerms(8),
+		Docs:          svc.SampleDocs(4),
+		Themes:        svc.NumThemes(),
+		LiveFrac:      0.12,
+	}
+	plan, err := PlanWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ts.URL, plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != plan.Ops() {
+		t.Fatalf("answered %d of %d planned requests", res.Requests, plan.Ops())
+	}
+	if res.HardErrors != 0 {
+		t.Fatalf("%d hard errors", res.HardErrors)
+	}
+	if res.InBandErrors != 0 {
+		t.Fatalf("%d in-band errors (the plan should only issue resolvable requests)", res.InBandErrors)
+	}
+	if res.QPS <= 0 || res.WallSeconds <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.P50MS <= 0 || res.P50MS > res.P95MS || res.P95MS > res.P99MS || res.P99MS > res.MaxMS {
+		t.Fatalf("incoherent latency quantiles: p50 %.3f p95 %.3f p99 %.3f max %.3f",
+			res.P50MS, res.P95MS, res.P99MS, res.MaxMS)
+	}
+	var sum int64
+	for _, v := range res.OpCounts {
+		sum += v
+	}
+	if sum != res.Requests {
+		t.Fatalf("op counts sum to %d, requests %d", sum, res.Requests)
+	}
+	if res.OpCounts["add"] == 0 || res.OpCounts["delete"] == 0 {
+		t.Fatalf("live traffic missing from the mix: %v", res.OpCounts)
+	}
+	if res.AllocsPerOp <= 0 || res.BytesPerOp <= 0 {
+		t.Fatalf("no allocation account: %+v", res)
+	}
+
+	// The stream is replayable: a second run answers the same op mix.
+	res2, err := Run(ts.URL, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.OpCounts, res2.OpCounts) {
+		t.Fatalf("replay diverged: %v vs %v", res.OpCounts, res2.OpCounts)
+	}
+}
+
+// TestCalibrate pins that the CPU score is positive and roughly stable — two
+// calibrations on one host agree within a factor the gate's 25% tolerance
+// absorbs together with real run variance.
+func TestCalibrate(t *testing.T) {
+	a, b := Calibrate(), Calibrate()
+	if a <= 0 || b <= 0 {
+		t.Fatalf("calibration scores %f, %f", a, b)
+	}
+	if ratio := a / b; ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("calibration unstable: %f vs %f", a, b)
+	}
+}
+
+// TestWallGate walks every gate boundary table-driven: passing at the edge,
+// failing just past it, and the unconditional failures.
+func TestWallGate(t *testing.T) {
+	base := &WallMetrics{
+		Sessions: 100, OpsPerSession: 50, Seed: 1,
+		NormQPS: 100, AllocsPerOp: 400, BytesPerOp: 60000,
+	}
+	mod := func(f func(*WallMetrics)) *WallMetrics {
+		m := *base
+		f(&m)
+		return &m
+	}
+	cases := []struct {
+		name string
+		m    *WallMetrics
+		want int // violations
+	}{
+		{"identical", mod(func(m *WallMetrics) {}), 0},
+		{"qps at floor", mod(func(m *WallMetrics) { m.NormQPS = 75 }), 0},
+		{"qps below floor", mod(func(m *WallMetrics) { m.NormQPS = 74.9 }), 1},
+		{"qps improved", mod(func(m *WallMetrics) { m.NormQPS = 200 }), 0},
+		{"allocs at ceiling", mod(func(m *WallMetrics) { m.AllocsPerOp = 500 }), 0},
+		{"allocs above ceiling", mod(func(m *WallMetrics) { m.AllocsPerOp = 501 }), 1},
+		{"bytes at ceiling", mod(func(m *WallMetrics) { m.BytesPerOp = 75000 }), 0},
+		{"bytes above ceiling", mod(func(m *WallMetrics) { m.BytesPerOp = 75001 }), 1},
+		{"hard errors always fail", mod(func(m *WallMetrics) { m.HardErrors = 1 }), 1},
+		{"workload mismatch", mod(func(m *WallMetrics) { m.Seed = 2 }), 1},
+		{"everything wrong", mod(func(m *WallMetrics) {
+			m.NormQPS, m.AllocsPerOp, m.BytesPerOp, m.HardErrors = 1, 9999, 9e9, 3
+		}), 4},
+	}
+	for _, tc := range cases {
+		if got := tc.m.Gate(base); len(got) != tc.want {
+			t.Errorf("%s: %d violations %v, want %d", tc.name, len(got), got, tc.want)
+		}
+	}
+}
+
+// TestMetricsRoundTrip pins the JSON persistence the CI gate step depends on.
+func TestMetricsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wall.json")
+	m := &WallMetrics{Commit: "abc", Sessions: 100, OpsPerSession: 50, Seed: 1, QPS: 1234.5, NormQPS: 9.8, AllocsPerOp: 321}
+	if err := m.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWallMetrics(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+	if _, err := ReadWallMetrics(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing metrics file read without error")
+	}
+}
+
+// TestAppendTrajectory pins the perf-history artifact: appends accumulate as
+// entries in a file that stays a loadable window.BENCHMARK_DATA script.
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.js")
+	now := time.UnixMilli(1754500000000)
+	m := &WallMetrics{Commit: "c1", QPS: 1000, NormQPS: 10, P50MS: 1, P95MS: 2, P99MS: 3, AllocsPerOp: 400, BytesPerOp: 50000}
+	if err := AppendTrajectory(path, m, now); err != nil {
+		t.Fatal(err)
+	}
+	m2 := &WallMetrics{Commit: "c2", QPS: 1100, NormQPS: 11}
+	if err := AppendTrajectory(path, m2, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), trajPrefix) {
+		t.Fatalf("artifact is not a %s script:\n%s", trajPrefix, data)
+	}
+	// Parse it back the way AppendTrajectory itself does on the next run.
+	m3 := &WallMetrics{Commit: "c3"}
+	if err := AppendTrajectory(path, m3, now.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	payload := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(string(data), trajPrefix)), ";")
+	var tr trajectory
+	if err := json.Unmarshal([]byte(payload), &tr); err != nil {
+		t.Fatal(err)
+	}
+	runs := tr.Entries[trajSeries]
+	if len(runs) != 3 {
+		t.Fatalf("%d runs recorded, want 3", len(runs))
+	}
+	if runs[0].Commit != "c1" || runs[2].Commit != "c3" {
+		t.Fatalf("run order wrong: %+v", runs)
+	}
+	if tr.LastUpdate != now.Add(2*time.Hour).UnixMilli() {
+		t.Fatalf("lastUpdate %d", tr.LastUpdate)
+	}
+	if len(runs[0].Benches) == 0 || runs[0].Benches[0].Name != "qps" || runs[0].Benches[0].Value != 1000 {
+		t.Fatalf("benches malformed: %+v", runs[0].Benches)
+	}
+}

@@ -1,0 +1,248 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// The wall-clock CI gate. Unlike the virtual gate (internal/bench), these
+// numbers come from real sockets on a shared runner, so the throughput
+// threshold is looser (25% vs 15%) and throughput is normalized by a
+// deterministic CPU calibration score before comparing — a slow runner
+// depresses the calibration and the QPS together, and their ratio survives.
+// The allocation metrics need no normalization: the workload is seeded, so
+// allocs/request and bytes/request are properties of the code, not the host.
+const (
+	// GateMaxWallQPSDrop fails the gate when calibration-normalized
+	// throughput falls more than this fraction below the baseline.
+	GateMaxWallQPSDrop = 0.25
+	// GateMaxAllocRise fails the gate when allocations per request rise more
+	// than this fraction above the baseline.
+	GateMaxAllocRise = 0.25
+	// GateMaxBytesRise fails the gate when allocated bytes per request rise
+	// more than this fraction above the baseline.
+	GateMaxBytesRise = 0.25
+)
+
+// WallMetrics are the persisted quantities of one wall-clock load run —
+// the committed BENCH_WALL.json baseline and each CI run's fresh copy.
+type WallMetrics struct {
+	Commit        string  `json:"commit"`
+	Scale         float64 `json:"scale"`
+	Shards        int     `json:"shards"`
+	Sessions      int     `json:"sessions"`
+	OpsPerSession int     `json:"ops_per_session"`
+	Seed          int64   `json:"seed"`
+	// InProcess records whether the server shared the driver's process — the
+	// mode in which the allocation account covers the serving path.
+	InProcess bool `json:"in_process"`
+
+	// CalibMOPS is the host CPU score: millions of calibration-loop
+	// iterations per second (see Calibrate).
+	CalibMOPS float64 `json:"calib_mops"`
+	QPS       float64 `json:"qps"`
+	// NormQPS is QPS per calibration MOPS — the host-portable throughput the
+	// gate compares.
+	NormQPS float64 `json:"norm_qps"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	GCPauseMS   float64 `json:"gc_pause_ms"`
+
+	HardErrors   int64 `json:"hard_errors"`
+	InBandErrors int64 `json:"in_band_errors"`
+}
+
+// FromResult folds a measured result and the host calibration into the
+// persisted metrics.
+func FromResult(r *Result, cfg Config, calibMOPS float64, commit string, inProcess bool) *WallMetrics {
+	m := &WallMetrics{
+		Commit:        commit,
+		Sessions:      r.Sessions,
+		OpsPerSession: cfg.OpsPerSession,
+		Seed:          cfg.Seed,
+		InProcess:     inProcess,
+		CalibMOPS:     calibMOPS,
+		QPS:           r.QPS,
+		P50MS:         r.P50MS,
+		P95MS:         r.P95MS,
+		P99MS:         r.P99MS,
+		P999MS:        r.P999MS,
+		AllocsPerOp:   r.AllocsPerOp,
+		BytesPerOp:    r.BytesPerOp,
+		GCPauseMS:     r.GCPauseMS,
+		HardErrors:    r.HardErrors,
+		InBandErrors:  r.InBandErrors,
+	}
+	if calibMOPS > 0 {
+		m.NormQPS = r.QPS / calibMOPS
+	}
+	return m
+}
+
+// Gate compares fresh wall metrics against a baseline and returns the
+// violations, empty when the gate passes. Hard errors fail unconditionally:
+// a load run that dropped requests measured the wrong thing.
+func (m *WallMetrics) Gate(base *WallMetrics) []string {
+	var out []string
+	if m.HardErrors > 0 {
+		out = append(out, fmt.Sprintf("%d hard errors during the load run (transport failures or non-200s)", m.HardErrors))
+	}
+	if m.Sessions != base.Sessions || m.OpsPerSession != base.OpsPerSession || m.Seed != base.Seed {
+		out = append(out, fmt.Sprintf("workload mismatch: current %dx%d seed %d vs baseline %dx%d seed %d — regenerate the baseline",
+			m.Sessions, m.OpsPerSession, m.Seed, base.Sessions, base.OpsPerSession, base.Seed))
+		return out
+	}
+	if floor := (1 - GateMaxWallQPSDrop) * base.NormQPS; m.NormQPS < floor {
+		out = append(out, fmt.Sprintf("normalized throughput %.2f qps/mops is >%.0f%% below the baseline %.2f",
+			m.NormQPS, 100*GateMaxWallQPSDrop, base.NormQPS))
+	}
+	if ceil := (1 + GateMaxAllocRise) * base.AllocsPerOp; base.AllocsPerOp > 0 && m.AllocsPerOp > ceil {
+		out = append(out, fmt.Sprintf("allocations %.0f/request are >%.0f%% above the baseline %.0f",
+			m.AllocsPerOp, 100*GateMaxAllocRise, base.AllocsPerOp))
+	}
+	if ceil := (1 + GateMaxBytesRise) * base.BytesPerOp; base.BytesPerOp > 0 && m.BytesPerOp > ceil {
+		out = append(out, fmt.Sprintf("allocated bytes %.0f/request are >%.0f%% above the baseline %.0f",
+			m.BytesPerOp, 100*GateMaxBytesRise, base.BytesPerOp))
+	}
+	return out
+}
+
+// WriteJSON persists the metrics for the gate step and the committed
+// baseline.
+func (m *WallMetrics) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadWallMetrics loads a metrics file written by WriteJSON.
+func ReadWallMetrics(path string) (*WallMetrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &WallMetrics{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("loadgen: metrics %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// calibIters is sized so one trial costs ~10-20ms on current hardware —
+// cheap enough to run three times, long enough to smooth scheduler jitter.
+const calibIters = 1 << 24
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
+
+// Calibrate scores the host CPU: millions of xorshift64 iterations per
+// second, best of three trials (the max is the least contended trial, which
+// is the quantity QPS on an idle run tracks). The loop is pure integer
+// register work with a fixed start state, so the score is a property of the
+// core, not of the allocator or the load.
+func Calibrate() float64 {
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		x := uint64(88172645463325252)
+		start := time.Now()
+		for i := 0; i < calibIters; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		el := time.Since(start).Seconds()
+		calibSink += x
+		if el > 0 {
+			if score := float64(calibIters) / el / 1e6; score > best {
+				best = score
+			}
+		}
+	}
+	return best
+}
+
+// trajectory is the shape of the dev/bench data artifact: a JS file
+// assigning window.BENCHMARK_DATA, one entry appended per gated run, so the
+// perf history of the repo accumulates as a chartable series.
+type trajectory struct {
+	LastUpdate int64                `json:"lastUpdate"` // unix millis of the newest entry
+	Entries    map[string][]trajRun `json:"entries"`
+}
+
+type trajRun struct {
+	Commit  string      `json:"commit"`
+	Date    int64       `json:"date"` // unix millis
+	Benches []trajBench `json:"benches"`
+}
+
+type trajBench struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// trajPrefix makes the artifact loadable as a plain <script src>.
+const trajPrefix = "window.BENCHMARK_DATA = "
+
+// trajSeries names the wall-clock series inside the artifact.
+const trajSeries = "wall-clock serving"
+
+// trajMaxRuns bounds the artifact; the oldest runs roll off.
+const trajMaxRuns = 500
+
+// AppendTrajectory appends one run to the JS trajectory artifact at path,
+// creating it when absent. The file stays a valid script: a single
+// assignment to window.BENCHMARK_DATA whose payload is the JSON trajectory.
+func AppendTrajectory(path string, m *WallMetrics, now time.Time) error {
+	tr := &trajectory{Entries: make(map[string][]trajRun)}
+	if data, err := os.ReadFile(path); err == nil {
+		payload := bytes.TrimSpace(bytes.TrimPrefix(bytes.TrimSpace(data), []byte(trajPrefix)))
+		payload = bytes.TrimSuffix(payload, []byte(";"))
+		if err := json.Unmarshal(payload, tr); err != nil {
+			return fmt.Errorf("loadgen: trajectory %s: %w", path, err)
+		}
+		if tr.Entries == nil {
+			tr.Entries = make(map[string][]trajRun)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	run := trajRun{
+		Commit: m.Commit,
+		Date:   now.UnixMilli(),
+		Benches: []trajBench{
+			{Name: "qps", Value: m.QPS, Unit: "req/s"},
+			{Name: "norm qps", Value: m.NormQPS, Unit: "req/s per calib mops"},
+			{Name: "p50 latency", Value: m.P50MS, Unit: "ms"},
+			{Name: "p95 latency", Value: m.P95MS, Unit: "ms"},
+			{Name: "p99 latency", Value: m.P99MS, Unit: "ms"},
+			{Name: "allocs", Value: m.AllocsPerOp, Unit: "allocs/req"},
+			{Name: "alloc bytes", Value: m.BytesPerOp, Unit: "B/req"},
+		},
+	}
+	runs := append(tr.Entries[trajSeries], run)
+	if len(runs) > trajMaxRuns {
+		runs = runs[len(runs)-trajMaxRuns:]
+	}
+	tr.Entries[trajSeries] = runs
+	tr.LastUpdate = now.UnixMilli()
+
+	payload, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	out := append([]byte(trajPrefix), payload...)
+	out = append(out, ';', '\n')
+	return os.WriteFile(path, out, 0o644)
+}

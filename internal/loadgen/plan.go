@@ -1,0 +1,204 @@
+// Package loadgen is the wall-clock load harness: it materializes seeded,
+// replayable mixed workloads as concrete HTTP request plans and drives them
+// against the daemon's real serving surface (internal/httpd) from many
+// concurrent sessions over real sockets. Where internal/bench measures the
+// paper's modeled (virtual) quantities, loadgen measures what the host
+// actually does: sustained queries per second, client-observed latency
+// percentiles, allocations per request and GC pause totals.
+//
+// Determinism contract: a Plan is a pure function of its Config. The same
+// seed yields byte-identical request sequences — session s3's 17th request
+// is the same operation with the same arguments on every host, every run.
+// The single runtime-resolved quantity is the target of a delete: document
+// IDs are assigned by the server, so a planned delete carries a placeholder
+// that the driver fills with the oldest ID the same session's own adds
+// received. The plan never schedules a delete before the session has an
+// outstanding add, so the placeholder always resolves in a clean run.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/url"
+	"strconv"
+)
+
+// Config describes one replayable load plan.
+type Config struct {
+	// Sessions is the number of concurrent HTTP sessions. Default 100.
+	Sessions int
+	// OpsPerSession is the request count per session. Default 50.
+	OpsPerSession int
+	// Seed fixes the plan; each session derives its own stream from it.
+	Seed int64
+	// Terms is the query vocabulary (required). Adds compose their text from
+	// it too, so planned live documents stay inside the frozen vocabulary
+	// and are actually indexed.
+	Terms []string
+	// Docs are similarity-search targets (required).
+	Docs []int64
+	// Themes is the theme-ID range for /theme draws. Default 8.
+	Themes int
+	// MaxZoom bounds tile addresses to pyramid levels [0, MaxZoom]. Default 3.
+	MaxZoom int
+	// LiveFrac is the fraction of requests that mutate (add/delete).
+	// Default 0.08; negative disables live traffic entirely.
+	LiveFrac float64
+	// SimK is the similarity top-K. Default 5.
+	SimK int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 100
+	}
+	if cfg.OpsPerSession <= 0 {
+		cfg.OpsPerSession = 50
+	}
+	if cfg.Themes <= 0 {
+		cfg.Themes = 8
+	}
+	if cfg.MaxZoom <= 0 {
+		cfg.MaxZoom = 3
+	}
+	if cfg.LiveFrac == 0 {
+		cfg.LiveFrac = 0.08
+	}
+	if cfg.LiveFrac < 0 {
+		cfg.LiveFrac = 0
+	}
+	if cfg.SimK <= 0 {
+		cfg.SimK = 5
+	}
+	return cfg
+}
+
+// Request is one planned HTTP interaction. Path carries the full
+// path-and-query, session parameter included, so the driver's hot loop does
+// no string assembly — except for deletes, whose target document is only
+// known at runtime (see the package comment).
+type Request struct {
+	// Op names the interaction for accounting: term, and, or, similar,
+	// theme, near, tile, add, delete.
+	Op string
+	// Method is GET for reads, POST for mutations.
+	Method string
+	// Path is the materialized path and query. Empty exactly when Op is
+	// "delete": the driver substitutes the session's oldest live doc ID.
+	Path string
+}
+
+// Plan is a materialized workload: one request stream per session.
+type Plan struct {
+	Cfg      Config
+	Sessions [][]Request
+}
+
+// Ops is the total request count across all sessions.
+func (p *Plan) Ops() int64 {
+	var n int64
+	for _, s := range p.Sessions {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// pickSkewed picks an index in [0, n) biased toward 0 — the same Zipf-like
+// head-revisiting analyst internal/serve's virtual workload models, so the
+// wall-clock numbers exercise the caches the way the modeled ones do.
+func pickSkewed(rng *rand.Rand, n int) int {
+	i := int(float64(n) * math.Pow(rng.Float64(), 2.5))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// PlanWorkload materializes the workload cfg describes. It is deterministic:
+// equal configs yield equal plans.
+func PlanWorkload(cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Terms) == 0 {
+		return nil, fmt.Errorf("loadgen: plan needs query terms")
+	}
+	if len(cfg.Docs) == 0 {
+		return nil, fmt.Errorf("loadgen: plan needs similarity targets")
+	}
+	p := &Plan{Cfg: cfg, Sessions: make([][]Request, cfg.Sessions)}
+	for sid := range p.Sessions {
+		p.Sessions[sid] = planSession(cfg, sid)
+	}
+	return p, nil
+}
+
+// planSession materializes one session's stream. The op mix mirrors
+// serve.Replay's analyst model with a live slice carved out in front:
+// mutations happen at cfg.LiveFrac, and the remaining probability mass is
+// split term 30%, and 15%, or 10%, similar 15%, theme 10%, near 8%,
+// tile 12%.
+func planSession(cfg Config, sid int) []Request {
+	rng := rand.New(rand.NewSource(cfg.Seed<<16 + int64(sid)))
+	session := fmt.Sprintf("s%d", sid)
+	term := func() string { return cfg.Terms[pickSkewed(rng, len(cfg.Terms))] }
+	get := func(op string, q url.Values) Request {
+		q.Set("session", session)
+		return Request{Op: op, Method: "GET", Path: "/" + op + "?" + q.Encode()}
+	}
+	reqs := make([]Request, 0, cfg.OpsPerSession)
+	pendingAdds := 0 // plan-time model of the runtime delete FIFO
+	for op := 0; op < cfg.OpsPerSession; op++ {
+		p := rng.Float64()
+		if p < cfg.LiveFrac {
+			if pendingAdds > 0 && rng.Float64() < 0.4 {
+				pendingAdds--
+				reqs = append(reqs, Request{Op: "delete", Method: "POST"})
+			} else {
+				pendingAdds++
+				text := term()
+				for n := 1 + rng.Intn(2); n > 0; n-- {
+					text += " " + term()
+				}
+				q := url.Values{"text": {text}, "session": {session}}
+				reqs = append(reqs, Request{Op: "add", Method: "POST", Path: "/add?" + q.Encode()})
+			}
+			continue
+		}
+		switch q := (p - cfg.LiveFrac) / (1 - cfg.LiveFrac); {
+		case q < 0.30:
+			reqs = append(reqs, get("term", url.Values{"q": {term()}}))
+		case q < 0.45:
+			reqs = append(reqs, get("and", url.Values{"q": {term() + "," + term()}}))
+		case q < 0.55:
+			reqs = append(reqs, get("or", url.Values{"q": {term() + "," + term()}}))
+		case q < 0.70:
+			doc := cfg.Docs[pickSkewed(rng, len(cfg.Docs))]
+			reqs = append(reqs, get("similar", url.Values{
+				"doc": {strconv.FormatInt(doc, 10)},
+				"k":   {strconv.Itoa(cfg.SimK)},
+			}))
+		case q < 0.80:
+			reqs = append(reqs, get("theme", url.Values{"cluster": {strconv.Itoa(rng.Intn(cfg.Themes))}}))
+		case q < 0.88:
+			reqs = append(reqs, get("near", url.Values{
+				"x": {formatFloat(rng.Float64() - 0.5)},
+				"y": {formatFloat(rng.Float64() - 0.5)},
+				"r": {formatFloat(0.1 + 0.2*rng.Float64())},
+			}))
+		default:
+			z := rng.Intn(cfg.MaxZoom + 1)
+			x, y := rng.Intn(1<<z), rng.Intn(1<<z)
+			reqs = append(reqs, Request{
+				Op:     "tile",
+				Method: "GET",
+				Path:   fmt.Sprintf("/tiles/%d/%d/%d?session=%s", z, x, y, session),
+			})
+		}
+	}
+	return reqs
+}
+
+// formatFloat renders coordinates compactly and reproducibly.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', 4, 64)
+}

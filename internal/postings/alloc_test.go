@@ -1,0 +1,70 @@
+package postings
+
+import (
+	"testing"
+)
+
+// buildAllocStore writes one term with enough postings to span several
+// blocks, so the intersect exercises the skip directory and block decode.
+func buildAllocStore(t testing.TB) *Store {
+	t.Helper()
+	w := NewWriter(0)
+	docs := make([]int64, 0, 5*BlockSize)
+	freqs := make([]int64, 0, 5*BlockSize)
+	for d := int64(0); d < 5*BlockSize; d++ {
+		docs = append(docs, 3*d) // stride 3 so the accumulator misses too
+		freqs = append(freqs, 1+d%7)
+	}
+	if err := w.Append(docs, freqs); err != nil {
+		t.Fatal(err)
+	}
+	return w.Finish()
+}
+
+// TestIntersectIntoAllocFree pins the tentpole's postings win: a warm
+// block-skipping intersect into a caller-owned buffer performs zero
+// allocations. Intersect (the allocating wrapper) must keep costing exactly
+// the result slice, no more.
+func TestIntersectIntoAllocFree(t *testing.T) {
+	s := buildAllocStore(t)
+	acc := make([]int64, 0, 2*BlockSize)
+	for d := int64(0); d < 2*BlockSize; d++ {
+		acc = append(acc, 6*d) // every other posting of the stride-3 list
+	}
+	// Warm once so dst reaches working-set size.
+	dst, _ := s.IntersectInto(nil, acc, 0)
+	if len(dst) != len(acc) {
+		t.Fatalf("intersect kept %d of %d candidates", len(dst), len(acc))
+	}
+	got := testing.AllocsPerRun(100, func() {
+		dst, _ = s.IntersectInto(dst[:0], acc, 0)
+	})
+	if got != 0 {
+		t.Fatalf("warm IntersectInto allocates %v objects/op, want 0", got)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	s := buildAllocStore(b)
+	acc := make([]int64, 0, 2*BlockSize)
+	for d := int64(0); d < 2*BlockSize; d++ {
+		acc = append(acc, 6*d)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Intersect(acc, 0)
+	}
+}
+
+func BenchmarkIntersectInto(b *testing.B) {
+	s := buildAllocStore(b)
+	acc := make([]int64, 0, 2*BlockSize)
+	for d := int64(0); d < 2*BlockSize; d++ {
+		acc = append(acc, 6*d)
+	}
+	dst, _ := s.IntersectInto(nil, acc, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst, _ = s.IntersectInto(dst[:0], acc, 0)
+	}
+}

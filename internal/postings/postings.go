@@ -165,15 +165,25 @@ type IntersectStats struct {
 // directory rules out are never touched. The result is freshly allocated and
 // sorted; acc is not mutated.
 func (s *Store) Intersect(acc []int64, t int64) ([]int64, IntersectStats) {
+	return s.IntersectInto(nil, acc, t)
+}
+
+// IntersectInto is Intersect with a caller-owned result buffer: the
+// intersection is written over dst[:0] and the (possibly regrown) slice
+// returned, so a session can reuse one scratch buffer across queries and keep
+// the And hot path allocation-free once the buffer reaches working-set size.
+// dst must not alias acc.
+func (s *Store) IntersectInto(dst, acc []int64, t int64) ([]int64, IntersectStats) {
 	var ist IntersectStats
 	n := s.Count[t]
 	if n == 0 || len(acc) == 0 {
 		ist.BlocksSkipped = int(s.Blocks(t))
-		return nil, ist
+		// dst[:0], not nil: the caller keeps its buffer for the next query.
+		return dst[:0], ist
 	}
 	b := s.Blocks(t)
 	e := s.TermBlk[t]
-	var out []int64
+	out := dst[:0]
 	var block [BlockSize]int64
 	var cur []int64
 	j, loaded, pos := int64(0), int64(-1), 0

@@ -1,0 +1,39 @@
+package query
+
+import "testing"
+
+// TestIntersectSortedIntoAllocFree pins both intersect strategies — the
+// linear merge and the galloping search — at zero allocations when the
+// caller owns the result buffer.
+func TestIntersectSortedIntoAllocFree(t *testing.T) {
+	a := make([]int64, 0, 64)
+	near := make([]int64, 0, 128) // comparable size: linear merge
+	far := make([]int64, 0, 64*gallopFactor)
+	for i := int64(0); i < 64; i++ {
+		a = append(a, 4*i)
+	}
+	for i := int64(0); i < 128; i++ {
+		near = append(near, 2*i)
+	}
+	for i := int64(0); i < 64*gallopFactor; i++ {
+		far = append(far, i)
+	}
+	for _, tc := range []struct {
+		name string
+		b    []int64
+	}{
+		{"linear", near},
+		{"gallop", far},
+	} {
+		dst := IntersectSortedInto(nil, a, tc.b) // warm to working-set size
+		if len(dst) != len(a) {
+			t.Fatalf("%s: intersect kept %d of %d", tc.name, len(dst), len(a))
+		}
+		got := testing.AllocsPerRun(100, func() {
+			dst = IntersectSortedInto(dst[:0], a, tc.b)
+		})
+		if got != 0 {
+			t.Fatalf("%s: warm IntersectSortedInto allocates %v objects/op, want 0", tc.name, got)
+		}
+	}
+}

@@ -272,16 +272,26 @@ func Cosine(a, b []float64) float64 {
 // other it gallops — exponential probing then binary search in the longer
 // list — so the cost is near |short| · log |long| rather than |short|+|long|.
 func IntersectSorted(a, b []int64) []int64 {
+	return IntersectSortedInto(nil, a, b)
+}
+
+// IntersectSortedInto is IntersectSorted with a caller-owned result buffer:
+// the intersection is written over dst[:0] and the (possibly regrown) slice
+// returned, so repeated intersections can reuse one scratch buffer and stay
+// allocation-free once it reaches working-set size. dst must alias neither
+// input.
+func IntersectSortedInto(dst, a, b []int64) []int64 {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	if len(a) == 0 {
-		return nil
+		// dst[:0], not nil: the caller keeps its buffer for the next query.
+		return dst[:0]
 	}
 	if len(b) >= gallopFactor*len(a) {
-		return gallopIntersect(a, b)
+		return gallopIntersect(dst, a, b)
 	}
-	var out []int64
+	out := dst[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -302,9 +312,10 @@ func IntersectSorted(a, b []int64) []int64 {
 // from linear merging to galloping search.
 const gallopFactor = 16
 
-// gallopIntersect intersects short a against long b by exponential probing.
-func gallopIntersect(a, b []int64) []int64 {
-	var out []int64
+// gallopIntersect intersects short a against long b by exponential probing,
+// writing over dst[:0].
+func gallopIntersect(dst, a, b []int64) []int64 {
+	out := dst[:0]
 	lo := 0
 	for _, v := range a {
 		// Gallop: double the step until b[lo+step] >= v, then binary search

@@ -305,6 +305,73 @@ type RouterSession struct {
 	ID   int64
 	subs []*Session
 	acct account
+
+	// Scatter/gather scratch reused across interactions. A routed session is
+	// a sequential stream (one goroutine at a time; the scatter goroutines
+	// within one interaction each own a distinct slot), every gather merge
+	// copies into a fresh output slice, and the parts tables are cleared
+	// before reuse — so nothing scratch-backed escapes an interaction.
+	scratchReplies   []float64
+	scratchCosts     []float64
+	scratchShards    []int
+	scratchIDs       []int64
+	scratchDocParts  [][]int64
+	scratchPostParts [][]query.Posting
+	scratchHitParts  [][]query.Hit
+	scratchTileParts []*tiles.Tile
+}
+
+// docParts returns the cleared per-shard gather table for document lists;
+// stale entries from the previous interaction must never merge into this one.
+func (rs *RouterSession) docParts() [][]int64 {
+	n := len(rs.r.shards)
+	if cap(rs.scratchDocParts) < n {
+		rs.scratchDocParts = make([][]int64, n)
+	}
+	parts := rs.scratchDocParts[:n]
+	for i := range parts {
+		parts[i] = nil
+	}
+	return parts
+}
+
+// postParts is docParts for posting lists.
+func (rs *RouterSession) postParts() [][]query.Posting {
+	n := len(rs.r.shards)
+	if cap(rs.scratchPostParts) < n {
+		rs.scratchPostParts = make([][]query.Posting, n)
+	}
+	parts := rs.scratchPostParts[:n]
+	for i := range parts {
+		parts[i] = nil
+	}
+	return parts
+}
+
+// hitParts is docParts for similarity hit lists.
+func (rs *RouterSession) hitParts() [][]query.Hit {
+	n := len(rs.r.shards)
+	if cap(rs.scratchHitParts) < n {
+		rs.scratchHitParts = make([][]query.Hit, n)
+	}
+	parts := rs.scratchHitParts[:n]
+	for i := range parts {
+		parts[i] = nil
+	}
+	return parts
+}
+
+// tileParts is docParts for gathered raw tiles.
+func (rs *RouterSession) tileParts() []*tiles.Tile {
+	n := len(rs.r.shards)
+	if cap(rs.scratchTileParts) < n {
+		rs.scratchTileParts = make([]*tiles.Tile, n)
+	}
+	parts := rs.scratchTileParts[:n]
+	for i := range parts {
+		parts[i] = nil
+	}
+	return parts
 }
 
 // Stats snapshots the routed session's account.
@@ -342,8 +409,14 @@ func (rs *RouterSession) scatter(ids []int, reqBytes float64, fn func(shard int,
 	r.fanOuts.Add(1)
 	r.shardQueries.Add(uint64(len(ids)))
 	r.shardsPruned.Add(uint64(len(r.shards) - len(ids)))
-	replies := make([]float64, len(ids))
-	costs := make([]float64, len(ids))
+	if cap(rs.scratchReplies) < len(ids) {
+		rs.scratchReplies = make([]float64, len(ids))
+		rs.scratchCosts = make([]float64, len(ids))
+	}
+	// Every slot in [0, len(ids)) is written by its goroutine below, so the
+	// reused buffers need no clearing.
+	replies := rs.scratchReplies[:len(ids)]
+	costs := rs.scratchCosts[:len(ids)]
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
@@ -365,11 +438,11 @@ func (rs *RouterSession) scatter(ids []int, reqBytes float64, fn func(shard int,
 }
 
 // liveShards returns the shards whose DF summary — base or live overlay —
-// admits the term.
-func (r *Router) liveShards(t int64) []int {
+// admits the term, written over dst[:0].
+func (r *Router) liveShards(dst []int, t int64) []int {
 	r.dfMu.RLock()
 	defer r.dfMu.RUnlock()
-	out := make([]int, 0, len(r.shards))
+	out := dst[:0]
 	for i := range r.shards {
 		if r.shardDF[i][t] > 0 || r.liveDF[i][t] > 0 {
 			out = append(out, i)
@@ -380,11 +453,11 @@ func (r *Router) liveShards(t int64) []int {
 
 // andShards returns the shards whose DF summaries admit every term — a
 // document can only satisfy a conjunction on a shard holding postings for
-// all of them.
-func (r *Router) andShards(ids []int64) []int {
+// all of them. Written over dst[:0].
+func (r *Router) andShards(dst []int, ids []int64) []int {
 	r.dfMu.RLock()
 	defer r.dfMu.RUnlock()
-	out := make([]int, 0, len(r.shards))
+	out := dst[:0]
 	for i := range r.shards {
 		all := true
 		for _, t := range ids {
@@ -400,11 +473,12 @@ func (r *Router) andShards(ids []int64) []int {
 	return out
 }
 
-// orShards returns the shards where at least one term may have postings.
-func (r *Router) orShards(ids []int64) []int {
+// orShards returns the shards where at least one term may have postings,
+// written over dst[:0].
+func (r *Router) orShards(dst []int, ids []int64) []int {
 	r.dfMu.RLock()
 	defer r.dfMu.RUnlock()
-	out := make([]int, 0, len(r.shards))
+	out := dst[:0]
 	for i := range r.shards {
 		for _, t := range ids {
 			if r.shardDF[i][t] > 0 || r.liveDF[i][t] > 0 {
@@ -428,10 +502,11 @@ func (r *Router) epochSum() uint64 {
 }
 
 // allShards lists every shard, for interactions partitioning cannot prune.
-func (r *Router) allShards() []int {
-	out := make([]int, len(r.shards))
-	for i := range out {
-		out[i] = i
+// Written over dst[:0].
+func (r *Router) allShards(dst []int) []int {
+	out := dst[:0]
+	for i := range r.shards {
+		out = append(out, i)
 	}
 	return out
 }
@@ -460,8 +535,10 @@ func (rs *RouterSession) TermDocs(term string) []query.Posting {
 		rs.charge(cost)
 		return nil
 	}
-	parts := make([][]query.Posting, len(r.shards))
-	cost += rs.scatter(r.liveShards(t), reqBytes([]string{term}), func(shard int, sub *Session) float64 {
+	parts := rs.postParts()
+	live := r.liveShards(rs.scratchShards[:0], t)
+	rs.scratchShards = live
+	cost += rs.scatter(live, reqBytes([]string{term}), func(shard int, sub *Session) float64 {
 		parts[shard] = sub.TermDocs(term)
 		return 16 * float64(len(parts[shard]))
 	})
@@ -500,7 +577,7 @@ func (rs *RouterSession) And(terms ...string) []int64 {
 	}
 	r := rs.r
 	var cost float64
-	ids := make([]int64, 0, len(terms))
+	ids := rs.scratchIDs[:0]
 	for _, term := range terms {
 		cost += rs.lookupCost(term)
 		t, ok := r.termID(term)
@@ -509,20 +586,23 @@ func (rs *RouterSession) And(terms ...string) []int64 {
 		}
 		if !ok || r.globalDF(t) == 0 {
 			r.shortCircuits.Add(1)
+			rs.scratchIDs = ids[:0]
 			rs.charge(cost)
 			return nil
 		}
 		ids = append(ids, t)
 	}
+	rs.scratchIDs = ids
 	// Per-shard pruning costs one summary probe per (term, shard).
 	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.shards)))
-	live := r.andShards(ids)
+	live := r.andShards(rs.scratchShards[:0], ids)
+	rs.scratchShards = live
 	if len(live) == 0 {
 		r.shortCircuits.Add(1)
 		rs.charge(cost)
 		return nil
 	}
-	parts := make([][]int64, len(r.shards))
+	parts := rs.docParts()
 	cost += rs.scatter(live, reqBytes(terms), func(shard int, sub *Session) float64 {
 		parts[shard] = sub.And(terms...)
 		return 8 * float64(len(parts[shard]))
@@ -542,7 +622,7 @@ func (rs *RouterSession) And(terms ...string) []int64 {
 func (rs *RouterSession) Or(terms ...string) []int64 {
 	r := rs.r
 	var cost float64
-	ids := make([]int64, 0, len(terms))
+	ids := rs.scratchIDs[:0]
 	for _, term := range terms {
 		cost += rs.lookupCost(term)
 		t, ok := r.termID(term)
@@ -554,14 +634,16 @@ func (rs *RouterSession) Or(terms ...string) []int64 {
 			ids = append(ids, t)
 		}
 	}
+	rs.scratchIDs = ids
 	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.shards)))
-	live := r.orShards(ids)
+	live := r.orShards(rs.scratchShards[:0], ids)
+	rs.scratchShards = live
 	if len(live) == 0 {
 		r.shortCircuits.Add(1)
 		rs.charge(cost)
 		return []int64{} // query.Engine.Or returns an empty, non-nil union
 	}
-	parts := make([][]int64, len(r.shards))
+	parts := rs.docParts()
 	cost += rs.scatter(live, reqBytes(terms), func(shard int, sub *Session) float64 {
 		parts[shard] = sub.Or(terms...)
 		return 8 * float64(len(parts[shard]))
@@ -611,8 +693,10 @@ func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
 		rs.charge(cost)
 		return nil, fmt.Errorf("serve: document %d not found or has a null signature", doc)
 	}
-	parts := make([][]query.Hit, len(r.shards))
-	cost += rs.scatter(r.allShards(), 8*float64(len(target))+16, func(shard int, sub *Session) float64 {
+	parts := rs.hitParts()
+	all := r.allShards(rs.scratchShards[:0])
+	rs.scratchShards = all
+	cost += rs.scatter(all, 8*float64(len(target))+16, func(shard int, sub *Session) float64 {
 		parts[shard] = sub.similarTo(target, doc, k)
 		return 16 * float64(len(parts[shard]))
 	})
@@ -639,8 +723,10 @@ func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
 // out everywhere and merges.
 func (rs *RouterSession) ThemeDocs(cluster int) []int64 {
 	r := rs.r
-	parts := make([][]int64, len(r.shards))
-	cost := rs.scatter(r.allShards(), 16, func(shard int, sub *Session) float64 {
+	parts := rs.docParts()
+	all := r.allShards(rs.scratchShards[:0])
+	rs.scratchShards = all
+	cost := rs.scatter(all, 16, func(shard int, sub *Session) float64 {
 		parts[shard] = sub.ThemeDocs(cluster)
 		return 8 * float64(len(parts[shard]))
 	})
@@ -764,7 +850,7 @@ func (rs *RouterSession) Near(x, y, radius float64) []int64 {
 		rs.charge(r.model.LocalCopyCost(24))
 		return nil
 	}
-	parts := make([][]int64, len(r.shards))
+	parts := rs.docParts()
 	cost := rs.scatter(live, 24, func(shard int, sub *Session) float64 {
 		parts[shard] = sub.Near(x, y, radius)
 		return 8 * float64(len(parts[shard]))
@@ -793,7 +879,13 @@ func mergeSorted[T any](parts [][]T, less func(a, b T) bool, limit int) []T {
 		return nil
 	}
 	out := make([]T, 0, total)
-	pos := make([]int, len(parts))
+	// The cursor vector lives on the stack for any realistic shard count, so
+	// a gather merge costs exactly one allocation: the output it returns.
+	var posBuf [16]int
+	pos := posBuf[:]
+	if len(parts) > len(posBuf) {
+		pos = make([]int, len(parts))
+	}
 	for len(out) < total {
 		best := -1
 		for i, p := range parts {

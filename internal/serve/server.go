@@ -476,7 +476,20 @@ type Session struct {
 	s    *Server
 	ID   int64
 	acct account
+
+	// Query scratch reused across interactions. A session is a sequential
+	// stream — one goroutine at a time (the HTTP layer serializes named
+	// sessions with a mutex) — so the buffers are never contended, and
+	// nothing scratch-backed escapes: And always returns a freshly merged
+	// slice (mergeSorted copies even a single part).
+	scratchCands []andCand
+	scratchA     []int64
+	scratchB     []int64
+	scratchParts [][]int64
 }
+
+// andCand is one conjunction term's descriptor during And's planning pass.
+type andCand struct{ id, baseDF, liveDF int64 }
 
 // SessionStats is a snapshot of one session's account.
 type SessionStats struct {
@@ -654,8 +667,7 @@ func (ss *Session) And(terms ...string) []int64 {
 	st := ss.s.store
 	v := st.viewNow()
 	m := st.Model
-	type cand struct{ id, baseDF, liveDF int64 }
-	cands := make([]cand, 0, len(terms))
+	cands := ss.scratchCands[:0]
 	var cost float64
 	for _, term := range terms {
 		cost += ss.lookupCost(term)
@@ -666,25 +678,35 @@ func (ss *Session) And(terms ...string) []int64 {
 			live = v.df(t)
 		}
 		if !found || live == 0 {
+			ss.scratchCands = cands[:0]
 			ss.charge(cost)
 			return nil
 		}
-		cands = append(cands, cand{id: t, baseDF: v.base.df[t], liveDF: live})
+		cands = append(cands, andCand{id: t, baseDF: v.base.df[t], liveDF: live})
 	}
+	ss.scratchCands = cands
 	// Rarest-first must follow the base lists the base pass actually fetches:
 	// ordering by live DF would seed the accumulator with a huge base list
 	// whenever a term's postings concentrate in ingested segments (live DF
 	// small overall but base DF large is impossible; the inverse — base-rare,
 	// segment-heavy — is exactly a trending ingested term). Live DF already
-	// served its purpose in the doomed-query exit above.
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].baseDF != cands[b].baseDF {
-			return cands[a].baseDF < cands[b].baseDF
+	// served its purpose in the doomed-query exit above. Insertion sort: a
+	// conjunction has a handful of terms, and unlike sort.Slice there is no
+	// closure to allocate.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cands[j], cands[j-1]
+			if a.baseDF > b.baseDF || (a.baseDF == b.baseDF && a.liveDF >= b.liveDF) {
+				break
+			}
+			cands[j], cands[j-1] = b, a
 		}
-		return cands[a].liveDF < cands[b].liveDF
-	})
+	}
 
 	// Base intersection: only possible when every term has base postings.
+	// The accumulator ping-pongs between two session scratch buffers, so a
+	// warm And allocates nothing until the final merge.
+	bufA, bufB := ss.scratchA, ss.scratchB
 	var acc []int64
 	var flops float64
 	baseLive := true
@@ -697,7 +719,8 @@ func (ss *Session) And(terms ...string) []int64 {
 	if baseLive {
 		val, c := ss.s.getPostings(v, cands[0].id)
 		cost += c
-		acc = append([]int64(nil), val.docs...)
+		bufA = append(bufA[:0], val.docs...)
+		acc = bufA
 		for _, cd := range cands[1:] {
 			if len(acc) == 0 {
 				break
@@ -705,7 +728,9 @@ func (ss *Session) And(terms ...string) []int64 {
 			if val, c, ok := ss.s.cachedPostings(v, cd.id); ok {
 				cost += c
 				flops += 2 * float64(len(acc)+len(val.docs))
-				acc = query.IntersectSorted(acc, val.docs)
+				bufB = query.IntersectSortedInto(bufB[:0], acc, val.docs)
+				acc = bufB
+				bufA, bufB = bufB, bufA
 				continue
 			}
 			// A sparse candidate set admits few blocks, so intersecting off
@@ -713,24 +738,29 @@ func (ss *Session) And(terms ...string) []int64 {
 			// anyway, and the full fetch keeps the LRU warm and the transfer
 			// coalesced for the next session asking about the same term.
 			if ps := v.base.posts; ps != nil && int64(len(acc)) < cd.baseDF/4 {
-				res, ist := ps.Intersect(acc, cd.id)
+				res, ist := ps.IntersectInto(bufB[:0], acc, cd.id)
 				cost += ss.s.partialCost(cd.id, len(acc), ist)
 				ss.s.partialFetches.Add(1)
 				ss.s.blocksDecoded.Add(uint64(ist.BlocksDecoded))
 				ss.s.blocksSkipped.Add(uint64(ist.BlocksSkipped))
+				bufB = res
 				acc = res
+				bufA, bufB = bufB, bufA
 				continue
 			}
 			val, c := ss.s.getPostings(v, cd.id)
 			cost += c
 			flops += 2 * float64(len(acc)+len(val.docs))
-			acc = query.IntersectSorted(acc, val.docs)
+			bufB = query.IntersectSortedInto(bufB[:0], acc, val.docs)
+			acc = bufB
+			bufA, bufB = bufB, bufA
 		}
 	}
+	ss.scratchA, ss.scratchB = bufA, bufB
 
 	// Segment intersections: a segment can only contribute documents if its
 	// DF summary admits every term.
-	parts := make([][]int64, 0, 1+len(v.segs))
+	parts := ss.scratchParts[:0]
 	if len(acc) > 0 {
 		parts = append(parts, acc)
 	}
@@ -767,6 +797,7 @@ func (ss *Session) And(terms ...string) []int64 {
 	if len(parts) > 1 {
 		cost += m.LocalCopyCost(8 * float64(len(out)))
 	}
+	ss.scratchParts = parts
 	ss.charge(cost + m.FlopCost(flops))
 	if len(out) == 0 {
 		return nil

@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"inspire/internal/core"
 	"inspire/internal/project"
@@ -600,16 +601,27 @@ func (rs *RouterSession) Tile(z, x, y int) (*TileResult, error) {
 		rs.charge(cost)
 		return renderTile(nil, z, x, y, tc.Grid, r.cfg.TileThemes, r.themes), nil
 	}
-	parts := make([]*tiles.Tile, len(r.shards))
+	parts := rs.tileParts()
 	cost += rs.scatter(live, 24, func(shard int, sub *Session) float64 {
 		parts[shard] = sub.tileRawQ(z, x, y)
 		return tileBytes(parts[shard])
 	})
-	merged := tiles.Merge(parts, tc.Exemplars)
+	// The merged tile is transient — renderTile deep-copies everything it
+	// keeps — so the merge buffer cycles through a pool instead of allocating
+	// a tile (plus density grid) per gathered request.
+	buf := tileMergeBuf.Get().(*tiles.Tile)
+	merged := tiles.MergeInto(buf, parts, tc.Exemplars)
 	cost += r.model.LocalCopyCost(tileBytes(merged))
+	res := renderTile(merged, z, x, y, tc.Grid, r.cfg.TileThemes, r.themes)
+	tileMergeBuf.Put(buf)
 	rs.charge(cost)
-	return renderTile(merged, z, x, y, tc.Grid, r.cfg.TileThemes, r.themes), nil
+	return res, nil
 }
+
+// tileMergeBuf pools gather-merge scratch tiles. Only transient merges may
+// use it: renderTile copies what it keeps, so a buffer can be returned as
+// soon as its merge is rendered.
+var tileMergeBuf = sync.Pool{New: func() any { return new(tiles.Tile) }}
 
 // TileRange returns every non-empty tile at zoom z intersecting r, merged
 // across the shard set and ordered by (x, y), identical to the single-store
@@ -658,11 +670,15 @@ func (rs *RouterSession) TileRange(z int, rect tiles.Rect) ([]*TileResult, error
 	})
 	out := make([]*TileResult, 0, len(addrs))
 	var mergedBytes float64
+	// One pooled buffer serves the whole viewport: each merge is rendered
+	// (deep-copied) before the next overwrites it.
+	buf := tileMergeBuf.Get().(*tiles.Tile)
 	for _, a := range addrs {
-		merged := tiles.Merge(byAddr[a], tc.Exemplars)
+		merged := tiles.MergeInto(buf, byAddr[a], tc.Exemplars)
 		mergedBytes += tileBytes(merged)
 		out = append(out, renderTile(merged, z, a[0], a[1], tc.Grid, r.cfg.TileThemes, r.themes))
 	}
+	tileMergeBuf.Put(buf)
 	cost += r.model.LocalCopyCost(mergedBytes)
 	rs.charge(cost)
 	return out, nil

@@ -1,0 +1,73 @@
+package tiles
+
+import "testing"
+
+// TestMergeIntoAllocFree pins the gather-merge win: recycling one scratch
+// tile across merges (what the router's tile pool does) allocates nothing
+// once the buffers reach working-set size.
+func TestMergeIntoAllocFree(t *testing.T) {
+	mk := func(seed uint32) *Tile {
+		tl := &Tile{Z: 1, X: 0, Y: 1, Docs: int64(seed) + 3, Density: make([]uint32, 64)}
+		for i := range tl.Density {
+			tl.Density[i] = seed + uint32(i)
+		}
+		tl.Themes = []ThemeCount{{Cluster: 0, Docs: 2}, {Cluster: int64(seed%3 + 1), Docs: 1}}
+		tl.Exemplars = []int64{int64(seed), int64(seed) + 10, int64(seed) + 20}
+		return tl
+	}
+	parts := []*Tile{mk(1), nil, mk(5), mk(9)}
+	dst := &Tile{}
+	merged := MergeInto(dst, parts, 4) // warm to working-set size
+	if merged != dst || merged.Docs != 4+8+12 {
+		t.Fatalf("warm merge = %+v", merged)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		MergeInto(dst, parts, 4)
+	})
+	if got != 0 {
+		t.Fatalf("warm MergeInto allocates %v objects/op, want 0", got)
+	}
+	// The all-nil merge answers nil and leaves dst reusable.
+	if MergeInto(dst, []*Tile{nil, nil}, 4) != nil {
+		t.Fatal("all-nil merge not nil")
+	}
+	if MergeInto(dst, parts, 4) == nil {
+		t.Fatal("dst unusable after all-nil merge")
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	parts := make([]*Tile, 4)
+	for i := range parts {
+		tl := &Tile{Z: 2, X: 1, Y: 1, Docs: 40, Density: make([]uint32, 256)}
+		for j := range tl.Density {
+			tl.Density[j] = uint32(i + j)
+		}
+		tl.Themes = []ThemeCount{{Cluster: int64(i), Docs: 10}}
+		tl.Exemplars = []int64{int64(i), int64(i) + 4}
+		parts[i] = tl
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Merge(parts, 8)
+	}
+}
+
+func BenchmarkMergeInto(b *testing.B) {
+	parts := make([]*Tile, 4)
+	for i := range parts {
+		tl := &Tile{Z: 2, X: 1, Y: 1, Docs: 40, Density: make([]uint32, 256)}
+		for j := range tl.Density {
+			tl.Density[j] = uint32(i + j)
+		}
+		tl.Themes = []ThemeCount{{Cluster: int64(i), Docs: 10}}
+		tl.Exemplars = []int64{int64(i), int64(i) + 4}
+		parts[i] = tl
+	}
+	dst := &Tile{}
+	MergeInto(dst, parts, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeInto(dst, parts, 8)
+	}
+}

@@ -24,6 +24,7 @@ package tiles
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -564,13 +565,36 @@ func (p *Pyramid) Search(r Rect) (cands []Entry, visited, pruned int) {
 // global set). nil entries (shards without the tile) are skipped; nil when
 // every part is nil.
 func Merge(parts []*Tile, exemplarCap int) *Tile {
+	return MergeInto(nil, parts, exemplarCap)
+}
+
+// MergeInto is Merge with a caller-owned result tile: dst's slices are
+// truncated and reused, so a serving gather loop can recycle one scratch
+// tile (e.g. through a sync.Pool) and merge allocation-free once the buffers
+// reach working-set size. dst may be nil (a fresh tile is allocated on the
+// first non-nil part); it must not be one of parts. Returns nil — with dst
+// left reusable — when every part is nil.
+func MergeInto(dst *Tile, parts []*Tile, exemplarCap int) *Tile {
 	var out *Tile
 	for _, t := range parts {
 		if t == nil {
 			continue
 		}
 		if out == nil {
-			out = &Tile{Z: t.Z, X: t.X, Y: t.Y, Density: make([]uint32, len(t.Density))}
+			out = dst
+			if out == nil {
+				out = &Tile{}
+			}
+			out.Z, out.X, out.Y = t.Z, t.X, t.Y
+			out.Docs = 0
+			if cap(out.Density) < len(t.Density) {
+				out.Density = make([]uint32, len(t.Density))
+			} else {
+				out.Density = out.Density[:len(t.Density)]
+				clear(out.Density)
+			}
+			out.Themes = out.Themes[:0]
+			out.Exemplars = out.Exemplars[:0]
 		}
 		out.Docs += t.Docs
 		for i, d := range t.Density {
@@ -584,7 +608,9 @@ func Merge(parts []*Tile, exemplarCap int) *Tile {
 	if out == nil {
 		return nil
 	}
-	sort.Slice(out.Exemplars, func(a, b int) bool { return out.Exemplars[a] < out.Exemplars[b] })
+	// slices.Sort, not sort.Slice: the generic sort needs no reflection and
+	// no closure, keeping a warm merge allocation-free.
+	slices.Sort(out.Exemplars)
 	if len(out.Exemplars) > exemplarCap {
 		out.Exemplars = out.Exemplars[:exemplarCap]
 	}
