@@ -87,7 +87,7 @@ func deltaTable(base, cur *bench.CIMetrics) string {
 func wallDeltaTable(base, cur *loadgen.WallMetrics) string {
 	title := fmt.Sprintf("Wall-clock gate (%d sessions x %d ops, seed %d)",
 		cur.Sessions, cur.OpsPerSession, cur.Seed)
-	return renderRows(title, []row{
+	rows := []row{
 		{"requests/sec (raw)", base.QPS, cur.QPS, true},
 		{"normalized qps (per calib mops)", base.NormQPS, cur.NormQPS, true},
 		{"host calibration (mops)", base.CalibMOPS, cur.CalibMOPS, true},
@@ -97,7 +97,15 @@ func wallDeltaTable(base, cur *loadgen.WallMetrics) string {
 		{"allocs/request", base.AllocsPerOp, cur.AllocsPerOp, false},
 		{"alloc bytes/request", base.BytesPerOp, cur.BytesPerOp, false},
 		{"gc pause total (ms)", base.GCPauseMS, cur.GCPauseMS, false},
-	})
+	}
+	if base.ColdStartSpeedup > 0 || cur.ColdStartSpeedup > 0 {
+		rows = append(rows,
+			row{"cold start, mapped (ms)", base.ColdStartMappedMS, cur.ColdStartMappedMS, false},
+			row{"cold start, gob (ms)", base.ColdStartGobMS, cur.ColdStartGobMS, false},
+			row{"cold start speedup (x)", base.ColdStartSpeedup, cur.ColdStartSpeedup, true},
+		)
+	}
+	return renderRows(title, rows)
 }
 
 // gate loads both metric files of the selected plane and returns the

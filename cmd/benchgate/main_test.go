@@ -113,6 +113,49 @@ func TestWallDeltaTable(t *testing.T) {
 	}
 }
 
+// TestColdStartGate walks the cold-start floor of the wall gate: the exact
+// 10x edge passes, a hair under fails, an unmeasured run against an
+// unmeasured baseline is fine, and a run that stopped measuring while the
+// baseline has numbers is itself a violation.
+func TestColdStartGate(t *testing.T) {
+	wall := func(mapped, gob float64) *loadgen.WallMetrics {
+		m := &loadgen.WallMetrics{Sessions: 100, OpsPerSession: 50, Seed: 1,
+			QPS: 1000, NormQPS: 2.0, AllocsPerOp: 200, BytesPerOp: 130000}
+		if mapped > 0 && gob > 0 {
+			m.ColdStartMappedMS, m.ColdStartGobMS = mapped, gob
+			m.ColdStartSpeedup = gob / mapped
+		}
+		return m
+	}
+	cases := []struct {
+		name      string
+		base, cur *loadgen.WallMetrics
+		want      int // violations
+	}{
+		{"speedup at floor", wall(10, 100), wall(10, 100), 0}, // exactly 10.0x
+		{"speedup below floor", wall(10, 100), wall(10, 99.9), 1},
+		{"well above floor", wall(10, 100), wall(2, 300), 0},
+		{"neither measured", wall(0, 0), wall(0, 0), 0},
+		{"measurement dropped", wall(10, 100), wall(0, 0), 1},
+		{"baseline unmeasured, current measured", wall(0, 0), wall(5, 200), 0},
+	}
+	for _, tc := range cases {
+		if got := tc.cur.Gate(tc.base); len(got) != tc.want {
+			t.Errorf("%s: %d violations %v, want %d", tc.name, len(got), got, tc.want)
+		}
+	}
+	// The wall table only grows cold-start rows when either side measured.
+	if got := wallDeltaTable(wall(0, 0), wall(0, 0)); strings.Contains(got, "cold start") {
+		t.Fatalf("unmeasured runs grew cold-start rows:\n%s", got)
+	}
+	got := wallDeltaTable(wall(10, 100), wall(5, 150))
+	for _, want := range []string{"cold start, mapped (ms)", "cold start, gob (ms)", "cold start speedup (x)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table lacks %q:\n%s", want, got)
+		}
+	}
+}
+
 // writeWall persists wall metrics for the end-to-end run() cases.
 func writeWall(t *testing.T, dir, name string, m *loadgen.WallMetrics) string {
 	t.Helper()

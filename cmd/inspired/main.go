@@ -20,14 +20,22 @@
 //	inspired -store run.shards -http :8417
 //	echo "term apple" | inspired -store run.store -stdin
 //
-// -store accepts every store format version — INSPSTORE2 (block-compressed
-// postings, what -save-store now writes), INSPSTORE3 (a rebased store whose
-// deletions left ID holes) and legacy INSPSTORE1 flat files, which are
-// re-compressed on load — plus INSPSHARDS1 shard manifests written
-// by -shards N -save-store, which serve their whole partitioned set behind a
-// scatter-gather router. -shards N also re-partitions a freshly indexed run
-// or a loaded single store at serve time; either way the session API is
+// -store accepts every store format version — INSPSTORE4 (the page-aligned
+// zero-copy layout -save-store now writes, served straight from a shared
+// memory mapping), INSPSTORE2 (block-compressed gob postings), INSPSTORE3 (a
+// rebased store whose deletions left ID holes) and legacy INSPSTORE1 flat
+// files, which are re-compressed on load — plus INSPSHARDS1 shard manifests
+// written by -shards N -save-store, which serve their whole partitioned set
+// behind a scatter-gather router. INSPSTORE4 files are memory-mapped by
+// default; -no-mmap materializes them to heap like the legacy formats
+// always are. -shards N also re-partitions a freshly indexed run or a
+// loaded single store at serve time; either way the session API is
 // identical to single-store serving.
+//
+// -convert out.store migrates any persisted artifact — a v1/v2/v3 single
+// store or a whole shard manifest set — to the INSPSTORE4 layout in one
+// shot and exits without serving. -save-legacy writes the pre-v4 gob layout
+// (plus the .tiles sidecar) for interop with older readers.
 //
 // The HTTP surface (term/boolean/similar/theme/near/tile queries, live
 // add/delete/flush/compact/save, /themes, /stats) lives in internal/httpd —
@@ -67,6 +75,9 @@ func main() {
 	p := flag.Int("p", 4, "number of SPMD processes for the indexing run")
 	storePath := flag.String("store", "", "serve a store persisted with -save-store instead of indexing")
 	saveStore := flag.String("save-store", "", "persist the serving store to this file after indexing")
+	saveLegacy := flag.String("save-legacy", "", "persist the store in the legacy gob layout (plus .tiles sidecar) to this file")
+	convert := flag.String("convert", "", "migrate the -store artifact (single store or shard manifest) to INSPSTORE4 at this path, then exit")
+	noMmap := flag.Bool("no-mmap", false, "materialize INSPSTORE4 stores to heap instead of serving from the file mapping")
 	sigPath := flag.String("signatures", "", "override signatures from a file persisted by inspire -signatures")
 	shards := flag.Int("shards", 1, "partition the serving store into N document shards behind a scatter-gather router")
 	httpAddr := flag.String("http", ":8417", "HTTP listen address (empty to disable)")
@@ -88,16 +99,24 @@ func main() {
 	cfg := serve.Config{
 		PostingCacheEntries: *postCache,
 		SimCacheEntries:     *simCache,
+		NoMmap:              *noMmap,
+	}
+
+	if *convert != "" {
+		if err := runConvert(*storePath, *convert); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	var svc serve.Service
 	if isMan, _ := serveManifest(*storePath); isMan {
 		// A persisted shard set serves as-is: its partitioning is fixed at
 		// save time, and signatures live inside the shard stores.
-		if *sigPath != "" || *saveStore != "" || *shards > 1 {
-			fail(fmt.Errorf("-signatures, -save-store and -shards do not apply to a shard manifest; re-index or load the single store to repartition"))
+		if *sigPath != "" || *saveStore != "" || *saveLegacy != "" || *shards > 1 {
+			fail(fmt.Errorf("-signatures, -save-store, -save-legacy and -shards do not apply to a shard manifest; re-index or load the single store to repartition"))
 		}
-		man, shardStores, err := serve.LoadShards(*storePath)
+		man, shardStores, err := loadShardsMaybeHeap(*storePath, *noMmap)
 		if err != nil {
 			fail(err)
 		}
@@ -110,7 +129,7 @@ func main() {
 			man.TotalDocs, man.VocabSize, r.NumThemes(), man.NumShards)
 		svc = r
 	} else {
-		st, err := loadOrIndex(*storePath, *in, *format, *p)
+		st, err := loadOrIndex(*storePath, *in, *format, *p, *noMmap)
 		if err != nil {
 			fail(err)
 		}
@@ -131,15 +150,26 @@ func main() {
 				}
 				fmt.Printf("persisted %d-shard serving set behind manifest %s\n", *shards, *saveStore)
 			} else {
+				// SaveFile writes INSPSTORE4 for compressed stores, with the
+				// tile pyramid embedded as a section — no sidecar.
 				if err := st.SaveFile(*saveStore); err != nil {
 					fail(err)
 				}
-				if err := st.SaveTilesFile(*saveStore, cfg); err != nil {
-					fail(err)
-				}
-				fmt.Printf("persisted serving store to %s (+ tile sidecar %s%s)\n",
-					*saveStore, *saveStore, serve.TilesSidecarSuffix)
+				fmt.Printf("persisted serving store to %s (INSPSTORE4)\n", *saveStore)
 			}
+		}
+		if *saveLegacy != "" {
+			if *shards > 1 {
+				fail(fmt.Errorf("-save-legacy applies to a single store; drop -shards"))
+			}
+			if err := st.SaveLegacyFile(*saveLegacy); err != nil {
+				fail(err)
+			}
+			if err := st.SaveTilesFile(*saveLegacy, cfg); err != nil {
+				fail(err)
+			}
+			fmt.Printf("persisted legacy serving store to %s (+ tile sidecar %s%s)\n",
+				*saveLegacy, *saveLegacy, serve.TilesSidecarSuffix)
 		}
 		if *shards > 1 {
 			shardStores, err := st.Shard(*shards)
@@ -189,27 +219,76 @@ func serveManifest(storePath string) (bool, error) {
 	return serve.IsShardManifestFile(storePath)
 }
 
+// loadShardsMaybeHeap loads a shard set, materializing to heap under
+// -no-mmap.
+func loadShardsMaybeHeap(path string, noMmap bool) (*serve.Manifest, []*serve.Store, error) {
+	if noMmap {
+		return serve.LoadShardsHeap(path)
+	}
+	return serve.LoadShards(path)
+}
+
+// runConvert migrates a persisted artifact — any legacy single-store format
+// or a whole shard manifest set — to the INSPSTORE4 layout at out, without
+// serving. Legacy inputs materialize to heap, flat postings re-compress,
+// and every output write is atomic.
+func runConvert(storePath, out string) error {
+	if storePath == "" {
+		return fmt.Errorf("-convert requires -store naming the artifact to migrate")
+	}
+	isMan, err := serve.IsShardManifestFile(storePath)
+	if err != nil {
+		return err
+	}
+	if isMan {
+		man, shardStores, err := serve.LoadShards(storePath)
+		if err != nil {
+			return err
+		}
+		if err := serve.SaveLiveSet(out, shardStores); err != nil {
+			return err
+		}
+		fmt.Printf("converted %d-shard set %s -> %s (INSPSTORE4 shards)\n", man.NumShards, storePath, out)
+		return nil
+	}
+	st, err := serve.LoadStoreFile(storePath)
+	if err != nil {
+		return err
+	}
+	if !st.Compressed() {
+		if err := st.CompressPostings(); err != nil {
+			return err
+		}
+	}
+	if err := st.SaveFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("converted store %s -> %s (INSPSTORE4)\n", storePath, out)
+	return nil
+}
+
 // loadOrIndex resolves the serving store: a persisted file, or one indexing
 // run over the corpus directory.
-func loadOrIndex(storePath, in, format string, p int) (*serve.Store, error) {
+func loadOrIndex(storePath, in, format string, p int, noMmap bool) (*serve.Store, error) {
 	if storePath != "" {
-		st, err := serve.LoadStoreFile(storePath)
+		load := serve.LoadStoreFile
+		if noMmap {
+			load = serve.LoadStoreFileHeap
+		}
+		st, err := load(storePath)
 		if err != nil {
 			return nil, err
 		}
-		switch {
-		case !st.Compressed():
+		desc := st.DescribeFormat()
+		if !st.Compressed() {
 			// Legacy flat store: serve it in the compressed layout so the
 			// resident footprint and And latency match freshly built stores.
 			if err := st.CompressPostings(); err != nil {
 				return nil, err
 			}
-			fmt.Printf("loaded store %s (INSPSTORE1, compressed flat postings on load)\n", storePath)
-		case len(st.Holes) > 0:
-			fmt.Printf("loaded store %s (INSPSTORE3, block-compressed postings, %d deletion holes)\n", storePath, len(st.Holes))
-		default:
-			fmt.Printf("loaded store %s (INSPSTORE2, block-compressed postings)\n", storePath)
+			desc += ", compressed on load"
 		}
+		fmt.Printf("loaded store %s (%s)\n", storePath, desc)
 		return st, nil
 	}
 	if in == "" {

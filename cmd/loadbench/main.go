@@ -3,7 +3,11 @@
 // live add/delete traffic — from many concurrent sessions over real HTTP
 // against the daemon's serving surface, and reports what the host actually
 // sustains: requests per second, client-observed latency percentiles,
-// allocations per request and GC pause totals.
+// allocations per request and GC pause totals. In-process runs also measure
+// cold start — wall time from exec to the first answered query — for the
+// mapped INSPSTORE4 layout against its legacy gob twin, by re-execing
+// itself as a short-lived probe (best of three per format; -no-coldstart
+// skips it).
 //
 // By default it serves in-process: the synthetic benchmark corpus is indexed
 // through the real pipeline, mounted behind internal/httpd on a loopback
@@ -34,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -43,6 +48,7 @@ import (
 	"inspire/internal/bench"
 	"inspire/internal/httpd"
 	"inspire/internal/loadgen"
+	"inspire/internal/serve"
 )
 
 func main() {
@@ -62,7 +68,17 @@ func main() {
 	ci := flag.Bool("ci", false, "use the CI gate preset: 100 sessions x 50 ops, seed 1, 4 shards")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed phase to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	coldChild := flag.String("coldstart", "", "internal: load this store file, answer one query and exit (the cold-start probe child)")
+	noCold := flag.Bool("no-coldstart", false, "skip the cold-start measurement")
+	coldScale := flag.Float64("cold-scale", 32, "dataset reduction factor for the cold-start probe store; smaller = bigger corpus, more decode-dominated")
 	flag.Parse()
+
+	if *coldChild != "" {
+		if err := coldStartChild(*coldChild); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *ci {
 		*sessions, *ops, *seed, *shards = 100, 50, 1, 4
@@ -78,11 +94,25 @@ func main() {
 
 	baseURL := *urlFlag
 	inProcess := baseURL == ""
+	var coldMappedMS, coldGobMS float64
 	if inProcess {
 		fmt.Fprintf(os.Stderr, "loadbench: indexing the scale-%g benchmark corpus (%d shard(s))...\n", *scale, *shards)
 		st, err := bench.ServingStore(*scale, 8)
 		if err != nil {
 			fatal(err)
+		}
+		if !*noCold {
+			// Measure cold start before the load run so page-cache warmth from
+			// serving cannot flatter either side; both probe files are written
+			// (and thus cached) the same way. The probe store is built at its
+			// own scale: the gate-preset serving store is so small that process
+			// exec would dominate both sides of the comparison.
+			coldMappedMS, coldGobMS, err = measureColdStart(*coldScale)
+			if err != nil {
+				fatal(fmt.Errorf("cold-start measurement: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "loadbench: cold start to first query: mapped %.2fms, gob %.2fms (%.1fx)\n",
+				coldMappedMS, coldGobMS, coldGobMS/coldMappedMS)
 		}
 		svc, err := bench.ShardedService(st, *shards)
 		if err != nil {
@@ -161,6 +191,11 @@ func main() {
 
 	m := loadgen.FromResult(res, cfg, calib, commit(), inProcess)
 	m.Scale, m.Shards = *scale, *shards
+	if coldMappedMS > 0 && coldGobMS > 0 {
+		m.ColdStartMappedMS = coldMappedMS
+		m.ColdStartGobMS = coldGobMS
+		m.ColdStartSpeedup = coldGobMS / coldMappedMS
+	}
 	if *jsonPath != "" {
 		if err := m.WriteJSON(*jsonPath); err != nil {
 			fatal(err)
@@ -176,6 +211,80 @@ func main() {
 	if res.HardErrors > 0 {
 		fatal(fmt.Errorf("%d hard errors during the run", res.HardErrors))
 	}
+}
+
+// measureColdStart times the daemon's exec-to-first-query wall clock for the
+// INSPSTORE4 mapped path against the legacy gob-decode path. A probe store
+// is indexed at the given scale and persisted both ways into a temp dir,
+// then this binary re-execs itself with -coldstart for each file, three runs
+// per format, and the best run counts — the minimum is the least-contended
+// trial, the quantity a restarting daemon on an idle host experiences.
+func measureColdStart(scale float64) (mappedMS, gobMS float64, err error) {
+	fmt.Fprintf(os.Stderr, "loadbench: indexing the scale-%g cold-start probe store...\n", scale)
+	st, err := bench.ServingStore(scale, 8)
+	if err != nil {
+		return 0, 0, err
+	}
+	dir, err := os.MkdirTemp("", "loadbench-cold")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	v4Path := filepath.Join(dir, "probe.store")
+	gobPath := filepath.Join(dir, "probe-legacy.store")
+	if err := st.SaveFile(v4Path); err != nil {
+		return 0, 0, err
+	}
+	if err := st.SaveLegacyFile(gobPath); err != nil {
+		return 0, 0, err
+	}
+	if err := st.SaveTilesFile(gobPath, serve.Config{}); err != nil {
+		return 0, 0, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return 0, 0, err
+	}
+	probe := func(path string) (float64, error) {
+		best := 0.0
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			out, err := exec.Command(exe, "-coldstart", path).CombinedOutput()
+			el := time.Since(start).Seconds() * 1e3
+			if err != nil {
+				return 0, fmt.Errorf("cold-start probe %s: %v\n%s", path, err, out)
+			}
+			if trial == 0 || el < best {
+				best = el
+			}
+		}
+		return best, nil
+	}
+	if mappedMS, err = probe(v4Path); err != nil {
+		return 0, 0, err
+	}
+	if gobMS, err = probe(gobPath); err != nil {
+		return 0, 0, err
+	}
+	return mappedMS, gobMS, nil
+}
+
+// coldStartChild is the probe body: load the store exactly as the daemon
+// would, answer one real query against it, and exit. The parent times the
+// whole process lifetime.
+func coldStartChild(path string) error {
+	svc, err := serve.LoadServiceFile(path, serve.Config{})
+	if err != nil {
+		return err
+	}
+	terms := svc.TopTerms(1)
+	if len(terms) == 0 {
+		return fmt.Errorf("cold-start probe: store has no terms")
+	}
+	if docs := svc.NewQuerier().And(terms[0]); len(docs) == 0 {
+		return fmt.Errorf("cold-start probe: top term %q matched no documents", terms[0])
+	}
+	return nil
 }
 
 // commit resolves the revision this run measured: the working tree's HEAD,

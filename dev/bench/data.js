@@ -1,5 +1,5 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1786107799425,
+  "lastUpdate": 1786110942101,
   "entries": {
     "wall-clock serving": [
       {
@@ -40,6 +40,62 @@ window.BENCHMARK_DATA = {
             "name": "alloc bytes",
             "value": 128349.3712,
             "unit": "B/req"
+          }
+        ]
+      },
+      {
+        "commit": "91f54db3fc375774e6c061a4f22e5931bf1547a3",
+        "date": 1786110942101,
+        "benches": [
+          {
+            "name": "qps",
+            "value": 1401.4870023195729,
+            "unit": "req/s"
+          },
+          {
+            "name": "norm qps",
+            "value": 2.8605923639575166,
+            "unit": "req/s per calib mops"
+          },
+          {
+            "name": "p50 latency",
+            "value": 67.149595,
+            "unit": "ms"
+          },
+          {
+            "name": "p95 latency",
+            "value": 109.619816,
+            "unit": "ms"
+          },
+          {
+            "name": "p99 latency",
+            "value": 156.552361,
+            "unit": "ms"
+          },
+          {
+            "name": "allocs",
+            "value": 199.6448,
+            "unit": "allocs/req"
+          },
+          {
+            "name": "alloc bytes",
+            "value": 130699.4048,
+            "unit": "B/req"
+          },
+          {
+            "name": "cold start (mapped)",
+            "value": 26.130145,
+            "unit": "ms"
+          },
+          {
+            "name": "cold start (gob)",
+            "value": 361.500089,
+            "unit": "ms"
+          },
+          {
+            "name": "cold start speedup",
+            "value": 13.834599425299784,
+            "unit": "x"
           }
         ]
       }

@@ -25,6 +25,13 @@ const (
 	// GateMaxBytesRise fails the gate when allocated bytes per request rise
 	// more than this fraction above the baseline.
 	GateMaxBytesRise = 0.25
+	// GateMinColdStartSpeedup fails the gate when the mapped INSPSTORE4 cold
+	// start (exec to first successful query) is not at least this many times
+	// faster than the legacy gob-decode path. This is an absolute floor, not
+	// a baseline delta: the zero-copy layout's whole point is that start-up
+	// cost no longer scales with decode work, and a 10x margin holds across
+	// runner speeds because both sides slow down together.
+	GateMinColdStartSpeedup = 10.0
 )
 
 // WallMetrics are the persisted quantities of one wall-clock load run —
@@ -59,6 +66,15 @@ type WallMetrics struct {
 
 	HardErrors   int64 `json:"hard_errors"`
 	InBandErrors int64 `json:"in_band_errors"`
+
+	// Cold start: wall time from process exec to the first successful query,
+	// best of three, measured by self-exec against a mapped INSPSTORE4 file
+	// and its legacy gob-decoded twin. Zero means the run did not measure
+	// cold start (e.g. -url mode has no store file to time).
+	ColdStartMappedMS float64 `json:"cold_start_mapped_ms,omitempty"`
+	ColdStartGobMS    float64 `json:"cold_start_gob_ms,omitempty"`
+	// ColdStartSpeedup is ColdStartGobMS / ColdStartMappedMS.
+	ColdStartSpeedup float64 `json:"cold_start_speedup,omitempty"`
 }
 
 // FromResult folds a measured result and the host calibration into the
@@ -112,6 +128,16 @@ func (m *WallMetrics) Gate(base *WallMetrics) []string {
 	if ceil := (1 + GateMaxBytesRise) * base.BytesPerOp; base.BytesPerOp > 0 && m.BytesPerOp > ceil {
 		out = append(out, fmt.Sprintf("allocated bytes %.0f/request are >%.0f%% above the baseline %.0f",
 			m.BytesPerOp, 100*GateMaxBytesRise, base.BytesPerOp))
+	}
+	// Cold start gates on an absolute floor, not a baseline ratio — see
+	// GateMinColdStartSpeedup. A run that silently stopped measuring cold
+	// start while the baseline has it is itself a regression.
+	if m.ColdStartSpeedup > 0 && m.ColdStartSpeedup < GateMinColdStartSpeedup {
+		out = append(out, fmt.Sprintf("mapped cold start is only %.1fx faster than the gob path (%.2fms vs %.2fms); the floor is %.0fx",
+			m.ColdStartSpeedup, m.ColdStartMappedMS, m.ColdStartGobMS, GateMinColdStartSpeedup))
+	}
+	if base.ColdStartSpeedup > 0 && m.ColdStartSpeedup == 0 {
+		out = append(out, "baseline has a cold-start measurement but the current run has none")
 	}
 	return out
 }
@@ -230,6 +256,13 @@ func AppendTrajectory(path string, m *WallMetrics, now time.Time) error {
 			{Name: "allocs", Value: m.AllocsPerOp, Unit: "allocs/req"},
 			{Name: "alloc bytes", Value: m.BytesPerOp, Unit: "B/req"},
 		},
+	}
+	if m.ColdStartSpeedup > 0 {
+		run.Benches = append(run.Benches,
+			trajBench{Name: "cold start (mapped)", Value: m.ColdStartMappedMS, Unit: "ms"},
+			trajBench{Name: "cold start (gob)", Value: m.ColdStartGobMS, Unit: "ms"},
+			trajBench{Name: "cold start speedup", Value: m.ColdStartSpeedup, Unit: "x"},
+		)
 	}
 	runs := append(tr.Entries[trajSeries], run)
 	if len(runs) > trajMaxRuns {

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"inspire/internal/postings"
+	"inspire/internal/storefile"
 )
 
 // Segment is one immutable sealed slice of a live store. All exported fields
@@ -331,17 +332,10 @@ func (s *Segment) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveFile persists the segment to a file.
+// SaveFile persists the segment to a file atomically: a crash mid-save
+// leaves any previous segment file intact.
 func (s *Segment) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = s.Save(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return storefile.WriteFileAtomic(path, s.Save)
 }
 
 // Load reads a segment written by Save and validates it.

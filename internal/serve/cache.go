@@ -31,21 +31,26 @@ func (l *lru[K, V]) get(k K) (V, bool) {
 	return zero, false
 }
 
-// add inserts or refreshes a value and reports whether an entry was evicted.
-func (l *lru[K, V]) add(k K, v V) (evicted bool) {
+// add inserts or refreshes a value. When the insert pushes the cache over
+// capacity it returns the evicted entry's value and true, so callers holding
+// external accounting against cached values (the posting cache's resident
+// pins) can release it; refreshing an existing key evicts nothing.
+func (l *lru[K, V]) add(k K, v V) (evictedVal V, evicted bool) {
+	var zero V
 	if el, ok := l.items[k]; ok {
 		el.Value.(*lruEntry[K, V]).val = v
 		l.ll.MoveToFront(el)
-		return false
+		return zero, false
 	}
 	l.items[k] = l.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
 	if l.ll.Len() <= l.cap {
-		return false
+		return zero, false
 	}
 	oldest := l.ll.Back()
 	l.ll.Remove(oldest)
-	delete(l.items, oldest.Value.(*lruEntry[K, V]).key)
-	return true
+	entry := oldest.Value.(*lruEntry[K, V])
+	delete(l.items, entry.key)
+	return entry.val, true
 }
 
 func (l *lru[K, V]) len() int { return l.ll.Len() }

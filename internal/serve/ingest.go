@@ -78,7 +78,7 @@ func (st *Store) livePolicy() LivePolicy {
 func (st *Store) prepareDoc(text string) (counts map[int64]int64, sig []float64, cost float64) {
 	counts = make(map[int64]int64)
 	scan.ForEachToken(text, st.livePolicy().Tokenizer, func(term string) {
-		if id, ok := st.Terms[term]; ok {
+		if id, ok := st.lookupTerm(term); ok {
 			counts[id]++
 		}
 	})
@@ -608,7 +608,7 @@ func (st *Store) Rebase() error {
 	// describes them, and the maintained pyramid rebuilds from the fresh
 	// (lineage-cut) view on its next query.
 	st.live.tileMu.Lock()
-	st.live.tileSidecar = nil
+	st.live.tileSidecar, st.live.tileRaw = nil, nil
 	st.live.tilePyr, st.live.tileView = nil, nil
 	st.live.tileMu.Unlock()
 	st.live.compactions.Add(1)

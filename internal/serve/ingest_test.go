@@ -617,15 +617,16 @@ func TestRebaseLeavesHolesAbsent(t *testing.T) {
 	}
 	dir := t.TempDir()
 	file := filepath.Join(dir, "holey.store")
-	if err := st.SaveFile(file); err != nil {
+	if err := st.SaveLegacyFile(file); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(file)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A hole-carrying store bumps the magic so earlier builds reject it
-	// loudly instead of gob-dropping Holes and resurrecting the deletions.
+	// In the legacy gob layout a hole-carrying store bumps the magic so
+	// earlier builds reject it loudly instead of gob-dropping Holes and
+	// resurrecting the deletions.
 	if !bytes.HasPrefix(raw, []byte("INSPSTORE3\n")) {
 		t.Fatalf("holey store wrote magic %q", raw[:11])
 	}

@@ -39,12 +39,14 @@ type Router struct {
 	cfg    Config
 
 	// Replicated router-side tables, guarded by dfMu: the query vocabulary
-	// (immutable), the global DF (element-wise sum of the shard DFs plus
-	// everything ingested), each shard's base DF summary, and the per-shard
-	// live DF overlay maintained as adds route through. Deleted documents
-	// stay counted until an offline rebase — pruning only needs "may hold
-	// postings", so the overcount is always safe.
-	terms    map[string]int64
+	// (vocab resolves terms through shard 0's store, so mapped stores
+	// binary-search their dictionary section instead of needing a heap
+	// map; immutable), the global DF (element-wise sum of the shard DFs
+	// plus everything ingested), each shard's base DF summary, and the
+	// per-shard live DF overlay maintained as adds route through. Deleted
+	// documents stay counted until an offline rebase — pruning only needs
+	// "may hold postings", so the overcount is always safe.
+	vocab    *Store
 	termList []string
 	dfMu     sync.RWMutex
 	df       []int64
@@ -96,7 +98,7 @@ func NewRouter(shards []*Store, cfg Config) (*Router, error) {
 		shards:   make([]*Server, len(shards)),
 		model:    first.Model,
 		cfg:      cfg,
-		terms:    first.Terms,
+		vocab:    first,
 		termList: first.TermList,
 		df:       make([]int64, first.VocabSize),
 		shardDF:  make([][]int64, len(shards)),
@@ -192,8 +194,7 @@ func NewRouter(shards []*Store, cfg Config) (*Router, error) {
 // termID resolves a query term against the replicated vocabulary, folded
 // exactly like the tokenizer (and Store.TermID).
 func (r *Router) termID(term string) (int64, bool) {
-	id, ok := r.terms[scan.NormalizeTerm(term)]
-	return id, ok
+	return r.vocab.lookupTerm(scan.NormalizeTerm(term))
 }
 
 // NumShards returns the partition count.
@@ -243,6 +244,9 @@ func (r *Router) Stats() Stats {
 		out.Deletes += st.Deletes
 		out.Seals += st.Seals
 		out.Compactions += st.Compactions
+		out.ResidentPinnedBytes += st.ResidentPinnedBytes
+		out.ResidentMappedBytes += st.ResidentMappedBytes
+		out.PinDenials += st.PinDenials
 	}
 	out.Queries = r.queries.Load()
 	out.FanOuts = r.fanOuts.Load()
@@ -709,7 +713,7 @@ func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
 	// change strictly grows it, so equality means no shard moved.
 	if r.epochSum() == key.epoch {
 		r.smu.Lock()
-		if r.sims.add(key, hits) {
+		if _, evicted := r.sims.add(key, hits); evicted {
 			r.simEvictions.Add(1)
 		}
 		r.smu.Unlock()

@@ -12,6 +12,7 @@ import (
 	"inspire/internal/project"
 	"inspire/internal/query"
 	"inspire/internal/segment"
+	"inspire/internal/storefile"
 	"inspire/internal/tiles"
 )
 
@@ -44,6 +45,15 @@ type Config struct {
 	// Near falls back to the full point scan — the pre-tiles behaviour the
 	// Fig S5 baseline measures.
 	DisableTiles bool
+
+	// MapBudgetBytes caps the heap bytes a mapped (INSPSTORE4) store may
+	// pin for decoded posting lists; past it the cache stops admitting and
+	// queries decode from the mapped pages per request. Default 512 MiB;
+	// negative means unlimited. Heap-resident stores ignore it.
+	MapBudgetBytes int64
+	// NoMmap makes LoadServiceFile materialize INSPSTORE4 files to heap
+	// instead of mapping them — the cmd/inspired -no-mmap escape hatch.
+	NoMmap bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -58,6 +68,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.TileCacheEntries <= 0 {
 		cfg.TileCacheEntries = 1024
+	}
+	if cfg.MapBudgetBytes == 0 {
+		cfg.MapBudgetBytes = 512 << 20
 	}
 	return cfg
 }
@@ -103,6 +116,15 @@ type Stats struct {
 	Deletes     uint64 // documents tombstoned
 	Seals       uint64 // deltas sealed into segments
 	Compactions uint64 // segment merges (and rebases) completed
+
+	// Resident-set accounting of mapped (INSPSTORE4) stores; all zero for
+	// heap-resident stores. Pinned bytes are heap the serving layer holds
+	// (decoded posting lists in the cache, load-time copies) against the
+	// MapBudgetBytes budget; mapped bytes stay evictable in the file
+	// mapping. PinDenials counts cache admissions the budget refused.
+	ResidentPinnedBytes int64
+	ResidentMappedBytes int64
+	PinDenials          uint64
 }
 
 // PostingHitRate returns hits/(hits+misses), counting coalesced joins as
@@ -127,6 +149,12 @@ func (s Stats) SimHitRate() float64 {
 // immutable).
 type postingVal struct {
 	docs, freqs []int64
+}
+
+// pinBytes is the heap the cached entry holds resident: the decoded doc and
+// freq slices. What the posting cache pins against a mapped store's budget.
+func (v postingVal) pinBytes() int64 {
+	return int64(8*len(v.docs) + 8*len(v.freqs))
 }
 
 // postKey keys the posting cache: the base generation plus the term. Epoch
@@ -248,6 +276,9 @@ func NewServer(st *Store, cfg Config) (*Server, error) {
 	if err := cfg.tileConfig().Validate(); err != nil {
 		return nil, err
 	}
+	if st.res != nil {
+		st.res.SetBudget(cfg.MapBudgetBytes)
+	}
 	return &Server{
 		store:    st,
 		cfg:      cfg,
@@ -290,16 +321,13 @@ func (s *Server) CompactLive() error {
 
 // SaveLive persists the store with its live state folded in: pending adds
 // are flushed, compaction drained, the segments and tombstones rebased into
-// the base, and the result written as a single INSPSTORE2 file with its tile
-// sidecar alongside.
+// the base, and the result written as a single INSPSTORE4 file — tile
+// pyramid embedded — that the next process serves straight from an mmap.
 func (s *Server) SaveLive(path string) error {
 	if err := s.store.Rebase(); err != nil {
 		return err
 	}
-	if err := s.store.SaveFile(path); err != nil {
-		return err
-	}
-	return s.store.SaveTilesFile(path, s.cfg)
+	return s.store.SaveFile(path)
 }
 
 // signature returns the signature vector of doc in the store's current view.
@@ -311,6 +339,10 @@ func (s *Server) signature(doc int64) ([]float64, bool) {
 func (s *Server) Stats() Stats {
 	live := &s.store.live
 	compactMS, tileMS := s.store.maintVirtMS()
+	var rs storefile.ResidentStats
+	if s.store.res != nil {
+		rs = s.store.res.Stats()
+	}
 	return Stats{
 		Queries:          s.queries.Load(),
 		PostingHits:      s.postingHits.Load(),
@@ -335,6 +367,10 @@ func (s *Server) Stats() Stats {
 		Compactions:      live.compactions.Load(),
 		CompactVirtMS:    compactMS,
 		TileMaintVirtMS:  tileMS,
+
+		ResidentPinnedBytes: rs.PinnedBytes,
+		ResidentMappedBytes: rs.MappedBytes,
+		PinDenials:          rs.PinDenials,
 	}
 }
 
@@ -435,8 +471,17 @@ func (s *Server) getPostings(v *view, t int64) (postingVal, float64) {
 	}
 
 	s.pmu.Lock()
-	if s.postings.add(key, f.val) {
-		s.postingEvictions.Add(1)
+	// A mapped store pins decoded lists against its resident budget; once
+	// spent, the list is returned uncached and later queries decode from
+	// the mapped pages again — memory bounded, mapping evictable.
+	res := s.store.res
+	if res == nil || res.TryPin(f.val.pinBytes()) {
+		if old, evicted := s.postings.add(key, f.val); evicted {
+			s.postingEvictions.Add(1)
+			if res != nil {
+				res.Unpin(old.pinBytes())
+			}
+		}
 	}
 	delete(s.flights, key)
 	s.pmu.Unlock()
@@ -898,7 +943,7 @@ func (ss *Session) Similar(doc int64, k int) ([]query.Hit, error) {
 	hits = append([]query.Hit(nil), scored...)
 
 	ss.s.smu.Lock()
-	if ss.s.sims.add(key, hits) {
+	if _, evicted := ss.s.sims.add(key, hits); evicted {
 		ss.s.simEvictions.Add(1)
 	}
 	ss.s.smu.Unlock()

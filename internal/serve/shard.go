@@ -9,6 +9,7 @@ import (
 
 	"inspire/internal/postings"
 	"inspire/internal/segment"
+	"inspire/internal/storefile"
 )
 
 // ShardOf is the document-partitioning rule of a sharded serving set: global
@@ -86,6 +87,9 @@ func (st *Store) Shard(n int) ([]*Store, error) {
 			Planar: st.Planar, TileBox: st.TileBox,
 			K: st.K, Themes: st.Themes,
 			ShardCount: n, ShardIndex: i, GlobalDocs: st.TotalDocs,
+			// A mapped parent shares its dictionary backing with the shards:
+			// TermList strings and the sorted permutation alias its file.
+			backing: st.backing, res: st.res, termSorted: st.termSorted,
 		}
 	}
 	for i, d := range st.SigDocs {
@@ -110,10 +114,10 @@ func (st *Store) Shard(n int) ([]*Store, error) {
 	return out, nil
 }
 
-// SaveShards shards the store n ways and persists the set: one INSPSTORE2
-// file per shard next to the manifest, plus the manifest itself at path. The
-// manifest names the shard files relative to its own directory, so the set
-// moves as a unit.
+// SaveShards shards the store n ways and persists the set: one INSPSTORE4
+// file per shard (tile pyramid embedded) next to the manifest, plus the
+// manifest itself at path. Every write is atomic. The manifest names the
+// shard files relative to its own directory, so the set moves as a unit.
 func (st *Store) SaveShards(path string, n int) error {
 	shards, err := st.Shard(n)
 	if err != nil {
@@ -137,11 +141,10 @@ func (st *Store) SaveShards(path string, n int) error {
 			Docs:     sh.TotalDocs,
 			Postings: posts,
 		}
+		// SaveFile writes INSPSTORE4 with the tile pyramid embedded; no
+		// sidecar needed.
 		shardPath := filepath.Join(dir, man.Shards[i].File)
 		if err := sh.SaveFile(shardPath); err != nil {
-			return err
-		}
-		if err := sh.SaveTilesFile(shardPath, Config{}); err != nil {
 			return err
 		}
 	}
@@ -149,7 +152,16 @@ func (st *Store) SaveShards(path string, n int) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic routes a small whole-buffer write (manifests) through the
+// temp+fsync+rename discipline.
+func writeFileAtomic(path string, data []byte) error {
+	return storefile.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
 }
 
 // SaveLiveSet persists an already-partitioned shard set with its live state:
@@ -187,9 +199,6 @@ func SaveLiveSet(path string, shards []*Store) error {
 		if err := sh.SaveFile(shardPath); err != nil {
 			return err
 		}
-		if err := sh.SaveTilesFile(shardPath, Config{}); err != nil {
-			return err
-		}
 		for j, seg := range v.segs {
 			si := SegmentInfo{File: fmt.Sprintf("%s.s%02d.g%03d", base, i, j), Docs: seg.NumDocs()}
 			if err := seg.SaveFile(filepath.Join(dir, si.File)); err != nil {
@@ -224,13 +233,23 @@ func SaveLiveSet(path string, shards []*Store) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return writeFileAtomic(path, data)
 }
 
 // LoadShards reads a manifest written by SaveShards or SaveLiveSet and loads
 // every shard store it names — base file, sealed segments and tombstones —
-// cross-checking each against the manifest's summaries.
+// cross-checking each against the manifest's summaries. INSPSTORE4 shard
+// files are mapped (LoadShardsHeap materializes them instead).
 func LoadShards(path string) (*Manifest, []*Store, error) {
+	return loadShards(path, false)
+}
+
+// LoadShardsHeap loads a shard set entirely into heap — the -no-mmap path.
+func LoadShardsHeap(path string) (*Manifest, []*Store, error) {
+	return loadShards(path, true)
+}
+
+func loadShards(path string, noMmap bool) (*Manifest, []*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
@@ -243,8 +262,9 @@ func LoadShards(path string) (*Manifest, []*Store, error) {
 	shards := make([]*Store, man.NumShards)
 	var docs int64
 	for i, info := range man.Shards {
-		// LoadStoreFile also attaches the shard's tile sidecar if present.
-		sh, err := LoadStoreFile(filepath.Join(dir, info.File))
+		// loadStoreFile also attaches a legacy shard's tile sidecar if
+		// present; v4 shards embed their pyramid.
+		sh, err := loadStoreFile(filepath.Join(dir, info.File), noMmap)
 		if err != nil {
 			return nil, nil, fmt.Errorf("serve: load shard %d: %w", i, err)
 		}
@@ -347,24 +367,26 @@ func IsShardManifestFile(path string) (bool, error) {
 }
 
 // LoadServiceFile opens any persisted serving artifact as a Service: a shard
-// manifest loads its set behind a Router; a single INSPSTORE2 or legacy
-// INSPSTORE1 file loads behind a plain Server (flat v1 postings are
-// re-compressed on load, as cmd/inspired has always done). This is the one
-// load path the daemon needs — sharded and monolithic sets serve behind the
-// same session API.
+// manifest loads its set behind a Router; a single store file — INSPSTORE4,
+// INSPSTORE2 or legacy INSPSTORE1 — loads behind a plain Server (flat v1
+// postings are re-compressed on load, as cmd/inspired has always done).
+// INSPSTORE4 files are memory-mapped unless cfg.NoMmap is set, in which case
+// they materialize to heap like the legacy formats always do. This is the
+// one load path the daemon needs — sharded and monolithic sets serve behind
+// the same session API.
 func LoadServiceFile(path string, cfg Config) (Service, error) {
 	man, err := IsShardManifestFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if man {
-		_, shards, err := LoadShards(path)
+		_, shards, err := loadShards(path, cfg.NoMmap)
 		if err != nil {
 			return nil, err
 		}
 		return NewRouter(shards, cfg)
 	}
-	st, err := LoadStoreFile(path)
+	st, err := loadStoreFile(path, cfg.NoMmap)
 	if err != nil {
 		return nil, err
 	}

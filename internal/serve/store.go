@@ -31,6 +31,7 @@ import (
 	"inspire/internal/scan"
 	"inspire/internal/signature"
 	"inspire/internal/simtime"
+	"inspire/internal/storefile"
 	"inspire/internal/tiles"
 )
 
@@ -133,6 +134,19 @@ type Store struct {
 
 	sigMu  sync.Mutex
 	sigSet *signature.Set
+
+	// backing is the decoded INSPSTORE4 file this store serves from, nil
+	// for heap-resident (legacy or freshly indexed) stores. Base vectors
+	// alias its sections; it is never unmapped while the store lives.
+	backing *storefile.File
+	// res is the resident-set accountant of a v4 store: decoded posting
+	// lists pin heap bytes against its budget, everything else stays
+	// evictable in the mapping. Nil for heap-resident stores.
+	res *storefile.Resident
+	// termSorted is the permutation of TermList in ascending term order —
+	// the mapped replacement for the Terms map (nil on v4 loads). See
+	// lookupTerm.
+	termSorted []int64
 
 	// live is the mutable serving state: the current epoch view, the ingest
 	// delta and the compaction bookkeeping. Never persisted; see view.go.
@@ -286,8 +300,7 @@ func buildStore(c *cluster.Comm, res *core.Result, docParts, asgParts [][]int64)
 // TermID resolves a query term (normalized exactly like the tokenizer, via
 // the shared scan.NormalizeTerm fold) to its dense ID.
 func (st *Store) TermID(term string) (int64, bool) {
-	id, ok := st.Terms[scan.NormalizeTerm(term)]
-	return id, ok
+	return st.lookupTerm(scan.NormalizeTerm(term))
 }
 
 // Owner returns the producing-run rank that owned dense term ID t.
@@ -391,6 +404,7 @@ func (st *Store) FlatCopy() *Store {
 		Planar: st.Planar, TileBox: st.TileBox,
 		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
 		K: st.K, Themes: st.Themes,
+		backing: st.backing, res: st.res, termSorted: st.termSorted,
 	}
 	cp.DecompressPostings()
 	return cp
@@ -413,6 +427,7 @@ func (st *Store) Fork() *Store {
 		Planar: st.Planar, TileBox: st.TileBox,
 		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
 		K: st.K, Themes: st.Themes,
+		backing: st.backing, res: st.res, termSorted: st.termSorted,
 	}
 }
 
@@ -438,6 +453,7 @@ func (st *Store) EmptyCopy() *Store {
 		SigM: st.SigM, Proj: st.Proj,
 		Planar: st.Planar, TileBox: st.TileBox,
 		K: st.K, Themes: st.Themes,
+		backing: st.backing, res: st.res, termSorted: st.termSorted,
 	}
 }
 
@@ -625,7 +641,9 @@ func (st *Store) validate() error {
 }
 
 // The store file magics version the format: v1 carries flat posting arrays,
-// v2 the block-compressed layout, v3 adds rebased deletion holes. All
+// v2 the block-compressed layout, v3 adds rebased deletion holes; all three
+// are a magic line over one gob body. v4 (INSPSTORE4, internal/storefile) is
+// the page-aligned zero-copy layout compressed stores persist as today. All
 // headers are the same length, and the loader accepts any of them. The v3
 // bump is what makes an earlier build reject a hole-carrying file loudly
 // instead of gob-dropping the unknown field and silently resurrecting the
@@ -636,49 +654,87 @@ const (
 	storeMagicV3 = "INSPSTORE3\n"
 )
 
-// Save writes the store in its persistent format (magic header + gob body),
-// enabling index-once/serve-many across process restarts. A compressed store
-// writes INSPSTORE2 — INSPSTORE3 when rebased deletions left ID holes — and
-// a flat store writes the legacy INSPSTORE1, byte-for-byte loadable by
-// previous builds.
+// Save writes the store in its persistent format, enabling index-once/
+// serve-many across process restarts. A compressed store writes the
+// page-aligned INSPSTORE4 layout that later loads serve straight from an
+// mmap; a flat store writes the legacy INSPSTORE1 gob, byte-for-byte
+// loadable by previous builds. SaveLegacy keeps the v1/v2/v3 writers
+// reachable for compatibility tooling.
 func (st *Store) Save(w io.Writer) error {
-	magic := storeMagicV1
 	if st.Posts != nil {
+		return st.saveV4(w)
+	}
+	return st.SaveLegacy(w)
+}
+
+// SaveLegacy writes the pre-v4 persistent format (magic header + gob body):
+// INSPSTORE2 for a compressed store — INSPSTORE3 when rebased deletions left
+// ID holes — and INSPSTORE1 for a flat store. Builds that predate INSPSTORE4
+// load these byte-for-byte; the gob body fully materializes on load, so
+// serving prefers Save's v4 layout.
+func (st *Store) SaveLegacy(w io.Writer) error {
+	enc := st
+	if st.Terms == nil && len(st.TermList) > 0 {
+		// A mapped v4 store carries no term map; the gob formats do. Encode
+		// a shallow fork with the map rebuilt so the legacy file is
+		// self-contained.
+		cp := st.Fork()
+		cp.Terms = make(map[string]int64, len(st.TermList))
+		for i, t := range st.TermList {
+			cp.Terms[t] = int64(i)
+		}
+		enc = cp
+	}
+	magic := storeMagicV1
+	if enc.Posts != nil {
 		magic = storeMagicV2
 	}
-	if len(st.Holes) > 0 {
+	if len(enc.Holes) > 0 {
 		magic = storeMagicV3
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, magic); err != nil {
 		return err
 	}
-	if err := gob.NewEncoder(bw).Encode(st); err != nil {
+	if err := gob.NewEncoder(bw).Encode(enc); err != nil {
 		return fmt.Errorf("serve: save store: %w", err)
 	}
 	return bw.Flush()
 }
 
-// SaveFile persists the store to a file.
+// SaveFile persists the store to a file. The write is atomic (temp + fsync
+// + rename): a crash mid-save leaves the previous file intact.
 func (st *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = st.Save(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return storefile.WriteFileAtomic(path, st.Save)
 }
 
-// LoadStore reads a store written by Save — either format version — and
-// validates its invariants. INSPSTORE1 files written by previous builds load
-// into the flat layout and keep serving; callers that want them in the
-// compressed format follow up with CompressPostings.
+// SaveLegacyFile persists the pre-v4 format to a file, atomically.
+func (st *Store) SaveLegacyFile(path string) error {
+	return storefile.WriteFileAtomic(path, st.SaveLegacy)
+}
+
+// LoadStore reads a store written by Save — any format version — and
+// validates its invariants. v4 bodies decode over a heap copy of the stream
+// (the file loaders map instead); the gob formats materialize as always.
+// INSPSTORE1 files load into the flat layout and keep serving; callers that
+// want them in the compressed format follow up with CompressPostings.
 func LoadStore(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(storeMagicV1))
+	magic, err := br.Peek(len(storeMagicV1))
+	if err != nil {
+		return nil, fmt.Errorf("serve: load store: %w", err)
+	}
+	if storefile.Sniff(magic) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load store: %w", err)
+		}
+		f, err := storefile.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load store: %w", err)
+		}
+		return decodeStoreV4(f)
+	}
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("serve: load store: %w", err)
 	}
@@ -699,6 +755,14 @@ func LoadStore(r io.Reader) (*Store, error) {
 	case string(magic) == storeMagicV3 && len(st.Holes) == 0:
 		return nil, fmt.Errorf("serve: load store: v3 file carries no deletion holes")
 	}
+	if st.Terms == nil && len(st.TermList) > 0 {
+		// Defensive: a legacy body should always carry its term map, but a
+		// rebuilt one serves identically.
+		st.Terms = make(map[string]int64, len(st.TermList))
+		for i, t := range st.TermList {
+			st.Terms[t] = int64(i)
+		}
+	}
 	if err := st.validate(); err != nil {
 		return nil, err
 	}
@@ -711,16 +775,59 @@ func LoadStore(r io.Reader) (*Store, error) {
 	return st, nil
 }
 
-// LoadStoreFile reads a persisted store by path, attaching the tile-pyramid
-// sidecar (path + ".tiles") when one is present and consistent; stores
-// without a sidecar build their pyramid lazily on first spatial query.
+// LoadStoreFile reads a persisted store by path. An INSPSTORE4 file is
+// mapped: the store serves straight from the file's pages with no load-time
+// copy (pass through LoadStoreFileHeap to opt out). Legacy gob formats
+// materialize to heap as always, attaching the tile-pyramid sidecar
+// (path + ".tiles") when one is present and consistent; stores without one
+// build their pyramid lazily on first spatial query.
 func LoadStoreFile(path string) (*Store, error) {
+	return loadStoreFile(path, false)
+}
+
+// LoadStoreFileHeap reads a persisted store by path entirely into heap —
+// the -no-mmap escape hatch. v4 sections then alias one heap buffer instead
+// of a mapping; every query answers identically to the mapped load.
+func LoadStoreFileHeap(path string) (*Store, error) {
+	return loadStoreFile(path, true)
+}
+
+func loadStoreFile(path string, noMmap bool) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	st, lerr := LoadStore(f)
-	if cerr := f.Close(); lerr == nil {
+	magic := make([]byte, len(storeMagicV1))
+	_, rerr := io.ReadFull(f, magic)
+	if cerr := f.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if rerr != nil {
+		return nil, fmt.Errorf("serve: load store %s: %w", path, rerr)
+	}
+	if storefile.Sniff(magic) {
+		var sf *storefile.File
+		if noMmap {
+			sf, err = storefile.ReadFile(path)
+		} else {
+			sf, err = storefile.Open(path)
+		}
+		if err != nil {
+			return nil, err
+		}
+		st, err := decodeStoreV4(sf)
+		if err != nil {
+			sf.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return st, nil
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, lerr := LoadStore(g)
+	if cerr := g.Close(); lerr == nil {
 		lerr = cerr
 	}
 	if lerr != nil {

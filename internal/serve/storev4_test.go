@@ -1,0 +1,493 @@
+package serve
+
+// Tests of the INSPSTORE4 zero-copy layout: round trips through the mapped
+// and heap load paths, operation-for-operation equivalence between a mapped
+// store and its heap twin (monolithic and sharded, idle and under concurrent
+// ingest), agreement across all four persisted format versions, the
+// resident-set budget, and rejection of corrupt files.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"inspire/internal/tiles"
+)
+
+// saveV4T persists st as INSPSTORE4 and returns the path.
+func saveV4T(t *testing.T, st *Store, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStoreV4RoundTrip(t *testing.T) {
+	st := batchStore(t, ingestSources(), 3)
+	path := saveV4T(t, st, "v4.store")
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("INSPSTORE4\n")) {
+		t.Fatalf("compressed store wrote magic %q", raw[:11])
+	}
+
+	mapped, err := LoadStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := LoadStoreFileHeap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Mapped() {
+		t.Fatal("default v4 load is not mapped")
+	}
+	if heap.Mapped() {
+		t.Fatal("heap load claims a mapping")
+	}
+	for name, got := range map[string]*Store{"mapped": mapped, "heap": heap} {
+		if got.TotalDocs != st.TotalDocs || got.VocabSize != st.VocabSize ||
+			got.K != st.K || got.SigM != st.SigM || got.P != st.P {
+			t.Fatalf("%s: header fields differ: %+v", name, got)
+		}
+		if len(got.TermList) != len(st.TermList) || len(got.Points) != len(st.Points) {
+			t.Fatalf("%s: table sizes differ", name)
+		}
+		for _, term := range st.TopTerms(10) {
+			wantID, ok1 := st.TermID(term)
+			gotID, ok2 := got.TermID(term)
+			if ok1 != ok2 || wantID != gotID {
+				t.Fatalf("%s: TermID(%q) = %d,%v want %d,%v", name, term, gotID, ok2, wantID, ok1)
+			}
+		}
+		if !reflect.DeepEqual(got.DF, st.DF) {
+			t.Fatalf("%s: DF differs", name)
+		}
+		if !reflect.DeepEqual(got.Points, st.Points) {
+			t.Fatalf("%s: points differ", name)
+		}
+	}
+
+	// A mapped store saves back to the legacy layout on demand — the interop
+	// escape hatch — and the legacy file loads as INSPSTORE2.
+	var legacy bytes.Buffer
+	if err := mapped.SaveLegacy(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(legacy.Bytes(), []byte("INSPSTORE2\n")) {
+		t.Fatalf("legacy save wrote magic %q", legacy.Bytes()[:11])
+	}
+	back, err := LoadStore(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalDocs != st.TotalDocs || len(back.Terms) != len(st.TermList) {
+		t.Fatal("legacy round trip lost the store")
+	}
+}
+
+// compareQueriers drives every read operation of the Querier surface on both
+// sides and requires identical answers.
+func compareQueriers(t *testing.T, label string, a, b Querier, terms []string, docs []int64, themes int) {
+	t.Helper()
+	for _, tm := range terms {
+		if got, want := a.DF(tm), b.DF(tm); got != want {
+			t.Fatalf("%s: DF(%q) = %d vs %d", label, tm, got, want)
+		}
+		if got, want := a.TermDocs(tm), b.TermDocs(tm); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: TermDocs(%q) differ", label, tm)
+		}
+	}
+	for i := 1; i < len(terms); i++ {
+		pair := []string{terms[i-1], terms[i]}
+		if got, want := a.And(pair...), b.And(pair...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: And(%v) = %v vs %v", label, pair, got, want)
+		}
+		if got, want := a.Or(pair...), b.Or(pair...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Or(%v) differ", label, pair)
+		}
+	}
+	for _, d := range docs {
+		got, gerr := a.Similar(d, 5)
+		want, werr := b.Similar(d, 5)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("%s: Similar(%d) errors differ: %v vs %v", label, d, gerr, werr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Similar(%d) = %v vs %v", label, d, got, want)
+		}
+	}
+	for c := 0; c < themes; c++ {
+		if got, want := a.ThemeDocs(c), b.ThemeDocs(c); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: ThemeDocs(%d) differ", label, c)
+		}
+	}
+	if got, want := a.Near(0.5, 0.5, 10), b.Near(0.5, 0.5, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: Near differ: %v vs %v", label, got, want)
+	}
+	got, gerr := a.Tile(0, 0, 0)
+	want, werr := b.Tile(0, 0, 0)
+	if (gerr == nil) != (werr == nil) || !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: Tile(0,0,0) differ: %+v (%v) vs %+v (%v)", label, got, gerr, want, werr)
+	}
+	all := tiles.NewBounds(-1e9, -1e9, 1e9, 1e9)
+	gr, gerr := a.TileRange(1, all)
+	wr, werr := b.TileRange(1, all)
+	if (gerr == nil) != (werr == nil) || !reflect.DeepEqual(gr, wr) {
+		t.Fatalf("%s: TileRange differ", label)
+	}
+}
+
+// serviceOf builds the service under test from a store: a monolithic Server
+// or an n-shard Router.
+func serviceOf(t *testing.T, st *Store, n int, cfg Config) Service {
+	t.Helper()
+	if n == 1 {
+		srv, err := NewServer(st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	shards, err := st.Shard(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestMappedHeapEquivalence is the tentpole's correctness bar: every Querier
+// operation answers identically from a mapped INSPSTORE4 store and its
+// heap-materialized twin — monolithic and 3-shard sharded, before and after
+// live mutation (add, delete, flush, compact), and after a save/reload of
+// the live state. Queries also run concurrently with ingest on both sides,
+// which puts the lazy fault-in paths under the race detector.
+func TestMappedHeapEquivalence(t *testing.T) {
+	base := batchStore(t, ingestSources(), 3)
+	path := saveV4T(t, base, "eq.store")
+
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			mappedStore, err := LoadStoreFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			heapStore, err := LoadStoreFileHeap(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mappedStore.Mapped() || heapStore.Mapped() {
+				t.Fatal("load modes wrong")
+			}
+			// A small posting cache forces eviction (and resident unpinning)
+			// during the sweep.
+			cfg := Config{PostingCacheEntries: 8}
+			ms := serviceOf(t, mappedStore, shards, cfg)
+			hs := serviceOf(t, heapStore, shards, cfg)
+
+			terms := ms.TopTerms(12)
+			docs := ms.SampleDocs(6)
+			themes := ms.NumThemes()
+			if len(terms) == 0 || len(docs) == 0 {
+				t.Fatal("no probe terms or docs")
+			}
+			compareQueriers(t, "idle", ms.NewQuerier(), hs.NewQuerier(), terms, docs, themes)
+
+			// Concurrent exercise: readers hammer both services while the
+			// same mutation stream applies to each. Answers during the race
+			// are not compared (timing differs); the race detector is the
+			// assertion here.
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for _, svc := range []Service{ms, hs} {
+				for w := 0; w < 2; w++ {
+					wg.Add(1)
+					go func(svc Service) {
+						defer wg.Done()
+						q := svc.NewQuerier()
+						for i := 0; ; i++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							q.And(terms[i%len(terms)], terms[(i+1)%len(terms)])
+							_, _ = q.Similar(docs[i%len(docs)], 3)
+							_, _ = q.Tile(0, 0, 0)
+						}
+					}(svc)
+				}
+			}
+			added := make([]int64, 0, 8)
+			mq, hq := ms.NewQuerier(), hs.NewQuerier()
+			for i := 0; i < 8; i++ {
+				text := terms[i%len(terms)] + " " + terms[(i+2)%len(terms)]
+				mid, merr := mq.Add(text)
+				hid, herr := hq.Add(text)
+				if merr != nil || herr != nil {
+					t.Fatalf("add: %v / %v", merr, herr)
+				}
+				if mid != hid {
+					t.Fatalf("add assigned %d vs %d", mid, hid)
+				}
+				added = append(added, mid)
+			}
+			if err := mq.Delete(added[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := hq.Delete(added[0]); err != nil {
+				t.Fatal(err)
+			}
+			close(stop)
+			wg.Wait()
+
+			for _, svc := range []Service{ms, hs} {
+				l := svc.(Liver)
+				if err := l.FlushLive(); err != nil {
+					t.Fatal(err)
+				}
+				if err := l.CompactLive(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			compareQueriers(t, "after ingest", ms.NewQuerier(), hs.NewQuerier(), terms, append(docs, added[1]), themes)
+
+			// Save the live state from the mapped side and reload it both
+			// ways. SaveLive rebases — tombstones fold into holes and DF
+			// drops — so the reloads are compared against each other, not
+			// against the still-live services.
+			dir := t.TempDir()
+			outName := "live.store"
+			if shards > 1 {
+				outName = "live.shards"
+			}
+			out := filepath.Join(dir, outName)
+			if err := ms.(Liver).SaveLive(out); err != nil {
+				t.Fatal(err)
+			}
+			reMapped, err := LoadServiceFile(out, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reHeap, err := LoadServiceFile(out, Config{NoMmap: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareQueriers(t, "reloaded live", reMapped.NewQuerier(), reHeap.NewQuerier(), terms, docs, themes)
+		})
+	}
+}
+
+// TestFourVersionAgreement pins the compatibility sweep the issue demands:
+// the same logical store persisted as INSPSTORE1 (flat), INSPSTORE2 (gob),
+// INSPSTORE3 (gob with deletion holes) and INSPSTORE4 loads from every
+// format and answers identically to the mapped v4 counterpart.
+func TestFourVersionAgreement(t *testing.T) {
+	st := batchStore(t, ingestSources(), 2)
+	// Give the store holes so the v3 layout is exercised for real.
+	if _, err := st.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	paths := map[string]string{
+		"v1": filepath.Join(dir, "v1.store"),
+		"v3": filepath.Join(dir, "v3.store"),
+		"v4": filepath.Join(dir, "v4.store"),
+	}
+	flat := st.FlatCopy()
+	flat.Holes = nil // v1 predates holes; drop them for the flat artifact
+	if err := flat.SaveLegacyFile(paths["v1"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveLegacyFile(paths["v3"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveFile(paths["v4"]); err != nil {
+		t.Fatal(err)
+	}
+	// A holeless compressed twin exercises the v2 magic.
+	noHoles := st.Fork()
+	noHoles.Holes = nil
+	paths["v2"] = filepath.Join(dir, "v2.store")
+	if err := noHoles.SaveLegacyFile(paths["v2"]); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMagic := map[string]string{
+			"v1": "INSPSTORE1\n", "v2": "INSPSTORE2\n", "v3": "INSPSTORE3\n", "v4": "INSPSTORE4\n",
+		}[name]
+		if !bytes.HasPrefix(raw, []byte(wantMagic)) {
+			t.Fatalf("%s wrote magic %q", name, raw[:11])
+		}
+	}
+
+	mapped, err := LoadStoreFile(paths["v4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewServer(mapped, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := want.TopTerms(10)
+	docs := want.SampleDocs(4)
+	for _, name := range []string{"v1", "v2", "v3", "v4"} {
+		svc, err := LoadServiceFile(paths[name], Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// v1 and v2 predate the holes; compare hole-independent surfaces
+		// for them and the full surface for v3.
+		if name == "v3" || name == "v4" {
+			compareQueriers(t, name, svc.NewQuerier(), want.NewQuerier(), terms, docs, want.NumThemes())
+			continue
+		}
+		q, wq := svc.NewQuerier(), want.NewQuerier()
+		for _, tm := range terms {
+			if got, wantDF := q.DF(tm), wq.DF(tm); got != wantDF {
+				t.Fatalf("%s: DF(%q) = %d want %d", name, tm, got, wantDF)
+			}
+		}
+	}
+}
+
+// TestMapBudgetPinDenials pins the resident-set accountant: a mapped server
+// with a tiny budget refuses posting-cache pins (counting every refusal) but
+// still answers queries correctly straight from the mapping.
+func TestMapBudgetPinDenials(t *testing.T) {
+	st := batchStore(t, ingestSources(), 2)
+	path := saveV4T(t, st, "budget.store")
+
+	mapped, err := LoadStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats, ok := mapped.ResidentStats(); !ok || stats.MappedBytes == 0 {
+		t.Fatalf("mapped store has no resident accounting: %+v ok=%v", stats, ok)
+	}
+	srv, err := NewServer(mapped, Config{MapBudgetBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapSrv := newServerT(t, mustLoadHeapLegacyTwin(t, st), Config{})
+
+	terms := srv.TopTerms(8)
+	q, hq := srv.NewSession(), heapSrv.NewSession()
+	for i := 1; i < len(terms); i++ {
+		got := q.And(terms[i-1], terms[i])
+		want := hq.And(terms[i-1], terms[i])
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("budget-starved And(%q,%q) = %v want %v", terms[i-1], terms[i], got, want)
+		}
+	}
+	stats := srv.Stats()
+	if stats.PinDenials == 0 {
+		t.Fatalf("1-byte budget denied no pins: %+v", stats)
+	}
+	if stats.ResidentMappedBytes == 0 {
+		t.Fatalf("mapped bytes not reported: %+v", stats)
+	}
+
+	// An unlimited budget pins freely: no denials, pinned bytes grow.
+	free, err := LoadStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeSrv, err := NewServer(free, Config{MapBudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := freeSrv.NewSession()
+	for i := 1; i < len(terms); i++ {
+		fq.And(terms[i-1], terms[i])
+	}
+	if s := freeSrv.Stats(); s.PinDenials != 0 || s.ResidentPinnedBytes == 0 {
+		t.Fatalf("unlimited budget misbehaved: %+v", s)
+	}
+}
+
+// mustLoadHeapLegacyTwin round-trips st through the legacy gob layout — an
+// independent decode path to compare mapped answers against.
+func mustLoadHeapLegacyTwin(t *testing.T, st *Store) *Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.SaveLegacy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	twin, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return twin
+}
+
+// TestStoreV4Rejects drives corrupt and truncated v4 files through both load
+// paths: every mangling must fail loudly, never load garbage.
+func TestStoreV4Rejects(t *testing.T) {
+	st := buildStoreT(t, 2)
+	path := saveV4T(t, st, "ok.store")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string][]byte{
+		"truncated header":  raw[:8],
+		"truncated toc":     raw[:40],
+		"truncated section": raw[:len(raw)-100],
+		"trailing garbage":  append(append([]byte{}, raw...), 0xFF),
+		"flipped flag":      flipByte(raw, 11),
+		"flipped toc":       flipByte(raw, 20),
+	}
+	for name, data := range cases {
+		p := write(name+".store", data)
+		if _, err := LoadStoreFile(p); err == nil {
+			t.Errorf("%s: mapped load accepted", name)
+		}
+		if _, err := LoadStoreFileHeap(p); err == nil {
+			t.Errorf("%s: heap load accepted", name)
+		}
+	}
+
+	// The pristine file still loads after all that — the copies were the
+	// problem, not the loader.
+	if _, err := LoadStoreFile(path); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+}
+
+func flipByte(raw []byte, i int) []byte {
+	out := append([]byte{}, raw...)
+	out[i] ^= 0xA5
+	return out
+}

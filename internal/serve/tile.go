@@ -211,7 +211,7 @@ func (st *Store) buildPyramidLocked(v *view, cfg tiles.Config) *tiles.Pyramid {
 		ls.tileVirt += st.Model.LocalCopyCost(32 * work * float64(cfg.MaxZoom+1))
 	}()
 
-	if sc := ls.tileSidecar; sc != nil && sc.Config() == cfg && sc.Bounds() == box {
+	if sc := st.sidecarLocked(); sc != nil && sc.Config() == cfg && sc.Bounds() == box {
 		pyr := sc.Clone()
 		for _, pt := range v.pts {
 			if !v.tombs[pt.Doc] {
@@ -252,6 +252,25 @@ func (st *Store) buildPyramidLocked(v *view, cfg tiles.Config) *tiles.Pyramid {
 	}
 	work = float64(pyr.NumDocs())
 	return pyr
+}
+
+// sidecarLocked returns the store's persisted base pyramid, decoding the
+// raw bytes a mapped INSPSTORE4 store carries on first use. Anything
+// corrupt or inconsistent with the base points is dropped — the pyramid
+// then builds from the points, exactly like a store without a sidecar.
+// Callers hold tileMu.
+func (st *Store) sidecarLocked() *tiles.Pyramid {
+	ls := &st.live
+	if ls.tileSidecar == nil && len(ls.tileRaw) > 0 {
+		raw := ls.tileRaw
+		ls.tileRaw = nil
+		pyr, err := tiles.Decode(raw)
+		if err == nil && pyr.NumDocs() == len(st.Points) &&
+			st.TileBox != nil && pyr.Bounds() == *st.TileBox {
+			ls.tileSidecar = pyr
+		}
+	}
+	return ls.tileSidecar
 }
 
 // tileBoundsLocked resolves the pyramid's world bounds: the store's frozen

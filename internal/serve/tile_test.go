@@ -294,9 +294,10 @@ func TestLegacyAndSidecarTileLoads(t *testing.T) {
 		t.Fatal("legacy store's lazily built tiles differ")
 	}
 
-	// Sidecar: persisted pyramid attaches and serves identically.
+	// Sidecar: a legacy-layout store's persisted pyramid attaches and
+	// serves identically.
 	scPath := filepath.Join(dir, "sidecar.store")
-	if err := st.SaveFile(scPath); err != nil {
+	if err := st.SaveLegacyFile(scPath); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.SaveTilesFile(scPath, cfg); err != nil {
@@ -311,6 +312,23 @@ func TestLegacyAndSidecarTileLoads(t *testing.T) {
 	}
 	if got := tileDump(t, newServerT(t, withSC, cfg).NewSession(), 4); !reflect.DeepEqual(want, got) {
 		t.Fatal("sidecar-served tiles differ")
+	}
+
+	// INSPSTORE4 embeds the pyramid as a section instead of a sidecar; it
+	// decodes lazily on first tile use and serves identically.
+	v4Path := filepath.Join(dir, "v4.store")
+	if err := st.SaveFile(v4Path); err != nil {
+		t.Fatal(err)
+	}
+	fromV4, err := LoadStoreFile(v4Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromV4.live.tileRaw) == 0 {
+		t.Fatal("v4 store carries no embedded pyramid bytes")
+	}
+	if got := tileDump(t, newServerT(t, fromV4, cfg).NewSession(), 4); !reflect.DeepEqual(want, got) {
+		t.Fatal("v4-embedded tiles differ")
 	}
 
 	// Corruption: the sidecar is advisory; a broken one is ignored.
@@ -328,14 +346,15 @@ func TestLegacyAndSidecarTileLoads(t *testing.T) {
 		t.Fatal("store with corrupt sidecar serves different tiles")
 	}
 
-	// Sharded persistence: SaveShards writes per-shard sidecars and the
-	// loaded set answers identically to the in-memory router.
+	// Sharded persistence: shards are INSPSTORE4 files with the pyramid
+	// embedded — no sidecar files — and the loaded set answers identically
+	// to the in-memory router.
 	manPath := filepath.Join(dir, "set.shards")
 	if err := st.SaveShards(manPath, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(manPath + ".s00" + TilesSidecarSuffix); err != nil {
-		t.Fatalf("shard tile sidecar missing: %v", err)
+	if _, err := os.Stat(manPath + ".s00" + TilesSidecarSuffix); err == nil {
+		t.Fatal("v4 shard grew a tile sidecar file")
 	}
 	_, shardStores, err := LoadShards(manPath)
 	if err != nil {

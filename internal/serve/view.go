@@ -225,8 +225,12 @@ type liveState struct {
 	tilePyr     *tiles.Pyramid
 	tileView    *view
 	tileSidecar *tiles.Pyramid
-	tileBox     *tiles.Rect
-	tileVirt    float64
+	// tileRaw is the still-encoded pyramid embedded in a mapped INSPSTORE4
+	// store, decoded into tileSidecar on the first spatial query (see
+	// sidecarLocked) so a cold load never pays the decode.
+	tileRaw  []byte
+	tileBox  *tiles.Rect
+	tileVirt float64
 
 	adds, deletes, seals, compactions atomic.Uint64
 }

@@ -24,6 +24,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"inspire/internal/storefile"
 )
 
 var sigMagic = [8]byte{'I', 'N', 'S', 'P', 'S', 'I', 'G', '1'}
@@ -127,17 +129,11 @@ func Load(r io.Reader) (m int, docIDs []int64, vecs [][]float64, err error) {
 	return m, docIDs, vecs, nil
 }
 
-// SaveFile persists signatures to a file in the Save format.
+// SaveFile persists signatures to a file in the Save format, atomically.
 func SaveFile(path string, m int, docIDs []int64, vecs [][]float64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = Save(f, m, docIDs, vecs)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return storefile.WriteFileAtomic(path, func(w io.Writer) error {
+		return Save(w, m, docIDs, vecs)
+	})
 }
 
 // Set is a loaded signature collection indexed for serving: the query layer

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package storefile
+
+// openMapped degrades to a heap read where mmap is unavailable; the rest of
+// the stack behaves identically, it just pays the resident copy.
+func openMapped(path string) (*File, error) {
+	return ReadFile(path)
+}
+
+func unmap(data []byte) error { return nil }

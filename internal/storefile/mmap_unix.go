@@ -1,0 +1,47 @@
+//go:build unix
+
+package storefile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openMapped maps the file read-only and shared, so physical pages are
+// faulted in on demand and shared with every other process mapping the same
+// file. An empty or header-only file still decodes (zero sections), but
+// mmap rejects length 0, so tiny files fall back to a heap read.
+func openMapped(path string) (*File, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	info, err := fd.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("%s: storefile: empty file", path)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("%s: storefile: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("%s: mmap: %w", path, err)
+	}
+	f, err := Decode(data)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f.mapped = true
+	return f, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

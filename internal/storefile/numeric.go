@@ -1,0 +1,87 @@
+package storefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Fixed-width numeric sections are stored little-endian. On a little-endian
+// host a page-aligned section can be reinterpreted in place — zero copies,
+// zero resident growth beyond the faulted pages. Anywhere that doesn't hold
+// (big-endian host, or a decode buffer whose section start landed unaligned)
+// the helpers fall back to an explicit copy and report it, so the resident
+// accountant can pin the heap bytes.
+
+// hostLittleEndian is fixed at startup; every platform we serve from is
+// little-endian, the copy path keeps big-endian correct.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// AppendInt64s appends v little-endian to dst.
+func AppendInt64s(dst []byte, v []int64) []byte {
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
+	}
+	return dst
+}
+
+// AppendFloat64s appends v little-endian (IEEE 754 bits) to dst.
+func AppendFloat64s(dst []byte, v []float64) []byte {
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+// Int64s reinterprets a little-endian int64 section. copied reports whether
+// the result is a fresh heap copy rather than an alias of b.
+func Int64s(b []byte) (v []int64, copied bool, err error) {
+	if len(b)%8 != 0 {
+		return nil, false, fmt.Errorf("storefile: int64 section length %d not a multiple of 8", len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, false, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n), false, nil
+	}
+	v = make([]int64, n)
+	for i := range v {
+		v[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return v, true, nil
+}
+
+// Float64s reinterprets a little-endian float64 section, same contract as
+// Int64s.
+func Float64s(b []byte) (v []float64, copied bool, err error) {
+	if len(b)%8 != 0 {
+		return nil, false, fmt.Errorf("storefile: float64 section length %d not a multiple of 8", len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, false, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n), false, nil
+	}
+	v = make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return v, true, nil
+}
+
+// String reinterprets b as a string without copying. The file bytes are
+// immutable for the life of the mapping, which is the string contract.
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

@@ -1,0 +1,73 @@
+package storefile
+
+import "sync/atomic"
+
+// Resident is the resident-set accountant for a mapped store: it tracks how
+// many bytes the serving layer has pinned on heap (decoded posting lists in
+// the LRUs, copy-decoded sections) against a budget, next to how many bytes
+// stay evictable because they live only in the mapping and the kernel can
+// reclaim them under pressure. Pinning is advisory — TryPin refuses once the
+// budget is spent and the caller then serves straight from the mapped bytes
+// instead of caching.
+type Resident struct {
+	budget atomic.Int64 // 0 means unlimited
+	pinned atomic.Int64
+	mapped atomic.Int64
+	denied atomic.Uint64
+}
+
+// ResidentStats is a point-in-time snapshot for /stats.
+type ResidentStats struct {
+	BudgetBytes int64
+	PinnedBytes int64
+	MappedBytes int64
+	PinDenials  uint64
+}
+
+// SetBudget sets the pinned-bytes budget; zero or negative means unlimited.
+func (r *Resident) SetBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	r.budget.Store(n)
+}
+
+// AddMapped records n more bytes living evictable in the mapping.
+func (r *Resident) AddMapped(n int64) { r.mapped.Add(n) }
+
+// Pin records n heap bytes unconditionally (load-time copies that have no
+// cheaper fallback).
+func (r *Resident) Pin(n int64) { r.pinned.Add(n) }
+
+// TryPin records n heap bytes if the budget allows, and reports whether it
+// did. On refusal the denial counter advances and nothing is recorded.
+func (r *Resident) TryPin(n int64) bool {
+	budget := r.budget.Load()
+	if budget <= 0 {
+		r.pinned.Add(n)
+		return true
+	}
+	for {
+		cur := r.pinned.Load()
+		if cur+n > budget {
+			r.denied.Add(1)
+			return false
+		}
+		if r.pinned.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// Unpin releases n previously pinned bytes.
+func (r *Resident) Unpin(n int64) { r.pinned.Add(-n) }
+
+// Stats snapshots the accountant.
+func (r *Resident) Stats() ResidentStats {
+	return ResidentStats{
+		BudgetBytes: r.budget.Load(),
+		PinnedBytes: r.pinned.Load(),
+		MappedBytes: r.mapped.Load(),
+		PinDenials:  r.denied.Load(),
+	}
+}

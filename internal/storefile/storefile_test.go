@@ -1,0 +1,364 @@
+package storefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleSections() []Section {
+	return []Section{
+		{Name: "meta", Data: []byte("hello meta")},
+		{Name: "empty", Data: nil},
+		{Name: "blob_1", Data: bytes.Repeat([]byte{0xAB, 0x00, 0xFF}, 5000)},
+		{Name: "nums", Data: AppendInt64s(nil, []int64{-1, 0, 1, 1 << 40})},
+	}
+}
+
+// TestRoundTrip pins the canonical encoding: encode, decode, compare, and
+// re-encode to the identical bytes, with every section page-aligned.
+func TestRoundTrip(t *testing.T) {
+	secs := sampleSections()
+	enc, err := Encode(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Sections()) != len(secs) {
+		t.Fatalf("%d sections, want %d", len(f.Sections()), len(secs))
+	}
+	for _, want := range secs {
+		got, ok := f.Section(want.Name)
+		if !ok {
+			t.Fatalf("section %q missing", want.Name)
+		}
+		if !bytes.Equal(got, want.Data) {
+			t.Fatalf("section %q differs", want.Name)
+		}
+	}
+	if _, ok := f.Section("nosuch"); ok {
+		t.Fatal("phantom section")
+	}
+	re, err := Encode(f.Sections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, enc) {
+		t.Fatal("re-encode differs: encoding not canonical")
+	}
+	// Write produces the same bytes as Encode.
+	var buf bytes.Buffer
+	if err := Write(&buf, secs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), enc) {
+		t.Fatal("Write differs from Encode")
+	}
+}
+
+// TestAlignment checks every section lands on a page boundary, back to back
+// with zero padding only.
+func TestAlignment(t *testing.T) {
+	secs := sampleSections()
+	enc, err := Encode(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Sections() {
+		if len(s.Data) == 0 {
+			continue
+		}
+		// Recover the offset from the backing array positions: section
+		// data aliases the encode buffer.
+		var offset int64 = -1
+		for i := range enc {
+			if &enc[i] == &s.Data[0] {
+				offset = int64(i)
+				break
+			}
+		}
+		if offset < 0 {
+			t.Fatalf("section %q does not alias the buffer", s.Name)
+		}
+		if offset%PageSize != 0 {
+			t.Fatalf("section %q at offset %d not page aligned", s.Name, offset)
+		}
+	}
+}
+
+// TestZeroSections: a file with no sections is just the header, and loads.
+func TestZeroSections(t *testing.T) {
+	enc, err := Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Sections()) != 0 {
+		t.Fatal("sections from empty encode")
+	}
+}
+
+// TestOpen exercises the file path: mapped open and heap read agree.
+func TestOpen(t *testing.T) {
+	secs := sampleSections()
+	path := filepath.Join(t.TempDir(), "x.store")
+	if err := WriteFileAtomic(path, func(w io.Writer) error { return Write(w, secs) }); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	hf, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf.Mapped() {
+		t.Fatal("ReadFile claims mapped")
+	}
+	for _, want := range secs {
+		got, ok := mf.Section(want.Name)
+		if !ok || !bytes.Equal(got, want.Data) {
+			t.Fatalf("mapped section %q differs", want.Name)
+		}
+		got, ok = hf.Section(want.Name)
+		if !ok || !bytes.Equal(got, want.Data) {
+			t.Fatalf("heap section %q differs", want.Name)
+		}
+	}
+	if mf.Size() != hf.Size() {
+		t.Fatalf("sizes differ: %d vs %d", mf.Size(), hf.Size())
+	}
+}
+
+// TestEncodeRejects pins writer-side validation.
+func TestEncodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		secs []Section
+	}{
+		{"duplicate name", []Section{{Name: "a", Data: nil}, {Name: "a", Data: nil}}},
+		{"empty name", []Section{{Name: "", Data: nil}}},
+		{"bad chars", []Section{{Name: "UPPER", Data: nil}}},
+		{"space", []Section{{Name: "a b", Data: nil}}},
+	}
+	for _, tc := range cases {
+		if _, err := Encode(tc.secs); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestDecodeRejects pins reader-side validation over hand-corrupted inputs.
+func TestDecodeRejects(t *testing.T) {
+	valid, err := Encode(sampleSections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mod func([]byte) []byte) {
+		b := append([]byte(nil), valid...)
+		b = mod(b)
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("nonzero flags", func(b []byte) []byte { b[11] = 1; return b })
+	corrupt("truncated file", func(b []byte) []byte { return b[:len(b)-1] })
+	corrupt("trailing byte", func(b []byte) []byte { return append(b, 0) })
+	corrupt("nonzero padding", func(b []byte) []byte { b[PageSize-1] = 7; return b })
+	corrupt("toc over file", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:], uint32(len(b)))
+		return b
+	})
+	corrupt("header only", func(b []byte) []byte { return b[:8] })
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+}
+
+// TestNumericSections round-trips int64/float64 vectors and exercises the
+// unaligned copy fallback.
+func TestNumericSections(t *testing.T) {
+	ints := []int64{-5, 0, 9, 1 << 50, -(1 << 62)}
+	floats := []float64{0, -1.5, 3.14159, 1e300}
+	bi := AppendInt64s(nil, ints)
+	bf := AppendFloat64s(nil, floats)
+
+	gi, _, err := Int64s(bi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ints {
+		if gi[i] != ints[i] {
+			t.Fatalf("int64[%d] = %d, want %d", i, gi[i], ints[i])
+		}
+	}
+	gf, _, err := Float64s(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range floats {
+		if gf[i] != floats[i] {
+			t.Fatalf("float64[%d] = %v, want %v", i, gf[i], floats[i])
+		}
+	}
+
+	// Force the unaligned path: shift the buffer by one byte.
+	shifted := append(make([]byte, 1, 1+len(bi)), bi...)[1:]
+	gu, copied, err := Int64s(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostLittleEndian && !copied {
+		t.Fatal("unaligned section claims aliased")
+	}
+	for i := range ints {
+		if gu[i] != ints[i] {
+			t.Fatalf("unaligned int64[%d] = %d, want %d", i, gu[i], ints[i])
+		}
+	}
+
+	if _, _, err := Int64s(make([]byte, 7)); err == nil {
+		t.Fatal("ragged int64 section accepted")
+	}
+	if _, _, err := Float64s(make([]byte, 9)); err == nil {
+		t.Fatal("ragged float64 section accepted")
+	}
+	if got, _, err := Int64s(nil); err != nil || got != nil {
+		t.Fatal("empty int64 section")
+	}
+	if String(nil) != "" || String([]byte("ab")) != "ab" {
+		t.Fatal("String")
+	}
+}
+
+// TestWriteFileAtomic is the torn-write regression test: a failing or
+// crashing save must leave the previous file intact and no temp litter,
+// where the old os.Create-over-target path would have truncated it.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.store")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("generation one"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A save that dies halfway through writing.
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write(bytes.Repeat([]byte("torn"), 1<<16)); err != nil {
+			return err
+		}
+		return fmt.Errorf("simulated crash mid-save")
+	})
+	if err == nil {
+		t.Fatal("failing save reported success")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "generation one" {
+		t.Fatalf("previous contents destroyed: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter left behind: %v", entries)
+	}
+
+	// A successful overwrite replaces the contents completely.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("generation two"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "generation two" {
+		t.Fatalf("overwrite: %q", got)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o644 {
+		t.Fatalf("mode %v err %v", fi.Mode(), err)
+	}
+}
+
+// TestResident pins the accountant: budget enforcement, denial counting,
+// unpinning, and the unlimited default.
+func TestResident(t *testing.T) {
+	var r Resident
+	if !r.TryPin(1 << 40) {
+		t.Fatal("unlimited budget refused a pin")
+	}
+	r.Unpin(1 << 40)
+
+	r.SetBudget(100)
+	if !r.TryPin(60) || !r.TryPin(40) {
+		t.Fatal("pins within budget refused")
+	}
+	if r.TryPin(1) {
+		t.Fatal("pin past budget accepted")
+	}
+	st := r.Stats()
+	if st.PinnedBytes != 100 || st.BudgetBytes != 100 || st.PinDenials != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	r.Unpin(40)
+	if !r.TryPin(30) {
+		t.Fatal("pin refused after unpin freed budget")
+	}
+	r.AddMapped(5000)
+	r.Pin(7) // unconditional
+	st = r.Stats()
+	if st.MappedBytes != 5000 || st.PinnedBytes != 97 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// FuzzStoreFileRoundTrip: any input either decodes to sections that
+// re-encode to the identical bytes, or is rejected without panicking.
+func FuzzStoreFileRoundTrip(f *testing.F) {
+	if enc, err := Encode(sampleSections()); err == nil {
+		f.Add(enc)
+	}
+	if enc, err := Encode(nil); err == nil {
+		f.Add(enc)
+	}
+	if enc, err := Encode([]Section{{Name: "a", Data: make([]byte, PageSize+1)}}); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte("INSPSTORE2\nnot this format"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(file.Sections())
+		if err != nil {
+			t.Fatalf("decoded sections refuse to encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip differs: %d bytes in, %d bytes out", len(data), len(re))
+		}
+	})
+}

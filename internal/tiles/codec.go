@@ -3,9 +3,12 @@ package tiles
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
+
+	"inspire/internal/storefile"
 )
 
 // Magic heads the persisted pyramid sidecar. The file carries the
@@ -50,9 +53,12 @@ func (p *Pyramid) Encode() []byte {
 	return buf
 }
 
-// SaveFile persists the pyramid to a sidecar file.
+// SaveFile persists the pyramid to a sidecar file atomically.
 func (p *Pyramid) SaveFile(path string) error {
-	return os.WriteFile(path, p.Encode(), 0o644)
+	return storefile.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(p.Encode())
+		return err
+	})
 }
 
 // Decode parses a sidecar written by Encode, rebuilding the aggregate tiles
