@@ -105,6 +105,18 @@ func wallDeltaTable(base, cur *loadgen.WallMetrics) string {
 			row{"cold start speedup (x)", base.ColdStartSpeedup, cur.ColdStartSpeedup, true},
 		)
 	}
+	if base.Replicas > 1 || cur.Replicas > 1 {
+		rows = append(rows,
+			row{"un-hedged p95, slow replica (ms)", base.UnhedgedP95MS, cur.UnhedgedP95MS, false},
+			row{"hedged p99, slow replica (ms)", base.HedgedP99MS, cur.HedgedP99MS, false},
+		)
+	}
+	if base.OverloadLimitQPS > 0 || cur.OverloadLimitQPS > 0 {
+		rows = append(rows,
+			row{"overload admission limit (qps)", base.OverloadLimitQPS, cur.OverloadLimitQPS, true},
+			row{"overload served (qps)", base.OverloadServedQPS, cur.OverloadServedQPS, true},
+		)
+	}
 	return renderRows(title, rows)
 }
 

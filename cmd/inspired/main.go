@@ -37,9 +37,21 @@
 // shot and exits without serving. -save-legacy writes the pre-v4 gob layout
 // (plus the .tiles sidecar) for interop with older readers.
 //
+// -replicas N serves every shard through N replicas: reads balance by
+// power-of-two-choices over in-flight depth with hedged retries for the
+// tail, writes apply primary-first and fan out, and a crashed replica
+// catches back up over shipped segments on revival. The admission flags
+// bound what the front door accepts: -max-inflight sheds excess concurrent
+// requests with 429 + Retry-After, -session-rate and -global-rate cap the
+// per-session and daemon-wide request rates.
+//
 // The HTTP surface (term/boolean/similar/theme/near/tile queries, live
 // add/delete/flush/compact/save, /themes, /stats) lives in internal/httpd —
-// see that package's documentation for the endpoint list. The same handler
+// see that package's documentation for the endpoint list. Every query
+// route answers both versioned — /v1/... with the
+// {"ok","data","error":{code,message}} envelope, stable error codes and
+// real HTTP statuses — and as the deprecated unversioned alias with the
+// legacy in-band-error shape; new clients should use /v1. The same handler
 // is what cmd/loadbench drives when measuring wall-clock serving throughput.
 //
 // /save takes a plain file name, written inside the directory configured
@@ -80,11 +92,15 @@ func main() {
 	noMmap := flag.Bool("no-mmap", false, "materialize INSPSTORE4 stores to heap instead of serving from the file mapping")
 	sigPath := flag.String("signatures", "", "override signatures from a file persisted by inspire -signatures")
 	shards := flag.Int("shards", 1, "partition the serving store into N document shards behind a scatter-gather router")
+	replicas := flag.Int("replicas", 1, "serve N replicas per shard with failover, P2C load balancing and hedged reads")
 	httpAddr := flag.String("http", ":8417", "HTTP listen address (empty to disable)")
 	stdin := flag.Bool("stdin", false, "serve the line protocol on stdin instead of HTTP")
 	postCache := flag.Int("post-cache", 4096, "posting-list LRU cache entries (per shard when sharded)")
 	simCache := flag.Int("sim-cache", 512, "similarity result cache entries (at the router when sharded)")
 	saveDir := flag.String("save-dir", "", "directory HTTP /save writes into (empty disables the endpoint)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: shed requests with 429 past this many in flight (0 disables)")
+	sessionRate := flag.Float64("session-rate", 0, "per-session token-bucket rate limit in requests/s (0 disables)")
+	globalRate := flag.Float64("global-rate", 0, "global token-bucket rate limit in requests/s (0 disables)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -100,6 +116,7 @@ func main() {
 		PostingCacheEntries: *postCache,
 		SimCacheEntries:     *simCache,
 		NoMmap:              *noMmap,
+		Replicas:            *replicas,
 	}
 
 	if *convert != "" {
@@ -120,13 +137,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		r, err := serve.NewRouter(shardStores, cfg)
+		r, err := serve.NewService(serve.Options{Shards: shardStores, Config: cfg})
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("loaded shard manifest %s (%d shards)\n", *storePath, man.NumShards)
-		fmt.Printf("serving %d documents, %d terms, %d themes across %d shards\n",
-			man.TotalDocs, man.VocabSize, r.NumThemes(), man.NumShards)
+		fmt.Printf("serving %d documents, %d terms, %d themes across %d shards x %d replicas\n",
+			man.TotalDocs, man.VocabSize, r.NumThemes(), man.NumShards, max(1, *replicas))
 		svc = r
 	} else {
 		st, err := loadOrIndex(*storePath, *in, *format, *p, *noMmap)
@@ -176,15 +193,15 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			r, err := serve.NewRouter(shardStores, cfg)
+			r, err := serve.NewService(serve.Options{Shards: shardStores, Config: cfg})
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("serving %d documents, %d terms, %d themes across %d shards (producing run P=%d)\n",
-				st.TotalDocs, st.VocabSize, st.K, *shards, st.P)
+			fmt.Printf("serving %d documents, %d terms, %d themes across %d shards x %d replicas (producing run P=%d)\n",
+				st.TotalDocs, st.VocabSize, st.K, *shards, max(1, *replicas), st.P)
 			svc = r
 		} else {
-			srv, err := serve.NewServer(st, cfg)
+			srv, err := serve.NewService(serve.Options{Store: st, Config: cfg})
 			if err != nil {
 				fail(err)
 			}
@@ -195,6 +212,13 @@ func main() {
 	}
 
 	d := httpd.New(svc, *saveDir)
+	if *maxInflight > 0 || *sessionRate > 0 || *globalRate > 0 {
+		d.SetLimits(httpd.Limits{
+			MaxInFlight: *maxInflight,
+			SessionRate: *sessionRate,
+			GlobalRate:  *globalRate,
+		})
+	}
 	if *stdin {
 		d.ServeLines(os.Stdin, os.Stdout)
 		return

@@ -7,7 +7,9 @@
 // cold start — wall time from exec to the first answered query — for the
 // mapped INSPSTORE4 layout against its legacy gob twin, by re-execing
 // itself as a short-lived probe (best of three per format; -no-coldstart
-// skips it).
+// skips it), and the replicated tier: the hedged-read tail with one replica
+// stalled, and the throughput the admission control holds under a
+// saturating overload (-no-replication skips it).
 //
 // By default it serves in-process: the synthetic benchmark corpus is indexed
 // through the real pipeline, mounted behind internal/httpd on a loopback
@@ -32,17 +34,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"inspire/internal/bench"
@@ -71,6 +79,7 @@ func main() {
 	coldChild := flag.String("coldstart", "", "internal: load this store file, answer one query and exit (the cold-start probe child)")
 	noCold := flag.Bool("no-coldstart", false, "skip the cold-start measurement")
 	coldScale := flag.Float64("cold-scale", 32, "dataset reduction factor for the cold-start probe store; smaller = bigger corpus, more decode-dominated")
+	noRepl := flag.Bool("no-replication", false, "skip the replication measurement (hedged reads past a stalled replica, admission under overload)")
 	flag.Parse()
 
 	if *coldChild != "" {
@@ -95,6 +104,7 @@ func main() {
 	baseURL := *urlFlag
 	inProcess := baseURL == ""
 	var coldMappedMS, coldGobMS float64
+	var repl *replicationMetrics
 	if inProcess {
 		fmt.Fprintf(os.Stderr, "loadbench: indexing the scale-%g benchmark corpus (%d shard(s))...\n", *scale, *shards)
 		st, err := bench.ServingStore(*scale, 8)
@@ -114,6 +124,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "loadbench: cold start to first query: mapped %.2fms, gob %.2fms (%.1fx)\n",
 				coldMappedMS, coldGobMS, coldGobMS/coldMappedMS)
 		}
+		if !*noRepl {
+			fmt.Fprintf(os.Stderr, "loadbench: measuring replicated serving (hedged reads, admission under overload)...\n")
+			repl, err = measureReplication(st)
+			if err != nil {
+				fatal(fmt.Errorf("replication measurement: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "loadbench: slow-replica reads: un-hedged p95 %.2fms, hedged p99 %.2fms; overload: served %.0f qps against a %.0f qps admission limit\n",
+				repl.unhedgedP95MS, repl.hedgedP99MS, repl.servedQPS, repl.limitQPS)
+		}
 		svc, err := bench.ShardedService(st, *shards)
 		if err != nil {
 			fatal(err)
@@ -122,10 +141,10 @@ func main() {
 			cfg.Themes = svc.NumThemes()
 		}
 		if *terms == "" {
-			cfg.Terms = svc.TopTerms(48)
+			cfg.Terms = svc.TopTerms(context.Background(), 48)
 		}
 		if *docs == "" {
-			cfg.Docs = svc.SampleDocs(16)
+			cfg.Docs = svc.SampleDocs(context.Background(), 16)
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -195,6 +214,13 @@ func main() {
 		m.ColdStartMappedMS = coldMappedMS
 		m.ColdStartGobMS = coldGobMS
 		m.ColdStartSpeedup = coldGobMS / coldMappedMS
+	}
+	if repl != nil {
+		m.Replicas = repl.replicas
+		m.UnhedgedP95MS = repl.unhedgedP95MS
+		m.HedgedP99MS = repl.hedgedP99MS
+		m.OverloadLimitQPS = repl.limitQPS
+		m.OverloadServedQPS = repl.servedQPS
 	}
 	if *jsonPath != "" {
 		if err := m.WriteJSON(*jsonPath); err != nil {
@@ -269,6 +295,136 @@ func measureColdStart(scale float64) (mappedMS, gobMS float64, err error) {
 	return mappedMS, gobMS, nil
 }
 
+// replicationMetrics is one replication measurement: the hedged-read tail
+// against a deliberately stalled replica, and the served throughput the
+// admission control held under a saturating overload.
+type replicationMetrics struct {
+	replicas      int
+	unhedgedP95MS float64
+	hedgedP99MS   float64
+	limitQPS      float64
+	servedQPS     float64
+}
+
+// replProbeOps is how many sequential reads each hedging probe issues; the
+// P2C tick alternates them across the two replicas, so about half land on
+// the stalled one — enough for a stable p95/p99.
+const replProbeOps = 240
+
+// replStall is the injected per-read delay on the slow replica — far past
+// the hedge delay, far under anything a runner hiccup could fake.
+const replStall = 8 * time.Millisecond
+
+// measureReplication quantifies what the replicated tier buys, twice over.
+//
+// Hedging: the store is sharded 3 ways and served at 2 replicas per shard
+// with one replica stalled replStall per read. A sequential read stream is
+// timed twice — once with hedging disabled, where the stall lands in the
+// client's tail, and once with the default hedge delay, where a hedged
+// second attempt ducks it. The gate (loadgen.GateMaxHedgedP99Ratio) holds
+// the hedged p99 under the un-hedged p95.
+//
+// Admission: the same tier is mounted behind internal/httpd with a global
+// admission rate, then hammered well past it from concurrent clients for a
+// fixed window, counting 200s against 429s. Served throughput must track
+// the configured limit (loadgen.GateMaxOverloadDeviation) — overload sheds
+// instead of collapsing.
+func measureReplication(st *serve.Store) (*replicationMetrics, error) {
+	build := func(hedge time.Duration) (*serve.Router, error) {
+		parts, err := st.Shard(3)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := serve.NewService(serve.Options{Shards: parts, Config: serve.Config{Replicas: 2, HedgeAfter: hedge}})
+		if err != nil {
+			return nil, err
+		}
+		r, ok := svc.(*serve.Router)
+		if !ok {
+			return nil, fmt.Errorf("NewService(Replicas: 2) = %T, want *serve.Router", svc)
+		}
+		r.Replica(0, 1).SetStall(replStall)
+		return r, nil
+	}
+	probe := func(r *serve.Router, q float64) float64 {
+		ctx := context.Background()
+		terms := r.TopTerms(ctx, 16)
+		rs := r.NewSession()
+		lat := make([]float64, 0, replProbeOps)
+		for i := 0; i < replProbeOps; i++ {
+			start := time.Now()
+			rs.TermDocs(ctx, terms[i%len(terms)])
+			lat = append(lat, time.Since(start).Seconds()*1e3)
+		}
+		sort.Float64s(lat)
+		idx := int(q * float64(len(lat)))
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return lat[idx]
+	}
+
+	unhedged, err := build(-1) // negative disables hedging
+	if err != nil {
+		return nil, err
+	}
+	out := &replicationMetrics{replicas: 2, unhedgedP95MS: probe(unhedged, 0.95)}
+	hedged, err := build(0) // 0 takes the default hedge delay
+	if err != nil {
+		return nil, err
+	}
+	out.hedgedP99MS = probe(hedged, 0.99)
+
+	// Overload: a saturating hammer against a rate-limited front door.
+	const limit = 400.0
+	d := httpd.New(hedged, "")
+	d.SetLimits(httpd.Limits{GlobalRate: limit, GlobalBurst: 20})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, d.Mux()) }()
+	terms := hedged.TopTerms(context.Background(), 1)
+	target := "http://" + ln.Addr().String() + "/v1/df?q=" + url.QueryEscape(terms[0])
+	tr := &http.Transport{MaxIdleConns: 16, MaxIdleConnsPerHost: 16}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+
+	var served, shed atomic.Int64
+	const window = 1500 * time.Millisecond
+	start := time.Now()
+	deadline := start.Add(window)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				resp, err := client.Get(target)
+				if err != nil {
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					served.Add(1)
+				} else {
+					shed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if shed.Load() == 0 {
+		return nil, fmt.Errorf("overload hammer never saturated the %g qps admission limit (served %d in %.2fs)", limit, served.Load(), elapsed)
+	}
+	out.limitQPS = limit
+	out.servedQPS = float64(served.Load()) / elapsed
+	return out, nil
+}
+
 // coldStartChild is the probe body: load the store exactly as the daemon
 // would, answer one real query against it, and exit. The parent times the
 // whole process lifetime.
@@ -277,11 +433,11 @@ func coldStartChild(path string) error {
 	if err != nil {
 		return err
 	}
-	terms := svc.TopTerms(1)
+	terms := svc.TopTerms(context.Background(), 1)
 	if len(terms) == 0 {
 		return fmt.Errorf("cold-start probe: store has no terms")
 	}
-	if docs := svc.NewQuerier().And(terms[0]); len(docs) == 0 {
+	if docs := svc.NewQuerier().And(context.Background(), terms[0]); len(docs) == 0 {
 		return fmt.Errorf("cold-start probe: top term %q matched no documents", terms[0])
 	}
 	return nil

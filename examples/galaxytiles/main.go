@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -139,7 +140,7 @@ func main() {
 			defer wg.Done()
 			sess := router.NewSession()
 			for i := wid; i < len(lateTexts); i += writers {
-				if _, err := sess.Add(lateTexts[i]); err != nil {
+				if _, err := sess.Add(context.Background(), lateTexts[i]); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -153,7 +154,7 @@ func main() {
 		cur := tiles.Rect(box)
 		fmt.Printf("--- %s ---\n", label)
 		for z := 0; ; z++ {
-			ts, err := sess.TileRange(z, cur)
+			ts, err := sess.TileRange(context.Background(), z, cur)
 			if err != nil {
 				break // past the deepest zoom
 			}
@@ -177,10 +178,10 @@ func main() {
 
 	walk("walking the Galaxy while documents stream in")
 	wg.Wait()
-	if err := router.FlushLive(); err != nil {
+	if err := router.FlushLive(context.Background()); err != nil {
 		log.Fatal(err)
 	}
-	if err := router.CompactLive(); err != nil {
+	if err := router.CompactLive(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	walk("after ingest settled (flushed + compacted)")

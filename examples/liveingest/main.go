@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -103,7 +104,7 @@ func main() {
 			defer wg.Done()
 			sess := srv.NewSession()
 			for i := g; i < len(lateTexts); i += 2 {
-				if _, err := sess.Add(lateTexts[i]); err != nil {
+				if _, err := sess.Add(context.Background(), lateTexts[i]); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -126,16 +127,16 @@ func main() {
 	// Deletes tombstone immediately; queries filter them on the next
 	// interaction.
 	sess := srv.NewSession()
-	term := srv.TopTerms(1)[0]
-	before := sess.DF(term)
-	docs := sess.TermDocs(term)
+	term := srv.TopTerms(context.Background(), 1)[0]
+	before := sess.DF(context.Background(), term)
+	docs := sess.TermDocs(context.Background(), term)
 	if len(docs) > 0 {
-		if err := sess.Delete(docs[0].Doc); err != nil {
+		if err := sess.Delete(context.Background(), docs[0].Doc); err != nil {
 			log.Fatal(err)
 		}
-		after := sess.TermDocs(term)
+		after := sess.TermDocs(context.Background(), term)
 		fmt.Printf("\ndeleted doc %d: %q now matches %d docs (DF still reports %d until compaction drops the postings)\n",
-			docs[0].Doc, term, len(after), sess.DF(term))
+			docs[0].Doc, term, len(after), sess.DF(context.Background(), term))
 		_ = before
 	}
 

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -92,7 +93,7 @@ func main() {
 	warm := srv.NewSession()
 	cold := mustSession(st)
 	term := st.TopTerms(1)[0]
-	a, b := warm.TermDocs(term), cold.TermDocs(term)
+	a, b := warm.TermDocs(context.Background(), term), cold.TermDocs(context.Background(), term)
 	same := len(a) == len(b)
 	for i := 0; same && i < len(a); i++ {
 		same = a[i] == b[i]
@@ -128,7 +129,7 @@ func main() {
 	// Answers through the router stay byte-identical to the monolithic
 	// server's.
 	rsess := router.NewSession()
-	c, d := warm.TermDocs(term), rsess.TermDocs(term)
+	c, d := warm.TermDocs(context.Background(), term), rsess.TermDocs(context.Background(), term)
 	same = len(c) == len(d)
 	for i := 0; same && i < len(c); i++ {
 		same = c[i] == d[i]

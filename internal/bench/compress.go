@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"inspire/internal/serve"
@@ -32,9 +33,10 @@ func andLatency(st *serve.Store, qs [][]string) (meanMS, maxMS float64, err erro
 	if err != nil {
 		return 0, 0, err
 	}
+	ctx := context.Background()
 	sess := srv.NewSession()
 	for _, q := range qs {
-		sess.And(q...)
+		sess.And(ctx, q...)
 	}
 	s := sess.Stats()
 	return s.MeanMS, s.MaxMS, nil

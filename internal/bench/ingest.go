@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -76,9 +77,10 @@ func ingestProbe(st *serve.Store, texts []string, queries, addEvery int, policy 
 	if err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	sess := srv.NewSession()
-	terms := srv.TopTerms(48)
-	docs := srv.SampleDocs(16)
+	terms := srv.TopTerms(ctx, 48)
+	docs := srv.SampleDocs(ctx, 16)
 	if len(terms) == 0 || len(docs) == 0 {
 		return nil, fmt.Errorf("bench: ingest probe has no query material")
 	}
@@ -92,25 +94,25 @@ func ingestProbe(st *serve.Store, texts []string, queries, addEvery int, policy 
 	for op := 0; op < queries; op++ {
 		switch p := rng.Float64(); {
 		case p < 0.40:
-			sess.TermDocs(term())
+			sess.TermDocs(ctx, term())
 		case p < 0.55:
-			sess.And(term(), term())
+			sess.And(ctx, term(), term())
 		case p < 0.70:
-			sess.Or(term(), term())
+			sess.Or(ctx, term(), term())
 		case p < 0.85:
 			doc := docs[int(float64(len(docs))*math.Pow(rng.Float64(), 2.5))%len(docs)]
-			if _, err := sess.Similar(doc, 5); err != nil {
+			if _, err := sess.Similar(ctx, doc, 5); err != nil {
 				return nil, err
 			}
 		case p < 0.93:
-			sess.ThemeDocs(rng.Intn(max(1, srv.NumThemes())))
+			sess.ThemeDocs(ctx, rng.Intn(max(1, srv.NumThemes())))
 		default:
-			sess.Near(rng.Float64()-0.5, rng.Float64()-0.5, 0.2)
+			sess.Near(ctx, rng.Float64()-0.5, rng.Float64()-0.5, 0.2)
 		}
 		queryLats = append(queryLats, sess.Stats().LastMS)
 		if addEvery > 0 && (op+1)%addEvery == 0 {
 			lagSum += float64(fork.PendingDocs())
-			if _, err := sess.Add(texts[nextText%len(texts)]); err != nil {
+			if _, err := sess.Add(ctx, texts[nextText%len(texts)]); err != nil {
 				return nil, err
 			}
 			nextText++

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -36,6 +37,7 @@ func TileViewports(st *serve.Store) ([]tileViewport, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	sess := srv.NewSession()
 	box := *st.TileBox
 	maxZoom := serve.Config{}.TileMaxZoom
@@ -46,7 +48,7 @@ func TileViewports(st *serve.Store) ([]tileViewport, error) {
 	var out []tileViewport
 	for z := 0; z <= maxZoom; z++ {
 		out = append(out, tileViewport{Z: z, Rect: cur})
-		ts, err := sess.TileRange(z, cur)
+		ts, err := sess.TileRange(ctx, z, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -95,6 +97,7 @@ func tileProbe(st *serve.Store, vps []tileViewport, rounds int, texts []string, 
 	if err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	sess := srv.NewSession()
 	var lats []float64
 	op, nextText := 0, 0
@@ -103,16 +106,16 @@ func tileProbe(st *serve.Store, vps []tileViewport, rounds int, texts []string, 
 			if naive {
 				cx, cy := (vp.Rect.MinX+vp.Rect.MaxX)/2, (vp.Rect.MinY+vp.Rect.MaxY)/2
 				rr := math.Hypot(vp.Rect.MaxX-vp.Rect.MinX, vp.Rect.MaxY-vp.Rect.MinY) / 2
-				sess.Near(cx, cy, rr)
+				sess.Near(ctx, cx, cy, rr)
 			} else {
-				if _, err := sess.TileRange(vp.Z, vp.Rect); err != nil {
+				if _, err := sess.TileRange(ctx, vp.Z, vp.Rect); err != nil {
 					return nil, err
 				}
 			}
 			lats = append(lats, sess.Stats().LastMS)
 			op++
 			if addEvery > 0 && op%addEvery == 0 {
-				if _, err := sess.Add(texts[nextText%len(texts)]); err != nil {
+				if _, err := sess.Add(ctx, texts[nextText%len(texts)]); err != nil {
 					return nil, err
 				}
 				nextText++

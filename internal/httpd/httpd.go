@@ -5,42 +5,148 @@
 // handler the production daemon serves, over real HTTP listeners, without
 // forking a subprocess.
 //
+// The versioned surface lives under /v1 and wraps every response in the
+// envelope {"ok":bool,"data":...,"error":{"code","message"}} with stable
+// error codes (bad_request, not_found, disabled, rate_limited, overloaded,
+// method_not_allowed, internal). The unversioned routes below remain as
+// deprecated aliases answering the bare payload — byte-identical to the
+// corresponding /v1 response's "data" field.
+//
 // Endpoints (JSON responses; reads are GET, mutations are POST):
 //
-//	GET  /term?q=word            posting list of one term
-//	GET  /df?q=word              document frequency
-//	GET  /and?q=a,b,c            conjunctive query
-//	GET  /or?q=a,b,c             disjunctive query
-//	GET  /similar?doc=3&k=5      top-K similarity in signature space
-//	GET  /theme?cluster=2        documents of one k-means theme
-//	GET  /near?x=0&y=0&r=0.2     ThemeView region drill-down
-//	GET  /tiles/{z}/{x}/{y}      Galaxy tile
-//	POST /add?text=...           ingest a document (returns its ID)
-//	POST /delete?doc=3           tombstone a document
-//	POST /flush                  make pending adds visible now
-//	POST /compact                merge sealed segments now
-//	POST /save?path=NAME         persist under the configured save dir
-//	GET  /themes                 discovered themes
-//	GET  /stats                  server cache/traffic/ingest counters
+//	GET  /v1/term?q=word            posting list of one term
+//	GET  /v1/df?q=word              document frequency
+//	GET  /v1/and?q=a,b,c            conjunctive query
+//	GET  /v1/or?q=a,b,c             disjunctive query
+//	GET  /v1/similar?doc=3&k=5      top-K similarity in signature space
+//	GET  /v1/theme?cluster=2        documents of one k-means theme
+//	GET  /v1/near?x=0&y=0&r=0.2     ThemeView region drill-down
+//	GET  /v1/tiles/{z}/{x}/{y}      Galaxy tile
+//	POST /v1/add?text=...           ingest a document (returns its ID)
+//	POST /v1/delete?doc=3           tombstone a document
+//	POST /v1/flush                  make pending adds visible now
+//	POST /v1/compact                merge sealed segments now
+//	POST /v1/save?path=NAME         persist under the configured save dir
+//	GET  /v1/themes                 discovered themes
+//	GET  /v1/stats                  server cache/traffic/ingest counters
 //
 // Pass session=NAME on query endpoints to accumulate per-session virtual
 // latency across requests; anonymous requests each get a fresh session.
+// Every request runs under its http.Request context, so a disconnected
+// client cancels the scatter-gather it was waiting on.
+//
+// The front door applies admission control when configured with Limits:
+// per-session and global token buckets, a bounded in-flight ceiling shedding
+// excess load with 429 + Retry-After, and graceful degradation (smaller
+// similarity K, coarser tiles, flagged with X-Degraded: 1) as the in-flight
+// level approaches the ceiling.
 package httpd
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"inspire/internal/query"
 	"inspire/internal/serve"
 )
+
+// Stable /v1 error codes.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeDisabled         = "disabled"
+	CodeRateLimited      = "rate_limited"
+	CodeOverloaded       = "overloaded"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeInternal         = "internal"
+)
+
+// Limits configures the front door's admission control. The zero value
+// disables every limit — the pre-replication behaviour.
+type Limits struct {
+	// MaxInFlight bounds concurrently executing requests; excess requests
+	// are shed with 429 + Retry-After. 0 = unbounded.
+	MaxInFlight int
+	// RetryAfter is advertised on shed responses. Default 1s.
+	RetryAfter time.Duration
+	// SessionRate is each named session's sustained requests/sec (token
+	// bucket, SessionBurst deep). 0 = unlimited.
+	SessionRate  float64
+	SessionBurst int
+	// GlobalRate caps the whole daemon's sustained requests/sec. 0 =
+	// unlimited.
+	GlobalRate  float64
+	GlobalBurst int
+	// DegradeThreshold is the fraction of MaxInFlight above which replies
+	// degrade (smaller similarity K, coarser tiles) instead of shedding;
+	// 0 disables degradation.
+	DegradeThreshold float64
+	// DegradeSimilarK clamps similar?k= while degraded. Default 3.
+	DegradeSimilarK int
+	// DegradeMaxZoom clamps tile zoom while degraded (deeper addresses are
+	// answered by their ancestor at this zoom). Default 3.
+	DegradeMaxZoom int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.RetryAfter <= 0 {
+		l.RetryAfter = time.Second
+	}
+	if l.SessionBurst <= 0 {
+		l.SessionBurst = int(math.Max(1, l.SessionRate))
+	}
+	if l.GlobalBurst <= 0 {
+		l.GlobalBurst = int(math.Max(1, l.GlobalRate))
+	}
+	if l.DegradeSimilarK <= 0 {
+		l.DegradeSimilarK = 3
+	}
+	if l.DegradeMaxZoom <= 0 {
+		l.DegradeMaxZoom = 3
+	}
+	return l
+}
+
+// bucket is a token bucket: rate tokens/sec, burst deep, prefilled.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+func newBucket(rate float64, burst int) *bucket {
+	return &bucket{tokens: float64(burst), rate: rate, burst: float64(burst)}
+}
+
+func (b *bucket) allow(now time.Time) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
 
 // Daemon multiplexes named sessions over the serving surface — a monolithic
 // Server or a sharded Router, indistinguishable behind serve.Service.
@@ -48,6 +154,11 @@ type Daemon struct {
 	srv serve.Service
 	// saveDir confines HTTP /save targets; empty disables the endpoint.
 	saveDir string
+
+	limits   Limits
+	global   *bucket
+	inflight atomic.Int64
+	shed     atomic.Uint64
 
 	mu       sync.Mutex
 	sessions map[string]*namedSession
@@ -59,12 +170,23 @@ func New(srv serve.Service, saveDir string) *Daemon {
 	return &Daemon{srv: srv, saveDir: saveDir, sessions: make(map[string]*namedSession)}
 }
 
+// SetLimits installs the admission-control configuration. Call before the
+// mux starts serving.
+func (d *Daemon) SetLimits(l Limits) {
+	d.limits = l.withDefaults()
+	d.global = newBucket(d.limits.GlobalRate, d.limits.GlobalBurst)
+}
+
+// Shed returns how many requests admission control has shed with 429.
+func (d *Daemon) Shed() uint64 { return d.shed.Load() }
+
 // namedSession serializes the requests of one session name: a Querier
 // requires one goroutine at a time, and serializing also keeps each reply's
 // virtual_ms the latency of its own interaction.
 type namedSession struct {
 	mu   sync.Mutex
 	sess serve.Querier
+	bkt  *bucket
 }
 
 // maxNamedSessions bounds the retained session table; once full, unseen
@@ -87,11 +209,15 @@ func (d *Daemon) session(name string) *namedSession {
 		return &namedSession{sess: d.srv.NewQuerier()}
 	}
 	s := &namedSession{sess: d.srv.NewQuerier()}
+	if d.limits.SessionRate > 0 {
+		s.bkt = newBucket(d.limits.SessionRate, d.limits.SessionBurst)
+	}
 	d.sessions[name] = s
 	return s
 }
 
-// Reply is the JSON envelope of every query response.
+// Reply is the JSON payload of every query response: the whole body on the
+// deprecated unversioned routes, the "data" field under /v1.
 type Reply struct {
 	Op        string            `json:"op"`
 	VirtualMS float64           `json:"virtual_ms"`         // this interaction's modeled latency
@@ -106,10 +232,55 @@ type Reply struct {
 	Error     string            `json:"error,omitempty"`
 }
 
+// ErrorInfo is the /v1 envelope's error half.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Envelope is the /v1 response shape.
+type Envelope struct {
+	OK    bool            `json:"ok"`
+	Data  json.RawMessage `json:"data,omitempty"`
+	Error *ErrorInfo      `json:"error,omitempty"`
+}
+
+// errCode classifies an op error message onto the stable code set.
+func errCode(msg string) string {
+	switch {
+	case strings.Contains(msg, "disabled"):
+		return CodeDisabled
+	case strings.Contains(msg, "not found"):
+		return CodeNotFound
+	case strings.Contains(msg, "context"):
+		return CodeInternal
+	default:
+		return CodeBadRequest
+	}
+}
+
+// httpStatus maps a stable error code to its transport status.
+func httpStatus(code string) int {
+	switch code {
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeRateLimited, CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 // run executes one parsed operation against a session, holding its lock so
 // concurrent requests on one name serialize and the reported virtual_ms
-// belongs to this interaction.
-func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply {
+// belongs to this interaction. degraded requests answer with reduced
+// fidelity: a clamped similarity K, and tile addresses coarsened to the
+// degrade zoom.
+func (d *Daemon) run(ctx context.Context, ns *namedSession, op string, args map[string]string, degraded bool) Reply {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	sess := ns.sess
@@ -119,15 +290,15 @@ func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply 
 	}
 	switch op {
 	case "term":
-		rep.Postings = sess.TermDocs(args["q"])
+		rep.Postings = sess.TermDocs(ctx, args["q"])
 		rep.Count = len(rep.Postings)
 	case "df":
-		rep.DF = sess.DF(args["q"])
+		rep.DF = sess.DF(ctx, args["q"])
 	case "and":
-		rep.Docs = sess.And(terms()...)
+		rep.Docs = sess.And(ctx, terms()...)
 		rep.Count = len(rep.Docs)
 	case "or":
-		rep.Docs = sess.Or(terms()...)
+		rep.Docs = sess.Or(ctx, terms()...)
 		rep.Count = len(rep.Docs)
 	case "similar":
 		doc, _ := strconv.ParseInt(args["doc"], 10, 64)
@@ -135,7 +306,10 @@ func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply 
 		if k <= 0 {
 			k = 5
 		}
-		hits, err := sess.Similar(doc, k)
+		if degraded && k > d.limits.DegradeSimilarK {
+			k = d.limits.DegradeSimilarK
+		}
+		hits, err := sess.Similar(ctx, doc, k)
 		if err != nil {
 			rep.Error = err.Error()
 		}
@@ -143,13 +317,13 @@ func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply 
 		rep.Count = len(hits)
 	case "theme":
 		k, _ := strconv.Atoi(args["cluster"])
-		rep.Docs = sess.ThemeDocs(k)
+		rep.Docs = sess.ThemeDocs(ctx, k)
 		rep.Count = len(rep.Docs)
 	case "near":
 		x, _ := strconv.ParseFloat(args["x"], 64)
 		y, _ := strconv.ParseFloat(args["y"], 64)
 		r, _ := strconv.ParseFloat(args["r"], 64)
-		rep.Docs = sess.Near(x, y, r)
+		rep.Docs = sess.Near(ctx, x, y, r)
 		rep.Count = len(rep.Docs)
 	case "tile":
 		z, errZ := strconv.Atoi(args["z"])
@@ -161,7 +335,13 @@ func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply 
 			rep.Error = fmt.Sprintf("tile address %q/%q/%q is not numeric", args["z"], args["x"], args["y"])
 			break
 		}
-		t, err := sess.Tile(z, x, y)
+		if degraded && z > d.limits.DegradeMaxZoom {
+			// Coarser tiles under overload: answer with the ancestor at the
+			// degrade zoom, which covers the requested extent.
+			dz := z - d.limits.DegradeMaxZoom
+			z, x, y = d.limits.DegradeMaxZoom, x>>dz, y>>dz
+		}
+		t, err := sess.Tile(ctx, z, x, y)
 		if err != nil {
 			rep.Error = err.Error()
 		} else {
@@ -169,7 +349,7 @@ func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply 
 			rep.Count = int(t.Docs)
 		}
 	case "add":
-		doc, err := sess.Add(args["text"])
+		doc, err := sess.Add(ctx, args["text"])
 		if err != nil {
 			rep.Error = err.Error()
 		} else {
@@ -178,7 +358,7 @@ func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply 
 	case "delete":
 		doc, err := strconv.ParseInt(args["doc"], 10, 64)
 		if err == nil {
-			err = sess.Delete(doc)
+			err = sess.Delete(ctx, doc)
 		}
 		if err != nil {
 			rep.Error = err.Error()
@@ -195,24 +375,24 @@ func (d *Daemon) run(ns *namedSession, op string, args map[string]string) Reply 
 
 // live executes one service-level maintenance op (flush/compact/save) — not
 // a session interaction, so no virtual account is touched.
-func (d *Daemon) live(op, path string) Reply {
+func (d *Daemon) live(ctx context.Context, op, path string) Reply {
 	rep := Reply{Op: op}
 	lv, ok := d.srv.(serve.Liver)
 	if !ok {
-		rep.Error = "service does not support live maintenance"
+		rep.Error = "live maintenance is disabled on this service"
 		return rep
 	}
 	var err error
 	switch op {
 	case "flush":
-		err = lv.FlushLive()
+		err = lv.FlushLive(ctx)
 	case "compact":
-		err = lv.CompactLive()
+		err = lv.CompactLive(ctx)
 	case "save":
 		if path == "" {
 			err = fmt.Errorf("save needs a path")
 		} else {
-			err = lv.SaveLive(path)
+			err = lv.SaveLive(ctx, path)
 		}
 	}
 	if err != nil {
@@ -223,71 +403,182 @@ func (d *Daemon) live(op, path string) Reply {
 	return rep
 }
 
-// Mux builds the HTTP surface. Query endpoints answer GET; every endpoint
-// that mutates server state (add/delete/flush/compact/save) requires POST, so
+// admit applies admission control for one request; when it returns false the
+// response has been written. degraded reports whether the in-flight level
+// crossed the degradation threshold. Callers must release() when admitted.
+func (d *Daemon) admit(w http.ResponseWriter, name string, v1 bool, op string) (degraded, ok bool) {
+	l := d.limits
+	now := time.Now()
+	if !d.global.allow(now) {
+		d.shedReply(w, v1, op, CodeRateLimited, "global request rate exceeded")
+		return false, false
+	}
+	if name != "" && l.SessionRate > 0 {
+		if ns := d.session(name); !ns.bkt.allow(now) {
+			d.shedReply(w, v1, op, CodeRateLimited, fmt.Sprintf("session %q rate exceeded", name))
+			return false, false
+		}
+	}
+	if l.MaxInFlight > 0 {
+		if in := d.inflight.Load(); int(in) >= l.MaxInFlight {
+			d.shedReply(w, v1, op, CodeOverloaded, "server is at its in-flight ceiling")
+			return false, false
+		}
+		if l.DegradeThreshold > 0 &&
+			float64(d.inflight.Load()) >= l.DegradeThreshold*float64(l.MaxInFlight) {
+			degraded = true
+		}
+	}
+	d.inflight.Add(1)
+	return degraded, true
+}
+
+func (d *Daemon) release() { d.inflight.Add(-1) }
+
+// shedReply writes a 429 with Retry-After on either surface.
+func (d *Daemon) shedReply(w http.ResponseWriter, v1 bool, op, code, msg string) {
+	d.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(d.limits.RetryAfter.Seconds()))))
+	if v1 {
+		writeJSONStatus(w, httpStatus(code), Envelope{OK: false, Error: &ErrorInfo{Code: code, Message: msg}})
+		return
+	}
+	writeJSONStatus(w, httpStatus(code), Reply{Op: op, Error: msg})
+}
+
+// reply writes an op result: the bare payload on the deprecated routes, the
+// envelope under /v1 (op errors map onto the stable code set).
+func writeReply(w http.ResponseWriter, v1 bool, rep Reply) {
+	if !v1 {
+		writeJSON(w, rep)
+		return
+	}
+	if rep.Error != "" {
+		code := errCode(rep.Error)
+		writeJSONStatus(w, httpStatus(code), Envelope{OK: false, Error: &ErrorInfo{Code: code, Message: rep.Error}})
+		return
+	}
+	writeData(w, rep)
+}
+
+// writeData envelopes any payload as a successful /v1 response. The data
+// bytes are exactly what the deprecated alias writes as its whole body.
+func writeData(w http.ResponseWriter, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		writeJSONStatus(w, http.StatusInternalServerError,
+			Envelope{OK: false, Error: &ErrorInfo{Code: CodeInternal, Message: err.Error()}})
+		return
+	}
+	writeJSON(w, Envelope{OK: true, Data: raw})
+}
+
+// methodNotAllowed writes the mutation-guard refusal on either surface.
+func methodNotAllowed(w http.ResponseWriter, v1 bool, op string) {
+	if v1 {
+		writeJSONStatus(w, http.StatusMethodNotAllowed,
+			Envelope{OK: false, Error: &ErrorInfo{Code: CodeMethodNotAllowed, Message: "mutating endpoint: use POST"}})
+		return
+	}
+	writeJSONStatus(w, http.StatusMethodNotAllowed, Reply{Op: op, Error: "mutating endpoint: use POST"})
+}
+
+// Mux builds the HTTP surface: the versioned /v1 routes and their deprecated
+// unversioned aliases. Query endpoints answer GET; every endpoint that
+// mutates server state (add/delete/flush/compact/save) requires POST, so
 // crawlers, prefetchers and simple cross-site GETs cannot trip them.
 func (d *Daemon) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	handle := func(op string, mutating bool, keys ...string) {
-		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
-			if mutating && r.Method != http.MethodPost {
-				writeJSONStatus(w, http.StatusMethodNotAllowed, Reply{Op: op, Error: "mutating endpoint: use POST"})
-				return
-			}
-			args := make(map[string]string, len(keys))
-			for _, k := range keys {
-				args[k] = r.URL.Query().Get(k)
-			}
-			sess := d.session(r.URL.Query().Get("session"))
-			writeJSON(w, d.run(sess, op, args))
-		})
-	}
-	handle("term", false, "q")
-	handle("df", false, "q")
-	handle("and", false, "q")
-	handle("or", false, "q")
-	handle("similar", false, "doc", "k")
-	handle("theme", false, "cluster")
-	handle("near", false, "x", "y", "r")
-	// Galaxy tiles are addressed by path, slippy-map style; the method
-	// prefix makes non-GET requests 405 like the other read endpoints'
-	// mutation guard does.
-	mux.HandleFunc("GET /tiles/{z}/{x}/{y}", func(w http.ResponseWriter, r *http.Request) {
-		args := map[string]string{
-			"z": r.PathValue("z"),
-			"x": r.PathValue("x"),
-			"y": r.PathValue("y"),
-		}
-		sess := d.session(r.URL.Query().Get("session"))
-		writeJSON(w, d.run(sess, "tile", args))
-	})
-	handle("add", true, "text")
-	handle("delete", true, "doc")
-	for _, op := range []string{"flush", "compact", "save"} {
-		op := op
-		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != http.MethodPost {
-				writeJSONStatus(w, http.StatusMethodNotAllowed, Reply{Op: op, Error: "mutating endpoint: use POST"})
-				return
-			}
-			path := r.URL.Query().Get("path")
-			if op == "save" {
-				resolved, err := savePath(d.saveDir, path)
-				if err != nil {
-					writeJSON(w, Reply{Op: op, Error: err.Error()})
+	register := func(prefix string, v1 bool) {
+		handle := func(op string, mutating bool, keys ...string) {
+			mux.HandleFunc(prefix+"/"+op, func(w http.ResponseWriter, r *http.Request) {
+				if mutating && r.Method != http.MethodPost {
+					methodNotAllowed(w, v1, op)
 					return
 				}
-				path = resolved
+				name := r.URL.Query().Get("session")
+				degraded, ok := d.admit(w, name, v1, op)
+				if !ok {
+					return
+				}
+				defer d.release()
+				if degraded {
+					w.Header().Set("X-Degraded", "1")
+				}
+				args := make(map[string]string, len(keys))
+				for _, k := range keys {
+					args[k] = r.URL.Query().Get(k)
+				}
+				writeReply(w, v1, d.run(r.Context(), d.session(name), op, args, degraded))
+			})
+		}
+		handle("term", false, "q")
+		handle("df", false, "q")
+		handle("and", false, "q")
+		handle("or", false, "q")
+		handle("similar", false, "doc", "k")
+		handle("theme", false, "cluster")
+		handle("near", false, "x", "y", "r")
+		// Galaxy tiles are addressed by path, slippy-map style; the method
+		// prefix makes non-GET requests 405 like the other read endpoints'
+		// mutation guard does.
+		mux.HandleFunc("GET "+prefix+"/tiles/{z}/{x}/{y}", func(w http.ResponseWriter, r *http.Request) {
+			name := r.URL.Query().Get("session")
+			degraded, ok := d.admit(w, name, v1, "tile")
+			if !ok {
+				return
 			}
-			writeJSON(w, d.live(op, path))
+			defer d.release()
+			if degraded {
+				w.Header().Set("X-Degraded", "1")
+			}
+			args := map[string]string{
+				"z": r.PathValue("z"),
+				"x": r.PathValue("x"),
+				"y": r.PathValue("y"),
+			}
+			writeReply(w, v1, d.run(r.Context(), d.session(name), "tile", args, degraded))
+		})
+		handle("add", true, "text")
+		handle("delete", true, "doc")
+		for _, op := range []string{"flush", "compact", "save"} {
+			op := op
+			mux.HandleFunc(prefix+"/"+op, func(w http.ResponseWriter, r *http.Request) {
+				if r.Method != http.MethodPost {
+					methodNotAllowed(w, v1, op)
+					return
+				}
+				path := r.URL.Query().Get("path")
+				if op == "save" {
+					resolved, err := savePath(d.saveDir, path)
+					if err != nil {
+						writeReply(w, v1, Reply{Op: op, Error: err.Error()})
+						return
+					}
+					path = resolved
+				}
+				writeReply(w, v1, d.live(r.Context(), op, path))
+			})
+		}
+		mux.HandleFunc(prefix+"/themes", func(w http.ResponseWriter, r *http.Request) {
+			if v1 {
+				writeData(w, d.srv.Themes())
+				return
+			}
+			writeJSON(w, d.srv.Themes())
+		})
+		mux.HandleFunc(prefix+"/stats", func(w http.ResponseWriter, r *http.Request) {
+			if v1 {
+				writeData(w, d.srv.Stats())
+				return
+			}
+			writeJSON(w, d.srv.Stats())
 		})
 	}
-	mux.HandleFunc("/themes", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, d.srv.Themes())
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, d.srv.Stats())
-	})
+	register("/v1", true)
+	// Deprecated: the unversioned aliases of the /v1 routes, kept for
+	// existing clients; their bodies are the /v1 "data" payloads verbatim.
+	register("", false)
 	return mux
 }
 
@@ -322,6 +613,7 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 // Unlike HTTP /save, the line protocol's save takes a full path — it is the
 // operator's own terminal, not the network surface.
 func (d *Daemon) ServeLines(in io.Reader, out io.Writer) {
+	ctx := context.Background()
 	sess := &namedSession{sess: d.srv.NewQuerier()}
 	sc := bufio.NewScanner(in)
 	enc := json.NewEncoder(out)
@@ -342,7 +634,7 @@ func (d *Daemon) ServeLines(in io.Reader, out io.Writer) {
 			if len(rest) > 0 {
 				path = rest[0]
 			}
-			_ = enc.Encode(d.live(op, path))
+			_ = enc.Encode(d.live(ctx, op, path))
 			continue
 		}
 		args := map[string]string{}
@@ -379,6 +671,6 @@ func (d *Daemon) ServeLines(in io.Reader, out io.Writer) {
 				args["z"], args["x"], args["y"] = rest[0], rest[1], rest[2]
 			}
 		}
-		_ = enc.Encode(d.run(sess, op, args))
+		_ = enc.Encode(d.run(ctx, sess, op, args, false))
 	}
 }

@@ -1,6 +1,7 @@
 package httpd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -44,29 +45,31 @@ func TestSavePathConfinement(t *testing.T) {
 // so the routing-policy tests need no indexed store behind them.
 type stubQuerier struct{}
 
-func (stubQuerier) TermDocs(string) []query.Posting         { return nil }
-func (stubQuerier) DF(string) int64                         { return 0 }
-func (stubQuerier) And(...string) []int64                   { return nil }
-func (stubQuerier) Or(...string) []int64                    { return nil }
-func (stubQuerier) Similar(int64, int) ([]query.Hit, error) { return nil, nil }
-func (stubQuerier) ThemeDocs(int) []int64                   { return nil }
-func (stubQuerier) Near(float64, float64, float64) []int64  { return nil }
-func (stubQuerier) Tile(int, int, int) (*serve.TileResult, error) {
+func (stubQuerier) TermDocs(context.Context, string) []query.Posting         { return nil }
+func (stubQuerier) DF(context.Context, string) int64                         { return 0 }
+func (stubQuerier) And(context.Context, ...string) []int64                   { return nil }
+func (stubQuerier) Or(context.Context, ...string) []int64                    { return nil }
+func (stubQuerier) Similar(context.Context, int64, int) ([]query.Hit, error) { return nil, nil }
+func (stubQuerier) ThemeDocs(context.Context, int) []int64                   { return nil }
+func (stubQuerier) Near(context.Context, float64, float64, float64) []int64  { return nil }
+func (stubQuerier) Tile(context.Context, int, int, int) (*serve.TileResult, error) {
 	return &serve.TileResult{}, nil
 }
-func (stubQuerier) TileRange(int, tiles.Rect) ([]*serve.TileResult, error) { return nil, nil }
-func (stubQuerier) Add(string) (int64, error)                              { return 0, nil }
-func (stubQuerier) Delete(int64) error                                     { return nil }
-func (stubQuerier) Stats() serve.SessionStats                              { return serve.SessionStats{} }
+func (stubQuerier) TileRange(context.Context, int, tiles.Rect) ([]*serve.TileResult, error) {
+	return nil, nil
+}
+func (stubQuerier) Add(context.Context, string) (int64, error) { return 0, nil }
+func (stubQuerier) Delete(context.Context, int64) error        { return nil }
+func (stubQuerier) Stats() serve.SessionStats                  { return serve.SessionStats{} }
 
 type stubService struct{}
 
-func (stubService) NewQuerier() serve.Querier { return stubQuerier{} }
-func (stubService) Stats() serve.Stats        { return serve.Stats{} }
-func (stubService) TopTerms(int) []string     { return nil }
-func (stubService) SampleDocs(int) []int64    { return nil }
-func (stubService) NumThemes() int            { return 0 }
-func (stubService) Themes() []core.Theme      { return nil }
+func (stubService) NewQuerier() serve.Querier               { return stubQuerier{} }
+func (stubService) Stats() serve.Stats                      { return serve.Stats{} }
+func (stubService) TopTerms(context.Context, int) []string  { return nil }
+func (stubService) SampleDocs(context.Context, int) []int64 { return nil }
+func (stubService) NumThemes() int                          { return 0 }
+func (stubService) Themes() []core.Theme                    { return nil }
 
 // TestMutatingEndpointsRequirePOST pins the method split of the HTTP surface:
 // every state-changing endpoint rejects GET with 405, queries stay on GET,

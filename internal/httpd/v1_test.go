@@ -1,0 +1,271 @@
+package httpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fetch returns one response's status, headers and raw body.
+func fetch(t *testing.T, c *http.Client, method, url string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestV1LegacyEquivalence pins the deprecation contract: for every query
+// endpoint, the legacy unversioned body is byte-identical to the /v1
+// envelope's "data" payload. Each route is primed once first so both reads
+// see the same warm cache state (virtual_ms models cache hits).
+func TestV1LegacyEquivalence(t *testing.T) {
+	ts := httptest.NewServer(New(buildService(t, 3), "").Mux())
+	defer ts.Close()
+	c := ts.Client()
+
+	routes := []string{
+		"/term?q=apple",
+		"/df?q=banana",
+		"/and?q=apple,banana",
+		"/or?q=apple,durian",
+		"/similar?doc=0&k=3",
+		"/theme?cluster=0",
+		"/near?x=0&y=0&r=2",
+		"/tiles/0/0/0",
+		"/themes",
+	}
+	for _, route := range routes {
+		fetch(t, c, http.MethodGet, ts.URL+route) // prime caches
+		legacyCode, _, legacy := fetch(t, c, http.MethodGet, ts.URL+route)
+		v1Code, _, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1"+route)
+		if legacyCode != http.StatusOK || v1Code != http.StatusOK {
+			t.Fatalf("%s: legacy %d, v1 %d", route, legacyCode, v1Code)
+		}
+		var env Envelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatalf("/v1%s: %v", route, err)
+		}
+		if !env.OK || env.Error != nil {
+			t.Fatalf("/v1%s envelope = %s", route, raw)
+		}
+		if got, want := bytes.TrimSpace(env.Data), bytes.TrimSpace(legacy); !bytes.Equal(got, want) {
+			t.Fatalf("/v1%s data diverges from the legacy body:\n  v1:     %s\n  legacy: %s", route, got, want)
+		}
+	}
+}
+
+// TestV1ErrorEnvelope pins the /v1 failure shape: op errors answer
+// {"ok":false,"error":{code,message}} with a stable code and a non-200
+// status, while the legacy alias keeps its in-band {"error": "..."} on 200.
+func TestV1ErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(New(buildService(t, 1), "").Mux())
+	defer ts.Close()
+	c := ts.Client()
+
+	code, _, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1/similar?doc=99999&k=3")
+	if code == http.StatusOK {
+		t.Fatalf("/v1 op error kept status 200: %s", raw)
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.OK || env.Error == nil || env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("v1 error envelope = %s", raw)
+	}
+
+	// Same op on the legacy alias: in-band error, HTTP 200.
+	code, _, raw = fetch(t, c, http.MethodGet, ts.URL+"/similar?doc=99999&k=3")
+	if code != http.StatusOK {
+		t.Fatalf("legacy op error changed status to %d", code)
+	}
+	var rep Reply
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Error == "" {
+		t.Fatalf("legacy error not in-band: %s", raw)
+	}
+
+	// Mutation guard under /v1: envelope with the stable code.
+	code, _, raw = fetch(t, c, http.MethodGet, ts.URL+"/v1/add?text=x")
+	if code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/add = %d, want 405", code)
+	}
+	env = Envelope{}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.OK || env.Error == nil || env.Error.Code != CodeMethodNotAllowed {
+		t.Fatalf("405 envelope = %s", raw)
+	}
+}
+
+// TestAdmissionInFlightShedding pins the overload path: past MaxInFlight the
+// daemon sheds with 429 + Retry-After and the stable overloaded code, and
+// counts the shed.
+func TestAdmissionInFlightShedding(t *testing.T) {
+	d := New(stubService{}, "")
+	d.SetLimits(Limits{MaxInFlight: 2, RetryAfter: 2 * time.Second})
+	ts := httptest.NewServer(d.Mux())
+	defer ts.Close()
+	c := ts.Client()
+
+	d.inflight.Add(2) // two requests parked in flight
+	code, hdr, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1/term?q=x")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded request = %d, want 429: %s", code, raw)
+	}
+	if hdr.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", hdr.Get("Retry-After"))
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.OK || env.Error == nil || env.Error.Code != CodeOverloaded {
+		t.Fatalf("shed envelope = %s", raw)
+	}
+	if d.Shed() != 1 {
+		t.Fatalf("Shed() = %d, want 1", d.Shed())
+	}
+
+	// The legacy alias sheds too, with its in-band shape.
+	code, hdr, raw = fetch(t, c, http.MethodGet, ts.URL+"/term?q=x")
+	if code != http.StatusTooManyRequests || hdr.Get("Retry-After") == "" {
+		t.Fatalf("legacy shed = %d (Retry-After %q)", code, hdr.Get("Retry-After"))
+	}
+	var rep Reply
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Error == "" {
+		t.Fatalf("legacy shed body = %s", raw)
+	}
+
+	d.inflight.Add(-2)
+	if code, _, _ := fetch(t, c, http.MethodGet, ts.URL+"/v1/term?q=x"); code != http.StatusOK {
+		t.Fatalf("post-overload request = %d, want 200", code)
+	}
+}
+
+// TestSessionRateLimit pins the per-session token bucket: one name's burst
+// exhausts independently of other names.
+func TestSessionRateLimit(t *testing.T) {
+	d := New(stubService{}, "")
+	d.SetLimits(Limits{SessionRate: 0.001, SessionBurst: 2})
+	ts := httptest.NewServer(d.Mux())
+	defer ts.Close()
+	c := ts.Client()
+
+	for i := 0; i < 2; i++ {
+		if code, _, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1/term?q=x&session=a"); code != http.StatusOK {
+			t.Fatalf("request %d = %d: %s", i, code, raw)
+		}
+	}
+	code, _, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1/term?q=x&session=a")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("burst-exhausted session = %d, want 429: %s", code, raw)
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error == nil || env.Error.Code != CodeRateLimited {
+		t.Fatalf("rate-limit envelope = %s", raw)
+	}
+	// A different name still has its own bucket.
+	if code, _, _ := fetch(t, c, http.MethodGet, ts.URL+"/v1/term?q=x&session=b"); code != http.StatusOK {
+		t.Fatalf("sibling session limited too: %d", code)
+	}
+	// Anonymous requests bypass session buckets entirely.
+	if code, _, _ := fetch(t, c, http.MethodGet, ts.URL+"/v1/term?q=x"); code != http.StatusOK {
+		t.Fatalf("anonymous request limited: %d", code)
+	}
+}
+
+// TestGlobalRateLimit pins the daemon-wide bucket: past the global burst
+// every request sheds regardless of session.
+func TestGlobalRateLimit(t *testing.T) {
+	d := New(stubService{}, "")
+	d.SetLimits(Limits{GlobalRate: 0.001, GlobalBurst: 3})
+	ts := httptest.NewServer(d.Mux())
+	defer ts.Close()
+	c := ts.Client()
+
+	for i := 0; i < 3; i++ {
+		if code, _, _ := fetch(t, c, http.MethodGet, ts.URL+"/v1/term?q=x"); code != http.StatusOK {
+			t.Fatalf("request %d not admitted", i)
+		}
+	}
+	code, _, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1/df?q=x")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("global-exhausted request = %d, want 429: %s", code, raw)
+	}
+	// Observability stays up under overload: /stats and /themes bypass
+	// admission entirely.
+	if code, _, _ := fetch(t, c, http.MethodGet, ts.URL+"/v1/stats"); code != http.StatusOK {
+		t.Fatalf("/v1/stats shed under overload: %d", code)
+	}
+}
+
+// TestDegradedReplies pins graceful degradation: past the degrade threshold
+// replies are flagged X-Degraded and served coarser — similarity K clamped,
+// deep tile addresses answered by their ancestor at the clamp zoom.
+func TestDegradedReplies(t *testing.T) {
+	d := New(buildService(t, 1), "")
+	d.SetLimits(Limits{MaxInFlight: 100, DegradeThreshold: 0.1, DegradeSimilarK: 2, DegradeMaxZoom: 1})
+	ts := httptest.NewServer(d.Mux())
+	defer ts.Close()
+	c := ts.Client()
+
+	d.inflight.Add(50) // half the ceiling: degraded, not shed
+	defer d.inflight.Add(-50)
+
+	code, hdr, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1/similar?doc=0&k=5")
+	if code != http.StatusOK {
+		t.Fatalf("degraded similar = %d: %s", code, raw)
+	}
+	if hdr.Get("X-Degraded") != "1" {
+		t.Fatal("degraded reply not flagged with X-Degraded")
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	var rep Reply
+	if err := json.Unmarshal(env.Data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Hits) > 2 {
+		t.Fatalf("degraded similar served %d hits, want <= 2", len(rep.Hits))
+	}
+
+	// A deep tile address answers as its zoom-1 ancestor.
+	code, hdr, raw = fetch(t, c, http.MethodGet, ts.URL+"/tiles/4/15/15")
+	if code != http.StatusOK || hdr.Get("X-Degraded") != "1" {
+		t.Fatalf("degraded tile = %d (X-Degraded %q)", code, hdr.Get("X-Degraded"))
+	}
+	rep = Reply{}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Error != "" || rep.Tile == nil || rep.Tile.Z != 1 {
+		t.Fatalf("degraded tile reply = %s, want the zoom-1 ancestor", raw)
+	}
+}

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"os"
@@ -175,8 +176,8 @@ func TestDriverEndToEnd(t *testing.T) {
 		Sessions:      16,
 		OpsPerSession: 15,
 		Seed:          3,
-		Terms:         svc.TopTerms(8),
-		Docs:          svc.SampleDocs(4),
+		Terms:         svc.TopTerms(context.Background(), 8),
+		Docs:          svc.SampleDocs(context.Background(), 4),
 		Themes:        svc.NumThemes(),
 		LiveFrac:      0.12,
 	}
@@ -247,6 +248,8 @@ func TestWallGate(t *testing.T) {
 	base := &WallMetrics{
 		Sessions: 100, OpsPerSession: 50, Seed: 1,
 		NormQPS: 100, AllocsPerOp: 400, BytesPerOp: 60000,
+		Replicas: 2, UnhedgedP95MS: 10, HedgedP99MS: 12,
+		OverloadLimitQPS: 500, OverloadServedQPS: 480,
 	}
 	mod := func(f func(*WallMetrics)) *WallMetrics {
 		m := *base
@@ -268,6 +271,17 @@ func TestWallGate(t *testing.T) {
 		{"bytes above ceiling", mod(func(m *WallMetrics) { m.BytesPerOp = 75001 }), 1},
 		{"hard errors always fail", mod(func(m *WallMetrics) { m.HardErrors = 1 }), 1},
 		{"workload mismatch", mod(func(m *WallMetrics) { m.Seed = 2 }), 1},
+		{"hedged p99 at ceiling", mod(func(m *WallMetrics) { m.HedgedP99MS = 15 }), 0},
+		{"hedged p99 above ceiling", mod(func(m *WallMetrics) { m.HedgedP99MS = 15.01 }), 1},
+		{"replication measurement dropped", mod(func(m *WallMetrics) {
+			m.Replicas, m.UnhedgedP95MS, m.HedgedP99MS = 0, 0, 0
+		}), 1},
+		{"overload served at floor", mod(func(m *WallMetrics) { m.OverloadServedQPS = 400 }), 0},
+		{"overload collapsed", mod(func(m *WallMetrics) { m.OverloadServedQPS = 399 }), 1},
+		{"overload limit not enforced", mod(func(m *WallMetrics) { m.OverloadServedQPS = 601 }), 1},
+		{"overload measurement dropped", mod(func(m *WallMetrics) {
+			m.OverloadLimitQPS, m.OverloadServedQPS = 0, 0
+		}), 1},
 		{"everything wrong", mod(func(m *WallMetrics) {
 			m.NormQPS, m.AllocsPerOp, m.BytesPerOp, m.HardErrors = 1, 9999, 9e9, 3
 		}), 4},

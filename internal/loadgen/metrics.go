@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"time"
 )
@@ -32,6 +33,18 @@ const (
 	// cost no longer scales with decode work, and a 10x margin holds across
 	// runner speeds because both sides slow down together.
 	GateMinColdStartSpeedup = 10.0
+	// GateMaxHedgedP99Ratio fails the gate when, with one replica stalled,
+	// the hedged read p99 exceeds this multiple of the un-hedged p95: the
+	// hedge must cut the slow replica out of the tail, not just add load.
+	// Like the cold-start floor this is an absolute ratio, not a baseline
+	// delta — both sides of the ratio come from the same run on the same
+	// host, so it holds across runner speeds.
+	GateMaxHedgedP99Ratio = 1.5
+	// GateMaxOverloadDeviation fails the gate when the served QPS under a
+	// saturating load deviates more than this fraction from the admission
+	// limit: far below means the daemon collapsed instead of shedding, far
+	// above means admission control is not enforcing the limit.
+	GateMaxOverloadDeviation = 0.20
 )
 
 // WallMetrics are the persisted quantities of one wall-clock load run —
@@ -75,6 +88,22 @@ type WallMetrics struct {
 	ColdStartGobMS    float64 `json:"cold_start_gob_ms,omitempty"`
 	// ColdStartSpeedup is ColdStartGobMS / ColdStartMappedMS.
 	ColdStartSpeedup float64 `json:"cold_start_speedup,omitempty"`
+
+	// Replication: measured on an in-process replicated tier (Replicas > 1)
+	// with one replica stalled. UnhedgedP95MS is the read p95 with hedging
+	// disabled, HedgedP99MS the read p99 with hedging on — the gate requires
+	// the hedged tail to beat GateMaxHedgedP99Ratio times the un-hedged
+	// body. Zero Replicas means the run did not measure replication.
+	Replicas      int     `json:"replicas,omitempty"`
+	UnhedgedP95MS float64 `json:"unhedged_p95_ms,omitempty"`
+	HedgedP99MS   float64 `json:"hedged_p99_ms,omitempty"`
+
+	// Overload: a saturating hammer against an admission limit of
+	// OverloadLimitQPS must be served at OverloadServedQPS within
+	// GateMaxOverloadDeviation — excess requests shed with 429, the served
+	// stream intact. Zero OverloadLimitQPS means overload was not measured.
+	OverloadLimitQPS  float64 `json:"overload_limit_qps,omitempty"`
+	OverloadServedQPS float64 `json:"overload_served_qps,omitempty"`
 }
 
 // FromResult folds a measured result and the host calibration into the
@@ -138,6 +167,26 @@ func (m *WallMetrics) Gate(base *WallMetrics) []string {
 	}
 	if base.ColdStartSpeedup > 0 && m.ColdStartSpeedup == 0 {
 		out = append(out, "baseline has a cold-start measurement but the current run has none")
+	}
+	// Replication gates on absolute ratios within the current run, like cold
+	// start; a run that silently dropped the measurement is a regression.
+	if m.Replicas > 1 && m.UnhedgedP95MS > 0 {
+		if ceil := GateMaxHedgedP99Ratio * m.UnhedgedP95MS; m.HedgedP99MS > ceil {
+			out = append(out, fmt.Sprintf("hedged p99 %.2fms exceeds %.1fx the un-hedged p95 %.2fms with one slow replica",
+				m.HedgedP99MS, GateMaxHedgedP99Ratio, m.UnhedgedP95MS))
+		}
+	}
+	if base.Replicas > 1 && m.Replicas <= 1 {
+		out = append(out, "baseline has a replication measurement but the current run has none")
+	}
+	if m.OverloadLimitQPS > 0 {
+		if dev := math.Abs(m.OverloadServedQPS-m.OverloadLimitQPS) / m.OverloadLimitQPS; dev > GateMaxOverloadDeviation {
+			out = append(out, fmt.Sprintf("served %.0f qps under overload deviates %.0f%% from the %.0f qps admission limit (max %.0f%%)",
+				m.OverloadServedQPS, 100*dev, m.OverloadLimitQPS, 100*GateMaxOverloadDeviation))
+		}
+	}
+	if base.OverloadLimitQPS > 0 && m.OverloadLimitQPS == 0 {
+		out = append(out, "baseline has an overload measurement but the current run has none")
 	}
 	return out
 }
@@ -262,6 +311,17 @@ func AppendTrajectory(path string, m *WallMetrics, now time.Time) error {
 			trajBench{Name: "cold start (mapped)", Value: m.ColdStartMappedMS, Unit: "ms"},
 			trajBench{Name: "cold start (gob)", Value: m.ColdStartGobMS, Unit: "ms"},
 			trajBench{Name: "cold start speedup", Value: m.ColdStartSpeedup, Unit: "x"},
+		)
+	}
+	if m.Replicas > 1 && m.UnhedgedP95MS > 0 {
+		run.Benches = append(run.Benches,
+			trajBench{Name: "unhedged p95 (slow replica)", Value: m.UnhedgedP95MS, Unit: "ms"},
+			trajBench{Name: "hedged p99 (slow replica)", Value: m.HedgedP99MS, Unit: "ms"},
+		)
+	}
+	if m.OverloadLimitQPS > 0 {
+		run.Benches = append(run.Benches,
+			trajBench{Name: "overload served", Value: m.OverloadServedQPS, Unit: "req/s"},
 		)
 	}
 	runs := append(tr.Entries[trajSeries], run)

@@ -61,6 +61,17 @@ func (s *Segment) Postings() int64 {
 	return n
 }
 
+// ShipBytes returns the byte volume shipping this segment to a replica
+// moves: the block-compressed posting store, the document table, and the
+// signature vectors. The replica catch-up path charges it.
+func (s *Segment) ShipBytes() int64 {
+	n := s.Posts.SizeBytes() + int64(8*len(s.Docs))
+	for _, v := range s.SigVecs {
+		n += int64(8 * len(v))
+	}
+	return n
+}
+
 // Contains reports whether the segment covers doc.
 func (s *Segment) Contains(doc int64) bool {
 	i := sort.Search(len(s.Docs), func(i int) bool { return s.Docs[i] >= doc })

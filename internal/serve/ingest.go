@@ -298,6 +298,105 @@ func (st *Store) installLive(segs []*segment.Segment, tombs []int64) error {
 	return nil
 }
 
+// AdoptSegments publishes already-sealed segments shipped from a replication
+// peer onto this store — the replica catch-up path. Segments are shared by
+// reference (they are immutable once sealed); ones the store already holds
+// are skipped, so replaying a catch-up entry twice converges. The pending
+// delta, if any, must have been discarded first (DiscardDelta): every
+// document it buffered arrives inside the shipped segments, and sealing it
+// too would serve duplicates.
+func (st *Store) AdoptSegments(segs []*segment.Segment) error {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	v := st.initViewLocked()
+	if st.live.delta != nil && st.live.delta.NumDocs() > 0 {
+		return fmt.Errorf("serve: adopt: pending delta would duplicate shipped documents; discard it first")
+	}
+	fresh := segs[:0:0]
+	for _, seg := range segs {
+		have := false
+		for _, s := range v.segs {
+			if s == seg {
+				have = true
+				break
+			}
+		}
+		if !have {
+			fresh = append(fresh, seg)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	next := make([]*segment.Segment, len(v.segs), len(v.segs)+len(fresh))
+	copy(next, v.segs)
+	next = append(next, fresh...)
+	var newPts []project.Point
+	for _, seg := range fresh {
+		newPts = append(newPts, st.planarPoints(seg)...)
+	}
+	pts := make([]project.Point, len(v.pts), len(v.pts)+len(newPts))
+	copy(pts, v.pts)
+	pts = append(pts, newPts...)
+	st.publishLocked(&view{gen: v.gen, base: v.base, segs: next, tombs: v.tombs, sigs: v.sigs, pts: pts,
+		kind: viewSeal, newSegs: next[len(next)-len(fresh):], newPts: newPts})
+	for _, seg := range fresh {
+		if max := seg.MaxDoc() + 1; max > st.live.nextDoc {
+			st.live.nextDoc = max
+		}
+	}
+	st.live.seals.Add(1)
+	return nil
+}
+
+// AdoptTombstone applies a replicated delete idempotently: a document the
+// store no longer exposes (already tombstoned by a previous application, or
+// compacted away together with its tombstone before the replica died) is a
+// no-op, so replaying a catch-up entry twice converges.
+func (st *Store) AdoptTombstone(doc int64) error {
+	if !st.viewNow().contains(doc) {
+		return nil
+	}
+	_, err := st.Delete(doc)
+	return err
+}
+
+// DiscardDelta drops the pending (unsealed) delta. Replica catch-up uses it:
+// the discarded documents were replicated writes the primary has since
+// sealed, so they come back inside the shipped segments.
+func (st *Store) DiscardDelta() {
+	st.live.mu.Lock()
+	st.live.delta = nil
+	st.live.mu.Unlock()
+}
+
+// Replicate builds a read-equivalent live copy of the store: the immutable
+// base products are shared (a mapped base shares its pages for free), the
+// live policy is copied — identical seal thresholds keep an identical write
+// stream sealing at identical boundaries — and the current sealed segments,
+// tombstones and ID high-water are installed. The pending delta is flushed
+// first so the copy sees every write. Keep the copy current by applying the
+// original's write stream, or by LineageSince catch-up.
+func (st *Store) Replicate() (*Store, error) {
+	if _, err := st.Flush(); err != nil {
+		return nil, err
+	}
+	cp := st.Fork()
+	cp.SetLivePolicy(st.livePolicy())
+	v := st.viewNow()
+	if len(v.segs) > 0 || len(v.tombs) > 0 {
+		tombs := make([]int64, 0, len(v.tombs))
+		for d := range v.tombs {
+			tombs = append(tombs, d)
+		}
+		if err := cp.installLive(v.segs, tombs); err != nil {
+			return nil, err
+		}
+	}
+	cp.AdvanceNextDoc(st.NextDocID())
+	return cp, nil
+}
+
 // NextDocID returns the store's document-ID high-water mark: the ID the next
 // local Add would take. IDs at or above it have never been assigned; IDs
 // below it are in use or retired (deleted IDs are never reused).

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -91,10 +92,10 @@ func queryTerms(st *Store) []string {
 func agreeQueries(t *testing.T, label string, want, got Querier, terms []string, simDocs []int64) {
 	t.Helper()
 	for _, term := range terms {
-		if a, b := want.DF(term), got.DF(term); a != b {
+		if a, b := want.DF(context.Background(), term), got.DF(context.Background(), term); a != b {
 			t.Fatalf("%s: DF(%q) = %d, want %d", label, term, b, a)
 		}
-		if a, b := want.TermDocs(term), got.TermDocs(term); !reflect.DeepEqual(a, b) {
+		if a, b := want.TermDocs(context.Background(), term), got.TermDocs(context.Background(), term); !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: TermDocs(%q) = %v, want %v", label, term, b, a)
 		}
 	}
@@ -105,16 +106,16 @@ func agreeQueries(t *testing.T, label string, want, got Querier, terms []string,
 		for j := range q {
 			q[j] = terms[rng.Intn(len(terms))]
 		}
-		if a, b := want.And(q...), got.And(q...); !reflect.DeepEqual(a, b) {
+		if a, b := want.And(context.Background(), q...), got.And(context.Background(), q...); !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: And(%v) = %v, want %v", label, q, b, a)
 		}
-		if a, b := want.Or(q...), got.Or(q...); !reflect.DeepEqual(a, b) {
+		if a, b := want.Or(context.Background(), q...), got.Or(context.Background(), q...); !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: Or(%v) = %v, want %v", label, q, b, a)
 		}
 	}
 	for _, doc := range simDocs {
-		a, errA := want.Similar(doc, 5)
-		b, errB := got.Similar(doc, 5)
+		a, errA := want.Similar(context.Background(), doc, 5)
+		b, errB := got.Similar(context.Background(), doc, 5)
 		if (errA == nil) != (errB == nil) {
 			t.Fatalf("%s: Similar(%d) errors disagree: %v vs %v", label, doc, errA, errB)
 		}
@@ -128,11 +129,11 @@ func agreeQueries(t *testing.T, label string, want, got Querier, terms []string,
 	for i := 0; i < 30; i++ {
 		x, y := rng.Float64()*2-1, rng.Float64()*2-1
 		r := rng.Float64() * 0.7
-		if a, b := want.Near(x, y, r), got.Near(x, y, r); !reflect.DeepEqual(a, b) {
+		if a, b := want.Near(context.Background(), x, y, r), got.Near(context.Background(), x, y, r); !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: Near(%g,%g,%g) = %v, want %v", label, x, y, r, b, a)
 		}
 	}
-	if a, b := want.Near(0, 0, 1e9), got.Near(0, 0, 1e9); !reflect.DeepEqual(a, b) {
+	if a, b := want.Near(context.Background(), 0, 0, 1e9), got.Near(context.Background(), 0, 0, 1e9); !reflect.DeepEqual(a, b) {
 		t.Fatalf("%s: Near(all) = %d docs, want %d", label, len(b), len(a))
 	}
 }
@@ -235,7 +236,7 @@ func TestIngestedEqualsBatchSharded(t *testing.T) {
 	}
 	sess := liveRouter.NewSession()
 	for i, text := range texts {
-		doc, err := sess.Add(text)
+		doc, err := sess.Add(context.Background(), text)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,7 +244,7 @@ func TestIngestedEqualsBatchSharded(t *testing.T) {
 			t.Fatalf("routed add %d assigned doc %d", i, doc)
 		}
 	}
-	if err := liveRouter.FlushLive(); err != nil {
+	if err := liveRouter.FlushLive(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -251,7 +252,7 @@ func TestIngestedEqualsBatchSharded(t *testing.T) {
 	simDocs := append(st.SampleDocs(6), 1<<40)
 	agreeQueries(t, "routed segmented", batchRouter.NewSession(), liveRouter.NewSession(), terms, simDocs)
 
-	if err := liveRouter.CompactLive(); err != nil {
+	if err := liveRouter.CompactLive(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	agreeQueries(t, "routed compacted", batchRouter.NewSession(), liveRouter.NewSession(), terms, simDocs)
@@ -272,28 +273,28 @@ func TestDeleteTombstones(t *testing.T) {
 	srv := newServerT(t, st, Config{})
 	sess := srv.NewSession()
 
-	dfBefore := sess.DF("apple")
-	if got := sess.And("apple", "banana"); !reflect.DeepEqual(got, []int64{0, 1}) {
+	dfBefore := sess.DF(context.Background(), "apple")
+	if got := sess.And(context.Background(), "apple", "banana"); !reflect.DeepEqual(got, []int64{0, 1}) {
 		t.Fatalf("precondition: %v", got)
 	}
-	if err := sess.Delete(1); err != nil {
+	if err := sess.Delete(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if got := sess.And("apple", "banana"); !reflect.DeepEqual(got, []int64{0}) {
+	if got := sess.And(context.Background(), "apple", "banana"); !reflect.DeepEqual(got, []int64{0}) {
 		t.Fatalf("And after delete = %v", got)
 	}
-	if got := sess.Or("banana"); !reflect.DeepEqual(got, []int64{0}) {
+	if got := sess.Or(context.Background(), "banana"); !reflect.DeepEqual(got, []int64{0}) {
 		t.Fatalf("Or after delete = %v", got)
 	}
-	for _, p := range sess.TermDocs("banana") {
+	for _, p := range sess.TermDocs(context.Background(), "banana") {
 		if p.Doc == 1 {
 			t.Fatal("tombstoned doc in TermDocs")
 		}
 	}
-	if _, err := sess.Similar(1, 3); err == nil {
+	if _, err := sess.Similar(context.Background(), 1, 3); err == nil {
 		t.Fatal("Similar to a deleted doc should fail")
 	}
-	hits, err := sess.Similar(0, 5)
+	hits, err := sess.Similar(context.Background(), 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,29 +304,29 @@ func TestDeleteTombstones(t *testing.T) {
 		}
 	}
 	for k := 0; k < st.K; k++ {
-		for _, d := range sess.ThemeDocs(k) {
+		for _, d := range sess.ThemeDocs(context.Background(), k) {
 			if d == 1 {
 				t.Fatal("tombstoned doc in ThemeDocs")
 			}
 		}
 	}
-	for _, d := range sess.Near(0, 0, 1e9) {
+	for _, d := range sess.Near(context.Background(), 0, 0, 1e9) {
 		if d == 1 {
 			t.Fatal("tombstoned doc in Near")
 		}
 	}
 	// DF keeps counting the tombstoned doc until the postings drop.
-	if got := sess.DF("apple"); got != dfBefore {
+	if got := sess.DF(context.Background(), "apple"); got != dfBefore {
 		t.Fatalf("DF before rebase = %d, want the overcount %d", got, dfBefore)
 	}
 	if err := st.Rebase(); err != nil {
 		t.Fatal(err)
 	}
-	if got := srv.NewSession().DF("apple"); got != dfBefore-1 {
+	if got := srv.NewSession().DF(context.Background(), "apple"); got != dfBefore-1 {
 		t.Fatalf("DF after rebase = %d, want %d", got, dfBefore-1)
 	}
 
-	if err := srv.NewSession().Delete(999); err == nil {
+	if err := srv.NewSession().Delete(context.Background(), 999); err == nil {
 		t.Fatal("deleting an unknown doc should fail")
 	}
 	if _, err := st.AddAt(1, "resurrection"); err == nil {
@@ -348,7 +349,7 @@ func TestRefreshSimilarDropsCompactedTombstones(t *testing.T) {
 	k := int(st.TotalDocs) + 4 // large enough that every visible doc ranks
 
 	// Prime the similarity cache at the base epoch.
-	if _, err := sess.Similar(0, k); err != nil {
+	if _, err := sess.Similar(context.Background(), 0, k); err != nil {
 		t.Fatal(err)
 	}
 
@@ -380,7 +381,7 @@ func TestRefreshSimilarDropsCompactedTombstones(t *testing.T) {
 		t.Fatal("compaction kept the tombstone; the regression needs it dropped")
 	}
 
-	hits, err := sess.Similar(0, k)
+	hits, err := sess.Similar(context.Background(), 0, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +394,7 @@ func TestRefreshSimilarDropsCompactedTombstones(t *testing.T) {
 		t.Fatal("a full rescan answered the query; the refresh path was not exercised")
 	}
 	// The patched answer equals a cold full scan.
-	cold, err := newServerT(t, st, Config{}).NewSession().Similar(0, k)
+	cold, err := newServerT(t, st, Config{}).NewSession().Similar(context.Background(), 0, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +423,7 @@ func TestPersistedNextDocNeverReusesIDs(t *testing.T) {
 	sess := router.NewSession()
 	first, last := int64(-1), int64(-1)
 	for i := 0; i < 8; i++ {
-		doc, err := sess.Add(fmt.Sprintf("apple banana %d", i))
+		doc, err := sess.Add(context.Background(), fmt.Sprintf("apple banana %d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -431,15 +432,15 @@ func TestPersistedNextDocNeverReusesIDs(t *testing.T) {
 		}
 		last = doc
 	}
-	if err := router.FlushLive(); err != nil {
+	if err := router.FlushLive(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for d := first; d <= last; d++ {
-		if err := sess.Delete(d); err != nil {
+		if err := sess.Delete(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := router.CompactLive(); err != nil {
+	if err := router.CompactLive(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i, sh := range shards {
@@ -450,7 +451,7 @@ func TestPersistedNextDocNeverReusesIDs(t *testing.T) {
 
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "set.live")
-	if err := router.SaveLive(manifest); err != nil {
+	if err := router.SaveLive(context.Background(), manifest); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(manifest)
@@ -470,7 +471,7 @@ func TestPersistedNextDocNeverReusesIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc, err := reloaded.NewSession().Add("apple fresh")
+	doc, err := reloaded.NewSession().Add(context.Background(), "apple fresh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -690,7 +691,7 @@ func TestLoadShardsBackfillsLegacyRoutingMetadata(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := router.NewSession()
-	doc, err := sess.Add("apple banana legacy")
+	doc, err := sess.Add(context.Background(), "apple banana legacy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -699,7 +700,7 @@ func TestLoadShardsBackfillsLegacyRoutingMetadata(t *testing.T) {
 	}
 	// The highest base doc is deletable (the dense per-shard rule would call
 	// any base ID >= the shard's own count unknown).
-	if err := sess.Delete(st.TotalDocs - 1); err != nil {
+	if err := sess.Delete(context.Background(), st.TotalDocs-1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -726,7 +727,7 @@ func TestIngestVisibilityFollowsSeals(t *testing.T) {
 	st.SetLivePolicy(LivePolicy{SealDocs: 3, CompactSegments: 100, ManualCompaction: true})
 	srv := newServerT(t, st, Config{})
 	sess := srv.NewSession()
-	base := sess.DF("apple")
+	base := sess.DF(context.Background(), "apple")
 
 	if _, _, err := st.Add("apple apple kiwi quarterly"); err != nil {
 		t.Fatal(err)
@@ -734,25 +735,25 @@ func TestIngestVisibilityFollowsSeals(t *testing.T) {
 	if st.PendingDocs() != 1 {
 		t.Fatalf("pending %d", st.PendingDocs())
 	}
-	if got := sess.DF("apple"); got != base {
+	if got := sess.DF(context.Background(), "apple"); got != base {
 		t.Fatalf("buffered add already visible: DF %d", got)
 	}
 	if _, err := st.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if got := sess.DF("apple"); got != base+1 {
+	if got := sess.DF(context.Background(), "apple"); got != base+1 {
 		t.Fatalf("flushed add invisible: DF %d, want %d", got, base+1)
 	}
 	// The new doc answers boolean queries merged with the base: apple lives
 	// in base docs {0,1,2} and kiwi only in base doc 5, so the conjunction
 	// can only be satisfied inside the ingested segment.
-	docs := sess.And("apple", "kiwi")
+	docs := sess.And(context.Background(), "apple", "kiwi")
 	if len(docs) != 1 || docs[0] != st.TotalDocs {
 		t.Fatalf("And over base+segment = %v", docs)
 	}
 	// Out-of-vocabulary terms ("quarterly" is not in the mini vocabulary)
 	// are dropped, not indexed: the vocabulary is frozen at snapshot time.
-	if got := sess.DF("quarterly"); got != 0 {
+	if got := sess.DF(context.Background(), "quarterly"); got != 0 {
 		t.Fatalf("OOV term got DF %d", got)
 	}
 
@@ -765,7 +766,7 @@ func TestIngestVisibilityFollowsSeals(t *testing.T) {
 	if st.PendingDocs() != 0 {
 		t.Fatalf("auto-seal did not fire: pending %d", st.PendingDocs())
 	}
-	if got, want := sess.DF("banana"), int64(2+3); got != want {
+	if got, want := sess.DF(context.Background(), "banana"), int64(2+3); got != want {
 		t.Fatalf("DF after auto-seal = %d, want %d", got, want)
 	}
 }
@@ -830,7 +831,7 @@ func TestApplySignaturesReachesRunningServers(t *testing.T) {
 	st := buildStoreT(t, 2).Fork()
 	srv := newServerT(t, st, Config{})
 	sess := srv.NewSession()
-	before, err := sess.Similar(0, 3)
+	before, err := sess.Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -858,7 +859,7 @@ func TestApplySignaturesReachesRunningServers(t *testing.T) {
 	if err := st.ApplySignatures(permuted); err != nil {
 		t.Fatal(err)
 	}
-	after, err := sess.Similar(0, 3)
+	after, err := sess.Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -867,7 +868,7 @@ func TestApplySignaturesReachesRunningServers(t *testing.T) {
 	}
 	// A fresh server agrees with the running one — no construction-time
 	// capture anymore.
-	fresh, err := newServerT(t, st, Config{}).NewSession().Similar(0, 3)
+	fresh, err := newServerT(t, st, Config{}).NewSession().Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -899,14 +900,14 @@ func TestApplySignaturesConcurrentWithSimilar(t *testing.T) {
 	}
 
 	srv := newServerT(t, st, Config{})
-	wantA, err := srv.NewSession().Similar(0, 3)
+	wantA, err := srv.NewSession().Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := st.ApplySignatures(setB); err != nil {
 		t.Fatal(err)
 	}
-	wantB, err := srv.NewSession().Similar(0, 3)
+	wantB, err := srv.NewSession().Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -935,7 +936,7 @@ func TestApplySignaturesConcurrentWithSimilar(t *testing.T) {
 			defer queriers.Done()
 			sess := srv.NewSession()
 			for i := 0; i < 200; i++ {
-				got, err := sess.Similar(0, 3)
+				got, err := sess.Similar(context.Background(), 0, 3)
 				if err != nil {
 					t.Errorf("similar: %v", err)
 					return
@@ -979,15 +980,15 @@ func TestBackgroundCompactionKeepsServing(t *testing.T) {
 					return
 				default:
 				}
-				sess.DF(terms[i%len(terms)])
-				sess.And(terms[i%len(terms)], terms[(i+3)%len(terms)])
-				sess.Or(terms[i%len(terms)], terms[(i+7)%len(terms)])
+				sess.DF(context.Background(), terms[i%len(terms)])
+				sess.And(context.Background(), terms[i%len(terms)], terms[(i+3)%len(terms)])
+				sess.Or(context.Background(), terms[i%len(terms)], terms[(i+7)%len(terms)])
 			}
 		}(g)
 	}
 	ingester := srv.NewSession()
 	for _, text := range texts {
-		if _, err := ingester.Add(text); err != nil {
+		if _, err := ingester.Add(context.Background(), text); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -1038,18 +1039,18 @@ func TestLiveSetPersistence(t *testing.T) {
 	}
 	sess := router.NewSession()
 	for i := half; i < len(texts); i++ {
-		if _, err := sess.Add(texts[i]); err != nil {
+		if _, err := sess.Add(context.Background(), texts[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := sess.Delete(int64(half) + 1); err != nil {
+	if err := sess.Delete(context.Background(), int64(half)+1); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Delete(0); err != nil {
+	if err := sess.Delete(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	manifest := filepath.Join(dir, "set.live")
-	if err := router.SaveLive(manifest); err != nil {
+	if err := router.SaveLive(context.Background(), manifest); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(manifest)
@@ -1085,15 +1086,15 @@ func TestLiveSetPersistence(t *testing.T) {
 	srv := newServerT(t, single, Config{})
 	s2 := srv.NewSession()
 	for i := half; i < len(texts); i++ {
-		if _, err := s2.Add(texts[i]); err != nil {
+		if _, err := s2.Add(context.Background(), texts[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := s2.Delete(int64(half) + 1); err != nil {
+	if err := s2.Delete(context.Background(), int64(half)+1); err != nil {
 		t.Fatal(err)
 	}
 	file := filepath.Join(dir, "single.store")
-	if err := srv.SaveLive(file); err != nil {
+	if err := srv.SaveLive(context.Background(), file); err != nil {
 		t.Fatal(err)
 	}
 	back, err := LoadStoreFile(file)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -76,20 +77,20 @@ func TestSessionAgreesWithEngineProperty(t *testing.T) {
 			for _, srv := range []*Server{comp, flat} {
 				sess := srv.NewSession()
 				for _, term := range terms {
-					if !reflect.DeepEqual(sess.TermDocs(term), e.TermDocs(term)) {
+					if !reflect.DeepEqual(sess.TermDocs(context.Background(), term), e.TermDocs(term)) {
 						t.Logf("seed %d: TermDocs(%q) disagrees", seed, term)
 						return false
 					}
-					if sess.DF(term) != e.DF(term) {
+					if sess.DF(context.Background(), term) != e.DF(term) {
 						t.Logf("seed %d: DF(%q) disagrees", seed, term)
 						return false
 					}
 				}
-				if got, want := sess.And(terms...), e.And(terms...); !reflect.DeepEqual(got, want) {
+				if got, want := sess.And(context.Background(), terms...), e.And(terms...); !reflect.DeepEqual(got, want) {
 					t.Logf("seed %d: And(%v) = %v, engine says %v", seed, terms, got, want)
 					return false
 				}
-				if got, want := sess.Or(terms...), e.Or(terms...); !reflect.DeepEqual(got, want) {
+				if got, want := sess.Or(context.Background(), terms...), e.Or(terms...); !reflect.DeepEqual(got, want) {
 					t.Logf("seed %d: Or(%v) = %v, engine says %v", seed, terms, got, want)
 					return false
 				}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// poolAllocSlack widens pool-backed allocation pins under the race
+// detector only — see race_on_test.go. Without -race the pins are exact.
+const poolAllocSlack = 0

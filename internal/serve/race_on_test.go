@@ -1,0 +1,10 @@
+//go:build race
+
+package serve
+
+// poolAllocSlack: under the race detector sync.Pool randomly drops a
+// fraction of Puts (to shake out reuse races), so a pool-backed hot path
+// reallocates its buffer on some iterations and the measured average rises
+// by about one object/op. The extra slack exists only in race builds; the
+// plain pins stay exact.
+const poolAllocSlack = 1

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"inspire/internal/core"
 	"inspire/internal/query"
@@ -34,9 +36,12 @@ import (
 // fan-out pruning stays exact for ingested documents. Deletes route to the
 // owning shard by the same rule.
 type Router struct {
-	shards []*Server
-	model  *simtime.Model
-	cfg    Config
+	// sets holds one replica group per logical shard (Config.Replicas
+	// servers each; one without replication). Reads pick a live replica
+	// per sub-query; writes apply to every live replica in order.
+	sets  []*ReplicaSet
+	model *simtime.Model
+	cfg   Config
 
 	// Replicated router-side tables, guarded by dfMu: the query vocabulary
 	// (vocab resolves terms through shard 0's store, so mapped stores
@@ -81,6 +86,12 @@ type Router struct {
 	simHits       atomic.Uint64
 	simMisses     atomic.Uint64
 	simEvictions  atomic.Uint64
+	hedges        atomic.Uint64
+	hedgeWins     atomic.Uint64
+	failovers     atomic.Uint64
+	catchUps      atomic.Uint64
+	catchUpSegs   atomic.Uint64
+	catchUpBytes  atomic.Uint64
 
 	nextSession atomic.Int64
 }
@@ -88,14 +99,19 @@ type Router struct {
 // NewRouter builds a scatter-gather router over the shard stores of one
 // sharded set (Store.Shard or LoadShards). Each shard gets its own Server
 // with the given per-shard cache configuration.
-func NewRouter(shards []*Store, cfg Config) (*Router, error) {
+//
+// Deprecated: use NewService with Options{Shards: shards, Config: cfg}; this
+// wrapper remains for existing callers.
+func NewRouter(shards []*Store, cfg Config) (*Router, error) { return newRouter(shards, cfg) }
+
+func newRouter(shards []*Store, cfg Config) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("serve: router needs at least one shard")
 	}
 	cfg = cfg.withDefaults()
 	first := shards[0]
 	r := &Router{
-		shards:   make([]*Server, len(shards)),
+		sets:     make([]*ReplicaSet, len(shards)),
 		model:    first.Model,
 		cfg:      cfg,
 		vocab:    first,
@@ -156,11 +172,15 @@ func NewRouter(shards []*Store, cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("serve: shard %d vocabulary %d differs from shard 0's %d", i, st.VocabSize, first.VocabSize)
 		}
 		r.boxes[i], r.boxOK[i] = st.DataBounds()
-		srv, err := NewServer(st, cfg)
+		srv, err := newServer(st, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
-		r.shards[i] = srv
+		set, err := newReplicaSet(srv, cfg.Replicas, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		r.sets[i] = set
 		r.shardDF[i] = st.DF
 		r.liveDF[i] = make(map[int64]int64)
 		for t, d := range st.DF {
@@ -198,33 +218,44 @@ func (r *Router) termID(term string) (int64, bool) {
 }
 
 // NumShards returns the partition count.
-func (r *Router) NumShards() int { return len(r.shards) }
+func (r *Router) NumShards() int { return len(r.sets) }
 
-// Shard returns shard i's server, for inspection.
-func (r *Router) Shard(i int) *Server { return r.shards[i] }
+// Shard returns shard i's replica-0 server, for inspection.
+func (r *Router) Shard(i int) *Server { return r.sets[i].reps[0].Server() }
+
+// primaryStore returns shard i's current primary store (the first live
+// replica's — the write-order source).
+func (r *Router) primaryStore(i int) *Store { return r.sets[i].primary().store() }
 
 // NewQuerier opens a routed session behind the Service surface.
 func (r *Router) NewQuerier() Querier { return r.NewSession() }
 
-// NewSession opens a routed analyst session: one sub-session per shard plus
-// the router-side virtual-latency account. Like Session, a RouterSession's
-// methods must be called from one goroutine at a time; distinct sessions are
-// fully concurrent.
+// NewSession opens a routed analyst session: one sub-session per shard
+// replica plus the router-side virtual-latency account. Like Session, a
+// RouterSession's methods must be called from one goroutine at a time;
+// distinct sessions are fully concurrent (hedged sub-queries inside one
+// interaction serialize per replica on the sub's own lock).
 func (r *Router) NewSession() *RouterSession {
-	subs := make([]*Session, len(r.shards))
-	for i, s := range r.shards {
-		subs[i] = s.NewSession()
+	subs := make([][]*replicaSub, len(r.sets))
+	for i, set := range r.sets {
+		subs[i] = make([]*replicaSub, len(set.reps))
+		for j, rep := range set.reps {
+			srv := rep.Server()
+			subs[i][j] = &replicaSub{rep: rep, srv: srv, sess: srv.NewSession()}
+		}
 	}
 	return &RouterSession{r: r, ID: r.nextSession.Add(1), subs: subs}
 }
 
-// Stats aggregates the shard servers' cache/traffic/ingest counters and adds
-// the router's fan-out block. Queries counts routed interactions; the shard
-// sub-queries they scattered into are ShardQueries.
+// Stats aggregates the shard primaries' cache/traffic/ingest counters and
+// adds the router's fan-out and replication blocks. Queries counts routed
+// interactions; the shard sub-queries they scattered into are ShardQueries.
+// Only the current primary of each set is counted — replicas share the write
+// stream, so summing them would multiply the ingest counters.
 func (r *Router) Stats() Stats {
 	var out Stats
-	for _, s := range r.shards {
-		st := s.Stats()
+	for _, set := range r.sets {
+		st := set.primary().Server().Stats()
 		out.PostingHits += st.PostingHits
 		out.PostingMisses += st.PostingMisses
 		out.PostingEvictions += st.PostingEvictions
@@ -256,12 +287,21 @@ func (r *Router) Stats() Stats {
 	out.SimHits = r.simHits.Load()
 	out.SimMisses = r.simMisses.Load()
 	out.SimEvictions = r.simEvictions.Load()
+	out.Hedges = r.hedges.Load()
+	out.HedgeWins = r.hedgeWins.Load()
+	out.Failovers = r.failovers.Load()
+	out.ReplicaCatchUps = r.catchUps.Load()
+	out.CatchUpSegments = r.catchUpSegs.Load()
+	out.CatchUpBytes = r.catchUpBytes.Load()
 	return out
 }
 
 // TopTerms ranks the global (shard-summed plus ingested) document
 // frequencies.
-func (r *Router) TopTerms(n int) []string {
+func (r *Router) TopTerms(ctx context.Context, n int) []string {
+	if ctx.Err() != nil {
+		return nil
+	}
 	r.dfMu.RLock()
 	df := append([]int64(nil), r.df...)
 	r.dfMu.RUnlock()
@@ -277,10 +317,13 @@ func (r *Router) globalDF(t int64) int64 {
 
 // SampleDocs merges the shards' deterministic similarity targets in
 // ascending document order.
-func (r *Router) SampleDocs(n int) []int64 {
-	parts := make([][]int64, len(r.shards))
-	for i, s := range r.shards {
-		parts[i] = s.SampleDocs(n)
+func (r *Router) SampleDocs(ctx context.Context, n int) []int64 {
+	if ctx.Err() != nil {
+		return nil
+	}
+	parts := make([][]int64, len(r.sets))
+	for i, set := range r.sets {
+		parts[i] = set.primary().Server().SampleDocs(ctx, n)
 	}
 	out := mergeDocs(parts)
 	if len(out) > n {
@@ -302,80 +345,42 @@ func (r *Router) Themes() []core.Theme { return r.themes }
 
 // RouterSession is one analyst's connection through the router: a sequential
 // stream of interactions whose account charges the scatter-gather cost model.
-// It holds one sub-session per shard so shard-side work is accounted (and
-// cached, coalesced) exactly like directly-served sessions.
+// It holds one sub-session per shard replica so shard-side work is accounted
+// (and cached, coalesced) exactly like directly-served sessions.
 type RouterSession struct {
 	r    *Router
 	ID   int64
-	subs []*Session
+	subs [][]*replicaSub // [shard][replica]
 	acct account
 
-	// Scatter/gather scratch reused across interactions. A routed session is
-	// a sequential stream (one goroutine at a time; the scatter goroutines
-	// within one interaction each own a distinct slot), every gather merge
-	// copies into a fresh output slice, and the parts tables are cleared
-	// before reuse — so nothing scratch-backed escapes an interaction.
-	scratchReplies   []float64
-	scratchCosts     []float64
-	scratchShards    []int
-	scratchIDs       []int64
-	scratchDocParts  [][]int64
-	scratchPostParts [][]query.Posting
-	scratchHitParts  [][]query.Hit
-	scratchTileParts []*tiles.Tile
+	// Scatter scratch reused across interactions. A routed session is a
+	// sequential stream (one goroutine at a time), and every gather merge
+	// copies into a fresh output slice — so nothing scratch-backed escapes
+	// an interaction.
+	scratchShards []int
+	scratchIDs    []int64
+	scratchCosts  []float64
+	scratchBytes  []float64
 }
 
-// docParts returns the cleared per-shard gather table for document lists;
-// stale entries from the previous interaction must never merge into this one.
-func (rs *RouterSession) docParts() [][]int64 {
-	n := len(rs.r.shards)
-	if cap(rs.scratchDocParts) < n {
-		rs.scratchDocParts = make([][]int64, n)
-	}
-	parts := rs.scratchDocParts[:n]
-	for i := range parts {
-		parts[i] = nil
-	}
-	return parts
+// replicaSub is one session's connection to one replica. Its lock serializes
+// the replica's sub-session (a Session is one-goroutine-at-a-time, but a
+// hedge can race a sibling attempt on the same interaction, and a hedge
+// loser can outlive its interaction); the srv field detects a full-resync
+// server swap, reopening the session on the fresh server.
+type replicaSub struct {
+	rep  *Replica
+	mu   sync.Mutex
+	srv  *Server
+	sess *Session
 }
 
-// postParts is docParts for posting lists.
-func (rs *RouterSession) postParts() [][]query.Posting {
-	n := len(rs.r.shards)
-	if cap(rs.scratchPostParts) < n {
-		rs.scratchPostParts = make([][]query.Posting, n)
+// session returns the sub's current session; callers hold sub.mu.
+func (sub *replicaSub) session() *Session {
+	if srv := sub.rep.Server(); srv != sub.srv {
+		sub.srv, sub.sess = srv, srv.NewSession()
 	}
-	parts := rs.scratchPostParts[:n]
-	for i := range parts {
-		parts[i] = nil
-	}
-	return parts
-}
-
-// hitParts is docParts for similarity hit lists.
-func (rs *RouterSession) hitParts() [][]query.Hit {
-	n := len(rs.r.shards)
-	if cap(rs.scratchHitParts) < n {
-		rs.scratchHitParts = make([][]query.Hit, n)
-	}
-	parts := rs.scratchHitParts[:n]
-	for i := range parts {
-		parts[i] = nil
-	}
-	return parts
-}
-
-// tileParts is docParts for gathered raw tiles.
-func (rs *RouterSession) tileParts() []*tiles.Tile {
-	n := len(rs.r.shards)
-	if cap(rs.scratchTileParts) < n {
-		rs.scratchTileParts = make([]*tiles.Tile, n)
-	}
-	parts := rs.scratchTileParts[:n]
-	for i := range parts {
-		parts[i] = nil
-	}
-	return parts
+	return sub.sess
 }
 
 // Stats snapshots the routed session's account.
@@ -402,43 +407,160 @@ func (r *Router) mergeCost(items, width float64) float64 {
 	return r.model.LocalCopyCost(width * items)
 }
 
-// scatter fans one sub-interaction out to the listed shards and returns the
-// modeled cost of the round: one RPC round trip per participating shard (the
-// router issues requests and collects replies serially) plus the slowest
-// shard's sub-query — the shard servers work in parallel, on host goroutines
-// too. fn must issue exactly one interaction on the sub-session it is handed
-// and return the reply payload bytes.
-func (rs *RouterSession) scatter(ids []int, reqBytes float64, fn func(shard int, sub *Session) float64) float64 {
+// attemptOut is one replica attempt's outcome inside a scatter.
+type attemptOut[T any] struct {
+	val   T
+	bytes float64
+	cost  float64
+	ok    bool
+	hedge bool
+}
+
+// scatterQ fans one sub-interaction out to the listed shards and gathers the
+// typed replies (in ids order) plus the modeled cost of the round: one RPC
+// round trip per participating shard (the router issues requests and
+// collects replies serially) plus the slowest shard's sub-query — the shard
+// servers work in parallel, on host goroutines too. Each shard's sub-query
+// runs on a live replica picked by power-of-two-choices over in-flight
+// depth, hedges to a second replica past the set's hedge delay, and fails
+// over when a replica dies mid-flight. fn must issue exactly one interaction
+// on the sub-session it is handed and return the reply payload bytes.
+//
+// A free function, not a method: Go methods cannot take type parameters, and
+// the per-shard winner-takes-result channel is what lets hedged attempts
+// race without two goroutines ever writing one results slot.
+// growFloats resizes a session scratch slice to n, reallocating only when the
+// fan-out widens past every earlier round.
+func growFloats(scratch *[]float64, n int) []float64 {
+	if cap(*scratch) < n {
+		*scratch = make([]float64, n)
+	}
+	s := (*scratch)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func scatterQ[T any](ctx context.Context, rs *RouterSession, ids []int, reqBytes float64,
+	fn func(ctx context.Context, shard int, sub *Session) (T, float64)) ([]T, float64) {
 	r := rs.r
 	r.fanOuts.Add(1)
 	r.shardQueries.Add(uint64(len(ids)))
-	r.shardsPruned.Add(uint64(len(r.shards) - len(ids)))
-	if cap(rs.scratchReplies) < len(ids) {
-		rs.scratchReplies = make([]float64, len(ids))
-		rs.scratchCosts = make([]float64, len(ids))
-	}
-	// Every slot in [0, len(ids)) is written by its goroutine below, so the
-	// reused buffers need no clearing.
-	replies := rs.scratchReplies[:len(ids)]
-	costs := rs.scratchCosts[:len(ids)]
+	r.shardsPruned.Add(uint64(len(r.sets) - len(ids)))
+	results := make([]T, len(ids))
+	costs := growFloats(&rs.scratchCosts, len(ids))
+	bytes := growFloats(&rs.scratchBytes, len(ids))
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
 		go func(i, id int) {
 			defer wg.Done()
-			replies[i] = fn(id, rs.subs[id])
-			costs[i] = rs.subs[id].acct.last()
+			out := replicaRead(ctx, rs, id, fn)
+			results[i], bytes[i], costs[i] = out.val, out.bytes, out.cost
 		}(i, id)
 	}
 	wg.Wait()
 	var rpc, slowest float64
 	for i := range ids {
-		rpc += r.model.RPCRoundTrip(reqBytes, replies[i])
+		rpc += r.model.RPCRoundTrip(reqBytes, bytes[i])
 		if costs[i] > slowest {
 			slowest = costs[i]
 		}
 	}
-	return rpc + slowest
+	return results, rpc + slowest
+}
+
+// replicaRead runs one shard sub-query against the shard's replica set:
+// first attempt on the P2C-picked live replica, a hedged second attempt past
+// the hedge delay, failover to untried live replicas when an attempt comes
+// back failed, and — when every replica is dead — a forced read of replica 0
+// (a stale answer beats none; the primary-ordered write path guarantees a
+// live replica is never stale). The winner's reply is the answer; losers
+// finish on their own sub locks and are discarded.
+func replicaRead[T any](ctx context.Context, rs *RouterSession, shard int,
+	fn func(ctx context.Context, shard int, sub *Session) (T, float64)) attemptOut[T] {
+	subs := rs.subs[shard]
+	set := rs.r.sets[shard]
+
+	attempt := func(sub *replicaSub, force bool) (out attemptOut[T]) {
+		rep := sub.rep
+		rep.inflight.Add(1)
+		defer rep.inflight.Add(-1)
+		sub.mu.Lock()
+		defer sub.mu.Unlock()
+		if !force && !rep.live() {
+			return out
+		}
+		if d := rep.stallNS.Load(); d > 0 {
+			t := time.NewTimer(time.Duration(d))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return out
+			}
+		}
+		sess := sub.session()
+		out.val, out.bytes = fn(ctx, shard, sess)
+		out.cost = sess.acct.last()
+		// A kill that landed while the attempt ran means the reply may be
+		// from a half-dead replica: discard and let the caller fail over.
+		out.ok = force || (rep.live() && ctx.Err() == nil)
+		return out
+	}
+
+	if len(subs) == 1 {
+		// Unreplicated: the pre-replication fast path, no channel or timer.
+		return attempt(subs[0], true)
+	}
+
+	ch := make(chan attemptOut[T], len(subs))
+	tried := make([]bool, len(subs))
+	pending := 0
+	launch := func(i int, hedge bool) bool {
+		if i < 0 {
+			return false
+		}
+		tried[i] = true
+		pending++
+		go func() {
+			out := attempt(subs[i], false)
+			out.hedge = hedge
+			ch <- out
+		}()
+		return true
+	}
+	launch(set.pick(tried), false)
+	var hedgeC <-chan time.Time
+	if set.hedge > 0 {
+		t := time.NewTimer(set.hedge)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	for pending > 0 {
+		select {
+		case out := <-ch:
+			pending--
+			if out.ok {
+				if out.hedge {
+					rs.r.hedgeWins.Add(1)
+				}
+				return out
+			}
+			if launch(set.pick(tried), false) {
+				rs.r.failovers.Add(1)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launch(set.pick(tried), true) {
+				rs.r.hedges.Add(1)
+			}
+		case <-ctx.Done():
+			return attemptOut[T]{}
+		}
+	}
+	return attempt(subs[0], true)
 }
 
 // liveShards returns the shards whose DF summary — base or live overlay —
@@ -447,7 +569,7 @@ func (r *Router) liveShards(dst []int, t int64) []int {
 	r.dfMu.RLock()
 	defer r.dfMu.RUnlock()
 	out := dst[:0]
-	for i := range r.shards {
+	for i := range r.sets {
 		if r.shardDF[i][t] > 0 || r.liveDF[i][t] > 0 {
 			out = append(out, i)
 		}
@@ -462,7 +584,7 @@ func (r *Router) andShards(dst []int, ids []int64) []int {
 	r.dfMu.RLock()
 	defer r.dfMu.RUnlock()
 	out := dst[:0]
-	for i := range r.shards {
+	for i := range r.sets {
 		all := true
 		for _, t := range ids {
 			if r.shardDF[i][t] == 0 && r.liveDF[i][t] == 0 {
@@ -483,7 +605,7 @@ func (r *Router) orShards(dst []int, ids []int64) []int {
 	r.dfMu.RLock()
 	defer r.dfMu.RUnlock()
 	out := dst[:0]
-	for i := range r.shards {
+	for i := range r.sets {
 		for _, t := range ids {
 			if r.shardDF[i][t] > 0 || r.liveDF[i][t] > 0 {
 				out = append(out, i)
@@ -494,13 +616,15 @@ func (r *Router) orShards(dst []int, ids []int64) []int {
 	return out
 }
 
-// epochSum sums the shard stores' serving epochs; it strictly grows on every
-// published change anywhere in the set, so it versions the router's merged
-// similarity cache.
+// epochSum sums the shard primaries' serving epochs; it strictly grows on
+// every published change anywhere in the set, so it versions the router's
+// merged similarity cache. Primaries, not replica 0: a dead replica's epoch
+// is frozen, and a frozen summand would let the cache serve stale merges
+// after writes land on the survivors.
 func (r *Router) epochSum() uint64 {
 	var sum uint64
-	for _, s := range r.shards {
-		sum += s.store.viewNow().epoch
+	for _, set := range r.sets {
+		sum += set.primary().store().viewNow().epoch
 	}
 	return sum
 }
@@ -509,7 +633,7 @@ func (r *Router) epochSum() uint64 {
 // Written over dst[:0].
 func (r *Router) allShards(dst []int) []int {
 	out := dst[:0]
-	for i := range r.shards {
+	for i := range r.sets {
 		out = append(out, i)
 	}
 	return out
@@ -527,7 +651,10 @@ func reqBytes(terms []string) float64 {
 // TermDocs returns the posting list of a term across all shards (sorted by
 // document ID), or nil when the term is unknown — answered at the router
 // with no fan-out, like any term absent from every shard's DF summary.
-func (rs *RouterSession) TermDocs(term string) []query.Posting {
+func (rs *RouterSession) TermDocs(ctx context.Context, term string) []query.Posting {
+	if ctx.Err() != nil {
+		return nil
+	}
 	r := rs.r
 	cost := rs.lookupCost(term)
 	t, ok := r.termID(term)
@@ -539,13 +666,14 @@ func (rs *RouterSession) TermDocs(term string) []query.Posting {
 		rs.charge(cost)
 		return nil
 	}
-	parts := rs.postParts()
 	live := r.liveShards(rs.scratchShards[:0], t)
 	rs.scratchShards = live
-	cost += rs.scatter(live, reqBytes([]string{term}), func(shard int, sub *Session) float64 {
-		parts[shard] = sub.TermDocs(term)
-		return 16 * float64(len(parts[shard]))
-	})
+	parts, scCost := scatterQ(ctx, rs, live, reqBytes([]string{term}),
+		func(ctx context.Context, shard int, sub *Session) ([]query.Posting, float64) {
+			out := sub.TermDocs(ctx, term)
+			return out, 16 * float64(len(out))
+		})
+	cost += scCost
 	out := mergePostings(parts)
 	cost += r.mergeCost(float64(len(out)), 16)
 	rs.charge(cost)
@@ -556,7 +684,10 @@ func (rs *RouterSession) TermDocs(term string) []query.Posting {
 // router-local read of the replicated shard-summed DF vector (live ingests
 // included), never a fan-out. Like the single-store DF, deleted documents
 // stay counted until their postings are actually dropped.
-func (rs *RouterSession) DF(term string) int64 {
+func (rs *RouterSession) DF(ctx context.Context, term string) int64 {
+	if ctx.Err() != nil {
+		return 0
+	}
 	r := rs.r
 	cost := rs.lookupCost(term)
 	t, ok := r.termID(term)
@@ -575,8 +706,8 @@ func (rs *RouterSession) DF(term string) int64 {
 // for every term: a document can only satisfy the conjunction on a shard
 // holding postings for all of them. Each shard runs its own rarest-first
 // block-skipping intersection.
-func (rs *RouterSession) And(terms ...string) []int64 {
-	if len(terms) == 0 {
+func (rs *RouterSession) And(ctx context.Context, terms ...string) []int64 {
+	if ctx.Err() != nil || len(terms) == 0 {
 		return nil
 	}
 	r := rs.r
@@ -598,7 +729,7 @@ func (rs *RouterSession) And(terms ...string) []int64 {
 	}
 	rs.scratchIDs = ids
 	// Per-shard pruning costs one summary probe per (term, shard).
-	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.shards)))
+	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.sets)))
 	live := r.andShards(rs.scratchShards[:0], ids)
 	rs.scratchShards = live
 	if len(live) == 0 {
@@ -606,11 +737,12 @@ func (rs *RouterSession) And(terms ...string) []int64 {
 		rs.charge(cost)
 		return nil
 	}
-	parts := rs.docParts()
-	cost += rs.scatter(live, reqBytes(terms), func(shard int, sub *Session) float64 {
-		parts[shard] = sub.And(terms...)
-		return 8 * float64(len(parts[shard]))
-	})
+	parts, scCost := scatterQ(ctx, rs, live, reqBytes(terms),
+		func(ctx context.Context, shard int, sub *Session) ([]int64, float64) {
+			out := sub.And(ctx, terms...)
+			return out, 8 * float64(len(out))
+		})
+	cost += scCost
 	out := mergeDocs(parts)
 	cost += r.mergeCost(float64(len(out)), 8)
 	rs.charge(cost)
@@ -623,7 +755,10 @@ func (rs *RouterSession) And(terms ...string) []int64 {
 // Or returns the documents containing any of the terms, sorted. Shards where
 // no query term has postings are pruned; if that is every shard, the router
 // answers empty with no fan-out.
-func (rs *RouterSession) Or(terms ...string) []int64 {
+func (rs *RouterSession) Or(ctx context.Context, terms ...string) []int64 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	r := rs.r
 	var cost float64
 	ids := rs.scratchIDs[:0]
@@ -639,7 +774,7 @@ func (rs *RouterSession) Or(terms ...string) []int64 {
 		}
 	}
 	rs.scratchIDs = ids
-	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.shards)))
+	cost += r.model.LocalCopyCost(8 * float64(len(ids)*len(r.sets)))
 	live := r.orShards(rs.scratchShards[:0], ids)
 	rs.scratchShards = live
 	if len(live) == 0 {
@@ -647,11 +782,12 @@ func (rs *RouterSession) Or(terms ...string) []int64 {
 		rs.charge(cost)
 		return []int64{} // query.Engine.Or returns an empty, non-nil union
 	}
-	parts := rs.docParts()
-	cost += rs.scatter(live, reqBytes(terms), func(shard int, sub *Session) float64 {
-		parts[shard] = sub.Or(terms...)
-		return 8 * float64(len(parts[shard]))
-	})
+	parts, scCost := scatterQ(ctx, rs, live, reqBytes(terms),
+		func(ctx context.Context, shard int, sub *Session) ([]int64, float64) {
+			out := sub.Or(ctx, terms...)
+			return out, 8 * float64(len(out))
+		})
+	cost += scCost
 	out := mergeDocs(parts)
 	cost += r.mergeCost(float64(len(out)), 8)
 	rs.charge(cost)
@@ -667,7 +803,10 @@ func (rs *RouterSession) Or(terms ...string) []int64 {
 // (modulo routing locates it without a lookup round), every shard scores its
 // own signature slice against it in parallel, and the per-shard top-K lists
 // k-way merge into the global top-K — identical to the single-store answer.
-func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
+func (rs *RouterSession) Similar(ctx context.Context, doc int64, k int) ([]query.Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		return nil, fmt.Errorf("serve: similar: k must be positive")
 	}
@@ -689,21 +828,24 @@ func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
 
 	owner := 0
 	if doc >= 0 {
-		owner = ShardOf(doc, len(r.shards))
+		owner = ShardOf(doc, len(r.sets))
 	}
-	target, found := r.shards[owner].signature(doc)
+	// The target signature comes from the owner's primary — a dead replica's
+	// frozen slice could miss a signature swap the survivors published.
+	target, found := r.sets[owner].primary().Server().signature(doc)
 	cost := m.RPCRoundTrip(8, 8*float64(len(target)))
 	if !found || target == nil {
 		rs.charge(cost)
 		return nil, fmt.Errorf("serve: document %d not found or has a null signature", doc)
 	}
-	parts := rs.hitParts()
 	all := r.allShards(rs.scratchShards[:0])
 	rs.scratchShards = all
-	cost += rs.scatter(all, 8*float64(len(target))+16, func(shard int, sub *Session) float64 {
-		parts[shard] = sub.similarTo(target, doc, k)
-		return 16 * float64(len(parts[shard]))
-	})
+	parts, scCost := scatterQ(ctx, rs, all, 8*float64(len(target))+16,
+		func(ctx context.Context, shard int, sub *Session) ([]query.Hit, float64) {
+			out := sub.similarTo(target, doc, k)
+			return out, 16 * float64(len(out))
+		})
+	cost += scCost
 	hits = mergeHits(parts, k)
 	cost += r.mergeCost(float64(len(hits)), 16)
 
@@ -725,15 +867,18 @@ func (rs *RouterSession) Similar(doc int64, k int) ([]query.Hit, error) {
 // ThemeDocs returns the document IDs assigned to a k-means cluster, sorted —
 // every shard holds its own documents' assignments, so the drill-down fans
 // out everywhere and merges.
-func (rs *RouterSession) ThemeDocs(cluster int) []int64 {
+func (rs *RouterSession) ThemeDocs(ctx context.Context, cluster int) []int64 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	r := rs.r
-	parts := rs.docParts()
 	all := r.allShards(rs.scratchShards[:0])
 	rs.scratchShards = all
-	cost := rs.scatter(all, 16, func(shard int, sub *Session) float64 {
-		parts[shard] = sub.ThemeDocs(cluster)
-		return 8 * float64(len(parts[shard]))
-	})
+	parts, cost := scatterQ(ctx, rs, all, 16,
+		func(ctx context.Context, shard int, sub *Session) ([]int64, float64) {
+			out := sub.ThemeDocs(ctx, cluster)
+			return out, 8 * float64(len(out))
+		})
 	out := mergeDocs(parts)
 	cost += r.mergeCost(float64(len(out)), 8)
 	rs.charge(cost)
@@ -747,13 +892,15 @@ func (rs *RouterSession) ThemeDocs(cluster int) []int64 {
 // round trip, and the shard's append (the shard sub-session accounts it
 // too, like any other sub-query). The router folds the document's terms into
 // its replicated DF tables so later pruning sees them.
-func (rs *RouterSession) Add(text string) (int64, error) {
+func (rs *RouterSession) Add(ctx context.Context, text string) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	r := rs.r
-	st := r.shards[0].store
+	st := r.vocab
 	counts, sig, prep := st.prepareDoc(text)
 	doc := r.nextDoc.Add(1) - 1
-	shard := ShardOf(doc, len(r.shards))
-	sub := rs.subs[shard]
+	shard := ShardOf(doc, len(r.sets))
 	// Fold the document's terms into the replicated DF tables before the
 	// shard append: AddCounts may seal and publish the batch, and a query
 	// pruned by a still-zero summary in that window would miss documents
@@ -773,8 +920,10 @@ func (rs *RouterSession) Add(text string) (int64, error) {
 		px, py := pl.Project(sig)
 		r.expandBox(shard, px, py)
 	}
-	appendCost, err := sub.s.store.AddCounts(doc, counts, sig)
-	sub.charge(appendCost)
+	appendCost, err := r.sets[shard].apply(func(s *Store) (float64, error) {
+		return s.AddCounts(doc, counts, sig)
+	})
+	rs.chargeShard(shard, appendCost)
 	cost := prep + r.model.RPCRoundTrip(float64(len(text))+8, 8) + appendCost
 	rs.charge(cost)
 	if err != nil {
@@ -789,36 +938,66 @@ func (rs *RouterSession) Add(text string) (int64, error) {
 	return doc, nil
 }
 
+// chargeShard books a routed write's shard-side cost on the primary
+// replica's sub-session, so shard accounts see routed ingest exactly like
+// directly-served sessions do.
+func (rs *RouterSession) chargeShard(shard int, cost float64) {
+	p := rs.r.sets[shard].primary()
+	sub := rs.subs[shard][0]
+	for _, s := range rs.subs[shard] {
+		if s.rep == p {
+			sub = s
+			break
+		}
+	}
+	sub.mu.Lock()
+	sub.session().charge(cost)
+	sub.mu.Unlock()
+}
+
 // Delete tombstones a document on its owning shard (ID mod S). The
 // replicated DF tables are left alone — deleted documents stay counted until
 // an offline rebase, which only ever over-admits a shard to a fan-out.
-func (rs *RouterSession) Delete(doc int64) error {
+func (rs *RouterSession) Delete(ctx context.Context, doc int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	r := rs.r
 	if doc < 0 {
 		return fmt.Errorf("serve: delete: unknown document %d", doc)
 	}
-	shard := ShardOf(doc, len(r.shards))
-	sub := rs.subs[shard]
-	cost, err := sub.s.store.Delete(doc)
-	sub.charge(cost)
+	shard := ShardOf(doc, len(r.sets))
+	cost, err := r.sets[shard].apply(func(s *Store) (float64, error) {
+		return s.Delete(doc)
+	})
+	rs.chargeShard(shard, cost)
 	rs.charge(r.model.RPCRoundTrip(16, 8) + cost)
 	return err
 }
 
-// FlushLive makes pending adds visible on every shard.
-func (r *Router) FlushLive() error {
-	for i, s := range r.shards {
-		if _, err := s.store.Flush(); err != nil {
+// FlushLive makes pending adds visible on every shard, sealing every live
+// replica's delta through the set's ordered write path.
+func (r *Router) FlushLive(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, set := range r.sets {
+		if _, err := set.apply(func(s *Store) (float64, error) { return s.Flush() }); err != nil {
 			return fmt.Errorf("serve: flush shard %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// CompactLive merges sealed segments on every shard.
-func (r *Router) CompactLive() error {
-	for i, s := range r.shards {
-		if _, err := s.store.Compact(); err != nil {
+// CompactLive merges sealed segments on every shard (every live replica —
+// compaction is answer-invariant, so replicas may also compact on their own
+// schedules).
+func (r *Router) CompactLive(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, set := range r.sets {
+		if _, err := set.apply(func(s *Store) (float64, error) { return s.Compact() }); err != nil {
 			return fmt.Errorf("serve: compact shard %d: %w", i, err)
 		}
 	}
@@ -826,16 +1005,17 @@ func (r *Router) CompactLive() error {
 }
 
 // SaveLive persists the whole live set: pending adds flushed, compaction
-// drained, then every shard's base store, sealed segments and tombstones
-// written behind an extended (INSPSHARDS2) manifest at path.
-func (r *Router) SaveLive(path string) error {
-	if err := r.FlushLive(); err != nil {
+// drained, then every shard primary's base store, sealed segments and
+// tombstones written behind an extended (INSPSHARDS2) manifest at path.
+func (r *Router) SaveLive(ctx context.Context, path string) error {
+	if err := r.FlushLive(ctx); err != nil {
 		return err
 	}
-	stores := make([]*Store, len(r.shards))
-	for i, s := range r.shards {
-		s.store.WaitCompaction()
-		stores[i] = s.store
+	stores := make([]*Store, len(r.sets))
+	for i := range r.sets {
+		st := r.primaryStore(i)
+		st.WaitCompaction()
+		stores[i] = st
 	}
 	return SaveLiveSet(path, stores)
 }
@@ -844,7 +1024,10 @@ func (r *Router) SaveLive(path string) error {
 // of (x, y), sorted, gathered from the shards whose data bounding box
 // intersects the query box — a shard none of whose points can fall inside
 // it is never asked.
-func (rs *RouterSession) Near(x, y, radius float64) []int64 {
+func (rs *RouterSession) Near(ctx context.Context, x, y, radius float64) []int64 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	r := rs.r
 	rad := math.Abs(radius)
 	live := r.tileShards(r.cfg.tileConfig().MaxZoom,
@@ -854,11 +1037,11 @@ func (rs *RouterSession) Near(x, y, radius float64) []int64 {
 		rs.charge(r.model.LocalCopyCost(24))
 		return nil
 	}
-	parts := rs.docParts()
-	cost := rs.scatter(live, 24, func(shard int, sub *Session) float64 {
-		parts[shard] = sub.Near(x, y, radius)
-		return 8 * float64(len(parts[shard]))
-	})
+	parts, cost := scatterQ(ctx, rs, live, 24,
+		func(ctx context.Context, shard int, sub *Session) ([]int64, float64) {
+			out := sub.Near(ctx, x, y, radius)
+			return out, 8 * float64(len(out))
+		})
 	out := mergeDocs(parts)
 	cost += r.mergeCost(float64(len(out)), 8)
 	rs.charge(cost)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -73,7 +74,7 @@ func TestSnapshotMatchesCorpus(t *testing.T) {
 	srv := newServerT(t, st, Config{})
 	sess := srv.NewSession()
 
-	ps := sess.TermDocs("apple")
+	ps := sess.TermDocs(context.Background(), "apple")
 	wantFreq := map[int64]int64{0: 2, 1: 1, 2: 2}
 	if len(ps) != 3 {
 		t.Fatalf("apple in %d docs: %v", len(ps), ps)
@@ -83,26 +84,26 @@ func TestSnapshotMatchesCorpus(t *testing.T) {
 			t.Fatalf("apple in doc %d freq %d, want %d", p.Doc, p.Freq, wantFreq[p.Doc])
 		}
 	}
-	if got := sess.TermDocs("APPLE"); len(got) != 3 {
+	if got := sess.TermDocs(context.Background(), "APPLE"); len(got) != 3 {
 		t.Fatal("case folding failed")
 	}
-	if got := sess.TermDocs("nonexistent"); got != nil {
+	if got := sess.TermDocs(context.Background(), "nonexistent"); got != nil {
 		t.Fatalf("phantom postings: %v", got)
 	}
-	if sess.DF("banana") != 2 || sess.DF("nonexistent") != 0 {
+	if sess.DF(context.Background(), "banana") != 2 || sess.DF(context.Background(), "nonexistent") != 0 {
 		t.Fatal("df wrong")
 	}
-	if got := sess.And("apple", "banana"); !reflect.DeepEqual(got, []int64{0, 1}) {
+	if got := sess.And(context.Background(), "apple", "banana"); !reflect.DeepEqual(got, []int64{0, 1}) {
 		t.Fatalf("apple AND banana = %v", got)
 	}
-	if got := sess.And("apple", "durian"); got != nil {
+	if got := sess.And(context.Background(), "apple", "durian"); got != nil {
 		t.Fatalf("disjoint AND = %v", got)
 	}
-	if got := sess.Or("cherry", "fig"); !reflect.DeepEqual(got, []int64{0, 2, 3, 4}) {
+	if got := sess.Or(context.Background(), "cherry", "fig"); !reflect.DeepEqual(got, []int64{0, 2, 3, 4}) {
 		t.Fatalf("cherry OR fig = %v", got)
 	}
 
-	hits, err := sess.Similar(0, 2)
+	hits, err := sess.Similar(context.Background(), 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +114,14 @@ func TestSnapshotMatchesCorpus(t *testing.T) {
 	if !got[1] || !got[2] {
 		t.Fatalf("neighbours of doc 0: %+v", hits)
 	}
-	if _, err := sess.Similar(999, 2); err == nil {
+	if _, err := sess.Similar(context.Background(), 999, 2); err == nil {
 		t.Fatal("similar to missing doc should fail")
 	}
 
 	// Themes partition the documents.
 	seen := map[int64]int{}
 	for k := 0; k < st.K; k++ {
-		for _, d := range sess.ThemeDocs(k) {
+		for _, d := range sess.ThemeDocs(context.Background(), k) {
 			seen[d]++
 		}
 	}
@@ -132,7 +133,7 @@ func TestSnapshotMatchesCorpus(t *testing.T) {
 	if len(seen) == 0 {
 		t.Fatal("no themed documents")
 	}
-	if all := sess.Near(0, 0, 1e9); len(all) != len(miniDocs) {
+	if all := sess.Near(context.Background(), 0, 0, 1e9); len(all) != len(miniDocs) {
 		t.Fatalf("near-all found %d of %d", len(all), len(miniDocs))
 	}
 
@@ -148,16 +149,16 @@ func TestCachedAnswersIdenticalToCold(t *testing.T) {
 	srv := newServerT(t, st, Config{})
 	sess := srv.NewSession()
 
-	cold := sess.TermDocs("banana")
-	warm := sess.TermDocs("banana")
+	cold := sess.TermDocs(context.Background(), "banana")
+	warm := sess.TermDocs(context.Background(), "banana")
 	if !reflect.DeepEqual(cold, warm) {
 		t.Fatalf("cached postings differ: %v vs %v", cold, warm)
 	}
-	coldSim, err := sess.Similar(0, 3)
+	coldSim, err := sess.Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmSim, err := sess.Similar(0, 3)
+	warmSim, err := sess.Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,10 +177,10 @@ func TestCachedAnswersIdenticalToCold(t *testing.T) {
 	// A fresh server (cold caches) answers identically.
 	srv2 := newServerT(t, st, Config{})
 	sess2 := srv2.NewSession()
-	if got := sess2.TermDocs("banana"); !reflect.DeepEqual(got, cold) {
+	if got := sess2.TermDocs(context.Background(), "banana"); !reflect.DeepEqual(got, cold) {
 		t.Fatalf("fresh server differs: %v vs %v", got, cold)
 	}
-	got2, err := sess2.Similar(0, 3)
+	got2, err := sess2.Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,9 +206,9 @@ func TestCachedAnswersIdenticalToCold(t *testing.T) {
 	if term == "" {
 		t.Skip("every probe term owned by front-end rank")
 	}
-	s3.TermDocs(term)
+	s3.TermDocs(context.Background(), term)
 	missCost = s3.Stats().LastMS
-	s3.TermDocs(term)
+	s3.TermDocs(context.Background(), term)
 	hitCost = s3.Stats().LastMS
 	if hitCost >= missCost {
 		t.Fatalf("cache hit (%.6f ms) not cheaper than remote miss (%.6f ms)", hitCost, missCost)
@@ -220,7 +221,7 @@ func TestCacheEviction(t *testing.T) {
 	sess := srv.NewSession()
 	terms := []string{"apple", "banana", "cherry", "durian", "elder", "fig"}
 	for _, term := range terms {
-		if sess.TermDocs(term) == nil {
+		if sess.TermDocs(context.Background(), term) == nil {
 			t.Fatalf("no postings for %q", term)
 		}
 	}
@@ -232,7 +233,7 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatalf("expected %d misses, got %+v", len(terms), stats)
 	}
 	// Evicted entries still answer correctly on refetch.
-	if got := sess.TermDocs("apple"); len(got) != 3 {
+	if got := sess.TermDocs(context.Background(), "apple"); len(got) != 3 {
 		t.Fatalf("refetch after eviction wrong: %v", got)
 	}
 }
@@ -250,7 +251,7 @@ func TestCoalescingConcurrentGets(t *testing.T) {
 			defer wg.Done()
 			sess := srv.NewSession()
 			<-start
-			results[i] = sess.TermDocs("apple")
+			results[i] = sess.TermDocs(context.Background(), "apple")
 		}(i)
 	}
 	close(start)
@@ -305,17 +306,17 @@ func TestStoreSaveLoadRoundTrip(t *testing.T) {
 	}
 	a := newServerT(t, st, Config{}).NewSession()
 	b := newServerT(t, loaded, Config{}).NewSession()
-	if !reflect.DeepEqual(a.TermDocs("apple"), b.TermDocs("apple")) {
+	if !reflect.DeepEqual(a.TermDocs(context.Background(), "apple"), b.TermDocs(context.Background(), "apple")) {
 		t.Fatal("loaded store postings differ")
 	}
-	if !reflect.DeepEqual(a.And("apple", "cherry"), b.And("apple", "cherry")) {
+	if !reflect.DeepEqual(a.And(context.Background(), "apple", "cherry"), b.And(context.Background(), "apple", "cherry")) {
 		t.Fatal("loaded store boolean differs")
 	}
-	ha, err := a.Similar(0, 3)
+	ha, err := a.Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hb, err := b.Similar(0, 3)
+	hb, err := b.Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestApplyPersistedSignatures(t *testing.T) {
 	if err := signature.Save(&buf, st.SigM, st.SigDocs, st.SigVecs); err != nil {
 		t.Fatal(err)
 	}
-	before, err := newServerT(t, st, Config{}).NewSession().Similar(0, 3)
+	before, err := newServerT(t, st, Config{}).NewSession().Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +347,7 @@ func TestApplyPersistedSignatures(t *testing.T) {
 	if err := st.ApplySignatures(set); err != nil {
 		t.Fatal(err)
 	}
-	after, err := newServerT(t, st, Config{}).NewSession().Similar(0, 3)
+	after, err := newServerT(t, st, Config{}).NewSession().Similar(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,9 +425,9 @@ func TestStoreFormatVersions(t *testing.T) {
 	}
 
 	// All four layouts answer identically.
-	want := newServerT(t, st, Config{}).NewSession().And("apple", "cherry")
+	want := newServerT(t, st, Config{}).NewSession().And(context.Background(), "apple", "cherry")
 	for name, s := range map[string]*Store{"v2 reload": fromV2, "flat": flat, "v1 reload": fromV1} {
-		if got := newServerT(t, s, Config{}).NewSession().And("apple", "cherry"); !reflect.DeepEqual(got, want) {
+		if got := newServerT(t, s, Config{}).NewSession().And(context.Background(), "apple", "cherry"); !reflect.DeepEqual(got, want) {
 			t.Fatalf("%s store answers %v, want %v", name, got, want)
 		}
 	}
@@ -436,7 +437,7 @@ func TestStoreFormatVersions(t *testing.T) {
 	if err := fromV1.CompressPostings(); err != nil {
 		t.Fatal(err)
 	}
-	if got := newServerT(t, fromV1, Config{}).NewSession().And("apple", "cherry"); !reflect.DeepEqual(got, want) {
+	if got := newServerT(t, fromV1, Config{}).NewSession().And(context.Background(), "apple", "cherry"); !reflect.DeepEqual(got, want) {
 		t.Fatalf("recompressed legacy store answers %v, want %v", got, want)
 	}
 }
@@ -447,7 +448,7 @@ func TestAndShortCircuitsDoomedQueries(t *testing.T) {
 	sess := srv.NewSession()
 	// A conjunction containing an unknown term must not transfer a single
 	// posting list — only the vocabulary lookups made so far are charged.
-	if got := sess.And("apple", "nonexistent", "banana"); got != nil {
+	if got := sess.And(context.Background(), "apple", "nonexistent", "banana"); got != nil {
 		t.Fatalf("doomed And = %v", got)
 	}
 	if s := srv.Stats(); s.PostingHits+s.PostingMisses+s.Coalesced+s.PartialFetches != 0 {
@@ -502,8 +503,8 @@ func TestAndBlockSkippingAgreesWithDecodedPaths(t *testing.T) {
 	cold := srvC.NewSession()
 	for _, tail := range tails {
 		q := []string{tail, head}
-		want := srvF.NewSession().And(q...)
-		if got := cold.And(q...); !reflect.DeepEqual(got, want) {
+		want := srvF.NewSession().And(context.Background(), q...)
+		if got := cold.And(context.Background(), q...); !reflect.DeepEqual(got, want) {
 			t.Fatalf("compressed And(%v) = %v, flat says %v", q, got, want)
 		}
 	}
@@ -514,11 +515,11 @@ func TestAndBlockSkippingAgreesWithDecodedPaths(t *testing.T) {
 	// Warm the head list into the decoded cache: And answers must not
 	// change when the cached fast path takes over.
 	warm := srvC.NewSession()
-	warm.TermDocs(head)
+	warm.TermDocs(context.Background(), head)
 	for _, tail := range tails {
 		q := []string{tail, head}
-		want := srvF.NewSession().And(q...)
-		if got := warm.And(q...); !reflect.DeepEqual(got, want) {
+		want := srvF.NewSession().And(context.Background(), q...)
+		if got := warm.And(context.Background(), q...); !reflect.DeepEqual(got, want) {
 			t.Fatalf("warm compressed And(%v) = %v, want %v", q, got, want)
 		}
 	}
@@ -526,9 +527,9 @@ func TestAndBlockSkippingAgreesWithDecodedPaths(t *testing.T) {
 	// hit the LRU instead of re-transferring compressed blocks.
 	top := st.TopTerms(2)
 	dense := srvC.NewSession()
-	dense.And(top[0], top[1])
+	dense.And(context.Background(), top[0], top[1])
 	before := srvC.Stats()
-	dense.And(top[0], top[1])
+	dense.And(context.Background(), top[0], top[1])
 	after := srvC.Stats()
 	if after.PostingMisses != before.PostingMisses || after.PartialFetches != before.PartialFetches {
 		t.Fatalf("repeated dense And re-transferred: before %+v after %+v", before, after)

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"inspire/internal/core"
 	"inspire/internal/postings"
@@ -54,6 +56,16 @@ type Config struct {
 	// NoMmap makes LoadServiceFile materialize INSPSTORE4 files to heap
 	// instead of mapping them — the cmd/inspired -no-mmap escape hatch.
 	NoMmap bool
+
+	// Replicas is the per-shard replica count a Router maintains. Each
+	// replica serves reads independently; writes apply to every live
+	// replica in primary order. Default 1 (no replication).
+	Replicas int
+	// HedgeAfter is how long a routed read waits on its first replica
+	// before hedging the sub-query to a second one (tail-latency cover
+	// for a slow-but-alive replica). Zero selects the 1ms default;
+	// negative disables hedging. Ignored without replication.
+	HedgeAfter time.Duration
 }
 
 func (cfg Config) withDefaults() Config {
@@ -72,7 +84,50 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MapBudgetBytes == 0 {
 		cfg.MapBudgetBytes = 512 << 20
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = time.Millisecond
+	}
 	return cfg
+}
+
+// Options configures NewService, the single construction entry point for the
+// serving tier. Exactly one of Store (single-store Server) or Shards (sharded
+// scatter-gather Router) must be set; Config tunes caches, tiles, replication
+// and hedging for whichever is built.
+type Options struct {
+	// Store serves a single store behind a Server.
+	Store *Store
+	// Shards serves a sharded store set behind a Router. Mutually
+	// exclusive with Store.
+	Shards []*Store
+	// Config tunes the serving tier; the zero value selects documented
+	// defaults. Config.Replicas > 1 makes the Router replicate each shard.
+	Config Config
+}
+
+// NewService builds the serving tier from Options: a Server over
+// Options.Store, or a Router over Options.Shards (replicated per
+// Config.Replicas). This replaces the positional NewServer/NewRouter
+// constructors, which remain as deprecated wrappers.
+func NewService(opts Options) (Service, error) {
+	switch {
+	case opts.Store != nil && len(opts.Shards) > 0:
+		return nil, fmt.Errorf("serve: Options.Store and Options.Shards are mutually exclusive")
+	case opts.Store != nil:
+		if opts.Config.Replicas > 1 {
+			// Replication lives in the Router's replica sets; a single
+			// store replicates behind a one-shard router.
+			return newRouter([]*Store{opts.Store}, opts.Config)
+		}
+		return newServer(opts.Store, opts.Config)
+	case len(opts.Shards) > 0:
+		return newRouter(opts.Shards, opts.Config)
+	default:
+		return nil, fmt.Errorf("serve: Options needs a Store or Shards")
+	}
 }
 
 // Stats is a snapshot of the server-wide counters. The fan-out block is
@@ -111,6 +166,14 @@ type Stats struct {
 	ShardQueries  uint64 // sub-queries executed on shard servers
 	ShardsPruned  uint64 // shard sub-queries skipped by zero-DF pruning
 	ShortCircuits uint64 // router queries answered with no fan-out at all
+
+	// Replication accounts, populated only by a Router with Replicas > 1.
+	Hedges          uint64 // hedged sub-queries launched for tail-latency cover
+	HedgeWins       uint64 // hedges that answered before the first attempt
+	Failovers       uint64 // read attempts retried on another replica after a failure
+	ReplicaCatchUps uint64 // replica catch-up rounds completed (revive or resync)
+	CatchUpSegments uint64 // sealed segments shipped to lagging replicas
+	CatchUpBytes    uint64 // posting payload bytes shipped during catch-up
 
 	Adds        uint64 // documents ingested through the live path
 	Deletes     uint64 // documents tombstoned
@@ -188,29 +251,37 @@ type simKey struct {
 // virtual-latency account, including the live-ingestion verbs. A Querier's
 // methods must be called from one goroutine at a time; distinct Queriers are
 // fully concurrent.
+//
+// Every interaction takes a context as its first parameter: cancellation
+// (client disconnect, admission deadline, a hedged request losing its race)
+// stops the interaction early — error-returning ops surface ctx.Err(),
+// slice-returning ops return nil. Stats is a pure accessor and stays
+// context-free.
 type Querier interface {
-	TermDocs(term string) []query.Posting
-	DF(term string) int64
-	And(terms ...string) []int64
-	Or(terms ...string) []int64
-	Similar(doc int64, k int) ([]query.Hit, error)
-	ThemeDocs(cluster int) []int64
-	Near(x, y, radius float64) []int64
-	Tile(z, x, y int) (*TileResult, error)
-	TileRange(z int, r tiles.Rect) ([]*TileResult, error)
-	Add(text string) (int64, error)
-	Delete(doc int64) error
+	TermDocs(ctx context.Context, term string) []query.Posting
+	DF(ctx context.Context, term string) int64
+	And(ctx context.Context, terms ...string) []int64
+	Or(ctx context.Context, terms ...string) []int64
+	Similar(ctx context.Context, doc int64, k int) ([]query.Hit, error)
+	ThemeDocs(ctx context.Context, cluster int) []int64
+	Near(ctx context.Context, x, y, radius float64) []int64
+	Tile(ctx context.Context, z, x, y int) (*TileResult, error)
+	TileRange(ctx context.Context, z int, r tiles.Rect) ([]*TileResult, error)
+	Add(ctx context.Context, text string) (int64, error)
+	Delete(ctx context.Context, doc int64) error
 	Stats() SessionStats
 }
 
 // Service is what serves analyst sessions: a single-store Server or a
 // sharded Router. Workload replay and the daemon front-end run against this
 // surface, so a sharded set serves transparently behind the session API.
+// TopTerms and SampleDocs scan the corpus and take a context; NewQuerier,
+// Stats, NumThemes and Themes are pure accessors and stay context-free.
 type Service interface {
 	NewQuerier() Querier
 	Stats() Stats
-	TopTerms(n int) []string
-	SampleDocs(n int) []int64
+	TopTerms(ctx context.Context, n int) []string
+	SampleDocs(ctx context.Context, n int) []int64
 	NumThemes() int
 	Themes() []core.Theme
 }
@@ -219,9 +290,9 @@ type Service interface {
 // visible, compacting segments, and persisting the live state. The daemon
 // exposes these as operator commands.
 type Liver interface {
-	FlushLive() error
-	CompactLive() error
-	SaveLive(path string) error
+	FlushLive(ctx context.Context) error
+	CompactLive(ctx context.Context) error
+	SaveLive(ctx context.Context, path string) error
 }
 
 // Server answers concurrent sessions against one Store. All methods are safe
@@ -265,7 +336,12 @@ type Server struct {
 }
 
 // NewServer builds a server over a store.
-func NewServer(st *Store, cfg Config) (*Server, error) {
+//
+// Deprecated: use NewService with Options{Store: st, Config: cfg}; this
+// wrapper remains for existing callers.
+func NewServer(st *Store, cfg Config) (*Server, error) { return newServer(st, cfg) }
+
+func newServer(st *Store, cfg Config) (*Server, error) {
 	if st == nil {
 		return nil, fmt.Errorf("serve: nil store")
 	}
@@ -296,10 +372,20 @@ func (s *Server) Store() *Store { return s.store }
 func (s *Server) NewQuerier() Querier { return s.NewSession() }
 
 // TopTerms returns the store's query vocabulary head, for workload defaults.
-func (s *Server) TopTerms(n int) []string { return s.store.TopTerms(n) }
+func (s *Server) TopTerms(ctx context.Context, n int) []string {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return s.store.TopTerms(n)
+}
 
 // SampleDocs returns deterministic similarity targets from the store.
-func (s *Server) SampleDocs(n int) []int64 { return s.store.SampleDocs(n) }
+func (s *Server) SampleDocs(ctx context.Context, n int) []int64 {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return s.store.SampleDocs(n)
+}
 
 // NumThemes returns the store's k-means cluster count.
 func (s *Server) NumThemes() int { return s.store.K }
@@ -308,13 +394,19 @@ func (s *Server) NumThemes() int { return s.store.K }
 func (s *Server) Themes() []core.Theme { return s.store.Themes }
 
 // FlushLive makes every pending add visible (Store.Flush).
-func (s *Server) FlushLive() error {
+func (s *Server) FlushLive(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	_, err := s.store.Flush()
 	return err
 }
 
 // CompactLive merges the store's sealed segments now (Store.Compact).
-func (s *Server) CompactLive() error {
+func (s *Server) CompactLive(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	_, err := s.store.Compact()
 	return err
 }
@@ -323,7 +415,10 @@ func (s *Server) CompactLive() error {
 // are flushed, compaction drained, the segments and tombstones rebased into
 // the base, and the result written as a single INSPSTORE4 file — tile
 // pyramid embedded — that the next process serves straight from an mmap.
-func (s *Server) SaveLive(path string) error {
+func (s *Server) SaveLive(ctx context.Context, path string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.store.Rebase(); err != nil {
 		return err
 	}
@@ -631,7 +726,10 @@ func filterTombs(docs []int64, tombs map[int64]bool) []int64 {
 // TermDocs returns the posting list of a term (sorted by document ID), or
 // nil when the term is unknown or fully deleted — base and ingested-segment
 // postings merged, tombstones filtered.
-func (ss *Session) TermDocs(term string) []query.Posting {
+func (ss *Session) TermDocs(ctx context.Context, term string) []query.Posting {
+	if ctx.Err() != nil {
+		return nil
+	}
 	v := ss.s.store.viewNow()
 	cost := ss.lookupCost(term)
 	t, ok := ss.s.store.TermID(term)
@@ -675,7 +773,10 @@ func (ss *Session) TermDocs(term string) []query.Posting {
 // DF returns a term's document frequency (0 when absent): the base DF plus
 // every sealed segment's summary. Tombstoned documents stay counted until
 // compaction or Rebase drops their postings — the standard LSM overcount.
-func (ss *Session) DF(term string) int64 {
+func (ss *Session) DF(ctx context.Context, term string) int64 {
+	if ctx.Err() != nil {
+		return 0
+	}
 	v := ss.s.store.viewNow()
 	cost := ss.lookupCost(term)
 	t, ok := ss.s.store.TermID(term)
@@ -705,8 +806,8 @@ func (ss *Session) DF(term string) int64 {
 // directory rules out); through a full cached-and-coalesced fetch when it is
 // dense and would decode most blocks anyway. The loop exits before touching
 // the remaining (larger) lists once the intersection empties.
-func (ss *Session) And(terms ...string) []int64 {
-	if len(terms) == 0 {
+func (ss *Session) And(ctx context.Context, terms ...string) []int64 {
+	if len(terms) == 0 || ctx.Err() != nil {
 		return nil
 	}
 	st := ss.s.store
@@ -854,7 +955,10 @@ func (ss *Session) And(terms ...string) []int64 {
 // empty terms contribute nothing; every live list must transfer. The union
 // is a k-way merge over the already-sorted posting lists (base and segment),
 // deduplicating as it streams — no scratch map, no re-sort.
-func (ss *Session) Or(terms ...string) []int64 {
+func (ss *Session) Or(ctx context.Context, terms ...string) []int64 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	st := ss.s.store
 	v := st.viewNow()
 	var cost float64
@@ -914,7 +1018,10 @@ func unionSorted(lists [][]int64) []int64 {
 // served cold or cached; the cache key carries the view epoch, so every
 // published change (ingest seal, delete, signature swap) invalidates stale
 // answers without any sweep.
-func (ss *Session) Similar(doc int64, k int) ([]query.Hit, error) {
+func (ss *Session) Similar(ctx context.Context, doc int64, k int) ([]query.Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		return nil, fmt.Errorf("serve: similar: k must be positive")
 	}
@@ -1074,7 +1181,10 @@ func (ss *Session) similarTo(target []float64, exclude int64, k int) []query.Hit
 // ThemeDocs returns the document IDs assigned to a k-means cluster, sorted.
 // Documents ingested after the snapshot carry no cluster assignment until an
 // offline re-clustering; deleted documents are filtered.
-func (ss *Session) ThemeDocs(cluster int) []int64 {
+func (ss *Session) ThemeDocs(ctx context.Context, cluster int) []int64 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	st := ss.s.store
 	v := st.viewNow()
 	var out []int64
@@ -1099,7 +1209,10 @@ func (ss *Session) ThemeDocs(cluster int) []int64 {
 // candidates actually examined — not, as the naive scan this replaced did,
 // for the whole point set on every call. Config.DisableTiles restores the
 // full scan, which Fig S5 uses as its baseline.
-func (ss *Session) Near(x, y, radius float64) []int64 {
+func (ss *Session) Near(ctx context.Context, x, y, radius float64) []int64 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	st := ss.s.store
 	v := st.viewNow()
 	m := st.Model
@@ -1147,7 +1260,10 @@ func (ss *Session) Near(x, y, radius float64) []int64 {
 // modeled tokenize + projection + append (and, for the add that trips the
 // seal threshold, the seal's encode pass). The document becomes visible to
 // queries when its delta seals.
-func (ss *Session) Add(text string) (int64, error) {
+func (ss *Session) Add(ctx context.Context, text string) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	doc, cost, err := ss.s.store.Add(text)
 	ss.charge(cost)
 	if err != nil {
@@ -1158,7 +1274,10 @@ func (ss *Session) Add(text string) (int64, error) {
 
 // Delete tombstones a document; the change is visible to the very next
 // interaction on any session.
-func (ss *Session) Delete(doc int64) error {
+func (ss *Session) Delete(ctx context.Context, doc int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	cost, err := ss.s.store.Delete(doc)
 	ss.charge(cost)
 	return err

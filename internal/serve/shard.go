@@ -384,7 +384,7 @@ func LoadServiceFile(path string, cfg Config) (Service, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewRouter(shards, cfg)
+		return NewService(Options{Shards: shards, Config: cfg})
 	}
 	st, err := loadStoreFile(path, cfg.NoMmap)
 	if err != nil {
@@ -395,5 +395,5 @@ func LoadServiceFile(path string, cfg Config) (Service, error) {
 			return nil, err
 		}
 	}
-	return NewServer(st, cfg)
+	return NewService(Options{Store: st, Config: cfg})
 }

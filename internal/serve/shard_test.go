@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -15,8 +16,8 @@ func queryAll(t *testing.T, q Querier, st *Store) map[string]any {
 	out := map[string]any{}
 	terms := append(st.TopTerms(int(st.VocabSize)), "nonexistent")
 	for _, term := range terms {
-		out["term:"+term] = q.TermDocs(term)
-		out["df:"+term] = q.DF(term)
+		out["term:"+term] = q.TermDocs(context.Background(), term)
+		out["df:"+term] = q.DF(context.Background(), term)
 	}
 	pairs := [][]string{
 		{"apple", "banana"}, {"apple", "durian"}, {"durian", "elder", "fig"},
@@ -24,23 +25,23 @@ func queryAll(t *testing.T, q Querier, st *Store) map[string]any {
 	}
 	for _, p := range pairs {
 		key := strings.Join(p, "+")
-		out["and:"+key] = q.And(p...)
-		out["or:"+key] = q.Or(p...)
+		out["and:"+key] = q.And(context.Background(), p...)
+		out["or:"+key] = q.Or(context.Background(), p...)
 	}
 	for _, d := range st.SampleDocs(16) {
-		hits, err := q.Similar(d, 3)
+		hits, err := q.Similar(context.Background(), d, 3)
 		if err != nil {
 			t.Fatalf("similar %d: %v", d, err)
 		}
 		out["similar:"+string(rune('0'+d))] = hits
 	}
-	if _, err := q.Similar(-1, 3); err == nil {
+	if _, err := q.Similar(context.Background(), -1, 3); err == nil {
 		t.Fatal("similar on a negative doc did not error")
 	}
 	for c := 0; c < st.K; c++ {
-		out["theme:"+string(rune('0'+c))] = q.ThemeDocs(c)
+		out["theme:"+string(rune('0'+c))] = q.ThemeDocs(context.Background(), c)
 	}
-	out["near"] = q.Near(0, 0, 0.5)
+	out["near"] = q.Near(context.Background(), 0, 0, 0.5)
 	return out
 }
 
@@ -70,8 +71,8 @@ func TestRouterMatchesServer(t *testing.T) {
 		// Cached similarity answers stay identical too.
 		sess := r.NewSession()
 		d := st.SampleDocs(1)[0]
-		cold, _ := sess.Similar(d, 3)
-		warm, _ := sess.Similar(d, 3)
+		cold, _ := sess.Similar(context.Background(), d, 3)
+		warm, _ := sess.Similar(context.Background(), d, 3)
 		if !reflect.DeepEqual(cold, warm) {
 			t.Fatalf("%d shards: cached similar differs", n)
 		}
@@ -149,10 +150,10 @@ func TestRouterShortCircuit(t *testing.T) {
 			t.Fatalf("%s fanned out: %d rounds, %d shard queries", what, s.FanOuts, s.ShardQueries)
 		}
 	}
-	check("unknown term", sess.TermDocs("nonexistent") == nil)
-	check("unknown and", sess.And("apple", "nonexistent") == nil)
+	check("unknown term", sess.TermDocs(context.Background(), "nonexistent") == nil)
+	check("unknown and", sess.And(context.Background(), "apple", "nonexistent") == nil)
 	// grape lives only in doc 5, durian in docs 3 and 4: no shard holds both.
-	check("disjoint-shard and", sess.And("grape", "durian") == nil)
+	check("disjoint-shard and", sess.And(context.Background(), "grape", "durian") == nil)
 	st1 := r.Stats()
 	if st1.ShortCircuits != 3 {
 		t.Fatalf("ShortCircuits = %d, want 3", st1.ShortCircuits)
@@ -160,7 +161,7 @@ func TestRouterShortCircuit(t *testing.T) {
 
 	// Zero-DF pruning on a live query: grape's postings live on exactly one
 	// shard, so one fan-out round touches one shard and prunes the rest.
-	if got := sess.TermDocs("grape"); len(got) != 1 {
+	if got := sess.TermDocs(context.Background(), "grape"); len(got) != 1 {
 		t.Fatalf("grape postings = %v", got)
 	}
 	st2 := r.Stats()

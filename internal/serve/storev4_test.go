@@ -8,6 +8,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -100,25 +101,25 @@ func TestStoreV4RoundTrip(t *testing.T) {
 func compareQueriers(t *testing.T, label string, a, b Querier, terms []string, docs []int64, themes int) {
 	t.Helper()
 	for _, tm := range terms {
-		if got, want := a.DF(tm), b.DF(tm); got != want {
+		if got, want := a.DF(context.Background(), tm), b.DF(context.Background(), tm); got != want {
 			t.Fatalf("%s: DF(%q) = %d vs %d", label, tm, got, want)
 		}
-		if got, want := a.TermDocs(tm), b.TermDocs(tm); !reflect.DeepEqual(got, want) {
+		if got, want := a.TermDocs(context.Background(), tm), b.TermDocs(context.Background(), tm); !reflect.DeepEqual(got, want) {
 			t.Fatalf("%s: TermDocs(%q) differ", label, tm)
 		}
 	}
 	for i := 1; i < len(terms); i++ {
 		pair := []string{terms[i-1], terms[i]}
-		if got, want := a.And(pair...), b.And(pair...); !reflect.DeepEqual(got, want) {
+		if got, want := a.And(context.Background(), pair...), b.And(context.Background(), pair...); !reflect.DeepEqual(got, want) {
 			t.Fatalf("%s: And(%v) = %v vs %v", label, pair, got, want)
 		}
-		if got, want := a.Or(pair...), b.Or(pair...); !reflect.DeepEqual(got, want) {
+		if got, want := a.Or(context.Background(), pair...), b.Or(context.Background(), pair...); !reflect.DeepEqual(got, want) {
 			t.Fatalf("%s: Or(%v) differ", label, pair)
 		}
 	}
 	for _, d := range docs {
-		got, gerr := a.Similar(d, 5)
-		want, werr := b.Similar(d, 5)
+		got, gerr := a.Similar(context.Background(), d, 5)
+		want, werr := b.Similar(context.Background(), d, 5)
 		if (gerr == nil) != (werr == nil) {
 			t.Fatalf("%s: Similar(%d) errors differ: %v vs %v", label, d, gerr, werr)
 		}
@@ -127,21 +128,21 @@ func compareQueriers(t *testing.T, label string, a, b Querier, terms []string, d
 		}
 	}
 	for c := 0; c < themes; c++ {
-		if got, want := a.ThemeDocs(c), b.ThemeDocs(c); !reflect.DeepEqual(got, want) {
+		if got, want := a.ThemeDocs(context.Background(), c), b.ThemeDocs(context.Background(), c); !reflect.DeepEqual(got, want) {
 			t.Fatalf("%s: ThemeDocs(%d) differ", label, c)
 		}
 	}
-	if got, want := a.Near(0.5, 0.5, 10), b.Near(0.5, 0.5, 10); !reflect.DeepEqual(got, want) {
+	if got, want := a.Near(context.Background(), 0.5, 0.5, 10), b.Near(context.Background(), 0.5, 0.5, 10); !reflect.DeepEqual(got, want) {
 		t.Fatalf("%s: Near differ: %v vs %v", label, got, want)
 	}
-	got, gerr := a.Tile(0, 0, 0)
-	want, werr := b.Tile(0, 0, 0)
+	got, gerr := a.Tile(context.Background(), 0, 0, 0)
+	want, werr := b.Tile(context.Background(), 0, 0, 0)
 	if (gerr == nil) != (werr == nil) || !reflect.DeepEqual(got, want) {
 		t.Fatalf("%s: Tile(0,0,0) differ: %+v (%v) vs %+v (%v)", label, got, gerr, want, werr)
 	}
 	all := tiles.NewBounds(-1e9, -1e9, 1e9, 1e9)
-	gr, gerr := a.TileRange(1, all)
-	wr, werr := b.TileRange(1, all)
+	gr, gerr := a.TileRange(context.Background(), 1, all)
+	wr, werr := b.TileRange(context.Background(), 1, all)
 	if (gerr == nil) != (werr == nil) || !reflect.DeepEqual(gr, wr) {
 		t.Fatalf("%s: TileRange differ", label)
 	}
@@ -198,8 +199,8 @@ func TestMappedHeapEquivalence(t *testing.T) {
 			ms := serviceOf(t, mappedStore, shards, cfg)
 			hs := serviceOf(t, heapStore, shards, cfg)
 
-			terms := ms.TopTerms(12)
-			docs := ms.SampleDocs(6)
+			terms := ms.TopTerms(context.Background(), 12)
+			docs := ms.SampleDocs(context.Background(), 6)
 			themes := ms.NumThemes()
 			if len(terms) == 0 || len(docs) == 0 {
 				t.Fatal("no probe terms or docs")
@@ -224,9 +225,9 @@ func TestMappedHeapEquivalence(t *testing.T) {
 								return
 							default:
 							}
-							q.And(terms[i%len(terms)], terms[(i+1)%len(terms)])
-							_, _ = q.Similar(docs[i%len(docs)], 3)
-							_, _ = q.Tile(0, 0, 0)
+							q.And(context.Background(), terms[i%len(terms)], terms[(i+1)%len(terms)])
+							_, _ = q.Similar(context.Background(), docs[i%len(docs)], 3)
+							_, _ = q.Tile(context.Background(), 0, 0, 0)
 						}
 					}(svc)
 				}
@@ -235,8 +236,8 @@ func TestMappedHeapEquivalence(t *testing.T) {
 			mq, hq := ms.NewQuerier(), hs.NewQuerier()
 			for i := 0; i < 8; i++ {
 				text := terms[i%len(terms)] + " " + terms[(i+2)%len(terms)]
-				mid, merr := mq.Add(text)
-				hid, herr := hq.Add(text)
+				mid, merr := mq.Add(context.Background(), text)
+				hid, herr := hq.Add(context.Background(), text)
 				if merr != nil || herr != nil {
 					t.Fatalf("add: %v / %v", merr, herr)
 				}
@@ -245,10 +246,10 @@ func TestMappedHeapEquivalence(t *testing.T) {
 				}
 				added = append(added, mid)
 			}
-			if err := mq.Delete(added[0]); err != nil {
+			if err := mq.Delete(context.Background(), added[0]); err != nil {
 				t.Fatal(err)
 			}
-			if err := hq.Delete(added[0]); err != nil {
+			if err := hq.Delete(context.Background(), added[0]); err != nil {
 				t.Fatal(err)
 			}
 			close(stop)
@@ -256,10 +257,10 @@ func TestMappedHeapEquivalence(t *testing.T) {
 
 			for _, svc := range []Service{ms, hs} {
 				l := svc.(Liver)
-				if err := l.FlushLive(); err != nil {
+				if err := l.FlushLive(context.Background()); err != nil {
 					t.Fatal(err)
 				}
-				if err := l.CompactLive(); err != nil {
+				if err := l.CompactLive(context.Background()); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -275,7 +276,7 @@ func TestMappedHeapEquivalence(t *testing.T) {
 				outName = "live.shards"
 			}
 			out := filepath.Join(dir, outName)
-			if err := ms.(Liver).SaveLive(out); err != nil {
+			if err := ms.(Liver).SaveLive(context.Background(), out); err != nil {
 				t.Fatal(err)
 			}
 			reMapped, err := LoadServiceFile(out, Config{})
@@ -351,8 +352,8 @@ func TestFourVersionAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	terms := want.TopTerms(10)
-	docs := want.SampleDocs(4)
+	terms := want.TopTerms(context.Background(), 10)
+	docs := want.SampleDocs(context.Background(), 4)
 	for _, name := range []string{"v1", "v2", "v3", "v4"} {
 		svc, err := LoadServiceFile(paths[name], Config{})
 		if err != nil {
@@ -366,7 +367,7 @@ func TestFourVersionAgreement(t *testing.T) {
 		}
 		q, wq := svc.NewQuerier(), want.NewQuerier()
 		for _, tm := range terms {
-			if got, wantDF := q.DF(tm), wq.DF(tm); got != wantDF {
+			if got, wantDF := q.DF(context.Background(), tm), wq.DF(context.Background(), tm); got != wantDF {
 				t.Fatalf("%s: DF(%q) = %d want %d", name, tm, got, wantDF)
 			}
 		}
@@ -393,11 +394,11 @@ func TestMapBudgetPinDenials(t *testing.T) {
 	}
 	heapSrv := newServerT(t, mustLoadHeapLegacyTwin(t, st), Config{})
 
-	terms := srv.TopTerms(8)
+	terms := srv.TopTerms(context.Background(), 8)
 	q, hq := srv.NewSession(), heapSrv.NewSession()
 	for i := 1; i < len(terms); i++ {
-		got := q.And(terms[i-1], terms[i])
-		want := hq.And(terms[i-1], terms[i])
+		got := q.And(context.Background(), terms[i-1], terms[i])
+		want := hq.And(context.Background(), terms[i-1], terms[i])
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("budget-starved And(%q,%q) = %v want %v", terms[i-1], terms[i], got, want)
 		}
@@ -421,7 +422,7 @@ func TestMapBudgetPinDenials(t *testing.T) {
 	}
 	fq := freeSrv.NewSession()
 	for i := 1; i < len(terms); i++ {
-		fq.And(terms[i-1], terms[i])
+		fq.And(context.Background(), terms[i-1], terms[i])
 	}
 	if s := freeSrv.Stats(); s.PinDenials != 0 || s.ResidentPinnedBytes == 0 {
 		t.Fatalf("unlimited budget misbehaved: %+v", s)

@@ -24,6 +24,7 @@ package serve
 // walk admits rather than the whole point set.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -453,7 +454,10 @@ func renderTile(raw *tiles.Tile, z, x, y, grid, topThemes int, themes []core.The
 // Tile returns the Galaxy tile at (z, x, y): the density raster, top theme
 // histogram and exemplar documents of everything the ThemeView projection
 // bins there, answered from the server's epoch-keyed tile LRU.
-func (ss *Session) Tile(z, x, y int) (*TileResult, error) {
+func (ss *Session) Tile(ctx context.Context, z, x, y int) (*TileResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := ss.s
 	if s.cfg.DisableTiles {
 		return nil, fmt.Errorf("serve: tiles are disabled on this server")
@@ -472,7 +476,10 @@ func (ss *Session) Tile(z, x, y int) (*TileResult, error) {
 // r, ordered by (x, y) — one call renders a viewport. The quadtree walk
 // prunes subtrees outside the rect (counted in Stats.TilesPruned) and each
 // admitted tile answers through the tile LRU.
-func (ss *Session) TileRange(z int, r tiles.Rect) ([]*TileResult, error) {
+func (ss *Session) TileRange(ctx context.Context, z int, r tiles.Rect) ([]*TileResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := ss.s
 	if s.cfg.DisableTiles {
 		return nil, fmt.Errorf("serve: tiles are disabled on this server")
@@ -553,8 +560,8 @@ func (r *Router) tileShards(z int, rect tiles.Rect) []int {
 	}
 	r.boxMu.RLock()
 	defer r.boxMu.RUnlock()
-	out := make([]int, 0, len(r.shards))
-	for i := range r.shards {
+	out := make([]int, 0, len(r.sets))
+	for i := range r.sets {
 		if !r.boxOK[i] {
 			continue
 		}
@@ -571,8 +578,8 @@ func (r *Router) tileShards(z int, rect tiles.Rect) []int {
 func (r *Router) shardsForTile(z, x, y int) []int {
 	r.boxMu.RLock()
 	defer r.boxMu.RUnlock()
-	out := make([]int, 0, len(r.shards))
-	for i := range r.shards {
+	out := make([]int, 0, len(r.sets))
+	for i := range r.sets {
 		if !r.boxOK[i] {
 			continue
 		}
@@ -604,7 +611,10 @@ func (r *Router) expandBox(shard int, x, y float64) {
 // bit-identical to the single-store answer over the unsharded snapshot.
 // Shards whose bounding box misses the tile's extent are pruned before any
 // request is issued.
-func (rs *RouterSession) Tile(z, x, y int) (*TileResult, error) {
+func (rs *RouterSession) Tile(ctx context.Context, z, x, y int) (*TileResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := rs.r
 	if r.cfg.DisableTiles {
 		return nil, fmt.Errorf("serve: tiles are disabled on this router")
@@ -620,11 +630,12 @@ func (rs *RouterSession) Tile(z, x, y int) (*TileResult, error) {
 		rs.charge(cost)
 		return renderTile(nil, z, x, y, tc.Grid, r.cfg.TileThemes, r.themes), nil
 	}
-	parts := rs.tileParts()
-	cost += rs.scatter(live, 24, func(shard int, sub *Session) float64 {
-		parts[shard] = sub.tileRawQ(z, x, y)
-		return tileBytes(parts[shard])
-	})
+	parts, scCost := scatterQ(ctx, rs, live, 24,
+		func(ctx context.Context, shard int, sub *Session) (*tiles.Tile, float64) {
+			raw := sub.tileRawQ(z, x, y)
+			return raw, tileBytes(raw)
+		})
+	cost += scCost
 	// The merged tile is transient — renderTile deep-copies everything it
 	// keeps — so the merge buffer cycles through a pool instead of allocating
 	// a tile (plus density grid) per gathered request.
@@ -645,7 +656,10 @@ var tileMergeBuf = sync.Pool{New: func() any { return new(tiles.Tile) }}
 // TileRange returns every non-empty tile at zoom z intersecting r, merged
 // across the shard set and ordered by (x, y), identical to the single-store
 // answer. Only shards whose bounding box intersects the rect are asked.
-func (rs *RouterSession) TileRange(z int, rect tiles.Rect) ([]*TileResult, error) {
+func (rs *RouterSession) TileRange(ctx context.Context, z int, rect tiles.Rect) ([]*TileResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := rs.r
 	if r.cfg.DisableTiles {
 		return nil, fmt.Errorf("serve: tiles are disabled on this router")
@@ -661,15 +675,16 @@ func (rs *RouterSession) TileRange(z int, rect tiles.Rect) ([]*TileResult, error
 		rs.charge(cost)
 		return nil, nil
 	}
-	parts := make([][]*tiles.Tile, len(r.shards))
-	cost += rs.scatter(live, 40, func(shard int, sub *Session) float64 {
-		parts[shard] = sub.tileRangeRaw(z, rect)
-		var b float64
-		for _, t := range parts[shard] {
-			b += tileBytes(t)
-		}
-		return b
-	})
+	parts, scCost := scatterQ(ctx, rs, live, 40,
+		func(ctx context.Context, shard int, sub *Session) ([]*tiles.Tile, float64) {
+			out := sub.tileRangeRaw(z, rect)
+			var b float64
+			for _, t := range out {
+				b += tileBytes(t)
+			}
+			return out, b
+		})
+	cost += scCost
 	byAddr := make(map[[2]int][]*tiles.Tile)
 	for _, part := range parts {
 		for _, t := range part {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -22,7 +23,7 @@ func tileDump(t *testing.T, q Querier, maxZoom int) [][]*TileResult {
 	t.Helper()
 	out := make([][]*TileResult, maxZoom+1)
 	for z := 0; z <= maxZoom; z++ {
-		ts, err := q.TileRange(z, worldRect())
+		ts, err := q.TileRange(context.Background(), z, worldRect())
 		if err != nil {
 			t.Fatalf("TileRange(%d): %v", z, err)
 		}
@@ -76,7 +77,7 @@ func TestTileRouterMatchesServer(t *testing.T) {
 		// Single-tile queries agree too, on hits and on empty addresses.
 		for z, row := range want {
 			for _, wt := range row {
-				gt, err := sess.Tile(z, wt.X, wt.Y)
+				gt, err := sess.Tile(context.Background(), z, wt.X, wt.Y)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -85,14 +86,14 @@ func TestTileRouterMatchesServer(t *testing.T) {
 				}
 			}
 		}
-		if _, err := sess.Tile(5, 0, 0); err == nil {
+		if _, err := sess.Tile(context.Background(), 5, 0, 0); err == nil {
 			t.Fatal("out-of-range zoom accepted by router")
 		}
-		if _, err := sess.Tile(2, 4, 0); err == nil {
+		if _, err := sess.Tile(context.Background(), 2, 4, 0); err == nil {
 			t.Fatal("out-of-range address accepted by router")
 		}
 	}
-	if _, err := srv.NewSession().Tile(-1, 0, 0); err == nil {
+	if _, err := srv.NewSession().Tile(context.Background(), -1, 0, 0); err == nil {
 		t.Fatal("negative zoom accepted")
 	}
 }
@@ -115,7 +116,7 @@ func TestTilePyramidIncrementalMatchesRebuild(t *testing.T) {
 	check := func(label string) {
 		t.Helper()
 		// Touch the pyramid through the session so it patches forward.
-		sess.Near(0, 0, 0.5)
+		sess.Near(context.Background(), 0, 0, 0.5)
 		inc := pyramidBytes(st, tc)
 		resetPyramid(st)
 		rebuilt := pyramidBytes(st, tc)
@@ -128,11 +129,11 @@ func TestTilePyramidIncrementalMatchesRebuild(t *testing.T) {
 		for i := 0; i < 25; i++ {
 			x, y := rng.Float64()*2-1, rng.Float64()*2-1
 			r := rng.Float64() * 0.8
-			if a, b := fs.Near(x, y, r), ns.Near(x, y, r); !reflect.DeepEqual(a, b) {
+			if a, b := fs.Near(context.Background(), x, y, r), ns.Near(context.Background(), x, y, r); !reflect.DeepEqual(a, b) {
 				t.Fatalf("%s: Near(%g,%g,%g) via tiles = %v, full scan %v", label, x, y, r, b, a)
 			}
 		}
-		if a, b := fs.Near(0, 0, 1e9), ns.Near(0, 0, 1e9); !reflect.DeepEqual(a, b) {
+		if a, b := fs.Near(context.Background(), 0, 0, 1e9), ns.Near(context.Background(), 0, 0, 1e9); !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: Near(all) via tiles %d docs, full scan %d", label, len(b), len(a))
 		}
 	}
@@ -141,7 +142,7 @@ func TestTilePyramidIncrementalMatchesRebuild(t *testing.T) {
 
 	var added []int64
 	for i := 0; i < 12; i++ {
-		doc, err := sess.Add(texts[i%len(texts)])
+		doc, err := sess.Add(context.Background(), texts[i%len(texts)])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,13 +153,13 @@ func TestTilePyramidIncrementalMatchesRebuild(t *testing.T) {
 	}
 	check("sealed")
 
-	if err := sess.Delete(added[3]); err != nil {
+	if err := sess.Delete(context.Background(), added[3]); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Delete(added[7]); err != nil {
+	if err := sess.Delete(context.Background(), added[7]); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Delete(1); err != nil { // a base document
+	if err := sess.Delete(context.Background(), 1); err != nil { // a base document
 		t.Fatal(err)
 	}
 	check("deleted")
@@ -169,14 +170,14 @@ func TestTilePyramidIncrementalMatchesRebuild(t *testing.T) {
 	check("compacted")
 
 	for i := 0; i < 7; i++ {
-		if _, err := sess.Add(texts[(i*5)%len(texts)]); err != nil {
+		if _, err := sess.Add(context.Background(), texts[(i*5)%len(texts)]); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if _, err := st.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Delete(added[9]); err != nil {
+	if err := sess.Delete(context.Background(), added[9]); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := st.Compact(); err != nil {
@@ -190,7 +191,7 @@ func TestTilePyramidIncrementalMatchesRebuild(t *testing.T) {
 	check("rebased")
 
 	// The ingested documents stayed on the plane through the rebase.
-	all := srv.NewSession().Near(0, 0, 1e9)
+	all := srv.NewSession().Near(context.Background(), 0, 0, 1e9)
 	found := map[int64]bool{}
 	for _, d := range all {
 		found[d] = true
@@ -233,11 +234,11 @@ func TestTileRouterMatchesServerUnderIngest(t *testing.T) {
 
 	for i := 0; i < 11; i++ {
 		text := texts[i%len(texts)]
-		md, err := monoSess.Add(text)
+		md, err := monoSess.Add(context.Background(), text)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rd, err := rSess.Add(text)
+		rd, err := rSess.Add(context.Background(), text)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,17 +249,17 @@ func TestTileRouterMatchesServerUnderIngest(t *testing.T) {
 	if _, err := mono.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.FlushLive(); err != nil {
+	if err := r.FlushLive(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(tileDump(t, monoSess, 4), tileDump(t, rSess, 4)) {
 		t.Fatal("sealed: routed tile dump differs from monolithic")
 	}
 
-	if err := monoSess.Delete(2); err != nil {
+	if err := monoSess.Delete(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := rSess.Delete(2); err != nil {
+	if err := rSess.Delete(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(tileDump(t, monoSess, 4), tileDump(t, rSess, 4)) {
@@ -379,10 +380,10 @@ func TestNearChargesCandidatesNotCorpus(t *testing.T) {
 
 	ns, fs := srv.NewSession(), naive.NewSession()
 	// Warm the pyramid so the probe measures steady-state query cost.
-	ns.Near(0, 0, 0.01)
-	ns.Near(0, 0, 0.01)
+	ns.Near(context.Background(), 0, 0, 0.01)
+	ns.Near(context.Background(), 0, 0, 0.01)
 	tight := ns.Stats().LastMS
-	fs.Near(0, 0, 0.01)
+	fs.Near(context.Background(), 0, 0, 0.01)
 	full := fs.Stats().LastMS
 	if tight <= 0 || full <= 0 {
 		t.Fatalf("virtual costs not charged: tiles %g ms, scan %g ms", tight, full)
@@ -395,10 +396,10 @@ func TestNearChargesCandidatesNotCorpus(t *testing.T) {
 	}
 
 	sess := srv.NewSession()
-	if _, err := sess.Tile(0, 0, 0); err != nil {
+	if _, err := sess.Tile(context.Background(), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Tile(0, 0, 0); err != nil {
+	if _, err := sess.Tile(context.Background(), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	stats := srv.Stats()
@@ -406,10 +407,10 @@ func TestNearChargesCandidatesNotCorpus(t *testing.T) {
 		t.Fatalf("tile LRU not exercised: %+v hits/%+v misses", stats.TileHits, stats.TileMisses)
 	}
 
-	if _, err := naive.NewSession().Tile(0, 0, 0); err == nil {
+	if _, err := naive.NewSession().Tile(context.Background(), 0, 0, 0); err == nil {
 		t.Fatal("tiles answered on a DisableTiles server")
 	}
-	if _, err := naive.NewSession().TileRange(0, worldRect()); err == nil {
+	if _, err := naive.NewSession().TileRange(context.Background(), 0, worldRect()); err == nil {
 		t.Fatal("tile range answered on a DisableTiles server")
 	}
 }

@@ -233,7 +233,30 @@ type liveState struct {
 	tileVirt float64
 
 	adds, deletes, seals, compactions atomic.Uint64
+
+	// Replication log: the recent seal/tombstone entries in publish order,
+	// appended by publishLocked and consumed by replica catch-up
+	// (LineageSince). Compactions are answer-invariant and are not logged;
+	// lineage cuts (rebase, layout reset, signature swap) and ring trims
+	// advance logFloor, past which only a full resync can catch a replica
+	// up. Guarded by mu.
+	replog   []logEntry
+	logFloor uint64
 }
+
+// logEntry is one replication-log record: a batch of sealed segments or one
+// tombstone, at the epoch that published it. Segments are shared by
+// reference — they are immutable once sealed.
+type logEntry struct {
+	epoch uint64
+	kind  viewKind // viewSeal or viewTomb
+	segs  []*segment.Segment
+	tomb  int64
+}
+
+// replogCap bounds the replication log. A trim advances logFloor, so a
+// replica dead for longer than the ring covers falls back to a full resync.
+const replogCap = 4096
 
 // viewNow returns the store's current view, initializing epoch 1 from the
 // base snapshot on first use.
@@ -305,7 +328,52 @@ func (st *Store) publishLocked(next *view) {
 		next.parent = cur
 		next.depth = cur.depth + 1
 	}
+	switch next.kind {
+	case viewSeal:
+		st.appendLogLocked(logEntry{epoch: next.epoch, kind: viewSeal, segs: next.newSegs})
+	case viewTomb:
+		st.appendLogLocked(logEntry{epoch: next.epoch, kind: viewTomb, tomb: next.tomb})
+	case viewCompact:
+		// Answer-invariant: a replica replaying the log converges without it.
+	default:
+		// A cut (rebase, signature swap) is not expressible as a seal/tomb
+		// delta; replicas behind it must fully resync.
+		st.live.replog = nil
+		st.live.logFloor = next.epoch
+	}
 	st.live.cur.Store(next)
+}
+
+// appendLogLocked records one replication-log entry, trimming the oldest past
+// replogCap; callers hold live.mu.
+func (st *Store) appendLogLocked(e logEntry) {
+	if len(st.live.replog) >= replogCap {
+		// Replicas at exactly the dropped epoch no longer need it; anything
+		// older falls to a full resync.
+		st.live.logFloor = st.live.replog[0].epoch
+		n := copy(st.live.replog, st.live.replog[1:])
+		st.live.replog = st.live.replog[:n]
+	}
+	st.live.replog = append(st.live.replog, e)
+}
+
+// LineageSince returns the seal/tombstone entries published after epoch
+// since, in publish order — the catch-up delta a replica at that epoch needs.
+// ok is false when the log cannot cover the gap (a lineage cut or ring trim
+// landed past since); the replica must then fully resync (Replicate).
+func (st *Store) LineageSince(since uint64) (entries []logEntry, ok bool) {
+	st.live.mu.Lock()
+	defer st.live.mu.Unlock()
+	st.initViewLocked()
+	if since < st.live.logFloor {
+		return nil, false
+	}
+	for _, e := range st.live.replog {
+		if e.epoch > since {
+			entries = append(entries, e)
+		}
+	}
+	return entries, true
 }
 
 // hasLiveLocked reports whether live data — sealed segments, tombstones or a
@@ -328,6 +396,8 @@ func (st *Store) resetViewLocked() {
 	if v == nil {
 		return
 	}
+	st.live.replog = nil
+	st.live.logFloor = v.epoch + 1
 	st.live.cur.Store(&view{epoch: v.epoch + 1, gen: v.gen + 1, base: st.baseView(), sigs: v.sigs, pts: v.pts})
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,10 +42,10 @@ func (cfg WorkloadConfig) withDefaults(svc Service) WorkloadConfig {
 		cfg.SimK = 5
 	}
 	if len(cfg.Terms) == 0 {
-		cfg.Terms = svc.TopTerms(48)
+		cfg.Terms = svc.TopTerms(context.Background(), 48)
 	}
 	if len(cfg.Docs) == 0 {
-		cfg.Docs = svc.SampleDocs(16)
+		cfg.Docs = svc.SampleDocs(context.Background(), 16)
 	}
 	return cfg
 }
@@ -147,6 +148,7 @@ func Replay(svc Service, cfg WorkloadConfig) (*WorkloadReport, error) {
 		go func(sid int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed<<16 + int64(sid)))
+			ctx := context.Background()
 			sess := svc.NewQuerier()
 			local := make(map[string]int64)
 			lats := make([]float64, 0, cfg.OpsPerSession)
@@ -154,17 +156,17 @@ func Replay(svc Service, cfg WorkloadConfig) (*WorkloadReport, error) {
 			for op := 0; op < cfg.OpsPerSession; op++ {
 				switch p := rng.Float64(); {
 				case p < 0.40:
-					sess.TermDocs(term())
+					sess.TermDocs(ctx, term())
 					local["term"]++
 				case p < 0.55:
-					sess.And(term(), term())
+					sess.And(ctx, term(), term())
 					local["and"]++
 				case p < 0.70:
-					sess.Or(term(), term())
+					sess.Or(ctx, term(), term())
 					local["or"]++
 				case p < 0.85:
 					doc := cfg.Docs[pickSkewed(rng, len(cfg.Docs))]
-					if _, err := sess.Similar(doc, cfg.SimK); err != nil {
+					if _, err := sess.Similar(ctx, doc, cfg.SimK); err != nil {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = err
@@ -174,10 +176,10 @@ func Replay(svc Service, cfg WorkloadConfig) (*WorkloadReport, error) {
 					}
 					local["similar"]++
 				case p < 0.93:
-					sess.ThemeDocs(rng.Intn(max(1, themes)))
+					sess.ThemeDocs(ctx, rng.Intn(max(1, themes)))
 					local["theme"]++
 				default:
-					sess.Near(rng.Float64()-0.5, rng.Float64()-0.5, 0.2)
+					sess.Near(ctx, rng.Float64()-0.5, rng.Float64()-0.5, 0.2)
 					local["near"]++
 				}
 				lats = append(lats, sess.Stats().LastMS)
@@ -274,6 +276,12 @@ func diffStats(before, after Stats) Stats {
 		Deletes:          after.Deletes - before.Deletes,
 		Seals:            after.Seals - before.Seals,
 		Compactions:      after.Compactions - before.Compactions,
+		Hedges:           after.Hedges - before.Hedges,
+		HedgeWins:        after.HedgeWins - before.HedgeWins,
+		Failovers:        after.Failovers - before.Failovers,
+		ReplicaCatchUps:  after.ReplicaCatchUps - before.ReplicaCatchUps,
+		CatchUpSegments:  after.CatchUpSegments - before.CatchUpSegments,
+		CatchUpBytes:     after.CatchUpBytes - before.CatchUpBytes,
 	}
 }
 
