@@ -105,6 +105,13 @@ func wallDeltaTable(base, cur *loadgen.WallMetrics) string {
 			row{"cold start speedup (x)", base.ColdStartSpeedup, cur.ColdStartSpeedup, true},
 		)
 	}
+	if base.DenseAndSpeedup > 0 || cur.DenseAndSpeedup > 0 {
+		rows = append(rows,
+			row{"dense AND, bitmap (ms)", base.DenseAndBitmapMS, cur.DenseAndBitmapMS, false},
+			row{"dense AND, block-skip (ms)", base.DenseAndBlockMS, cur.DenseAndBlockMS, false},
+			row{"dense AND speedup (x)", base.DenseAndSpeedup, cur.DenseAndSpeedup, true},
+		)
+	}
 	if base.Replicas > 1 || cur.Replicas > 1 {
 		rows = append(rows,
 			row{"un-hedged p95, slow replica (ms)", base.UnhedgedP95MS, cur.UnhedgedP95MS, false},

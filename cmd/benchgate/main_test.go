@@ -156,6 +156,48 @@ func TestColdStartGate(t *testing.T) {
 	}
 }
 
+// TestDenseAndGate walks the dense-AND floor of the wall gate: the exact 3x
+// edge passes, a hair under fails, unmeasured runs only violate when the
+// baseline has numbers, and the table grows its rows only when measured.
+func TestDenseAndGate(t *testing.T) {
+	wall := func(bitmap, block float64) *loadgen.WallMetrics {
+		m := &loadgen.WallMetrics{Sessions: 100, OpsPerSession: 50, Seed: 1,
+			QPS: 1000, NormQPS: 2.0, AllocsPerOp: 200, BytesPerOp: 130000}
+		if bitmap > 0 && block > 0 {
+			m.DenseAndBitmapMS, m.DenseAndBlockMS = bitmap, block
+			m.DenseAndSpeedup = block / bitmap
+		}
+		return m
+	}
+	cases := []struct {
+		name      string
+		base, cur *loadgen.WallMetrics
+		want      int // violations
+	}{
+		{"speedup at floor", wall(0.01, 0.03), wall(0.01, 0.03), 0}, // exactly 3.0x
+		{"speedup below floor", wall(0.01, 0.03), wall(0.01, 0.0299), 1},
+		{"well above floor", wall(0.01, 0.03), wall(0.001, 0.05), 0},
+		{"neither measured", wall(0, 0), wall(0, 0), 0},
+		{"measurement dropped", wall(0.01, 0.03), wall(0, 0), 1},
+		{"baseline unmeasured, current measured", wall(0, 0), wall(0.01, 0.05), 0},
+	}
+	for _, tc := range cases {
+		if got := tc.cur.Gate(tc.base); len(got) != tc.want {
+			t.Errorf("%s: %d violations %v, want %d", tc.name, len(got), got, tc.want)
+		}
+	}
+	// The wall table only grows dense-AND rows when either side measured.
+	if got := wallDeltaTable(wall(0, 0), wall(0, 0)); strings.Contains(got, "dense AND") {
+		t.Fatalf("unmeasured runs grew dense-AND rows:\n%s", got)
+	}
+	got := wallDeltaTable(wall(0.01, 0.1), wall(0.008, 0.09))
+	for _, want := range []string{"dense AND, bitmap (ms)", "dense AND, block-skip (ms)", "dense AND speedup (x)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table lacks %q:\n%s", want, got)
+		}
+	}
+}
+
 // writeWall persists wall metrics for the end-to-end run() cases.
 func writeWall(t *testing.T, dir, name string, m *loadgen.WallMetrics) string {
 	t.Helper()

@@ -69,6 +69,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -pprof-addr
 	"os"
 	"path/filepath"
 	"sort"
@@ -101,6 +102,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admission control: shed requests with 429 past this many in flight (0 disables)")
 	sessionRate := flag.Float64("session-rate", 0, "per-session token-bucket rate limit in requests/s (0 disables)")
 	globalRate := flag.Float64("global-rate", 0, "global token-bucket rate limit in requests/s (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty disables; keep off the public address)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -218,6 +220,17 @@ func main() {
 			SessionRate: *sessionRate,
 			GlobalRate:  *globalRate,
 		})
+	}
+	if *pprofAddr != "" {
+		// The pprof mux is the process-global DefaultServeMux, deliberately
+		// kept off the query listener (which serves d.Mux()): profiles leak
+		// internals, so they bind to their own — typically loopback — address.
+		go func(addr string) {
+			fmt.Printf("pprof listening on %s\n", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "inspired: pprof listener: %v\n", err)
+			}
+		}(*pprofAddr)
 	}
 	if *stdin {
 		d.ServeLines(os.Stdin, os.Stdout)

@@ -7,7 +7,9 @@
 // cold start — wall time from exec to the first answered query — for the
 // mapped INSPSTORE4 layout against its legacy gob twin, by re-execing
 // itself as a short-lived probe (best of three per format; -no-coldstart
-// skips it), and the replicated tier: the hedged-read tail with one replica
+// skips it), the dense-AND kernel — the store's densest bitmap term pair
+// intersected word-wise against its block-only re-encoding (-no-denseand
+// skips it) — and the replicated tier: the hedged-read tail with one replica
 // stalled, and the throughput the admission control holds under a
 // saturating overload (-no-replication skips it).
 //
@@ -56,6 +58,7 @@ import (
 	"inspire/internal/bench"
 	"inspire/internal/httpd"
 	"inspire/internal/loadgen"
+	"inspire/internal/postings"
 	"inspire/internal/serve"
 )
 
@@ -80,6 +83,7 @@ func main() {
 	noCold := flag.Bool("no-coldstart", false, "skip the cold-start measurement")
 	coldScale := flag.Float64("cold-scale", 32, "dataset reduction factor for the cold-start probe store; smaller = bigger corpus, more decode-dominated")
 	noRepl := flag.Bool("no-replication", false, "skip the replication measurement (hedged reads past a stalled replica, admission under overload)")
+	noDense := flag.Bool("no-denseand", false, "skip the dense-AND kernel measurement (bitmap vs block-skip on the store's densest term pair)")
 	flag.Parse()
 
 	if *coldChild != "" {
@@ -104,6 +108,7 @@ func main() {
 	baseURL := *urlFlag
 	inProcess := baseURL == ""
 	var coldMappedMS, coldGobMS float64
+	var denseBitmapMS, denseBlockMS float64
 	var repl *replicationMetrics
 	if inProcess {
 		fmt.Fprintf(os.Stderr, "loadbench: indexing the scale-%g benchmark corpus (%d shard(s))...\n", *scale, *shards)
@@ -123,6 +128,18 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "loadbench: cold start to first query: mapped %.2fms, gob %.2fms (%.1fx)\n",
 				coldMappedMS, coldGobMS, coldGobMS/coldMappedMS)
+		}
+		if !*noDense {
+			denseBitmapMS, denseBlockMS, err = measureDenseAnd(st)
+			if err != nil {
+				fatal(fmt.Errorf("dense-AND measurement: %w", err))
+			}
+			if denseBitmapMS > 0 {
+				fmt.Fprintf(os.Stderr, "loadbench: dense AND on the densest bitmap pair: bitmap %.4fms, block-skip %.4fms (%.1fx)\n",
+					denseBitmapMS, denseBlockMS, denseBlockMS/denseBitmapMS)
+			} else {
+				fmt.Fprintf(os.Stderr, "loadbench: dense AND not measured: store has no bitmap term pair\n")
+			}
 		}
 		if !*noRepl {
 			fmt.Fprintf(os.Stderr, "loadbench: measuring replicated serving (hedged reads, admission under overload)...\n")
@@ -215,6 +232,11 @@ func main() {
 		m.ColdStartGobMS = coldGobMS
 		m.ColdStartSpeedup = coldGobMS / coldMappedMS
 	}
+	if denseBitmapMS > 0 && denseBlockMS > 0 {
+		m.DenseAndBitmapMS = denseBitmapMS
+		m.DenseAndBlockMS = denseBlockMS
+		m.DenseAndSpeedup = denseBlockMS / denseBitmapMS
+	}
 	if repl != nil {
 		m.Replicas = repl.replicas
 		m.UnhedgedP95MS = repl.unhedgedP95MS
@@ -293,6 +315,85 @@ func measureColdStart(scale float64) (mappedMS, gobMS float64, err error) {
 		return 0, 0, err
 	}
 	return mappedMS, gobMS, nil
+}
+
+// denseAndIters is how many intersections each dense-AND timing trial runs;
+// a single kernel pass is sub-microsecond, so the batch keeps the clock
+// readable above timer resolution.
+const denseAndIters = 4096
+
+// measureDenseAnd times the adaptive container win on the serving store
+// itself: its two highest-DF bitmap terms intersect through the word-wise
+// kernel and, re-encoded block-only via ForceBlocks, through the block-skip
+// path the same conjunction took before containers adapted. Both sides run
+// warm into reused buffers, so the ratio isolates representation cost —
+// word ANDs against varint block decode over identical postings. A store
+// with fewer than two bitmap terms reports zeros (unmeasured).
+func measureDenseAnd(st *serve.Store) (bitmapMS, blockMS float64, err error) {
+	ps := st.Posts
+	if ps == nil || !ps.HasBitmaps() {
+		return 0, 0, nil
+	}
+	a, b := int64(-1), int64(-1)
+	for t := int64(0); t < ps.NumTerms; t++ {
+		if !ps.IsBitmap(t) {
+			continue
+		}
+		switch {
+		case a < 0 || ps.Count[t] > ps.Count[a]:
+			a, b = t, a
+		case b < 0 || ps.Count[t] > ps.Count[b]:
+			b = t
+		}
+	}
+	if b < 0 {
+		return 0, 0, nil
+	}
+
+	// The block twin: the same two lists with adaptation disabled, as every
+	// store encoded them before bitmap containers existed.
+	docsA, freqsA := ps.Postings(a)
+	docsB, freqsB := ps.Postings(b)
+	bw := postings.NewWriter(int64(len(docsA) + len(docsB)))
+	bw.ForceBlocks()
+	if err := bw.Append(docsA, freqsA); err != nil {
+		return 0, 0, err
+	}
+	if err := bw.Append(docsB, freqsB); err != nil {
+		return 0, 0, err
+	}
+	blocks := bw.Finish()
+
+	dst := make([]int64, 0, len(docsA))
+	timeIt := func(f func()) float64 {
+		f() // warm caches and settle buffer sizes
+		best := 0.0
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			for i := 0; i < denseAndIters; i++ {
+				f()
+			}
+			if el := time.Since(start).Seconds() * 1e3 / denseAndIters; trial == 0 || el < best {
+				best = el
+			}
+		}
+		return best
+	}
+	bitmapMS = timeIt(func() { dst, _ = ps.AndBitmapsInto(dst[:0], a, b) })
+	want := append([]int64(nil), dst...)
+	// The block side as Session.And runs it: the rarer list seeds the
+	// accumulator (decoded warm, as the LRU would hold it), the larger is
+	// intersected block-skippingly against the compressed store.
+	blockMS = timeIt(func() { dst, _ = blocks.IntersectInto(dst[:0], docsB, 0) })
+	for i := range dst {
+		if i >= len(want) || dst[i] != want[i] {
+			return 0, 0, fmt.Errorf("dense-AND kernels disagree at %d", i)
+		}
+	}
+	if len(dst) != len(want) {
+		return 0, 0, fmt.Errorf("dense-AND kernels disagree: %d vs %d docs", len(dst), len(want))
+	}
+	return bitmapMS, blockMS, nil
 }
 
 // replicationMetrics is one replication measurement: the hedged-read tail

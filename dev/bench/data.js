@@ -1,5 +1,5 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1786110942101,
+  "lastUpdate": 1786118216677,
   "entries": {
     "wall-clock serving": [
       {
@@ -96,6 +96,92 @@ window.BENCHMARK_DATA = {
             "name": "cold start speedup",
             "value": 13.834599425299784,
             "unit": "x"
+          }
+        ]
+      },
+      {
+        "commit": "48eaa43199bdf6066852911d5327199e15e368a4",
+        "date": 1786118216677,
+        "benches": [
+          {
+            "name": "qps",
+            "value": 1636.2628553048496,
+            "unit": "req/s"
+          },
+          {
+            "name": "norm qps",
+            "value": 3.332495040120191,
+            "unit": "req/s per calib mops"
+          },
+          {
+            "name": "p50 latency",
+            "value": 58.278064,
+            "unit": "ms"
+          },
+          {
+            "name": "p95 latency",
+            "value": 93.295119,
+            "unit": "ms"
+          },
+          {
+            "name": "p99 latency",
+            "value": 112.442076,
+            "unit": "ms"
+          },
+          {
+            "name": "allocs",
+            "value": 210.07,
+            "unit": "allocs/req"
+          },
+          {
+            "name": "alloc bytes",
+            "value": 129517.4352,
+            "unit": "B/req"
+          },
+          {
+            "name": "cold start (mapped)",
+            "value": 27.974719,
+            "unit": "ms"
+          },
+          {
+            "name": "cold start (gob)",
+            "value": 315.701944,
+            "unit": "ms"
+          },
+          {
+            "name": "cold start speedup",
+            "value": 11.285258808140307,
+            "unit": "x"
+          },
+          {
+            "name": "dense AND (bitmap)",
+            "value": 0.0019030400390625,
+            "unit": "ms"
+          },
+          {
+            "name": "dense AND (blocks)",
+            "value": 0.017805221435546872,
+            "unit": "ms"
+          },
+          {
+            "name": "dense AND speedup",
+            "value": 9.356199065742363,
+            "unit": "x"
+          },
+          {
+            "name": "unhedged p95 (slow replica)",
+            "value": 8.557807,
+            "unit": "ms"
+          },
+          {
+            "name": "hedged p99 (slow replica)",
+            "value": 1.184372,
+            "unit": "ms"
+          },
+          {
+            "name": "overload served",
+            "value": 412.6257141147084,
+            "unit": "req/s"
           }
         ]
       }

@@ -17,7 +17,9 @@
 // similarity and drill-down queries over the distributed products, and
 // internal/serve turns a finished run into a long-lived serving store that
 // answers many concurrent analyst sessions (block-compressed posting lists
-// with skip-directory intersection via internal/postings, LRU posting and
+// with skip-directory intersection via internal/postings — dense terms adapt
+// into packed bitmap containers whose word-wise AND/OR kernels intersect
+// without decoding a posting, in place on mapped stores — LRU posting and
 // similarity caches, coalesced index transfers, per-interaction virtual
 // latency) through the cmd/inspired daemon: index once, serve many. The
 // store also partitions into document shards served by a scatter-gather

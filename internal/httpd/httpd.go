@@ -490,8 +490,21 @@ func methodNotAllowed(w http.ResponseWriter, v1 bool, op string) {
 func (d *Daemon) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	register := func(prefix string, v1 bool) {
+		// Unversioned routes announce their own retirement: RFC 8594
+		// Deprecation plus a Link to the /v1 twin, set before any body write.
+		// Bodies stay byte-identical to what these aliases always returned.
+		handleFunc := mux.HandleFunc
+		if !v1 {
+			handleFunc = func(pattern string, h func(http.ResponseWriter, *http.Request)) {
+				mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+					w.Header().Set("Deprecation", "true")
+					w.Header().Set("Link", `</v1`+r.URL.Path+`>; rel="successor-version"`)
+					h(w, r)
+				})
+			}
+		}
 		handle := func(op string, mutating bool, keys ...string) {
-			mux.HandleFunc(prefix+"/"+op, func(w http.ResponseWriter, r *http.Request) {
+			handleFunc(prefix+"/"+op, func(w http.ResponseWriter, r *http.Request) {
 				if mutating && r.Method != http.MethodPost {
 					methodNotAllowed(w, v1, op)
 					return
@@ -522,7 +535,7 @@ func (d *Daemon) Mux() *http.ServeMux {
 		// Galaxy tiles are addressed by path, slippy-map style; the method
 		// prefix makes non-GET requests 405 like the other read endpoints'
 		// mutation guard does.
-		mux.HandleFunc("GET "+prefix+"/tiles/{z}/{x}/{y}", func(w http.ResponseWriter, r *http.Request) {
+		handleFunc("GET "+prefix+"/tiles/{z}/{x}/{y}", func(w http.ResponseWriter, r *http.Request) {
 			name := r.URL.Query().Get("session")
 			degraded, ok := d.admit(w, name, v1, "tile")
 			if !ok {
@@ -543,7 +556,7 @@ func (d *Daemon) Mux() *http.ServeMux {
 		handle("delete", true, "doc")
 		for _, op := range []string{"flush", "compact", "save"} {
 			op := op
-			mux.HandleFunc(prefix+"/"+op, func(w http.ResponseWriter, r *http.Request) {
+			handleFunc(prefix+"/"+op, func(w http.ResponseWriter, r *http.Request) {
 				if r.Method != http.MethodPost {
 					methodNotAllowed(w, v1, op)
 					return
@@ -560,14 +573,14 @@ func (d *Daemon) Mux() *http.ServeMux {
 				writeReply(w, v1, d.live(r.Context(), op, path))
 			})
 		}
-		mux.HandleFunc(prefix+"/themes", func(w http.ResponseWriter, r *http.Request) {
+		handleFunc(prefix+"/themes", func(w http.ResponseWriter, r *http.Request) {
 			if v1 {
 				writeData(w, d.srv.Themes())
 				return
 			}
 			writeJSON(w, d.srv.Themes())
 		})
-		mux.HandleFunc(prefix+"/stats", func(w http.ResponseWriter, r *http.Request) {
+		handleFunc(prefix+"/stats", func(w http.ResponseWriter, r *http.Request) {
 			if v1 {
 				writeData(w, d.srv.Stats())
 				return

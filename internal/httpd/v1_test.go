@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -29,10 +30,21 @@ func fetch(t *testing.T, c *http.Client, method, url string) (int, http.Header, 
 	return resp.StatusCode, resp.Header, body
 }
 
+// pathOf strips the query string of a test route, leaving the request path
+// the Link successor-version header is derived from.
+func pathOf(route string) string {
+	if i := strings.IndexByte(route, '?'); i >= 0 {
+		return route[:i]
+	}
+	return route
+}
+
 // TestV1LegacyEquivalence pins the deprecation contract: for every query
 // endpoint, the legacy unversioned body is byte-identical to the /v1
-// envelope's "data" payload. Each route is primed once first so both reads
-// see the same warm cache state (virtual_ms models cache hits).
+// envelope's "data" payload, and the legacy response headers carry the
+// RFC 8594 Deprecation marker plus a Link to the /v1 twin (absent on /v1
+// itself). Each route is primed once first so both reads see the same warm
+// cache state (virtual_ms models cache hits).
 func TestV1LegacyEquivalence(t *testing.T) {
 	ts := httptest.NewServer(New(buildService(t, 3), "").Mux())
 	defer ts.Close()
@@ -51,10 +63,22 @@ func TestV1LegacyEquivalence(t *testing.T) {
 	}
 	for _, route := range routes {
 		fetch(t, c, http.MethodGet, ts.URL+route) // prime caches
-		legacyCode, _, legacy := fetch(t, c, http.MethodGet, ts.URL+route)
-		v1Code, _, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1"+route)
+		legacyCode, legacyHdr, legacy := fetch(t, c, http.MethodGet, ts.URL+route)
+		v1Code, v1Hdr, raw := fetch(t, c, http.MethodGet, ts.URL+"/v1"+route)
 		if legacyCode != http.StatusOK || v1Code != http.StatusOK {
 			t.Fatalf("%s: legacy %d, v1 %d", route, legacyCode, v1Code)
+		}
+		// Legacy aliases must self-announce their retirement out of band —
+		// bodies stay frozen, the headers carry the sunset signal.
+		if got := legacyHdr.Get("Deprecation"); got != "true" {
+			t.Fatalf("%s: Deprecation header = %q, want \"true\"", route, got)
+		}
+		wantLink := `</v1` + pathOf(route) + `>; rel="successor-version"`
+		if got := legacyHdr.Get("Link"); got != wantLink {
+			t.Fatalf("%s: Link header = %q, want %q", route, got, wantLink)
+		}
+		if v1Hdr.Get("Deprecation") != "" || v1Hdr.Get("Link") != "" {
+			t.Fatalf("/v1%s: versioned route carries deprecation headers", route)
 		}
 		var env Envelope
 		if err := json.Unmarshal(raw, &env); err != nil {

@@ -33,6 +33,13 @@ const (
 	// cost no longer scales with decode work, and a 10x margin holds across
 	// runner speeds because both sides slow down together.
 	GateMinColdStartSpeedup = 10.0
+	// GateMinDenseAndSpeedup fails the gate when the word-wise bitmap AND of
+	// the bench corpus's densest term pair is not at least this many times
+	// faster than the block-skip intersection of the same two lists. Like
+	// the cold-start floor this is an absolute ratio measured within one
+	// run, so it holds across runner speeds: both kernels run on the same
+	// host over the same postings.
+	GateMinDenseAndSpeedup = 3.0
 	// GateMaxHedgedP99Ratio fails the gate when, with one replica stalled,
 	// the hedged read p99 exceeds this multiple of the un-hedged p95: the
 	// hedge must cut the slow replica out of the tail, not just add load.
@@ -88,6 +95,15 @@ type WallMetrics struct {
 	ColdStartGobMS    float64 `json:"cold_start_gob_ms,omitempty"`
 	// ColdStartSpeedup is ColdStartGobMS / ColdStartMappedMS.
 	ColdStartSpeedup float64 `json:"cold_start_speedup,omitempty"`
+
+	// Dense AND: per-intersection wall time of the adaptive bitmap kernel
+	// against the block-skip path over the serving store's densest bitmap
+	// term pair, both sides warm. Zero means the run did not measure it
+	// (e.g. -url mode, or a store with no bitmap containers).
+	DenseAndBitmapMS float64 `json:"dense_and_bitmap_ms,omitempty"`
+	DenseAndBlockMS  float64 `json:"dense_and_block_ms,omitempty"`
+	// DenseAndSpeedup is DenseAndBlockMS / DenseAndBitmapMS.
+	DenseAndSpeedup float64 `json:"dense_and_speedup,omitempty"`
 
 	// Replication: measured on an in-process replicated tier (Replicas > 1)
 	// with one replica stalled. UnhedgedP95MS is the read p95 with hedging
@@ -167,6 +183,14 @@ func (m *WallMetrics) Gate(base *WallMetrics) []string {
 	}
 	if base.ColdStartSpeedup > 0 && m.ColdStartSpeedup == 0 {
 		out = append(out, "baseline has a cold-start measurement but the current run has none")
+	}
+	// Dense AND gates on an absolute floor within the run, like cold start.
+	if m.DenseAndSpeedup > 0 && m.DenseAndSpeedup < GateMinDenseAndSpeedup {
+		out = append(out, fmt.Sprintf("dense bitmap AND is only %.1fx faster than the block-skip path (%.4fms vs %.4fms); the floor is %.0fx",
+			m.DenseAndSpeedup, m.DenseAndBitmapMS, m.DenseAndBlockMS, GateMinDenseAndSpeedup))
+	}
+	if base.DenseAndSpeedup > 0 && m.DenseAndSpeedup == 0 {
+		out = append(out, "baseline has a dense-AND measurement but the current run has none")
 	}
 	// Replication gates on absolute ratios within the current run, like cold
 	// start; a run that silently dropped the measurement is a regression.
@@ -311,6 +335,13 @@ func AppendTrajectory(path string, m *WallMetrics, now time.Time) error {
 			trajBench{Name: "cold start (mapped)", Value: m.ColdStartMappedMS, Unit: "ms"},
 			trajBench{Name: "cold start (gob)", Value: m.ColdStartGobMS, Unit: "ms"},
 			trajBench{Name: "cold start speedup", Value: m.ColdStartSpeedup, Unit: "x"},
+		)
+	}
+	if m.DenseAndSpeedup > 0 {
+		run.Benches = append(run.Benches,
+			trajBench{Name: "dense AND (bitmap)", Value: m.DenseAndBitmapMS, Unit: "ms"},
+			trajBench{Name: "dense AND (blocks)", Value: m.DenseAndBlockMS, Unit: "ms"},
+			trajBench{Name: "dense AND speedup", Value: m.DenseAndSpeedup, Unit: "x"},
 		)
 	}
 	if m.Replicas > 1 && m.UnhedgedP95MS > 0 {

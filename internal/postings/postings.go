@@ -14,6 +14,15 @@
 // term bounds. This is the same compaction that lets one front-end serve
 // million-document corpora (cf. Cartolabe, Textiverse): ~2-3 bytes per
 // posting against 16 for the flat []int64 pair.
+//
+// Terms dense enough in their doc-ID span (more than one posting per
+// BitmapDensity candidate IDs, at least one full block's worth) use a second
+// container: a packed 64-bit-word bitmap instead of varint doc blocks, chosen
+// per term by Writer.Append. Boolean kernels then work on whole words —
+// dense∧dense is one `&` per 64 candidate docs (AndBitmapsInto), dense∧sparse
+// a per-doc bit probe (IntersectInto dispatches) — and the word arrays
+// persist as 8-aligned raw sections a mapped store serves in place. See
+// bitmap.go.
 package postings
 
 import (
@@ -50,17 +59,38 @@ type Store struct {
 	BlkMax     []int64 // max doc ID of interior block j
 	BlkDocEnd  []int64 // absolute byte end of interior block j in DocBlob
 	BlkFreqEnd []int64 // absolute byte end of interior block j in FreqBlob
+
+	// Adaptive bitmap containers. All three are nil on block-only stores so
+	// files written before this representation read back byte-identically.
+	// Term t is bitmap-backed iff len(TermBit) > 0 && TermBit[t+1] >
+	// TermBit[t]; its doc IDs are then the set bits of
+	// BitWords[TermBit[t]:TermBit[t+1]] offset by BitBase[t] (a multiple of
+	// 64), its doc-block and directory spans are empty, and its frequencies
+	// are a plain varint run in FreqBlob (no block structure — the bitmap has
+	// none to parallel).
+	TermBit  []int64  // len NumTerms+1 when present: word offsets into BitWords
+	BitBase  []int64  // len NumTerms when present: doc ID of word 0 bit 0
+	BitWords []uint64 // packed 64-doc words, back to back in term order
 }
 
-// Blocks returns the number of blocks of term t.
+// Blocks returns the number of varint blocks of term t — 0 for a
+// bitmap-backed term, which has no block structure to skip or decode.
 func (s *Store) Blocks(t int64) int64 {
+	if s.IsBitmap(t) {
+		return 0
+	}
 	return (s.Count[t] + BlockSize - 1) / BlockSize
 }
 
 // TermBytes returns the compressed byte sizes of term t's doc and freq
-// blocks — what a fetch of the whole list transfers.
+// containers — what a fetch of the whole list transfers. For a bitmap term
+// the doc side is its word array.
 func (s *Store) TermBytes(t int64) (docBytes, freqBytes int64) {
-	return s.TermDoc[t+1] - s.TermDoc[t], s.TermFreq[t+1] - s.TermFreq[t]
+	docBytes = s.TermDoc[t+1] - s.TermDoc[t]
+	if s.IsBitmap(t) {
+		docBytes = 8 * (s.TermBit[t+1] - s.TermBit[t])
+	}
+	return docBytes, s.TermFreq[t+1] - s.TermFreq[t]
 }
 
 // SizeBytes returns the total in-memory footprint of the compressed layout:
@@ -68,7 +98,8 @@ func (s *Store) TermBytes(t int64) (docBytes, freqBytes int64) {
 // figure compares against 16 bytes per posting of the flat layout.
 func (s *Store) SizeBytes() int64 {
 	ints := len(s.Count) + len(s.TermDoc) + len(s.TermFreq) + len(s.TermBlk) +
-		len(s.BlkMax) + len(s.BlkDocEnd) + len(s.BlkFreqEnd)
+		len(s.BlkMax) + len(s.BlkDocEnd) + len(s.BlkFreqEnd) +
+		len(s.TermBit) + len(s.BitBase) + len(s.BitWords)
 	return int64(len(s.DocBlob)) + int64(len(s.FreqBlob)) + 8*int64(ints)
 }
 
@@ -116,11 +147,17 @@ func (s *Store) decodeDocBlock(t, j int64, dst []int64) []int64 {
 }
 
 // Postings decodes term t's full posting list into fresh slices, sorted by
-// document ID. Both slices are nil when the term has no postings.
+// document ID. Both slices are nil when the term has no postings. A bitmap
+// term enumerates its set bits — no varint doc decode happens.
 func (s *Store) Postings(t int64) (docs, freqs []int64) {
 	n := s.Count[t]
 	if n == 0 {
 		return nil, nil
+	}
+	if s.IsBitmap(t) {
+		docs = s.BitmapDocsInto(make([]int64, 0, n), t)
+		freqs = s.bitmapFreqs(make([]int64, 0, n), t)
+		return docs, freqs
 	}
 	docs = make([]int64, n)
 	freqs = make([]int64, n)
@@ -149,15 +186,19 @@ func (s *Store) Postings(t int64) (docs, freqs []int64) {
 	return docs, freqs
 }
 
-// IntersectStats accounts one block-skipping intersection: how many of the
-// term's blocks were decoded, how many the skip directory ruled out, the
-// postings those blocks held, and the compressed bytes they occupy (what a
-// modeled fetch moves).
+// IntersectStats accounts one intersection: how many of the term's blocks
+// were decoded, how many the skip directory ruled out, the postings those
+// blocks held, and the compressed bytes they occupy (what a modeled fetch
+// moves). Bitmap kernels report word-wise work instead: 64-bit word pairs
+// ANDed (WordsScanned) and single-doc membership probes (BitProbes) — both
+// leave the decode counters at zero because nothing is decoded.
 type IntersectStats struct {
 	BlocksDecoded   int
 	BlocksSkipped   int
 	PostingsDecoded int
 	BytesDecoded    int64
+	WordsScanned    int
+	BitProbes       int
 }
 
 // Intersect returns acc ∩ postings(t) for an ascending-sorted acc, decoding
@@ -180,6 +221,9 @@ func (s *Store) IntersectInto(dst, acc []int64, t int64) ([]int64, IntersectStat
 		ist.BlocksSkipped = int(s.Blocks(t))
 		// dst[:0], not nil: the caller keeps its buffer for the next query.
 		return dst[:0], ist
+	}
+	if s.IsBitmap(t) {
+		return s.bitmapProbeInto(dst, acc, t)
 	}
 	b := s.Blocks(t)
 	e := s.TermBlk[t]
@@ -273,10 +317,25 @@ func (s *Store) Validate() error {
 		return fmt.Errorf("postings: blobs not fully addressed by term directory")
 	case s.TermBlk[v] != int64(len(s.BlkMax)):
 		return fmt.Errorf("postings: block directory not fully addressed")
+	case len(s.TermBit) != 0 && (int64(len(s.TermBit)) != v+1 || int64(len(s.BitBase)) != v):
+		return fmt.Errorf("postings: bitmap directory lengths %d/%d, want %d/%d",
+			len(s.TermBit), len(s.BitBase), v+1, v)
+	case len(s.TermBit) == 0 && len(s.BitWords) != 0:
+		return fmt.Errorf("postings: %d bitmap words with no bitmap directory", len(s.BitWords))
+	case len(s.TermBit) != 0 && s.TermBit[v] != int64(len(s.BitWords)):
+		return fmt.Errorf("postings: bitmap words not fully addressed by directory")
 	}
 	for t := int64(0); t < v; t++ {
 		if s.Count[t] < 0 {
 			return fmt.Errorf("postings: term %d has negative count", t)
+		}
+		if len(s.TermBit) != 0 {
+			if s.TermBit[t] > s.TermBit[t+1] {
+				return fmt.Errorf("postings: term %d bitmap offsets not monotone", t)
+			}
+			if err := s.validateBitmap(t); err != nil {
+				return err
+			}
 		}
 		if s.TermDoc[t] > s.TermDoc[t+1] || s.TermFreq[t] > s.TermFreq[t+1] {
 			return fmt.Errorf("postings: term %d byte offsets not monotone", t)
@@ -304,9 +363,19 @@ func (s *Store) Validate() error {
 }
 
 // Writer builds a Store one term at a time, in dense-ID order. The indexing
-// layer (invert) and the serving snapshot both emit blocks through it.
+// layer (invert), segment sealing/merging and the serving snapshot all emit
+// containers through it, so the per-term representation choice made here
+// propagates everywhere lists are (re)encoded.
 type Writer struct {
-	st Store
+	st          Store
+	forceBlocks bool
+}
+
+// ForceBlocks pins every subsequent Append to the varint block container,
+// disabling the bitmap density heuristic. Legacy persistence uses it to emit
+// stores that builds predating the bitmap container can still load.
+func (w *Writer) ForceBlocks() {
+	w.forceBlocks = true
 }
 
 // NewWriter returns a writer; sizeHint (total postings, 0 if unknown) presizes
@@ -326,7 +395,10 @@ func NewWriter(sizeHint int64) *Writer {
 
 // Append encodes the next term's posting list. docs must be strictly
 // increasing non-negative IDs; freqs parallel and non-negative. An empty list
-// appends a term with no postings.
+// appends a term with no postings. Lists at least one block long whose
+// density in their doc-ID span clears 1/BitmapDensity are stored as packed
+// bitmaps (unless ForceBlocks was called); everything else takes the varint
+// block container.
 func (w *Writer) Append(docs, freqs []int64) error {
 	t := w.st.NumTerms
 	if len(docs) != len(freqs) {
@@ -340,6 +412,13 @@ func (w *Writer) Append(docs, freqs []int64) error {
 			return fmt.Errorf("postings: term %d docs not strictly increasing at %d", t, i)
 		case freqs[i] < 0:
 			return fmt.Errorf("postings: term %d freq %d is negative", t, freqs[i])
+		}
+	}
+	if !w.forceBlocks && len(docs) >= BlockSize {
+		span := docs[len(docs)-1] - docs[0] + 1
+		if int64(len(docs))*BitmapDensity > span {
+			w.appendBitmap(docs, freqs)
+			return nil
 		}
 	}
 	st := &w.st
@@ -371,12 +450,21 @@ func (w *Writer) Append(docs, freqs []int64) error {
 	st.TermDoc = append(st.TermDoc, int64(len(st.DocBlob)))
 	st.TermFreq = append(st.TermFreq, int64(len(st.FreqBlob)))
 	st.TermBlk = append(st.TermBlk, int64(len(st.BlkMax)))
+	if st.TermBit != nil { // a bitmap term exists: keep the directory parallel
+		st.TermBit = append(st.TermBit, int64(len(st.BitWords)))
+		st.BitBase = append(st.BitBase, 0)
+	}
 	return nil
 }
 
 // Finish returns the completed store. The writer must not be used after.
+// A store that ended up all-blocks drops its empty bitmap directory so its
+// gob encoding is byte-identical to one written before bitmaps existed.
 func (w *Writer) Finish() *Store {
 	st := w.st
 	w.st = Store{}
+	if len(st.BitWords) == 0 {
+		st.TermBit, st.BitBase, st.BitWords = nil, nil, nil
+	}
 	return &st
 }

@@ -34,6 +34,25 @@ func buildStoreFrom(t *testing.T, lists [][2][]int64) *Store {
 	return st
 }
 
+// buildBlockStoreFrom pins every list to the varint block container — for
+// tests that exercise block internals (skip directory, block decode) on
+// lists dense enough that Append would otherwise pick a bitmap.
+func buildBlockStoreFrom(t *testing.T, lists [][2][]int64) *Store {
+	t.Helper()
+	w := NewWriter(0)
+	w.ForceBlocks()
+	for _, l := range lists {
+		if err := w.Append(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Finish()
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestRoundTripAcrossBlockBoundaries(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	var lists [][2][]int64
@@ -80,7 +99,7 @@ func TestWriterRejectsMalformedLists(t *testing.T) {
 func TestSkipDirectoryMatchesBlocks(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	d, f := genList(rng, 5*BlockSize+17, 100)
-	st := buildStoreFrom(t, [][2][]int64{{d, f}})
+	st := buildBlockStoreFrom(t, [][2][]int64{{d, f}})
 	if got, want := st.Blocks(0), int64(6); got != want {
 		t.Fatalf("blocks = %d, want %d", got, want)
 	}
@@ -102,7 +121,7 @@ func TestSkipDirectoryMatchesBlocks(t *testing.T) {
 func TestIntersectSkipsRuledOutBlocks(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	d, f := genList(rng, 8*BlockSize, 10)
-	st := buildStoreFrom(t, [][2][]int64{{d, f}})
+	st := buildBlockStoreFrom(t, [][2][]int64{{d, f}})
 
 	// Self-intersection returns the list, decoding every block.
 	got, ist := st.Intersect(d, 0)
@@ -172,7 +191,7 @@ func mergeIntersect(a, b []int64) []int64 {
 func TestValidateCatchesCorruption(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	d, f := genList(rng, 2*BlockSize, 5)
-	st := buildStoreFrom(t, [][2][]int64{{d, f}})
+	st := buildBlockStoreFrom(t, [][2][]int64{{d, f}})
 
 	bad := *st
 	bad.Count = bad.Count[:0]

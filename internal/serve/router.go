@@ -265,6 +265,9 @@ func (r *Router) Stats() Stats {
 		out.BlocksDecoded += st.BlocksDecoded
 		out.BlocksSkipped += st.BlocksSkipped
 		out.SegmentFetches += st.SegmentFetches
+		out.BitmapAnds += st.BitmapAnds
+		out.BitmapProbes += st.BitmapProbes
+		out.BitmapServes += st.BitmapServes
 		out.SimRefreshes += st.SimRefreshes
 		out.TileHits += st.TileHits
 		out.TileMisses += st.TileMisses

@@ -148,6 +148,16 @@ type Stats struct {
 	BlocksSkipped  uint64 // posting blocks the skip directory ruled out untouched
 	SegmentFetches uint64 // posting reads answered from sealed delta segments
 
+	// Bitmap-container accounts. Dense∧dense conjunctions run word-wise over
+	// the container itself (in place on a mapped store) — no posting decode,
+	// no LRU entry, no pin. Probes are dense∧sparse accumulator checks, one
+	// bit test per candidate doc; serves count full enumerations (Or,
+	// TermDocs, cache fills) answered by popcount walks instead of varint
+	// decode.
+	BitmapAnds   uint64 // dense∧dense AND kernels executed
+	BitmapProbes uint64 // accumulator docs bit-probed against a bitmap term
+	BitmapServes uint64 // full bitmap enumerations (unions, seeds, cache fills)
+
 	SimHits      uint64 // similarity queries answered from the result cache
 	SimMisses    uint64 // similarity queries that scanned the signatures
 	SimRefreshes uint64 // misses patched forward from an older epoch's answer
@@ -324,6 +334,9 @@ type Server struct {
 	blocksDecoded    atomic.Uint64
 	blocksSkipped    atomic.Uint64
 	segmentFetches   atomic.Uint64
+	bitmapAnds       atomic.Uint64
+	bitmapProbes     atomic.Uint64
+	bitmapServes     atomic.Uint64
 	simHits          atomic.Uint64
 	simMisses        atomic.Uint64
 	simRefreshes     atomic.Uint64
@@ -449,6 +462,9 @@ func (s *Server) Stats() Stats {
 		BlocksDecoded:    s.blocksDecoded.Load(),
 		BlocksSkipped:    s.blocksSkipped.Load(),
 		SegmentFetches:   s.segmentFetches.Load(),
+		BitmapAnds:       s.bitmapAnds.Load(),
+		BitmapProbes:     s.bitmapProbes.Load(),
+		BitmapServes:     s.bitmapServes.Load(),
 		SimHits:          s.simHits.Load(),
 		SimMisses:        s.simMisses.Load(),
 		SimRefreshes:     s.simRefreshes.Load(),
@@ -525,6 +541,43 @@ func (s *Server) hitCost(n int) float64 {
 	return s.store.Model.LocalCopyCost(16 * float64(n))
 }
 
+// bitmapTouchCost models streaming n bytes of term t's bitmap words:
+// one-sided when the term's owner is remote, a memory read otherwise. On a
+// mapped store those bytes are the file's own pages — nothing is decoded or
+// staged, so this is the whole transfer.
+func (s *Server) bitmapTouchCost(t int64, bytes float64) float64 {
+	m := s.store.Model
+	if s.store.Owner(t) != s.cfg.FrontRank {
+		return m.OneSidedCost(bytes)
+	}
+	return m.LocalCopyCost(bytes)
+}
+
+// bitmapAndCost models the dense∧dense kernel: both operands' overlapping
+// words stream through one AND per 64 candidate docs, then the surviving doc
+// IDs write out at memory rate.
+func (s *Server) bitmapAndCost(a, b int64, ist postings.IntersectStats, outLen int) float64 {
+	m := s.store.Model
+	words := float64(ist.WordsScanned)
+	return s.bitmapTouchCost(a, 8*words) + s.bitmapTouchCost(b, 8*words) +
+		m.FlopCost(words) + m.LocalCopyCost(8*float64(outLen))
+}
+
+// bitmapProbeCost models the dense∧sparse kernel: one word read and one bit
+// test per accumulator doc.
+func (s *Server) bitmapProbeCost(t int64, ist postings.IntersectStats) float64 {
+	probes := float64(ist.BitProbes)
+	return s.bitmapTouchCost(t, 8*probes) + s.store.Model.FlopCost(probes)
+}
+
+// bitmapSeedCost models enumerating a bitmap term to seed an accumulator:
+// the words stream in and the doc IDs write out at memory rate.
+func (s *Server) bitmapSeedCost(ps *postings.Store, t int64, outLen int) float64 {
+	docB, _ := ps.TermBytes(t)
+	return s.bitmapTouchCost(t, float64(docB)) +
+		s.store.Model.LocalCopyCost(8*float64(outLen))
+}
+
 // segCost models reading term t's postings from a sealed segment: segments
 // live in front-end memory, so the compressed bytes move and decode at
 // memory rate.
@@ -561,6 +614,13 @@ func (s *Server) getPostings(v *view, t int64) (postingVal, float64) {
 	docs, freqs := v.base.postings(t)
 	f.val = postingVal{docs: docs, freqs: freqs}
 	f.cost = s.wireCost(v.base, t, int64(len(docs)))
+	if ps := v.base.posts; ps != nil && ps.IsBitmap(t) {
+		// A bitmap term materializes by popcount enumeration, not varint
+		// decode (wireCost already moves its word bytes via TermBytes). The
+		// And path never gets here for bitmap terms; Or/TermDocs do, and the
+		// list is cached like any other.
+		s.bitmapServes.Add(1)
+	}
 	if s.store.Owner(t) != s.cfg.FrontRank {
 		s.remoteGets.Add(1)
 	}
@@ -863,13 +923,47 @@ func (ss *Session) And(ctx context.Context, terms ...string) []int64 {
 		}
 	}
 	if baseLive {
-		val, c := ss.s.getPostings(v, cands[0].id)
-		cost += c
-		bufA = append(bufA[:0], val.docs...)
-		acc = bufA
-		for _, cd := range cands[1:] {
+		ps := v.base.posts
+		i0 := 1
+		switch {
+		case ps != nil && ps.IsBitmap(cands[0].id) && len(cands) > 1 && ps.IsBitmap(cands[1].id):
+			// Dense∧dense: one word-wise AND straight over the containers —
+			// on a mapped store these are the file's own pages, so nothing is
+			// decoded, copied or cached.
+			var ist postings.IntersectStats
+			bufA, ist = ps.AndBitmapsInto(bufA[:0], cands[0].id, cands[1].id)
+			acc = bufA
+			cost += ss.s.bitmapAndCost(cands[0].id, cands[1].id, ist, len(acc))
+			ss.s.bitmapAnds.Add(1)
+			i0 = 2
+		case ps != nil && ps.IsBitmap(cands[0].id):
+			// Dense seed: enumerate the bitmap into session scratch instead
+			// of decoding a list through the LRU.
+			bufA = ps.BitmapDocsInto(bufA[:0], cands[0].id)
+			acc = bufA
+			cost += ss.s.bitmapSeedCost(ps, cands[0].id, len(acc))
+			ss.s.bitmapServes.Add(1)
+		default:
+			val, c := ss.s.getPostings(v, cands[0].id)
+			cost += c
+			bufA = append(bufA[:0], val.docs...)
+			acc = bufA
+		}
+		for _, cd := range cands[i0:] {
 			if len(acc) == 0 {
 				break
+			}
+			if ps != nil && ps.IsBitmap(cd.id) {
+				// Dense operand against any accumulator: per-doc bit probes
+				// beat every decoded-list merge and touch neither the varint
+				// decoder nor the posting LRU.
+				var ist postings.IntersectStats
+				bufB, ist = ps.IntersectInto(bufB[:0], acc, cd.id)
+				acc = bufB
+				cost += ss.s.bitmapProbeCost(cd.id, ist)
+				ss.s.bitmapProbes.Add(uint64(ist.BitProbes))
+				bufA, bufB = bufB, bufA
+				continue
 			}
 			if val, c, ok := ss.s.cachedPostings(v, cd.id); ok {
 				cost += c

@@ -671,7 +671,10 @@ func (st *Store) Save(w io.Writer) error {
 // INSPSTORE2 for a compressed store — INSPSTORE3 when rebased deletions left
 // ID holes — and INSPSTORE1 for a flat store. Builds that predate INSPSTORE4
 // load these byte-for-byte; the gob body fully materializes on load, so
-// serving prefers Save's v4 layout.
+// serving prefers Save's v4 layout. Bitmap posting containers are re-encoded
+// into varint blocks here — the legacy formats promise loadability by
+// previous builds, whose Validate would (correctly, loudly) reject a
+// bitmap-carrying directory.
 func (st *Store) SaveLegacy(w io.Writer) error {
 	enc := st
 	if st.Terms == nil && len(st.TermList) > 0 {
@@ -683,6 +686,19 @@ func (st *Store) SaveLegacy(w io.Writer) error {
 		for i, t := range st.TermList {
 			cp.Terms[t] = int64(i)
 		}
+		enc = cp
+	}
+	if enc.Posts != nil && enc.Posts.HasBitmaps() {
+		bw := postings.NewWriter(int64(len(enc.Posts.DocBlob)))
+		bw.ForceBlocks()
+		for t := int64(0); t < enc.VocabSize; t++ {
+			docs, freqs := enc.Posts.Postings(t)
+			if err := bw.Append(docs, freqs); err != nil {
+				return fmt.Errorf("serve: save legacy store: %w", err)
+			}
+		}
+		cp := enc.Fork()
+		cp.Posts = bw.Finish()
 		enc = cp
 	}
 	magic := storeMagicV1

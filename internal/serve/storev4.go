@@ -42,6 +42,14 @@ const (
 	secPostBlkMax     = "postblkmax"
 	secPostBlkDocEnd  = "postblkdocend"
 	secPostBlkFreqEnd = "postblkfreqend"
+	// Bitmap posting containers (absent on block-only stores; absent
+	// sections decode as nil, so pre-bitmap v4 files load unchanged). The
+	// word section is raw fixed-width uint64s in a page-aligned section, so
+	// the mapped reader aliases it in place and the dense∧dense AND kernel
+	// runs straight off the page cache.
+	secPostTermBit    = "posttermbit"
+	secPostBitBase    = "postbitbase"
+	secPostBitWords   = "postbitwords"
 	secSigDocs        = "sigdocs"
 	secSigOffs        = "sigoffs"
 	secSigBlob        = "sigblob"
@@ -171,6 +179,15 @@ func (st *Store) saveV4(w io.Writer) error {
 		{Name: secAssignDocs, Data: storefile.AppendInt64s(nil, st.AssignDocs)},
 		{Name: secAssignClusters, Data: storefile.AppendInt64s(nil, st.AssignClusters)},
 	}
+	// Bitmap containers ride along only when some term uses one, keeping
+	// block-only files byte-compatible with pre-bitmap readers.
+	if st.Posts.HasBitmaps() {
+		secs = append(secs,
+			storefile.Section{Name: secPostTermBit, Data: storefile.AppendInt64s(nil, st.Posts.TermBit)},
+			storefile.Section{Name: secPostBitBase, Data: storefile.AppendInt64s(nil, st.Posts.BitBase)},
+			storefile.Section{Name: secPostBitWords, Data: storefile.AppendUint64s(nil, st.Posts.BitWords)},
+		)
+	}
 	// Embed the base tile pyramid so a mapped load serves spatial queries
 	// without a rebuild. A store whose points cannot pyramid (duplicates,
 	// non-finite coordinates) persists without the section and builds
@@ -295,6 +312,24 @@ func decodeStoreV4(f *storefile.File) (*Store, error) {
 	if posts.BlkFreqEnd, err = ints(secPostBlkFreqEnd); err != nil {
 		return nil, err
 	}
+	// Bitmap containers: absent sections decode as nil, which is exactly the
+	// block-only representation. On a mapped little-endian host the word
+	// array below is an alias of the file — the dense∧dense kernel then runs
+	// in place over the page cache.
+	if posts.TermBit, err = ints(secPostTermBit); err != nil {
+		return nil, err
+	}
+	if posts.BitBase, err = ints(secPostBitBase); err != nil {
+		return nil, err
+	}
+	bitWords, bitCopied, err := storefile.Uint64s(sec(secPostBitWords))
+	if err != nil {
+		return nil, bad(secPostBitWords, "%v", err)
+	}
+	if bitCopied {
+		pinned += int64(8 * len(bitWords))
+	}
+	posts.BitWords = bitWords
 	st.Posts = posts
 
 	// Signatures: vectors are subslices of one flat float section.

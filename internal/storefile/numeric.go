@@ -29,6 +29,15 @@ func AppendInt64s(dst []byte, v []int64) []byte {
 	return dst
 }
 
+// AppendUint64s appends v little-endian to dst. Bitmap posting words persist
+// through this: fixed-width raw words, so the mapped reader can alias them.
+func AppendUint64s(dst []byte, v []uint64) []byte {
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, x)
+	}
+	return dst
+}
+
 // AppendFloat64s appends v little-endian (IEEE 754 bits) to dst.
 func AppendFloat64s(dst []byte, v []float64) []byte {
 	for _, x := range v {
@@ -53,6 +62,27 @@ func Int64s(b []byte) (v []int64, copied bool, err error) {
 	v = make([]int64, n)
 	for i := range v {
 		v[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return v, true, nil
+}
+
+// Uint64s reinterprets a little-endian uint64 section, same contract as
+// Int64s. This is the zero-copy path under the dense∧dense AND kernel: the
+// word-wise intersect runs directly over the returned alias of the mapping.
+func Uint64s(b []byte) (v []uint64, copied bool, err error) {
+	if len(b)%8 != 0 {
+		return nil, false, fmt.Errorf("storefile: uint64 section length %d not a multiple of 8", len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, false, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n), false, nil
+	}
+	v = make([]uint64, n)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint64(b[i*8:])
 	}
 	return v, true, nil
 }
