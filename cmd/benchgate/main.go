@@ -124,6 +124,13 @@ func wallDeltaTable(base, cur *loadgen.WallMetrics) string {
 			row{"overload served (qps)", base.OverloadServedQPS, cur.OverloadServedQPS, true},
 		)
 	}
+	if base.FacetFilterOverhead > 0 || cur.FacetFilterOverhead > 0 {
+		rows = append(rows,
+			row{"AND p95, unfiltered (ms)", base.FacetPlainP95MS, cur.FacetPlainP95MS, false},
+			row{"AND p95, facet filter (ms)", base.FacetFilteredP95MS, cur.FacetFilteredP95MS, false},
+			row{"facet filter overhead (x)", base.FacetFilterOverhead, cur.FacetFilterOverhead, false},
+		)
+	}
 	return renderRows(title, rows)
 }
 

@@ -45,6 +45,15 @@
 // requests with 429 + Retry-After, -session-rate and -global-rate cap the
 // per-session and daemon-wide request rates.
 //
+// Documents carry optional metadata — a unix-seconds ingest timestamp and
+// "key=value" facet labels — installed at serve time with -meta (a TSV of
+// doc<TAB>ts[<TAB>facet,facet,...] lines, persisted by -save-store and
+// partitioned by -shards) or attached per document on /v1/add with ts= and
+// repeated facet= parameters. Every query endpoint then accepts after=,
+// before= and repeated facet= filter parameters (the stdin protocol's
+// "filter" command is the sticky equivalent); filtered answers are exactly
+// the unfiltered answers minus the non-matching documents.
+//
 // The HTTP surface (term/boolean/similar/theme/near/tile queries, live
 // add/delete/flush/compact/save, /themes, /stats) lives in internal/httpd —
 // see that package's documentation for the endpoint list. Every query
@@ -66,6 +75,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"net/http"
@@ -73,6 +83,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"inspire/internal/cluster"
 	"inspire/internal/core"
@@ -92,6 +104,7 @@ func main() {
 	convert := flag.String("convert", "", "migrate the -store artifact (single store or shard manifest) to INSPSTORE4 at this path, then exit")
 	noMmap := flag.Bool("no-mmap", false, "materialize INSPSTORE4 stores to heap instead of serving from the file mapping")
 	sigPath := flag.String("signatures", "", "override signatures from a file persisted by inspire -signatures")
+	metaPath := flag.String("meta", "", "install document metadata before serving from a TSV of doc<TAB>unix-ts[<TAB>facet,facet,...] lines (facets are key=value)")
 	shards := flag.Int("shards", 1, "partition the serving store into N document shards behind a scatter-gather router")
 	replicas := flag.Int("replicas", 1, "serve N replicas per shard with failover, P2C load balancing and hedged reads")
 	httpAddr := flag.String("http", ":8417", "HTTP listen address (empty to disable)")
@@ -132,8 +145,8 @@ func main() {
 	if isMan, _ := serveManifest(*storePath); isMan {
 		// A persisted shard set serves as-is: its partitioning is fixed at
 		// save time, and signatures live inside the shard stores.
-		if *sigPath != "" || *saveStore != "" || *saveLegacy != "" || *shards > 1 {
-			fail(fmt.Errorf("-signatures, -save-store, -save-legacy and -shards do not apply to a shard manifest; re-index or load the single store to repartition"))
+		if *sigPath != "" || *saveStore != "" || *saveLegacy != "" || *shards > 1 || *metaPath != "" {
+			fail(fmt.Errorf("-signatures, -save-store, -save-legacy, -meta and -shards do not apply to a shard manifest; re-index or load the single store to repartition"))
 		}
 		man, shardStores, err := loadShardsMaybeHeap(*storePath, *noMmap)
 		if err != nil {
@@ -161,6 +174,13 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("applied %d persisted signatures (M=%d)\n", set.Len(), set.M)
+		}
+		if *metaPath != "" {
+			n, err := applyMetaFile(st, *metaPath)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("installed metadata for %d documents from %s\n", n, *metaPath)
 		}
 		if *saveStore != "" {
 			if *shards > 1 {
@@ -245,6 +265,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "inspired: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// applyMetaFile installs document metadata from a TSV file: one line per
+// document, doc<TAB>unix-ts[<TAB>facet,facet,...], facets "key=value".
+// Blank lines and #-comments are skipped. The whole file installs as the
+// store's base metadata (replacing any persisted metadata), so it must be
+// applied before any live ingestion.
+func applyMetaFile(st *serve.Store, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var docs, times []int64
+	var facets [][]string
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) < 2 {
+			return 0, fmt.Errorf("%s:%d: want doc<TAB>ts[<TAB>facets], got %q", path, line, text)
+		}
+		doc, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s:%d: document ID: %w", path, line, err)
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s:%d: timestamp: %w", path, line, err)
+		}
+		var fs []string
+		if len(parts) > 2 && strings.TrimSpace(parts[2]) != "" {
+			fs = strings.Split(strings.TrimSpace(parts[2]), ",")
+		}
+		docs = append(docs, doc)
+		times = append(times, ts)
+		facets = append(facets, fs)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if err := st.SetBaseMeta(docs, times, facets); err != nil {
+		return 0, err
+	}
+	return len(docs), nil
 }
 
 // serveManifest reports whether a non-empty -store path names a shard

@@ -9,9 +9,13 @@
 // itself as a short-lived probe (best of three per format; -no-coldstart
 // skips it), the dense-AND kernel — the store's densest bitmap term pair
 // intersected word-wise against its block-only re-encoding (-no-denseand
-// skips it) — and the replicated tier: the hedged-read tail with one replica
+// skips it) — the replicated tier: the hedged-read tail with one replica
 // stalled, and the throughput the admission control holds under a
-// saturating overload (-no-replication skips it).
+// saturating overload (-no-replication skips it) — and the facet-filter tax:
+// the corpus is stamped with deterministic timestamps and source facets, and
+// the same AND stream is timed with and without a facet predicate
+// (-no-facetfilter skips it). The stamped facets also feed the workload
+// itself: a slice of the planned reads carries facet= filters.
 //
 // By default it serves in-process: the synthetic benchmark corpus is indexed
 // through the real pipeline, mounted behind internal/httpd on a loopback
@@ -84,6 +88,8 @@ func main() {
 	coldScale := flag.Float64("cold-scale", 32, "dataset reduction factor for the cold-start probe store; smaller = bigger corpus, more decode-dominated")
 	noRepl := flag.Bool("no-replication", false, "skip the replication measurement (hedged reads past a stalled replica, admission under overload)")
 	noDense := flag.Bool("no-denseand", false, "skip the dense-AND kernel measurement (bitmap vs block-skip on the store's densest term pair)")
+	noFacet := flag.Bool("no-facetfilter", false, "skip the facet-filter overhead measurement (filtered vs unfiltered AND p95)")
+	facets := flag.String("facets", "", "comma-separated key=value facet filters for the workload plan (in-process defaults to the stamped source facets)")
 	flag.Parse()
 
 	if *coldChild != "" {
@@ -109,12 +115,23 @@ func main() {
 	inProcess := baseURL == ""
 	var coldMappedMS, coldGobMS float64
 	var denseBitmapMS, denseBlockMS float64
+	var facetPlainMS, facetFilteredMS float64
 	var repl *replicationMetrics
 	if inProcess {
 		fmt.Fprintf(os.Stderr, "loadbench: indexing the scale-%g benchmark corpus (%d shard(s))...\n", *scale, *shards)
 		st, err := bench.ServingStore(*scale, 8)
 		if err != nil {
 			fatal(err)
+		}
+		// Stamp deterministic metadata before anything shards or serves the
+		// store, so the facet probe, the replicated tier and the workload's
+		// facet= filters all see the same faceted corpus.
+		facetVocab, err := stampMeta(st)
+		if err != nil {
+			fatal(fmt.Errorf("stamping corpus metadata: %w", err))
+		}
+		if *facets == "" {
+			cfg.Facets = facetVocab
 		}
 		if !*noCold {
 			// Measure cold start before the load run so page-cache warmth from
@@ -140,6 +157,14 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "loadbench: dense AND not measured: store has no bitmap term pair\n")
 			}
+		}
+		if !*noFacet {
+			facetPlainMS, facetFilteredMS, err = measureFacetOverhead(st, facetVocab[0])
+			if err != nil {
+				fatal(fmt.Errorf("facet-overhead measurement: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "loadbench: AND p95: unfiltered %.4fms, facet-filtered %.4fms (%.2fx)\n",
+				facetPlainMS, facetFilteredMS, facetFilteredMS/facetPlainMS)
 		}
 		if !*noRepl {
 			fmt.Fprintf(os.Stderr, "loadbench: measuring replicated serving (hedged reads, admission under overload)...\n")
@@ -182,6 +207,9 @@ func main() {
 			}
 			cfg.Docs = append(cfg.Docs, id)
 		}
+	}
+	if *facets != "" {
+		cfg.Facets = strings.Split(*facets, ",")
 	}
 	if len(cfg.Terms) == 0 || len(cfg.Docs) == 0 {
 		fatal(fmt.Errorf("-url mode needs -terms and -docs (the driver cannot read the remote store's vocabulary)"))
@@ -243,6 +271,11 @@ func main() {
 		m.HedgedP99MS = repl.hedgedP99MS
 		m.OverloadLimitQPS = repl.limitQPS
 		m.OverloadServedQPS = repl.servedQPS
+	}
+	if facetPlainMS > 0 && facetFilteredMS > 0 {
+		m.FacetPlainP95MS = facetPlainMS
+		m.FacetFilteredP95MS = facetFilteredMS
+		m.FacetFilterOverhead = facetFilteredMS / facetPlainMS
 	}
 	if *jsonPath != "" {
 		if err := m.WriteJSON(*jsonPath); err != nil {
@@ -394,6 +427,92 @@ func measureDenseAnd(st *serve.Store) (bitmapMS, blockMS float64, err error) {
 		return 0, 0, fmt.Errorf("dense-AND kernels disagree: %d vs %d docs", len(dst), len(want))
 	}
 	return bitmapMS, blockMS, nil
+}
+
+// metaEpoch anchors the stamped timestamps; the exact value is arbitrary but
+// must be deterministic so equal seeds replay equal corpora.
+const metaEpoch = 1_000_000_000
+
+// stampFacetSources is how many source=sN facet values the stamp rotates
+// through, so each value selects about a quarter of the corpus — dense
+// enough that the compiled filter takes the bitmap path.
+const stampFacetSources = 4
+
+// stampMeta attaches deterministic metadata to the benchmark corpus: every
+// base document gets a timestamp one hour after its predecessor and a
+// source=sN facet keyed by its ID. It returns the facet vocabulary it
+// installed, which becomes the plan's filter vocabulary.
+func stampMeta(st *serve.Store) ([]string, error) {
+	set := st.Signatures()
+	docs := append([]int64(nil), set.Docs...)
+	times := make([]int64, len(docs))
+	rows := make([][]string, len(docs))
+	for i, d := range docs {
+		times[i] = metaEpoch + d*3600
+		rows[i] = []string{fmt.Sprintf("source=s%d", d%stampFacetSources)}
+	}
+	if err := st.SetBaseMeta(docs, times, rows); err != nil {
+		return nil, err
+	}
+	vocab := make([]string, stampFacetSources)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("source=s%d", i)
+	}
+	return vocab, nil
+}
+
+// facetProbeOps is how many conjunctions each facet-overhead probe times;
+// enough for a stable p95 over the skewed term pairs.
+const facetProbeOps = 240
+
+// measureFacetOverhead times the filtered-query tax on the serving store
+// itself: the same skewed AND stream runs once unfiltered and once under a
+// facet predicate that selects about a quarter of the corpus, through the
+// same single-store server. The gate (loadgen.GateMaxFacetFilterOverhead)
+// holds the filtered p95 under 2x the plain p95 — the predicate must resolve
+// through the cached filter set and the word-wise bitmap kernels, not
+// through a per-query corpus rescan.
+func measureFacetOverhead(st *serve.Store, facet string) (plainMS, filteredMS float64, err error) {
+	srv, err := serve.NewServer(st, serve.Config{})
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := context.Background()
+	terms := srv.TopTerms(ctx, 16)
+	if len(terms) < 2 {
+		return 0, 0, fmt.Errorf("facet probe: store has %d terms, need 2", len(terms))
+	}
+	probe := func(f serve.Filter) (float64, error) {
+		q := srv.NewQuerier()
+		if err := q.SetFilter(f); err != nil {
+			return 0, err
+		}
+		// Warm the term LRU and (on the filtered side) the filter-set cache so
+		// the p95 measures steady state, the regime the gate is about.
+		for i := 0; i < 8; i++ {
+			q.And(ctx, terms[i%len(terms)], terms[(i+1)%len(terms)])
+		}
+		lat := make([]float64, 0, facetProbeOps)
+		for i := 0; i < facetProbeOps; i++ {
+			a, b := terms[i%len(terms)], terms[(i+1)%len(terms)]
+			start := time.Now()
+			q.And(ctx, a, b)
+			lat = append(lat, time.Since(start).Seconds()*1e3)
+		}
+		sort.Float64s(lat)
+		idx := int(0.95 * float64(len(lat)))
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return lat[idx], nil
+	}
+	if plainMS, err = probe(serve.Filter{}); err != nil {
+		return 0, 0, err
+	}
+	if filteredMS, err = probe(serve.Filter{Facets: []string{facet}}); err != nil {
+		return 0, 0, err
+	}
+	return plainMS, filteredMS, nil
 }
 
 // replicationMetrics is one replication measurement: the hedged-read tail

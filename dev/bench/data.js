@@ -1,5 +1,5 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1786118216677,
+  "lastUpdate": 1786121744589,
   "entries": {
     "wall-clock serving": [
       {
@@ -182,6 +182,107 @@ window.BENCHMARK_DATA = {
             "name": "overload served",
             "value": 412.6257141147084,
             "unit": "req/s"
+          }
+        ]
+      },
+      {
+        "commit": "09d476f7ba1918c745c494763691ba738b8b0be8",
+        "date": 1786121744589,
+        "benches": [
+          {
+            "name": "qps",
+            "value": 1419.4874002971071,
+            "unit": "req/s"
+          },
+          {
+            "name": "norm qps",
+            "value": 2.80722394057611,
+            "unit": "req/s per calib mops"
+          },
+          {
+            "name": "p50 latency",
+            "value": 67.590815,
+            "unit": "ms"
+          },
+          {
+            "name": "p95 latency",
+            "value": 106.73244,
+            "unit": "ms"
+          },
+          {
+            "name": "p99 latency",
+            "value": 122.654472,
+            "unit": "ms"
+          },
+          {
+            "name": "allocs",
+            "value": 225.5646,
+            "unit": "allocs/req"
+          },
+          {
+            "name": "alloc bytes",
+            "value": 125541.0752,
+            "unit": "B/req"
+          },
+          {
+            "name": "cold start (mapped)",
+            "value": 23.253104,
+            "unit": "ms"
+          },
+          {
+            "name": "cold start (gob)",
+            "value": 326.447701,
+            "unit": "ms"
+          },
+          {
+            "name": "cold start speedup",
+            "value": 14.038887066432077,
+            "unit": "x"
+          },
+          {
+            "name": "dense AND (bitmap)",
+            "value": 0.001225765380859375,
+            "unit": "ms"
+          },
+          {
+            "name": "dense AND (blocks)",
+            "value": 0.011920670654296875,
+            "unit": "ms"
+          },
+          {
+            "name": "dense AND speedup",
+            "value": 9.72508347881336,
+            "unit": "x"
+          },
+          {
+            "name": "unhedged p95 (slow replica)",
+            "value": 8.569840000000001,
+            "unit": "ms"
+          },
+          {
+            "name": "hedged p99 (slow replica)",
+            "value": 1.225937,
+            "unit": "ms"
+          },
+          {
+            "name": "overload served",
+            "value": 412.6262920092462,
+            "unit": "req/s"
+          },
+          {
+            "name": "AND p95 (unfiltered)",
+            "value": 0.014919,
+            "unit": "ms"
+          },
+          {
+            "name": "AND p95 (facet filter)",
+            "value": 0.022955999999999997,
+            "unit": "ms"
+          },
+          {
+            "name": "facet filter overhead",
+            "value": 1.5387090287552783,
+            "unit": "x"
           }
         ]
       }

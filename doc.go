@@ -39,6 +39,15 @@
 // extended manifest; a single live store rebases back into an ordinary
 // store file.
 //
+// The corpus is faceted: documents carry an optional unix-seconds timestamp
+// and "key=value" facet labels (inspired -meta at serve time, ts=/facet= on
+// add), persisted as INSPSTORE4 sections, and every query layer accepts a
+// time-and-facet filter (after=/before=/facet= parameters per HTTP request,
+// the stdin protocol's sticky "filter" command) whose answer is exactly the
+// unfiltered answer minus the non-matching documents — dense filters
+// materialize into the same bitmap containers the boolean kernels intersect,
+// identically across monolithic, sharded, mapped, heap and legacy stores.
+//
 // The ThemeView projection itself serves at scale through the Galaxy tile
 // pyramid (internal/tiles): a quadtree of multi-resolution aggregates —
 // density grids, top-theme histograms with representative labels, exemplar

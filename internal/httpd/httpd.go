@@ -23,12 +23,22 @@
 //	GET  /v1/near?x=0&y=0&r=0.2     ThemeView region drill-down
 //	GET  /v1/tiles/{z}/{x}/{y}      Galaxy tile
 //	POST /v1/add?text=...           ingest a document (returns its ID)
+//	                                optional ts=UNIX and repeated facet=k=v
+//	                                attach document metadata
 //	POST /v1/delete?doc=3           tombstone a document
 //	POST /v1/flush                  make pending adds visible now
 //	POST /v1/compact                merge sealed segments now
 //	POST /v1/save?path=NAME         persist under the configured save dir
 //	GET  /v1/themes                 discovered themes
 //	GET  /v1/stats                  server cache/traffic/ingest counters
+//
+// Query endpoints take optional facet-filter parameters: after=UNIX and
+// before=UNIX bound the documents' ingest timestamps (inclusive;
+// untimestamped documents fail any bound) and repeated facet=key=value
+// parameters require every listed facet. The filter is per-request: a
+// request without filter parameters is unfiltered, and a filtered answer is
+// exactly the unfiltered answer minus the non-matching documents. DF reads
+// the corpus-wide descriptor and ignores the filter.
 //
 // Pass session=NAME on query endpoints to accumulate per-session virtual
 // latency across requests; anonymous requests each get a fresh session.
@@ -280,11 +290,34 @@ func httpStatus(code string) int {
 // belongs to this interaction. degraded requests answer with reduced
 // fidelity: a clamped similarity K, and tile addresses coarsened to the
 // degrade zoom.
-func (d *Daemon) run(ctx context.Context, ns *namedSession, op string, args map[string]string, degraded bool) Reply {
+func (d *Daemon) run(ctx context.Context, ns *namedSession, op string, args map[string]string, facets []string, degraded bool) Reply {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	sess := ns.sess
 	rep := Reply{Op: op}
+	// The metadata filter is per-request: absent parameters install the zero
+	// Filter, which clears anything a previous request on this named session
+	// set. Writes ignore the filter, so installing it unconditionally keeps
+	// every op on one code path.
+	var f serve.Filter
+	var ferr error
+	if v := args["after"]; v != "" {
+		if f.After, ferr = strconv.ParseInt(v, 10, 64); ferr != nil {
+			rep.Error = fmt.Sprintf("after %q is not a unix timestamp", v)
+			return rep
+		}
+	}
+	if v := args["before"]; v != "" {
+		if f.Before, ferr = strconv.ParseInt(v, 10, 64); ferr != nil {
+			rep.Error = fmt.Sprintf("before %q is not a unix timestamp", v)
+			return rep
+		}
+	}
+	f.Facets = facets
+	if err := sess.SetFilter(f); err != nil {
+		rep.Error = err.Error()
+		return rep
+	}
 	terms := func() []string {
 		return strings.FieldsFunc(args["q"], func(r rune) bool { return r == ',' || r == ' ' })
 	}
@@ -349,7 +382,15 @@ func (d *Daemon) run(ctx context.Context, ns *namedSession, op string, args map[
 			rep.Count = int(t.Docs)
 		}
 	case "add":
-		doc, err := sess.Add(ctx, args["text"])
+		var ts int64
+		if v := args["ts"]; v != "" {
+			var err error
+			if ts, err = strconv.ParseInt(v, 10, 64); err != nil {
+				rep.Error = fmt.Sprintf("ts %q is not a unix timestamp", v)
+				return rep
+			}
+		}
+		doc, err := sess.AddDoc(ctx, args["text"], ts, facets)
 		if err != nil {
 			rep.Error = err.Error()
 		} else {
@@ -522,16 +563,17 @@ func (d *Daemon) Mux() *http.ServeMux {
 				for _, k := range keys {
 					args[k] = r.URL.Query().Get(k)
 				}
-				writeReply(w, v1, d.run(r.Context(), d.session(name), op, args, degraded))
+				writeReply(w, v1, d.run(r.Context(), d.session(name), op, args,
+					r.URL.Query()["facet"], degraded))
 			})
 		}
-		handle("term", false, "q")
+		handle("term", false, "q", "after", "before")
 		handle("df", false, "q")
-		handle("and", false, "q")
-		handle("or", false, "q")
-		handle("similar", false, "doc", "k")
-		handle("theme", false, "cluster")
-		handle("near", false, "x", "y", "r")
+		handle("and", false, "q", "after", "before")
+		handle("or", false, "q", "after", "before")
+		handle("similar", false, "doc", "k", "after", "before")
+		handle("theme", false, "cluster", "after", "before")
+		handle("near", false, "x", "y", "r", "after", "before")
 		// Galaxy tiles are addressed by path, slippy-map style; the method
 		// prefix makes non-GET requests 405 like the other read endpoints'
 		// mutation guard does.
@@ -546,13 +588,16 @@ func (d *Daemon) Mux() *http.ServeMux {
 				w.Header().Set("X-Degraded", "1")
 			}
 			args := map[string]string{
-				"z": r.PathValue("z"),
-				"x": r.PathValue("x"),
-				"y": r.PathValue("y"),
+				"z":      r.PathValue("z"),
+				"x":      r.PathValue("x"),
+				"y":      r.PathValue("y"),
+				"after":  r.URL.Query().Get("after"),
+				"before": r.URL.Query().Get("before"),
 			}
-			writeReply(w, v1, d.run(r.Context(), d.session(name), "tile", args, degraded))
+			writeReply(w, v1, d.run(r.Context(), d.session(name), "tile", args,
+				r.URL.Query()["facet"], degraded))
 		})
-		handle("add", true, "text")
+		handle("add", true, "text", "ts")
 		handle("delete", true, "doc")
 		for _, op := range []string{"flush", "compact", "save"} {
 			op := op
@@ -623,13 +668,21 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 // ServeLines answers the stdin line protocol: one op per line, JSON per
 // line. Lines are "term apple", "and apple banana", "similar 3 5",
 // "theme 2", "near 0 0 0.2", "tile 2 1 3", "df apple", "stats", "quit".
-// Unlike HTTP /save, the line protocol's save takes a full path — it is the
-// operator's own terminal, not the network surface.
+// "filter after=100 before=200 key=value ..." installs a sticky metadata
+// filter on the connection's session (applied to every later query op);
+// "filter" alone clears it. Unlike HTTP /save, the line protocol's save
+// takes a full path — it is the operator's own terminal, not the network
+// surface.
 func (d *Daemon) ServeLines(in io.Reader, out io.Writer) {
 	ctx := context.Background()
 	sess := &namedSession{sess: d.srv.NewQuerier()}
 	sc := bufio.NewScanner(in)
 	enc := json.NewEncoder(out)
+	// The connection's sticky filter, re-injected into every op's args so
+	// run() — which resets the session filter from its arguments each call —
+	// keeps HTTP requests stateless while the terminal stays sticky.
+	filterArgs := map[string]string{}
+	var filterFacets []string
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
@@ -642,6 +695,21 @@ func (d *Daemon) ServeLines(in io.Reader, out io.Writer) {
 		case "stats":
 			_ = enc.Encode(d.srv.Stats())
 			continue
+		case "filter":
+			filterArgs = map[string]string{}
+			filterFacets = nil
+			for _, tok := range rest {
+				switch {
+				case strings.HasPrefix(tok, "after="):
+					filterArgs["after"] = tok[len("after="):]
+				case strings.HasPrefix(tok, "before="):
+					filterArgs["before"] = tok[len("before="):]
+				default:
+					filterFacets = append(filterFacets, tok)
+				}
+			}
+			_ = enc.Encode(Reply{Op: op, OK: true, Count: len(filterFacets)})
+			continue
 		case "flush", "compact", "save":
 			path := ""
 			if len(rest) > 0 {
@@ -651,6 +719,9 @@ func (d *Daemon) ServeLines(in io.Reader, out io.Writer) {
 			continue
 		}
 		args := map[string]string{}
+		for k, v := range filterArgs {
+			args[k] = v
+		}
 		switch op {
 		case "term", "df":
 			if len(rest) > 0 {
@@ -684,6 +755,6 @@ func (d *Daemon) ServeLines(in io.Reader, out io.Writer) {
 				args["z"], args["x"], args["y"] = rest[0], rest[1], rest[2]
 			}
 		}
-		_ = enc.Encode(d.run(ctx, sess, op, args, false))
+		_ = enc.Encode(d.run(ctx, sess, op, args, filterFacets, false))
 	}
 }

@@ -59,8 +59,12 @@ func (stubQuerier) TileRange(context.Context, int, tiles.Rect) ([]*serve.TileRes
 	return nil, nil
 }
 func (stubQuerier) Add(context.Context, string) (int64, error) { return 0, nil }
-func (stubQuerier) Delete(context.Context, int64) error        { return nil }
-func (stubQuerier) Stats() serve.SessionStats                  { return serve.SessionStats{} }
+func (stubQuerier) AddDoc(context.Context, string, int64, []string) (int64, error) {
+	return 0, nil
+}
+func (stubQuerier) SetFilter(serve.Filter) error        { return nil }
+func (stubQuerier) Delete(context.Context, int64) error { return nil }
+func (stubQuerier) Stats() serve.SessionStats           { return serve.SessionStats{} }
 
 type stubService struct{}
 

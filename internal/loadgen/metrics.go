@@ -52,6 +52,12 @@ const (
 	// limit: far below means the daemon collapsed instead of shedding, far
 	// above means admission control is not enforcing the limit.
 	GateMaxOverloadDeviation = 0.20
+	// GateMaxFacetFilterOverhead fails the gate when the facet-filtered AND
+	// p95 exceeds this multiple of the unfiltered p95 over the same term
+	// stream. Like the cold-start floor this is an absolute ratio within one
+	// run: predicate evaluation must ride the cached filter sets and bitmap
+	// kernels, not rescan the corpus per query.
+	GateMaxFacetFilterOverhead = 2.0
 )
 
 // WallMetrics are the persisted quantities of one wall-clock load run —
@@ -120,6 +126,16 @@ type WallMetrics struct {
 	// stream intact. Zero OverloadLimitQPS means overload was not measured.
 	OverloadLimitQPS  float64 `json:"overload_limit_qps,omitempty"`
 	OverloadServedQPS float64 `json:"overload_served_qps,omitempty"`
+
+	// Facet filter: the same skewed AND stream timed twice on the serving
+	// store — once unfiltered and once under a facet predicate selecting
+	// about a quarter of the corpus. The gate holds the filtered p95 under
+	// GateMaxFacetFilterOverhead times the plain p95. Zero FacetPlainP95MS
+	// means the run did not measure it (e.g. -url mode).
+	FacetPlainP95MS    float64 `json:"facet_plain_p95_ms,omitempty"`
+	FacetFilteredP95MS float64 `json:"facet_filtered_p95_ms,omitempty"`
+	// FacetFilterOverhead is FacetFilteredP95MS / FacetPlainP95MS.
+	FacetFilterOverhead float64 `json:"facet_filter_overhead,omitempty"`
 }
 
 // FromResult folds a measured result and the host calibration into the
@@ -211,6 +227,15 @@ func (m *WallMetrics) Gate(base *WallMetrics) []string {
 	}
 	if base.OverloadLimitQPS > 0 && m.OverloadLimitQPS == 0 {
 		out = append(out, "baseline has an overload measurement but the current run has none")
+	}
+	// Facet filtering gates on an absolute ratio within the run, like cold
+	// start; silently dropping the measurement is itself a regression.
+	if m.FacetFilterOverhead > GateMaxFacetFilterOverhead {
+		out = append(out, fmt.Sprintf("facet-filtered AND p95 %.4fms is %.2fx the unfiltered p95 %.4fms; the ceiling is %.1fx",
+			m.FacetFilteredP95MS, m.FacetFilterOverhead, m.FacetPlainP95MS, GateMaxFacetFilterOverhead))
+	}
+	if base.FacetFilterOverhead > 0 && m.FacetFilterOverhead == 0 {
+		out = append(out, "baseline has a facet-filter measurement but the current run has none")
 	}
 	return out
 }
@@ -353,6 +378,13 @@ func AppendTrajectory(path string, m *WallMetrics, now time.Time) error {
 	if m.OverloadLimitQPS > 0 {
 		run.Benches = append(run.Benches,
 			trajBench{Name: "overload served", Value: m.OverloadServedQPS, Unit: "req/s"},
+		)
+	}
+	if m.FacetFilterOverhead > 0 {
+		run.Benches = append(run.Benches,
+			trajBench{Name: "AND p95 (unfiltered)", Value: m.FacetPlainP95MS, Unit: "ms"},
+			trajBench{Name: "AND p95 (facet filter)", Value: m.FacetFilteredP95MS, Unit: "ms"},
+			trajBench{Name: "facet filter overhead", Value: m.FacetFilterOverhead, Unit: "x"},
 		)
 	}
 	runs := append(tr.Entries[trajSeries], run)

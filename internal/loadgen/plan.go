@@ -47,6 +47,13 @@ type Config struct {
 	LiveFrac float64
 	// SimK is the similarity top-K. Default 5.
 	SimK int
+	// Facets is the filter vocabulary: key=value predicates the plan attaches
+	// as facet= parameters to a FilterFrac slice of the read requests, skewed
+	// toward the head like the term draws. Empty disables filtered traffic.
+	Facets []string
+	// FilterFrac is the fraction of read requests that carry a facet filter
+	// when Facets is non-empty. Default 0.2; negative disables.
+	FilterFrac float64
 }
 
 func (cfg Config) withDefaults() Config {
@@ -70,6 +77,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.SimK <= 0 {
 		cfg.SimK = 5
+	}
+	if cfg.FilterFrac == 0 {
+		cfg.FilterFrac = 0.2
+	}
+	if cfg.FilterFrac < 0 {
+		cfg.FilterFrac = 0
 	}
 	return cfg
 }
@@ -141,6 +154,15 @@ func planSession(cfg Config, sid int) []Request {
 	rng := rand.New(rand.NewSource(cfg.Seed<<16 + int64(sid)))
 	session := fmt.Sprintf("s%d", sid)
 	term := func() string { return cfg.Terms[pickSkewed(rng, len(cfg.Terms))] }
+	// filtered attaches a facet predicate to a FilterFrac slice of the read
+	// traffic; the draw happens unconditionally-shaped (one Float64, maybe one
+	// pick) inside the slice so the stream stays a pure function of the seed.
+	filtered := func(q url.Values) url.Values {
+		if len(cfg.Facets) > 0 && rng.Float64() < cfg.FilterFrac {
+			q.Set("facet", cfg.Facets[pickSkewed(rng, len(cfg.Facets))])
+		}
+		return q
+	}
 	get := func(op string, q url.Values) Request {
 		q.Set("session", session)
 		return Request{Op: op, Method: "GET", Path: "/" + op + "?" + q.Encode()}
@@ -166,33 +188,33 @@ func planSession(cfg Config, sid int) []Request {
 		}
 		switch q := (p - cfg.LiveFrac) / (1 - cfg.LiveFrac); {
 		case q < 0.30:
-			reqs = append(reqs, get("term", url.Values{"q": {term()}}))
+			reqs = append(reqs, get("term", filtered(url.Values{"q": {term()}})))
 		case q < 0.45:
-			reqs = append(reqs, get("and", url.Values{"q": {term() + "," + term()}}))
+			reqs = append(reqs, get("and", filtered(url.Values{"q": {term() + "," + term()}})))
 		case q < 0.55:
-			reqs = append(reqs, get("or", url.Values{"q": {term() + "," + term()}}))
+			reqs = append(reqs, get("or", filtered(url.Values{"q": {term() + "," + term()}})))
 		case q < 0.70:
 			doc := cfg.Docs[pickSkewed(rng, len(cfg.Docs))]
-			reqs = append(reqs, get("similar", url.Values{
+			reqs = append(reqs, get("similar", filtered(url.Values{
 				"doc": {strconv.FormatInt(doc, 10)},
 				"k":   {strconv.Itoa(cfg.SimK)},
-			}))
+			})))
 		case q < 0.80:
-			reqs = append(reqs, get("theme", url.Values{"cluster": {strconv.Itoa(rng.Intn(cfg.Themes))}}))
+			reqs = append(reqs, get("theme", filtered(url.Values{"cluster": {strconv.Itoa(rng.Intn(cfg.Themes))}})))
 		case q < 0.88:
-			reqs = append(reqs, get("near", url.Values{
+			reqs = append(reqs, get("near", filtered(url.Values{
 				"x": {formatFloat(rng.Float64() - 0.5)},
 				"y": {formatFloat(rng.Float64() - 0.5)},
 				"r": {formatFloat(0.1 + 0.2*rng.Float64())},
-			}))
+			})))
 		default:
 			z := rng.Intn(cfg.MaxZoom + 1)
 			x, y := rng.Intn(1<<z), rng.Intn(1<<z)
-			reqs = append(reqs, Request{
-				Op:     "tile",
-				Method: "GET",
-				Path:   fmt.Sprintf("/tiles/%d/%d/%d?session=%s", z, x, y, session),
-			})
+			path := fmt.Sprintf("/tiles/%d/%d/%d?session=%s", z, x, y, session)
+			if fq := filtered(url.Values{}); len(fq) > 0 {
+				path += "&facet=" + url.QueryEscape(fq.Get("facet"))
+			}
+			reqs = append(reqs, Request{Op: "tile", Method: "GET", Path: path})
 		}
 	}
 	return reqs

@@ -1,0 +1,95 @@
+package postings
+
+import "math/bits"
+
+// Bits is a caller-built packed doc-ID set sharing the bitmap containers'
+// layout: a word-aligned base and 64 IDs per uint64 word. The serving layer
+// builds one per (epoch, filter) for dense metadata selections, so filtered
+// boolean queries run the same word-wise kernels the dense posting
+// containers use instead of a per-document comparison loop.
+type Bits struct {
+	// Base is the doc ID of word 0, bit 0; a multiple of 64 so the word grid
+	// lines up with the bitmap posting containers with no shifting.
+	Base int64
+	// Words holds the packed membership bits.
+	Words []uint64
+}
+
+// NewBits returns an empty set able to hold doc IDs in [lo, hi).
+func NewBits(lo, hi int64) *Bits {
+	if hi < lo {
+		hi = lo
+	}
+	base := lo &^ 63
+	return &Bits{Base: base, Words: make([]uint64, (hi-base+63)>>6)}
+}
+
+// Set adds doc to the set. doc must be within the range the set was built
+// for.
+func (b *Bits) Set(doc int64) {
+	off := doc - b.Base
+	b.Words[off>>6] |= 1 << uint(off&63)
+}
+
+// Contains reports whether doc is in the set — one word probe.
+func (b *Bits) Contains(doc int64) bool {
+	off := doc - b.Base
+	if off < 0 || off>>6 >= int64(len(b.Words)) {
+		return false
+	}
+	return b.Words[off>>6]>>(uint(off)&63)&1 != 0
+}
+
+// Len returns the number of set bits.
+func (b *Bits) Len() int64 {
+	var n int64
+	for _, w := range b.Words {
+		n += int64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// FilterInto appends the members of docs (ascending) that are in the set
+// over dst[:0] — the dense membership filter, one bit probe per candidate.
+func (b *Bits) FilterInto(dst, docs []int64) ([]int64, IntersectStats) {
+	var ist IntersectStats
+	end := b.Base + int64(len(b.Words))<<6
+	out := dst[:0]
+	ist.BitProbes = len(docs)
+	for _, d := range docs {
+		if d < b.Base || d >= end {
+			continue
+		}
+		off := d - b.Base
+		if b.Words[off>>6]>>(uint(off)&63)&1 != 0 {
+			out = append(out, d)
+		}
+	}
+	return out, ist
+}
+
+// AndBitsInto intersects bitmap term t with the set word-wise into dst[:0]:
+// one AND per 64 candidate doc IDs across the overlap of the two spans, zero
+// decode — the dense∧dense kernel with a caller-built operand. t must be a
+// bitmap term. Both bases are multiples of 64, so the grids align.
+func (s *Store) AndBitsInto(dst []int64, t int64, b *Bits) ([]int64, IntersectStats) {
+	var ist IntersectStats
+	wt, baseT := s.bitmapRange(t)
+	lo, hi := baseT, baseT+int64(len(wt))<<6
+	if b.Base > lo {
+		lo = b.Base
+	}
+	if end := b.Base + int64(len(b.Words))<<6; end < hi {
+		hi = end
+	}
+	out := dst[:0]
+	for w0 := lo; w0 < hi; w0 += 64 {
+		w := wt[(w0-baseT)>>6] & b.Words[(w0-b.Base)>>6]
+		ist.WordsScanned++
+		for w != 0 {
+			out = append(out, w0+int64(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out, ist
+}

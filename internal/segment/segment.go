@@ -39,6 +39,30 @@ type Segment struct {
 	// knowledge signature (nil = null signature).
 	SigM    int
 	SigVecs [][]float64
+	// Times[i] is Docs[i]'s ingest timestamp (unix seconds; 0 = none). A nil
+	// vector — every pre-metadata segment file decodes to one — means no
+	// document in the segment is timestamped.
+	Times []int64
+	// Facets[i] is Docs[i]'s facet strings ("key=value", strictly
+	// ascending); nil rows and a nil outer slice mean no facets.
+	Facets [][]string
+}
+
+// Meta returns doc's ingest timestamp and facet strings; ok is false for a
+// document outside the segment. The returned slice aliases segment state and
+// must not be mutated.
+func (s *Segment) Meta(doc int64) (ts int64, facets []string, ok bool) {
+	i := sort.Search(len(s.Docs), func(i int) bool { return s.Docs[i] >= doc })
+	if i >= len(s.Docs) || s.Docs[i] != doc {
+		return 0, nil, false
+	}
+	if s.Times != nil {
+		ts = s.Times[i]
+	}
+	if s.Facets != nil {
+		facets = s.Facets[i]
+	}
+	return ts, facets, true
 }
 
 // NumDocs returns the number of documents the segment covers.
@@ -65,9 +89,14 @@ func (s *Segment) Postings() int64 {
 // moves: the block-compressed posting store, the document table, and the
 // signature vectors. The replica catch-up path charges it.
 func (s *Segment) ShipBytes() int64 {
-	n := s.Posts.SizeBytes() + int64(8*len(s.Docs))
+	n := s.Posts.SizeBytes() + int64(8*len(s.Docs)) + int64(8*len(s.Times))
 	for _, v := range s.SigVecs {
 		n += int64(8 * len(v))
+	}
+	for _, fs := range s.Facets {
+		for _, f := range fs {
+			n += int64(len(f))
+		}
 	}
 	return n
 }
@@ -97,6 +126,17 @@ func (s *Segment) Validate() error {
 		return fmt.Errorf("segment: %d signatures for %d docs", len(s.SigVecs), len(s.Docs))
 	case s.SigM < 0:
 		return fmt.Errorf("segment: negative signature dimensionality")
+	case s.Times != nil && len(s.Times) != len(s.Docs):
+		return fmt.Errorf("segment: %d timestamps for %d docs", len(s.Times), len(s.Docs))
+	case s.Facets != nil && len(s.Facets) != len(s.Docs):
+		return fmt.Errorf("segment: %d facet rows for %d docs", len(s.Facets), len(s.Docs))
+	}
+	for i, fs := range s.Facets {
+		for j, f := range fs {
+			if f == "" || (j > 0 && f <= fs[j-1]) {
+				return fmt.Errorf("segment: doc %d facets not strictly ascending", s.Docs[i])
+			}
+		}
 	}
 	for i, d := range s.Docs {
 		if d < 0 {
@@ -135,9 +175,11 @@ type Delta struct {
 	vocab int64
 	sigM  int
 
-	docs []int64
-	seen map[int64]bool
-	sigs [][]float64
+	docs   []int64
+	seen   map[int64]bool
+	sigs   [][]float64
+	times  []int64
+	facets [][]string
 
 	termDocs  map[int64][]int64
 	termFreqs map[int64][]int64
@@ -170,6 +212,13 @@ func (d *Delta) Contains(doc int64) bool { return d.seen[doc] }
 // (nil = null). Documents may arrive in any ID order — Seal sorts — but each
 // ID at most once.
 func (d *Delta) Add(doc int64, counts map[int64]int64, sig []float64) error {
+	return d.AddMeta(doc, counts, sig, 0, nil)
+}
+
+// AddMeta is Add carrying the document's metadata: its ingest timestamp
+// (unix seconds; 0 = none) and facet strings, which must be strictly
+// ascending. The facets slice is retained; callers must not mutate it.
+func (d *Delta) AddMeta(doc int64, counts map[int64]int64, sig []float64, ts int64, facets []string) error {
 	switch {
 	case doc < 0:
 		return fmt.Errorf("segment: negative doc ID %d", doc)
@@ -177,6 +226,11 @@ func (d *Delta) Add(doc int64, counts map[int64]int64, sig []float64) error {
 		return fmt.Errorf("segment: doc %d already buffered", doc)
 	case sig != nil && len(sig) != d.sigM:
 		return fmt.Errorf("segment: doc %d signature has dim %d, want %d", doc, len(sig), d.sigM)
+	}
+	for i, f := range facets {
+		if f == "" || (i > 0 && f <= facets[i-1]) {
+			return fmt.Errorf("segment: doc %d facets not strictly ascending", doc)
+		}
 	}
 	for t, c := range counts {
 		if t < 0 || t >= d.vocab {
@@ -186,9 +240,14 @@ func (d *Delta) Add(doc int64, counts map[int64]int64, sig []float64) error {
 			return fmt.Errorf("segment: doc %d has count %d for term %d", doc, c, t)
 		}
 	}
+	if len(facets) == 0 {
+		facets = nil
+	}
 	d.seen[doc] = true
 	d.docs = append(d.docs, doc)
 	d.sigs = append(d.sigs, sig)
+	d.times = append(d.times, ts)
+	d.facets = append(d.facets, facets)
 	for t, c := range counts {
 		d.termDocs[t] = append(d.termDocs[t], doc)
 		d.termFreqs[t] = append(d.termFreqs[t], c)
@@ -209,9 +268,22 @@ func (d *Delta) Seal() (*Segment, error) {
 	sort.Slice(order, func(a, b int) bool { return d.docs[order[a]] < d.docs[order[b]] })
 	docs := make([]int64, len(order))
 	sigs := make([][]float64, len(order))
+	times := make([]int64, len(order))
+	facets := make([][]string, len(order))
+	anyMeta := false
 	for r, i := range order {
 		docs[r] = d.docs[i]
 		sigs[r] = d.sigs[i]
+		times[r] = d.times[i]
+		facets[r] = d.facets[i]
+		if times[r] != 0 || facets[r] != nil {
+			anyMeta = true
+		}
+	}
+	if !anyMeta {
+		// Metadata-free segments stay byte-identical to the pre-metadata
+		// format: gob omits nil vectors entirely.
+		times, facets = nil, nil
 	}
 
 	w := postings.NewWriter(d.postings)
@@ -233,7 +305,7 @@ func (d *Delta) Seal() (*Segment, error) {
 			return nil, fmt.Errorf("segment: seal: %w", err)
 		}
 	}
-	seg := &Segment{Docs: docs, Posts: w.Finish(), SigM: d.sigM, SigVecs: sigs}
+	seg := &Segment{Docs: docs, Posts: w.Finish(), SigM: d.sigM, SigVecs: sigs, Times: times, Facets: facets}
 	*d = Delta{}
 	return seg, nil
 }
@@ -261,9 +333,11 @@ func Merge(segs []*Segment, dead func(doc int64) bool) (*Segment, error) {
 		total += s.Postings()
 	}
 
-	// Merge the document lists (each ascending) and their signatures.
+	// Merge the document lists (each ascending), their signatures and their
+	// metadata.
 	out := &Segment{SigM: sigM}
 	pos := make([]int, len(segs))
+	anyMeta := false
 	for {
 		best := -1
 		for i, s := range segs {
@@ -281,8 +355,24 @@ func Merge(segs []*Segment, dead func(doc int64) bool) (*Segment, error) {
 		if !dead(d) {
 			out.Docs = append(out.Docs, d)
 			out.SigVecs = append(out.SigVecs, segs[best].SigVecs[pos[best]])
+			var ts int64
+			var fs []string
+			if segs[best].Times != nil {
+				ts = segs[best].Times[pos[best]]
+			}
+			if segs[best].Facets != nil {
+				fs = segs[best].Facets[pos[best]]
+			}
+			out.Times = append(out.Times, ts)
+			out.Facets = append(out.Facets, fs)
+			if ts != 0 || fs != nil {
+				anyMeta = true
+			}
 		}
 		pos[best]++
+	}
+	if !anyMeta {
+		out.Times, out.Facets = nil, nil
 	}
 
 	// Merge each term's posting lists the same way.

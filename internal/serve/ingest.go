@@ -95,12 +95,23 @@ func (st *Store) prepareDoc(text string) (counts map[int64]int64, sig []float64,
 // the ID and the interaction's modeled cost. The document becomes visible to
 // queries when its delta seals (LivePolicy.SealDocs, or Flush).
 func (st *Store) Add(text string) (int64, float64, error) {
+	return st.AddMeta(text, 0, nil)
+}
+
+// AddMeta ingests one document with its metadata: an ingest timestamp
+// (0 = none) and "key=value" facets (see meta.go). Filtered queries match the
+// document by exactly this metadata from the epoch its delta seals.
+func (st *Store) AddMeta(text string, ts int64, facets []string) (int64, float64, error) {
+	facets, err := normalizeFacets(facets)
+	if err != nil {
+		return 0, 0, err
+	}
 	counts, sig, prep := st.prepareDoc(text)
 	st.live.mu.Lock()
 	defer st.live.mu.Unlock()
 	st.initViewLocked()
 	doc := st.live.nextDoc
-	cost, err := st.addLocked(doc, counts, sig)
+	cost, err := st.addLocked(doc, counts, sig, ts, facets)
 	return doc, prep + cost, err
 }
 
@@ -112,8 +123,13 @@ func (st *Store) Add(text string) (int64, float64, error) {
 // tombstones a compaction dropped. IDs above the floor may arrive out of
 // order — concurrent routed sessions land on a shard that way.
 func (st *Store) AddAt(doc int64, text string) (float64, error) {
+	return st.AddAtMeta(doc, text, 0, nil)
+}
+
+// AddAtMeta is AddAt with document metadata (see AddMeta).
+func (st *Store) AddAtMeta(doc int64, text string, ts int64, facets []string) (float64, error) {
 	counts, sig, prep := st.prepareDoc(text)
-	cost, err := st.AddCounts(doc, counts, sig)
+	cost, err := st.AddCountsMeta(doc, counts, sig, ts, facets)
 	return prep + cost, err
 }
 
@@ -121,15 +137,25 @@ func (st *Store) AddAt(doc int64, text string) (float64, error) {
 // (dense IDs) and signature. The router uses this form so a routed add
 // tokenizes once, at the router.
 func (st *Store) AddCounts(doc int64, counts map[int64]int64, sig []float64) (float64, error) {
+	return st.AddCountsMeta(doc, counts, sig, 0, nil)
+}
+
+// AddCountsMeta is AddCounts with document metadata (see AddMeta).
+func (st *Store) AddCountsMeta(doc int64, counts map[int64]int64, sig []float64, ts int64, facets []string) (float64, error) {
+	facets, err := normalizeFacets(facets)
+	if err != nil {
+		return 0, err
+	}
 	st.live.mu.Lock()
 	defer st.live.mu.Unlock()
 	st.initViewLocked()
-	return st.addLocked(doc, counts, sig)
+	return st.addLocked(doc, counts, sig, ts, facets)
 }
 
 // addLocked buffers one document in the delta, sealing when the policy's
-// threshold trips; callers hold live.mu with the view initialized.
-func (st *Store) addLocked(doc int64, counts map[int64]int64, sig []float64) (float64, error) {
+// threshold trips; callers hold live.mu with the view initialized. facets
+// arrive normalized (sorted, deduplicated, validated).
+func (st *Store) addLocked(doc int64, counts map[int64]int64, sig []float64, ts int64, facets []string) (float64, error) {
 	v := st.live.cur.Load()
 	if doc < 0 || v.base.containsDoc(doc) {
 		return 0, fmt.Errorf("serve: add: doc %d collides with the base snapshot", doc)
@@ -152,7 +178,7 @@ func (st *Store) addLocked(doc int64, counts map[int64]int64, sig []float64) (fl
 	if st.live.delta == nil {
 		st.live.delta = segment.NewDelta(st.VocabSize, st.SigM)
 	}
-	if err := st.live.delta.Add(doc, counts, sig); err != nil {
+	if err := st.live.delta.AddMeta(doc, counts, sig, ts, facets); err != nil {
 		return 0, err
 	}
 	if doc >= st.live.nextDoc {
@@ -659,6 +685,53 @@ func (st *Store) Rebase() error {
 		}
 	}
 
+	// Fold document metadata: surviving base rows (IDs back to strings) plus
+	// the segment rows, sorted by document and re-interned into a fresh
+	// dictionary — so the rebased dictionary carries no dead facets.
+	var mDocs, mTimes []int64
+	var mFacets [][]string
+	for i, d := range v.base.metaDocs {
+		if !dead[d] && v.base.containsDoc(d) {
+			mDocs = append(mDocs, d)
+			mTimes = append(mTimes, v.base.metaTimes[i])
+			mFacets = append(mFacets, v.base.baseFacetsAt(i))
+		}
+	}
+	for _, s := range v.segs {
+		for i, d := range s.Docs {
+			if dead[d] {
+				continue
+			}
+			var ts int64
+			var facets []string
+			if s.Times != nil {
+				ts = s.Times[i]
+			}
+			if s.Facets != nil {
+				facets = s.Facets[i]
+			}
+			if ts == 0 && len(facets) == 0 {
+				continue
+			}
+			mDocs = append(mDocs, d)
+			mTimes = append(mTimes, ts)
+			mFacets = append(mFacets, facets)
+		}
+	}
+	if ord := make([]int, len(mDocs)); len(ord) > 0 {
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(a, b int) bool { return mDocs[ord[a]] < mDocs[ord[b]] })
+		sDocs := make([]int64, len(mDocs))
+		sTimes := make([]int64, len(mDocs))
+		sFacets := make([][]string, len(mDocs))
+		for o, i := range ord {
+			sDocs[o], sTimes[o], sFacets[o] = mDocs[i], mTimes[i], mFacets[i]
+		}
+		mDocs, mTimes, mFacets = sDocs, sTimes, sFacets
+	}
+
 	st.Posts, st.DF = posts, posts.Count
 	st.Off, st.PostDoc, st.PostFreq = nil, nil, nil
 	if len(dead) > 0 || len(st.live.retired) > 0 {
@@ -697,6 +770,7 @@ func (st *Store) Rebase() error {
 	st.SigDocs, st.SigVecs = sigDocs, sigVecs
 	st.Points = points
 	st.AssignDocs, st.AssignClusters = assignDocs, assignClusters
+	buildMetaTable(mDocs, mTimes, mFacets).install(st)
 	set, err := signature.NewSet(st.SigM, sigDocs, sigVecs)
 	if err != nil {
 		return fmt.Errorf("serve: rebase: %w", err)

@@ -356,6 +356,12 @@ type RouterSession struct {
 	subs [][]*replicaSub // [shard][replica]
 	acct account
 
+	// filter is the session's sticky metadata predicate (SetFilter). The
+	// shards partition the document space, so per-shard filtering commutes
+	// with the disjoint gather merges; scatter closures push the filter onto
+	// each sub-session before issuing the sub-query.
+	filter Filter
+
 	// Scatter scratch reused across interactions. A routed session is a
 	// sequential stream (one goroutine at a time), and every gather merge
 	// copies into a fresh output slice — so nothing scratch-backed escapes
@@ -388,6 +394,42 @@ func (sub *replicaSub) session() *Session {
 
 // Stats snapshots the routed session's account.
 func (rs *RouterSession) Stats() SessionStats { return rs.acct.snapshot() }
+
+// SetFilter installs (or, with the zero Filter, clears) the session's sticky
+// metadata predicate. Later query interactions return only matching
+// documents, with exactly the answers the unfiltered query would return
+// minus the non-matching documents — identical to a filtered single-store
+// session over the unsharded corpus.
+func (rs *RouterSession) SetFilter(f Filter) error {
+	nf, err := f.normalized()
+	if err != nil {
+		return err
+	}
+	rs.filter = nf
+	return nil
+}
+
+// applyFilterHits post-filters a merged top-K hit list against the session
+// filter at the router, resolving each hit's metadata from its owning
+// shard's primary — the per-shard scans stay unfiltered so the merged cache
+// entry serves every session, filtered or not. Returns the kept hits (a
+// fresh slice; the input is never mutated) and the modeled probe cost.
+func (rs *RouterSession) applyFilterHits(hits []query.Hit) ([]query.Hit, float64) {
+	if rs.filter.Empty() {
+		return hits, 0
+	}
+	r := rs.r
+	kept := make([]query.Hit, 0, len(hits))
+	for _, h := range hits {
+		st := r.primaryStore(ShardOf(h.Doc, len(r.sets)))
+		ts, facets := st.viewNow().docMeta(h.Doc)
+		if rs.filter.timeOK(ts) && facetSubset(rs.filter.Facets, facets) {
+			kept = append(kept, h)
+		}
+	}
+	return kept, r.model.FlopCost(float64(len(hits))) +
+		r.model.RPCRoundTrip(8*float64(len(hits)), 16*float64(len(hits)))
+}
 
 func (rs *RouterSession) charge(cost float64) {
 	rs.acct.add(cost)
@@ -673,6 +715,7 @@ func (rs *RouterSession) TermDocs(ctx context.Context, term string) []query.Post
 	rs.scratchShards = live
 	parts, scCost := scatterQ(ctx, rs, live, reqBytes([]string{term}),
 		func(ctx context.Context, shard int, sub *Session) ([]query.Posting, float64) {
+			_ = sub.SetFilter(rs.filter)
 			out := sub.TermDocs(ctx, term)
 			return out, 16 * float64(len(out))
 		})
@@ -742,6 +785,7 @@ func (rs *RouterSession) And(ctx context.Context, terms ...string) []int64 {
 	}
 	parts, scCost := scatterQ(ctx, rs, live, reqBytes(terms),
 		func(ctx context.Context, shard int, sub *Session) ([]int64, float64) {
+			_ = sub.SetFilter(rs.filter)
 			out := sub.And(ctx, terms...)
 			return out, 8 * float64(len(out))
 		})
@@ -787,6 +831,7 @@ func (rs *RouterSession) Or(ctx context.Context, terms ...string) []int64 {
 	}
 	parts, scCost := scatterQ(ctx, rs, live, reqBytes(terms),
 		func(ctx context.Context, shard int, sub *Session) ([]int64, float64) {
+			_ = sub.SetFilter(rs.filter)
 			out := sub.Or(ctx, terms...)
 			return out, 8 * float64(len(out))
 		})
@@ -824,7 +869,8 @@ func (rs *RouterSession) Similar(ctx context.Context, doc int64, k int) ([]query
 	r.smu.Unlock()
 	if ok {
 		r.simHits.Add(1)
-		rs.charge(m.LocalCopyCost(16 * float64(len(hits))))
+		hits, fc := rs.applyFilterHits(hits)
+		rs.charge(m.LocalCopyCost(16*float64(len(hits))) + fc)
 		return hits, nil
 	}
 	r.simMisses.Add(1)
@@ -845,6 +891,9 @@ func (rs *RouterSession) Similar(ctx context.Context, doc int64, k int) ([]query
 	rs.scratchShards = all
 	parts, scCost := scatterQ(ctx, rs, all, 8*float64(len(target))+16,
 		func(ctx context.Context, shard int, sub *Session) ([]query.Hit, float64) {
+			// The shard scans stay unfiltered (the merged answer is cached for
+			// every session); clear any filter an earlier routed query pushed.
+			_ = sub.SetFilter(Filter{})
 			out := sub.similarTo(target, doc, k)
 			return out, 16 * float64(len(out))
 		})
@@ -863,7 +912,10 @@ func (rs *RouterSession) Similar(ctx context.Context, doc int64, k int) ([]query
 		}
 		r.smu.Unlock()
 	}
-	rs.charge(cost)
+	// The cache holds the unfiltered merge; the session's filter applies to
+	// a copy after the add, exactly like the single-store session.
+	hits, fc := rs.applyFilterHits(hits)
+	rs.charge(cost + fc)
 	return hits, nil
 }
 
@@ -879,6 +931,7 @@ func (rs *RouterSession) ThemeDocs(ctx context.Context, cluster int) []int64 {
 	rs.scratchShards = all
 	parts, cost := scatterQ(ctx, rs, all, 16,
 		func(ctx context.Context, shard int, sub *Session) ([]int64, float64) {
+			_ = sub.SetFilter(rs.filter)
 			out := sub.ThemeDocs(ctx, cluster)
 			return out, 8 * float64(len(out))
 		})
@@ -896,7 +949,18 @@ func (rs *RouterSession) ThemeDocs(ctx context.Context, cluster int) []int64 {
 // too, like any other sub-query). The router folds the document's terms into
 // its replicated DF tables so later pruning sees them.
 func (rs *RouterSession) Add(ctx context.Context, text string) (int64, error) {
+	return rs.AddDoc(ctx, text, 0, nil)
+}
+
+// AddDoc ingests one document with its metadata (Unix-seconds timestamp,
+// "key=value" facets) through the routed write path; the metadata lands on
+// the owning shard alongside the postings.
+func (rs *RouterSession) AddDoc(ctx context.Context, text string, ts int64, facets []string) (int64, error) {
 	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	nf, err := normalizeFacets(facets)
+	if err != nil {
 		return 0, err
 	}
 	r := rs.r
@@ -924,7 +988,7 @@ func (rs *RouterSession) Add(ctx context.Context, text string) (int64, error) {
 		r.expandBox(shard, px, py)
 	}
 	appendCost, err := r.sets[shard].apply(func(s *Store) (float64, error) {
-		return s.AddCounts(doc, counts, sig)
+		return s.AddCountsMeta(doc, counts, sig, ts, nf)
 	})
 	rs.chargeShard(shard, appendCost)
 	cost := prep + r.model.RPCRoundTrip(float64(len(text))+8, 8) + appendCost
@@ -1042,6 +1106,7 @@ func (rs *RouterSession) Near(ctx context.Context, x, y, radius float64) []int64
 	}
 	parts, cost := scatterQ(ctx, rs, live, 24,
 		func(ctx context.Context, shard int, sub *Session) ([]int64, float64) {
+			_ = sub.SetFilter(rs.filter)
 			out := sub.Near(ctx, x, y, radius)
 			return out, 8 * float64(len(out))
 		})

@@ -163,6 +163,9 @@ type Stats struct {
 	SimRefreshes uint64 // misses patched forward from an older epoch's answer
 	SimEvictions uint64
 
+	FilterBuilds uint64 // (epoch, filter) document sets materialized
+	FilterHits   uint64 // filtered interactions served from a cached set
+
 	TileHits    uint64 // tile queries answered from the epoch-keyed tile LRU
 	TileMisses  uint64 // tile queries that read the maintained pyramid
 	TilesPruned uint64 // quadtree subtrees ruled out by spatial walks untouched
@@ -256,6 +259,18 @@ type simKey struct {
 	k     int
 }
 
+// filterKey keys the materialized filter-set cache: the view epoch plus the
+// canonical filter serialization. Epoch keying invalidates on every published
+// change, exactly like the similarity caches.
+type filterKey struct {
+	epoch uint64
+	key   string
+}
+
+// filterCacheEntries bounds the filter-set LRU. Analyst sessions reuse a
+// handful of active filters; each set is one bitmap or ID list per epoch.
+const filterCacheEntries = 64
+
 // Querier is the session surface shared by single-store Sessions and sharded
 // RouterSessions: one analyst's sequential interaction stream with its own
 // virtual-latency account, including the live-ingestion verbs. A Querier's
@@ -278,7 +293,13 @@ type Querier interface {
 	Tile(ctx context.Context, z, x, y int) (*TileResult, error)
 	TileRange(ctx context.Context, z int, r tiles.Rect) ([]*TileResult, error)
 	Add(ctx context.Context, text string) (int64, error)
+	AddDoc(ctx context.Context, text string, ts int64, facets []string) (int64, error)
 	Delete(ctx context.Context, doc int64) error
+	// SetFilter restricts every subsequent query on this querier to documents
+	// matching f (see Filter); the zero Filter clears it. A filtered query
+	// returns exactly the unfiltered answer with non-matching documents
+	// removed. DF is a descriptor read and stays unfiltered.
+	SetFilter(f Filter) error
 	Stats() SessionStats
 }
 
@@ -321,6 +342,9 @@ type Server struct {
 	smu  sync.Mutex
 	sims *lru[simKey, []query.Hit]
 
+	fmu     sync.Mutex
+	filters *lru[filterKey, *filterSet]
+
 	tmu   sync.Mutex
 	tiles *lru[tileKey, *tiles.Tile]
 
@@ -341,6 +365,8 @@ type Server struct {
 	simMisses        atomic.Uint64
 	simRefreshes     atomic.Uint64
 	simEvictions     atomic.Uint64
+	filterBuilds     atomic.Uint64
+	filterHits       atomic.Uint64
 	tileHits         atomic.Uint64
 	tileMisses       atomic.Uint64
 	tilesPruned      atomic.Uint64
@@ -374,6 +400,7 @@ func newServer(st *Store, cfg Config) (*Server, error) {
 		postings: newLRU[postKey, postingVal](cfg.PostingCacheEntries),
 		flights:  make(map[postKey]*flight),
 		sims:     newLRU[simKey, []query.Hit](cfg.SimCacheEntries),
+		filters:  newLRU[filterKey, *filterSet](filterCacheEntries),
 		tiles:    newLRU[tileKey, *tiles.Tile](cfg.TileCacheEntries),
 	}, nil
 }
@@ -469,6 +496,8 @@ func (s *Server) Stats() Stats {
 		SimMisses:        s.simMisses.Load(),
 		SimRefreshes:     s.simRefreshes.Load(),
 		SimEvictions:     s.simEvictions.Load(),
+		FilterBuilds:     s.filterBuilds.Load(),
+		FilterHits:       s.filterHits.Load(),
 		TileHits:         s.tileHits.Load(),
 		TileMisses:       s.tileMisses.Load(),
 		TilesPruned:      s.tilesPruned.Load(),
@@ -658,6 +687,28 @@ func (s *Server) cachedPostings(v *view, t int64) (postingVal, float64, bool) {
 	return val, s.hitCost(len(val.docs)), true
 }
 
+// filterSetFor resolves the materialized document set of (v's epoch, f),
+// building and caching it on a miss. The returned cost is the modeled price
+// of obtaining the set: a descriptor probe on a hit, the metadata walk plus
+// the member write-out on a build.
+func (s *Server) filterSetFor(v *view, f Filter) (*filterSet, float64) {
+	m := s.store.Model
+	key := filterKey{epoch: v.epoch, key: f.cacheKey()}
+	s.fmu.Lock()
+	fs, ok := s.filters.get(key)
+	s.fmu.Unlock()
+	if ok {
+		s.filterHits.Add(1)
+		return fs, m.LocalCopyCost(8)
+	}
+	fs = buildFilterSet(v, f)
+	s.filterBuilds.Add(1)
+	s.fmu.Lock()
+	s.filters.add(key, fs)
+	s.fmu.Unlock()
+	return fs, m.LocalCopyCost(8*float64(fs.scanned)) + m.LocalCopyCost(8*float64(fs.n))
+}
+
 // segPostings reads term t's postings from one segment, counting and
 // charging the fetch.
 func (s *Server) segPostings(seg *segment.Segment, t int64) (docs, freqs []int64, cost float64) {
@@ -676,6 +727,10 @@ type Session struct {
 	s    *Server
 	ID   int64
 	acct account
+
+	// filter restricts every query on this session (SetFilter); always held
+	// in normalized form. The zero Filter means unfiltered.
+	filter Filter
 
 	// Query scratch reused across interactions. A session is a sequential
 	// stream — one goroutine at a time (the HTTP layer serializes named
@@ -748,6 +803,43 @@ func (a *account) snapshot() SessionStats {
 // Stats snapshots the session account.
 func (ss *Session) Stats() SessionStats { return ss.acct.snapshot() }
 
+// SetFilter restricts every subsequent query on this session to documents
+// matching f; the zero Filter clears it (see Querier.SetFilter).
+func (ss *Session) SetFilter(f Filter) error {
+	nf, err := f.normalized()
+	if err != nil {
+		return err
+	}
+	ss.filter = nf
+	return nil
+}
+
+// filterFor resolves the session's filter set against the view; (nil, 0)
+// when the session is unfiltered.
+func (ss *Session) filterFor(v *view) (*filterSet, float64) {
+	if ss.filter.Empty() {
+		return nil, 0
+	}
+	return ss.s.filterSetFor(v, ss.filter)
+}
+
+// applyFilterHits post-filters a top-k hit list (a cached answer or a fresh
+// copy — never mutated) against the session filter, returning the kept hits
+// and the modeled probe cost.
+func (ss *Session) applyFilterHits(v *view, hits []query.Hit) ([]query.Hit, float64) {
+	fs, cost := ss.filterFor(v)
+	if fs == nil {
+		return hits, 0
+	}
+	kept := make([]query.Hit, 0, len(hits))
+	for _, h := range hits {
+		if fs.contains(h.Doc) {
+			kept = append(kept, h)
+		}
+	}
+	return kept, cost + ss.s.store.Model.FlopCost(float64(len(hits)))
+}
+
 // charge records one completed interaction.
 func (ss *Session) charge(cost float64) {
 	ss.acct.add(cost)
@@ -819,13 +911,25 @@ func (ss *Session) TermDocs(ctx context.Context, term string) []query.Posting {
 		docs, freqs = mergePlists(lists, v.tombs)
 		cost += ss.s.store.Model.LocalCopyCost(16 * float64(len(docs)))
 	}
+	// The session filter applies while building the reply postings: docs may
+	// be a shared store slice, so it is never filtered in place.
+	fs, fc := ss.filterFor(v)
+	if fs != nil {
+		cost += fc + ss.s.store.Model.FlopCost(float64(len(docs)))
+	}
 	ss.charge(cost)
 	if len(docs) == 0 {
 		return nil
 	}
-	out := make([]query.Posting, len(docs))
+	out := make([]query.Posting, 0, len(docs))
 	for i := range docs {
-		out[i] = query.Posting{Doc: docs[i], Freq: freqs[i]}
+		if fs != nil && !fs.contains(docs[i]) {
+			continue
+		}
+		out = append(out, query.Posting{Doc: docs[i], Freq: freqs[i]})
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -891,6 +995,10 @@ func (ss *Session) And(ctx context.Context, terms ...string) []int64 {
 		cands = append(cands, andCand{id: t, baseDF: v.base.df[t], liveDF: live})
 	}
 	ss.scratchCands = cands
+	// The session filter resolves after the doomed-query exits: a conjunction
+	// with an unknown term never pays the filter-set build.
+	fs, fc := ss.filterFor(v)
+	cost += fc
 	// Rarest-first must follow the base lists the base pass actually fetches:
 	// ordering by live DF would seed the accumulator with a huge base list
 	// whenever a term's postings concentrate in ingested segments (live DF
@@ -936,6 +1044,19 @@ func (ss *Session) And(ctx context.Context, terms ...string) []int64 {
 			cost += ss.s.bitmapAndCost(cands[0].id, cands[1].id, ist, len(acc))
 			ss.s.bitmapAnds.Add(1)
 			i0 = 2
+		case ps != nil && ps.IsBitmap(cands[0].id) && fs != nil && fs.bits != nil:
+			// Dense term under a dense filter: seed the accumulator with one
+			// word-wise AND of the container against the filter's bitmap —
+			// sound for a conjunction (the final post-filter is idempotent),
+			// and every later operand intersects a pre-thinned set.
+			var ist postings.IntersectStats
+			bufA, ist = ps.AndBitsInto(bufA[:0], cands[0].id, fs.bits)
+			acc = bufA
+			words := float64(ist.WordsScanned)
+			cost += ss.s.bitmapTouchCost(cands[0].id, 8*words) +
+				m.LocalCopyCost(8*words) + m.FlopCost(words) +
+				m.LocalCopyCost(8*float64(len(acc)))
+			ss.s.bitmapAnds.Add(1)
 		case ps != nil && ps.IsBitmap(cands[0].id):
 			// Dense seed: enumerate the bitmap into session scratch instead
 			// of decoding a list through the LRU.
@@ -1037,6 +1158,12 @@ func (ss *Session) And(ctx context.Context, terms ...string) []int64 {
 	if len(parts) > 1 {
 		cost += m.LocalCopyCost(8 * float64(len(out)))
 	}
+	if fs != nil {
+		// The filter applies to the final merged conjunction (idempotent over
+		// the pre-filtered dense seed): one membership probe per survivor.
+		cost += m.FlopCost(float64(len(out)))
+		out = fs.filterDocs(out)
+	}
 	ss.scratchParts = parts
 	ss.charge(cost + m.FlopCost(flops))
 	if len(out) == 0 {
@@ -1081,6 +1208,10 @@ func (ss *Session) Or(ctx context.Context, terms ...string) []int64 {
 		}
 	}
 	out := filterTombs(unionSorted(lists), v.tombs)
+	if fs, fc := ss.filterFor(v); fs != nil {
+		cost += fc + st.Model.FlopCost(float64(len(out)))
+		out = fs.filterDocs(out)
+	}
 	ss.charge(cost + st.Model.FlopCost(2*merged))
 	if out == nil {
 		out = []int64{} // query.Engine.Or returns an empty, non-nil union
@@ -1127,7 +1258,8 @@ func (ss *Session) Similar(ctx context.Context, doc int64, k int) ([]query.Hit, 
 	m := ss.s.store.Model
 	if ok {
 		ss.s.simHits.Add(1)
-		ss.charge(m.LocalCopyCost(16 * float64(len(hits))))
+		hits, fc := ss.applyFilterHits(v, hits)
+		ss.charge(m.LocalCopyCost(16*float64(len(hits))) + fc)
 		return hits, nil
 	}
 	ss.s.simMisses.Add(1)
@@ -1148,7 +1280,11 @@ func (ss *Session) Similar(ctx context.Context, doc int64, k int) ([]query.Hit, 
 		ss.s.simEvictions.Add(1)
 	}
 	ss.s.smu.Unlock()
-	ss.charge(m.FlopCost(flops) + m.LocalCopyCost(16*float64(len(hits))))
+	// The cache stores the unfiltered answer — a later session with a
+	// different (or no) filter must see the same hits — so the session's
+	// filter applies to a copy, after the add.
+	hits, fc := ss.applyFilterHits(v, hits)
+	ss.charge(m.FlopCost(flops) + m.LocalCopyCost(16*float64(len(hits))) + fc)
 	return hits, nil
 }
 
@@ -1281,14 +1417,16 @@ func (ss *Session) ThemeDocs(ctx context.Context, cluster int) []int64 {
 	}
 	st := ss.s.store
 	v := st.viewNow()
+	fs, fc := ss.filterFor(v)
 	var out []int64
 	for i, c := range v.base.assignClusters {
-		if c == int64(cluster) && !v.tombs[v.base.assignDocs[i]] {
+		if c == int64(cluster) && !v.tombs[v.base.assignDocs[i]] &&
+			(fs == nil || fs.contains(v.base.assignDocs[i])) {
 			out = append(out, v.base.assignDocs[i])
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	ss.charge(st.Model.FlopCost(float64(len(v.base.assignClusters))))
+	ss.charge(fc + st.Model.FlopCost(float64(len(v.base.assignClusters))))
 	return out
 }
 
@@ -1311,18 +1449,20 @@ func (ss *Session) Near(ctx context.Context, x, y, radius float64) []int64 {
 	v := st.viewNow()
 	m := st.Model
 	r2 := radius * radius
+	fs, fc := ss.filterFor(v)
 	var out []int64
 	if ss.s.cfg.DisableTiles {
 		for _, pts := range [][]project.Point{v.base.points, v.pts} {
 			for _, pt := range pts {
 				dx, dy := pt.X-x, pt.Y-y
-				if dx*dx+dy*dy <= r2 && !v.tombs[pt.Doc] {
+				if dx*dx+dy*dy <= r2 && !v.tombs[pt.Doc] &&
+					(fs == nil || fs.contains(pt.Doc)) {
 					out = append(out, pt.Doc)
 				}
 			}
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-		ss.charge(m.FlopCost(3 * float64(len(v.base.points)+len(v.pts))))
+		ss.charge(fc + m.FlopCost(3*float64(len(v.base.points)+len(v.pts))))
 		return out
 	}
 	// The squared-distance test makes the radius sign-insensitive; the
@@ -1339,12 +1479,13 @@ func (ss *Session) Near(ctx context.Context, x, y, radius float64) []int64 {
 	ss.s.tilesPruned.Add(uint64(pruned))
 	for _, e := range cands {
 		dx, dy := e.X-x, e.Y-y
-		if dx*dx+dy*dy <= r2 && !v.tombs[e.Doc] {
+		if dx*dx+dy*dy <= r2 && !v.tombs[e.Doc] &&
+			(fs == nil || fs.contains(e.Doc)) {
 			out = append(out, e.Doc)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	ss.charge(m.LocalCopyCost(24*float64(visited+pruned)) +
+	ss.charge(fc + m.LocalCopyCost(24*float64(visited+pruned)) +
 		m.FlopCost(3*float64(len(cands))) +
 		m.LocalCopyCost(8*float64(len(out))))
 	return out
@@ -1355,10 +1496,18 @@ func (ss *Session) Near(ctx context.Context, x, y, radius float64) []int64 {
 // seal threshold, the seal's encode pass). The document becomes visible to
 // queries when its delta seals.
 func (ss *Session) Add(ctx context.Context, text string) (int64, error) {
+	return ss.AddDoc(ctx, text, 0, nil)
+}
+
+// AddDoc ingests one document with its metadata — a Unix-seconds timestamp
+// (0 = untimestamped) and "key=value" facet labels — through the same live
+// path as Add. The metadata becomes filterable the moment the document
+// becomes visible.
+func (ss *Session) AddDoc(ctx context.Context, text string, ts int64, facets []string) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	doc, cost, err := ss.s.store.Add(text)
+	doc, cost, err := ss.s.store.AddMeta(text, ts, facets)
 	ss.charge(cost)
 	if err != nil {
 		return 0, err

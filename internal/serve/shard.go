@@ -106,6 +106,40 @@ func (st *Store) Shard(n int) ([]*Store, error) {
 		out[r].AssignDocs = append(out[r].AssignDocs, d)
 		out[r].AssignClusters = append(out[r].AssignClusters, st.AssignClusters[i])
 	}
+	// Partition the document metadata, re-interning each shard's facet rows
+	// into its own dictionary so shard files carry only the facets their
+	// documents use.
+	if len(st.MetaDocs) > 0 {
+		interners := make([]*facetInterner, n)
+		tables := make([]metaTable, n)
+		for i, d := range st.MetaDocs {
+			r := ShardOf(d, n)
+			if interners[r] == nil {
+				interners[r] = newFacetInterner(nil)
+				tables[r].facetOffs = []int64{0}
+			}
+			t, in := &tables[r], interners[r]
+			t.docs = append(t.docs, d)
+			t.times = append(t.times, st.MetaTimes[i])
+			if len(st.MetaFacetOffs) > 0 {
+				for _, id := range st.MetaFacetIDs[st.MetaFacetOffs[i]:st.MetaFacetOffs[i+1]] {
+					t.facetIDs = append(t.facetIDs, in.intern([]string{st.FacetDict[id]})...)
+				}
+			}
+			t.facetOffs = append(t.facetOffs, int64(len(t.facetIDs)))
+		}
+		for r := range tables {
+			if interners[r] == nil {
+				continue
+			}
+			if len(tables[r].facetIDs) == 0 {
+				tables[r].facetOffs = nil
+			} else {
+				tables[r].dict = interners[r].dict
+			}
+			tables[r].install(out[r])
+		}
+	}
 	for i := range out {
 		if err := out[i].validate(); err != nil {
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)

@@ -132,6 +132,20 @@ type Store struct {
 	K              int
 	Themes         []core.Theme
 
+	// Document metadata (see meta.go): sparse sorted parallel vectors over
+	// base document IDs. MetaDocs lists, strictly ascending, the base
+	// documents carrying any metadata; MetaTimes their ingest timestamps
+	// (0 = none). MetaFacetOffs/MetaFacetIDs are the row-offset form of the
+	// per-document facet sets, as IDs into FacetDict, each row ascending by
+	// dictionary string; MetaFacetOffs is nil when no document has facets.
+	// Exported so the legacy gob formats persist them; earlier builds drop
+	// the unknown fields and serve the corpus unfaceted.
+	MetaDocs      []int64
+	MetaTimes     []int64
+	MetaFacetOffs []int64
+	MetaFacetIDs  []int64
+	FacetDict     []string
+
 	sigMu  sync.Mutex
 	sigSet *signature.Set
 
@@ -404,6 +418,8 @@ func (st *Store) FlatCopy() *Store {
 		Planar: st.Planar, TileBox: st.TileBox,
 		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
 		K: st.K, Themes: st.Themes,
+		MetaDocs: st.MetaDocs, MetaTimes: st.MetaTimes,
+		MetaFacetOffs: st.MetaFacetOffs, MetaFacetIDs: st.MetaFacetIDs, FacetDict: st.FacetDict,
 		backing: st.backing, res: st.res, termSorted: st.termSorted,
 	}
 	cp.DecompressPostings()
@@ -427,6 +443,8 @@ func (st *Store) Fork() *Store {
 		Planar: st.Planar, TileBox: st.TileBox,
 		Points: st.Points, AssignDocs: st.AssignDocs, AssignClusters: st.AssignClusters,
 		K: st.K, Themes: st.Themes,
+		MetaDocs: st.MetaDocs, MetaTimes: st.MetaTimes,
+		MetaFacetOffs: st.MetaFacetOffs, MetaFacetIDs: st.MetaFacetIDs, FacetDict: st.FacetDict,
 		backing: st.backing, res: st.res, termSorted: st.termSorted,
 	}
 }
@@ -612,6 +630,9 @@ func (st *Store) validate() error {
 		if err := st.TileBox.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := st.validateMeta(); err != nil {
+		return err
 	}
 	if st.Posts != nil {
 		if err := st.Posts.Validate(); err != nil {

@@ -57,6 +57,15 @@ const (
 	secAssignDocs     = "assigndocs"
 	secAssignClusters = "assignclusters"
 	secTiles          = "tiles"
+	// Document metadata (see meta.go): raw int64 vectors plus the interned
+	// facet dictionary as blob+offsets. All absent on metadata-free stores,
+	// so their files stay byte-identical to pre-metadata builds'.
+	secMetaDocs    = "metadocs"
+	secMetaTimes   = "metatimes"
+	secMetaFacOffs = "metafacoffs"
+	secMetaFacIDs  = "metafacids"
+	secFacetBlob   = "facetblob"
+	secFacetOffs   = "facetoffs"
 )
 
 // pointRecordSize is the fixed on-disk record of one projected point:
@@ -188,6 +197,7 @@ func (st *Store) saveV4(w io.Writer) error {
 			storefile.Section{Name: secPostBitWords, Data: storefile.AppendUint64s(nil, st.Posts.BitWords)},
 		)
 	}
+	secs = appendMetaSections(secs, st.MetaDocs, st.MetaTimes, st.MetaFacetOffs, st.MetaFacetIDs, st.FacetDict)
 	// Embed the base tile pyramid so a mapped load serves spatial queries
 	// without a rebuild. A store whose points cannot pyramid (duplicates,
 	// non-finite coordinates) persists without the section and builds
@@ -405,6 +415,14 @@ func decodeStoreV4(f *storefile.File) (*Store, error) {
 	if st.AssignClusters, err = ints(secAssignClusters); err != nil {
 		return nil, err
 	}
+
+	// Document metadata: int64 vectors and dictionary strings aliased off the
+	// mapped sections; absent on metadata-free files.
+	var metaPinned int64
+	if st.MetaDocs, st.MetaTimes, st.MetaFacetOffs, st.MetaFacetIDs, st.FacetDict, metaPinned, err = decodeMetaSections(f); err != nil {
+		return nil, err
+	}
+	pinned += metaPinned
 
 	if err := st.validate(); err != nil {
 		return nil, err

@@ -66,6 +66,12 @@ type TileResult struct {
 	// Themes are the tile's top themes by document count (count
 	// descending, cluster ascending on ties), at most Config.TileThemes.
 	Themes []TileTheme `json:"themes,omitempty"`
+	// Times is the tile's sparse per-day member histogram (ascending by
+	// bucket; untimestamped documents count in Docs but not here).
+	Times []tiles.TimeCount `json:"times,omitempty"`
+	// Facets is the tile's sparse per-facet member count (ascending by
+	// facet; a document counts once under each of its facets).
+	Facets []tiles.FacetCount `json:"facets,omitempty"`
 	// Exemplars are the smallest member document IDs, ascending.
 	Exemplars []int64 `json:"exemplars,omitempty"`
 }
@@ -176,7 +182,8 @@ func (st *Store) syncPyramidLocked(v *view, cfg tiles.Config) {
 				switch w.kind {
 				case viewSeal:
 					for _, pt := range w.newPts {
-						ls.tilePyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1})
+						ts, facets := w.docMeta(pt.Doc)
+						ls.tilePyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1, Time: ts, Facets: facets})
 					}
 					work += float64(len(w.newPts))
 				case viewTomb:
@@ -216,7 +223,8 @@ func (st *Store) buildPyramidLocked(v *view, cfg tiles.Config) *tiles.Pyramid {
 		pyr := sc.Clone()
 		for _, pt := range v.pts {
 			if !v.tombs[pt.Doc] {
-				pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1})
+				ts, facets := v.docMeta(pt.Doc)
+				pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1, Time: ts, Facets: facets})
 			}
 		}
 		for d := range v.tombs {
@@ -244,11 +252,13 @@ func (st *Store) buildPyramidLocked(v *view, cfg tiles.Config) *tiles.Pyramid {
 		if cl, ok := clusters[pt.Doc]; ok {
 			c = cl
 		}
-		pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: c})
+		ts, facets := v.docMeta(pt.Doc)
+		pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: c, Time: ts, Facets: facets})
 	}
 	for _, pt := range v.pts {
 		if !v.tombs[pt.Doc] {
-			pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1})
+			ts, facets := v.docMeta(pt.Doc)
+			pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: -1, Time: ts, Facets: facets})
 		}
 	}
 	work = float64(pyr.NumDocs())
@@ -265,13 +275,45 @@ func (st *Store) sidecarLocked() *tiles.Pyramid {
 	if ls.tileSidecar == nil && len(ls.tileRaw) > 0 {
 		raw := ls.tileRaw
 		ls.tileRaw = nil
-		pyr, err := tiles.Decode(raw)
+		pyr, err := tiles.DecodeAny(raw)
 		if err == nil && pyr.NumDocs() == len(st.Points) &&
-			st.TileBox != nil && pyr.Bounds() == *st.TileBox {
+			st.TileBox != nil && pyr.Bounds() == *st.TileBox &&
+			st.sidecarMetaConsistent(pyr) {
 			ls.tileSidecar = pyr
 		}
 	}
 	return ls.tileSidecar
+}
+
+// sidecarMetaConsistent checks a decoded sidecar pyramid against the store's
+// document metadata: the root tile's time-histogram and facet-count totals
+// must equal what the base metadata implies. A pre-metadata (INSPTILES1)
+// sidecar decodes with zero meta everywhere, so on a faceted store this
+// rejects it and the pyramid rebuilds from the points — the histograms the
+// tile layer serves are then exact again.
+func (st *Store) sidecarMetaConsistent(pyr *tiles.Pyramid) bool {
+	var wantTimes, wantFacets int64
+	for i, d := range st.MetaDocs {
+		if !pyr.Contains(d) {
+			continue
+		}
+		if st.MetaTimes[i] != 0 {
+			wantTimes++
+		}
+		if st.MetaFacetOffs != nil {
+			wantFacets += st.MetaFacetOffs[i+1] - st.MetaFacetOffs[i]
+		}
+	}
+	var gotTimes, gotFacets int64
+	if root := pyr.Tile(0, 0, 0); root != nil {
+		for _, tc := range root.Times {
+			gotTimes += tc.Docs
+		}
+		for _, fc := range root.Facets {
+			gotFacets += fc.Docs
+		}
+	}
+	return gotTimes == wantTimes && gotFacets == wantFacets
 }
 
 // tileBoundsLocked resolves the pyramid's world bounds: the store's frozen
@@ -321,7 +363,8 @@ func (st *Store) BaseTilePyramid(cfg Config) (*tiles.Pyramid, error) {
 		if cl, ok := clusters[pt.Doc]; ok {
 			c = cl
 		}
-		if !pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: c}) {
+		ts, facets := st.baseMetaOf(pt.Doc)
+		if !pyr.Add(tiles.Entry{Doc: pt.Doc, X: pt.X, Y: pt.Y, Cluster: c, Time: ts, Facets: facets}) {
 			return nil, fmt.Errorf("serve: tile pyramid: duplicate or non-finite point for doc %d", pt.Doc)
 		}
 	}
@@ -359,6 +402,9 @@ func (st *Store) attachTilesSidecar(path string) {
 			return
 		}
 	}
+	if !st.sidecarMetaConsistent(pyr) {
+		return
+	}
 	st.live.tileMu.Lock()
 	st.live.tileSidecar = pyr
 	st.live.tileMu.Unlock()
@@ -379,7 +425,11 @@ func tileBytes(t *tiles.Tile) float64 {
 	if t == nil {
 		return 8
 	}
-	return float64(4*len(t.Density) + 16*len(t.Themes) + 8*len(t.Exemplars) + 32)
+	b := 4*len(t.Density) + 16*len(t.Themes) + 16*len(t.Times) + 8*len(t.Exemplars) + 32
+	for _, fc := range t.Facets {
+		b += len(fc.Facet) + 8
+	}
+	return float64(b)
 }
 
 // tileRaw answers one tile address under view v from the epoch-keyed LRU,
@@ -408,6 +458,33 @@ func (s *Server) tileRaw(v *view, z, x, y int) (*tiles.Tile, float64) {
 	return cp, m.LocalCopyCost(24 + 2*tileBytes(cp))
 }
 
+// tileWhere answers one tile address restricted to the session filter's
+// members — an exact rebuild over the matching entries, bypassing the tile
+// LRU (a filtered tile is a per-session answer; caching it per filter would
+// let one session's predicate evict every session's unfiltered tiles). The
+// cost is the probe per member entry under the address plus the reply emit.
+func (s *Server) tileWhere(v *view, fs *filterSet, z, x, y int) (*tiles.Tile, float64) {
+	m := s.store.Model
+	var cp *tiles.Tile
+	var members float64
+	s.store.withPyramid(v, s.cfg.tileConfig(), func(p *tiles.Pyramid) {
+		if full := p.Tile(z, x, y); full != nil {
+			members = float64(full.Docs)
+		}
+		cp = p.TileWhere(z, x, y, func(e tiles.Entry) bool { return fs.contains(e.Doc) })
+	})
+	return cp, m.FlopCost(members) + m.LocalCopyCost(24+tileBytes(cp))
+}
+
+// tileFor answers one tile address under the session's filter state: the
+// epoch-keyed LRU when unfiltered, an exact filtered rebuild otherwise.
+func (ss *Session) tileFor(v *view, fs *filterSet, z, x, y int) (*tiles.Tile, float64) {
+	if fs == nil {
+		return ss.s.tileRaw(v, z, x, y)
+	}
+	return ss.s.tileWhere(v, fs, z, x, y)
+}
+
 // themeLabel renders a theme's representative label: its strongest terms.
 func themeLabel(themes []core.Theme, cluster int64) string {
 	if cluster < 0 || cluster >= int64(len(themes)) {
@@ -430,6 +507,8 @@ func renderTile(raw *tiles.Tile, z, x, y, grid, topThemes int, themes []core.The
 	}
 	res.Docs = raw.Docs
 	res.Density = append([]uint32(nil), raw.Density...)
+	res.Times = append([]tiles.TimeCount(nil), raw.Times...)
+	res.Facets = append([]tiles.FacetCount(nil), raw.Facets...)
 	res.Exemplars = append([]int64(nil), raw.Exemplars...)
 	hist := append([]tiles.ThemeCount(nil), raw.Themes...)
 	sort.Slice(hist, func(a, b int) bool {
@@ -467,8 +546,9 @@ func (ss *Session) Tile(ctx context.Context, z, x, y int) (*TileResult, error) {
 		return nil, err
 	}
 	v := s.store.viewNow()
-	raw, cost := s.tileRaw(v, z, x, y)
-	ss.charge(cost)
+	fs, fc := ss.filterFor(v)
+	raw, cost := ss.tileFor(v, fs, z, x, y)
+	ss.charge(cost + fc)
 	return renderTile(raw, z, x, y, tc.Grid, s.cfg.TileThemes, s.store.Themes), nil
 }
 
@@ -489,14 +569,20 @@ func (ss *Session) TileRange(ctx context.Context, z int, r tiles.Rect) ([]*TileR
 		return nil, fmt.Errorf("serve: tile zoom %d out of [0, %d]", z, tc.MaxZoom)
 	}
 	v := s.store.viewNow()
+	fs, fc := ss.filterFor(v)
 	coords, _, cost := s.tileRangeCoords(v, tc, z, r)
 	out := make([]*TileResult, 0, len(coords))
 	for _, c := range coords {
-		raw, tcost := s.tileRaw(v, z, c[0], c[1])
+		raw, tcost := ss.tileFor(v, fs, z, c[0], c[1])
 		cost += tcost
+		if fs != nil && raw == nil {
+			// Every member under the address was filtered out; a pyramid over
+			// only the matching documents would not have this tile at all.
+			continue
+		}
 		out = append(out, renderTile(raw, z, c[0], c[1], tc.Grid, s.cfg.TileThemes, s.store.Themes))
 	}
-	ss.charge(cost)
+	ss.charge(cost + fc)
 	return out, nil
 }
 
@@ -521,8 +607,9 @@ func (s *Server) tileRangeCoords(v *view, tc tiles.Config, z int, r tiles.Rect) 
 // sub-session, like any other sub-query.
 func (ss *Session) tileRawQ(z, x, y int) *tiles.Tile {
 	v := ss.s.store.viewNow()
-	raw, cost := ss.s.tileRaw(v, z, x, y)
-	ss.charge(cost)
+	fs, fc := ss.filterFor(v)
+	raw, cost := ss.tileFor(v, fs, z, x, y)
+	ss.charge(cost + fc)
 	return raw
 }
 
@@ -532,18 +619,19 @@ func (ss *Session) tileRangeRaw(z int, r tiles.Rect) []*tiles.Tile {
 	s := ss.s
 	tc := s.cfg.tileConfig()
 	v := s.store.viewNow()
+	fs, fc := ss.filterFor(v)
 	coords, _, cost := s.tileRangeCoords(v, tc, z, r)
 	out := make([]*tiles.Tile, 0, len(coords))
 	for _, c := range coords {
-		// tileRaw answers immutable snapshots already addressed (z, x, y);
+		// tileFor answers immutable snapshots already addressed (z, x, y);
 		// the merge side only reads them.
-		raw, tcost := s.tileRaw(v, z, c[0], c[1])
+		raw, tcost := ss.tileFor(v, fs, z, c[0], c[1])
 		cost += tcost
 		if raw != nil {
 			out = append(out, raw)
 		}
 	}
-	ss.charge(cost)
+	ss.charge(cost + fc)
 	return out
 }
 
@@ -632,6 +720,7 @@ func (rs *RouterSession) Tile(ctx context.Context, z, x, y int) (*TileResult, er
 	}
 	parts, scCost := scatterQ(ctx, rs, live, 24,
 		func(ctx context.Context, shard int, sub *Session) (*tiles.Tile, float64) {
+			_ = sub.SetFilter(rs.filter)
 			raw := sub.tileRawQ(z, x, y)
 			return raw, tileBytes(raw)
 		})
@@ -677,6 +766,7 @@ func (rs *RouterSession) TileRange(ctx context.Context, z int, rect tiles.Rect) 
 	}
 	parts, scCost := scatterQ(ctx, rs, live, 40,
 		func(ctx context.Context, shard int, sub *Session) ([]*tiles.Tile, float64) {
+			_ = sub.SetFilter(rs.filter)
 			out := sub.tileRangeRaw(z, rect)
 			var b float64
 			for _, t := range out {

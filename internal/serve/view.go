@@ -98,6 +98,15 @@ type baseView struct {
 	points         []project.Point
 	assignDocs     []int64
 	assignClusters []int64
+
+	// Document metadata (Store.MetaDocs..FacetDict, see meta.go), plus the
+	// reverse facet map filters compile against. All immutable once built.
+	metaDocs      []int64
+	metaTimes     []int64
+	metaFacetOffs []int64
+	metaFacetIDs  []int64
+	facetDict     []string
+	facetIDs      map[string]int64
 }
 
 // containsDoc reports whether doc is a base document of this store.
@@ -300,6 +309,17 @@ func (st *Store) baseView() *baseView {
 		points:         st.Points,
 		assignDocs:     st.AssignDocs,
 		assignClusters: st.AssignClusters,
+		metaDocs:       st.MetaDocs,
+		metaTimes:      st.MetaTimes,
+		metaFacetOffs:  st.MetaFacetOffs,
+		metaFacetIDs:   st.MetaFacetIDs,
+		facetDict:      st.FacetDict,
+	}
+	if len(st.FacetDict) > 0 {
+		b.facetIDs = make(map[string]int64, len(st.FacetDict))
+		for i, s := range st.FacetDict {
+			b.facetIDs[s] = int64(i)
+		}
 	}
 	if len(st.Holes) > 0 {
 		b.holes = make(map[int64]bool, len(st.Holes))

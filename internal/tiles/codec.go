@@ -15,8 +15,21 @@ import (
 // configuration, the world bounds and the leaf member entries only: every
 // higher-zoom aggregate is a pure function of the leaves, so Decode rebuilds
 // them — the sidecar cannot go out of step with itself, and corruption in an
-// aggregate is structurally impossible.
-const Magic = "INSPTILES1\n"
+// aggregate is structurally impossible. Version 2 added the per-entry
+// timestamp and facet strings; MagicV1 sidecars (no metadata) still load
+// through DecodeAny.
+const (
+	Magic   = "INSPTILES2\n"
+	MagicV1 = "INSPTILES1\n"
+)
+
+// Codec bounds on per-entry metadata: Decode rejects anything larger, so a
+// corrupt sidecar cannot demand huge allocations. The serving layer validates
+// facets at ingest well inside these.
+const (
+	maxEntryFacets = 64
+	maxFacetLen    = 1024
+)
 
 // Encode serializes the pyramid canonically: leaves ascending by tile
 // address, entries ascending by document ID, coordinates as raw IEEE-754
@@ -48,6 +61,12 @@ func (p *Pyramid) Encode() []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.X))
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Y))
 			buf = binary.AppendVarint(buf, e.Cluster)
+			buf = binary.AppendVarint(buf, e.Time)
+			buf = binary.AppendUvarint(buf, uint64(len(e.Facets)))
+			for _, f := range e.Facets {
+				buf = binary.AppendUvarint(buf, uint64(len(f)))
+				buf = append(buf, f...)
+			}
 		}
 	}
 	return buf
@@ -64,12 +83,28 @@ func (p *Pyramid) SaveFile(path string) error {
 // Decode parses a sidecar written by Encode, rebuilding the aggregate tiles
 // from the leaf entries, and rejects anything non-canonical: unsorted or
 // duplicate leaves or documents, entries binned under the wrong leaf,
-// non-finite coordinates, clusters below -1, or trailing bytes.
+// non-finite coordinates, clusters below -1, unsorted or oversized facet
+// sets, or trailing bytes.
 func Decode(data []byte) (*Pyramid, error) {
 	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
 		return nil, fmt.Errorf("tiles: not a tile-pyramid sidecar")
 	}
-	r := &byteReader{buf: data[len(Magic):]}
+	return decodeBody(data[len(Magic):], true)
+}
+
+// DecodeAny parses a sidecar in the current or the previous on-disk version:
+// a MagicV1 file carries no per-entry metadata and loads with zero
+// timestamps and no facets (re-encoding it upgrades the file to version 2).
+// Loaders use this; the canonical round-trip guarantee belongs to Decode.
+func DecodeAny(data []byte) (*Pyramid, error) {
+	if len(data) >= len(MagicV1) && string(data[:len(MagicV1)]) == MagicV1 {
+		return decodeBody(data[len(MagicV1):], false)
+	}
+	return Decode(data)
+}
+
+func decodeBody(body []byte, withMeta bool) (*Pyramid, error) {
+	r := &byteReader{buf: body}
 	cfg := Config{
 		MaxZoom:   int(r.uvarint()),
 		Grid:      int(r.uvarint()),
@@ -117,6 +152,23 @@ func Decode(data []byte) (*Pyramid, error) {
 			}
 			e := Entry{Doc: prevDoc + int64(delta), X: r.float(), Y: r.float(), Cluster: r.varint()}
 			prevDoc = e.Doc
+			if withMeta && r.err == nil {
+				e.Time = r.varint()
+				nf := r.uvarint()
+				if nf > maxEntryFacets {
+					return nil, fmt.Errorf("tiles: document %d has %d facets (max %d)", e.Doc, nf, maxEntryFacets)
+				}
+				for fi := uint64(0); fi < nf && r.err == nil; fi++ {
+					f := r.str(maxFacetLen)
+					if r.err != nil {
+						break
+					}
+					if f == "" || (len(e.Facets) > 0 && f <= e.Facets[len(e.Facets)-1]) {
+						return nil, fmt.Errorf("tiles: document %d facets not strictly ascending", e.Doc)
+					}
+					e.Facets = append(e.Facets, f)
+				}
+			}
 			if r.err != nil {
 				break
 			}
@@ -141,13 +193,13 @@ func Decode(data []byte) (*Pyramid, error) {
 	return p, nil
 }
 
-// LoadFile reads a pyramid sidecar by path.
+// LoadFile reads a pyramid sidecar by path, accepting both on-disk versions.
 func LoadFile(path string) (*Pyramid, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return Decode(data)
+	return DecodeAny(data)
 }
 
 // byteReader cursors over the sidecar body, latching the first error.
@@ -196,6 +248,21 @@ func (r *byteReader) varint() int64 {
 	}
 	r.buf = r.buf[n:]
 	return v
+}
+
+// str reads a length-prefixed string of at most maxLen bytes.
+func (r *byteReader) str(maxLen int) string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(maxLen) || n > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("truncated or oversized string")
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
 }
 
 func (r *byteReader) float() float64 {

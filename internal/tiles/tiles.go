@@ -7,12 +7,13 @@
 //
 // Every tile stores exact integer aggregates of the documents binned under
 // it: a Grid x Grid density grid of point counts, the document count, a
-// sparse per-theme histogram, and the smallest document IDs as exemplars.
-// Because each aggregate is a pure, order-independent function of the tile's
-// member set, a pyramid maintained incrementally (Add/Remove as documents
-// ingest and delete) is identical to one rebuilt from scratch, and per-shard
-// pyramids merge into exactly the monolithic answer (densities and
-// histograms sum; exemplar sets union-and-trim).
+// sparse per-theme histogram, a sparse per-day time histogram, a sparse
+// per-facet count, and the smallest document IDs as exemplars. Because each
+// aggregate is a pure, order-independent function of the tile's member set,
+// a pyramid maintained incrementally (Add/Remove as documents ingest and
+// delete) is identical to one rebuilt from scratch, and per-shard pyramids
+// merge into exactly the monolithic answer (densities and histograms sum;
+// exemplar sets union-and-trim).
 //
 // Binning is exact across zoom levels: a point's normalized coordinate is
 // scaled by powers of two (exact in binary floating point), so the cell a
@@ -149,12 +150,17 @@ func TileRectIn(b Rect, z, x, y int) Rect {
 	}
 }
 
-// Entry is one projected document: its ID, projection coordinates, and theme
-// cluster (-1 when unassigned — documents ingested after the clustering run).
+// Entry is one projected document: its ID, projection coordinates, theme
+// cluster (-1 when unassigned — documents ingested after the clustering
+// run), ingest timestamp (unix seconds; 0 = no timestamp) and facet strings
+// ("key=value", strictly ascending, nil when the document carries none).
+// Facets slices are shared, never mutated, after an entry enters a pyramid.
 type Entry struct {
 	Doc     int64
 	X, Y    float64
 	Cluster int64
+	Time    int64
+	Facets  []string
 }
 
 // ThemeCount is one theme's share of a tile, ascending by Cluster within a
@@ -162,6 +168,33 @@ type Entry struct {
 type ThemeCount struct {
 	Cluster int64
 	Docs    int64
+}
+
+// BucketSeconds is the width of one time-histogram bucket: a UTC day.
+const BucketSeconds = 86400
+
+// TimeBucket maps a unix-seconds timestamp to its day bucket (floor
+// division, so pre-epoch timestamps bucket consistently too).
+func TimeBucket(ts int64) int64 {
+	q := ts / BucketSeconds
+	if ts%BucketSeconds != 0 && ts < 0 {
+		q--
+	}
+	return q
+}
+
+// TimeCount is one day bucket's share of a tile, ascending by Bucket within
+// a tile. Documents without a timestamp (Time 0) count in Docs but not here.
+type TimeCount struct {
+	Bucket int64
+	Docs   int64
+}
+
+// FacetCount is one facet string's share of a tile, ascending by Facet
+// within a tile.
+type FacetCount struct {
+	Facet string
+	Docs  int64
 }
 
 // Tile is one node of the pyramid: exact aggregates of the documents binned
@@ -177,6 +210,12 @@ type Tile struct {
 	// Themes is the sparse per-cluster histogram, ascending by cluster;
 	// unassigned documents (cluster -1) count in Docs but not here.
 	Themes []ThemeCount
+	// Times is the sparse per-day histogram, ascending by bucket;
+	// untimestamped documents (Time 0) count in Docs but not here.
+	Times []TimeCount
+	// Facets is the sparse per-facet count, ascending by facet string; a
+	// document counts once under each of its facets.
+	Facets []FacetCount
 	// Exemplars holds the up-to-Config.Exemplars smallest member document
 	// IDs, ascending — deterministic representatives at any zoom.
 	Exemplars []int64
@@ -190,6 +229,8 @@ func (t *Tile) Clone() *Tile {
 	cp := &Tile{Z: t.Z, X: t.X, Y: t.Y, Docs: t.Docs}
 	cp.Density = append([]uint32(nil), t.Density...)
 	cp.Themes = append([]ThemeCount(nil), t.Themes...)
+	cp.Times = append([]TimeCount(nil), t.Times...)
+	cp.Facets = append([]FacetCount(nil), t.Facets...)
 	cp.Exemplars = append([]int64(nil), t.Exemplars...)
 	return cp
 }
@@ -324,6 +365,7 @@ func (p *Pyramid) Add(e Entry) bool {
 		if e.Cluster >= 0 {
 			t.addTheme(e.Cluster, 1)
 		}
+		t.addMeta(e, 1)
 		t.addExemplar(e.Doc, p.cfg.Exemplars)
 	}
 	lk := key(p.cfg.MaxZoom, clampBin(u, 1<<p.cfg.MaxZoom), clampBin(v, 1<<p.cfg.MaxZoom))
@@ -374,6 +416,7 @@ func (p *Pyramid) Remove(doc int64) bool {
 		if e.Cluster >= 0 {
 			t.addTheme(e.Cluster, -1)
 		}
+		t.addMeta(e, -1)
 		t.dropExemplar(doc)
 		if len(t.Exemplars) < p.cfg.Exemplars && t.Docs > int64(len(t.Exemplars)) {
 			p.refillExemplars(t)
@@ -401,6 +444,56 @@ func (t *Tile) addTheme(cluster, delta int64) {
 	t.Themes = append(t.Themes, ThemeCount{})
 	copy(t.Themes[i+1:], t.Themes[i:])
 	t.Themes[i] = ThemeCount{Cluster: cluster, Docs: delta}
+}
+
+// addMeta adjusts the time and facet histograms for one member entry —
+// the metadata twin of addTheme, with the same nil-when-empty canonical
+// form so incremental and rebuilt pyramids stay identical.
+func (t *Tile) addMeta(e Entry, delta int64) {
+	if e.Time != 0 {
+		t.addTime(TimeBucket(e.Time), delta)
+	}
+	for _, f := range e.Facets {
+		t.addFacet(f, delta)
+	}
+}
+
+// addTime adjusts the sparse per-day histogram, keeping it ascending by
+// bucket and dropping zeroed entries.
+func (t *Tile) addTime(bucket, delta int64) {
+	i := sort.Search(len(t.Times), func(i int) bool { return t.Times[i].Bucket >= bucket })
+	if i < len(t.Times) && t.Times[i].Bucket == bucket {
+		t.Times[i].Docs += delta
+		if t.Times[i].Docs == 0 {
+			t.Times = append(t.Times[:i], t.Times[i+1:]...)
+			if len(t.Times) == 0 {
+				t.Times = nil
+			}
+		}
+		return
+	}
+	t.Times = append(t.Times, TimeCount{})
+	copy(t.Times[i+1:], t.Times[i:])
+	t.Times[i] = TimeCount{Bucket: bucket, Docs: delta}
+}
+
+// addFacet adjusts the sparse per-facet count, keeping it ascending by facet
+// string and dropping zeroed entries.
+func (t *Tile) addFacet(facet string, delta int64) {
+	i := sort.Search(len(t.Facets), func(i int) bool { return t.Facets[i].Facet >= facet })
+	if i < len(t.Facets) && t.Facets[i].Facet == facet {
+		t.Facets[i].Docs += delta
+		if t.Facets[i].Docs == 0 {
+			t.Facets = append(t.Facets[:i], t.Facets[i+1:]...)
+			if len(t.Facets) == 0 {
+				t.Facets = nil
+			}
+		}
+		return
+	}
+	t.Facets = append(t.Facets, FacetCount{})
+	copy(t.Facets[i+1:], t.Facets[i:])
+	t.Facets[i] = FacetCount{Facet: facet, Docs: delta}
 }
 
 // addExemplar inserts doc into the sorted exemplar set if it belongs among
@@ -456,6 +549,49 @@ func (p *Pyramid) refillExemplars(t *Tile) {
 // caller's lock.
 func (p *Pyramid) Tile(z, x, y int) *Tile {
 	return p.tiles[key(z, x, y)]
+}
+
+// TileWhere builds the tile at (z, x, y) over only the member entries keep
+// accepts — byte-for-byte the aggregate a pyramid over the matching subset
+// would hold at that address, because every aggregate is an order-independent
+// pure function of the member set. The result is freshly allocated (callers
+// own it); nil when no member under the address matches. Cost is proportional
+// to the tile's member count, so filtered tile queries bypass the unfiltered
+// aggregates instead of approximating from them.
+func (p *Pyramid) TileWhere(z, x, y int, keep func(Entry) bool) *Tile {
+	if z < 0 || z > p.cfg.MaxZoom || x < 0 || y < 0 || x >= 1<<z || y >= 1<<z {
+		return nil
+	}
+	s := p.cfg.MaxZoom - z
+	g := p.cfg.Grid
+	n := 1 << z
+	var out *Tile
+	for lk, l := range p.leaves {
+		lx := int(lk >> 28 & (1<<28 - 1))
+		ly := int(lk & (1<<28 - 1))
+		if lx>>s != x || ly>>s != y {
+			continue
+		}
+		for _, e := range l {
+			if !keep(e) {
+				continue
+			}
+			if out == nil {
+				out = &Tile{Z: z, X: x, Y: y, Density: make([]uint32, g*g)}
+			}
+			u, v := p.norm(e.X, e.Y)
+			gx := clampBin(u, n*g) - x*g
+			gy := clampBin(v, n*g) - y*g
+			out.Docs++
+			out.Density[gy*g+gx]++
+			if e.Cluster >= 0 {
+				out.addTheme(e.Cluster, 1)
+			}
+			out.addMeta(e, 1)
+			out.addExemplar(e.Doc, p.cfg.Exemplars)
+		}
+	}
+	return out
 }
 
 // window is one zoom level's inclusive admission box during a walk.
@@ -594,6 +730,8 @@ func MergeInto(dst *Tile, parts []*Tile, exemplarCap int) *Tile {
 				clear(out.Density)
 			}
 			out.Themes = out.Themes[:0]
+			out.Times = out.Times[:0]
+			out.Facets = out.Facets[:0]
 			out.Exemplars = out.Exemplars[:0]
 		}
 		out.Docs += t.Docs
@@ -602,6 +740,12 @@ func MergeInto(dst *Tile, parts []*Tile, exemplarCap int) *Tile {
 		}
 		for _, th := range t.Themes {
 			out.addTheme(th.Cluster, th.Docs)
+		}
+		for _, tc := range t.Times {
+			out.addTime(tc.Bucket, tc.Docs)
+		}
+		for _, fc := range t.Facets {
+			out.addFacet(fc.Facet, fc.Docs)
 		}
 		out.Exemplars = append(out.Exemplars, t.Exemplars...)
 	}
